@@ -1,0 +1,105 @@
+"""Ablations of Cocco's design choices (Sec 4.3's claimed benefits).
+
+Three ablations at a fixed sample budget on GoogleNet partition search:
+
+* no-crossover — mutation-only GA (tests the Fig 9 crossover's value),
+* no-repair — infeasible genomes are priced at infinity instead of being
+  split in place (tests the in-situ tuning of Sec 4.4.4),
+* no-warm-start — cold population versus greedy/DP seeding (tests the
+  "flexible initialization" benefit).
+
+Shape expectations: each ablation is no better than the full configuration
+(small budgets add noise, so the assertions allow a tolerance band).
+"""
+
+import pytest
+
+from repro.config import MemoryConfig
+from repro.cost.evaluator import Evaluator
+from repro.cost.objective import Metric
+from repro.ga.engine import GAConfig, GeneticEngine
+from repro.ga.genome import Genome
+from repro.ga.problem import OptimizationProblem
+from repro.graphs.zoo import get_model
+from repro.partition.dp import dp_partition
+from repro.partition.greedy import greedy_partition
+from repro.experiments.common import paper_accelerator
+from repro.units import kb
+
+BUDGET = GAConfig(population_size=24, generations=10, seed=0)
+
+
+@pytest.fixture(scope="module")
+def problem():
+    graph = get_model("googlenet")
+    accel = paper_accelerator()
+    evaluator = Evaluator(graph, accel)
+    return OptimizationProblem(
+        evaluator=evaluator, metric=Metric.EMA, fixed_memory=accel.memory
+    )
+
+
+def test_ablation_crossover(once, problem):
+    """Crossover on vs off at the same budget."""
+
+    def run_pair():
+        full = GeneticEngine(problem, BUDGET).run()
+        no_crossover = GeneticEngine(
+            problem,
+            GAConfig(
+                population_size=BUDGET.population_size,
+                generations=BUDGET.generations,
+                crossover_rate=0.0,
+                seed=BUDGET.seed,
+            ),
+        ).run()
+        return full.best_cost, no_crossover.best_cost
+
+    full_cost, ablated_cost = once(run_pair)
+    assert full_cost <= ablated_cost * 1.10, "crossover should not hurt"
+    print(f"\ncrossover ablation: full={full_cost:.3e} mutation-only={ablated_cost:.3e}")
+
+
+def test_ablation_in_situ_repair(once, problem):
+    """In-situ capacity splitting vs pricing infeasible genomes at inf."""
+
+    class NoRepairProblem(OptimizationProblem):
+        def repair(self, genome: Genome) -> Genome:
+            return genome
+
+    no_repair = NoRepairProblem(
+        evaluator=problem.evaluator,
+        metric=problem.metric,
+        fixed_memory=problem.fixed_memory,
+    )
+
+    def run_pair():
+        full = GeneticEngine(problem, BUDGET).run()
+        ablated = GeneticEngine(no_repair, BUDGET).run()
+        return full.best_cost, ablated.best_cost
+
+    full_cost, ablated_cost = once(run_pair)
+    assert full_cost <= ablated_cost * 1.05, "repair should not hurt"
+    print(f"\nrepair ablation: full={full_cost:.3e} no-repair={ablated_cost:.3e}")
+
+
+def test_ablation_warm_start(once, problem):
+    """Greedy/DP-seeded population vs a cold start."""
+    graph = problem.graph
+
+    def cost_fn(members):
+        cost = problem.evaluator.subgraph_cost(members)
+        return cost.ema_bytes if cost.feasible else float("inf")
+
+    def run_pair():
+        seeds = [
+            Genome(greedy_partition(graph, cost_fn), problem.fixed_memory),
+            Genome(dp_partition(graph, cost_fn), problem.fixed_memory),
+        ]
+        warm = GeneticEngine(problem, BUDGET).run(seeds=seeds)
+        cold = GeneticEngine(problem, BUDGET).run()
+        return warm.best_cost, cold.best_cost
+
+    warm_cost, cold_cost = once(run_pair)
+    assert warm_cost <= cold_cost * 1.02, "warm start should not hurt"
+    print(f"\nwarm-start ablation: warm={warm_cost:.3e} cold={cold_cost:.3e}")

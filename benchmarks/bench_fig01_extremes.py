@@ -1,0 +1,43 @@
+"""Fig 1: EMA between the streaming and compulsory extremes.
+
+Shape claims: optimized EMA is monotonically non-increasing in capacity
+(within search noise), always sits between the two analytic bounds, and
+converges to the compulsory bound (weights + model inputs + outputs)
+once the buffer holds the whole working set — at which point the
+partition collapses to a single subgraph.
+"""
+
+from repro.experiments import fig1_extremes
+from repro.experiments.common import QUICK_SCALE
+
+
+def test_fig1_extremes(once):
+    result = once(
+        fig1_extremes.run,
+        models=("mobilenet_v2", "googlenet"),
+        scale=QUICK_SCALE,
+    )
+    print()
+    print(result.to_text())
+
+    by_model: dict[str, list[tuple[int, float, float]]] = {}
+    for model, cap_kb, ema_mb, of_min, _groups in result.rows:
+        by_model.setdefault(model, []).append((cap_kb, ema_mb, of_min))
+
+    for model, rows in by_model.items():
+        rows.sort()
+        emas = [ema for _cap, ema, _ratio in rows]
+        ratios = [ratio for _cap, _ema, ratio in rows]
+        floor = result.extra[model]["compulsory_mb"]
+        ceiling = result.extra[model]["streaming_mb"]
+        # Between the bounds at every capacity (rows carry 2-decimal MB
+        # for display, so allow rounding slack).
+        for ema in emas:
+            assert floor - 0.01 <= ema <= ceiling + 0.01, model
+        # Monotone within a small search-noise band.
+        for a, b in zip(emas, emas[1:]):
+            assert b <= a * 1.02, f"{model}: EMA rose with capacity"
+        # The largest capacity reaches the compulsory bound.
+        assert ratios[-1] <= 1.05, f"{model}: never converged to min EMA"
+        # The smallest capacity pays a real reuse penalty.
+        assert ratios[0] > ratios[-1]

@@ -1,0 +1,22 @@
+"""Fig 2: the industrial-NPU survey and its three observations.
+
+Shape claims (Sec 2.1): SRAM spans 4-79% of die area; the marginal
+performance per MB declines with capacity; inference parts saturate at a
+finite capacity (Hanguang, the DDR-less design, anchors the tail).
+"""
+
+from repro.experiments import fig2_survey
+
+
+def test_fig2_survey(once):
+    result = once(fig2_survey.run)
+    areas = [row[4] for row in result.rows]
+    assert min(areas) < 5 and max(areas) > 75
+
+    density = [(row[3], row[2] / row[3]) for row in result.rows]
+    small = [d for mem, d in density if mem <= 64]
+    large = [d for mem, d in density if mem > 200]
+    assert sum(small) / len(small) > sum(large) / len(large)
+
+    print()
+    print(result.to_text())

@@ -1,0 +1,28 @@
+"""Figure 12: convergence curves and sample efficiency.
+
+Paper claim: Cocco converges with fewer samples than the two-step and SA
+baselines — Fig 12(d) reports the samples needed to reach within 5% of
+Cocco's final cost.
+"""
+
+from repro.experiments import fig12_convergence
+from repro.experiments.common import QUICK_SCALE
+
+BENCH_MODELS = ("googlenet",)
+
+
+def test_fig12_convergence(once):
+    result = once(fig12_convergence.run, models=BENCH_MODELS, scale=QUICK_SCALE)
+    rows = {row[1]: row for row in result.rows}
+    cocco_final = float(rows["Cocco"][2])
+    # Shape: Cocco reaches its own 1.05x threshold (by definition) and its
+    # final cost is not beaten by any baseline by more than noise.
+    assert rows["Cocco"][4] != "never"
+    for method, row in rows.items():
+        assert float(row[2]) >= cocco_final * 0.9, (
+            f"{method} unexpectedly far below Cocco"
+        )
+    histories = result.extra["googlenet"]
+    assert all(len(h) >= 1 for h in histories.values())
+    print()
+    print(result.to_text())

@@ -1,0 +1,26 @@
+"""Figure 13: the sample distribution drifts to lower iso-cost intercepts.
+
+Paper claim: across generations the population's samples move toward a
+lower ``BUF + alpha * E`` intercept and become more concentrated.
+"""
+
+from repro.experiments import fig13_distribution
+from repro.experiments.common import QUICK_SCALE
+
+BENCH_MODELS = ("googlenet", "randwire_a")
+
+
+def test_fig13_distribution(once):
+    result = once(fig13_distribution.run, models=BENCH_MODELS, scale=QUICK_SCALE)
+    for model in BENCH_MODELS:
+        rows = [r for r in result.rows if r[0] == model]
+        assert len(rows) >= 3
+        intercepts = [float(r[5].replace("E", "e")) for r in rows]
+        # Shape: the mean intercept of the final third is below the first
+        # third (monotone drift toward cheaper designs).
+        third = max(1, len(intercepts) // 3)
+        early = sum(intercepts[:third]) / third
+        late = sum(intercepts[-third:]) / third
+        assert late <= early, f"{model}: no drift toward lower intercept"
+    print()
+    print(result.to_text())

@@ -1,0 +1,32 @@
+"""Figure 14: the alpha knob trades buffer capacity for energy.
+
+Paper claim: increasing alpha makes the optimizer buy more capacity to
+reduce energy; normalized energy falls (weakly) as alpha grows.
+"""
+
+from repro.experiments import fig14_alpha
+from repro.experiments.common import QUICK_SCALE
+
+BENCH_MODELS = ("googlenet", "nasnet")
+BENCH_ALPHAS = (5e-4, 2e-3, 1e-2)
+
+
+def test_fig14_alpha(once):
+    result = once(
+        fig14_alpha.run, models=BENCH_MODELS, alphas=BENCH_ALPHAS, scale=QUICK_SCALE
+    )
+    for model in BENCH_MODELS:
+        rows = [r for r in result.rows if r[0] == model]
+        capacities = [r[2] for r in rows]
+        energies = [r[4] for r in rows]
+        # Shape: highest alpha buys at least as much capacity as lowest,
+        # and its energy is no higher.
+        assert capacities[-1] >= capacities[0] * 0.99
+        assert energies[-1] <= energies[0] * 1.01
+    # NasNet is the memory-hungry model: at the largest alpha it should
+    # want at least as much capacity as GoogleNet.
+    nasnet_cap = [r[2] for r in result.rows if r[0] == "nasnet"][-1]
+    googlenet_cap = [r[2] for r in result.rows if r[0] == "googlenet"][-1]
+    assert nasnet_cap >= googlenet_cap
+    print()
+    print(result.to_text())

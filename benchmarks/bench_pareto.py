@@ -1,0 +1,74 @@
+"""Multi-objective frontier versus per-alpha scalarized search.
+
+Extension bench: one NSGA-II run should recover the capacity-energy
+trade-off that the paper's Fig 14 sweeps alpha-by-alpha. Shape claims:
+
+* the frontier holds multiple points spanning small to large capacities,
+* for every alpha of the Fig 14 sweep, reading the frontier off at that
+  alpha scalarizes within a tolerance of (or better than) a same-budget
+  single-alpha Cocco run,
+* the frontier's selected capacity grows with alpha (the Fig 14 trend).
+"""
+
+import pytest
+
+from repro.cost.evaluator import Evaluator
+from repro.cost.objective import Metric
+from repro.dse.cocco import cocco_co_optimize
+from repro.dse.nsga import NSGAConfig, nsga2_co_optimize
+from repro.experiments.common import paper_accelerator
+from repro.ga.engine import GAConfig
+from repro.graphs.zoo import get_model
+from repro.search_space import CapacitySpace
+
+ALPHAS = (5e-4, 2e-3, 1e-2)
+
+
+def test_pareto_frontier_vs_alpha_sweep(once):
+    def run():
+        graph = get_model("googlenet")
+        evaluator = Evaluator(graph, paper_accelerator())
+        space = CapacitySpace.paper_shared()
+        nsga = nsga2_co_optimize(
+            evaluator,
+            space,
+            metric=Metric.ENERGY,
+            config=NSGAConfig(population_size=24, generations=10, seed=0),
+        )
+        scalar = {}
+        for alpha in ALPHAS:
+            scalar[alpha] = cocco_co_optimize(
+                evaluator,
+                space,
+                metric=Metric.ENERGY,
+                alpha=alpha,
+                ga_config=GAConfig(population_size=24, generations=10, seed=0),
+                refine=False,
+            )
+        return nsga, scalar
+
+    nsga, scalar = once(run)
+    print(f"\nfrontier: {len(nsga.front)} points, "
+          f"{nsga.num_evaluations} evaluations")
+    for p in nsga.front:
+        print(f"  {p.capacity_bytes / 1024:7.0f} KB -> "
+              f"{p.metric_cost:.3e} pJ")
+
+    assert len(nsga.front) >= 3, "frontier collapsed to a corner"
+    capacities = [p.capacity_bytes for p in nsga.front]
+    assert max(capacities) >= 2 * min(capacities), "no capacity spread"
+
+    picks = []
+    for alpha in ALPHAS:
+        frontier_pick = nsga.select_by_alpha(alpha)
+        picks.append(frontier_pick.capacity_bytes)
+        frontier_value = frontier_pick.formula2(alpha)
+        scalar_value = scalar[alpha].best_cost
+        print(f"alpha={alpha:g}: frontier {frontier_value:.4e} "
+              f"({frontier_pick.capacity_bytes // 1024} KB) vs "
+              f"scalarized {scalar_value:.4e} "
+              f"({scalar[alpha].memory.total_bytes // 1024} KB)")
+        # One multi-objective run competes with each dedicated run.
+        assert frontier_value <= scalar_value * 1.15
+    # Larger alpha weights the metric more -> larger chosen capacity.
+    assert picks[0] <= picks[-1]

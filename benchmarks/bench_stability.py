@@ -1,0 +1,36 @@
+"""Stability of Cocco versus SA across seeds (Sec 4.2.4's claim).
+
+Shape claims: on the majority of models, Cocco's cost spread across seeds
+is no larger than SA's, and Cocco's worst seed stays within a modest band
+of its best — the "avoid local optima / population diversity" benefits of
+Sec 4.3 made measurable.
+"""
+
+from repro.experiments import stability
+from repro.experiments.common import QUICK_SCALE
+
+
+def test_stability_cocco_vs_sa(once):
+    result = once(
+        stability.run,
+        models=("googlenet", "randwire_a"),
+        scale=QUICK_SCALE,
+        num_seeds=4,
+    )
+    print()
+    print(result.to_text())
+
+    wins = 0
+    models = set()
+    spread = {}
+    for row in result.rows:
+        model, method = row[0], row[1]
+        models.add(model)
+        spread[(model, method)] = float(row[3].replace("E", "e"))
+    for model in models:
+        if spread[(model, "Cocco")] <= spread[(model, "SA")] * 1.25:
+            wins += 1
+    # Cocco is at least as stable as SA on the majority of models.
+    assert wins >= (len(models) + 1) // 2, (
+        f"Cocco less stable than SA on most models: {spread}"
+    )

@@ -1,0 +1,31 @@
+"""Table 2: co-exploration with a shared buffer (alpha=0.002, M=energy).
+
+Paper claims: the shared design mostly reaches lower cost than the
+separate design, and Cocco remains the best method.
+"""
+
+from repro.experiments import table1_separate, table2_shared
+from repro.experiments.common import QUICK_SCALE
+from repro.search_space import CapacitySpace
+
+BENCH_MODELS = ("googlenet",)
+
+
+def _cost(cell: str) -> float:
+    return float(cell.replace("E", "e"))
+
+
+def test_table2_shared(once):
+    result = once(table2_shared.run, models=BENCH_MODELS, scale=QUICK_SCALE)
+    methods = {row[1]: _cost(row[4]) for row in result.rows}
+    cocco = methods["Cocco"]
+    assert cocco <= max(methods.values())
+    # Shared-vs-separate comparison on the same model and budget.
+    separate_rows = table1_separate.run_model(
+        "googlenet", CapacitySpace.paper_separate(), QUICK_SCALE, seed=0
+    )
+    separate_cocco = _cost(separate_rows[-1][4])
+    assert cocco <= separate_cocco * 1.15, "shared buffer should be competitive"
+    print()
+    print(result.to_text())
+    print(f"  separate-buffer Cocco cost for googlenet: {separate_cocco:.3e}")

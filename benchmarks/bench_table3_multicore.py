@@ -1,0 +1,33 @@
+"""Table 3: multi-core and batch scaling (shared buffer, energy co-opt).
+
+Paper claims: latency falls with more cores; per-core buffer sizes do not
+grow with core count; batch latency scales sub-linearly per sample.
+"""
+
+from repro.experiments import table3_multicore
+from repro.experiments.common import QUICK_SCALE
+
+BENCH_MODELS = ("googlenet",)
+CORES = (1, 2, 4)
+BATCHES = (1, 8)
+
+
+def test_table3_multicore(once):
+    result = once(
+        table3_multicore.run,
+        models=BENCH_MODELS,
+        core_counts=CORES,
+        batch_sizes=BATCHES,
+        scale=QUICK_SCALE,
+    )
+    rows = {(r[1], r[2]): r for r in result.rows}
+    # Shape: four cores cut batch-1 latency versus one core.
+    assert rows[(4, 1)][4] < rows[(1, 1)][4]
+    # Shape: batch-8 latency is sub-linear (well under 8x batch-1).
+    assert rows[(1, 8)][4] < 8 * rows[(1, 1)][4]
+    # Shape: per-core buffer need does not grow with cores (batch 1).
+    size_1 = float(rows[(1, 1)][5])
+    size_4 = float(rows[(4, 1)][5])
+    assert size_4 <= size_1 * 1.25
+    print()
+    print(result.to_text())

@@ -1,0 +1,20 @@
+"""Benchmark-harness configuration.
+
+Each ``bench_*`` module regenerates one table or figure of the paper at
+the quick search scale and asserts its shape claims, so the benchmark run
+doubles as the experiment reproduction log. Experiment benches run one
+round (they take seconds to minutes); the micro-benches in
+``bench_core_primitives.py`` use normal multi-round timing.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run an expensive experiment exactly once under the benchmark clock."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,43 @@
+"""Hardware-mapping co-exploration with an alpha sweep (Fig 14 setting).
+
+    python examples/co_exploration.py [model]
+
+Shows how the preference weight alpha in Formula 2 trades buffer capacity
+against energy: each sweep point runs Cocco's co-optimization and prints
+the recommended shared-buffer capacity with the resulting energy.
+"""
+
+import sys
+
+from repro import CapacitySpace, Evaluator, GAConfig, Metric, cocco_co_optimize, get_model
+from repro.experiments.common import paper_accelerator
+from repro.units import to_mb
+
+
+def main(model_name: str = "resnet50") -> None:
+    graph = get_model(model_name)
+    evaluator = Evaluator(graph, paper_accelerator())
+    space = CapacitySpace.paper_shared()
+
+    print(f"{model_name}: alpha sweep (Formula 2, M = energy)")
+    print(f"{'alpha':>8s} {'capacity':>10s} {'energy':>9s} {'cost':>11s}")
+    for alpha in (5e-4, 1e-3, 2e-3, 5e-3, 1e-2):
+        outcome = cocco_co_optimize(
+            evaluator,
+            space,
+            metric=Metric.ENERGY,
+            alpha=alpha,
+            ga_config=GAConfig(population_size=30, generations=10),
+            refine=False,
+        )
+        print(
+            f"{alpha:8.4f} "
+            f"{to_mb(outcome.memory.total_bytes):8.2f}MB "
+            f"{outcome.partition_cost.energy_pj / 1e9:7.2f}mJ "
+            f"{outcome.best_cost:11.3e}"
+        )
+    print("expected: larger alpha buys more capacity for lower energy")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "resnet50")

@@ -1,0 +1,56 @@
+"""One multi-objective search instead of an alpha sweep (extends Fig 14).
+
+Runs in a couple of minutes:
+
+    python examples/pareto_front.py
+
+The paper sweeps the preference parameter alpha and re-runs Cocco per
+value (Fig 14). NSGA-II explores buffer capacity and energy as two real
+objectives, so one run yields the whole trade-off curve; each alpha then
+just picks its favorite point off the frontier.
+"""
+
+from repro import Evaluator, get_model
+from repro.cost.objective import Metric
+from repro.dse.nsga import NSGAConfig, nsga2_co_optimize
+from repro.experiments.common import paper_accelerator
+from repro.search_space import CapacitySpace
+from repro.units import to_kb
+from repro.viz.charts import scatter_chart
+
+ALPHAS = (5e-4, 1e-3, 2e-3, 5e-3, 1e-2)
+
+
+def main() -> None:
+    graph = get_model("googlenet")
+    evaluator = Evaluator(graph, paper_accelerator())
+    result = nsga2_co_optimize(
+        evaluator,
+        CapacitySpace.paper_shared(),
+        metric=Metric.ENERGY,
+        config=NSGAConfig(population_size=32, generations=12, seed=0),
+    )
+
+    print(f"frontier after {result.num_evaluations} evaluations:\n")
+    print(f"{'capacity':>10} {'energy (mJ)':>12}")
+    for p in result.front:
+        print(f"{to_kb(p.capacity_bytes):>8.0f}KB {p.metric_cost / 1e9:>12.3f}")
+
+    print("\nwhat each alpha would choose (the Fig 14 sweep, read off "
+          "one frontier):")
+    for alpha in ALPHAS:
+        pick = result.select_by_alpha(alpha)
+        print(f"  alpha={alpha:<7g} -> {to_kb(pick.capacity_bytes):6.0f} KB, "
+              f"{pick.metric_cost / 1e9:.3f} mJ")
+
+    if len(result.front) >= 2:
+        points = [
+            (to_kb(p.capacity_bytes), p.metric_cost / 1e9) for p in result.front
+        ]
+        print()
+        print(scatter_chart({"frontier": points},
+                            title="capacity (KB) vs energy (mJ)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Compare all four graph partitioners on one model (the Fig 11 setting).
+
+    python examples/partition_comparison.py [model]
+
+Runs Halide-style greedy, depth-ordered DP, the exact enumeration (if it
+completes), and Cocco's GA on the fixed 1 MB + 1.125 MB platform with EMA
+as the metric, then prints the normalized comparison.
+"""
+
+import sys
+
+from repro import (
+    Evaluator,
+    GAConfig,
+    Metric,
+    SearchError,
+    dp_partition,
+    enumerate_partition,
+    get_model,
+    greedy_partition,
+)
+from repro.dse import cocco_partition_only
+from repro.experiments.common import paper_accelerator
+from repro.units import to_gbps, to_mb
+
+
+def main(model_name: str = "googlenet") -> None:
+    graph = get_model(model_name)
+    accel = paper_accelerator()
+    evaluator = Evaluator(graph, accel)
+
+    def cost_fn(members):
+        cost = evaluator.subgraph_cost(members)
+        return cost.ema_bytes if cost.feasible else float("inf")
+
+    def prune_fn(members):
+        profile = evaluator.profile(members)
+        return profile.min_activation_bytes > accel.memory.activation_capacity * 1.25
+
+    partitions = {
+        "greedy": greedy_partition(graph, cost_fn),
+        "dp": dp_partition(graph, cost_fn),
+    }
+    ga = cocco_partition_only(
+        evaluator,
+        accel.memory,
+        metric=Metric.EMA,
+        ga_config=GAConfig(population_size=40, generations=15),
+        seed_partitions=tuple(partitions.values()),
+    )
+    partitions["cocco"] = ga.best_genome.partition
+    try:
+        partitions["enumeration"] = enumerate_partition(
+            graph, cost_fn, max_states=30_000, prune_fn=prune_fn
+        )
+    except SearchError as exc:
+        print(f"enumeration skipped: {exc}")
+
+    print(f"\n{model_name}: partition comparison (1MB GLB + 1.125MB WGT, EMA-opt)")
+    baseline = None
+    for name, partition in partitions.items():
+        cost = evaluator.evaluate(partition.subgraph_sets)
+        ema = to_mb(cost.ema_bytes)
+        baseline = baseline or ema
+        print(
+            f"  {name:12s} EMA {ema:7.1f} MB ({ema / baseline:4.2f}x)  "
+            f"BW {to_gbps(cost.bandwidth.average_bytes_per_second):6.2f} GB/s  "
+            f"{partition.num_subgraphs} subgraphs"
+        )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "googlenet")

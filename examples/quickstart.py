@@ -1,0 +1,69 @@
+"""Quickstart: partition ResNet-50 for a 2 TOPS NPU and co-explore memory.
+
+Runs in under a minute:
+
+    python examples/quickstart.py
+
+1. Build a model from the zoo.
+2. Price the naive layer-by-layer schedule.
+3. Let Cocco's GA find a graph partition that minimizes external memory
+   access on a fixed 1 MB + 1.125 MB platform.
+4. Co-explore buffer capacity and partition together (Formula 2).
+"""
+
+from repro import (
+    AcceleratorConfig,
+    CapacitySpace,
+    Evaluator,
+    GAConfig,
+    GeneticEngine,
+    MemoryConfig,
+    Metric,
+    OptimizationProblem,
+    Partition,
+    cocco_co_optimize,
+    get_model,
+)
+from repro.units import kb, to_gbps, to_mb
+
+
+def main() -> None:
+    graph = get_model("resnet50")
+    memory = MemoryConfig.separate(kb(1024), kb(1152))
+    accel = AcceleratorConfig(memory=memory)
+    evaluator = Evaluator(graph, accel)
+
+    # --- Layer-level baseline -----------------------------------------
+    layerwise = Partition.singletons(graph)
+    base = evaluator.evaluate(layerwise.subgraph_sets)
+    print(f"layer-by-layer: EMA {to_mb(base.ema_bytes):6.1f} MB, "
+          f"energy {base.energy_pj / 1e9:5.2f} mJ, "
+          f"avg BW {to_gbps(base.bandwidth.average_bytes_per_second):5.1f} GB/s")
+
+    # --- Graph partition with the genetic algorithm -------------------
+    problem = OptimizationProblem(
+        evaluator=evaluator, metric=Metric.EMA, fixed_memory=memory
+    )
+    result = GeneticEngine(problem, GAConfig(population_size=40, generations=15)).run()
+    best = evaluator.evaluate(result.best_genome.partition.subgraph_sets)
+    print(f"Cocco partition: EMA {to_mb(best.ema_bytes):6.1f} MB "
+          f"({best.num_subgraphs} subgraphs, "
+          f"{result.num_evaluations} samples, "
+          f"-{(1 - best.ema_bytes / base.ema_bytes) * 100:.0f}% vs layerwise)")
+
+    # --- Hardware-mapping co-exploration -------------------------------
+    outcome = cocco_co_optimize(
+        evaluator,
+        CapacitySpace.paper_shared(),
+        metric=Metric.ENERGY,
+        alpha=0.002,
+        ga_config=GAConfig(population_size=30, generations=10),
+        refine=False,
+    )
+    print(f"co-exploration:  recommends a {outcome.describe_memory()} shared buffer, "
+          f"energy {outcome.partition_cost.energy_pj / 1e9:.2f} mJ, "
+          f"cost {outcome.best_cost:.3e}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands cover the library's main entry points — listing and
+describing zoo models, running each partitioner, deriving tiling schemes,
+tracing memory behaviour, mapping layers onto the PE array, co-exploring
+hardware and mapping, and regenerating the paper's tables and figures.
+"""
+
+from .main import main
+
+__all__ = ["main"]

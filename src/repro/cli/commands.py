@@ -1,0 +1,356 @@
+"""Implementations of the CLI subcommands.
+
+Each function takes parsed arguments and returns the text to print, so
+the command layer stays testable without capturing stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from ..config import AcceleratorConfig, BufferMode
+from ..cost.evaluator import Evaluator
+from ..cost.objective import Metric
+from ..errors import ConfigError, SearchError
+from ..execution.tiling import derive_tiling
+from ..experiments.common import SCALES, paper_accelerator
+from ..experiments.reporting import ExperimentResult, format_table
+from ..graphs.analysis import graph_stats
+from ..graphs.zoo import available_models, get_model
+from ..mapper import graph_utilization, map_graph
+from ..memory.trace import render_trace, trace_subgraph
+from ..partition.dp import dp_partition
+from ..partition.enumeration import enumerate_partition
+from ..partition.greedy import greedy_partition
+from ..partition.partition import Partition
+from ..partition.random_init import random_partition
+from ..search_space import CapacitySpace
+from ..dse.cocco import cocco_co_optimize, cocco_partition_only
+from ..dse.sa import sa_co_optimize
+from ..dse.two_step import grid_search_ga, random_search_ga
+from ..units import to_kb, to_mb
+from ..viz.charts import bar_chart
+from ..viz.export import write_result
+from .parsing import parse_layer_list, parse_memory
+
+
+def _metric(name: str) -> Metric:
+    return Metric.EMA if name == "ema" else Metric.ENERGY
+
+
+def _accelerator(args: argparse.Namespace) -> AcceleratorConfig:
+    memory = parse_memory(
+        getattr(args, "glb", None),
+        getattr(args, "wgt", None),
+        getattr(args, "shared", None),
+    )
+    return paper_accelerator(memory=memory)
+
+
+# ---------------------------------------------------------------------------
+def cmd_models(args: argparse.Namespace) -> str:
+    """``repro models`` — list the zoo with summary statistics."""
+    headers = ("model", "layers", "edges", "MACs(G)", "weights(MB)", "acts(MB)")
+    rows = []
+    for name in available_models():
+        graph = get_model(name)
+        stats = graph_stats(graph)
+        rows.append(
+            (
+                name,
+                len(graph.compute_names),
+                len(graph.edges),
+                round(graph.total_macs / 1e9, 2),
+                round(to_mb(graph.total_weight_bytes), 2),
+                round(to_mb(stats.total_activation_bytes), 2),
+            )
+        )
+    return format_table(headers, rows, title="model zoo")
+
+
+def cmd_describe(args: argparse.Namespace) -> str:
+    """``repro describe <model>`` — per-layer table plus graph stats."""
+    graph = get_model(args.model)
+    stats = graph_stats(graph)
+    headers = ("layer", "op", "shape", "k/s", "weights(KB)", "MACs(M)")
+    rows = []
+    names = graph.topological_order()
+    if args.limit is not None:
+        names = names[: args.limit]
+    for name in names:
+        spec = graph.layer(name)
+        rows.append(
+            (
+                name,
+                spec.op.value,
+                str(spec.shape),
+                f"{spec.kernel}/{spec.stride}",
+                round(to_kb(spec.weight_bytes), 1),
+                round(spec.macs / 1e6, 2),
+            )
+        )
+    table = format_table(headers, rows, title=f"{args.model}")
+    summary = (
+        f"\n{len(graph.compute_names)} compute layers, "
+        f"{len(graph.edges)} edges, depth {stats.depth}, "
+        f"max fan-out {stats.max_fanout}; "
+        f"{graph.total_macs / 1e9:.2f} GMACs, "
+        f"{to_mb(graph.total_weight_bytes):.2f} MB weights"
+    )
+    return table + summary
+
+
+def cmd_map(args: argparse.Namespace) -> str:
+    """``repro map <model>`` — PE-array mapping and utilization report."""
+    graph = get_model(args.model)
+    accel = AcceleratorConfig()
+    mapping = map_graph(graph, accel)
+    util = graph_utilization(graph, accel, mapping)
+    headers = ("layer", "mapping", "utilization", "cycles")
+    rows = []
+    names = list(mapping.layers)
+    if args.limit is not None:
+        names = names[: args.limit]
+    for name in names:
+        layer = mapping[name]
+        rows.append(
+            (
+                name,
+                layer.best.mapping.describe(),
+                round(layer.utilization, 3),
+                layer.compute_cycles,
+            )
+        )
+    table = format_table(headers, rows, title=f"{args.model} mapping")
+    summary = (
+        f"\nmean utilization {util.mean:.3f}, "
+        f"MAC-weighted {util.macs_weighted:.3f} "
+        f"(flat model assumes {accel.pe_utilization})"
+    )
+    return table + summary
+
+
+# ---------------------------------------------------------------------------
+_PARTITIONERS = ("greedy", "dp", "cocco", "enum", "random")
+
+
+def cmd_partition(args: argparse.Namespace) -> str:
+    """``repro partition <model>`` — run one partitioner, report costs."""
+    graph = get_model(args.model)
+    accel = _accelerator(args)
+    evaluator = Evaluator(graph, accel)
+    metric = _metric(args.metric)
+    scale = SCALES[args.scale]
+
+    def cost_fn(members: frozenset[str]) -> float:
+        cost = evaluator.subgraph_cost(members)
+        if not cost.feasible:
+            return float("inf")
+        return cost.ema_bytes if metric is Metric.EMA else cost.energy_pj
+
+    if args.method == "greedy":
+        partition = greedy_partition(graph, cost_fn)
+    elif args.method == "dp":
+        partition = dp_partition(graph, cost_fn)
+    elif args.method == "random":
+        import random as _random
+
+        partition = random_partition(graph, _random.Random(args.seed))
+    elif args.method == "enum":
+        capacity = accel.memory.activation_capacity
+
+        def prune_fn(members: frozenset[str]) -> bool:
+            return evaluator.min_footprint(members) > capacity * 1.25
+
+        try:
+            partition = enumerate_partition(
+                graph,
+                cost_fn,
+                max_subgraph_size=scale.enum_max_subgraph,
+                max_states=scale.enum_max_states,
+                prune_fn=prune_fn,
+                max_candidates_per_state=scale.enum_max_states,
+            )
+        except SearchError as exc:
+            return f"enumeration exhausted its budget: {exc}"
+    else:
+        result = cocco_partition_only(
+            evaluator,
+            accel.memory,
+            metric=metric,
+            ga_config=scale.ga_config(seed=args.seed),
+        )
+        partition = result.best_genome.partition
+
+    cost = evaluator.evaluate(partition.subgraph_sets)
+    lines = [
+        f"{args.method} partition of {args.model}: "
+        f"{partition.num_subgraphs} subgraphs",
+        f"  EMA        : {to_mb(cost.ema_bytes):.2f} MB",
+        f"  energy     : {cost.energy_pj / 1e9:.3f} mJ",
+        f"  avg BW     : {cost.bandwidth.average_bytes_per_second / 1e9:.2f} GB/s",
+        f"  latency    : {cost.latency_cycles / accel.frequency_hz * 1e3:.2f} ms",
+        f"  feasible   : {cost.feasible}",
+    ]
+    if args.show_groups:
+        for index, members in enumerate(partition.subgraph_sets):
+            lines.append(f"  subgraph {index}: {', '.join(sorted(members))}")
+    if args.chart:
+        sizes = [len(s) for s in partition.subgraph_sets]
+        labels = [str(i) for i in range(len(sizes))]
+        lines.append(bar_chart(labels, [float(s) for s in sizes],
+                               title="subgraph sizes (layers)"))
+    return "\n".join(lines)
+
+
+def cmd_tiling(args: argparse.Namespace) -> str:
+    """``repro tiling <model> --layers ...`` — show the derived scheme."""
+    graph = get_model(args.model)
+    members = parse_layer_list(graph, args.layers)
+    tiling = derive_tiling(graph, members, output_tile_rows=args.tile)
+    headers = ("node", "role", "delta", "tile_rows", "upd_num", "rows/op")
+    rows = []
+    for name in graph.topological_order():
+        if name not in tiling:
+            continue
+        node = tiling[name]
+        role = "input" if node.is_interface_input else (
+            "output" if node.is_output else "inter."
+        )
+        rows.append(
+            (name, role, node.delta, node.tile_rows, node.upd_num,
+             node.rows_per_op)
+        )
+    table = format_table(headers, rows,
+                         title=f"consumption-centric tiling ({len(members)} layers)")
+    return table + f"\n{tiling.num_elementary_ops} elementary operations"
+
+
+def cmd_trace(args: argparse.Namespace) -> str:
+    """``repro trace <model> --layers ...`` — replay the memory behaviour."""
+    graph = get_model(args.model)
+    members = parse_layer_list(graph, args.layers)
+    trace = trace_subgraph(
+        graph,
+        members,
+        output_tile_rows=args.tile,
+        max_ops=args.ops,
+    )
+    return render_trace(trace, graph, max_snapshots=args.snapshots)
+
+
+# ---------------------------------------------------------------------------
+_DSE_METHODS = ("cocco", "sa", "rs", "gs")
+
+
+def cmd_dse(args: argparse.Namespace) -> str:
+    """``repro dse <model>`` — hardware-mapping co-exploration."""
+    graph = get_model(args.model)
+    evaluator = Evaluator(graph, paper_accelerator())
+    scale = SCALES[args.scale]
+    space = (
+        CapacitySpace.paper_shared()
+        if args.mode == "shared"
+        else CapacitySpace.paper_separate()
+    )
+    metric = _metric(args.metric)
+    if args.method == "cocco":
+        result = cocco_co_optimize(
+            evaluator, space, metric=metric, alpha=args.alpha,
+            ga_config=scale.co_opt_ga_config(seed=args.seed),
+        )
+    elif args.method == "sa":
+        result = sa_co_optimize(
+            evaluator, space, metric=metric, alpha=args.alpha,
+            sa_config=scale.co_opt_sa_config(seed=args.seed),
+        )
+    elif args.method == "rs":
+        result = random_search_ga(
+            evaluator, space, metric=metric, alpha=args.alpha,
+            num_candidates=scale.rs_candidates,
+            ga_config=scale.ga_config(seed=args.seed), seed=args.seed,
+        )
+    else:
+        result = grid_search_ga(
+            evaluator, space, metric=metric, alpha=args.alpha,
+            stride=scale.gs_stride, max_candidates=scale.gs_max_candidates,
+            ga_config=scale.ga_config(seed=args.seed),
+        )
+    cost = result.partition_cost
+    lines = [
+        f"{result.method} co-exploration of {args.model} "
+        f"({args.mode} buffer, alpha={args.alpha}, metric={args.metric})",
+        f"  recommended : {result.describe_memory()}",
+        f"  cost        : {result.best_cost:.3e}",
+        f"  EMA         : {to_mb(cost.ema_bytes):.2f} MB",
+        f"  energy      : {cost.energy_pj / 1e9:.3f} mJ",
+        f"  subgraphs   : {cost.num_subgraphs}",
+        f"  evaluations : {result.num_evaluations}",
+    ]
+    return "\n".join(lines)
+
+
+def cmd_pareto(args: argparse.Namespace) -> str:
+    """``repro pareto <model>`` — multi-objective capacity/metric frontier."""
+    from ..dse.nsga import NSGAConfig, nsga2_co_optimize
+    from ..viz.charts import scatter_chart
+
+    graph = get_model(args.model)
+    evaluator = Evaluator(graph, paper_accelerator())
+    space = (
+        CapacitySpace.paper_shared()
+        if args.mode == "shared"
+        else CapacitySpace.paper_separate()
+    )
+    scale = SCALES[args.scale]
+    result = nsga2_co_optimize(
+        evaluator,
+        space,
+        metric=_metric(args.metric),
+        config=NSGAConfig(
+            population_size=scale.ga_population,
+            generations=scale.ga_generations,
+            seed=args.seed,
+        ),
+    )
+    headers = ("capacity", "metric_cost", "formula2@0.002")
+    rows = [
+        (
+            f"{to_kb(p.capacity_bytes):.0f}KB",
+            f"{p.metric_cost:.4e}",
+            f"{p.formula2(0.002):.4e}",
+        )
+        for p in result.front
+    ]
+    table = format_table(
+        headers, rows,
+        title=f"{args.model} capacity-{args.metric} Pareto frontier "
+              f"({result.num_evaluations} evaluations)",
+    )
+    if args.chart and len(result.front) >= 2:
+        points = [(to_kb(p.capacity_bytes), p.metric_cost) for p in result.front]
+        table += "\n" + scatter_chart(
+            {"frontier": points}, title="capacity (KB) vs metric cost"
+        )
+    return table
+
+
+def cmd_experiment(args: argparse.Namespace) -> str:
+    """``repro experiment <id>`` — regenerate a paper table/figure."""
+    from ..experiments.runner import EXPERIMENTS, _SCALED
+
+    if args.id not in EXPERIMENTS:
+        raise ConfigError(
+            f"unknown experiment {args.id!r}; choose from "
+            f"{', '.join(EXPERIMENTS)}"
+        )
+    module = EXPERIMENTS[args.id]
+    if args.id in _SCALED:
+        result: ExperimentResult = module.run(scale=SCALES[args.scale])
+    else:
+        result = module.run()
+    text = result.to_text()
+    if args.export:
+        path = write_result(result, args.export)
+        text += f"\nexported to {path}"
+    return text

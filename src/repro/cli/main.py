@@ -1,0 +1,128 @@
+"""Top-level argument parser and dispatch for ``python -m repro``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..errors import ReproError
+from ..experiments.common import SCALES
+from . import commands
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the full CLI parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Cocco reproduction: graph-level memory optimization and "
+            "hardware-mapping co-exploration (Tan, Zhu & Ma, ASPLOS 2024)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list the model zoo")
+
+    describe = sub.add_parser("describe", help="show a model's layer table")
+    describe.add_argument("model")
+    describe.add_argument("--limit", type=int, default=None,
+                          help="show only the first N layers")
+
+    mapping = sub.add_parser("map", help="map layers onto the PE array")
+    mapping.add_argument("model")
+    mapping.add_argument("--limit", type=int, default=None,
+                         help="show only the first N layers")
+
+    partition = sub.add_parser("partition", help="partition a model")
+    partition.add_argument("model")
+    partition.add_argument("--method", choices=commands._PARTITIONERS,
+                           default="cocco")
+    partition.add_argument("--metric", choices=("ema", "energy"), default="ema")
+    partition.add_argument("--glb", help="global buffer size (e.g. 1MB)")
+    partition.add_argument("--wgt", help="weight buffer size (e.g. 1152KB)")
+    partition.add_argument("--shared", help="shared buffer size (exclusive)")
+    partition.add_argument("--scale", choices=sorted(SCALES), default="quick")
+    partition.add_argument("--seed", type=int, default=0)
+    partition.add_argument("--show-groups", action="store_true",
+                           help="print each subgraph's member layers")
+    partition.add_argument("--chart", action="store_true",
+                           help="bar chart of subgraph sizes")
+
+    tiling = sub.add_parser("tiling", help="derive a subgraph tiling scheme")
+    tiling.add_argument("model")
+    tiling.add_argument("--layers", required=True,
+                        help="comma list, 'a..b' spans, or 'all'")
+    tiling.add_argument("--tile", type=int, default=1,
+                        help="output tile rows (stage-1 choice)")
+
+    trace = sub.add_parser("trace", help="replay a subgraph's memory trace")
+    trace.add_argument("model")
+    trace.add_argument("--layers", required=True,
+                       help="comma list, 'a..b' spans, or 'all'")
+    trace.add_argument("--tile", type=int, default=1)
+    trace.add_argument("--ops", type=int, default=None,
+                       help="truncate after N elementary operations")
+    trace.add_argument("--snapshots", type=int, default=4,
+                       help="memory snapshots to render")
+
+    dse = sub.add_parser("dse", help="hardware-mapping co-exploration")
+    dse.add_argument("model")
+    dse.add_argument("--mode", choices=("separate", "shared"),
+                     default="separate")
+    dse.add_argument("--method", choices=commands._DSE_METHODS, default="cocco")
+    dse.add_argument("--metric", choices=("ema", "energy"), default="energy")
+    dse.add_argument("--alpha", type=float, default=0.002)
+    dse.add_argument("--scale", choices=sorted(SCALES), default="quick")
+    dse.add_argument("--seed", type=int, default=0)
+
+    pareto = sub.add_parser(
+        "pareto", help="multi-objective capacity/metric frontier (NSGA-II)"
+    )
+    pareto.add_argument("model")
+    pareto.add_argument("--mode", choices=("separate", "shared"),
+                        default="shared")
+    pareto.add_argument("--metric", choices=("ema", "energy"),
+                        default="energy")
+    pareto.add_argument("--scale", choices=sorted(SCALES), default="quick")
+    pareto.add_argument("--seed", type=int, default=0)
+    pareto.add_argument("--chart", action="store_true",
+                        help="ASCII scatter of the frontier")
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate a paper table or figure"
+    )
+    experiment.add_argument("id", help="fig3, fig11..fig14, table1..table3")
+    experiment.add_argument("--scale", choices=sorted(SCALES), default="quick")
+    experiment.add_argument("--export", help="write the result to CSV/JSON")
+
+    return parser
+
+
+_HANDLERS = {
+    "models": commands.cmd_models,
+    "describe": commands.cmd_describe,
+    "map": commands.cmd_map,
+    "partition": commands.cmd_partition,
+    "tiling": commands.cmd_tiling,
+    "trace": commands.cmd_trace,
+    "dse": commands.cmd_dse,
+    "pareto": commands.cmd_pareto,
+    "experiment": commands.cmd_experiment,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = _HANDLERS[args.command]
+    try:
+        print(handler(args))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

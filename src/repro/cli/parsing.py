@@ -1,0 +1,90 @@
+"""Argument-parsing helpers shared by the CLI subcommands."""
+
+from __future__ import annotations
+
+from ..config import MemoryConfig
+from ..errors import ConfigError
+from ..graphs.graph import ComputationGraph
+from ..units import kb, mb
+
+_SUFFIXES = {
+    "kb": kb(1),
+    "k": kb(1),
+    "mb": mb(1),
+    "m": mb(1),
+    "b": 1,
+}
+
+
+def parse_size(text: str) -> int:
+    """Parse a human size string: ``512KB``, ``1.5MB``, ``2048`` (bytes)."""
+    cleaned = text.strip().lower().replace(" ", "")
+    for suffix in sorted(_SUFFIXES, key=len, reverse=True):
+        if cleaned.endswith(suffix):
+            number = cleaned[: -len(suffix)]
+            break
+    else:
+        suffix, number = "b", cleaned
+    try:
+        value = float(number)
+    except ValueError:
+        raise ConfigError(f"cannot parse size {text!r}") from None
+    result = int(value * _SUFFIXES[suffix])
+    if result <= 0:
+        raise ConfigError(f"size must be positive, got {text!r}")
+    return result
+
+
+def parse_memory(
+    glb: str | None, wgt: str | None, shared: str | None
+) -> MemoryConfig:
+    """Build a memory config from the ``--glb/--wgt/--shared`` options.
+
+    ``--shared`` is exclusive with the separate-buffer pair; omitting
+    everything yields the paper's 1 MB + 1.125 MB platform.
+    """
+    if shared is not None:
+        if glb is not None or wgt is not None:
+            raise ConfigError("--shared cannot be combined with --glb/--wgt")
+        return MemoryConfig.shared(parse_size(shared))
+    glb_bytes = parse_size(glb) if glb is not None else mb(1)
+    wgt_bytes = parse_size(wgt) if wgt is not None else kb(1152)
+    return MemoryConfig.separate(glb_bytes, wgt_bytes)
+
+
+def parse_layer_list(graph: ComputationGraph, text: str) -> frozenset[str]:
+    """Parse a comma-separated layer list, validating against the graph.
+
+    The token ``all`` selects every compute layer; ``a..b`` selects the
+    topological-order span from ``a`` to ``b`` inclusive.
+    """
+    text = text.strip()
+    if text == "all":
+        return frozenset(graph.compute_names)
+    members: set[str] = set()
+    order = list(graph.topological_order())
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if ".." in token:
+            first, _, last = token.partition("..")
+            first, last = first.strip(), last.strip()
+            for name in (first, last):
+                if name not in graph:
+                    raise ConfigError(f"unknown layer {name!r}")
+            lo, hi = order.index(first), order.index(last)
+            if lo > hi:
+                lo, hi = hi, lo
+            members.update(
+                n for n in order[lo : hi + 1] if not graph.layer(n).is_input
+            )
+        else:
+            if token not in graph:
+                raise ConfigError(f"unknown layer {token!r}")
+            if graph.layer(token).is_input:
+                raise ConfigError(f"layer {token!r} is a model input")
+            members.add(token)
+    if not members:
+        raise ConfigError(f"no layers selected by {text!r}")
+    return frozenset(members)

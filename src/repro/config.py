@@ -1,0 +1,186 @@
+"""Hardware and search configuration objects.
+
+The paper evaluates a SIMBA-like accelerator core (Sec 5.1.2): a 4x4 PE
+array where each PE holds an 8x8 MAC array running at 1 GHz (2.048 TOPS),
+16 GB/s of DRAM bandwidth per core, and DRAM energy of 12.5 pJ/bit. The
+on-chip memory is either a *separate* design (a global buffer for
+activations plus a weight buffer) or a *shared* design (one buffer holding
+both). These classes capture those parameters together with the calibrated
+analytic energy/area constants documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from enum import Enum
+
+from .errors import ConfigError
+from .units import kb, mb, to_mb
+
+
+class BufferMode(Enum):
+    """Whether activations and weights live in separate or shared SRAM."""
+
+    SEPARATE = "separate"
+    SHARED = "shared"
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """On-chip buffer capacities for one accelerator core.
+
+    For :attr:`BufferMode.SEPARATE`, ``global_buffer_bytes`` holds
+    activations and ``weight_buffer_bytes`` holds weights. For
+    :attr:`BufferMode.SHARED`, ``shared_buffer_bytes`` holds both and the
+    other two fields are ignored.
+    """
+
+    mode: BufferMode = BufferMode.SEPARATE
+    global_buffer_bytes: int = mb(1)
+    weight_buffer_bytes: int = kb(1152)
+    shared_buffer_bytes: int = kb(1152)
+
+    def __post_init__(self) -> None:
+        if self.mode is BufferMode.SEPARATE:
+            if self.global_buffer_bytes <= 0 or self.weight_buffer_bytes <= 0:
+                raise ConfigError(
+                    "separate-buffer config requires positive global and "
+                    f"weight capacities, got {self.global_buffer_bytes} and "
+                    f"{self.weight_buffer_bytes}"
+                )
+        elif self.shared_buffer_bytes <= 0:
+            raise ConfigError(
+                "shared-buffer config requires a positive capacity, got "
+                f"{self.shared_buffer_bytes}"
+            )
+
+    @property
+    def total_bytes(self) -> int:
+        """Total on-chip SRAM capacity — the BUF_SIZE term of Formula 2."""
+        if self.mode is BufferMode.SEPARATE:
+            return self.global_buffer_bytes + self.weight_buffer_bytes
+        return self.shared_buffer_bytes
+
+    @property
+    def activation_capacity(self) -> int:
+        """Capacity available to activations (whole buffer when shared)."""
+        if self.mode is BufferMode.SEPARATE:
+            return self.global_buffer_bytes
+        return self.shared_buffer_bytes
+
+    @property
+    def weight_capacity(self) -> int:
+        """Capacity available to weights (whole buffer when shared)."""
+        if self.mode is BufferMode.SEPARATE:
+            return self.weight_buffer_bytes
+        return self.shared_buffer_bytes
+
+    def with_sizes(
+        self,
+        global_buffer_bytes: int | None = None,
+        weight_buffer_bytes: int | None = None,
+        shared_buffer_bytes: int | None = None,
+    ) -> "MemoryConfig":
+        """Return a copy with the given capacities replaced."""
+        kwargs = {}
+        if global_buffer_bytes is not None:
+            kwargs["global_buffer_bytes"] = int(global_buffer_bytes)
+        if weight_buffer_bytes is not None:
+            kwargs["weight_buffer_bytes"] = int(weight_buffer_bytes)
+        if shared_buffer_bytes is not None:
+            kwargs["shared_buffer_bytes"] = int(shared_buffer_bytes)
+        return replace(self, **kwargs)
+
+    @staticmethod
+    def separate(global_buffer_bytes: int, weight_buffer_bytes: int) -> "MemoryConfig":
+        """Build a separate-buffer configuration."""
+        return MemoryConfig(
+            mode=BufferMode.SEPARATE,
+            global_buffer_bytes=int(global_buffer_bytes),
+            weight_buffer_bytes=int(weight_buffer_bytes),
+        )
+
+    @staticmethod
+    def shared(shared_buffer_bytes: int) -> "MemoryConfig":
+        """Build a shared-buffer configuration."""
+        return MemoryConfig(
+            mode=BufferMode.SHARED,
+            shared_buffer_bytes=int(shared_buffer_bytes),
+        )
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """One SIMBA-like NPU core plus the analytic cost-model constants.
+
+    The default values reproduce the platform of Sec 5.1.2; the energy and
+    area constants are the DESIGN.md calibration of the paper's synthesized
+    12nm library.
+    """
+
+    pe_rows: int = 4
+    pe_cols: int = 4
+    macs_per_pe: int = 64
+    frequency_hz: float = 1e9
+    dram_bandwidth: float = 16e9
+    bytes_per_element: int = 1
+    dram_pj_per_byte: float = 100.0
+    mac_pj: float = 0.28
+    sram_base_pj_per_byte: float = 0.6
+    sram_pj_per_byte_per_sqrt_mb: float = 1.2
+    sram_area_mm2_per_mb: float = 1.5
+    pe_utilization: float = 0.85
+    num_cores: int = 1
+    crossbar_pj_per_byte: float = 20.0
+    crossbar_bandwidth: float = 64e9
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+
+    def __post_init__(self) -> None:
+        if self.pe_rows <= 0 or self.pe_cols <= 0 or self.macs_per_pe <= 0:
+            raise ConfigError("PE array dimensions must be positive")
+        if self.frequency_hz <= 0:
+            raise ConfigError("frequency must be positive")
+        if self.dram_bandwidth <= 0:
+            raise ConfigError("DRAM bandwidth must be positive")
+        if not 0 < self.pe_utilization <= 1:
+            raise ConfigError(
+                f"PE utilization must lie in (0, 1], got {self.pe_utilization}"
+            )
+        if self.num_cores <= 0:
+            raise ConfigError("core count must be positive")
+
+    @property
+    def macs_per_cycle(self) -> int:
+        """Peak MACs retired each cycle across the whole PE array."""
+        return self.pe_rows * self.pe_cols * self.macs_per_pe
+
+    @property
+    def peak_ops(self) -> float:
+        """Peak throughput in ops/s (1 MAC = 2 ops)."""
+        return self.macs_per_cycle * 2 * self.frequency_hz
+
+    def sram_pj_per_byte(self, capacity_bytes: int) -> float:
+        """Per-byte SRAM access energy for a buffer of the given capacity.
+
+        CACTI-style square-root scaling: larger arrays have longer lines
+        and pay more per access.
+        """
+        if capacity_bytes <= 0:
+            raise ConfigError("SRAM capacity must be positive")
+        return (
+            self.sram_base_pj_per_byte
+            + self.sram_pj_per_byte_per_sqrt_mb * math.sqrt(to_mb(capacity_bytes))
+        )
+
+    def sram_area_mm2(self, capacity_bytes: int) -> float:
+        """Silicon area estimate for an SRAM of the given capacity."""
+        return self.sram_area_mm2_per_mb * to_mb(capacity_bytes)
+
+    def with_memory(self, memory: MemoryConfig) -> "AcceleratorConfig":
+        """Return a copy of this config with a different memory config."""
+        return replace(self, memory=memory)
+
+    def with_cores(self, num_cores: int) -> "AcceleratorConfig":
+        """Return a copy of this config with a different core count."""
+        return replace(self, num_cores=num_cores)

@@ -1,0 +1,39 @@
+"""Analytical cost simulator: EMA, energy, latency, bandwidth, area."""
+
+from .ema import SubgraphProfile, TileOption, profile_subgraph
+from .evaluator import Evaluator, PartitionCost, SubgraphCost
+from .objective import Metric, co_opt_objective, partition_objective
+from .energy import EnergyBreakdown, subgraph_energy
+from .latency import subgraph_latency_cycles
+from .bandwidth import BandwidthReport, bandwidth_report
+from .area import buffer_area_mm2
+from .roofline import (
+    RooflinePoint,
+    RooflineReport,
+    machine_balance,
+    render_roofline,
+    roofline_report,
+)
+
+__all__ = [
+    "SubgraphProfile",
+    "TileOption",
+    "profile_subgraph",
+    "Evaluator",
+    "PartitionCost",
+    "SubgraphCost",
+    "Metric",
+    "co_opt_objective",
+    "partition_objective",
+    "EnergyBreakdown",
+    "subgraph_energy",
+    "subgraph_latency_cycles",
+    "BandwidthReport",
+    "bandwidth_report",
+    "buffer_area_mm2",
+    "RooflinePoint",
+    "RooflineReport",
+    "machine_balance",
+    "roofline_report",
+    "render_roofline",
+]

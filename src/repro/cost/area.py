@@ -1,0 +1,20 @@
+"""SRAM silicon-area model.
+
+The paper quotes 1-2 mm^2/MB for 12nm SRAM; the accelerator config carries
+the calibrated constant and this helper reports the footprint of a memory
+configuration (used by reports, not by the optimization objective, which
+penalizes capacity directly via Formula 2).
+"""
+
+from __future__ import annotations
+
+from ..config import AcceleratorConfig, BufferMode, MemoryConfig
+
+
+def buffer_area_mm2(accel: AcceleratorConfig, memory: MemoryConfig) -> float:
+    """Total SRAM area of the configured buffers in mm^2."""
+    if memory.mode is BufferMode.SHARED:
+        return accel.sram_area_mm2(memory.shared_buffer_bytes)
+    return accel.sram_area_mm2(memory.global_buffer_bytes) + accel.sram_area_mm2(
+        memory.weight_buffer_bytes
+    )

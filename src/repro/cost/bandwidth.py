@@ -1,0 +1,88 @@
+"""Bandwidth-requirement model (Fig 3, Fig 11).
+
+"The bandwidth requirement of weights is from the prefetch of the next
+subgraph, while that of activations is from the inputs and outputs of each
+subgraph." Each subgraph's compute window must therefore absorb its own
+activation traffic, its own weight *re-streaming* (cache-miss reloads
+cannot be prefetched), and the one-time weight load of the *next*
+subgraph. The average requirement is time-weighted; the peak is the
+largest per-window demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class WindowDemand:
+    """DRAM traffic that must complete inside one compute window."""
+
+    bytes_required: int
+    window_seconds: float
+
+    @property
+    def bytes_per_second(self) -> float:
+        if self.window_seconds <= 0:
+            return float("inf")
+        return self.bytes_required / self.window_seconds
+
+
+@dataclass(frozen=True)
+class BandwidthReport:
+    """Average and peak bandwidth requirement over a whole schedule.
+
+    ``average_bytes_per_second`` is the unweighted mean of per-window
+    no-stall demands (the paper's "Avg. BW Req."), which can exceed the
+    allocated link rate; ``sustained_bytes_per_second`` is the
+    time-weighted total-bytes-over-total-time rate.
+    """
+
+    average_bytes_per_second: float
+    peak_bytes_per_second: float
+    sustained_bytes_per_second: float
+    windows: tuple[WindowDemand, ...]
+
+
+def bandwidth_report(
+    io_bytes: Sequence[int],
+    weight_bytes: Sequence[int],
+    weight_ema_bytes: Sequence[int],
+    compute_seconds: Sequence[float],
+) -> BandwidthReport:
+    """Build the bandwidth report for an ordered subgraph schedule.
+
+    All four sequences are indexed by schedule position. ``weight_bytes``
+    is each subgraph's one-time weight volume (prefetched during the
+    previous window); ``weight_ema_bytes`` additionally counts re-streaming.
+    """
+    count = len(io_bytes)
+    if not (len(weight_bytes) == len(weight_ema_bytes) == len(compute_seconds) == count):
+        raise ValueError("bandwidth inputs must have equal lengths")
+    windows: list[WindowDemand] = []
+    for i in range(count):
+        demand = io_bytes[i] + (weight_ema_bytes[i] - weight_bytes[i])
+        if i == 0:
+            demand += weight_bytes[0]
+        if i + 1 < count:
+            demand += weight_bytes[i + 1]
+        # A subgraph's inputs prefetch during the previous window and its
+        # outputs drain during the next, so the transfer deadline spans
+        # the neighboring compute windows too.
+        span = compute_seconds[max(0, i - 1) : i + 2]
+        windows.append(
+            WindowDemand(bytes_required=demand, window_seconds=sum(span))
+        )
+    total_bytes = sum(w.bytes_required for w in windows)
+    total_seconds = sum(w.window_seconds for w in windows)
+    sustained = total_bytes / total_seconds if total_seconds > 0 else float("inf")
+    rates = [w.bytes_per_second for w in windows]
+    average = sum(rates) / len(rates) if rates else 0.0
+    peak = max(rates, default=0.0)
+    return BandwidthReport(
+        average_bytes_per_second=average,
+        peak_bytes_per_second=peak,
+        sustained_bytes_per_second=sustained,
+        windows=tuple(windows),
+    )

@@ -1,0 +1,177 @@
+"""Memory-independent subgraph profiling for external-memory-access costs.
+
+For every subgraph the EMA model charges (Sec 4.1.1, 5.1.2):
+
+* loading the weights of every member layer,
+* loading the subgraph's input activations (tensors produced outside),
+* storing the output activations (tensors consumed outside, or model
+  outputs).
+
+Weights are loaded **once** per subgraph only if they can stay cached in
+the weight buffer across elementary operations; layers that do not fit are
+re-streamed every elementary operation. The choice of output tile size
+trades activation footprint (small tiles fit small buffers) against the
+number of elementary operations (more operations mean more weight
+re-streaming), so the profile precomputes one :class:`TileOption` per
+candidate tile size and the memory-dependent evaluator picks the best
+feasible one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import TilingError
+from ..execution.footprint import activation_footprint
+from ..execution.tiling import derive_tiling
+from ..graphs.graph import ComputationGraph
+
+#: Output-row tile sizes stage 1 may choose from (powers of two, as the
+#: single-layer mapper would generate).
+DEFAULT_TILE_CANDIDATES = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+@dataclass(frozen=True)
+class TileOption:
+    """One candidate output tile size and its memory behaviour."""
+
+    tile_rows: int
+    activation_bytes: int
+    num_elementary_ops: int
+
+
+@dataclass(frozen=True)
+class SubgraphProfile:
+    """Everything about a subgraph that does not depend on buffer sizes."""
+
+    members: frozenset[str]
+    input_bytes: int
+    output_bytes: int
+    weight_bytes: int
+    macs: int
+    member_activation_bytes: int
+    layer_weights: tuple[tuple[str, int], ...]
+    tile_options: tuple[TileOption, ...]
+
+    @property
+    def io_bytes(self) -> int:
+        """Activation bytes exchanged with DRAM (inputs plus outputs)."""
+        return self.input_bytes + self.output_bytes
+
+    @property
+    def min_activation_bytes(self) -> int:
+        """Footprint of the smallest tile option."""
+        return min(o.activation_bytes for o in self.tile_options)
+
+
+def _interface_inputs(graph: ComputationGraph, members: frozenset[str]) -> tuple[str, ...]:
+    """External producers whose tensors the subgraph loads from DRAM."""
+    seen: list[str] = []
+    for name in members:
+        for parent in graph.predecessors(name):
+            if parent not in members and parent not in seen:
+                seen.append(parent)
+    return tuple(sorted(seen))
+
+
+def _writeback_nodes(graph: ComputationGraph, members: frozenset[str]) -> tuple[str, ...]:
+    """Members whose outputs must go back to DRAM.
+
+    A member is written back when some consumer lives outside the subgraph
+    or when it is a model output (footnote 3 of the paper).
+    """
+    outputs = []
+    for name in sorted(members):
+        succs = graph.successors(name)
+        if not succs or any(s not in members for s in succs):
+            outputs.append(name)
+    return tuple(outputs)
+
+
+def profile_subgraph(
+    graph: ComputationGraph,
+    members: frozenset[str] | set[str],
+    bytes_per_element: int = 1,
+    tile_candidates: tuple[int, ...] = DEFAULT_TILE_CANDIDATES,
+) -> SubgraphProfile:
+    """Build the memory-independent profile of one subgraph.
+
+    Tile candidates larger than every member's output height are skipped
+    (after including one saturating candidate); a :class:`TilingError`
+    from an individual candidate is fatal, since it indicates an
+    inconsistent graph rather than a capacity problem.
+    """
+    members = frozenset(members)
+    inputs = _interface_inputs(graph, members)
+    outputs = _writeback_nodes(graph, members)
+    input_bytes = sum(
+        graph.layer(n).output_bytes(bytes_per_element) for n in inputs
+    )
+    output_bytes = sum(
+        graph.layer(n).output_bytes(bytes_per_element) for n in outputs
+    )
+    weight_bytes = sum(graph.layer(n).weight_bytes for n in members)
+    macs = sum(graph.layer(n).macs for n in members)
+    member_activation_bytes = sum(
+        graph.layer(n).output_bytes(bytes_per_element) for n in members
+    )
+    layer_weights = tuple(
+        sorted(
+            ((n, graph.layer(n).weight_bytes) for n in members),
+            key=lambda item: (-item[1], item[0]),
+        )
+    )
+
+    max_height = max(graph.layer(n).shape.height for n in members)
+    options: list[TileOption] = []
+    for tile_rows in tile_candidates:
+        if options and tile_rows > max_height:
+            break
+        tiling = derive_tiling(graph, members, output_tile_rows=tile_rows)
+        option = TileOption(
+            tile_rows=min(tile_rows, max_height),
+            activation_bytes=activation_footprint(graph, tiling, bytes_per_element),
+            num_elementary_ops=tiling.num_elementary_ops,
+        )
+        previous = options[-1] if options else None
+        if previous is None or (
+            option.activation_bytes != previous.activation_bytes
+            or option.num_elementary_ops != previous.num_elementary_ops
+        ):
+            options.append(option)
+        # Larger tiles past a single-operation schedule only cost more
+        # memory for no fewer weight reloads — stop exploring.
+        if option.num_elementary_ops == 1:
+            break
+    if not options:
+        raise TilingError(f"no tile candidates for subgraph {sorted(members)}")
+    return SubgraphProfile(
+        members=members,
+        input_bytes=input_bytes,
+        output_bytes=output_bytes,
+        weight_bytes=weight_bytes,
+        macs=macs,
+        member_activation_bytes=member_activation_bytes,
+        layer_weights=layer_weights,
+        tile_options=tuple(options),
+    )
+
+
+def cached_weight_selection(
+    layer_weights: tuple[tuple[str, int], ...], budget_bytes: int
+) -> tuple[tuple[str, ...], int]:
+    """Greedy weight-caching choice under a byte budget.
+
+    Every cached byte saves the same ``num_ops - 1`` reloads, so the goal
+    is simply to maximize cached bytes: take layers largest-first, then
+    fill gaps with smaller ones.
+    """
+    cached: list[str] = []
+    cached_bytes = 0
+    for name, weight in layer_weights:
+        if weight == 0:
+            continue
+        if cached_bytes + weight <= budget_bytes:
+            cached.append(name)
+            cached_bytes += weight
+    return tuple(cached), cached_bytes

@@ -1,0 +1,261 @@
+"""The evaluation environment: partition + memory config -> cost.
+
+This is the reproduction of the paper's "modified simulator that supports
+the evaluation of latency and energy" (Sec 5.1.2). It memoizes aggressively
+in two layers:
+
+1. :meth:`Evaluator.profile` — memory-*independent* subgraph profiles
+   (tilings, footprints, MAC/weight/IO byte counts). A genetic search
+   re-visits the same subgraph sets constantly, and during co-exploration
+   the same set is re-priced under many different capacities, so this
+   cache does most of the work.
+2. :meth:`Evaluator.subgraph_cost` — memory-*dependent* pricing of one
+   profile (feasible tile choice, weight caching, EMA/energy/latency).
+
+Both caches are bounded LRUs so long searches stay within memory.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..config import AcceleratorConfig, BufferMode, MemoryConfig
+from ..graphs.graph import ComputationGraph
+from .bandwidth import BandwidthReport, bandwidth_report
+from .ema import (
+    DEFAULT_TILE_CANDIDATES,
+    SubgraphProfile,
+    cached_weight_selection,
+    profile_subgraph,
+)
+from .energy import EnergyBreakdown, subgraph_energy
+from .latency import compute_cycles, subgraph_latency_cycles
+
+
+@dataclass(frozen=True)
+class SubgraphCost:
+    """Cost of executing one subgraph under one memory configuration."""
+
+    profile: SubgraphProfile
+    feasible: bool
+    tile_rows: int
+    num_elementary_ops: int
+    cached_weight_nodes: tuple[str, ...]
+    cached_weight_bytes: int
+    weight_ema_bytes: int
+    ema_bytes: int
+    energy: EnergyBreakdown | None
+    compute_cycles: float
+    latency_cycles: float
+
+    @property
+    def energy_pj(self) -> float:
+        return self.energy.total_pj if self.energy is not None else float("inf")
+
+
+@dataclass(frozen=True)
+class PartitionCost:
+    """Aggregate cost of a whole partition schedule."""
+
+    feasible: bool
+    num_subgraphs: int
+    ema_bytes: float
+    energy_pj: float
+    latency_cycles: float
+    bandwidth: BandwidthReport
+    subgraphs: tuple[SubgraphCost, ...]
+
+
+def _lru_get(cache: OrderedDict, key):
+    try:
+        value = cache[key]
+    except KeyError:
+        return None
+    cache.move_to_end(key)
+    return value
+
+
+def _lru_put(cache: OrderedDict, key, value, maxsize: int) -> None:
+    cache[key] = value
+    cache.move_to_end(key)
+    while len(cache) > maxsize:
+        cache.popitem(last=False)
+
+
+def _memory_key(memory: MemoryConfig) -> tuple:
+    if memory.mode is BufferMode.SHARED:
+        return ("shared", memory.shared_buffer_bytes)
+    return ("separate", memory.global_buffer_bytes, memory.weight_buffer_bytes)
+
+
+class Evaluator:
+    """Prices subgraphs and partitions of one graph on one accelerator."""
+
+    def __init__(
+        self,
+        graph: ComputationGraph,
+        accel: AcceleratorConfig | None = None,
+        tile_candidates: tuple[int, ...] = DEFAULT_TILE_CANDIDATES,
+        profile_cache_size: int = 100_000,
+        cost_cache_size: int = 200_000,
+    ) -> None:
+        self.graph = graph
+        self.accel = accel or AcceleratorConfig()
+        self.tile_candidates = tile_candidates
+        self._profiles: OrderedDict[frozenset[str], SubgraphProfile] = OrderedDict()
+        self._min_footprints: OrderedDict[frozenset[str], int] = OrderedDict()
+        self._costs: OrderedDict[tuple, SubgraphCost] = OrderedDict()
+        self._profile_cache_size = profile_cache_size
+        self._cost_cache_size = cost_cache_size
+        self.num_profile_calls = 0
+        self.num_cost_calls = 0
+
+    # ------------------------------------------------------------------
+    def profile(self, members: Iterable[str]) -> SubgraphProfile:
+        """Memory-independent profile of a subgraph (cached)."""
+        key = frozenset(members)
+        hit = _lru_get(self._profiles, key)
+        if hit is not None:
+            return hit
+        self.num_profile_calls += 1
+        profile = profile_subgraph(
+            self.graph,
+            key,
+            bytes_per_element=self.accel.bytes_per_element,
+            tile_candidates=self.tile_candidates,
+        )
+        _lru_put(self._profiles, key, profile, self._profile_cache_size)
+        return profile
+
+    def min_footprint(self, members: Iterable[str]) -> int:
+        """Cheapest activation footprint (finest tile only, cached).
+
+        Enumeration pruning probes vast numbers of candidate sets; this
+        derives a single finest-grained tiling instead of the full
+        tile-option profile.
+        """
+        key = frozenset(members)
+        hit = _lru_get(self._min_footprints, key)
+        if hit is not None:
+            return hit
+        full = _lru_get(self._profiles, key)
+        if full is not None:
+            value = full.min_activation_bytes
+        else:
+            from ..execution.footprint import activation_footprint
+            from ..execution.tiling import derive_tiling
+
+            tiling = derive_tiling(self.graph, key, output_tile_rows=1)
+            value = activation_footprint(
+                self.graph, tiling, self.accel.bytes_per_element
+            )
+        _lru_put(self._min_footprints, key, value, self._profile_cache_size)
+        return value
+
+    # ------------------------------------------------------------------
+    def subgraph_cost(
+        self, members: Iterable[str], memory: MemoryConfig | None = None
+    ) -> SubgraphCost:
+        """Price one subgraph under ``memory`` (cached)."""
+        memory = memory or self.accel.memory
+        key = (frozenset(members), _memory_key(memory))
+        hit = _lru_get(self._costs, key)
+        if hit is not None:
+            return hit
+        self.num_cost_calls += 1
+        cost = self._price(self.profile(key[0]), memory)
+        _lru_put(self._costs, key, cost, self._cost_cache_size)
+        return cost
+
+    def _price(self, profile: SubgraphProfile, memory: MemoryConfig) -> SubgraphCost:
+        best: SubgraphCost | None = None
+        for option in profile.tile_options:
+            if memory.mode is BufferMode.SEPARATE:
+                if option.activation_bytes > memory.global_buffer_bytes:
+                    continue
+                budget = memory.weight_buffer_bytes
+            else:
+                budget = memory.shared_buffer_bytes - option.activation_bytes
+                if budget < 0:
+                    continue
+            cached_nodes, cached_bytes = cached_weight_selection(
+                profile.layer_weights, budget
+            )
+            uncached = profile.weight_bytes - cached_bytes
+            weight_ema = cached_bytes + uncached * option.num_elementary_ops
+            ema = weight_ema + profile.io_bytes
+            if best is not None and ema > best.ema_bytes:
+                continue
+            if (
+                best is not None
+                and ema == best.ema_bytes
+                and option.tile_rows <= best.tile_rows
+            ):
+                continue
+            energy = subgraph_energy(
+                self.accel,
+                memory,
+                ema_bytes=ema,
+                activation_traffic_bytes=2
+                * (profile.input_bytes + profile.member_activation_bytes),
+                weight_write_bytes=weight_ema,
+                weight_read_bytes=profile.weight_bytes * option.num_elementary_ops,
+                macs=profile.macs,
+            )
+            best = SubgraphCost(
+                profile=profile,
+                feasible=True,
+                tile_rows=option.tile_rows,
+                num_elementary_ops=option.num_elementary_ops,
+                cached_weight_nodes=cached_nodes,
+                cached_weight_bytes=cached_bytes,
+                weight_ema_bytes=weight_ema,
+                ema_bytes=ema,
+                energy=energy,
+                compute_cycles=compute_cycles(self.accel, profile.macs),
+                latency_cycles=subgraph_latency_cycles(self.accel, profile.macs, ema),
+            )
+        if best is not None:
+            return best
+        return SubgraphCost(
+            profile=profile,
+            feasible=False,
+            tile_rows=0,
+            num_elementary_ops=0,
+            cached_weight_nodes=(),
+            cached_weight_bytes=0,
+            weight_ema_bytes=0,
+            ema_bytes=int(1e18),
+            energy=None,
+            compute_cycles=compute_cycles(self.accel, profile.macs),
+            latency_cycles=float("inf"),
+        )
+
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        subgraph_sets: Sequence[frozenset[str]],
+        memory: MemoryConfig | None = None,
+    ) -> PartitionCost:
+        """Price a whole partition, given its subgraphs in schedule order."""
+        memory = memory or self.accel.memory
+        costs = [self.subgraph_cost(members, memory) for members in subgraph_sets]
+        feasible = all(c.feasible for c in costs)
+        frequency = self.accel.frequency_hz
+        bandwidth = bandwidth_report(
+            io_bytes=[c.profile.io_bytes for c in costs],
+            weight_bytes=[c.profile.weight_bytes for c in costs],
+            weight_ema_bytes=[c.weight_ema_bytes for c in costs],
+            compute_seconds=[c.compute_cycles / frequency for c in costs],
+        )
+        return PartitionCost(
+            feasible=feasible,
+            num_subgraphs=len(costs),
+            ema_bytes=float(sum(c.ema_bytes for c in costs)),
+            energy_pj=sum(c.energy_pj for c in costs),
+            latency_cycles=sum(c.latency_cycles for c in costs),
+            bandwidth=bandwidth,
+            subgraphs=tuple(costs),
+        )

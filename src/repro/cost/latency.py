@@ -1,0 +1,31 @@
+"""Latency model (Sec 5.1.2).
+
+"The latency per subgraph depends on the maximum of the calculation and
+external communication cycles": compute time is the MAC count over the
+effective array throughput, communication time is the EMA byte count over
+the per-core DRAM bandwidth, and the slower of the two bounds the
+subgraph.
+"""
+
+from __future__ import annotations
+
+from ..config import AcceleratorConfig
+
+
+def compute_cycles(accel: AcceleratorConfig, macs: int) -> float:
+    """Cycles the PE array needs for ``macs`` multiply-accumulates."""
+    effective = accel.macs_per_cycle * accel.pe_utilization
+    return macs / effective
+
+
+def dram_cycles(accel: AcceleratorConfig, ema_bytes: int) -> float:
+    """Cycles to move ``ema_bytes`` over the core's DRAM link."""
+    bytes_per_cycle = accel.dram_bandwidth / accel.frequency_hz
+    return ema_bytes / bytes_per_cycle
+
+
+def subgraph_latency_cycles(
+    accel: AcceleratorConfig, macs: int, ema_bytes: int
+) -> float:
+    """Latency of one subgraph: max of compute and communication."""
+    return max(compute_cycles(accel, macs), dram_cycles(accel, ema_bytes))

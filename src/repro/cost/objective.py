@@ -1,0 +1,57 @@
+"""Optimization objectives: Formula 1 (partition) and Formula 2 (co-opt).
+
+Formula 1 sums a target metric over subgraphs; Formula 2 adds the total
+buffer capacity with a preference weight ``alpha``:
+
+    BUF_SIZE + alpha * sum_i Cost_M(subgraph_i)
+
+with capacity in bytes and energy in picojoules (footnote 4), which puts
+Table 1's costs in the 1e6-1e8 range at ``alpha = 0.002``.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from ..config import MemoryConfig
+from .evaluator import PartitionCost
+
+#: The alpha used throughout the paper's co-exploration experiments.
+DEFAULT_ALPHA = 0.002
+
+
+class Metric(Enum):
+    """Target metric ``M`` of the cost function."""
+
+    EMA = "ema"
+    ENERGY = "energy"
+    LATENCY = "latency"
+
+
+def metric_value(cost: PartitionCost, metric: Metric) -> float:
+    """Extract the metric ``M`` from an evaluated partition."""
+    if not cost.feasible:
+        return float("inf")
+    if metric is Metric.EMA:
+        return cost.ema_bytes
+    if metric is Metric.ENERGY:
+        return cost.energy_pj
+    return cost.latency_cycles
+
+
+def partition_objective(cost: PartitionCost, metric: Metric = Metric.EMA) -> float:
+    """Formula 1: the summed subgraph cost for a fixed hardware."""
+    return metric_value(cost, metric)
+
+
+def co_opt_objective(
+    cost: PartitionCost,
+    memory: MemoryConfig,
+    alpha: float = DEFAULT_ALPHA,
+    metric: Metric = Metric.ENERGY,
+) -> float:
+    """Formula 2: buffer capacity plus ``alpha`` times the mapping cost."""
+    value = metric_value(cost, metric)
+    if value == float("inf"):
+        return float("inf")
+    return memory.total_bytes + alpha * value

@@ -1,0 +1,39 @@
+"""Design-space exploration schemes (Sec 5.3): fixed, two-step, co-opt,
+plus a multi-objective NSGA-II extension producing full Pareto fronts."""
+
+from .results import DSEResult
+from .fixed import optimize_fixed
+from .two_step import grid_search_ga, random_search_ga
+from .cocco import cocco_co_optimize, cocco_partition_only
+from .sa import sa_co_optimize
+from .pareto import ParetoPoint, knee_point, pareto_front, select_by_alpha
+from .nsga import (
+    MultiObjectivePoint,
+    NSGAConfig,
+    NSGAResult,
+    crowding_distance,
+    fast_non_dominated_sort,
+    hypervolume,
+    nsga2_co_optimize,
+)
+
+__all__ = [
+    "DSEResult",
+    "optimize_fixed",
+    "random_search_ga",
+    "grid_search_ga",
+    "cocco_co_optimize",
+    "cocco_partition_only",
+    "sa_co_optimize",
+    "ParetoPoint",
+    "pareto_front",
+    "select_by_alpha",
+    "knee_point",
+    "MultiObjectivePoint",
+    "NSGAConfig",
+    "NSGAResult",
+    "fast_non_dominated_sort",
+    "crowding_distance",
+    "hypervolume",
+    "nsga2_co_optimize",
+]

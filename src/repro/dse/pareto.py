@@ -1,0 +1,89 @@
+"""Pareto-front analysis over recorded search samples.
+
+Every Formula 2 search implicitly explores a two-objective space —
+buffer capacity versus mapping cost (Fig 13's scatter). These helpers
+extract the non-dominated frontier from recorded samples and locate the
+point a given ``alpha`` would select, which is how the Fig 14 sweep can be
+read off a single search's samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..ga.engine import SampleRecord
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One non-dominated (capacity, metric-cost) design point."""
+
+    total_buffer_bytes: int
+    metric_cost: float
+
+    def formula2(self, alpha: float) -> float:
+        """The Formula 2 value this point attains at ``alpha``."""
+        return self.total_buffer_bytes + alpha * self.metric_cost
+
+
+def pareto_front(
+    samples: Iterable[SampleRecord], alpha: float
+) -> list[ParetoPoint]:
+    """Non-dominated (capacity, metric) points from Formula 2 samples.
+
+    Sample records carry the combined cost ``BUF + alpha * metric``; the
+    metric coordinate is recovered with the ``alpha`` the samples were
+    collected under. Points are returned sorted by capacity, strictly
+    decreasing in metric cost.
+    """
+    if alpha <= 0:
+        raise ValueError(f"alpha must be positive, got {alpha}")
+    best_by_capacity: dict[int, float] = {}
+    for sample in samples:
+        if sample.cost == float("inf"):
+            continue
+        metric = (sample.cost - sample.total_buffer_bytes) / alpha
+        current = best_by_capacity.get(sample.total_buffer_bytes)
+        if current is None or metric < current:
+            best_by_capacity[sample.total_buffer_bytes] = metric
+    front: list[ParetoPoint] = []
+    for capacity in sorted(best_by_capacity):
+        metric = best_by_capacity[capacity]
+        if front and metric >= front[-1].metric_cost:
+            continue
+        front.append(ParetoPoint(capacity, metric))
+    return front
+
+
+def select_by_alpha(
+    front: Sequence[ParetoPoint], alpha: float
+) -> ParetoPoint:
+    """The frontier point Formula 2 would choose at ``alpha``."""
+    if not front:
+        raise ValueError("empty Pareto front")
+    return min(front, key=lambda p: p.formula2(alpha))
+
+
+def knee_point(front: Sequence[ParetoPoint]) -> ParetoPoint:
+    """The diminishing-returns knee of the frontier.
+
+    Normalizes both axes to [0, 1] and returns the point closest to the
+    utopia corner — the "critical capacity" of the paper's Fig 2
+    discussion, where extra SRAM stops buying much.
+    """
+    if not front:
+        raise ValueError("empty Pareto front")
+    if len(front) == 1:
+        return front[0]
+    caps = [p.total_buffer_bytes for p in front]
+    costs = [p.metric_cost for p in front]
+    cap_span = max(caps) - min(caps) or 1
+    cost_span = max(costs) - min(costs) or 1
+
+    def distance(p: ParetoPoint) -> float:
+        x = (p.total_buffer_bytes - min(caps)) / cap_span
+        y = (p.metric_cost - min(costs)) / cost_span
+        return x * x + y * y
+
+    return min(front, key=distance)

@@ -1,0 +1,49 @@
+"""Result record shared by every exploration scheme."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import BufferMode, MemoryConfig
+from ..cost.evaluator import PartitionCost
+from ..ga.engine import SampleRecord
+from ..ga.genome import Genome
+from ..units import to_kb
+
+
+@dataclass
+class DSEResult:
+    """Outcome of one exploration method on one model."""
+
+    method: str
+    best_genome: Genome
+    best_cost: float
+    partition_cost: PartitionCost
+    num_evaluations: int
+    history: list[tuple[int, float]] = field(default_factory=list)
+    samples: list[SampleRecord] = field(default_factory=list)
+
+    @property
+    def memory(self) -> MemoryConfig:
+        return self.best_genome.memory
+
+    def describe_memory(self) -> str:
+        """KB-style size string matching the paper's tables."""
+        memory = self.memory
+        if memory.mode is BufferMode.SHARED:
+            return f"{to_kb(memory.shared_buffer_bytes):.0f}KB"
+        return (
+            f"A={to_kb(memory.global_buffer_bytes):.0f}KB "
+            f"W={to_kb(memory.weight_buffer_bytes):.0f}KB"
+        )
+
+    def samples_to_reach(self, threshold: float) -> int | None:
+        """Samples needed until the best cost first drops to ``threshold``.
+
+        Used for the Fig 12(d) sample-efficiency table; ``None`` when the
+        run never reached the threshold.
+        """
+        for samples, cost in self.history:
+            if cost <= threshold:
+                return samples
+        return None

@@ -1,0 +1,137 @@
+"""Two-step exploration baselines: RS+GA and GS+GA (Sec 5.3).
+
+The two-step scheme decouples capacity search from partition search:
+sample memory-capacity candidates (randomly for RS, on a coarse
+large-to-small grid for GS), run an independent partition-only GA under
+each candidate, and keep the candidate with the best Formula 2 cost. The
+paper evaluates 5,000 samples per capacity candidate; the per-candidate
+budget is configurable here.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..config import MemoryConfig
+from ..cost.evaluator import Evaluator
+from ..cost.objective import Metric, co_opt_objective
+from ..errors import SearchError
+from ..ga.engine import GAConfig, GeneticEngine, SampleRecord
+from ..ga.problem import OptimizationProblem
+from ..search_space import CapacitySpace
+from .results import DSEResult
+
+
+def _partition_ga(
+    evaluator: Evaluator,
+    memory: MemoryConfig,
+    metric: Metric,
+    ga_config: GAConfig,
+):
+    problem = OptimizationProblem(
+        evaluator=evaluator, metric=metric, alpha=None, fixed_memory=memory
+    )
+    return problem, GeneticEngine(problem, ga_config).run()
+
+
+def _two_step(
+    evaluator: Evaluator,
+    candidates: list[MemoryConfig],
+    metric: Metric,
+    alpha: float,
+    ga_config: GAConfig,
+    method_name: str,
+) -> DSEResult:
+    if not candidates:
+        raise SearchError(f"{method_name}: no capacity candidates to try")
+    best: DSEResult | None = None
+    cumulative = 0
+    history: list[tuple[int, float]] = []
+    samples: list[SampleRecord] = []
+    running_best = float("inf")
+    for index, memory in enumerate(candidates):
+        per_candidate = GAConfig(
+            population_size=ga_config.population_size,
+            generations=ga_config.generations,
+            crossover_rate=ga_config.crossover_rate,
+            mutation_rate=ga_config.mutation_rate,
+            tournament_size=ga_config.tournament_size,
+            elitism=ga_config.elitism,
+            seed=ga_config.seed + index,
+            max_samples=ga_config.max_samples,
+            record_samples=ga_config.record_samples,
+        )
+        problem, result = _partition_ga(evaluator, memory, metric, per_candidate)
+        _, partition_cost = problem.evaluate(result.best_genome)
+        total = co_opt_objective(partition_cost, memory, alpha, metric)
+        for offset, value in result.history:
+            candidate_total = memory.total_bytes + alpha * value
+            if candidate_total < running_best:
+                running_best = candidate_total
+                history.append((cumulative + offset, running_best))
+        for record in result.samples:
+            samples.append(
+                SampleRecord(
+                    index=cumulative + record.index,
+                    cost=memory.total_bytes + alpha * record.cost,
+                    total_buffer_bytes=memory.total_bytes,
+                    generation=record.generation,
+                )
+            )
+        cumulative += result.num_evaluations
+        if best is None or total < best.best_cost:
+            best = DSEResult(
+                method=method_name,
+                best_genome=result.best_genome.with_memory(memory),
+                best_cost=total,
+                partition_cost=partition_cost,
+                num_evaluations=cumulative,
+                history=history,
+                samples=samples,
+            )
+    assert best is not None
+    best.num_evaluations = cumulative
+    best.history = history
+    best.samples = samples
+    return best
+
+
+def random_search_ga(
+    evaluator: Evaluator,
+    space: CapacitySpace,
+    num_candidates: int = 10,
+    metric: Metric = Metric.ENERGY,
+    alpha: float = 0.002,
+    ga_config: GAConfig | None = None,
+    seed: int = 0,
+) -> DSEResult:
+    """RS+GA: random capacity candidates, independent partition GAs."""
+    rng = random.Random(seed)
+    seen: set[tuple] = set()
+    candidates: list[MemoryConfig] = []
+    while len(candidates) < num_candidates:
+        memory = space.sample(rng)
+        key = (memory.total_bytes, memory.activation_capacity)
+        if key in seen and len(seen) < num_candidates * 10:
+            continue
+        seen.add(key)
+        candidates.append(memory)
+    return _two_step(
+        evaluator, candidates, metric, alpha, ga_config or GAConfig(), "RS+GA"
+    )
+
+
+def grid_search_ga(
+    evaluator: Evaluator,
+    space: CapacitySpace,
+    stride: int = 8,
+    max_candidates: int = 12,
+    metric: Metric = Metric.ENERGY,
+    alpha: float = 0.002,
+    ga_config: GAConfig | None = None,
+) -> DSEResult:
+    """GS+GA: coarse large-to-small capacity grid, one GA per point."""
+    candidates = space.grid(stride=stride, descending=True)[:max_candidates]
+    return _two_step(
+        evaluator, candidates, metric, alpha, ga_config or GAConfig(), "GS+GA"
+    )

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the Cocco reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries while the library
+itself raises the most specific subclass available.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class GraphError(ReproError):
+    """Malformed computation graph (cycles, dangling edges, bad shapes)."""
+
+
+class ShapeError(GraphError):
+    """A layer's declared shapes are inconsistent with its inputs."""
+
+
+class PartitionError(ReproError):
+    """A partition scheme violates precedence or connectivity rules."""
+
+
+class TilingError(ReproError):
+    """The consumption-centric tiling flow could not be derived."""
+
+
+class CapacityError(ReproError):
+    """A subgraph does not fit the available on-chip buffer capacity."""
+
+
+class AllocationError(ReproError):
+    """The buffer region manager could not allocate a requested region."""
+
+
+class ConfigError(ReproError):
+    """Invalid hardware or search configuration."""
+
+
+class SearchError(ReproError):
+    """An optimization algorithm failed to produce a valid result."""

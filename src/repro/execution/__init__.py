@@ -1,0 +1,17 @@
+"""Subgraph execution: the consumption-centric tiling flow of Sec 3."""
+
+from .tiling import NodeTiling, SubgraphTiling, derive_tiling
+from .production import production_tiling
+from .schedule import ElementaryOp, elementary_schedule
+from .footprint import activation_footprint, node_footprints
+
+__all__ = [
+    "NodeTiling",
+    "SubgraphTiling",
+    "derive_tiling",
+    "production_tiling",
+    "ElementaryOp",
+    "elementary_schedule",
+    "activation_footprint",
+    "node_footprints",
+]

@@ -1,0 +1,75 @@
+"""Activation memory footprint of a tiled subgraph.
+
+Each node keeps ``tile_rows`` rows of its output resident: the MAIN region
+holds the current tile and, when tiling is two-dimensional, a SIDE region
+keeps the ``tile_rows - delta`` horizontally-overlapping rows for the part
+of the width outside the current tile (Fig 7). The default full-width
+stripe tiling needs no SIDE region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import TilingError
+from ..graphs.graph import ComputationGraph
+from .tiling import SubgraphTiling
+
+
+@dataclass(frozen=True)
+class NodeFootprint:
+    """MAIN/SIDE region sizes for one node, in bytes."""
+
+    name: str
+    main_bytes: int
+    side_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.main_bytes + self.side_bytes
+
+
+def node_footprints(
+    graph: ComputationGraph,
+    tiling: SubgraphTiling,
+    bytes_per_element: int = 1,
+    tile_width: int | None = None,
+) -> dict[str, NodeFootprint]:
+    """Per-node buffer requirement for a derived tiling.
+
+    ``tile_width`` switches to 2D tiles of that width; ``None`` keeps
+    full-width stripes.
+    """
+    footprints: dict[str, NodeFootprint] = {}
+    for name, node in tiling.nodes.items():
+        shape = graph.layer(name).shape
+        rows = min(node.tile_rows, shape.height)
+        if tile_width is None or tile_width >= shape.width:
+            main = rows * shape.width * shape.channels * bytes_per_element
+            side = 0
+        else:
+            if tile_width <= 0:
+                raise TilingError(f"tile width must be positive, got {tile_width}")
+            main = rows * tile_width * shape.channels * bytes_per_element
+            overlap_rows = max(0, rows - node.delta)
+            side = (
+                overlap_rows
+                * (shape.width - tile_width)
+                * shape.channels
+                * bytes_per_element
+            )
+        footprints[name] = NodeFootprint(name=name, main_bytes=main, side_bytes=side)
+    return footprints
+
+
+def activation_footprint(
+    graph: ComputationGraph,
+    tiling: SubgraphTiling,
+    bytes_per_element: int = 1,
+    tile_width: int | None = None,
+) -> int:
+    """Total activation bytes the subgraph needs resident on chip."""
+    return sum(
+        fp.total_bytes
+        for fp in node_footprints(graph, tiling, bytes_per_element, tile_width).values()
+    )

@@ -1,0 +1,155 @@
+"""Production-centric subgraph execution — the strawman of Fig 4(a).
+
+The production-centric scheme pushes data forward: each step the inputs
+advance by a fixed number of rows and every node produces as many output
+rows as its inputs allow. Because branches with different kernels and
+strides consume at different rates, rows pile up in the buffer until the
+slowest branch catches up ("extra data cached in buffer" in Fig 4). This
+module simulates that flow to measure its peak footprint, which the tests
+and Fig-4 example compare against the consumption-centric scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import TilingError
+from ..graphs.graph import ComputationGraph
+
+
+@dataclass(frozen=True)
+class ProductionStep:
+    """Snapshot after one production-centric step."""
+
+    step: int
+    produced_rows: dict[str, int]
+    resident_rows: dict[str, int]
+
+    @property
+    def resident_total(self) -> int:
+        return sum(self.resident_rows.values())
+
+
+@dataclass(frozen=True)
+class ProductionTiling:
+    """Result of simulating the production-centric scheme."""
+
+    steps: tuple[ProductionStep, ...]
+    peak_footprint_bytes: int
+    peak_resident_rows: dict[str, int]
+
+
+def _producible(
+    graph: ComputationGraph, name: str, available: dict[str, int]
+) -> int:
+    """Output rows of ``name`` computable from currently produced inputs."""
+    spec = graph.layer(name)
+    height = spec.shape.height
+    parents = graph.predecessors(name)
+    rows = height
+    for parent in parents:
+        have = available[parent]
+        if spec.full_input:
+            ready = height if have >= graph.layer(parent).shape.height else 0
+        elif spec.upsample_factor > 1:
+            ready = have * spec.upsample_factor
+        else:
+            ready = max(0, (have - spec.kernel) // spec.stride + 1)
+            if have >= graph.layer(parent).shape.height:
+                ready = height
+        rows = min(rows, ready)
+    return min(rows, height)
+
+
+def production_tiling(
+    graph: ComputationGraph,
+    members: frozenset[str] | set[str],
+    input_step_rows: int = 1,
+    bytes_per_element: int = 1,
+) -> ProductionTiling:
+    """Simulate the production-centric scheme over a subgraph.
+
+    ``input_step_rows`` is how many new rows each interface input loads per
+    step. Returns per-step snapshots and the peak activation footprint.
+    """
+    members = frozenset(members)
+    if not members:
+        raise TilingError("cannot simulate an empty subgraph")
+    if input_step_rows <= 0:
+        raise TilingError(f"input step must be positive, got {input_step_rows}")
+
+    interface = sorted(
+        {
+            parent
+            for name in members
+            for parent in graph.predecessors(name)
+            if parent not in members
+        }
+    )
+    local = [n for n in graph.topological_order() if n in members or n in interface]
+    consumers = {
+        n: tuple(s for s in graph.successors(n) if s in members) for n in local
+    }
+
+    produced = {n: 0 for n in local}
+    steps: list[ProductionStep] = []
+    peak_bytes = 0
+    peak_rows: dict[str, int] = dict(produced)
+    step = 0
+    max_steps = max(graph.layer(n).shape.height for n in interface or local)
+    max_steps = max_steps // input_step_rows + len(local) + 2
+
+    while True:
+        step += 1
+        for name in interface:
+            height = graph.layer(name).shape.height
+            produced[name] = min(height, produced[name] + input_step_rows)
+        for name in local:
+            if name in members:
+                produced[name] = max(
+                    produced[name], _producible(graph, name, produced)
+                )
+        resident: dict[str, int] = {}
+        for name in local:
+            spec = graph.layer(name)
+            kids = consumers[name]
+            if not kids:
+                # Subgraph outputs stream out; only the newest rows linger.
+                resident[name] = min(produced[name], input_step_rows)
+                continue
+            keep_from = produced[name]
+            for kid in kids:
+                kid_spec = graph.layer(kid)
+                if kid_spec.full_input:
+                    keep_from = 0
+                    continue
+                if kid_spec.upsample_factor > 1:
+                    consumed = produced[kid] // kid_spec.upsample_factor
+                else:
+                    consumed = produced[kid] * kid_spec.stride - (
+                        kid_spec.kernel - kid_spec.stride
+                    )
+                keep_from = min(keep_from, max(0, consumed))
+            resident[name] = produced[name] - keep_from
+        snapshot = ProductionStep(
+            step=step, produced_rows=dict(produced), resident_rows=resident
+        )
+        steps.append(snapshot)
+        footprint = sum(
+            rows * graph.layer(n).shape.width * graph.layer(n).shape.channels
+            for n, rows in resident.items()
+        ) * bytes_per_element
+        if footprint > peak_bytes:
+            peak_bytes = footprint
+            peak_rows = dict(resident)
+        done = all(
+            produced[n] >= graph.layer(n).shape.height for n in local
+        )
+        if done or step >= max_steps:
+            break
+
+    return ProductionTiling(
+        steps=tuple(steps),
+        peak_footprint_bytes=peak_bytes,
+        peak_resident_rows=peak_rows,
+    )

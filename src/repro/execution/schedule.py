@@ -1,0 +1,65 @@
+"""Elementary-operation schedule for a tiled subgraph (Fig 6).
+
+One *subgraph elementary operation* advances every node ``u`` by
+``upd_num(u) * delta(u)`` rows of its output. The schedule enumerates, per
+operation, the half-open row range ``[start, end)`` each node computes (or
+loads, for interface inputs), reproducing the paper's memory-snapshot
+diagram. The first operation additionally fills the warm-up window: a node
+whose tile is larger than its offset must pre-produce ``tile - delta``
+rows before steady-state sliding begins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graphs.graph import ComputationGraph
+from .tiling import SubgraphTiling
+
+
+@dataclass(frozen=True)
+class ElementaryOp:
+    """Row ranges advanced by one elementary operation."""
+
+    index: int
+    ranges: dict[str, tuple[int, int]]
+
+    def rows(self, name: str) -> int:
+        """Rows of ``name`` produced during this operation."""
+        start, end = self.ranges[name]
+        return end - start
+
+
+def elementary_schedule(
+    graph: ComputationGraph,
+    tiling: SubgraphTiling,
+    max_ops: int | None = None,
+) -> list[ElementaryOp]:
+    """Enumerate the subgraph's elementary operations in order.
+
+    ``max_ops`` truncates the schedule (useful for demos on big tensors);
+    by default all ``tiling.num_elementary_ops`` operations are produced.
+    """
+    total = tiling.num_elementary_ops
+    if max_ops is not None:
+        total = min(total, max_ops)
+    cursor = {name: 0 for name in tiling.nodes}
+    schedule: list[ElementaryOp] = []
+    for index in range(total):
+        ranges: dict[str, tuple[int, int]] = {}
+        for name, node in tiling.nodes.items():
+            height = graph.layer(name).shape.height
+            start = cursor[name]
+            advance = node.rows_per_op
+            if index == 0:
+                # Warm-up: fill the whole tile on the first operation.
+                advance = max(advance, node.tile_rows)
+            end = min(height, start + advance)
+            ranges[name] = (start, end)
+            cursor[name] = end
+        schedule.append(ElementaryOp(index=index, ranges=ranges))
+        if all(
+            cursor[name] >= graph.layer(name).shape.height for name in tiling.nodes
+        ):
+            break
+    return schedule

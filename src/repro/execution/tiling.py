@@ -1,0 +1,277 @@
+"""Consumption-centric subgraph tiling — the paper's three-stage flow (Sec 3.1).
+
+Given a subgraph (a set of layers plus the external producers feeding it),
+the flow determines for every node ``u``:
+
+* ``delta`` — the update offset Δ(u): how many new rows of ``u``'s output
+  are materialized per memory update,
+* ``tile_rows`` — the allocated tile size x(u): how many rows of ``u``'s
+  output must stay resident so every consumer can read its window,
+* ``upd_num`` — how many Δ-updates of ``u`` one *subgraph elementary
+  operation* performs.
+
+Stage 1 fixes Δ = x = ``output_tile_rows`` for the subgraph's output
+nodes. Stage 2 walks the subgraph in reverse topological order, aligning a
+producer's offset to all of its consumers with a least-common-multiple:
+``Δ(u) = lcm over children v of Δ(v) * s(v)``, and sizing the tile as
+``x(u) = max over v of f_v(Δ(u) / s(v))`` with ``f_v(x) = F(v) + (x-1) * s(v)``.
+Stage 3 balances production and consumption — for each edge,
+``upd_num(u) * Δ(u) = upd_num(v) * Δ(v) * s(v)`` — and takes the co-prime
+minimal integer solution.
+
+Rows are tracked as :class:`fractions.Fraction` internally because
+``full_input`` consumers (attention, flatten, global pooling) induce
+rational consumption ratios; results are materialized as integers capped
+at each tensor's real height.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from functools import reduce
+
+from ..errors import TilingError
+from ..graphs.graph import ComputationGraph
+
+
+@dataclass(frozen=True)
+class NodeTiling:
+    """Derived execution parameters for one node of a subgraph."""
+
+    name: str
+    delta: int
+    tile_rows: int
+    upd_num: int
+    is_interface_input: bool
+    is_output: bool
+
+    @property
+    def rows_per_op(self) -> int:
+        """Rows of this node's output advanced per elementary operation."""
+        return self.delta * self.upd_num
+
+
+@dataclass(frozen=True)
+class SubgraphTiling:
+    """The complete execution scheme of one subgraph."""
+
+    nodes: dict[str, NodeTiling]
+    output_tile_rows: int
+    num_elementary_ops: int
+
+    def __getitem__(self, name: str) -> NodeTiling:
+        return self.nodes[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.nodes
+
+    @property
+    def interface_inputs(self) -> tuple[str, ...]:
+        """Names of external producers feeding the subgraph."""
+        return tuple(n for n, t in self.nodes.items() if t.is_interface_input)
+
+    @property
+    def members(self) -> tuple[str, ...]:
+        """Names of the subgraph's own layers."""
+        return tuple(n for n, t in self.nodes.items() if not t.is_interface_input)
+
+    @property
+    def output_nodes(self) -> tuple[str, ...]:
+        """Members whose results leave the subgraph."""
+        return tuple(
+            n for n, t in self.nodes.items() if t.is_output and not t.is_interface_input
+        )
+
+
+def _lcm_rows(values: list) -> "int | Fraction":
+    """Least common multiple over positive ints/rationals.
+
+    Integer inputs stay on the fast ``math.lcm`` path; any
+    :class:`Fraction` (from a ``full_input`` consumer) switches to the
+    rational generalization ``lcm(nums) / gcd(dens)``.
+    """
+    if all(isinstance(v, int) for v in values):
+        return reduce(math.lcm, values)
+    fractions = [Fraction(v) for v in values]
+    numerator = reduce(math.lcm, (f.numerator for f in fractions))
+    denominator = reduce(math.gcd, (f.denominator for f in fractions))
+    return Fraction(numerator, denominator)
+
+
+def _consumption_ratio(graph: ComputationGraph, producer: str, consumer: str):
+    """Input rows of ``producer`` consumed per output row of ``consumer``.
+
+    Ordinary windows consume ``stride`` rows per output row (an int);
+    ``full_input`` ops consume the producer's whole tensor over their
+    whole output (a rational).
+    """
+    spec = graph.layer(consumer)
+    if spec.full_input:
+        in_height = graph.layer(producer).shape.height
+        return Fraction(in_height, spec.shape.height)
+    if spec.upsample_factor > 1:
+        # One producer row yields ``factor`` consumer rows.
+        return Fraction(1, spec.upsample_factor)
+    return spec.stride
+
+
+def _local_children(
+    graph: ComputationGraph, members: frozenset[str]
+) -> dict[str, tuple[str, ...]]:
+    """Map every relevant node to its consumers *inside* the subgraph."""
+    children: dict[str, tuple[str, ...]] = {}
+    for name in members:
+        children[name] = tuple(s for s in graph.successors(name) if s in members)
+        for parent in graph.predecessors(name):
+            if parent not in members and parent not in children:
+                children[parent] = tuple(
+                    s for s in graph.successors(parent) if s in members
+                )
+    # Interface inputs may have been registered before all members were seen;
+    # recompute them now that membership is fixed.
+    for name in list(children):
+        if name not in members:
+            children[name] = tuple(s for s in graph.successors(name) if s in members)
+    return children
+
+
+def derive_tiling(
+    graph: ComputationGraph,
+    members: frozenset[str] | set[str],
+    output_tile_rows: int = 1,
+) -> SubgraphTiling:
+    """Derive the consumption-centric execution scheme for a subgraph.
+
+    ``members`` are the layers computed by the subgraph; external producers
+    (earlier subgraphs or model inputs) are added automatically as
+    interface inputs. Raises :class:`TilingError` if the subgraph is empty
+    or the production/consumption balance has no consistent solution
+    (which indicates a malformed graph).
+    """
+    members = frozenset(members)
+    if not members:
+        raise TilingError("cannot derive tiling for an empty subgraph")
+    if output_tile_rows <= 0:
+        raise TilingError(f"output tile rows must be positive, got {output_tile_rows}")
+    for name in members:
+        if graph.layer(name).is_input:
+            raise TilingError(f"model input {name!r} cannot be a subgraph member")
+
+    children = _local_children(graph, members)
+    topo = [n for n in graph.topological_order() if n in children]
+
+    # Stage 2 (with stage 1 seeding the recursion): reverse topological
+    # pass. Values stay plain ints unless a full_input consumer introduces
+    # a rational ratio.
+    delta: dict[str, "int | Fraction"] = {}
+    tile: dict[str, "int | Fraction"] = {}
+    for name in reversed(topo):
+        height = graph.layer(name).shape.height
+        kids = children[name]
+        if not kids:
+            rows = min(output_tile_rows, height)
+            delta[name] = rows
+            tile[name] = rows
+            continue
+        offsets = []
+        requirements = []
+        for kid in kids:
+            spec = graph.layer(kid)
+            if spec.streaming:
+                # Streaming reductions consume row by row into an
+                # accumulator: the producer advances at its own chunk
+                # granularity and nothing has to stay resident.
+                offsets.append(delta[kid])
+                continue
+            ratio = _consumption_ratio(graph, name, kid)
+            offsets.append(delta[kid] * ratio)
+            if spec.full_input:
+                requirements.append(height)
+        # The step stays uncapped here so the balance algebra remains exact
+        # on reconvergent paths; materialization caps rows at the tensor
+        # height at the very end.
+        step = _lcm_rows(offsets)
+        for kid in kids:
+            spec = graph.layer(kid)
+            if spec.streaming:
+                requirements.append(step)
+                continue
+            if spec.full_input:
+                continue
+            if spec.upsample_factor > 1:
+                # ``step`` producer rows replicate into ``step * factor``
+                # consumer rows; the window never exceeds the step itself.
+                requirements.append(step)
+                continue
+            # f_v(step / s) = F + (step/s - 1) * s = F + step - s.
+            requirements.append(spec.kernel + step - spec.stride)
+        delta[name] = step
+        tile[name] = min(max(requirements), height)
+
+    # Stage 3: solve the production/consumption balance. Each edge (u, v)
+    # imposes rate(u) * Δ(u) = rate(v) * Δ(v) * ratio(u, v); the constraint
+    # graph is solved per weakly-connected component by BFS from a root
+    # pinned to 1, deriving neighbors in both directions, then verified.
+    neighbors: dict[str, list[tuple[str, Fraction]]] = {n: [] for n in topo}
+    for name in topo:
+        for kid in children[name]:
+            ratio = _consumption_ratio(graph, name, kid)
+            # rate(kid) = rate(name) * factor ; rate(name) = rate(kid) / factor
+            factor = Fraction(delta[name]) / (delta[kid] * ratio)
+            neighbors[name].append((kid, factor))
+            neighbors[kid].append((name, 1 / factor))
+    rate: dict[str, Fraction] = {}
+    for root in topo:
+        if root in rate:
+            continue
+        rate[root] = Fraction(1)
+        queue = [root]
+        while queue:
+            node = queue.pop()
+            for other, factor in neighbors[node]:
+                implied = rate[node] * factor
+                existing = rate.get(other)
+                if existing is None:
+                    rate[other] = implied
+                    queue.append(other)
+                elif existing != implied:
+                    raise TilingError(
+                        f"inconsistent production/consumption balance at "
+                        f"{other!r}: {existing} vs {implied}"
+                    )
+
+    # Normalize rates to the minimal co-prime positive integer vector.
+    denominator = reduce(math.lcm, (r.denominator for r in rate.values()))
+    scaled = [r * denominator for r in rate.values()]
+    common = reduce(math.gcd, (int(s) for s in scaled))
+    upd_num = {
+        name: int(rate[name] * denominator) // common for name in rate
+    }
+
+    node_tilings: dict[str, NodeTiling] = {}
+    num_ops = 1
+    for name in topo:
+        height = graph.layer(name).shape.height
+        is_member = name in members
+        is_output = is_member and not children[name]
+        if is_output:
+            ops = math.ceil(height / (upd_num[name] * delta[name]))
+            num_ops = max(num_ops, ops)
+        d = min(max(1, math.ceil(delta[name])), height)
+        x = min(max(d, math.ceil(tile[name])), height)
+        node_tilings[name] = NodeTiling(
+            name=name,
+            delta=d,
+            tile_rows=x,
+            upd_num=upd_num[name],
+            is_interface_input=not is_member,
+            is_output=is_output,
+        )
+
+    return SubgraphTiling(
+        nodes=node_tilings,
+        output_tile_rows=output_tile_rows,
+        num_elementary_ops=num_ops,
+    )

@@ -1,0 +1,14 @@
+"""Experiment harness: regenerates every table and figure of Sec 5."""
+
+from .common import DEFAULT_SCALE, FULL_SCALE, QUICK_SCALE, Scale, paper_accelerator
+from .reporting import ExperimentResult, format_table
+
+__all__ = [
+    "Scale",
+    "QUICK_SCALE",
+    "DEFAULT_SCALE",
+    "FULL_SCALE",
+    "paper_accelerator",
+    "ExperimentResult",
+    "format_table",
+]

@@ -1,0 +1,73 @@
+"""ASCII reporting for experiment results.
+
+Every experiment returns an :class:`ExperimentResult` — headers plus rows
+of cells — and the harness renders it as a fixed-width table that matches
+the paper's row/column structure, so paper-vs-measured comparison is a
+visual diff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+
+def _render(value: Any) -> str:
+    if isinstance(value, float):
+        if value == float("inf"):
+            return "inf"
+        if abs(value) >= 1000 or (0 < abs(value) < 0.01):
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Render a fixed-width ASCII table."""
+    cells = [[_render(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentResult:
+    """Structured output of one experiment run."""
+
+    experiment: str
+    headers: tuple[str, ...]
+    rows: list[tuple] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    extra: dict = field(default_factory=dict)
+
+    def add_row(self, *cells: Any) -> None:
+        """Append one row (arity-checked against the headers)."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, expected {len(self.headers)}"
+            )
+        self.rows.append(tuple(cells))
+
+    def to_text(self) -> str:
+        """The rendered table plus any notes."""
+        text = format_table(self.headers, self.rows, title=self.experiment)
+        if self.notes:
+            text += "\n" + "\n".join(f"  note: {n}" for n in self.notes)
+        return text
+
+    def __str__(self) -> str:
+        return self.to_text()

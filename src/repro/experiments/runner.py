@@ -1,0 +1,86 @@
+"""Command-line runner for the experiment suite.
+
+Usage::
+
+    python -m repro.experiments.runner fig3 [--scale quick|default|full]
+    python -m repro.experiments.runner all --scale quick
+
+Each experiment prints the table it reproduces; ``all`` runs the full
+evaluation section in order.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import (
+    fig1_extremes,
+    fig2_survey,
+    stability,
+    fig3_fusion,
+    fig11_partition,
+    fig12_convergence,
+    fig13_distribution,
+    fig14_alpha,
+    table1_separate,
+    table2_shared,
+    table3_multicore,
+)
+from .common import DEFAULT_SCALE, SCALES
+
+EXPERIMENTS = {
+    "fig1": fig1_extremes,
+    "fig2": fig2_survey,
+    "fig3": fig3_fusion,
+    "fig11": fig11_partition,
+    "table1": table1_separate,
+    "table2": table2_shared,
+    "fig12": fig12_convergence,
+    "fig13": fig13_distribution,
+    "fig14": fig14_alpha,
+    "table3": table3_multicore,
+    "stability": stability,
+}
+
+#: Experiments whose ``run`` accepts a scale profile.
+_SCALED = ("fig1", "fig11", "table1", "table2", "fig12", "fig13",
+           "fig14", "table3", "stability")
+
+
+def run_experiment(name: str, scale_name: str) -> str:
+    """Run one experiment and return its rendered table."""
+    module = EXPERIMENTS[name]
+    scale = SCALES.get(scale_name, DEFAULT_SCALE)
+    if name in _SCALED:
+        result = module.run(scale=scale)
+    else:
+        result = module.run()
+    return result.to_text()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "experiment",
+        choices=[*EXPERIMENTS, "all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="default",
+        help="search budget profile",
+    )
+    args = parser.parse_args(argv)
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        started = time.time()
+        print(run_experiment(name, args.scale))
+        print(f"[{name} finished in {time.time() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

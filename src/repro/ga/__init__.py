@@ -1,0 +1,38 @@
+"""Cocco's genetic algorithm: genome, operators, engine (Sec 4.3-4.4)."""
+
+from .genome import Genome
+from .crossover import crossover
+from .mutation import (
+    MUTATION_OPS,
+    merge_subgraph,
+    modify_node,
+    mutate_dse,
+    split_subgraph,
+)
+from .selection import tournament_select
+from .population import initialize_population
+from .problem import OptimizationProblem
+from .engine import GAConfig, GAResult, GeneticEngine, SampleRecord
+from .annealing import SAConfig, simulated_annealing
+from .islands import IslandConfig, island_search
+
+__all__ = [
+    "Genome",
+    "crossover",
+    "MUTATION_OPS",
+    "modify_node",
+    "split_subgraph",
+    "merge_subgraph",
+    "mutate_dse",
+    "tournament_select",
+    "initialize_population",
+    "OptimizationProblem",
+    "GAConfig",
+    "GAResult",
+    "GeneticEngine",
+    "SampleRecord",
+    "SAConfig",
+    "simulated_annealing",
+    "IslandConfig",
+    "island_search",
+]

@@ -1,0 +1,167 @@
+"""The genetic engine: generations of crossover, mutation, selection.
+
+Implements the five-stage Cocco loop of Sec 4.4 — initialization,
+crossover, mutation, evaluation (with in-situ capacity repair), and
+tournament selection — while recording the sample-efficiency telemetry
+the paper plots in Fig 12 (best-cost-vs-samples) and Fig 13 (per-sample
+scatter of capacity against metric cost).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..errors import SearchError
+from .crossover import crossover
+from .genome import Genome
+from .mutation import merge_subgraph, modify_node, mutate_dse, split_subgraph
+from .population import initialize_population
+from .problem import OptimizationProblem
+from .selection import tournament_select
+
+
+@dataclass(frozen=True)
+class SampleRecord:
+    """One evaluated genome, for the Fig 13 scatter."""
+
+    index: int
+    cost: float
+    total_buffer_bytes: int
+    generation: int
+
+
+@dataclass
+class GAConfig:
+    """Hyper-parameters of the genetic search."""
+
+    population_size: int = 100
+    generations: int = 50
+    crossover_rate: float = 0.6
+    mutation_rate: float = 0.9
+    dse_mutation_rate: float = 0.3
+    tournament_size: int = 3
+    elitism: int = 2
+    seed: int = 0
+    max_samples: int | None = None
+    record_samples: bool = False
+
+    def __post_init__(self) -> None:
+        if self.population_size < 2:
+            raise SearchError("population must hold at least two genomes")
+        if self.generations < 1:
+            raise SearchError("need at least one generation")
+
+
+@dataclass
+class GAResult:
+    """Outcome of one search run (shared by GA, SA, and two-step)."""
+
+    best_genome: Genome
+    best_cost: float
+    num_evaluations: int
+    history: list[tuple[int, float]] = field(default_factory=list)
+    samples: list[SampleRecord] = field(default_factory=list)
+
+
+class GeneticEngine:
+    """Runs the Cocco GA on one :class:`OptimizationProblem`."""
+
+    def __init__(self, problem: OptimizationProblem, config: GAConfig | None = None):
+        self.problem = problem
+        self.config = config or GAConfig()
+        self._rng = random.Random(self.config.seed)
+        self._evaluations = 0
+        self._best: Genome | None = None
+        self._best_cost = float("inf")
+        self._history: list[tuple[int, float]] = []
+        self._samples: list[SampleRecord] = []
+        self._generation = 0
+
+    # ------------------------------------------------------------------
+    def _score(self, genome: Genome) -> float:
+        cost = self.problem.cost(genome)
+        self._evaluations += 1
+        if cost < self._best_cost:
+            self._best_cost = cost
+            self._best = genome
+            self._history.append((self._evaluations, cost))
+        if self.config.record_samples:
+            self._samples.append(
+                SampleRecord(
+                    index=self._evaluations,
+                    cost=cost,
+                    total_buffer_bytes=self.problem.memory_of(genome).total_bytes,
+                    generation=self._generation,
+                )
+            )
+        return cost
+
+    def _budget_left(self) -> bool:
+        limit = self.config.max_samples
+        return limit is None or self._evaluations < limit
+
+    def _make_child(self, population: list[Genome], costs: list[float]) -> Genome:
+        cfg = self.config
+        rng = self._rng
+        if rng.random() < cfg.crossover_rate and len(population) >= 2:
+            dad, mom = tournament_select(
+                population, costs, 2, rng, cfg.tournament_size
+            )
+            child = crossover(dad, mom, rng, self.problem.space)
+        else:
+            (child,) = tournament_select(
+                population, costs, 1, rng, cfg.tournament_size
+            )
+        if rng.random() < cfg.mutation_rate:
+            op = rng.choice((modify_node, split_subgraph, merge_subgraph))
+            child = op(child, rng)
+        if self.problem.space is not None and rng.random() < cfg.dse_mutation_rate:
+            child = mutate_dse(child, rng, self.problem.space)
+        return self.problem.repair(child)
+
+    # ------------------------------------------------------------------
+    def run(self, seeds: Sequence[Genome] = ()) -> GAResult:
+        """Execute the configured number of generations and return the best."""
+        cfg = self.config
+        population = initialize_population(
+            self.problem, cfg.population_size, self._rng, seeds
+        )
+        costs = [self._score(g) for g in population]
+
+        for generation in range(1, cfg.generations + 1):
+            self._generation = generation
+            if not self._budget_left():
+                break
+            offspring = []
+            while len(offspring) < cfg.population_size and self._budget_left():
+                child = self._make_child(population, costs)
+                offspring.append(child)
+            offspring_costs = [self._score(g) for g in offspring]
+
+            pool = population + offspring
+            pool_costs = costs + offspring_costs
+            elite_indices = sorted(
+                range(len(pool)), key=lambda i: pool_costs[i]
+            )[: cfg.elitism]
+            survivors = [pool[i] for i in elite_indices]
+            survivor_costs = [pool_costs[i] for i in elite_indices]
+            selected = tournament_select(
+                pool,
+                pool_costs,
+                cfg.population_size - len(survivors),
+                self._rng,
+                cfg.tournament_size,
+            )
+            population = survivors + selected
+            costs = survivor_costs + [self.problem.cost(g) for g in selected]
+
+        assert self._best is not None
+        return GAResult(
+            best_genome=self._best,
+            best_cost=self._best_cost,
+            num_evaluations=self._evaluations,
+            history=self._history,
+            samples=self._samples,
+        )

@@ -1,0 +1,98 @@
+"""The four customized mutation operations (Sec 4.4.3, Fig 9c-e).
+
+* ``modify-node`` — move one randomly chosen layer into a neighboring
+  subgraph or a fresh singleton,
+* ``split-subgraph`` — cut one subgraph in two along its topological
+  order,
+* ``merge-subgraph`` — fuse two adjacent subgraphs,
+* ``mutation-DSE`` — Gaussian-resample the memory configuration on the
+  candidate grid.
+
+Every operator emits its raw grouping through
+:func:`~repro.partition.validity.normalize_groups`, which restores
+precedence/connectivity, so genomes stay valid by construction.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..partition.validity import normalize_groups
+from ..search_space import CapacitySpace
+from .genome import Genome
+
+
+def modify_node(genome: Genome, rng: random.Random) -> Genome:
+    """Reassign one random layer to a neighbor's subgraph or a new one."""
+    partition = genome.partition
+    graph = partition.graph
+    name = rng.choice(graph.compute_names)
+    current = partition.index_of(name)
+    neighbor_indices = sorted(
+        {
+            partition.index_of(n)
+            for n in (*graph.predecessors(name), *graph.successors(name))
+            if not graph.layer(n).is_input
+        }
+        - {current}
+    )
+    groups = partition.groups()
+    groups[current].discard(name)
+    if neighbor_indices and rng.random() < 0.7:
+        groups[rng.choice(neighbor_indices)].add(name)
+    else:
+        groups.append({name})
+    return genome.with_partition(normalize_groups(graph, groups))
+
+
+def split_subgraph(genome: Genome, rng: random.Random) -> Genome:
+    """Split one randomly selected multi-layer subgraph in two."""
+    partition = genome.partition
+    graph = partition.graph
+    splittable = [i for i, s in enumerate(partition.subgraph_sets) if len(s) >= 2]
+    if not splittable:
+        return genome
+    target = rng.choice(splittable)
+    topo_index = graph.topo_index()
+    ordered = sorted(partition.members(target), key=lambda n: topo_index[n])
+    cut = rng.randint(1, len(ordered) - 1)
+    groups = partition.groups()
+    groups[target] = set(ordered[:cut])
+    groups.append(set(ordered[cut:]))
+    return genome.with_partition(normalize_groups(graph, groups))
+
+
+def merge_subgraph(genome: Genome, rng: random.Random) -> Genome:
+    """Merge two randomly selected adjacent subgraphs into one."""
+    partition = genome.partition
+    graph = partition.graph
+    assignment = partition.assignment
+    pairs = sorted(
+        {
+            tuple(sorted((assignment[u], assignment[v])))
+            for u, v in graph.edges
+            if u in assignment and v in assignment and assignment[u] != assignment[v]
+        }
+    )
+    if not pairs:
+        return genome
+    a, b = rng.choice(pairs)
+    groups = partition.groups()
+    groups[a] |= groups[b]
+    groups.pop(b)
+    return genome.with_partition(normalize_groups(graph, groups))
+
+
+def mutate_dse(
+    genome: Genome, rng: random.Random, space: CapacitySpace, sigma_steps: float = 3.0
+) -> Genome:
+    """mutation-DSE: resample the memory configuration near the current one."""
+    return genome.with_memory(space.perturb(genome.memory, rng, sigma_steps))
+
+
+#: Partition-space mutation operators, keyed by the paper's names.
+MUTATION_OPS = {
+    "modify-node": modify_node,
+    "split-subgraph": split_subgraph,
+    "merge-subgraph": merge_subgraph,
+}

@@ -1,0 +1,30 @@
+"""Population initialization (Sec 4.4.1).
+
+Each genome samples a capacity uniformly from the candidate range and a
+random valid partition; spreading the "new subgraph" probability across
+the population seeds it with both fine and coarse partitions. Existing
+solutions (e.g. a greedy or DP result) can be injected to warm-start the
+GA — the paper's "flexible initialization" property.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from .genome import Genome
+from .problem import OptimizationProblem
+
+
+def initialize_population(
+    problem: OptimizationProblem,
+    size: int,
+    rng: random.Random,
+    seeds: Sequence[Genome] = (),
+) -> list[Genome]:
+    """Build the generation-zero population of ``size`` genomes."""
+    population: list[Genome] = [problem.repair(g) for g in seeds][:size]
+    while len(population) < size:
+        p_new = rng.uniform(0.15, 0.9)
+        population.append(problem.random_genome(rng, p_new=p_new))
+    return population

@@ -1,0 +1,96 @@
+"""The optimization problem shared by every search method.
+
+Bundles the evaluation environment with the objective (Formula 1 for
+partition-only search, Formula 2 for hardware-mapping co-exploration) and
+the in-situ capacity repair of Sec 4.4.4, so the GA, SA, and the two-step
+baselines all optimize exactly the same cost surface.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..config import MemoryConfig
+from ..cost.evaluator import Evaluator, PartitionCost
+from ..cost.objective import Metric, co_opt_objective, partition_objective
+from ..errors import ConfigError
+from ..graphs.graph import ComputationGraph
+from ..partition.random_init import random_partition
+from ..partition.validity import split_infeasible
+from ..search_space import CapacitySpace
+from .genome import Genome
+
+
+@dataclass
+class OptimizationProblem:
+    """Cost surface for partition search or partition+memory co-search.
+
+    With ``alpha`` set the objective is Formula 2 (co-exploration); with
+    ``alpha=None`` it is Formula 1 at the fixed ``memory``. ``space`` being
+    ``None`` pins every genome to ``fixed_memory``.
+    """
+
+    evaluator: Evaluator
+    metric: Metric = Metric.EMA
+    alpha: float | None = None
+    space: CapacitySpace | None = None
+    fixed_memory: MemoryConfig | None = None
+    _fitness_cache: dict = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.space is None and self.fixed_memory is None:
+            raise ConfigError("need either a capacity space or a fixed memory")
+
+    @property
+    def graph(self) -> ComputationGraph:
+        return self.evaluator.graph
+
+    # ------------------------------------------------------------------
+    def memory_of(self, genome: Genome) -> MemoryConfig:
+        """The memory configuration a genome is priced under."""
+        if self.space is None:
+            assert self.fixed_memory is not None
+            return self.fixed_memory
+        return genome.memory
+
+    def random_genome(self, rng: random.Random, p_new: float = 0.5) -> Genome:
+        """Sample a random valid genome (partition + capacity)."""
+        partition = random_partition(self.graph, rng, p_new=p_new)
+        if self.space is not None:
+            memory = self.space.sample(rng)
+        else:
+            assert self.fixed_memory is not None
+            memory = self.fixed_memory
+        return self.repair(Genome(partition=partition, memory=memory))
+
+    # ------------------------------------------------------------------
+    def repair(self, genome: Genome) -> Genome:
+        """In-situ tuning: split subgraphs that exceed the buffer capacity."""
+        memory = self.memory_of(genome)
+
+        def fits(members: frozenset[str]) -> bool:
+            return self.evaluator.subgraph_cost(members, memory).feasible
+
+        repaired = split_infeasible(genome.partition, fits)
+        if repaired is genome.partition:
+            return genome
+        return genome.with_partition(repaired)
+
+    def evaluate(self, genome: Genome) -> tuple[float, PartitionCost]:
+        """Objective value and the underlying partition cost."""
+        memory = self.memory_of(genome)
+        cost = self.evaluator.evaluate(genome.partition.subgraph_sets, memory)
+        if self.alpha is None:
+            return partition_objective(cost, self.metric), cost
+        return co_opt_objective(cost, memory, self.alpha, self.metric), cost
+
+    def cost(self, genome: Genome) -> float:
+        """Objective value only, memoized per genome key."""
+        key = genome.key()
+        hit = self._fitness_cache.get(key)
+        if hit is not None:
+            return hit
+        value, _ = self.evaluate(genome)
+        self._fitness_cache[key] = value
+        return value

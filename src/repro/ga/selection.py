@@ -1,0 +1,35 @@
+"""Tournament selection (Sec 4.4.5).
+
+Cocco "holds multiple tournaments among a few randomly selected genomes,
+and the winners of these tournaments form the population of a new
+generation". Fitness is the negative cost, so tournament winners are the
+lowest-cost contestants.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def tournament_select(
+    population: Sequence[T],
+    costs: Sequence[float],
+    count: int,
+    rng: random.Random,
+    tournament_size: int = 3,
+) -> list[T]:
+    """Select ``count`` winners by independent tournaments."""
+    if len(population) != len(costs):
+        raise ValueError("population and costs must align")
+    if not population:
+        raise ValueError("cannot select from an empty population")
+    size = min(tournament_size, len(population))
+    winners: list[T] = []
+    for _ in range(count):
+        contenders = rng.sample(range(len(population)), size)
+        best = min(contenders, key=lambda i: costs[i])
+        winners.append(population[best])
+    return winners

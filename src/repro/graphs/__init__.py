@@ -1,0 +1,32 @@
+"""Computation-graph IR: tensors, layer ops, the DAG, and the model zoo."""
+
+from .tensor import TensorShape
+from .ops import LayerSpec, OpKind
+from .graph import ComputationGraph
+from .builder import GraphBuilder
+from .analysis import GraphStats, graph_stats
+from .serialize import graph_from_dict, graph_to_dict
+from .transforms import (
+    compose,
+    extract_subgraph,
+    fold_unary_eltwise,
+    linear_chains,
+    rename_layers,
+)
+
+__all__ = [
+    "TensorShape",
+    "LayerSpec",
+    "OpKind",
+    "ComputationGraph",
+    "GraphBuilder",
+    "GraphStats",
+    "graph_stats",
+    "graph_from_dict",
+    "graph_to_dict",
+    "fold_unary_eltwise",
+    "extract_subgraph",
+    "rename_layers",
+    "linear_chains",
+    "compose",
+]

@@ -1,0 +1,66 @@
+"""Whole-graph statistics used by reports and search heuristics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .graph import ComputationGraph
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary statistics of a computation graph."""
+
+    name: str
+    num_layers: int
+    num_compute_layers: int
+    num_edges: int
+    depth: int
+    max_fanout: int
+    total_weight_bytes: int
+    total_macs: int
+    total_activation_bytes: int
+    is_plain: bool
+
+    def __str__(self) -> str:
+        kind = "plain" if self.is_plain else "branched"
+        return (
+            f"{self.name}: {self.num_compute_layers} layers, depth {self.depth}, "
+            f"{kind}, weights {self.total_weight_bytes / 2**20:.1f}MB, "
+            f"{self.total_macs / 1e9:.2f} GMACs"
+        )
+
+
+def graph_stats(graph: ComputationGraph) -> GraphStats:
+    """Compute :class:`GraphStats` for ``graph``."""
+    graph.validate()
+    depths = graph.depth()
+    fanouts = [len(graph.successors(n)) for n in graph.layer_names]
+    activations = sum(graph.activation_bytes(n) for n in graph.layer_names)
+    plain = all(
+        len(graph.predecessors(n)) <= 1 and len(graph.successors(n)) <= 1
+        for n in graph.layer_names
+    )
+    return GraphStats(
+        name=graph.name,
+        num_layers=len(graph),
+        num_compute_layers=len(graph.compute_names),
+        num_edges=len(graph.edges),
+        depth=max(depths.values()),
+        max_fanout=max(fanouts) if fanouts else 0,
+        total_weight_bytes=graph.total_weight_bytes,
+        total_macs=graph.total_macs,
+        total_activation_bytes=activations,
+        is_plain=plain,
+    )
+
+
+def critical_path(graph: ComputationGraph) -> tuple[str, ...]:
+    """Layers on one longest input-to-output path, in order."""
+    depths = graph.depth()
+    node = max(depths, key=lambda n: (depths[n], n))
+    path = [node]
+    while graph.predecessors(node):
+        node = max(graph.predecessors(node), key=lambda p: (depths[p], p))
+        path.append(node)
+    return tuple(reversed(path))

@@ -1,0 +1,135 @@
+"""Fluent builder for computation graphs.
+
+The model zoo constructs networks by chaining builder calls; the builder
+tracks the "current" tensor shape so layer factories do not have to be
+given shapes explicitly. Branch-and-merge helpers cover residual blocks
+and inception-style modules.
+"""
+
+from __future__ import annotations
+
+from ..errors import GraphError
+from . import ops
+from .graph import ComputationGraph
+from .tensor import TensorShape
+
+
+class GraphBuilder:
+    """Builds a :class:`ComputationGraph` layer by layer."""
+
+    def __init__(self, name: str = "model") -> None:
+        self.graph = ComputationGraph(name)
+        self._counter = 0
+
+    def _unique(self, prefix: str) -> str:
+        self._counter += 1
+        return f"{prefix}_{self._counter}"
+
+    def shape_of(self, name: str) -> TensorShape:
+        """Output shape of an existing layer."""
+        return self.graph.layer(name).shape
+
+    # ------------------------------------------------------------------
+    # Layer helpers: each returns the new layer's name
+    # ------------------------------------------------------------------
+    def input(self, shape: TensorShape, name: str | None = None) -> str:
+        """Add a model input node."""
+        name = name or self._unique("input")
+        return self.graph.add_layer(ops.input_layer(name, shape))
+
+    def conv(
+        self,
+        src: str,
+        out_channels: int,
+        kernel: int = 3,
+        stride: int = 1,
+        name: str | None = None,
+    ) -> str:
+        """Add a convolution fed by ``src``."""
+        name = name or self._unique("conv")
+        spec = ops.conv(name, self.shape_of(src), out_channels, kernel, stride)
+        return self.graph.add_layer(spec, [src])
+
+    def dwconv(
+        self, src: str, kernel: int = 3, stride: int = 1, name: str | None = None
+    ) -> str:
+        """Add a depth-wise convolution fed by ``src``."""
+        name = name or self._unique("dwconv")
+        spec = ops.dwconv(name, self.shape_of(src), kernel, stride)
+        return self.graph.add_layer(spec, [src])
+
+    def fc(self, src: str, out_features: int, name: str | None = None) -> str:
+        """Add a fully-connected layer as a 1x1 convolution (Sec 5.1.1)."""
+        name = name or self._unique("fc")
+        spec = ops.conv(name, self.shape_of(src), out_features, kernel=1, stride=1)
+        return self.graph.add_layer(spec, [src])
+
+    def pool(
+        self,
+        src: str,
+        kernel: int = 2,
+        stride: int = 2,
+        global_pool: bool = False,
+        name: str | None = None,
+    ) -> str:
+        """Add a pooling layer (weight-less depth-wise conv)."""
+        name = name or self._unique("pool")
+        spec = ops.pool(name, self.shape_of(src), kernel, stride, global_pool)
+        return self.graph.add_layer(spec, [src])
+
+    def add(self, sources: list[str], name: str | None = None) -> str:
+        """Element-wise addition of same-shaped sources (residual join)."""
+        if len(sources) < 2:
+            raise GraphError("element-wise add needs >= 2 sources")
+        shapes = {self.shape_of(s) for s in sources}
+        if len(shapes) != 1:
+            raise GraphError(
+                f"element-wise add requires equal shapes, got "
+                f"{sorted(str(s) for s in shapes)}"
+            )
+        name = name or self._unique("add")
+        spec = ops.eltwise(name, next(iter(shapes)))
+        return self.graph.add_layer(spec, sources)
+
+    def concat(self, sources: list[str], name: str | None = None) -> str:
+        """Channel-wise concatenation of the sources (inception join)."""
+        if len(sources) < 2:
+            raise GraphError("concat needs >= 2 sources")
+        name = name or self._unique("concat")
+        spec = ops.concat(name, [self.shape_of(s) for s in sources])
+        return self.graph.add_layer(spec, sources)
+
+    def matmul(
+        self,
+        sources: list[str],
+        out_shape: TensorShape,
+        macs: int,
+        name: str | None = None,
+    ) -> str:
+        """Weight-less activation-activation matmul (attention score/context)."""
+        name = name or self._unique("matmul")
+        spec = ops.matmul(name, out_shape, macs)
+        return self.graph.add_layer(spec, sources)
+
+    def flatten(self, src: str, name: str | None = None) -> str:
+        """Flatten a feature map to ``1x1xHWC`` ahead of FC layers."""
+        name = name or self._unique("flatten")
+        spec = ops.flatten(name, self.shape_of(src))
+        return self.graph.add_layer(spec, [src])
+
+    def upsample(self, src: str, factor: int = 2, name: str | None = None) -> str:
+        """Nearest-neighbor spatial upsampling (decoder stages)."""
+        name = name or self._unique("upsample")
+        spec = ops.upsample(name, self.shape_of(src), factor)
+        return self.graph.add_layer(spec, [src])
+
+    def eltwise(self, src: str, name: str | None = None) -> str:
+        """Unary element-wise op (normalization modelled as eltwise)."""
+        name = name or self._unique("eltwise")
+        spec = ops.eltwise(name, self.shape_of(src))
+        return self.graph.add_layer(spec, [src])
+
+    def build(self) -> ComputationGraph:
+        """Validate and return the finished graph."""
+        self.graph.validate()
+        return self.graph

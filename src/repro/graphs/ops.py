@@ -1,0 +1,278 @@
+"""Layer operator definitions.
+
+Following Sec 5.1.1 of the paper, every layer is normalized onto a small
+set of operator kinds:
+
+* FC layers become 1x1 convolutions,
+* pooling and element-wise layers become depth-wise convolutions without
+  weights,
+* scalar post-processing (activations, bias) is hidden in the PE pipeline
+  and carries no cost,
+* attention matmuls (QK^T, AV) are weight-less ops whose output rows
+  depend on the *entire* input tensor (``full_input``), which is what makes
+  transformer subgraphs memory-hungry.
+
+A :class:`LayerSpec` is an immutable record of one layer: its geometry,
+weight footprint, and MAC count. The factory functions at the bottom
+compute those derived quantities so model-zoo code stays declarative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from enum import Enum
+
+from ..errors import ShapeError
+from .tensor import TensorShape
+
+
+class OpKind(Enum):
+    """Normalized operator kinds used by the execution and cost models."""
+
+    INPUT = "input"
+    CONV = "conv"
+    DWCONV = "dwconv"
+    POOL = "pool"
+    ELTWISE = "eltwise"
+    CONCAT = "concat"
+    MATMUL = "matmul"
+    UPSAMPLE = "upsample"
+
+    @property
+    def has_weights(self) -> bool:
+        """Whether the op loads a weight tensor from DRAM."""
+        return self in (OpKind.CONV, OpKind.DWCONV)
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """One layer (node) of the computation graph.
+
+    ``kernel``/``stride`` describe the spatial window along the tiled
+    (height) dimension; the width dimension uses the same geometry for
+    square kernels, which covers every model in the paper. ``full_input``
+    marks ops whose output depends on the whole input (attention, flatten,
+    global pooling); ``streaming`` additionally marks full-input ops that
+    reduce incrementally (global pooling keeps only an accumulator), so
+    the producer's rows need not stay resident.
+    """
+
+    name: str
+    op: OpKind
+    shape: TensorShape
+    kernel: int = 1
+    stride: int = 1
+    weight_bytes: int = 0
+    macs: int = 0
+    full_input: bool = False
+    streaming: bool = False
+    upsample_factor: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ShapeError("layer name must be non-empty")
+        if self.kernel <= 0 or self.stride <= 0:
+            raise ShapeError(
+                f"layer {self.name!r}: kernel and stride must be positive, "
+                f"got {self.kernel}/{self.stride}"
+            )
+        if self.weight_bytes < 0 or self.macs < 0:
+            raise ShapeError(
+                f"layer {self.name!r}: weight bytes and MACs must be non-negative"
+            )
+        if self.upsample_factor < 1:
+            raise ShapeError(
+                f"layer {self.name!r}: upsample factor must be >= 1, got "
+                f"{self.upsample_factor}"
+            )
+        if self.upsample_factor > 1 and self.op is not OpKind.UPSAMPLE:
+            raise ShapeError(
+                f"layer {self.name!r}: only UPSAMPLE ops may set an "
+                f"upsample factor"
+            )
+
+    @property
+    def is_input(self) -> bool:
+        """Whether this node is a model input (no computation)."""
+        return self.op is OpKind.INPUT
+
+    def output_bytes(self, bytes_per_element: int = 1) -> int:
+        """Activation bytes this layer produces."""
+        return self.shape.bytes(bytes_per_element)
+
+    def input_rows_for(self, out_rows: int, input_height: int) -> int:
+        """Rows of input needed to produce ``out_rows`` rows of output.
+
+        This is the paper's ``f_v`` function: ``F + (x - 1) * s`` for a
+        convolution window, capped at the producer's full height. Ops with
+        ``full_input`` always need the whole input.
+        """
+        if out_rows <= 0:
+            raise ShapeError(f"output rows must be positive, got {out_rows}")
+        if self.full_input:
+            return input_height
+        if self.upsample_factor > 1:
+            needed = -(-out_rows // self.upsample_factor)
+            return min(needed, input_height)
+        needed = self.kernel + (out_rows - 1) * self.stride
+        return min(needed, input_height)
+
+    def renamed(self, name: str) -> "LayerSpec":
+        """Return a copy of this spec under a different name."""
+        return replace(self, name=name)
+
+
+def input_layer(name: str, shape: TensorShape) -> LayerSpec:
+    """A model input node: holds data, computes nothing."""
+    return LayerSpec(name=name, op=OpKind.INPUT, shape=shape)
+
+
+def conv(
+    name: str,
+    in_shape: TensorShape,
+    out_channels: int,
+    kernel: int = 3,
+    stride: int = 1,
+    bytes_per_element: int = 1,
+) -> LayerSpec:
+    """A standard convolution (also used for FC-as-1x1-conv)."""
+    out = in_shape.conv_output(kernel, stride, out_channels)
+    weights = kernel * kernel * in_shape.channels * out_channels * bytes_per_element
+    macs = out.elements * kernel * kernel * in_shape.channels
+    return LayerSpec(
+        name=name,
+        op=OpKind.CONV,
+        shape=out,
+        kernel=kernel,
+        stride=stride,
+        weight_bytes=weights,
+        macs=macs,
+    )
+
+
+def dwconv(
+    name: str,
+    in_shape: TensorShape,
+    kernel: int = 3,
+    stride: int = 1,
+    bytes_per_element: int = 1,
+) -> LayerSpec:
+    """A depth-wise convolution (with weights)."""
+    out = in_shape.conv_output(kernel, stride, in_shape.channels)
+    weights = kernel * kernel * in_shape.channels * bytes_per_element
+    macs = out.elements * kernel * kernel
+    return LayerSpec(
+        name=name,
+        op=OpKind.DWCONV,
+        shape=out,
+        kernel=kernel,
+        stride=stride,
+        weight_bytes=weights,
+        macs=macs,
+    )
+
+
+def pool(
+    name: str,
+    in_shape: TensorShape,
+    kernel: int = 2,
+    stride: int = 2,
+    global_pool: bool = False,
+) -> LayerSpec:
+    """A pooling layer: depth-wise conv without weights (Sec 5.1.1)."""
+    if global_pool:
+        out = TensorShape(1, 1, in_shape.channels)
+        macs = in_shape.elements
+        return LayerSpec(
+            name=name,
+            op=OpKind.POOL,
+            shape=out,
+            kernel=in_shape.height,
+            stride=in_shape.height,
+            macs=macs,
+            full_input=True,
+            streaming=True,
+        )
+    out = in_shape.conv_output(kernel, stride, in_shape.channels)
+    macs = out.elements * kernel * kernel
+    return LayerSpec(
+        name=name, op=OpKind.POOL, shape=out, kernel=kernel, stride=stride, macs=macs
+    )
+
+
+def eltwise(name: str, shape: TensorShape) -> LayerSpec:
+    """An element-wise layer (residual add, gating): weight-less 1x1 dwconv."""
+    return LayerSpec(name=name, op=OpKind.ELTWISE, shape=shape, macs=shape.elements)
+
+
+def concat(name: str, shapes: list[TensorShape]) -> LayerSpec:
+    """A channel-wise concatenation of same-spatial-size inputs."""
+    if not shapes:
+        raise ShapeError(f"concat {name!r} needs at least one input shape")
+    spatial = {(s.height, s.width) for s in shapes}
+    if len(spatial) != 1:
+        raise ShapeError(
+            f"concat {name!r}: inputs must share spatial dims, got {sorted(spatial)}"
+        )
+    height, width = next(iter(spatial))
+    channels = sum(s.channels for s in shapes)
+    shape = TensorShape(height, width, channels)
+    # Concatenation is pure data movement, but it still occupies the
+    # datapath for one pass over its output; charge a copy's worth of ops.
+    return LayerSpec(name=name, op=OpKind.CONCAT, shape=shape, macs=shape.elements)
+
+
+def flatten(name: str, in_shape: TensorShape) -> LayerSpec:
+    """Reshape ``H x W x C`` into ``1 x 1 x HWC`` ahead of an FC layer.
+
+    Relabeling costs one copy pass over the data; the single output "row"
+    depends on the entire input, which the tiling flow must respect.
+    """
+    return LayerSpec(
+        name=name,
+        op=OpKind.ELTWISE,
+        shape=TensorShape(1, 1, in_shape.elements),
+        kernel=in_shape.height,
+        stride=in_shape.height,
+        macs=in_shape.elements,
+        full_input=True,
+    )
+
+
+def upsample(name: str, in_shape: TensorShape, factor: int = 2) -> LayerSpec:
+    """Nearest-neighbor spatial upsampling by an integer factor.
+
+    The decoder half of encoder-decoder networks (UNet, super-resolution)
+    scales feature maps back up; as pure data replication it carries no
+    weights and one copy-pass of MACs. Each input row yields ``factor``
+    output rows, which the tiling flow models as a rational consumption
+    ratio of ``1/factor``.
+    """
+    if factor < 1:
+        raise ShapeError(f"upsample {name!r}: factor must be >= 1, got {factor}")
+    out = TensorShape(
+        in_shape.height * factor, in_shape.width * factor, in_shape.channels
+    )
+    return LayerSpec(
+        name=name,
+        op=OpKind.UPSAMPLE,
+        shape=out,
+        macs=out.elements,
+        upsample_factor=factor,
+    )
+
+
+def matmul(
+    name: str,
+    out_shape: TensorShape,
+    macs: int,
+    full_input: bool = True,
+) -> LayerSpec:
+    """A weight-less matrix multiply between two activations (attention)."""
+    return LayerSpec(
+        name=name,
+        op=OpKind.MATMUL,
+        shape=out_shape,
+        macs=macs,
+        full_input=full_input,
+    )

@@ -1,0 +1,77 @@
+"""JSON-friendly serialization of computation graphs.
+
+Round-tripping through plain dicts lets users persist generated networks
+(e.g. a seeded RandWire instance) and reload them for later experiments.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from ..errors import GraphError
+from .graph import ComputationGraph
+from .ops import LayerSpec, OpKind
+from .tensor import TensorShape
+
+_FORMAT_VERSION = 1
+
+
+def graph_to_dict(graph: ComputationGraph) -> dict[str, Any]:
+    """Serialize ``graph`` to a JSON-compatible dict."""
+    layers = []
+    for name in graph.layer_names:
+        spec = graph.layer(name)
+        layers.append(
+            {
+                "name": spec.name,
+                "op": spec.op.value,
+                "shape": [spec.shape.height, spec.shape.width, spec.shape.channels],
+                "kernel": spec.kernel,
+                "stride": spec.stride,
+                "weight_bytes": spec.weight_bytes,
+                "macs": spec.macs,
+                "full_input": spec.full_input,
+                "streaming": spec.streaming,
+                "upsample_factor": spec.upsample_factor,
+                "inputs": list(graph.predecessors(name)),
+            }
+        )
+    return {"version": _FORMAT_VERSION, "name": graph.name, "layers": layers}
+
+
+def graph_from_dict(data: dict[str, Any]) -> ComputationGraph:
+    """Rebuild a graph from :func:`graph_to_dict` output."""
+    if data.get("version") != _FORMAT_VERSION:
+        raise GraphError(f"unsupported graph format version {data.get('version')!r}")
+    graph = ComputationGraph(data.get("name", "model"))
+    for entry in data["layers"]:
+        try:
+            spec = LayerSpec(
+                name=entry["name"],
+                op=OpKind(entry["op"]),
+                shape=TensorShape(*entry["shape"]),
+                kernel=entry.get("kernel", 1),
+                stride=entry.get("stride", 1),
+                weight_bytes=entry.get("weight_bytes", 0),
+                macs=entry.get("macs", 0),
+                full_input=entry.get("full_input", False),
+                streaming=entry.get("streaming", False),
+                upsample_factor=entry.get("upsample_factor", 1),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise GraphError(f"malformed layer entry {entry!r}") from exc
+        graph.add_layer(spec, entry.get("inputs", []))
+    graph.validate()
+    return graph
+
+
+def save_graph(graph: ComputationGraph, path: str | Path) -> None:
+    """Write ``graph`` as JSON to ``path``."""
+    Path(path).write_text(json.dumps(graph_to_dict(graph), indent=2))
+
+
+def load_graph(path: str | Path) -> ComputationGraph:
+    """Load a graph previously written by :func:`save_graph`."""
+    return graph_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,53 @@
+"""Tensor shapes for feature maps flowing through the computation graph.
+
+The library models activations as three-dimensional ``(height, width,
+channels)`` feature maps, the layout the paper's NPU uses (NWHC8c in the
+hardware, but the logical shape is what the cost model needs). Sequence
+models reuse the same shape with ``height = sequence length`` and
+``width = 1``, matching the paper's treatment of FC layers as 1x1
+convolutions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ShapeError
+
+
+@dataclass(frozen=True, order=True)
+class TensorShape:
+    """Shape of one activation tensor: ``height x width x channels``."""
+
+    height: int
+    width: int
+    channels: int
+
+    def __post_init__(self) -> None:
+        if self.height <= 0 or self.width <= 0 or self.channels <= 0:
+            raise ShapeError(f"tensor dimensions must be positive, got {self}")
+
+    @property
+    def elements(self) -> int:
+        """Number of scalar elements in the tensor."""
+        return self.height * self.width * self.channels
+
+    def bytes(self, bytes_per_element: int = 1) -> int:
+        """Size in bytes at the given element width (int8 by default)."""
+        return self.elements * bytes_per_element
+
+    def conv_output(self, kernel: int, stride: int, out_channels: int) -> "TensorShape":
+        """Shape after a SAME-padded convolution with the given geometry.
+
+        The paper's simulator is "free from padding data", so spatial
+        dimensions follow the usual ``ceil(dim / stride)`` rule of
+        same-padding while the cost model charges no padding traffic.
+        """
+        if kernel <= 0 or stride <= 0:
+            raise ShapeError(f"kernel and stride must be positive, got {kernel}/{stride}")
+        out_h = -(-self.height // stride)
+        out_w = -(-self.width // stride)
+        return TensorShape(out_h, out_w, out_channels)
+
+    def __str__(self) -> str:
+        return f"{self.height}x{self.width}x{self.channels}"

@@ -1,0 +1,251 @@
+"""Graph transformation passes — the NN-parser's normalization stage.
+
+Cocco's front end (Fig 10, "Extract DAG via NN-parser") receives model
+descriptions whose raw operator lists contain structure the memory
+optimizer should never see: unary scalar stages (activations,
+normalizations) that the PE pipeline hides (Sec 5.1.1), or whole regions
+the user wants to study in isolation. These passes rewrite graphs into
+the normalized form the rest of the library prices:
+
+* :func:`fold_unary_eltwise` — absorb weight-less unary element-wise
+  layers into their producers (the "hidden in the pipeline" rule),
+* :func:`extract_subgraph` — cut a member set out as a standalone graph
+  with fresh input nodes at its boundary,
+* :func:`rename_layers` — systematic renaming (prefixing, de-collision
+  before graph composition),
+* :func:`linear_chains` — maximal straight-line runs, the unit every
+  layer-fusion baseline (Fused-CNN, SR-CNN) operates on.
+
+All passes are pure: they return new graphs and never mutate the input.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping
+
+from ..errors import GraphError
+from .graph import ComputationGraph
+from .ops import LayerSpec, OpKind, input_layer
+
+
+def _rebuild(
+    graph: ComputationGraph,
+    keep: Callable[[str], bool],
+    reroute: Mapping[str, str],
+    name: str | None = None,
+) -> ComputationGraph:
+    """Copy ``graph`` keeping selected layers, rerouting dropped names.
+
+    ``reroute`` maps every dropped layer to the surviving layer that now
+    stands in for it; chains of dropped layers are followed transitively.
+    """
+
+    def survivor(node: str) -> str:
+        seen = set()
+        while node in reroute:
+            if node in seen:
+                raise GraphError(f"reroute cycle at {node!r}")
+            seen.add(node)
+            node = reroute[node]
+        return node
+
+    out = ComputationGraph(name or graph.name)
+    for node in graph.topological_order():
+        if not keep(node):
+            continue
+        inputs = []
+        for parent in graph.predecessors(node):
+            target = survivor(parent)
+            if target not in inputs:
+                inputs.append(target)
+        out.add_layer(graph.layer(node), inputs)
+    out.validate()
+    return out
+
+
+def fold_unary_eltwise(graph: ComputationGraph) -> ComputationGraph:
+    """Absorb unary element-wise layers into their producers.
+
+    A weight-less :attr:`OpKind.ELTWISE` with exactly one predecessor and
+    the same shape as that predecessor is scalar post-processing
+    (activation, normalization); Sec 5.1.1 hides it in the PE pipeline.
+    Folding removes the node and reroutes its consumers to the producer.
+    Multi-input eltwise (residual adds) and shape-changing ops (flatten)
+    are untouched. Model-output eltwise layers are kept, since folding
+    them would silently rename the model's outputs.
+    """
+    reroute: dict[str, str] = {}
+    for node in graph.topological_order():
+        spec = graph.layer(node)
+        parents = graph.predecessors(node)
+        if (
+            spec.op is OpKind.ELTWISE
+            and not spec.full_input
+            and len(parents) == 1
+            and graph.successors(node)
+            and spec.shape == graph.layer(parents[0]).shape
+        ):
+            reroute[node] = parents[0]
+    if not reroute:
+        return graph
+    return _rebuild(graph, keep=lambda n: n not in reroute, reroute=reroute)
+
+
+def extract_subgraph(
+    graph: ComputationGraph,
+    members: Iterable[str],
+    name: str | None = None,
+) -> ComputationGraph:
+    """Cut ``members`` out as a standalone graph.
+
+    External producers feeding the subgraph become fresh input nodes
+    carrying the same tensor shapes, so the extracted graph is a valid
+    model of its own — usable with every evaluator, partitioner, and
+    example in the library.
+    """
+    members = frozenset(members)
+    if not members:
+        raise GraphError("cannot extract an empty subgraph")
+    for member in members:
+        if member not in graph:
+            raise GraphError(f"unknown layer {member!r}")
+        if graph.layer(member).is_input:
+            raise GraphError(f"model input {member!r} cannot be extracted")
+
+    out = ComputationGraph(name or f"{graph.name}/sub{len(members)}")
+    added_inputs: set[str] = set()
+    for node in graph.topological_order():
+        if node not in members:
+            continue
+        inputs = []
+        for parent in graph.predecessors(node):
+            if parent in members:
+                inputs.append(parent)
+                continue
+            if parent not in added_inputs:
+                out.add_layer(input_layer(parent, graph.layer(parent).shape))
+                added_inputs.add(parent)
+            inputs.append(parent)
+        out.add_layer(graph.layer(node), inputs)
+    out.validate()
+    return out
+
+
+def rename_layers(
+    graph: ComputationGraph,
+    mapping: Mapping[str, str] | None = None,
+    prefix: str = "",
+) -> ComputationGraph:
+    """Rename layers by explicit ``mapping`` and/or a uniform ``prefix``.
+
+    Raises :class:`GraphError` if the renaming collides two layers.
+    """
+    if mapping is None and not prefix:
+        return graph
+
+    def new_name(node: str) -> str:
+        renamed = mapping.get(node, node) if mapping else node
+        return prefix + renamed
+
+    names = [new_name(n) for n in graph.layer_names]
+    if len(set(names)) != len(names):
+        raise GraphError("renaming collides layer names")
+    out = ComputationGraph(graph.name)
+    for node in graph.topological_order():
+        spec: LayerSpec = graph.layer(node).renamed(new_name(node))
+        out.add_layer(spec, [new_name(p) for p in graph.predecessors(node)])
+    out.validate()
+    return out
+
+
+def linear_chains(graph: ComputationGraph) -> list[tuple[str, ...]]:
+    """Maximal straight-line runs of compute layers.
+
+    A chain extends through nodes with exactly one compute predecessor
+    and one successor; branch and join points terminate chains. Every
+    compute layer appears in exactly one chain. Fixed-pattern fusion
+    baselines (Fused-CNN, SR-CNN) fuse within these runs only, which is
+    why they cannot exploit branchy topologies (Sec 2.2.2).
+    """
+    compute = set(graph.compute_names)
+
+    def chain_parent(node: str) -> str | None:
+        parents = [p for p in graph.predecessors(node) if p in compute]
+        if len(parents) != 1:
+            return None
+        parent = parents[0]
+        if len(graph.successors(parent)) != 1:
+            return None
+        return parent
+
+    chains: list[tuple[str, ...]] = []
+    assigned: set[str] = set()
+    for node in graph.topological_order():
+        if node not in compute or node in assigned:
+            continue
+        # Non-head nodes were already swept up by their head's forward
+        # walk (heads come earlier in topological order), so reaching an
+        # unassigned node here means it starts a fresh chain.
+        run = [node]
+        assigned.add(node)
+        current = node
+        while True:
+            succs = [s for s in graph.successors(current) if s in compute]
+            if len(graph.successors(current)) != 1 or len(succs) != 1:
+                break
+            nxt = succs[0]
+            if chain_parent(nxt) != current or nxt in assigned:
+                break
+            run.append(nxt)
+            assigned.add(nxt)
+            current = nxt
+        chains.append(tuple(run))
+    return chains
+
+
+def compose(
+    first: ComputationGraph,
+    second: ComputationGraph,
+    joins: Mapping[str, str],
+    name: str | None = None,
+) -> ComputationGraph:
+    """Feed ``first``'s layers into ``second``'s inputs.
+
+    ``joins`` maps each input node of ``second`` to the layer of ``first``
+    whose tensor replaces it; shapes must match exactly. Layer names of
+    ``second`` are prefixed with ``g2/`` where they would collide.
+    """
+    for second_input, first_layer in joins.items():
+        if second_input not in second or not second.layer(second_input).is_input:
+            raise GraphError(f"{second_input!r} is not an input of the second graph")
+        if first_layer not in first:
+            raise GraphError(f"{first_layer!r} is not a layer of the first graph")
+        if second.layer(second_input).shape != first.layer(first_layer).shape:
+            raise GraphError(
+                f"shape mismatch joining {first_layer!r} -> {second_input!r}"
+            )
+    missing = [
+        n for n in second.input_names if n not in joins
+    ]
+    if missing:
+        raise GraphError(f"unjoined inputs of the second graph: {missing}")
+
+    out = ComputationGraph(name or f"{first.name}+{second.name}")
+    for node in first.topological_order():
+        out.add_layer(first.layer(node), first.predecessors(node))
+
+    def second_name(node: str) -> str:
+        return f"g2/{node}" if node in first else node
+
+    for node in second.topological_order():
+        if node in joins:
+            continue
+        inputs = []
+        for parent in second.predecessors(node):
+            if parent in joins:
+                inputs.append(joins[parent])
+            else:
+                inputs.append(second_name(parent))
+        out.add_layer(second.layer(node).renamed(second_name(node)), inputs)
+    out.validate()
+    return out

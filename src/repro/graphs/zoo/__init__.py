@@ -1,0 +1,37 @@
+"""Model zoo: the paper's nine evaluated networks (Sec 5.1.1) plus
+structurally distinct extension models (dense connectivity, long-range
+encoder-decoder skips, pure vision attention, heterogeneous branches)."""
+
+from .registry import available_models, get_model
+from .vgg import vgg16
+from .resnet import resnet50, resnet152
+from .googlenet import googlenet
+from .transformer import transformer
+from .gpt import gpt
+from .randwire import randwire, randwire_a, randwire_b
+from .nasnet import nasnet
+from .mobilenet import mobilenet_v2
+from .densenet import densenet121
+from .inception import inception_v3
+from .unet import unet
+from .vit import vit_base16
+
+__all__ = [
+    "available_models",
+    "get_model",
+    "vgg16",
+    "resnet50",
+    "resnet152",
+    "googlenet",
+    "transformer",
+    "gpt",
+    "randwire",
+    "randwire_a",
+    "randwire_b",
+    "nasnet",
+    "mobilenet_v2",
+    "densenet121",
+    "inception_v3",
+    "unet",
+    "vit_base16",
+]

@@ -1,0 +1,58 @@
+"""DenseNet-121 (Huang et al., CVPR 2017) — dense-connectivity stress test.
+
+Every layer inside a dense block concatenates the features of *all*
+earlier layers in the block, producing the highest edge density of any
+zoo model. That shape is adversarial for graph partitioners: almost any
+cut through a dense block forces a wide concatenated tensor across the
+DRAM boundary, so good partitions hug block boundaries — exactly the
+structure-awareness Cocco is supposed to discover on its own.
+"""
+
+from __future__ import annotations
+
+from ..builder import GraphBuilder
+from ..graph import ComputationGraph
+from ..tensor import TensorShape
+
+#: Dense-block sizes of the 121-layer configuration.
+_BLOCK_LAYERS = (6, 12, 24, 16)
+_GROWTH_RATE = 32
+
+
+def _dense_layer(b: GraphBuilder, features: str, tag: str) -> str:
+    """BN-1x1 bottleneck then 3x3 conv producing ``growth_rate`` channels."""
+    h = b.conv(features, 4 * _GROWTH_RATE, kernel=1, name=f"{tag}_bottleneck")
+    return b.conv(h, _GROWTH_RATE, kernel=3, name=f"{tag}_conv")
+
+
+def _dense_block(b: GraphBuilder, x: str, num_layers: int, tag: str) -> str:
+    """``num_layers`` dense layers, each consuming the running concat."""
+    features = x
+    produced = [x]
+    for i in range(num_layers):
+        new = _dense_layer(b, features, tag=f"{tag}_l{i + 1}")
+        produced.append(new)
+        features = b.concat(produced[:], name=f"{tag}_cat{i + 1}")
+    return features
+
+
+def _transition(b: GraphBuilder, x: str, tag: str) -> str:
+    """Halve channels with a 1x1 conv, halve spatial size with 2x2 pool."""
+    channels = b.shape_of(x).channels // 2
+    h = b.conv(x, channels, kernel=1, name=f"{tag}_conv")
+    return b.pool(h, kernel=2, stride=2, name=f"{tag}_pool")
+
+
+def densenet121(input_size: int = 224) -> ComputationGraph:
+    """Build DenseNet-121: stem, four dense blocks, three transitions."""
+    b = GraphBuilder("densenet121")
+    x = b.input(TensorShape(input_size, input_size, 3), name="image")
+    x = b.conv(x, 64, kernel=7, stride=2, name="stem")
+    x = b.pool(x, kernel=3, stride=2, name="stem_pool")
+    for index, num_layers in enumerate(_BLOCK_LAYERS, start=1):
+        x = _dense_block(b, x, num_layers, tag=f"db{index}")
+        if index < len(_BLOCK_LAYERS):
+            x = _transition(b, x, tag=f"tr{index}")
+    x = b.pool(x, global_pool=True, name="gap")
+    b.fc(x, 1000, name="fc")
+    return b.build()

@@ -1,0 +1,56 @@
+"""GoogleNet (Inception v1) — the paper's inception-structure benchmark."""
+
+from __future__ import annotations
+
+from ..builder import GraphBuilder
+from ..graph import ComputationGraph
+from ..tensor import TensorShape
+
+# (1x1, 3x3 reduce, 3x3, 5x5 reduce, 5x5, pool proj) per inception module,
+# the original configuration from Szegedy et al., Table 1.
+_INCEPTION_CONFIG = {
+    "3a": (64, 96, 128, 16, 32, 32),
+    "3b": (128, 128, 192, 32, 96, 64),
+    "4a": (192, 96, 208, 16, 48, 64),
+    "4b": (160, 112, 224, 24, 64, 64),
+    "4c": (128, 128, 256, 24, 64, 64),
+    "4d": (112, 144, 288, 32, 64, 64),
+    "4e": (256, 160, 320, 32, 128, 128),
+    "5a": (256, 160, 320, 32, 128, 128),
+    "5b": (384, 192, 384, 48, 128, 128),
+}
+
+
+def _inception(b: GraphBuilder, x: str, tag: str) -> str:
+    """One inception module: four parallel branches joined by concat."""
+    c1, c3r, c3, c5r, c5, cp = _INCEPTION_CONFIG[tag]
+    branch1 = b.conv(x, c1, kernel=1, name=f"inc{tag}_1x1")
+    branch3 = b.conv(x, c3r, kernel=1, name=f"inc{tag}_3x3r")
+    branch3 = b.conv(branch3, c3, kernel=3, name=f"inc{tag}_3x3")
+    branch5 = b.conv(x, c5r, kernel=1, name=f"inc{tag}_5x5r")
+    branch5 = b.conv(branch5, c5, kernel=5, name=f"inc{tag}_5x5")
+    branchp = b.pool(x, kernel=3, stride=1, name=f"inc{tag}_pool")
+    branchp = b.conv(branchp, cp, kernel=1, name=f"inc{tag}_poolproj")
+    return b.concat([branch1, branch3, branch5, branchp], name=f"inc{tag}_out")
+
+
+def googlenet(input_size: int = 224) -> ComputationGraph:
+    """Build GoogleNet: stem, nine inception modules, classifier."""
+    b = GraphBuilder("googlenet")
+    x = b.input(TensorShape(input_size, input_size, 3), name="image")
+    x = b.conv(x, 64, kernel=7, stride=2, name="conv1")
+    x = b.pool(x, kernel=3, stride=2, name="pool1")
+    x = b.conv(x, 64, kernel=1, name="conv2_reduce")
+    x = b.conv(x, 192, kernel=3, name="conv2")
+    x = b.pool(x, kernel=3, stride=2, name="pool2")
+    x = _inception(b, x, "3a")
+    x = _inception(b, x, "3b")
+    x = b.pool(x, kernel=3, stride=2, name="pool3")
+    for tag in ("4a", "4b", "4c", "4d", "4e"):
+        x = _inception(b, x, tag)
+    x = b.pool(x, kernel=3, stride=2, name="pool4")
+    x = _inception(b, x, "5a")
+    x = _inception(b, x, "5b")
+    x = b.pool(x, global_pool=True, name="gap")
+    b.fc(x, 1000, name="fc")
+    return b.build()

@@ -1,0 +1,29 @@
+"""GPT-1 decoder stack (Radford & Narasimhan).
+
+Twelve causal-attention blocks at d_model 768 / d_ff 3072; the block
+structure is shared with the encoder model in :mod:`.transformer` because
+the memory/communication behaviour is identical at the granularity the
+cost model sees (causal masking changes values, not traffic).
+"""
+
+from __future__ import annotations
+
+from ..builder import GraphBuilder
+from ..graph import ComputationGraph
+from ..tensor import TensorShape
+from .transformer import attention_block
+
+
+def gpt(
+    num_layers: int = 12,
+    d_model: int = 768,
+    d_ff: int = 3072,
+    seq_len: int = 512,
+) -> ComputationGraph:
+    """Build the GPT-1 decoder stack with a final LM head."""
+    b = GraphBuilder("gpt")
+    x = b.input(TensorShape(seq_len, 1, d_model), name="tokens")
+    for layer in range(1, num_layers + 1):
+        x = attention_block(b, x, d_model, d_ff, seq_len, tag=f"dec{layer}")
+    b.fc(x, d_model, name="lm_head")
+    return b.build()

@@ -1,0 +1,96 @@
+"""Inception-v3 (Szegedy et al., CVPR 2016) — heterogeneous-branch model.
+
+Where GoogleNet (Inception-v1) uses one module shape, v3 mixes three:
+factorized 5x5s, asymmetric 1x7/7x1 towers (modelled as 7x7 at equal MAC
+cost along the tiled dimension), and coarse 8x8 modules. Branches of very
+different depth and kernel reach meet at each concat, producing the
+unbalanced consumption rates that the consumption-centric flow's LCM
+alignment exists to handle.
+"""
+
+from __future__ import annotations
+
+from ..builder import GraphBuilder
+from ..graph import ComputationGraph
+from ..tensor import TensorShape
+
+
+def _module_a(b: GraphBuilder, x: str, pool_ch: int, tag: str) -> str:
+    """35x35 module: 1x1 / 5x5 / double-3x3 / pool-proj branches."""
+    b1 = b.conv(x, 64, kernel=1, name=f"{tag}_1x1")
+    b2 = b.conv(x, 48, kernel=1, name=f"{tag}_5x5_reduce")
+    b2 = b.conv(b2, 64, kernel=5, name=f"{tag}_5x5")
+    b3 = b.conv(x, 64, kernel=1, name=f"{tag}_dbl_reduce")
+    b3 = b.conv(b3, 96, kernel=3, name=f"{tag}_dbl_1")
+    b3 = b.conv(b3, 96, kernel=3, name=f"{tag}_dbl_2")
+    b4 = b.pool(x, kernel=3, stride=1, name=f"{tag}_pool")
+    b4 = b.conv(b4, pool_ch, kernel=1, name=f"{tag}_pool_proj")
+    return b.concat([b1, b2, b3, b4], name=f"{tag}_out")
+
+
+def _module_b(b: GraphBuilder, x: str, mid: int, tag: str) -> str:
+    """17x17 module with asymmetric 7-tap towers."""
+    b1 = b.conv(x, 192, kernel=1, name=f"{tag}_1x1")
+    b2 = b.conv(x, mid, kernel=1, name=f"{tag}_7_reduce")
+    b2 = b.conv(b2, 192, kernel=7, name=f"{tag}_7")
+    b3 = b.conv(x, mid, kernel=1, name=f"{tag}_dbl7_reduce")
+    b3 = b.conv(b3, mid, kernel=7, name=f"{tag}_dbl7_1")
+    b3 = b.conv(b3, 192, kernel=7, name=f"{tag}_dbl7_2")
+    b4 = b.pool(x, kernel=3, stride=1, name=f"{tag}_pool")
+    b4 = b.conv(b4, 192, kernel=1, name=f"{tag}_pool_proj")
+    return b.concat([b1, b2, b3, b4], name=f"{tag}_out")
+
+
+def _module_c(b: GraphBuilder, x: str, tag: str) -> str:
+    """8x8 module with wide expanded branches."""
+    b1 = b.conv(x, 320, kernel=1, name=f"{tag}_1x1")
+    b2 = b.conv(x, 384, kernel=1, name=f"{tag}_exp_reduce")
+    b2a = b.conv(b2, 384, kernel=3, name=f"{tag}_exp_a")
+    b2b = b.conv(b2, 384, kernel=3, name=f"{tag}_exp_b")
+    b3 = b.conv(x, 448, kernel=1, name=f"{tag}_dbl_reduce")
+    b3 = b.conv(b3, 384, kernel=3, name=f"{tag}_dbl_1")
+    b3a = b.conv(b3, 384, kernel=3, name=f"{tag}_dbl_a")
+    b3b = b.conv(b3, 384, kernel=3, name=f"{tag}_dbl_b")
+    b4 = b.pool(x, kernel=3, stride=1, name=f"{tag}_pool")
+    b4 = b.conv(b4, 192, kernel=1, name=f"{tag}_pool_proj")
+    return b.concat([b1, b2a, b2b, b3a, b3b, b4], name=f"{tag}_out")
+
+
+def _reduction(b: GraphBuilder, x: str, tag: str, widths: tuple[int, int]) -> str:
+    """Grid-size reduction: strided conv branches plus a pool branch."""
+    conv_ch, dbl_ch = widths
+    b1 = b.conv(x, conv_ch, kernel=3, stride=2, name=f"{tag}_3x3")
+    b2 = b.conv(x, dbl_ch, kernel=1, name=f"{tag}_dbl_reduce")
+    b2 = b.conv(b2, dbl_ch, kernel=3, name=f"{tag}_dbl_1")
+    b2 = b.conv(b2, dbl_ch, kernel=3, stride=2, name=f"{tag}_dbl_2")
+    b3 = b.pool(x, kernel=3, stride=2, name=f"{tag}_pool")
+    return b.concat([b1, b2, b3], name=f"{tag}_out")
+
+
+def inception_v3(input_size: int = 299, num_classes: int = 1000) -> ComputationGraph:
+    """Build Inception-v3: stem, 5+4+2 inception modules, two reductions."""
+    b = GraphBuilder("inception_v3")
+    x = b.input(TensorShape(input_size, input_size, 3), name="image")
+    x = b.conv(x, 32, kernel=3, stride=2, name="stem_1")
+    x = b.conv(x, 32, kernel=3, name="stem_2")
+    x = b.conv(x, 64, kernel=3, name="stem_3")
+    x = b.pool(x, kernel=3, stride=2, name="stem_pool1")
+    x = b.conv(x, 80, kernel=1, name="stem_4")
+    x = b.conv(x, 192, kernel=3, name="stem_5")
+    x = b.pool(x, kernel=3, stride=2, name="stem_pool2")
+
+    x = _module_a(b, x, pool_ch=32, tag="a1")
+    x = _module_a(b, x, pool_ch=64, tag="a2")
+    x = _module_a(b, x, pool_ch=64, tag="a3")
+    x = _reduction(b, x, tag="redA", widths=(384, 96))
+    x = _module_b(b, x, mid=128, tag="b1")
+    x = _module_b(b, x, mid=160, tag="b2")
+    x = _module_b(b, x, mid=160, tag="b3")
+    x = _module_b(b, x, mid=192, tag="b4")
+    x = _reduction(b, x, tag="redB", widths=(320, 192))
+    x = _module_c(b, x, tag="c1")
+    x = _module_c(b, x, tag="c2")
+
+    x = b.pool(x, global_pool=True, name="gap")
+    b.fc(x, num_classes, name="fc")
+    return b.build()

@@ -1,0 +1,62 @@
+"""MobileNetV2 (Sandler et al.) — inverted-residual extension model.
+
+The paper's introduction cites MobileNetV2 as a residual-structure
+example; it is not part of the evaluation set, but the zoo ships it as a
+ready-made workload for users exploring depth-wise-dominated networks,
+whose tiny weight volume stresses the activation side of the memory
+trade-off.
+"""
+
+from __future__ import annotations
+
+from ..builder import GraphBuilder
+from ..graph import ComputationGraph
+from ..tensor import TensorShape
+
+# (expansion factor, output channels, repeats, first stride).
+_BLOCKS = [
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+]
+
+
+def _inverted_residual(
+    b: GraphBuilder, x: str, expansion: int, out_channels: int, stride: int, tag: str
+) -> str:
+    """Expand 1x1 -> depth-wise 3x3 -> project 1x1, with a residual."""
+    in_channels = b.shape_of(x).channels
+    h = x
+    if expansion != 1:
+        h = b.conv(h, in_channels * expansion, kernel=1, name=f"{tag}_expand")
+    h = b.dwconv(h, kernel=3, stride=stride, name=f"{tag}_dw")
+    h = b.conv(h, out_channels, kernel=1, name=f"{tag}_project")
+    if stride == 1 and in_channels == out_channels:
+        return b.add([h, x], name=f"{tag}_add")
+    return h
+
+
+def mobilenet_v2(input_size: int = 224, width_mult: float = 1.0) -> ComputationGraph:
+    """Build MobileNetV2 at the given width multiplier."""
+    def scaled(channels: int) -> int:
+        return max(8, int(channels * width_mult + 0.5) // 8 * 8)
+
+    b = GraphBuilder("mobilenet_v2")
+    x = b.input(TensorShape(input_size, input_size, 3), name="image")
+    x = b.conv(x, scaled(32), kernel=3, stride=2, name="stem")
+    block = 0
+    for expansion, channels, repeats, first_stride in _BLOCKS:
+        for i in range(repeats):
+            block += 1
+            stride = first_stride if i == 0 else 1
+            x = _inverted_residual(
+                b, x, expansion, scaled(channels), stride, tag=f"b{block}"
+            )
+    x = b.conv(x, scaled(1280), kernel=1, name="head")
+    x = b.pool(x, global_pool=True, name="gap")
+    b.fc(x, 1000, name="fc")
+    return b.build()

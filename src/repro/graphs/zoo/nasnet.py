@@ -1,0 +1,125 @@
+"""NASNet-A (Zoph et al., CVPR 2018) — the paper's NAS-derived irregular model.
+
+We reconstruct the learned NASNet-A normal and reduction cells: five blocks
+per cell, each combining two of {separable conv 3x3/5x5/7x7, average/max
+pool 3x3, identity} with an element-wise add, then a channel concat of the
+unconsumed block outputs. Separable convolutions are a depth-wise plus
+point-wise pair. The cell wiring below follows the published architecture
+diagram; `repeats` scales the number of normal cells per stage.
+"""
+
+from __future__ import annotations
+
+from ..builder import GraphBuilder
+from ..graph import ComputationGraph
+from ..tensor import TensorShape
+
+
+def _sep(b: GraphBuilder, src: str, channels: int, kernel: int, stride: int, tag: str) -> str:
+    """Separable conv: depth-wise ``kernel`` x ``kernel`` then 1x1 point-wise."""
+    x = b.dwconv(src, kernel=kernel, stride=stride, name=f"{tag}_dw")
+    return b.conv(x, channels, kernel=1, stride=1, name=f"{tag}_pw")
+
+
+def _fit(b: GraphBuilder, src: str, channels: int, target_height: int, tag: str) -> str:
+    """Project ``src`` to ``channels`` and the target spatial size (1x1 conv)."""
+    shape = b.shape_of(src)
+    stride = shape.height // target_height if shape.height != target_height else 1
+    if shape.channels == channels and stride == 1:
+        return src
+    return b.conv(src, channels, kernel=1, stride=max(stride, 1), name=f"{tag}_fit")
+
+
+def _normal_cell(b: GraphBuilder, h: str, h_prev: str, channels: int, tag: str) -> str:
+    """NASNet-A normal cell (stride 1)."""
+    height = b.shape_of(h).height
+    cur = _fit(b, h, channels, height, f"{tag}_cur")
+    prev = _fit(b, h_prev, channels, height, f"{tag}_prev")
+    b1 = b.add(
+        [_sep(b, cur, channels, 3, 1, f"{tag}_b1s"), cur], name=f"{tag}_b1"
+    )
+    b2 = b.add(
+        [
+            _sep(b, prev, channels, 3, 1, f"{tag}_b2s1"),
+            _sep(b, cur, channels, 5, 1, f"{tag}_b2s2"),
+        ],
+        name=f"{tag}_b2",
+    )
+    b3 = b.add(
+        [b.pool(cur, kernel=3, stride=1, name=f"{tag}_b3p"), prev], name=f"{tag}_b3"
+    )
+    b4 = b.add(
+        [
+            b.pool(prev, kernel=3, stride=1, name=f"{tag}_b4p1"),
+            b.pool(prev, kernel=3, stride=1, name=f"{tag}_b4p2"),
+        ],
+        name=f"{tag}_b4",
+    )
+    b5 = b.add(
+        [
+            _sep(b, prev, channels, 5, 1, f"{tag}_b5s1"),
+            _sep(b, prev, channels, 3, 1, f"{tag}_b5s2"),
+        ],
+        name=f"{tag}_b5",
+    )
+    return b.concat([b1, b2, b3, b4, b5], name=f"{tag}_out")
+
+
+def _reduction_cell(b: GraphBuilder, h: str, h_prev: str, channels: int, tag: str) -> str:
+    """NASNet-A reduction cell (stride 2)."""
+    height = b.shape_of(h).height
+    cur = _fit(b, h, channels, height, f"{tag}_cur")
+    prev = _fit(b, h_prev, channels, height, f"{tag}_prev")
+    b1 = b.add(
+        [
+            _sep(b, prev, channels, 7, 2, f"{tag}_b1s1"),
+            _sep(b, cur, channels, 5, 2, f"{tag}_b1s2"),
+        ],
+        name=f"{tag}_b1",
+    )
+    b2 = b.add(
+        [
+            b.pool(cur, kernel=3, stride=2, name=f"{tag}_b2p"),
+            _sep(b, prev, channels, 7, 2, f"{tag}_b2s"),
+        ],
+        name=f"{tag}_b2",
+    )
+    b3 = b.add(
+        [
+            b.pool(cur, kernel=3, stride=2, name=f"{tag}_b3p"),
+            _sep(b, prev, channels, 5, 2, f"{tag}_b3s"),
+        ],
+        name=f"{tag}_b3",
+    )
+    b4 = b.add(
+        [b.pool(b1, kernel=3, stride=1, name=f"{tag}_b4p"), b2], name=f"{tag}_b4"
+    )
+    b5 = b.add(
+        [_sep(b, b1, channels, 3, 1, f"{tag}_b5s"), b3], name=f"{tag}_b5"
+    )
+    return b.concat([b3, b4, b5], name=f"{tag}_out")
+
+
+def nasnet(
+    repeats: int = 2,
+    base_channels: int = 66,
+    input_size: int = 224,
+) -> ComputationGraph:
+    """Build NASNet-A with ``repeats`` normal cells per stage (3 stages)."""
+    b = GraphBuilder("nasnet")
+    x = b.input(TensorShape(input_size, input_size, 3), name="image")
+    stem = b.conv(x, 32, kernel=3, stride=2, name="stem")
+    h_prev, h = stem, stem
+    channels = base_channels
+    cell = 0
+    for stage in range(1, 4):
+        for _ in range(repeats):
+            cell += 1
+            h_prev, h = h, _normal_cell(b, h, h_prev, channels, tag=f"n{cell}")
+        if stage < 3:
+            cell += 1
+            channels *= 2
+            h_prev, h = h, _reduction_cell(b, h, h_prev, channels, tag=f"r{cell}")
+    x = b.pool(h, global_pool=True, name="gap")
+    b.fc(x, 1000, name="fc")
+    return b.build()

@@ -1,0 +1,60 @@
+"""Registry mapping model names to builders, with instance caching.
+
+Experiments refer to models by the names used in the paper's figures
+("resnet50", "randwire_a", ...). Built graphs are immutable in practice, so
+the registry caches one instance per name.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Callable
+
+from ...errors import GraphError
+from ..graph import ComputationGraph
+from .densenet import densenet121
+from .googlenet import googlenet
+from .gpt import gpt
+from .inception import inception_v3
+from .mobilenet import mobilenet_v2
+from .nasnet import nasnet
+from .randwire import randwire_a, randwire_b
+from .resnet import resnet50, resnet152
+from .transformer import transformer
+from .unet import unet
+from .vgg import vgg16
+from .vit import vit_base16
+
+_BUILDERS: dict[str, Callable[[], ComputationGraph]] = {
+    "vgg16": vgg16,
+    "resnet50": resnet50,
+    "resnet152": resnet152,
+    "googlenet": googlenet,
+    "transformer": transformer,
+    "gpt": gpt,
+    "randwire_a": randwire_a,
+    "randwire_b": randwire_b,
+    "nasnet": nasnet,
+    "mobilenet_v2": mobilenet_v2,
+    "densenet121": densenet121,
+    "inception_v3": inception_v3,
+    "unet": unet,
+    "vit_base16": vit_base16,
+}
+
+
+def available_models() -> tuple[str, ...]:
+    """Names accepted by :func:`get_model`, in the paper's order."""
+    return tuple(_BUILDERS)
+
+
+@lru_cache(maxsize=None)
+def get_model(name: str) -> ComputationGraph:
+    """Build (or fetch the cached) model called ``name``."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise GraphError(
+            f"unknown model {name!r}; available: {', '.join(_BUILDERS)}"
+        ) from None
+    return builder()

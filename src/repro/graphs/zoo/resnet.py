@@ -1,0 +1,51 @@
+"""ResNet-50 and ResNet-152 — multi-branch residual networks (He et al.)."""
+
+from __future__ import annotations
+
+from ..builder import GraphBuilder
+from ..graph import ComputationGraph
+from ..tensor import TensorShape
+
+_STAGE_CHANNELS = [64, 128, 256, 512]
+_EXPANSION = 4
+
+
+def _bottleneck(
+    b: GraphBuilder, x: str, mid_channels: int, stride: int, tag: str
+) -> str:
+    """One bottleneck block: 1x1 -> 3x3 -> 1x1 with a residual shortcut."""
+    out_channels = mid_channels * _EXPANSION
+    main = b.conv(x, mid_channels, kernel=1, stride=1, name=f"{tag}_a")
+    main = b.conv(main, mid_channels, kernel=3, stride=stride, name=f"{tag}_b")
+    main = b.conv(main, out_channels, kernel=1, stride=1, name=f"{tag}_c")
+    if stride != 1 or b.shape_of(x).channels != out_channels:
+        shortcut = b.conv(x, out_channels, kernel=1, stride=stride, name=f"{tag}_sc")
+    else:
+        shortcut = x
+    return b.add([main, shortcut], name=f"{tag}_add")
+
+
+def _resnet(name: str, blocks_per_stage: list[int], input_size: int) -> ComputationGraph:
+    b = GraphBuilder(name)
+    x = b.input(TensorShape(input_size, input_size, 3), name="image")
+    x = b.conv(x, 64, kernel=7, stride=2, name="conv1")
+    x = b.pool(x, kernel=3, stride=2, name="pool1")
+    for stage, (blocks, channels) in enumerate(
+        zip(blocks_per_stage, _STAGE_CHANNELS), start=2
+    ):
+        for block in range(1, blocks + 1):
+            stride = 2 if (block == 1 and stage > 2) else 1
+            x = _bottleneck(b, x, channels, stride, tag=f"res{stage}_{block}")
+    x = b.pool(x, global_pool=True, name="gap")
+    b.fc(x, 1000, name="fc")
+    return b.build()
+
+
+def resnet50(input_size: int = 224) -> ComputationGraph:
+    """ResNet-50: bottleneck stages of [3, 4, 6, 3] blocks."""
+    return _resnet("resnet50", [3, 4, 6, 3], input_size)
+
+
+def resnet152(input_size: int = 224) -> ComputationGraph:
+    """ResNet-152: bottleneck stages of [3, 8, 36, 3] blocks."""
+    return _resnet("resnet152", [3, 8, 36, 3], input_size)

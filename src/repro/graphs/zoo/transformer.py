@@ -1,0 +1,55 @@
+"""Transformer encoder (Vaswani et al., base config).
+
+Sequence activations use ``TensorShape(seq_len, 1, d_model)``; linear
+projections are 1x1 convolutions (Sec 5.1.1) and the two attention matmuls
+are weight-less ``full_input`` ops, since every output token attends to the
+whole sequence.
+"""
+
+from __future__ import annotations
+
+from ..builder import GraphBuilder
+from ..graph import ComputationGraph
+from ..tensor import TensorShape
+
+
+def attention_block(
+    b: GraphBuilder, x: str, d_model: int, d_ff: int, seq_len: int, tag: str
+) -> str:
+    """One pre-norm attention + FFN block; returns the output layer name."""
+    q = b.fc(x, d_model, name=f"{tag}_q")
+    k = b.fc(x, d_model, name=f"{tag}_k")
+    v = b.fc(x, d_model, name=f"{tag}_v")
+    scores = b.matmul(
+        [q, k],
+        TensorShape(seq_len, 1, seq_len),
+        macs=seq_len * seq_len * d_model,
+        name=f"{tag}_qk",
+    )
+    context = b.matmul(
+        [scores, v],
+        TensorShape(seq_len, 1, d_model),
+        macs=seq_len * seq_len * d_model,
+        name=f"{tag}_av",
+    )
+    proj = b.fc(context, d_model, name=f"{tag}_proj")
+    attn_out = b.add([proj, x], name=f"{tag}_attn_add")
+    attn_out = b.eltwise(attn_out, name=f"{tag}_norm1")
+    ff = b.fc(attn_out, d_ff, name=f"{tag}_ff1")
+    ff = b.fc(ff, d_model, name=f"{tag}_ff2")
+    out = b.add([ff, attn_out], name=f"{tag}_ffn_add")
+    return b.eltwise(out, name=f"{tag}_norm2")
+
+
+def transformer(
+    num_layers: int = 6,
+    d_model: int = 512,
+    d_ff: int = 2048,
+    seq_len: int = 512,
+) -> ComputationGraph:
+    """Build the base Transformer encoder stack."""
+    b = GraphBuilder("transformer")
+    x = b.input(TensorShape(seq_len, 1, d_model), name="tokens")
+    for layer in range(1, num_layers + 1):
+        x = attention_block(b, x, d_model, d_ff, seq_len, tag=f"enc{layer}")
+    return b.build()

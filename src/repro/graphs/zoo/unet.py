@@ -1,0 +1,55 @@
+"""UNet (Ronneberger et al., MICCAI 2015) — encoder-decoder skip stress.
+
+The decoder concatenates each upsampled stage with the matching encoder
+stage, creating *long-range* skip edges that span half the network. For a
+graph partitioner this is the opposite failure mode to DenseNet's local
+density: an encoder tensor must either stay on chip for a very long time
+or cross DRAM twice, so subgraph choice directly controls the activation
+working set. The upsample op exercises the tiling flow's rational
+(1/factor) consumption ratios.
+"""
+
+from __future__ import annotations
+
+from ..builder import GraphBuilder
+from ..graph import ComputationGraph
+from ..tensor import TensorShape
+
+
+def _double_conv(b: GraphBuilder, x: str, channels: int, tag: str) -> str:
+    """The UNet block: two 3x3 convolutions."""
+    h = b.conv(x, channels, kernel=3, name=f"{tag}_conv1")
+    return b.conv(h, channels, kernel=3, name=f"{tag}_conv2")
+
+
+def unet(input_size: int = 256, base_channels: int = 32, depth: int = 4) -> ComputationGraph:
+    """Build a UNet with ``depth`` down/up stages.
+
+    ``input_size`` must be divisible by ``2 ** depth`` so every decoder
+    stage re-aligns with its encoder skip tensor.
+    """
+    if input_size % (2 ** depth) != 0:
+        raise ValueError(
+            f"input size {input_size} is not divisible by 2^{depth}"
+        )
+    b = GraphBuilder("unet")
+    x = b.input(TensorShape(input_size, input_size, 3), name="image")
+
+    skips: list[str] = []
+    channels = base_channels
+    for stage in range(1, depth + 1):
+        x = _double_conv(b, x, channels, tag=f"enc{stage}")
+        skips.append(x)
+        x = b.pool(x, kernel=2, stride=2, name=f"down{stage}")
+        channels *= 2
+
+    x = _double_conv(b, x, channels, tag="bridge")
+
+    for stage in range(depth, 0, -1):
+        channels //= 2
+        x = b.upsample(x, factor=2, name=f"up{stage}")
+        x = b.concat([x, skips[stage - 1]], name=f"skip{stage}")
+        x = _double_conv(b, x, channels, tag=f"dec{stage}")
+
+    b.conv(x, 1, kernel=1, name="head")
+    return b.build()

@@ -1,0 +1,30 @@
+"""VGG16 — the paper's plain-structure benchmark (Simonyan & Zisserman)."""
+
+from __future__ import annotations
+
+from ..builder import GraphBuilder
+from ..graph import ComputationGraph
+from ..tensor import TensorShape
+
+_STAGES = [
+    (2, 64),
+    (2, 128),
+    (3, 256),
+    (3, 512),
+    (3, 512),
+]
+
+
+def vgg16(input_size: int = 224) -> ComputationGraph:
+    """Build VGG16: five conv stages with max-pool, then three FC layers."""
+    b = GraphBuilder("vgg16")
+    x = b.input(TensorShape(input_size, input_size, 3), name="image")
+    for stage, (repeats, channels) in enumerate(_STAGES, start=1):
+        for i in range(1, repeats + 1):
+            x = b.conv(x, channels, kernel=3, stride=1, name=f"conv{stage}_{i}")
+        x = b.pool(x, kernel=2, stride=2, name=f"pool{stage}")
+    x = b.flatten(x, name="flatten")
+    x = b.fc(x, 4096, name="fc6")
+    x = b.fc(x, 4096, name="fc7")
+    b.fc(x, 1000, name="fc8")
+    return b.build()

@@ -1,0 +1,45 @@
+"""Vision Transformer (Dosovitskiy et al., ICLR 2021) — ViT-Base/16.
+
+Patch embedding is a strided convolution (16x16/16), after which the
+network is a pure attention stack over ``(224/16)^2 = 196`` tokens. Unlike
+the NLP transformer, the short sequence and wide ``d_model`` make the QKV
+projections (not the attention matmuls) the memory hot spot, giving the
+partitioner a different attention-shaped workload than GPT.
+"""
+
+from __future__ import annotations
+
+from ..builder import GraphBuilder
+from ..graph import ComputationGraph
+from ..tensor import TensorShape
+from .transformer import attention_block
+
+
+def vit_base16(
+    input_size: int = 224,
+    patch: int = 16,
+    num_layers: int = 12,
+    d_model: int = 768,
+    d_ff: int = 3072,
+    num_classes: int = 1000,
+) -> ComputationGraph:
+    """Build ViT-Base/16: patch embedding, 12 encoder blocks, head."""
+    if input_size % patch != 0:
+        raise ValueError(f"input size {input_size} not divisible by patch {patch}")
+    tokens = (input_size // patch) ** 2
+    b = GraphBuilder("vit_base16")
+    x = b.input(TensorShape(input_size, input_size, 3), name="image")
+    x = b.conv(x, d_model, kernel=patch, stride=patch, name="patch_embed")
+    # Re-interpret the 14x14xD patch grid as a (tokens, 1, D) sequence;
+    # one copy pass whose every output row depends on the whole grid.
+    x = b.matmul(
+        [x],
+        TensorShape(tokens, 1, d_model),
+        macs=tokens * d_model,
+        name="seq_reshape",
+    )
+    for layer in range(1, num_layers + 1):
+        x = attention_block(b, x, d_model, d_ff, tokens, tag=f"blk{layer}")
+    x = b.pool(x, global_pool=True, name="cls_pool")
+    b.fc(x, num_classes, name="head")
+    return b.build()

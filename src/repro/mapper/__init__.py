@@ -1,0 +1,58 @@
+"""Single-layer mapper: stage-1 of the execution flow (Sec 3.1, Fig 5).
+
+The paper's three-stage flow delegates its first stage to a "single-layer
+mapper" that picks output tile sizes for high computation utilization, and
+Sec 5.1.2 notes that "the parallelism of two dimensions of the PE array can
+be dynamically configured by the mapper results to ensure high utilization".
+This package is that mapper: a Timeloop-lite search over
+
+* which loop dimensions (output channels K, input channels C, output rows
+  H, output columns W) the two PE-array axes parallelize,
+* which dataflow (weight-, output-, or input-stationary) orders the
+  temporal loops,
+
+evaluating each candidate's PE-array utilization and on-chip buffer
+traffic. The result feeds the cost model two ways: per-layer utilization
+replaces the flat ``pe_utilization`` constant
+(:func:`calibrated_accelerator`), and the access counts price the
+global/weight buffer energy of a mapping.
+"""
+
+from .space import (
+    Dataflow,
+    Dim,
+    LoopDims,
+    Mapping,
+    SpatialMapping,
+    enumerate_mappings,
+    enumerate_spatial,
+)
+from .evaluate import BufferTraffic, MappingEvaluation, evaluate_mapping
+from .mapper import GraphMapping, LayerMapping, map_graph, map_layer
+from .utilization import (
+    GraphUtilization,
+    calibrated_accelerator,
+    graph_utilization,
+    subgraph_compute_cycles,
+)
+
+__all__ = [
+    "Dim",
+    "LoopDims",
+    "SpatialMapping",
+    "Dataflow",
+    "Mapping",
+    "enumerate_spatial",
+    "enumerate_mappings",
+    "BufferTraffic",
+    "MappingEvaluation",
+    "evaluate_mapping",
+    "LayerMapping",
+    "GraphMapping",
+    "map_layer",
+    "map_graph",
+    "GraphUtilization",
+    "graph_utilization",
+    "calibrated_accelerator",
+    "subgraph_compute_cycles",
+]

@@ -1,0 +1,147 @@
+"""The single-layer mapper: search the mapping space per layer.
+
+For each layer the mapper enumerates every (spatial assignment, dataflow)
+pair, ranks by utilization first and the cycles-times-traffic product
+second, and returns the winner. Layers with identical loop extents share
+one search (DNNs repeat shapes constantly — ResNet50's 53 convolutions
+collapse to ~20 distinct nests), so mapping a whole graph costs tens of
+searches, not hundreds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import AcceleratorConfig
+from ..errors import SearchError
+from ..graphs.graph import ComputationGraph
+from ..graphs.ops import LayerSpec, OpKind
+from .evaluate import MappingEvaluation, evaluate_mapping, is_weightless
+from .space import LoopDims, enumerate_mappings
+
+
+@dataclass(frozen=True)
+class LayerMapping:
+    """The chosen mapping of one layer plus search metadata."""
+
+    layer: str
+    dims: LoopDims
+    best: MappingEvaluation
+    candidates: int
+
+    @property
+    def utilization(self) -> float:
+        return self.best.utilization
+
+    @property
+    def compute_cycles(self) -> int:
+        return self.best.compute_cycles
+
+
+@dataclass(frozen=True)
+class GraphMapping:
+    """Per-layer mappings for every compute layer of one graph."""
+
+    layers: dict[str, LayerMapping]
+
+    def __getitem__(self, name: str) -> LayerMapping:
+        return self.layers[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.layers
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    @property
+    def mean_utilization(self) -> float:
+        """Unweighted mean utilization across layers."""
+        if not self.layers:
+            return 0.0
+        return sum(m.utilization for m in self.layers.values()) / len(self.layers)
+
+    def macs_weighted_utilization(self) -> float:
+        """MAC-weighted mean utilization — the number that matters.
+
+        Equivalent to total MACs over total cycles at peak lane count:
+        big layers dominate runtime, so they dominate the average.
+        """
+        total_macs = sum(m.dims.macs for m in self.layers.values())
+        if total_macs == 0:
+            return 0.0
+        weighted = sum(
+            m.utilization * m.dims.macs for m in self.layers.values()
+        )
+        return weighted / total_macs
+
+
+def select_best(
+    evaluations: list[MappingEvaluation],
+) -> MappingEvaluation:
+    """Rank candidates: utilization down, then cycles-x-traffic up."""
+    if not evaluations:
+        raise SearchError("mapping search produced no candidates")
+    return min(
+        evaluations,
+        key=lambda e: (-e.utilization, e.cycles_x_traffic, e.mapping.describe()),
+    )
+
+
+def map_dims(
+    dims: LoopDims, accel: AcceleratorConfig, weightless: bool = False
+) -> tuple[MappingEvaluation, int]:
+    """Exhaustively search one loop nest; returns (winner, #candidates)."""
+    evaluations = [
+        evaluate_mapping(dims, mapping, accel, weightless=weightless)
+        for mapping in enumerate_mappings(dims, accel)
+    ]
+    return select_best(evaluations), len(evaluations)
+
+
+def map_layer(
+    spec: LayerSpec,
+    accel: AcceleratorConfig | None = None,
+    in_channels: int | None = None,
+) -> LayerMapping:
+    """Map a single layer onto the PE array."""
+    accel = accel or AcceleratorConfig()
+    dims = LoopDims.from_spec(spec, in_channels=in_channels)
+    best, count = map_dims(dims, accel, weightless=is_weightless(spec))
+    return LayerMapping(layer=spec.name, dims=dims, best=best, candidates=count)
+
+
+def _graph_in_channels(graph: ComputationGraph, name: str) -> int | None:
+    """Input channel count of a layer from its producers (sum over inputs).
+
+    Concat consumes the channel sum; everything else reads tensors of
+    equal channel count, for which the sum collapses to the common value
+    via the first producer.
+    """
+    producers = graph.predecessors(name)
+    if not producers:
+        return None
+    channels = [graph.layer(p).shape.channels for p in producers]
+    spec = graph.layer(name)
+    if spec.op is OpKind.CONCAT:
+        return sum(channels)
+    return channels[0]
+
+
+def map_graph(
+    graph: ComputationGraph, accel: AcceleratorConfig | None = None
+) -> GraphMapping:
+    """Map every compute layer of a graph, deduplicating by loop extents."""
+    accel = accel or AcceleratorConfig()
+    cache: dict[tuple[LoopDims, bool], tuple[MappingEvaluation, int]] = {}
+    layers: dict[str, LayerMapping] = {}
+    for name in graph.topological_order():
+        spec = graph.layer(name)
+        if spec.is_input:
+            continue
+        dims = LoopDims.from_spec(spec, in_channels=_graph_in_channels(graph, name))
+        key = (dims, is_weightless(spec))
+        if key not in cache:
+            cache[key] = map_dims(dims, accel, weightless=key[1])
+        best, count = cache[key]
+        layers[name] = LayerMapping(layer=name, dims=dims, best=best, candidates=count)
+    return GraphMapping(layers=layers)

@@ -1,0 +1,214 @@
+"""The mapping search space: loop dimensions, spatial unrolls, dataflows.
+
+A convolution (or any of the normalized ops of :mod:`repro.graphs.ops`)
+iterates four tileable loop dimensions — output channels ``K``, input
+channels ``C``, output rows ``H``, output columns ``W`` — plus the kernel
+window, which stays temporal on this PE array. The mapper assigns one loop
+dimension to each of the two configurable PE-array axes (the paper's
+"parallelism of two dimensions"); inside a PE, the 8x8 MAC array fixes an
+8-way ``C`` by 8-way ``K`` vector product for dense ops, and an 8-way
+channel vector for depth-wise ops (which have no cross-channel reduction
+to feed the second axis).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterator
+
+from ..config import AcceleratorConfig
+from ..errors import ConfigError, ShapeError
+from ..graphs.ops import LayerSpec, OpKind
+
+
+class Dim(Enum):
+    """A tileable loop dimension of one layer."""
+
+    K = "K"  # output channels
+    C = "C"  # input channels (reduction)
+    H = "H"  # output rows
+    W = "W"  # output columns
+
+
+class Dataflow(Enum):
+    """Temporal loop-ordering style: which datum stays put in the PE.
+
+    * ``WEIGHT_STATIONARY`` — weights are fetched once; inputs re-stream
+      per output-channel tile and partial sums bounce per input-channel
+      tile (NVDLA, NeuFlow).
+    * ``OUTPUT_STATIONARY`` — partial sums never leave the PE until final;
+      weights re-stream per output-pixel tile (ShiDianNao, Envision).
+    * ``INPUT_STATIONARY`` — inputs are fetched once; weights re-stream
+      per output-pixel tile and partial sums bounce (SCNN).
+    """
+
+    WEIGHT_STATIONARY = "ws"
+    OUTPUT_STATIONARY = "os"
+    INPUT_STATIONARY = "is"
+
+
+@dataclass(frozen=True)
+class LoopDims:
+    """Loop-nest extents of one layer, normalized for the mapper.
+
+    ``reduction_free`` marks depth-wise-style ops (pool, eltwise, dwconv):
+    each output channel reads exactly one input channel, so the PE's
+    C-by-K inner array degrades to an 8-wide channel vector.
+    """
+
+    k: int
+    c: int
+    h: int
+    w: int
+    kernel_taps: int
+    reduction_free: bool = False
+
+    def __post_init__(self) -> None:
+        if min(self.k, self.c, self.h, self.w, self.kernel_taps) <= 0:
+            raise ShapeError(f"loop extents must be positive, got {self}")
+
+    @property
+    def macs(self) -> int:
+        """Total multiply-accumulates the loop nest performs."""
+        if self.reduction_free:
+            return self.k * self.h * self.w * self.kernel_taps
+        return self.k * self.c * self.h * self.w * self.kernel_taps
+
+    def size(self, dim: Dim) -> int:
+        """Extent of one loop dimension."""
+        return {Dim.K: self.k, Dim.C: self.c, Dim.H: self.h, Dim.W: self.w}[dim]
+
+    @staticmethod
+    def from_spec(spec: LayerSpec, in_channels: int | None = None) -> "LoopDims":
+        """Derive loop extents from a layer spec.
+
+        ``in_channels`` comes from the producer tensors in graph context;
+        without it, dense ops reconstruct C from the MAC count and
+        depth-wise ops use their own channel count.
+        """
+        if spec.is_input:
+            raise ShapeError(f"input node {spec.name!r} has no loop nest to map")
+        out = spec.shape
+        taps = max(1, spec.kernel * spec.kernel)
+        reduction_free = spec.op in (OpKind.DWCONV, OpKind.POOL, OpKind.ELTWISE,
+                                     OpKind.CONCAT, OpKind.UPSAMPLE)
+        if reduction_free:
+            # MACs = K*H*W*taps by construction; keep taps consistent with
+            # the recorded MAC count (global pooling uses kernel = height).
+            taps = max(1, spec.macs // max(1, out.elements))
+            return LoopDims(
+                k=out.channels, c=1, h=out.height, w=out.width,
+                kernel_taps=taps, reduction_free=True,
+            )
+        if in_channels is None:
+            denominator = out.elements * taps
+            in_channels = max(1, spec.macs // max(1, denominator))
+        return LoopDims(
+            k=out.channels,
+            c=max(1, in_channels),
+            h=out.height,
+            w=out.width,
+            kernel_taps=max(1, spec.macs // max(1, out.elements * in_channels)),
+        )
+
+
+@dataclass(frozen=True)
+class SpatialMapping:
+    """Assignment of loop dimensions to the two PE-array axes.
+
+    ``rows_dim``/``cols_dim`` may name the same dimension, in which case it
+    unrolls across the whole ``rows x cols`` array.
+    """
+
+    rows_dim: Dim
+    cols_dim: Dim
+    rows: int
+    cols: int
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ConfigError(f"PE-array axes must be positive, got {self}")
+
+    def array_factor(self, dim: Dim) -> int:
+        """Array-level parallelism granted to ``dim`` (1 if unassigned)."""
+        factor = 1
+        if self.rows_dim is dim:
+            factor *= self.rows
+        if self.cols_dim is dim:
+            factor *= self.cols
+        return factor
+
+    def describe(self) -> str:
+        return f"rows={self.rows_dim.value}*{self.rows}, cols={self.cols_dim.value}*{self.cols}"
+
+
+@dataclass(frozen=True)
+class Mapping:
+    """One point of the mapping space: spatial unroll + dataflow."""
+
+    spatial: SpatialMapping
+    dataflow: Dataflow
+
+    def describe(self) -> str:
+        return f"{self.dataflow.value}({self.spatial.describe()})"
+
+
+#: Inner-PE vector widths of the 8x8 MAC array for dense ops.
+PE_INNER_C = 8
+PE_INNER_K = 8
+
+
+def spatial_factor(mapping: SpatialMapping, dims: LoopDims, dim: Dim) -> int:
+    """Total spatial parallelism granted to ``dim`` (array x inner PE)."""
+    factor = mapping.array_factor(dim)
+    if dims.reduction_free:
+        # The 8x8 inner array degrades to an 8-wide channel vector.
+        if dim is Dim.K:
+            factor *= PE_INNER_K
+    else:
+        if dim is Dim.K:
+            factor *= PE_INNER_K
+        if dim is Dim.C:
+            factor *= PE_INNER_C
+    return factor
+
+
+def temporal_trips(mapping: SpatialMapping, dims: LoopDims) -> dict[Dim, int]:
+    """Temporal trip count per dimension after spatial unrolling."""
+    return {
+        dim: math.ceil(dims.size(dim) / spatial_factor(mapping, dims, dim))
+        for dim in Dim
+    }
+
+
+def enumerate_spatial(
+    dims: LoopDims, accel: AcceleratorConfig
+) -> Iterator[SpatialMapping]:
+    """All distinct assignments of loop dims to the two PE-array axes.
+
+    Depth-wise ops skip ``C`` (its extent is 1, parallelizing it idles the
+    axis); dimensions with extent 1 are skipped for the same reason unless
+    nothing else is available.
+    """
+    candidates = [d for d in Dim if dims.size(d) > 1]
+    if not candidates:
+        candidates = [Dim.K]
+    for rows_dim in candidates:
+        for cols_dim in candidates:
+            yield SpatialMapping(
+                rows_dim=rows_dim,
+                cols_dim=cols_dim,
+                rows=accel.pe_rows,
+                cols=accel.pe_cols,
+            )
+
+
+def enumerate_mappings(
+    dims: LoopDims, accel: AcceleratorConfig
+) -> Iterator[Mapping]:
+    """The full candidate space: every spatial assignment x dataflow."""
+    for spatial in enumerate_spatial(dims, accel):
+        for dataflow in Dataflow:
+            yield Mapping(spatial=spatial, dataflow=dataflow)

@@ -1,0 +1,91 @@
+"""Bridging mapper results into the cost model.
+
+The cost model's latency path uses a single ``pe_utilization`` scalar
+(DESIGN.md calibrates it to 0.85). The mapper replaces that guess with a
+measured number: the MAC-weighted mean utilization of the actual layers,
+under the best per-layer spatial configuration. :func:`calibrated_accelerator`
+returns an accelerator whose scalar is that measurement, so every
+downstream evaluator, search, and experiment picks it up without code
+changes — and :func:`subgraph_compute_cycles` offers the exact per-layer
+sum when aggregate scaling is too coarse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable
+
+from ..config import AcceleratorConfig
+from ..errors import ConfigError
+from ..graphs.graph import ComputationGraph
+from .mapper import GraphMapping, map_graph
+
+
+@dataclass(frozen=True)
+class GraphUtilization:
+    """Utilization summary of one graph under the mapper's choices."""
+
+    per_layer: dict[str, float]
+    mean: float
+    macs_weighted: float
+
+    def __getitem__(self, name: str) -> float:
+        return self.per_layer[name]
+
+
+def graph_utilization(
+    graph: ComputationGraph,
+    accel: AcceleratorConfig | None = None,
+    mapping: GraphMapping | None = None,
+) -> GraphUtilization:
+    """Measure per-layer and aggregate utilization for a graph."""
+    accel = accel or AcceleratorConfig()
+    mapping = mapping or map_graph(graph, accel)
+    per_layer = {name: m.utilization for name, m in mapping.layers.items()}
+    mean = mapping.mean_utilization
+    return GraphUtilization(
+        per_layer=per_layer,
+        mean=mean,
+        macs_weighted=mapping.macs_weighted_utilization(),
+    )
+
+
+def calibrated_accelerator(
+    accel: AcceleratorConfig,
+    graph: ComputationGraph,
+    mapping: GraphMapping | None = None,
+) -> AcceleratorConfig:
+    """Return a copy of ``accel`` with mapper-measured utilization.
+
+    Raises :class:`ConfigError` when the graph has no compute layers to
+    measure (utilization would be zero and break the latency model).
+    """
+    mapping = mapping or map_graph(graph, accel)
+    weighted = mapping.macs_weighted_utilization()
+    if weighted <= 0:
+        raise ConfigError(
+            "cannot calibrate utilization: graph has no mapped compute layers"
+        )
+    return replace(accel, pe_utilization=weighted)
+
+
+def subgraph_compute_cycles(
+    graph: ComputationGraph,
+    members: Iterable[str],
+    accel: AcceleratorConfig,
+    mapping: GraphMapping,
+) -> float:
+    """Exact per-layer compute cycles of a subgraph under the mapping.
+
+    The scalar model divides aggregate MACs by an average throughput; this
+    sums each member layer's own mapped cycle count instead, which differs
+    whenever a subgraph mixes high- and low-utilization layers.
+    """
+    total = 0.0
+    for name in members:
+        if graph.layer(name).is_input:
+            continue
+        if name not in mapping:
+            raise ConfigError(f"layer {name!r} missing from the graph mapping")
+        total += mapping[name].compute_cycles
+    return total

@@ -1,0 +1,35 @@
+"""Memory management: logical regions, buffer models, allocation, traces."""
+
+from .regions import BufferRegionManager, Region, RegionKind
+from .layout import Nwhc8cLayout
+from .buffers import BufferPlan, plan_buffers
+from .allocator import SubgraphAllocation, allocate_subgraph
+from .trace import (
+    EventKind,
+    MemorySnapshot,
+    SubgraphTrace,
+    TraceEvent,
+    render_snapshot,
+    render_trace,
+    trace_subgraph,
+    validate_trace,
+)
+
+__all__ = [
+    "BufferRegionManager",
+    "Region",
+    "RegionKind",
+    "Nwhc8cLayout",
+    "BufferPlan",
+    "plan_buffers",
+    "SubgraphAllocation",
+    "allocate_subgraph",
+    "EventKind",
+    "TraceEvent",
+    "MemorySnapshot",
+    "SubgraphTrace",
+    "trace_subgraph",
+    "validate_trace",
+    "render_snapshot",
+    "render_trace",
+]

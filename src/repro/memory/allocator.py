@@ -1,0 +1,86 @@
+"""Concrete region allocation for one subgraph execution.
+
+Given a derived tiling, this lays every node's MAIN (and, for 2D tiles,
+SIDE) region plus cached weight regions into the physical buffers,
+returning the full allocation map or raising
+:class:`~repro.errors.CapacityError` when the subgraph cannot fit. The
+analytic cost model only needs footprint totals, but the allocator proves
+the plan is realizable under the region-manager hardware constraints
+(region count, contiguity) and backs the execution examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import AllocationError, CapacityError
+from ..graphs.graph import ComputationGraph
+from ..execution.footprint import node_footprints
+from ..execution.tiling import SubgraphTiling
+from .buffers import BufferPlan
+from .regions import Region, RegionKind
+
+
+@dataclass(frozen=True)
+class SubgraphAllocation:
+    """Placement of one subgraph's data in the on-chip buffers."""
+
+    activation_regions: dict[str, Region]
+    side_regions: dict[str, Region]
+    weight_regions: dict[str, Region]
+    activation_bytes: int
+    weight_bytes: int
+
+
+def allocate_subgraph(
+    graph: ComputationGraph,
+    tiling: SubgraphTiling,
+    plan: BufferPlan,
+    cached_weight_nodes: tuple[str, ...] = (),
+    bytes_per_element: int = 1,
+    tile_width: int | None = None,
+) -> SubgraphAllocation:
+    """Allocate regions for every node of a tiled subgraph.
+
+    ``cached_weight_nodes`` lists the members whose weights stay resident
+    across elementary operations (the weight-caching decision made by the
+    cost model). Buffers are reset first; on failure a
+    :class:`CapacityError` carries the offending request.
+    """
+    plan.reset()
+    footprints = node_footprints(graph, tiling, bytes_per_element, tile_width)
+    activation_regions: dict[str, Region] = {}
+    side_regions: dict[str, Region] = {}
+    weight_regions: dict[str, Region] = {}
+    try:
+        for name, node in tiling.nodes.items():
+            fp = footprints[name]
+            kind = RegionKind.OUTPUT if node.is_output else RegionKind.MAIN
+            activation_regions[name] = plan.activation.allocate(
+                f"{name}/main", fp.main_bytes, kind
+            )
+            if fp.side_bytes > 0:
+                side_regions[name] = plan.activation.allocate(
+                    f"{name}/side", fp.side_bytes, RegionKind.SIDE
+                )
+        for name in cached_weight_nodes:
+            if name not in tiling.nodes:
+                raise AllocationError(
+                    f"cached weight node {name!r} is not in the subgraph"
+                )
+            weight_bytes = graph.layer(name).weight_bytes
+            if weight_bytes <= 0:
+                continue
+            weight_regions[name] = plan.weight.allocate(
+                f"{name}/weights", weight_bytes, RegionKind.MAIN
+            )
+    except AllocationError as exc:
+        raise CapacityError(f"subgraph does not fit on chip: {exc}") from exc
+    return SubgraphAllocation(
+        activation_regions=activation_regions,
+        side_regions=side_regions,
+        weight_regions=weight_regions,
+        activation_bytes=sum(r.size for r in activation_regions.values())
+        + sum(r.size for r in side_regions.values()),
+        weight_bytes=sum(r.size for r in weight_regions.values()),
+    )

@@ -1,0 +1,47 @@
+"""Physical buffer plan for one memory configuration.
+
+Maps a :class:`~repro.config.MemoryConfig` onto concrete
+:class:`~repro.memory.regions.BufferRegionManager` instances: separate
+designs get independent activation and weight managers; the shared design
+aliases both onto one manager (the paper's Table 2 setting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import BufferMode, MemoryConfig
+from .regions import BufferRegionManager
+
+
+@dataclass
+class BufferPlan:
+    """Region managers backing one memory configuration."""
+
+    memory: MemoryConfig
+    activation: BufferRegionManager
+    weight: BufferRegionManager
+
+    @property
+    def is_shared(self) -> bool:
+        """Whether activations and weights compete for the same SRAM."""
+        return self.activation is self.weight
+
+    def reset(self) -> None:
+        """Release every region in every physical buffer."""
+        self.activation.reset()
+        if not self.is_shared:
+            self.weight.reset()
+
+
+def plan_buffers(memory: MemoryConfig, max_regions: int | None = None) -> BufferPlan:
+    """Instantiate region managers for ``memory``."""
+    regions = max_regions or BufferRegionManager.DEFAULT_MAX_REGIONS
+    if memory.mode is BufferMode.SHARED:
+        shared = BufferRegionManager(memory.shared_buffer_bytes, regions)
+        return BufferPlan(memory=memory, activation=shared, weight=shared)
+    return BufferPlan(
+        memory=memory,
+        activation=BufferRegionManager(memory.global_buffer_bytes, regions),
+        weight=BufferRegionManager(memory.weight_buffer_bytes, regions),
+    )

@@ -1,0 +1,75 @@
+"""NWHC8c data layout used by the paper's implementation (Fig 7).
+
+Activations are stored channel-aligned to groups of eight (``C8c``), with
+width as the outer spatial dimension. The layout maps a logical
+``(row, col, channel)`` coordinate to a byte offset inside a node's MAIN
+region, and sizes region entries the way the hardware does:
+``ceil(C / 8) * P0`` entries per width group, ``Q0`` groups per tile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import AllocationError
+from ..graphs.tensor import TensorShape
+
+
+@dataclass(frozen=True)
+class Nwhc8cLayout:
+    """Address arithmetic for one tile stored in NWHC8c order."""
+
+    shape: TensorShape
+    tile_rows: int
+    tile_width: int
+    bytes_per_element: int = 1
+    channel_group: int = 8
+
+    def __post_init__(self) -> None:
+        if self.tile_rows <= 0 or self.tile_width <= 0:
+            raise AllocationError(
+                f"tile dims must be positive, got {self.tile_rows}x{self.tile_width}"
+            )
+        if self.tile_rows > self.shape.height or self.tile_width > self.shape.width:
+            raise AllocationError(
+                f"tile {self.tile_rows}x{self.tile_width} exceeds tensor {self.shape}"
+            )
+
+    @property
+    def channel_groups(self) -> int:
+        """Number of 8-channel groups (the ``ceil(C/8)`` of Fig 7)."""
+        return -(-self.shape.channels // self.channel_group)
+
+    @property
+    def entry_bytes(self) -> int:
+        """Bytes of one layout entry: eight channels of one element."""
+        return self.channel_group * self.bytes_per_element
+
+    @property
+    def entries_per_group(self) -> int:
+        """Entries in one width group: ``ceil(C/8) * P0``."""
+        return self.channel_groups * self.tile_rows
+
+    @property
+    def tile_bytes(self) -> int:
+        """Total MAIN-region bytes for the tile (channel-padded to 8)."""
+        return self.entries_per_group * self.entry_bytes * self.tile_width
+
+    def offset(self, row: int, col: int, channel: int) -> int:
+        """Byte offset of ``(row, col, channel)`` within the tile region.
+
+        ``row``/``col`` are tile-relative; raises on out-of-range access.
+        """
+        if not 0 <= row < self.tile_rows:
+            raise AllocationError(f"row {row} outside tile of {self.tile_rows} rows")
+        if not 0 <= col < self.tile_width:
+            raise AllocationError(f"col {col} outside tile of {self.tile_width} cols")
+        if not 0 <= channel < self.shape.channels:
+            raise AllocationError(
+                f"channel {channel} outside {self.shape.channels} channels"
+            )
+        group, lane = divmod(channel, self.channel_group)
+        entry_index = (
+            col * self.entries_per_group + group * self.tile_rows + row
+        )
+        return entry_index * self.entry_bytes + lane * self.bytes_per_element

@@ -1,0 +1,139 @@
+"""The buffer region manager (Fig 8).
+
+The hardware partitions the global buffer into logical regions through a
+``2N``-deep register file: each region owns a (head, end) address pair, and
+``N`` bounds the number of simultaneously-live regions — i.e. the maximum
+subgraph size the hardware supports (64 in the paper's test chip, with a
+272-byte register file costing 0.18% of core area).
+
+This model allocates regions sequentially, reclaims them on free, and
+compacts when fragmentation blocks an allocation that would otherwise fit
+— compaction is legal because the compiler rewrites region base addresses
+between subgraphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..errors import AllocationError
+
+
+class RegionKind(Enum):
+    """What a logical region stores (Fig 7)."""
+
+    MAIN = "main"
+    SIDE = "side"
+    OUTPUT = "output"
+
+
+@dataclass(frozen=True)
+class Region:
+    """One allocated logical region: ``[head, end)`` addresses."""
+
+    name: str
+    kind: RegionKind
+    head: int
+    end: int
+
+    @property
+    def size(self) -> int:
+        return self.end - self.head
+
+
+class BufferRegionManager:
+    """Allocate logical regions inside one physical buffer."""
+
+    #: Register-file depth of the paper's test chip: 64 region pairs.
+    DEFAULT_MAX_REGIONS = 64
+
+    def __init__(self, capacity_bytes: int, max_regions: int = DEFAULT_MAX_REGIONS):
+        if capacity_bytes <= 0:
+            raise AllocationError(f"capacity must be positive, got {capacity_bytes}")
+        if max_regions <= 0:
+            raise AllocationError(f"max regions must be positive, got {max_regions}")
+        self.capacity_bytes = capacity_bytes
+        self.max_regions = max_regions
+        self._regions: dict[str, Region] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def regions(self) -> tuple[Region, ...]:
+        """Live regions ordered by head address."""
+        return tuple(sorted(self._regions.values(), key=lambda r: r.head))
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently owned by live regions."""
+        return sum(r.size for r in self._regions.values())
+
+    @property
+    def free_bytes(self) -> int:
+        """Capacity not owned by any region."""
+        return self.capacity_bytes - self.used_bytes
+
+    def region(self, name: str) -> Region:
+        """Look up a live region by name."""
+        try:
+            return self._regions[name]
+        except KeyError:
+            raise AllocationError(f"no region named {name!r}") from None
+
+    # ------------------------------------------------------------------
+    def allocate(self, name: str, size: int, kind: RegionKind = RegionKind.MAIN) -> Region:
+        """Allocate ``size`` bytes as a new region; compacts if fragmented."""
+        if name in self._regions:
+            raise AllocationError(f"region {name!r} already allocated")
+        if size <= 0:
+            raise AllocationError(f"region size must be positive, got {size}")
+        if len(self._regions) >= self.max_regions:
+            raise AllocationError(
+                f"region table full ({self.max_regions} regions); the subgraph "
+                "exceeds the hardware's maximum node count"
+            )
+        if size > self.free_bytes:
+            raise AllocationError(
+                f"cannot allocate {size} bytes for {name!r}: only "
+                f"{self.free_bytes} of {self.capacity_bytes} free"
+            )
+        head = self._find_gap(size)
+        if head is None:
+            self.compact()
+            head = self._find_gap(size)
+        if head is None:
+            raise AllocationError(
+                f"internal error: {size} bytes should fit after compaction"
+            )
+        region = Region(name=name, kind=kind, head=head, end=head + size)
+        self._regions[name] = region
+        return region
+
+    def free(self, name: str) -> None:
+        """Release a region, making its bytes reusable."""
+        self.region(name)
+        del self._regions[name]
+
+    def reset(self) -> None:
+        """Release every region (between subgraphs)."""
+        self._regions.clear()
+
+    def compact(self) -> None:
+        """Slide all regions down to eliminate gaps."""
+        cursor = 0
+        for old in self.regions:
+            self._regions[old.name] = Region(
+                name=old.name, kind=old.kind, head=cursor, end=cursor + old.size
+            )
+            cursor += old.size
+
+    def _find_gap(self, size: int) -> int | None:
+        """First head address with ``size`` contiguous free bytes, if any."""
+        cursor = 0
+        for region in self.regions:
+            if region.head - cursor >= size:
+                return cursor
+            cursor = max(cursor, region.end)
+        if self.capacity_bytes - cursor >= size:
+            return cursor
+        return None

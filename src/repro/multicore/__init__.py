@@ -1,0 +1,13 @@
+"""Multi-core scaling and batch processing (Sec 5.4.2-5.4.3)."""
+
+from .crossbar import crossbar_cycles, crossbar_energy_pj
+from .weight_sharing import WeightShardPlan, shard_weights
+from .scheduler import MultiCoreEvaluator
+
+__all__ = [
+    "crossbar_cycles",
+    "crossbar_energy_pj",
+    "WeightShardPlan",
+    "shard_weights",
+    "MultiCoreEvaluator",
+]

@@ -1,0 +1,21 @@
+"""Crossbar interconnect cost model.
+
+Cores exchange weight shards over a crossbar (the paper extracts the
+overhead from an implemented Arteris IP). The model charges a per-byte
+transfer energy and bounds throughput with an aggregate bandwidth.
+"""
+
+from __future__ import annotations
+
+from ..config import AcceleratorConfig
+
+
+def crossbar_energy_pj(accel: AcceleratorConfig, transfer_bytes: float) -> float:
+    """Energy to move ``transfer_bytes`` between cores."""
+    return transfer_bytes * accel.crossbar_pj_per_byte
+
+
+def crossbar_cycles(accel: AcceleratorConfig, transfer_bytes: float) -> float:
+    """Cycles the crossbar needs for ``transfer_bytes``."""
+    bytes_per_cycle = accel.crossbar_bandwidth / accel.frequency_hz
+    return transfer_bytes / bytes_per_cycle

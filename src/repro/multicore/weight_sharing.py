@@ -1,0 +1,47 @@
+"""Weight sharding across cores (BSD in Tangram / rotation in NN-Baton).
+
+"Different cores only buffer a subset of weights and transfer the data
+between cores" (Sec 5.4.2): a subgraph's weights are split into
+``num_cores`` shards; every core processes its own spatial slice of every
+layer, so each shard must visit every core once per sample — the shard
+rotates around the ring/crossbar, generating ``W * (C - 1)`` bytes of
+inter-core traffic per sample while DRAM loads each weight only once in
+total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class WeightShardPlan:
+    """How one subgraph's weights are distributed over the cores."""
+
+    total_weight_bytes: int
+    num_cores: int
+    shard_bytes: int
+    rotation_bytes_per_sample: int
+
+    @property
+    def per_core_buffer_bytes(self) -> int:
+        """Weight-buffer bytes one core needs for its resident shard."""
+        return self.shard_bytes
+
+
+def shard_weights(total_weight_bytes: int, num_cores: int) -> WeightShardPlan:
+    """Build the shard plan for a subgraph's weights."""
+    if num_cores <= 0:
+        raise ConfigError(f"core count must be positive, got {num_cores}")
+    if total_weight_bytes < 0:
+        raise ConfigError("weight bytes must be non-negative")
+    shard = -(-total_weight_bytes // num_cores)
+    rotation = total_weight_bytes * (num_cores - 1)
+    return WeightShardPlan(
+        total_weight_bytes=total_weight_bytes,
+        num_cores=num_cores,
+        shard_bytes=shard,
+        rotation_bytes_per_sample=rotation,
+    )

@@ -1,0 +1,61 @@
+"""Depth-ordered dynamic-programming baseline (Irregular-NN, Sec 4.2.3).
+
+Layers are arranged by depth (ties broken by topological position) and
+the DP may only group layers that are *contiguous* in that order — the
+constrained search space the paper criticizes. Segments that come out
+disconnected are rejected, so singleton fallbacks keep the DP total.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..graphs.graph import ComputationGraph
+from .partition import Partition
+from .subgraph import weakly_connected_components
+from .validity import normalize_groups
+
+CostFn = Callable[[frozenset[str]], float]
+
+
+def _depth_order(graph: ComputationGraph) -> list[str]:
+    depths = graph.depth()
+    topo_index = graph.topo_index()
+    return sorted(graph.compute_names, key=lambda n: (depths[n], topo_index[n]))
+
+
+def dp_partition(
+    graph: ComputationGraph,
+    cost_fn: CostFn,
+    max_segment: int = 24,
+) -> Partition:
+    """Optimal partition among depth-contiguous segmentations.
+
+    ``max_segment`` caps segment length (the DP is O(N * max_segment)
+    evaluations). Depth-contiguous segmentations always satisfy precedence
+    because an edge strictly increases depth.
+    """
+    order = _depth_order(graph)
+    count = len(order)
+    best = [float("inf")] * (count + 1)
+    best[0] = 0.0
+    choice = [0] * (count + 1)
+    for end in range(1, count + 1):
+        for start in range(max(0, end - max_segment), end):
+            segment = frozenset(order[start:end])
+            if len(segment) > 1:
+                if len(weakly_connected_components(graph, segment)) != 1:
+                    continue
+            cost = cost_fn(segment)
+            total = best[start] + cost
+            if total < best[end]:
+                best[end] = total
+                choice[end] = start
+    groups: list[frozenset[str]] = []
+    end = count
+    while end > 0:
+        start = choice[end]
+        groups.append(frozenset(order[start:end]))
+        end = start
+    groups.reverse()
+    return normalize_groups(graph, groups)

@@ -1,0 +1,166 @@
+"""Exact enumeration via state-compression DP (Sec 4.2.1).
+
+Fused-CNN enumerates all partitions; Jangda et al. compress the
+enumeration into a dynamic program. Following the paper's improvement we
+record only the *scheduled ideal* (the downward-closed set of already
+executed layers) as the DP state: from each ideal, every connected,
+dependency-closed candidate subgraph of un-scheduled layers is a
+transition. The search is exact but exponential in the worst case —
+``max_states`` bounds the explored state count and raises
+:class:`~repro.errors.SearchError` when exceeded, reproducing the paper's
+"cannot complete within a reasonable time" behaviour on Transformer, GPT,
+and the RandWire models.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import SearchError
+from ..graphs.graph import ComputationGraph
+from .partition import Partition
+from .subgraph import weakly_connected_components
+
+CostFn = Callable[[frozenset[str]], float]
+
+
+def _candidate_subgraphs(
+    graph: ComputationGraph,
+    ideal: frozenset[str],
+    compute: frozenset[str],
+    max_size: int,
+    prune_fn: Callable[[frozenset[str]], bool] | None,
+    max_candidates: int,
+) -> list[frozenset[str]]:
+    """All valid next-subgraphs from a scheduled ideal.
+
+    A candidate is connected, at most ``max_size`` nodes, and closed under
+    dependencies relative to the ideal (every predecessor of a member is
+    scheduled or a member). ``prune_fn`` returning ``True`` stops growth
+    through a candidate — used to cut off sets that already exceed the
+    buffer capacity, which bounds the enumeration the way the hardware
+    does. Exceeding ``max_candidates`` raises :class:`SearchError`.
+    """
+
+    def compute_preds(name: str) -> list[str]:
+        return [p for p in graph.predecessors(name) if p in compute]
+
+    # Growth explores dependency-closed sets (connectivity is checked only
+    # on the final sets): a valid subgraph may require pulling in a
+    # non-adjacent dependency before the node that connects it, so
+    # intermediate states must be allowed to be disconnected.
+    ready = [
+        n
+        for n in graph.compute_names
+        if n not in ideal and all(p in ideal for p in compute_preds(n))
+    ]
+    explored: set[frozenset[str]] = set()
+    queue: list[frozenset[str]] = []
+    for seed in ready:
+        start = frozenset([seed])
+        if start not in explored:
+            explored.add(start)
+            queue.append(start)
+    while queue:
+        current = queue.pop()
+        if len(current) >= max_size:
+            continue
+        if prune_fn is not None and prune_fn(current):
+            continue
+        # Nodes that become ready once `current` is scheduled: successors
+        # of current members plus the originally-ready roots.
+        frontier: set[str] = set(ready)
+        for name in current:
+            frontier.update(graph.successors(name))
+        for name in sorted(frontier):
+            if name in current or name in ideal or name not in compute:
+                continue
+            if not all(p in ideal or p in current for p in compute_preds(name)):
+                continue
+            grown = current | {name}
+            if grown not in explored:
+                explored.add(grown)
+                if len(explored) > max_candidates:
+                    raise SearchError(
+                        f"enumeration frontier exceeded {max_candidates} "
+                        f"candidate subgraphs on {graph.name!r}"
+                    )
+                queue.append(grown)
+    connected = [
+        s
+        for s in explored
+        if len(s) == 1 or len(weakly_connected_components(graph, s)) == 1
+    ]
+    return sorted(connected, key=lambda s: (len(s), sorted(s)))
+
+
+def enumerate_partition(
+    graph: ComputationGraph,
+    cost_fn: CostFn,
+    max_subgraph_size: int = 64,
+    max_states: int = 100_000,
+    prune_fn: Callable[[frozenset[str]], bool] | None = None,
+    max_candidates_per_state: int = 50_000,
+) -> Partition:
+    """Exact optimal partition by ideal-state dynamic programming.
+
+    ``prune_fn`` should return ``True`` for member sets that can never be
+    scheduled (e.g. minimum footprint already beyond the buffer), which is
+    what keeps the candidate enumeration finite on real hardware limits.
+    Raises :class:`SearchError` when the state or candidate budget is
+    exhausted, which is the expected outcome for large irregular networks.
+    """
+    compute = frozenset(graph.compute_names)
+    full = compute
+    start: frozenset[str] = frozenset()
+    dp_cost: dict[frozenset[str], float] = {start: 0.0}
+    dp_parent: dict[frozenset[str], tuple[frozenset[str], frozenset[str]]] = {}
+    by_size: dict[int, list[frozenset[str]]] = {0: [start]}
+    explored = 0
+
+    for size in range(0, len(compute)):
+        for ideal in by_size.get(size, []):
+            base = dp_cost[ideal]
+            if full in dp_cost and base >= dp_cost[full]:
+                continue
+            for subgraph in _candidate_subgraphs(
+                graph,
+                ideal,
+                compute,
+                max_subgraph_size,
+                prune_fn,
+                max_candidates_per_state,
+            ):
+                cost = cost_fn(subgraph)
+                if cost == float("inf"):
+                    continue
+                new_ideal = ideal | subgraph
+                total = base + cost
+                known = dp_cost.get(new_ideal)
+                if known is not None and known <= total:
+                    continue
+                if known is None:
+                    explored += 1
+                    if explored > max_states:
+                        raise SearchError(
+                            f"enumeration exceeded {max_states} states on "
+                            f"{graph.name!r}; the model is too large for the "
+                            "exact method"
+                        )
+                    by_size.setdefault(len(new_ideal), []).append(new_ideal)
+                dp_cost[new_ideal] = total
+                dp_parent[new_ideal] = (ideal, subgraph)
+
+    if full not in dp_cost:
+        raise SearchError(
+            f"no feasible partition found for {graph.name!r}; even singleton "
+            "subgraphs exceed the buffer capacity"
+        )
+    groups: list[frozenset[str]] = []
+    cursor = full
+    while cursor != start:
+        parent, subgraph = dp_parent[cursor]
+        groups.append(subgraph)
+        cursor = parent
+    groups.reverse()
+    return Partition.from_groups(graph, groups)

@@ -1,0 +1,76 @@
+"""Halide-style greedy grouping baseline (Sec 4.2.2).
+
+Start from the layer-level partition and iteratively merge the pair of
+adjacent subgraphs with the greatest cost benefit until no merge helps.
+A merge is only considered when the two subgraphs are connected by an
+edge and contracting them keeps the quotient acyclic (no other directed
+path between them), so every intermediate state is a valid partition.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..graphs.graph import ComputationGraph
+from .partition import Partition
+from .subgraph import quotient_reachable
+from .validity import normalize_groups
+
+CostFn = Callable[[frozenset[str]], float]
+
+
+def _mergeable_pairs(
+    graph: ComputationGraph, groups: list[frozenset[str]]
+) -> list[tuple[int, int]]:
+    """Index pairs whose merge keeps the partition valid."""
+    owner: dict[str, int] = {}
+    for gi, group in enumerate(groups):
+        for name in group:
+            owner[name] = gi
+    edges: set[tuple[int, int]] = set()
+    for producer, consumer in graph.edges:
+        a, b = owner.get(producer), owner.get(consumer)
+        if a is not None and b is not None and a != b:
+            edges.add((a, b))
+    pairs = []
+    for a, b in sorted(edges):
+        if not quotient_reachable(edges, a, b, skip_direct=True):
+            pairs.append((a, b))
+    return pairs
+
+
+def greedy_partition(
+    graph: ComputationGraph,
+    cost_fn: CostFn,
+    max_merges: int | None = None,
+) -> Partition:
+    """Run the greedy merger; ``cost_fn`` prices one subgraph member set.
+
+    ``cost_fn`` should return ``inf`` for subgraphs that do not fit the
+    fixed hardware, which makes such merges unprofitable automatically.
+    """
+    groups = [frozenset([name]) for name in graph.compute_names]
+    costs = [cost_fn(g) for g in groups]
+    merges = 0
+    while max_merges is None or merges < max_merges:
+        best_gain = 0.0
+        best_pair: tuple[int, int] | None = None
+        best_cost = 0.0
+        for a, b in _mergeable_pairs(graph, groups):
+            merged = groups[a] | groups[b]
+            merged_cost = cost_fn(merged)
+            gain = costs[a] + costs[b] - merged_cost
+            if gain > best_gain:
+                best_gain = gain
+                best_pair = (a, b)
+                best_cost = merged_cost
+        if best_pair is None:
+            break
+        a, b = best_pair
+        merged = groups[a] | groups[b]
+        groups = [g for i, g in enumerate(groups) if i not in (a, b)]
+        costs = [c for i, c in enumerate(costs) if i not in (a, b)]
+        groups.append(merged)
+        costs.append(best_cost)
+        merges += 1
+    return normalize_groups(graph, groups)

@@ -1,0 +1,43 @@
+"""Random valid partition generation (Cocco's initialization, Sec 4.4.1).
+
+Layers are decided in topological order; each layer either opens a new
+subgraph or joins the subgraph of its highest-indexed predecessor — the
+only join that preserves both precedence and connectivity at decision
+time. ``p_new`` controls expected subgraph sizes.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..graphs.graph import ComputationGraph
+from .partition import Partition
+from .validity import normalize_groups
+
+
+def random_partition(
+    graph: ComputationGraph,
+    rng: random.Random,
+    p_new: float = 0.5,
+) -> Partition:
+    """Sample a uniformly-structured valid partition.
+
+    ``p_new`` is the probability that a layer opens a fresh subgraph
+    instead of joining its latest predecessor's subgraph.
+    """
+    assignment: dict[str, int] = {}
+    next_index = 0
+    for name in graph.compute_names:
+        preds = [
+            p for p in graph.predecessors(name) if p in assignment
+        ]
+        join_target = max((assignment[p] for p in preds), default=None)
+        if join_target is None or rng.random() < p_new:
+            assignment[name] = next_index
+            next_index += 1
+        else:
+            assignment[name] = join_target
+    groups: list[set[str]] = [set() for _ in range(next_index)]
+    for name, index in assignment.items():
+        groups[index].add(name)
+    return normalize_groups(graph, groups)

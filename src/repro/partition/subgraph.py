@@ -1,0 +1,82 @@
+"""Subgraph-level graph utilities shared by partition code."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from ..graphs.graph import ComputationGraph
+
+
+def weakly_connected_components(
+    graph: ComputationGraph, members: Iterable[str]
+) -> list[frozenset[str]]:
+    """Weakly connected components of the member-induced subgraph.
+
+    Connectivity counts only direct edges between members — "any subgraph
+    should be connected in G, otherwise meaningless" (Sec 4.1.1).
+    Components are returned in topological order of their earliest member.
+    Union-find keeps this near-linear; it runs on every operator output.
+    """
+    members = set(members)
+    parent = {n: n for n in members}
+
+    def find(node: str) -> str:
+        root = node
+        while parent[root] != root:
+            root = parent[root]
+        while parent[node] != root:
+            parent[node], node = root, parent[node]
+        return root
+
+    for node in members:
+        for other in graph.predecessors(node):
+            if other in members:
+                ra, rb = find(node), find(other)
+                if ra != rb:
+                    parent[ra] = rb
+    buckets: dict[str, set[str]] = {}
+    for node in members:
+        buckets.setdefault(find(node), set()).add(node)
+    topo_index = graph.topo_index()
+    components = [frozenset(c) for c in buckets.values()]
+    components.sort(key=lambda c: min(topo_index[n] for n in c))
+    return components
+
+
+def quotient_edges(
+    graph: ComputationGraph, assignment: Mapping[str, int]
+) -> set[tuple[int, int]]:
+    """Directed edges between distinct subgraphs of an assignment."""
+    edges: set[tuple[int, int]] = set()
+    for producer, consumer in graph.edges:
+        if producer in assignment and consumer in assignment:
+            a, b = assignment[producer], assignment[consumer]
+            if a != b:
+                edges.add((a, b))
+    return edges
+
+
+def quotient_reachable(
+    edges: set[tuple[int, int]], start: int, target: int, skip_direct: bool
+) -> bool:
+    """Whether ``target`` is reachable from ``start`` in the quotient.
+
+    With ``skip_direct`` the direct edge ``(start, target)`` is ignored —
+    used to decide whether merging two subgraphs would create a cycle.
+    """
+    adjacency: dict[int, list[int]] = {}
+    for a, b in edges:
+        if skip_direct and (a, b) == (start, target):
+            continue
+        adjacency.setdefault(a, []).append(b)
+    stack = [start]
+    seen = {start}
+    while stack:
+        node = stack.pop()
+        for nxt in adjacency.get(node, ()):
+            if nxt == target:
+                return True
+            if nxt not in seen:
+                seen.add(nxt)
+                stack.append(nxt)
+    return False

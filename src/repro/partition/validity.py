@@ -1,0 +1,233 @@
+"""Validity checking, normalization, and repair of partitions.
+
+Three rules make a partition valid (Sec 4.1.1):
+
+1. every compute layer is assigned to exactly one subgraph, with dense
+   indices ``0 .. k-1`` (the schedule order),
+2. precedence — for every edge ``(u, v)``, ``P(u) <= P(v)``,
+3. every subgraph is weakly connected through direct member-to-member
+   edges.
+
+:func:`normalize_groups` turns *any* raw grouping into a valid partition:
+it splits disconnected groups into components, merges groups that form
+cycles in the quotient graph (an SCC contraction — the union of a quotient
+cycle is always connected, because each group is connected and the cycle's
+cross edges link them), and renumbers by a deterministic topological sort
+of the condensation. Every GA operator funnels its output through it,
+which is what lets crossover and the mutations stay simple while still
+"guaranteeing the validity of genomes" (Sec 4.4.3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping, Sequence
+
+from ..errors import PartitionError
+from ..graphs.graph import ComputationGraph
+from .partition import Partition
+from .subgraph import weakly_connected_components
+
+
+def check_partition(graph: ComputationGraph, assignment: Mapping[str, int]) -> None:
+    """Raise :class:`PartitionError` unless ``assignment`` is valid."""
+    compute = set(graph.compute_names)
+    assigned = set(assignment)
+    if assigned != compute:
+        missing = sorted(compute - assigned)
+        extra = sorted(assigned - compute)
+        raise PartitionError(
+            f"bad assignment domain: missing={missing[:5]} extra={extra[:5]}"
+        )
+    indices = set(assignment.values())
+    if min(indices) != 0 or indices != set(range(len(indices))):
+        raise PartitionError(f"subgraph indices are not dense: {sorted(indices)[:10]}")
+    for producer, consumer in graph.edges:
+        if producer in assignment and consumer in assignment:
+            if assignment[producer] > assignment[consumer]:
+                raise PartitionError(
+                    f"precedence violated on edge ({producer!r}, {consumer!r}): "
+                    f"{assignment[producer]} > {assignment[consumer]}"
+                )
+    groups: dict[int, set[str]] = {}
+    for name, index in assignment.items():
+        groups.setdefault(index, set()).add(name)
+    for index, members in groups.items():
+        components = weakly_connected_components(graph, members)
+        if len(components) != 1:
+            raise PartitionError(
+                f"subgraph {index} is disconnected: "
+                f"{[sorted(c)[:3] for c in components]}"
+            )
+
+
+def _condensation_order(
+    graph: ComputationGraph, groups: list[frozenset[str]]
+) -> list[int]:
+    """Topological order of group indices after SCC contraction is a DAG."""
+    topo_index = graph.topo_index()
+    owner: dict[str, int] = {}
+    for gi, group in enumerate(groups):
+        for name in group:
+            owner[name] = gi
+    succ: dict[int, set[int]] = {gi: set() for gi in range(len(groups))}
+    indegree = {gi: 0 for gi in range(len(groups))}
+    for producer, consumer in graph.edges:
+        a, b = owner.get(producer), owner.get(consumer)
+        if a is None or b is None or a == b:
+            continue
+        if b not in succ[a]:
+            succ[a].add(b)
+            indegree[b] += 1
+    rank = {gi: min(topo_index[n] for n in group) for gi, group in enumerate(groups)}
+    ready = sorted(
+        (gi for gi in indegree if indegree[gi] == 0), key=lambda gi: rank[gi]
+    )
+    order: list[int] = []
+    while ready:
+        ready.sort(key=lambda gi: rank[gi])
+        node = ready.pop(0)
+        order.append(node)
+        for nxt in succ[node]:
+            indegree[nxt] -= 1
+            if indegree[nxt] == 0:
+                ready.append(nxt)
+    if len(order) != len(groups):
+        raise PartitionError("quotient graph still cyclic after contraction")
+    return order
+
+
+def _contract_cycles(
+    graph: ComputationGraph, groups: list[frozenset[str]]
+) -> list[frozenset[str]]:
+    """Merge groups lying on quotient cycles (Tarjan SCC contraction)."""
+    owner: dict[str, int] = {}
+    for gi, group in enumerate(groups):
+        for name in group:
+            owner[name] = gi
+    succ: dict[int, set[int]] = {gi: set() for gi in range(len(groups))}
+    for producer, consumer in graph.edges:
+        a, b = owner.get(producer), owner.get(consumer)
+        if a is not None and b is not None and a != b:
+            succ[a].add(b)
+
+    # Iterative Tarjan over the quotient graph.
+    index_counter = 0
+    stack: list[int] = []
+    on_stack: set[int] = set()
+    indices: dict[int, int] = {}
+    lowlink: dict[int, int] = {}
+    sccs: list[list[int]] = []
+
+    for root in range(len(groups)):
+        if root in indices:
+            continue
+        work = [(root, iter(sorted(succ[root])))]
+        indices[root] = lowlink[root] = index_counter
+        index_counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for nxt in it:
+                if nxt not in indices:
+                    indices[nxt] = lowlink[nxt] = index_counter
+                    index_counter += 1
+                    stack.append(nxt)
+                    on_stack.add(nxt)
+                    work.append((nxt, iter(sorted(succ[nxt]))))
+                    advanced = True
+                    break
+                if nxt in on_stack:
+                    lowlink[node] = min(lowlink[node], indices[nxt])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == indices[node]:
+                scc = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    scc.append(member)
+                    if member == node:
+                        break
+                sccs.append(scc)
+
+    merged = [
+        frozenset().union(*(groups[gi] for gi in scc)) for scc in sccs
+    ]
+    return merged
+
+
+def normalize_groups(
+    graph: ComputationGraph, groups: Sequence[Iterable[str]]
+) -> Partition:
+    """Repair any raw grouping of the compute layers into a valid partition."""
+    compute = set(graph.compute_names)
+    seen: set[str] = set()
+    cleaned: list[frozenset[str]] = []
+    for group in groups:
+        members = {n for n in group if n in compute and n not in seen}
+        seen.update(members)
+        if not members:
+            continue
+        cleaned.extend(weakly_connected_components(graph, members))
+    unassigned = compute - seen
+    for name in sorted(unassigned):
+        cleaned.append(frozenset([name]))
+
+    contracted = _contract_cycles(graph, cleaned)
+    # Contraction may merge previously split components into a connected
+    # whole, but the union of a quotient cycle can also pick up pieces
+    # that were only linked through nodes outside the cycle; re-split any
+    # group that came out disconnected.
+    final: list[frozenset[str]] = []
+    for group in contracted:
+        final.extend(weakly_connected_components(graph, group))
+    final = _contract_cycles(graph, final)
+    order = _condensation_order(graph, final)
+    ordered = [final[gi] for gi in order]
+    return Partition.from_groups(graph, ordered)
+
+
+def split_infeasible(
+    partition: Partition,
+    is_feasible: Callable[[frozenset[str]], bool],
+    max_rounds: int = 64,
+) -> Partition:
+    """In-situ repair: split oversized subgraphs until everything fits.
+
+    This is the paper's in-situ ``split-subgraph`` tuning (Sec 4.4.4):
+    when a subgraph exceeds the buffer capacity, bisect it along the
+    topological order and retry. Singleton subgraphs that still do not fit
+    are left in place (the partition is then genuinely infeasible for this
+    hardware and will be priced at infinity).
+    """
+    graph = partition.graph
+    topo_index = graph.topo_index()
+    current = partition
+    for _ in range(max_rounds):
+        groups = [set(g) for g in current.subgraph_sets]
+        oversized = [
+            g for g in groups if len(g) > 1 and not is_feasible(frozenset(g))
+        ]
+        if not oversized:
+            return current
+        next_groups: list[set[str]] = []
+        for group in groups:
+            if group not in oversized:
+                next_groups.append(group)
+                continue
+            ordered = sorted(group, key=lambda n: topo_index[n])
+            half = len(ordered) // 2
+            next_groups.append(set(ordered[:half]))
+            next_groups.append(set(ordered[half:]))
+        # Normalization may re-merge pieces whose split created quotient
+        # cycles, so feasibility is re-checked on the normalized result
+        # each round; singleton quotients are DAGs, which guarantees
+        # termination.
+        current = normalize_groups(graph, next_groups)
+    return current

@@ -1,0 +1,173 @@
+"""Memory-capacity search space for design-space exploration (Sec 5.3).
+
+The paper explores global buffers from 128 KB to 2048 KB in 64 KB steps,
+weight buffers from 144 KB to 2304 KB in 72 KB steps, and shared buffers
+from 128 KB to 3072 KB in 64 KB steps. A :class:`CapacitySpace` owns the
+candidate lists and implements the sampling, rounding, averaging
+(crossover), and Gaussian perturbation (mutation-DSE) primitives the
+search algorithms need.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_left
+from dataclasses import dataclass
+
+from .config import BufferMode, MemoryConfig
+from .errors import ConfigError
+from .units import kb
+
+
+def _steps(start_kb: int, stop_kb: int, step_kb: int) -> tuple[int, ...]:
+    return tuple(kb(v) for v in range(start_kb, stop_kb + 1, step_kb))
+
+
+def _nearest(candidates: tuple[int, ...], value: float) -> int:
+    """Candidate closest to ``value`` (ties round down)."""
+    pos = bisect_left(candidates, value)
+    if pos == 0:
+        return candidates[0]
+    if pos >= len(candidates):
+        return candidates[-1]
+    before, after = candidates[pos - 1], candidates[pos]
+    return before if value - before <= after - value else after
+
+
+def _gaussian_step(
+    candidates: tuple[int, ...], current: int, rng: random.Random, sigma_steps: float
+) -> int:
+    """Resample around ``current``: normal in candidate-index space."""
+    index = candidates.index(_nearest(candidates, current))
+    jump = int(round(rng.gauss(0.0, sigma_steps)))
+    new_index = min(len(candidates) - 1, max(0, index + jump))
+    return candidates[new_index]
+
+
+@dataclass(frozen=True)
+class CapacitySpace:
+    """Candidate capacities for one buffer mode."""
+
+    mode: BufferMode
+    global_candidates: tuple[int, ...] = ()
+    weight_candidates: tuple[int, ...] = ()
+    shared_candidates: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.mode is BufferMode.SEPARATE:
+            if not self.global_candidates or not self.weight_candidates:
+                raise ConfigError("separate space needs global and weight candidates")
+        elif not self.shared_candidates:
+            raise ConfigError("shared space needs shared candidates")
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def paper_separate() -> "CapacitySpace":
+        """The separate-buffer ranges of Sec 5.3.1."""
+        return CapacitySpace(
+            mode=BufferMode.SEPARATE,
+            global_candidates=_steps(128, 2048, 64),
+            weight_candidates=_steps(144, 2304, 72),
+        )
+
+    @staticmethod
+    def paper_shared() -> "CapacitySpace":
+        """The shared-buffer range of Sec 5.3.1."""
+        return CapacitySpace(
+            mode=BufferMode.SHARED,
+            shared_candidates=_steps(128, 3072, 64),
+        )
+
+    # ------------------------------------------------------------------
+    def sample(self, rng: random.Random) -> MemoryConfig:
+        """Uniform random configuration (GA initialization, RS)."""
+        if self.mode is BufferMode.SEPARATE:
+            return MemoryConfig.separate(
+                rng.choice(self.global_candidates),
+                rng.choice(self.weight_candidates),
+            )
+        return MemoryConfig.shared(rng.choice(self.shared_candidates))
+
+    def round(self, memory: MemoryConfig) -> MemoryConfig:
+        """Snap an arbitrary configuration onto the candidate grid."""
+        if self.mode is BufferMode.SEPARATE:
+            return MemoryConfig.separate(
+                _nearest(self.global_candidates, memory.global_buffer_bytes),
+                _nearest(self.weight_candidates, memory.weight_buffer_bytes),
+            )
+        return MemoryConfig.shared(
+            _nearest(self.shared_candidates, memory.shared_buffer_bytes)
+        )
+
+    def average(self, a: MemoryConfig, b: MemoryConfig) -> MemoryConfig:
+        """Crossover rule: average the parents, round to the grid."""
+        if self.mode is BufferMode.SEPARATE:
+            return MemoryConfig.separate(
+                _nearest(
+                    self.global_candidates,
+                    (a.global_buffer_bytes + b.global_buffer_bytes) / 2,
+                ),
+                _nearest(
+                    self.weight_candidates,
+                    (a.weight_buffer_bytes + b.weight_buffer_bytes) / 2,
+                ),
+            )
+        return MemoryConfig.shared(
+            _nearest(
+                self.shared_candidates,
+                (a.shared_buffer_bytes + b.shared_buffer_bytes) / 2,
+            )
+        )
+
+    def perturb(
+        self, memory: MemoryConfig, rng: random.Random, sigma_steps: float = 3.0
+    ) -> MemoryConfig:
+        """mutation-DSE: Gaussian step on the candidate grid (Sec 4.4.3)."""
+        if self.mode is BufferMode.SEPARATE:
+            return MemoryConfig.separate(
+                _gaussian_step(
+                    self.global_candidates, memory.global_buffer_bytes, rng, sigma_steps
+                ),
+                _gaussian_step(
+                    self.weight_candidates, memory.weight_buffer_bytes, rng, sigma_steps
+                ),
+            )
+        return MemoryConfig.shared(
+            _gaussian_step(
+                self.shared_candidates, memory.shared_buffer_bytes, rng, sigma_steps
+            )
+        )
+
+    def grid(self, stride: int = 4, descending: bool = True) -> list[MemoryConfig]:
+        """Coarse deterministic enumeration for grid search (GS).
+
+        ``stride`` subsamples every ``stride``-th candidate; the paper's GS
+        walks from large to small capacity.
+        """
+        if self.mode is BufferMode.SEPARATE:
+            glb = self.global_candidates[::stride]
+            wgt = self.weight_candidates[::stride]
+            configs = [
+                MemoryConfig.separate(g, w) for g in glb for w in wgt
+            ]
+            configs.sort(key=lambda m: m.total_bytes, reverse=descending)
+            return configs
+        shared = self.shared_candidates[::stride]
+        configs = [MemoryConfig.shared(s) for s in shared]
+        configs.sort(key=lambda m: m.total_bytes, reverse=descending)
+        return configs
+
+    # ------------------------------------------------------------------
+    def fixed_preset(self, size: str) -> MemoryConfig:
+        """The paper's fixed-hardware presets: small / medium / large."""
+        presets = {"small": 0.25, "medium": 0.5, "large": 1.0}
+        if size not in presets:
+            raise ConfigError(f"unknown preset {size!r}; use small/medium/large")
+        if self.mode is BufferMode.SEPARATE:
+            return MemoryConfig.separate(
+                kb({"small": 512, "medium": 1024, "large": 2048}[size]),
+                kb({"small": 576, "medium": 1152, "large": 2304}[size]),
+            )
+        return MemoryConfig.shared(
+            kb({"small": 576, "medium": 1152, "large": 2304}[size])
+        )

@@ -1,0 +1,85 @@
+"""Unit helpers and formatting used throughout the library.
+
+All internal accounting uses base units: bytes, picojoules, cycles, and
+bytes-per-second. These helpers convert to and from the human-facing units
+used in the paper's tables (KB, MB, mJ, ms, GB/s) and format values for the
+experiment reports.
+"""
+
+from __future__ import annotations
+
+KIB = 1024
+MIB = 1024 * 1024
+GIB = 1024 * 1024 * 1024
+
+PJ_PER_MJ = 1e9
+PJ_PER_UJ = 1e6
+
+
+def kb(value: float) -> int:
+    """Convert binary kilobytes to bytes (1 KB = 1024 bytes, as the paper)."""
+    return int(value * KIB)
+
+
+def mb(value: float) -> int:
+    """Convert binary megabytes to bytes."""
+    return int(value * MIB)
+
+
+def to_kb(nbytes: float) -> float:
+    """Convert bytes to binary kilobytes."""
+    return nbytes / KIB
+
+
+def to_mb(nbytes: float) -> float:
+    """Convert bytes to binary megabytes."""
+    return nbytes / MIB
+
+
+def mj_from_pj(picojoules: float) -> float:
+    """Convert picojoules to millijoules."""
+    return picojoules / PJ_PER_MJ
+
+
+def ms_from_cycles(cycles: float, frequency_hz: float) -> float:
+    """Convert a cycle count at ``frequency_hz`` to milliseconds."""
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz}")
+    return cycles / frequency_hz * 1e3
+
+
+def gbps(value: float) -> float:
+    """Convert gigabytes-per-second to bytes-per-second."""
+    return value * 1e9
+
+
+def to_gbps(bytes_per_second: float) -> float:
+    """Convert bytes-per-second to gigabytes-per-second."""
+    return bytes_per_second / 1e9
+
+
+def fmt_bytes(nbytes: float) -> str:
+    """Human-readable byte count, matching the paper's KB/MB style."""
+    if nbytes >= MIB:
+        return f"{nbytes / MIB:.2f}MB"
+    if nbytes >= KIB:
+        return f"{nbytes / KIB:.0f}KB"
+    return f"{nbytes:.0f}B"
+
+
+def fmt_energy(picojoules: float) -> str:
+    """Human-readable energy (mJ for large values, uJ below)."""
+    if picojoules >= PJ_PER_MJ / 100:
+        return f"{picojoules / PJ_PER_MJ:.2f}mJ"
+    return f"{picojoules / PJ_PER_UJ:.2f}uJ"
+
+
+def fmt_sci(value: float) -> str:
+    """Scientific notation in the paper's ``1.04E7`` style."""
+    if value == 0:
+        return "0.00E0"
+    from math import floor, log10
+
+    exponent = floor(log10(abs(value)))
+    mantissa = value / 10**exponent
+    return f"{mantissa:.2f}E{exponent}"

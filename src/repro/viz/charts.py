@@ -1,0 +1,229 @@
+"""Pure-ASCII charts for terminal output.
+
+Every function returns a string; nothing writes to stdout. Charts are
+deterministic for a given input, so tests can assert on their content.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from ..errors import ConfigError
+
+#: Marker characters assigned to series in declaration order.
+MARKERS = "*+ox#@%&"
+
+
+def _finite(values: Sequence[float]) -> list[float]:
+    return [v for v in values if math.isfinite(v)]
+
+
+def _span(lo: float, hi: float) -> tuple[float, float]:
+    """Widen degenerate ranges so scaling never divides by zero."""
+    if hi <= lo:
+        pad = abs(lo) * 0.5 or 1.0
+        return lo - pad, lo + pad
+    return lo, hi
+
+
+def _format_tick(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 10_000 or abs(value) < 0.01:
+        return f"{value:.2e}"
+    return f"{value:.4g}"
+
+
+class _Grid:
+    """A character canvas with data-space plotting."""
+
+    def __init__(self, width: int, height: int,
+                 x_range: tuple[float, float], y_range: tuple[float, float]):
+        if width < 8 or height < 4:
+            raise ConfigError(f"chart area too small: {width}x{height}")
+        self.width = width
+        self.height = height
+        self.x_lo, self.x_hi = _span(*x_range)
+        self.y_lo, self.y_hi = _span(*y_range)
+        self.cells = [[" "] * width for _ in range(height)]
+
+    def plot(self, x: float, y: float, marker: str) -> None:
+        if not (math.isfinite(x) and math.isfinite(y)):
+            return
+        col = round((x - self.x_lo) / (self.x_hi - self.x_lo) * (self.width - 1))
+        row = round((y - self.y_lo) / (self.y_hi - self.y_lo) * (self.height - 1))
+        if 0 <= col < self.width and 0 <= row < self.height:
+            # Row 0 is the bottom of the chart; the cell list is top-down.
+            self.cells[self.height - 1 - row][col] = marker
+
+    def render(self) -> list[str]:
+        """Rows with a y-axis gutter and an x-axis footer."""
+        label_lo = _format_tick(self.y_lo)
+        label_hi = _format_tick(self.y_hi)
+        gutter = max(len(label_lo), len(label_hi))
+        lines = []
+        for i, row in enumerate(self.cells):
+            if i == 0:
+                label = label_hi
+            elif i == self.height - 1:
+                label = label_lo
+            else:
+                label = ""
+            lines.append(f"{label:>{gutter}} |{''.join(row)}")
+        lines.append(f"{'':>{gutter}} +{'-' * self.width}")
+        x_lo, x_hi = _format_tick(self.x_lo), _format_tick(self.x_hi)
+        footer = x_lo + x_hi.rjust(self.width - len(x_lo))
+        lines.append(f"{'':>{gutter}}  {footer}")
+        return lines
+
+
+def _points_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int,
+    height: int,
+    title: str | None,
+    connect: bool,
+) -> str:
+    if not series:
+        raise ConfigError("chart needs at least one series")
+    xs = [p[0] for pts in series.values() for p in pts if math.isfinite(p[0])]
+    ys = [p[1] for pts in series.values() for p in pts if math.isfinite(p[1])]
+    if not xs or not ys:
+        raise ConfigError("chart needs at least one finite point")
+    grid = _Grid(width, height, (min(xs), max(xs)), (min(ys), max(ys)))
+    legend = []
+    for index, (label, points) in enumerate(series.items()):
+        marker = MARKERS[index % len(MARKERS)]
+        legend.append(f"{marker} {label}")
+        ordered = sorted(p for p in points
+                         if math.isfinite(p[0]) and math.isfinite(p[1]))
+        if connect and len(ordered) > 1:
+            # Sample one interpolated point per column between neighbors.
+            for (x0, y0), (x1, y1) in zip(ordered, ordered[1:]):
+                steps = max(2, int((x1 - x0) / (grid.x_hi - grid.x_lo)
+                                   * width) + 1)
+                for step in range(steps + 1):
+                    t = step / steps
+                    grid.plot(x0 + (x1 - x0) * t, y0 + (y1 - y0) * t, marker)
+        else:
+            for x, y in ordered:
+                grid.plot(x, y, marker)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.extend(grid.render())
+    lines.append("legend: " + "   ".join(legend))
+    return "\n".join(lines)
+
+
+def line_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 60,
+    height: int = 16,
+    title: str | None = None,
+) -> str:
+    """Connected line chart — one marker per series (Fig 12 style)."""
+    return _points_chart(series, width, height, title, connect=True)
+
+
+def scatter_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 60,
+    height: int = 16,
+    title: str | None = None,
+) -> str:
+    """Scatter plot — points only, no interpolation (Fig 13 style)."""
+    return _points_chart(series, width, height, title, connect=False)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    title: str | None = None,
+) -> str:
+    """Horizontal bar chart, one bar per label (Fig 3/11 style)."""
+    if len(labels) != len(values):
+        raise ConfigError(
+            f"{len(labels)} labels but {len(values)} values"
+        )
+    if not labels:
+        raise ConfigError("bar chart needs at least one bar")
+    finite = _finite(values)
+    if not finite:
+        raise ConfigError("bar chart needs at least one finite value")
+    peak = max(max(finite), 0.0)
+    gutter = max(len(str(label)) for label in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        if not math.isfinite(value):
+            bar, shown = "?", "inf"
+        else:
+            length = 0 if peak == 0 else max(0, round(value / peak * width))
+            bar = "#" * length
+            shown = _format_tick(value)
+        lines.append(f"{str(label):>{gutter}} |{bar} {shown}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    categories: Sequence[str],
+    series: Mapping[str, Sequence[float]],
+    width: int = 40,
+    title: str | None = None,
+) -> str:
+    """Bars grouped per category, one row per (category, series) pair."""
+    if not categories or not series:
+        raise ConfigError("grouped bar chart needs categories and series")
+    for name, values in series.items():
+        if len(values) != len(categories):
+            raise ConfigError(
+                f"series {name!r} has {len(values)} values for "
+                f"{len(categories)} categories"
+            )
+    finite = _finite([v for vals in series.values() for v in vals])
+    if not finite:
+        raise ConfigError("grouped bar chart needs a finite value")
+    peak = max(max(finite), 0.0)
+    gutter = max(len(str(n)) for n in series)
+    lines = [title] if title else []
+    for index, category in enumerate(categories):
+        lines.append(f"{category}:")
+        for name, values in series.items():
+            value = values[index]
+            if not math.isfinite(value):
+                bar, shown = "?", "inf"
+            else:
+                length = 0 if peak == 0 else max(0, round(value / peak * width))
+                bar = "#" * length
+                shown = _format_tick(value)
+            lines.append(f"  {str(name):>{gutter}} |{bar} {shown}")
+    return "\n".join(lines)
+
+
+def histogram(
+    values: Sequence[float],
+    bins: int = 10,
+    width: int = 50,
+    title: str | None = None,
+) -> str:
+    """Binned distribution of a value list."""
+    finite = _finite(values)
+    if not finite:
+        raise ConfigError("histogram needs at least one finite value")
+    if bins <= 0:
+        raise ConfigError(f"bin count must be positive, got {bins}")
+    lo, hi = _span(min(finite), max(finite))
+    step = (hi - lo) / bins
+    counts = [0] * bins
+    for v in finite:
+        index = min(bins - 1, int((v - lo) / step))
+        counts[index] += 1
+    peak = max(counts)
+    lines = [title] if title else []
+    for i, count in enumerate(counts):
+        left = lo + i * step
+        bar = "#" * (0 if peak == 0 else round(count / peak * width))
+        lines.append(f"{_format_tick(left):>10} |{bar} {count}")
+    return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""Export experiment results to CSV and JSON.
+
+The experiment harness produces :class:`~repro.experiments.reporting.
+ExperimentResult` objects (headers + rows + notes). These helpers turn
+them into machine-readable files so the measured numbers can feed an
+external plotting pipeline or a regression dashboard.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Any
+
+from ..errors import ConfigError
+from ..experiments.reporting import ExperimentResult
+
+
+def _plain(value: Any) -> Any:
+    """Coerce cells to JSON-safe scalars, preserving numbers."""
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def result_to_csv(result: ExperimentResult) -> str:
+    """Render a result as CSV text: header row, data rows, `#` note lines."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(result.headers)
+    for row in result.rows:
+        writer.writerow([_plain(cell) for cell in row])
+    for note in result.notes:
+        buffer.write(f"# {note}\n")
+    return buffer.getvalue()
+
+
+def result_to_json(result: ExperimentResult, indent: int = 2) -> str:
+    """Render a result as a JSON document with headers, rows, and notes."""
+    payload = {
+        "experiment": result.experiment,
+        "headers": list(result.headers),
+        "rows": [[_plain(cell) for cell in row] for row in result.rows],
+        "notes": list(result.notes),
+        "extra": {key: _plain(value) for key, value in result.extra.items()},
+    }
+    return json.dumps(payload, indent=indent, default=str)
+
+
+def write_result(
+    result: ExperimentResult, path: str | Path, fmt: str | None = None
+) -> Path:
+    """Write a result to ``path`` as CSV or JSON (inferred from suffix).
+
+    Returns the written path. Unknown formats raise :class:`ConfigError`.
+    """
+    path = Path(path)
+    chosen = fmt or path.suffix.lstrip(".").lower()
+    if chosen == "csv":
+        text = result_to_csv(result)
+    elif chosen == "json":
+        text = result_to_json(result)
+    else:
+        raise ConfigError(
+            f"unknown export format {chosen!r} (expected 'csv' or 'json')"
+        )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+    return path

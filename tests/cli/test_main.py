@@ -1,0 +1,163 @@
+"""End-to-end CLI smoke tests (stdout-level)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli.main import build_parser, main
+
+
+def run_cli(capsys, *argv: str) -> tuple[int, str]:
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out + captured.err
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestModels:
+    def test_lists_paper_models(self, capsys):
+        code, out = run_cli(capsys, "models")
+        assert code == 0
+        for name in ("vgg16", "resnet50", "nasnet", "randwire_a"):
+            assert name in out
+
+
+class TestDescribe:
+    def test_shows_layers_and_summary(self, capsys):
+        code, out = run_cli(capsys, "describe", "vgg16", "--limit", "4")
+        assert code == 0
+        assert "conv1_1" in out
+        assert "GMACs" in out
+
+    def test_unknown_model_is_clean_error(self, capsys):
+        code, out = run_cli(capsys, "describe", "alexnet9000")
+        assert code == 1
+        assert "error:" in out
+
+
+class TestMap:
+    def test_reports_utilization(self, capsys):
+        code, out = run_cli(capsys, "map", "vgg16", "--limit", "3")
+        assert code == 0
+        assert "MAC-weighted" in out
+        assert "ws(" in out or "os(" in out or "is(" in out
+
+
+class TestPartition:
+    def test_greedy_partition_reports_costs(self, capsys):
+        code, out = run_cli(
+            capsys, "partition", "mobilenet_v2", "--method", "greedy"
+        )
+        assert code == 0
+        assert "EMA" in out
+        assert "subgraphs" in out
+
+    def test_show_groups_lists_members(self, capsys):
+        code, out = run_cli(
+            capsys, "partition", "mobilenet_v2", "--method", "greedy",
+            "--show-groups",
+        )
+        assert code == 0
+        assert "subgraph 0:" in out
+
+    def test_chart_renders_bars(self, capsys):
+        code, out = run_cli(
+            capsys, "partition", "mobilenet_v2", "--method", "random",
+            "--chart",
+        )
+        assert code == 0
+        assert "#" in out
+
+    def test_shared_buffer_option(self, capsys):
+        code, out = run_cli(
+            capsys, "partition", "mobilenet_v2", "--method", "greedy",
+            "--shared", "2MB",
+        )
+        assert code == 0
+
+    def test_conflicting_memory_options_fail_cleanly(self, capsys):
+        code, out = run_cli(
+            capsys, "partition", "mobilenet_v2", "--glb", "1MB",
+            "--shared", "2MB",
+        )
+        assert code == 1
+        assert "error:" in out
+
+
+class TestTiling:
+    def test_fig5_style_table(self, capsys):
+        code, out = run_cli(
+            capsys, "tiling", "vgg16", "--layers", "conv1_1,conv1_2",
+            "--tile", "2",
+        )
+        assert code == 0
+        assert "delta" in out
+        assert "elementary operations" in out
+
+    def test_unknown_layer_fails_cleanly(self, capsys):
+        code, out = run_cli(
+            capsys, "tiling", "vgg16", "--layers", "nonexistent"
+        )
+        assert code == 1
+        assert "error:" in out
+
+
+class TestTrace:
+    def test_renders_snapshots_and_traffic(self, capsys):
+        code, out = run_cli(
+            capsys, "trace", "vgg16", "--layers", "conv1_1..pool1",
+            "--tile", "4", "--ops", "2", "--snapshots", "1",
+        )
+        assert code == 0
+        assert "EMA" in out
+        assert "elementary op #0" in out
+
+
+class TestDse:
+    def test_quick_co_exploration(self, capsys):
+        code, out = run_cli(
+            capsys, "dse", "mobilenet_v2", "--scale", "quick",
+            "--mode", "shared",
+        )
+        assert code == 0
+        assert "recommended" in out
+        assert "KB" in out
+
+
+class TestPareto:
+    def test_frontier_table(self, capsys):
+        code, out = run_cli(
+            capsys, "pareto", "mobilenet_v2", "--scale", "quick",
+            "--metric", "ema",
+        )
+        assert code == 0
+        assert "Pareto frontier" in out
+        assert "KB" in out
+
+
+class TestExperiment:
+    def test_unknown_id_fails_cleanly(self, capsys):
+        code, out = run_cli(capsys, "experiment", "fig99")
+        assert code == 1
+        assert "error:" in out
+
+    def test_export_writes_json(self, capsys, tmp_path):
+        target = tmp_path / "fig3.json"
+        code, out = run_cli(
+            capsys, "experiment", "fig3", "--export", str(target)
+        )
+        assert code == 0
+        payload = json.loads(target.read_text())
+        assert payload["headers"][0] == "model"
+        assert payload["rows"]

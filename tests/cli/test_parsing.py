@@ -1,0 +1,91 @@
+"""Tests for CLI argument-parsing helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli.parsing import parse_layer_list, parse_memory, parse_size
+from repro.config import BufferMode
+from repro.errors import ConfigError
+from repro.units import kb, mb
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        ("text", "expected"),
+        [
+            ("512KB", kb(512)),
+            ("512kb", kb(512)),
+            ("1MB", mb(1)),
+            ("1.5MB", int(1.5 * mb(1))),
+            ("2048", 2048),
+            ("2048B", 2048),
+            ("64k", kb(64)),
+            ("2m", mb(2)),
+            (" 1 MB ", mb(1)),
+        ],
+    )
+    def test_accepted_formats(self, text, expected):
+        assert parse_size(text) == expected
+
+    @pytest.mark.parametrize("text", ["", "abc", "12GBX", "-1KB", "0"])
+    def test_rejected_formats(self, text):
+        with pytest.raises(ConfigError):
+            parse_size(text)
+
+
+class TestParseMemory:
+    def test_defaults_to_paper_platform(self):
+        memory = parse_memory(None, None, None)
+        assert memory.mode is BufferMode.SEPARATE
+        assert memory.global_buffer_bytes == mb(1)
+        assert memory.weight_buffer_bytes == kb(1152)
+
+    def test_separate_sizes(self):
+        memory = parse_memory("512KB", "720KB", None)
+        assert memory.global_buffer_bytes == kb(512)
+        assert memory.weight_buffer_bytes == kb(720)
+
+    def test_shared_size(self):
+        memory = parse_memory(None, None, "2MB")
+        assert memory.mode is BufferMode.SHARED
+        assert memory.shared_buffer_bytes == mb(2)
+
+    def test_shared_conflicts_with_separate(self):
+        with pytest.raises(ConfigError):
+            parse_memory("1MB", None, "2MB")
+
+
+class TestParseLayerList:
+    def test_comma_list(self, chain_graph):
+        members = parse_layer_list(chain_graph, "conv1, conv3")
+        assert members == frozenset({"conv1", "conv3"})
+
+    def test_all_selects_compute_layers(self, chain_graph):
+        members = parse_layer_list(chain_graph, "all")
+        assert members == frozenset(chain_graph.compute_names)
+
+    def test_span_selects_topological_range(self, chain_graph):
+        members = parse_layer_list(chain_graph, "conv1..conv3")
+        assert members == frozenset({"conv1", "conv2", "conv3"})
+
+    def test_reversed_span_normalized(self, chain_graph):
+        members = parse_layer_list(chain_graph, "conv3..conv1")
+        assert members == frozenset({"conv1", "conv2", "conv3"})
+
+    def test_span_excludes_input_nodes(self, chain_graph):
+        members = parse_layer_list(chain_graph, "in..conv2")
+        assert "in" not in members
+        assert members == frozenset({"conv1", "conv2"})
+
+    def test_unknown_layer_rejected(self, chain_graph):
+        with pytest.raises(ConfigError):
+            parse_layer_list(chain_graph, "convX")
+
+    def test_explicit_input_rejected(self, chain_graph):
+        with pytest.raises(ConfigError):
+            parse_layer_list(chain_graph, "in")
+
+    def test_empty_selection_rejected(self, chain_graph):
+        with pytest.raises(ConfigError):
+            parse_layer_list(chain_graph, " , ")

@@ -1,0 +1,99 @@
+"""Subgraph profiling and the weight-caching decision."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cost.ema import cached_weight_selection, profile_subgraph
+
+from ..conftest import build_chain, build_diamond, random_dags
+
+
+class TestProfileSubgraph:
+    def test_single_layer_io(self):
+        graph = build_chain(depth=2, size=16, channels=4)
+        profile = profile_subgraph(graph, {"conv1"})
+        assert profile.input_bytes == 16 * 16 * 4
+        assert profile.output_bytes == 16 * 16 * 4
+        assert profile.weight_bytes == graph.layer("conv1").weight_bytes
+
+    def test_fused_chain_hides_intermediates(self):
+        graph = build_chain(depth=3, size=16, channels=4)
+        whole = profile_subgraph(graph, set(graph.compute_names))
+        assert whole.input_bytes == 16 * 16 * 4
+        assert whole.output_bytes == 16 * 16 * 4
+
+    def test_mid_node_with_external_consumer_written_back(self):
+        graph = build_diamond()
+        profile = profile_subgraph(graph, {"stem", "left"})
+        # "stem" feeds "right" outside the subgraph -> must write back.
+        assert profile.output_bytes == 2 * 32 * 32 * 8
+
+    def test_layer_weights_sorted_descending(self):
+        graph = build_diamond()
+        profile = profile_subgraph(graph, {"left", "right"})
+        weights = [w for _, w in profile.layer_weights]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_tile_options_footprint_monotone(self):
+        graph = build_chain(depth=2, size=32, channels=8)
+        profile = profile_subgraph(graph, set(graph.compute_names))
+        footprints = [o.activation_bytes for o in profile.tile_options]
+        assert footprints == sorted(footprints)
+
+    def test_tile_options_ops_antitone(self):
+        graph = build_chain(depth=2, size=32, channels=8)
+        profile = profile_subgraph(graph, set(graph.compute_names))
+        ops = [o.num_elementary_ops for o in profile.tile_options]
+        assert ops == sorted(ops, reverse=True)
+
+    def test_candidates_stop_after_single_op(self):
+        graph = build_chain(depth=2, size=8, channels=4)
+        profile = profile_subgraph(graph, set(graph.compute_names))
+        single_op = [o for o in profile.tile_options if o.num_elementary_ops == 1]
+        assert len(single_op) == 1
+
+
+class TestCachedWeightSelection:
+    def test_everything_fits(self):
+        cached, size = cached_weight_selection((("a", 100), ("b", 50)), 200)
+        assert cached == ("a", "b")
+        assert size == 150
+
+    def test_greedy_largest_first(self):
+        cached, size = cached_weight_selection(
+            (("big", 100), ("mid", 60), ("small", 30)), 130
+        )
+        assert cached == ("big", "small")
+        assert size == 130
+
+    def test_zero_weight_layers_skipped(self):
+        cached, size = cached_weight_selection((("pool", 0), ("conv", 10)), 100)
+        assert cached == ("conv",)
+
+    def test_zero_budget(self):
+        cached, size = cached_weight_selection((("a", 10),), 0)
+        assert cached == ()
+        assert size == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_dags())
+def test_fusion_never_increases_io(graph):
+    """Invariant 4: fusing everything leaves only model input + output."""
+    members = set(graph.compute_names)
+    whole = profile_subgraph(graph, members)
+    singles_io = sum(
+        profile_subgraph(graph, {n}).io_bytes for n in members
+    )
+    assert whole.io_bytes <= singles_io
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_dags(), st.data())
+def test_profile_io_lower_bound(graph, data):
+    """Any subgraph moves at least its boundary tensors."""
+    names = list(graph.compute_names)
+    pick = data.draw(st.sets(st.sampled_from(names), min_size=1))
+    profile = profile_subgraph(graph, pick)
+    assert profile.input_bytes > 0
+    assert profile.output_bytes > 0

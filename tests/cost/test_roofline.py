@@ -1,0 +1,110 @@
+"""Tests for the roofline classification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import AcceleratorConfig, MemoryConfig
+from repro.cost.evaluator import Evaluator
+from repro.cost.roofline import (
+    classify_subgraph,
+    machine_balance,
+    render_roofline,
+    roofline_report,
+)
+from repro.graphs.zoo import get_model
+from repro.partition.partition import Partition
+from repro.units import kb, mb
+
+
+@pytest.fixture
+def accel() -> AcceleratorConfig:
+    return AcceleratorConfig(memory=MemoryConfig.separate(mb(1), kb(1152)))
+
+
+class TestMachineBalance:
+    def test_paper_platform_balance(self, accel):
+        # 1024 MACs/cycle * 0.85 over 16 bytes/cycle = 54.4 MACs/byte.
+        assert machine_balance(accel) == pytest.approx(54.4)
+
+    def test_balance_scales_with_bandwidth(self, accel):
+        from dataclasses import replace
+
+        fast = replace(accel, dram_bandwidth=accel.dram_bandwidth * 2)
+        assert machine_balance(fast) == pytest.approx(
+            machine_balance(accel) / 2
+        )
+
+
+class TestClassification:
+    def test_intensity_is_macs_per_ema_byte(self, chain_graph, accel):
+        evaluator = Evaluator(chain_graph, accel)
+        members = frozenset(chain_graph.compute_names)
+        cost = evaluator.subgraph_cost(members)
+        point = classify_subgraph(cost, accel)
+        assert point.arithmetic_intensity == pytest.approx(
+            cost.profile.macs / cost.ema_bytes
+        )
+
+    def test_memory_bound_flag_matches_threshold(self, chain_graph, accel):
+        evaluator = Evaluator(chain_graph, accel)
+        members = frozenset(chain_graph.compute_names)
+        point = classify_subgraph(evaluator.subgraph_cost(members), accel)
+        expected = point.arithmetic_intensity < machine_balance(accel)
+        assert point.memory_bound == expected
+
+    def test_attained_never_exceeds_peak(self, accel):
+        graph = get_model("googlenet")
+        evaluator = Evaluator(graph, accel)
+        cost = evaluator.evaluate(Partition.singletons(graph).subgraph_sets)
+        report = roofline_report(cost, accel)
+        roof = report.peak_macs_per_cycle
+        for point in report.points:
+            assert point.attained_macs_per_cycle <= roof * (1 + 1e-9)
+
+
+class TestReport:
+    def test_fusion_reduces_memory_bound_fraction(self, accel):
+        # The core Cocco story in roofline terms: fusing layers raises
+        # arithmetic intensity, moving subgraphs toward the compute roof.
+        graph = get_model("mobilenet_v2")
+        evaluator = Evaluator(graph, accel)
+        singles = evaluator.evaluate(
+            Partition.singletons(graph).subgraph_sets
+        )
+        from repro.partition.greedy import greedy_partition
+
+        def cost_fn(members):
+            sub = evaluator.subgraph_cost(members)
+            return sub.ema_bytes if sub.feasible else float("inf")
+
+        merged = evaluator.evaluate(
+            greedy_partition(graph, cost_fn).subgraph_sets
+        )
+        single_report = roofline_report(singles, accel)
+        merged_report = roofline_report(merged, accel)
+        assert (merged_report.memory_bound_fraction
+                <= single_report.memory_bound_fraction)
+
+    def test_empty_partition_report(self, accel):
+        from repro.cost.evaluator import PartitionCost
+        from repro.cost.bandwidth import bandwidth_report
+
+        empty = PartitionCost(
+            feasible=True, num_subgraphs=0, ema_bytes=0.0, energy_pj=0.0,
+            latency_cycles=0.0,
+            bandwidth=bandwidth_report([], [], [], []),
+            subgraphs=(),
+        )
+        report = roofline_report(empty, accel)
+        assert report.memory_bound_fraction == 0.0
+        assert report.attained_fraction_of_peak == 0.0
+
+    def test_render_names_regimes(self, chain_graph, accel):
+        evaluator = Evaluator(chain_graph, accel)
+        cost = evaluator.evaluate(
+            Partition.whole_graph(chain_graph).subgraph_sets
+        )
+        text = render_roofline(roofline_report(cost, accel))
+        assert "machine balance" in text
+        assert "MEM" in text or "CMP" in text

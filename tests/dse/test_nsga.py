@@ -1,0 +1,228 @@
+"""Tests for the NSGA-II multi-objective co-exploration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import MemoryConfig
+from repro.cost.evaluator import Evaluator
+from repro.cost.objective import Metric
+from repro.dse.nsga import (
+    MultiObjectivePoint,
+    NSGAConfig,
+    NSGAResult,
+    crowding_distance,
+    fast_non_dominated_sort,
+    hypervolume,
+    nsga2_co_optimize,
+)
+from repro.errors import SearchError
+from repro.ga.genome import Genome
+from repro.partition.partition import Partition
+from repro.search_space import CapacitySpace
+from repro.units import kb
+
+
+def point(capacity: float, metric: float, genome=None) -> MultiObjectivePoint:
+    return MultiObjectivePoint(
+        genome=genome, capacity_bytes=int(capacity), metric_cost=metric
+    )
+
+
+class TestDominance:
+    def test_strictly_better_dominates(self):
+        assert point(1, 1.0).dominates(point(2, 2.0))
+
+    def test_better_on_one_axis_dominates(self):
+        assert point(1, 2.0).dominates(point(2, 2.0))
+        assert point(2, 1.0).dominates(point(2, 2.0))
+
+    def test_equal_points_do_not_dominate(self):
+        assert not point(1, 1.0).dominates(point(1, 1.0))
+
+    def test_trade_off_points_incomparable(self):
+        a, b = point(1, 5.0), point(5, 1.0)
+        assert not a.dominates(b)
+        assert not b.dominates(a)
+
+    def test_infeasible_metric_always_dominated(self):
+        assert point(1, 1.0).dominates(point(1, float("inf")))
+
+
+class TestSorting:
+    def test_single_front_when_all_trade_off(self):
+        points = [point(1, 3.0), point(2, 2.0), point(3, 1.0)]
+        fronts = fast_non_dominated_sort(points)
+        assert fronts == [[0, 1, 2]]
+
+    def test_chain_of_dominance_gives_layered_fronts(self):
+        points = [point(1, 1.0), point(2, 2.0), point(3, 3.0)]
+        fronts = fast_non_dominated_sort(points)
+        assert fronts == [[0], [1], [2]]
+
+    def test_mixed_population(self):
+        points = [point(1, 3.0), point(3, 1.0), point(3, 3.0), point(4, 4.0)]
+        fronts = fast_non_dominated_sort(points)
+        assert fronts[0] == [0, 1]
+        assert fronts[1] == [2]
+        assert fronts[2] == [3]
+
+    def test_every_index_appears_exactly_once(self):
+        points = [point(i % 4 + 1, (i * 7) % 5 + 1.0) for i in range(12)]
+        fronts = fast_non_dominated_sort(points)
+        flat = sorted(i for front in fronts for i in front)
+        assert flat == list(range(12))
+
+
+class TestCrowding:
+    def test_boundary_points_infinite(self):
+        points = [point(1, 3.0), point(2, 2.0), point(3, 1.0)]
+        distance = crowding_distance(points, [0, 1, 2])
+        assert distance[0] == float("inf")
+        assert distance[2] == float("inf")
+        assert distance[1] < float("inf")
+
+    def test_two_point_front_all_infinite(self):
+        points = [point(1, 2.0), point(2, 1.0)]
+        distance = crowding_distance(points, [0, 1])
+        assert all(v == float("inf") for v in distance.values())
+
+    def test_denser_region_scores_lower(self):
+        # Index 1 sits between close neighbors; index 2 borders the big
+        # gap to (10, 1.0) and must score a larger crowding distance.
+        points = [point(1, 10.0), point(2, 9.0), point(3, 8.5),
+                  point(10, 1.0)]
+        distance = crowding_distance(points, [0, 1, 2, 3])
+        assert distance[2] > distance[1]
+
+
+class TestHypervolume:
+    def test_single_point_rectangle(self):
+        assert hypervolume([point(1, 1.0)], (3.0, 3.0)) == 4.0
+
+    def test_two_point_staircase(self):
+        volume = hypervolume([point(1, 2.0), point(2, 1.0)], (3.0, 3.0))
+        assert volume == 2.0 + 1.0
+
+    def test_points_beyond_reference_ignored(self):
+        assert hypervolume([point(5, 5.0)], (3.0, 3.0)) == 0.0
+
+    def test_dominated_point_adds_nothing(self):
+        base = hypervolume([point(1, 1.0)], (4.0, 4.0))
+        with_dominated = hypervolume(
+            [point(1, 1.0), point(2, 2.0)], (4.0, 4.0)
+        )
+        assert with_dominated == base
+
+
+class TestConfig:
+    def test_tiny_population_rejected(self):
+        with pytest.raises(SearchError):
+            NSGAConfig(population_size=2)
+
+    def test_zero_generations_rejected(self):
+        with pytest.raises(SearchError):
+            NSGAConfig(generations=0)
+
+
+def small_space() -> CapacitySpace:
+    from repro.config import BufferMode
+
+    return CapacitySpace(
+        mode=BufferMode.SHARED,
+        shared_candidates=tuple(kb(k) for k in (64, 128, 256, 512, 1024)),
+    )
+
+
+class TestSearch:
+    @pytest.fixture
+    def search_graph(self):
+        # Deep enough that capacity genuinely trades against EMA: the
+        # frontier then holds more than one point.
+        from ..conftest import build_chain
+
+        return build_chain(depth=6, size=64, channels=32)
+
+    @pytest.fixture
+    def result(self, search_graph) -> NSGAResult:
+        evaluator = Evaluator(search_graph)
+        return nsga2_co_optimize(
+            evaluator,
+            small_space(),
+            metric=Metric.EMA,
+            config=NSGAConfig(population_size=12, generations=6, seed=7),
+        )
+
+    def test_front_is_mutually_non_dominated(self, result):
+        for a in result.front:
+            for b in result.front:
+                assert not a.dominates(b) or a is b
+
+    def test_front_sorted_and_strictly_improving(self, result):
+        capacities = [p.capacity_bytes for p in result.front]
+        metrics = [p.metric_cost for p in result.front]
+        assert capacities == sorted(capacities)
+        assert metrics == sorted(metrics, reverse=True)
+
+    def test_front_genomes_are_feasible(self, result, search_graph):
+        evaluator = Evaluator(search_graph)
+        for p in result.front:
+            cost = evaluator.evaluate(
+                p.genome.partition.subgraph_sets, p.genome.memory
+            )
+            assert cost.feasible
+
+    def test_hypervolume_history_is_monotone(self, result):
+        volumes = [v for _gen, v in result.history]
+        assert volumes  # recorded every generation
+        assert all(b >= a - 1e-9 for a, b in zip(volumes, volumes[1:]))
+
+    def test_select_by_alpha_prefers_capacity_at_low_alpha(self, result):
+        if len(result.front) < 2:
+            pytest.skip("degenerate frontier")
+        small = result.select_by_alpha(1e-9)
+        large = result.select_by_alpha(1e3)
+        assert small.capacity_bytes <= large.capacity_bytes
+        assert small.metric_cost >= large.metric_cost
+
+    def test_empty_front_select_raises(self):
+        empty = NSGAResult(front=[], num_evaluations=0, generations=0)
+        with pytest.raises(SearchError):
+            empty.select_by_alpha(0.5)
+
+    def test_as_pareto_points_round_trip(self, result):
+        points = result.as_pareto_points()
+        assert [p.total_buffer_bytes for p in points] == [
+            p.capacity_bytes for p in result.front
+        ]
+
+    def test_deterministic_for_fixed_seed(self, chain_graph):
+        evaluator = Evaluator(chain_graph)
+        config = NSGAConfig(population_size=8, generations=3, seed=11)
+        a = nsga2_co_optimize(evaluator, small_space(), Metric.EMA, config)
+        b = nsga2_co_optimize(evaluator, small_space(), Metric.EMA, config)
+        assert [p.objectives for p in a.front] == [
+            p.objectives for p in b.front
+        ]
+
+
+class TestAgainstScalarized:
+    def test_frontier_contains_alpha_optimum_band(self, diamond_graph):
+        """The NSGA frontier should scalarize at least as well as a same-
+        budget single-alpha GA for every alpha probed."""
+        from repro.dse.cocco import cocco_co_optimize
+        from repro.ga.engine import GAConfig
+
+        evaluator = Evaluator(diamond_graph)
+        space = small_space()
+        nsga = nsga2_co_optimize(
+            evaluator, space, Metric.EMA,
+            NSGAConfig(population_size=16, generations=8, seed=3),
+        )
+        for alpha in (0.001, 0.1):
+            scalar = cocco_co_optimize(
+                evaluator, space, metric=Metric.EMA, alpha=alpha,
+                ga_config=GAConfig(population_size=16, generations=8, seed=3),
+            )
+            frontier_best = nsga.select_by_alpha(alpha).formula2(alpha)
+            assert frontier_best <= scalar.best_cost * 1.05

@@ -1,0 +1,111 @@
+"""Pareto-front extraction over search samples."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dse.pareto import ParetoPoint, knee_point, pareto_front, select_by_alpha
+from repro.ga.engine import SampleRecord
+
+
+def record(index, buf, metric, alpha=0.002):
+    return SampleRecord(
+        index=index,
+        cost=buf + alpha * metric,
+        total_buffer_bytes=buf,
+        generation=0,
+    )
+
+
+class TestParetoFront:
+    def test_dominated_points_dropped(self):
+        samples = [
+            record(1, 100, 50.0),
+            record(2, 200, 40.0),
+            record(3, 200, 90.0),   # dominated by sample 2
+            record(4, 300, 45.0),   # dominated: more capacity, worse cost
+        ]
+        front = pareto_front(samples, alpha=0.002)
+        assert [(p.total_buffer_bytes, p.metric_cost) for p in front] == [
+            (100, pytest.approx(50.0)),
+            (200, pytest.approx(40.0)),
+        ]
+
+    def test_infeasible_samples_ignored(self):
+        samples = [
+            record(1, 100, 50.0),
+            SampleRecord(index=2, cost=float("inf"), total_buffer_bytes=50,
+                         generation=0),
+        ]
+        front = pareto_front(samples, alpha=0.002)
+        assert len(front) == 1
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            pareto_front([], alpha=0)
+
+    def test_front_strictly_improves(self):
+        samples = [record(i, 100 * i, 1000.0 / i) for i in range(1, 8)]
+        front = pareto_front(samples, alpha=0.002)
+        costs = [p.metric_cost for p in front]
+        assert costs == sorted(costs, reverse=True)
+
+
+class TestSelection:
+    def test_small_alpha_prefers_small_buffer(self):
+        front = [ParetoPoint(100, 1000.0), ParetoPoint(1000, 100.0)]
+        assert select_by_alpha(front, alpha=0.01).total_buffer_bytes == 100
+
+    def test_large_alpha_prefers_low_cost(self):
+        front = [ParetoPoint(100, 1000.0), ParetoPoint(1000, 100.0)]
+        assert select_by_alpha(front, alpha=10.0).total_buffer_bytes == 1000
+
+    def test_empty_front_rejected(self):
+        with pytest.raises(ValueError):
+            select_by_alpha([], alpha=1.0)
+
+
+class TestKnee:
+    def test_knee_of_convex_front(self):
+        front = [
+            ParetoPoint(100, 100.0),
+            ParetoPoint(200, 20.0),
+            ParetoPoint(1000, 18.0),
+        ]
+        # The middle point captures nearly all the gain at little capacity.
+        assert knee_point(front).total_buffer_bytes == 200
+
+    def test_single_point(self):
+        only = ParetoPoint(5, 5.0)
+        assert knee_point([only]) is only
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            knee_point([])
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(1, 50), st.floats(1.0, 1e6)),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_front_is_mutually_nondominated(points):
+    samples = [
+        record(i, buf * 1024, metric) for i, (buf, metric) in enumerate(points)
+    ]
+    front = pareto_front(samples, alpha=0.002)
+    for a in front:
+        for b in front:
+            if a is b:
+                continue
+            dominates = (
+                a.total_buffer_bytes <= b.total_buffer_bytes
+                and a.metric_cost <= b.metric_cost
+            )
+            assert not dominates or (
+                a.total_buffer_bytes == b.total_buffer_bytes
+                and a.metric_cost == b.metric_cost
+            )

@@ -1,0 +1,94 @@
+"""Activation footprint accounting (MAIN/SIDE regions)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TilingError
+from repro.execution.footprint import activation_footprint, node_footprints
+from repro.execution.tiling import derive_tiling
+
+from ..conftest import build_chain, random_dags
+
+
+class TestStripeFootprint:
+    def test_chain_footprint_matches_tiles(self):
+        graph = build_chain(depth=2, size=16, channels=4)
+        members = set(graph.compute_names)
+        tiling = derive_tiling(graph, members, output_tile_rows=1)
+        footprints = node_footprints(graph, tiling)
+        for name, fp in footprints.items():
+            shape = graph.layer(name).shape
+            expected = tiling[name].tile_rows * shape.width * shape.channels
+            assert fp.main_bytes == expected
+            assert fp.side_bytes == 0
+
+    def test_total_is_sum(self):
+        graph = build_chain(depth=3, size=16, channels=4)
+        members = set(graph.compute_names)
+        tiling = derive_tiling(graph, members)
+        total = activation_footprint(graph, tiling)
+        assert total == sum(
+            fp.total_bytes for fp in node_footprints(graph, tiling).values()
+        )
+
+    def test_bytes_per_element_scales(self):
+        graph = build_chain(depth=2, size=16, channels=4)
+        tiling = derive_tiling(graph, set(graph.compute_names))
+        one = activation_footprint(graph, tiling, bytes_per_element=1)
+        two = activation_footprint(graph, tiling, bytes_per_element=2)
+        assert two == 2 * one
+
+
+class Test2DTiles:
+    def test_side_region_appears(self):
+        graph = build_chain(depth=2, size=16, channels=4)
+        tiling = derive_tiling(graph, set(graph.compute_names), output_tile_rows=2)
+        footprints = node_footprints(graph, tiling, tile_width=8)
+        side_total = sum(fp.side_bytes for fp in footprints.values())
+        assert side_total > 0
+
+    def test_side_holds_overlap_rows_only(self):
+        graph = build_chain(depth=1, size=16, channels=4)
+        tiling = derive_tiling(graph, {"conv1"}, output_tile_rows=2)
+        footprints = node_footprints(graph, tiling, tile_width=8)
+        fp_in = footprints["in"]
+        node = tiling["in"]
+        overlap = node.tile_rows - node.delta
+        assert fp_in.side_bytes == overlap * (16 - 8) * 4
+
+    def test_full_width_tile_has_no_side(self):
+        graph = build_chain(depth=1, size=16, channels=4)
+        tiling = derive_tiling(graph, {"conv1"})
+        footprints = node_footprints(graph, tiling, tile_width=16)
+        assert all(fp.side_bytes == 0 for fp in footprints.values())
+
+    def test_rejects_bad_tile_width(self):
+        graph = build_chain(depth=1, size=16, channels=4)
+        tiling = derive_tiling(graph, {"conv1"})
+        with pytest.raises(TilingError):
+            node_footprints(graph, tiling, tile_width=0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_dags(), st.integers(1, 4))
+def test_footprint_below_total_activations(graph, tile_rows):
+    """A tiled subgraph never needs more than the full tensors."""
+    members = set(graph.compute_names)
+    tiling = derive_tiling(graph, members, output_tile_rows=tile_rows)
+    footprint = activation_footprint(graph, tiling)
+    full = sum(graph.layer(n).shape.bytes() for n in tiling.nodes)
+    assert 0 < footprint <= full
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_dags())
+def test_smaller_tiles_never_need_more_memory(graph):
+    members = set(graph.compute_names)
+    small = activation_footprint(
+        graph, derive_tiling(graph, members, output_tile_rows=1)
+    )
+    large = activation_footprint(
+        graph, derive_tiling(graph, members, output_tile_rows=8)
+    )
+    assert small <= large

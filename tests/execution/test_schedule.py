@@ -1,0 +1,62 @@
+"""Elementary-operation schedules (Fig 6)."""
+
+from hypothesis import given, settings
+
+from repro.execution.schedule import elementary_schedule
+from repro.execution.tiling import derive_tiling
+
+from ..conftest import build_chain, build_fig5, random_dags
+
+
+class TestSchedule:
+    def test_fig6_first_op_fills_tiles(self):
+        graph = build_fig5()
+        tiling = derive_tiling(graph, {"node0", "node1", "node2"}, output_tile_rows=2)
+        ops = elementary_schedule(graph, tiling)
+        first = ops[0]
+        # Warm-up: in_a fills its whole 6-row tile, in_b its 4-row tile.
+        assert first.ranges["in_a"] == (0, 6)
+        assert first.ranges["in_b"] == (0, 4)
+
+    def test_fig6_steady_state_advances_by_rows_per_op(self):
+        graph = build_fig5()
+        tiling = derive_tiling(graph, {"node0", "node1", "node2"}, output_tile_rows=2)
+        ops = elementary_schedule(graph, tiling)
+        second = ops[1]
+        assert second.rows("in_a") == tiling["in_a"].rows_per_op
+        assert second.ranges["in_a"][0] == 6
+
+    def test_ranges_are_contiguous(self):
+        graph = build_chain(depth=3, size=16)
+        tiling = derive_tiling(graph, set(graph.compute_names), output_tile_rows=2)
+        cursor = {name: 0 for name in tiling.nodes}
+        for op in elementary_schedule(graph, tiling):
+            for name, (start, end) in op.ranges.items():
+                assert start == cursor[name]
+                assert end >= start
+                cursor[name] = end
+
+    def test_covers_every_tensor(self):
+        graph = build_chain(depth=2, size=16)
+        tiling = derive_tiling(graph, set(graph.compute_names), output_tile_rows=2)
+        ops = elementary_schedule(graph, tiling)
+        final = ops[-1]
+        for name in tiling.nodes:
+            assert final.ranges[name][1] == graph.layer(name).shape.height
+
+    def test_max_ops_truncates(self):
+        graph = build_chain(depth=2, size=16)
+        tiling = derive_tiling(graph, set(graph.compute_names), output_tile_rows=1)
+        ops = elementary_schedule(graph, tiling, max_ops=3)
+        assert len(ops) == 3
+
+
+@settings(max_examples=25, deadline=None)
+@given(random_dags())
+def test_schedule_always_terminates_and_covers(graph):
+    members = set(graph.compute_names)
+    tiling = derive_tiling(graph, members, output_tile_rows=2)
+    ops = elementary_schedule(graph, tiling)
+    assert len(ops) <= tiling.num_elementary_ops
+    for name in tiling.nodes:
+        assert ops[-1].ranges[name][1] == graph.layer(name).shape.height

@@ -1,0 +1,157 @@
+"""The consumption-centric tiling flow (Sec 3.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TilingError
+from repro.execution.tiling import derive_tiling
+from repro.graphs.ops import LayerSpec, OpKind, input_layer
+from repro.graphs.graph import ComputationGraph
+from repro.graphs.tensor import TensorShape
+from repro.graphs.zoo import get_model
+
+from ..conftest import build_chain, build_diamond, build_fig5, random_dags
+
+
+class TestFig5Example:
+    """The paper's worked example must reproduce exactly."""
+
+    def test_deltas(self, fig5_graph):
+        t = derive_tiling(fig5_graph, {"node0", "node1", "node2"}, output_tile_rows=2)
+        assert t["in_a"].delta == 4
+        assert t["in_b"].delta == 2
+        assert t["node0"].delta == 2
+        assert t["node1"].delta == 2
+        assert t["node2"].delta == 2
+
+    def test_tile_sizes(self, fig5_graph):
+        t = derive_tiling(fig5_graph, {"node0", "node1", "node2"}, output_tile_rows=2)
+        assert t["in_a"].tile_rows == 6
+        assert t["in_b"].tile_rows == 4
+
+    def test_upd_nums_are_coprime_minimal(self, fig5_graph):
+        t = derive_tiling(fig5_graph, {"node0", "node1", "node2"}, output_tile_rows=2)
+        upd = [t[n].upd_num for n in ("in_a", "in_b", "node0", "node1", "node2")]
+        assert upd == [1, 2, 1, 2, 2]
+
+    def test_interface_and_outputs(self, fig5_graph):
+        t = derive_tiling(fig5_graph, {"node0", "node1", "node2"}, output_tile_rows=2)
+        assert set(t.interface_inputs) == {"in_a", "in_b"}
+        assert set(t.output_nodes) == {"node0", "node1", "node2"}
+
+
+class TestBasics:
+    def test_empty_subgraph_rejected(self, chain_graph):
+        with pytest.raises(TilingError):
+            derive_tiling(chain_graph, set())
+
+    def test_input_node_cannot_be_member(self, chain_graph):
+        with pytest.raises(TilingError):
+            derive_tiling(chain_graph, {"in", "conv1"})
+
+    def test_bad_tile_rows_rejected(self, chain_graph):
+        with pytest.raises(TilingError):
+            derive_tiling(chain_graph, {"conv1"}, output_tile_rows=0)
+
+    def test_single_layer(self, chain_graph):
+        t = derive_tiling(chain_graph, {"conv1"}, output_tile_rows=2)
+        assert t["conv1"].delta == 2
+        # 3x3 stride-1 window: 2 output rows need 4 input rows.
+        assert t["in"].tile_rows == 4
+        assert t["in"].delta == 2
+
+    def test_chain_rolling_windows(self):
+        graph = build_chain(depth=3)
+        t = derive_tiling(graph, set(graph.compute_names), output_tile_rows=1)
+        # Each node keeps its consumer's rolling window, x = F + delta - s,
+        # NOT the accumulated receptive field — that is the whole point of
+        # the sliding MAIN/SIDE reuse (Fig 5: x(-2) = 3 + 4 - 1 = 6).
+        assert t["in"].tile_rows == 3
+        assert t["conv1"].tile_rows == 3
+        assert t["conv2"].tile_rows == 3
+        assert t["conv3"].tile_rows == 1
+
+    def test_num_ops_covers_tensor(self, chain_graph):
+        members = set(chain_graph.compute_names)
+        t = derive_tiling(chain_graph, members, output_tile_rows=4)
+        height = chain_graph.layer("conv4").shape.height
+        assert t.num_elementary_ops == -(-height // 4)
+
+    def test_full_input_consumer_forces_whole_tensor(self):
+        g = ComputationGraph("fullin")
+        g.add_layer(input_layer("in", TensorShape(16, 16, 4)))
+        g.add_layer(
+            LayerSpec("c", OpKind.CONV, TensorShape(16, 16, 4), kernel=3, stride=1),
+            ["in"],
+        )
+        g.add_layer(
+            LayerSpec(
+                "gap", OpKind.POOL, TensorShape(1, 1, 4),
+                kernel=16, stride=16, full_input=True,
+            ),
+            ["c"],
+        )
+        t = derive_tiling(g, {"c", "gap"}, output_tile_rows=1)
+        assert t["c"].tile_rows == 16
+        assert t["in"].tile_rows == 16
+
+
+class TestAlignmentInvariants:
+    """Invariant 2 of DESIGN.md, on hand-built and random graphs."""
+
+    def _check(self, graph, members, tile_rows=1):
+        t = derive_tiling(graph, members, output_tile_rows=tile_rows)
+        rows_per_op = {
+            name: node.upd_num * node.delta for name, node in t.nodes.items()
+        }
+        for name, node in t.nodes.items():
+            assert node.delta >= 1
+            assert node.tile_rows >= node.delta or node.tile_rows == graph.layer(
+                name
+            ).shape.height
+            assert node.upd_num >= 1
+        # Co-prime minimality: the gcd of all upd_nums is 1.
+        from math import gcd
+        from functools import reduce
+
+        assert reduce(gcd, (n.upd_num for n in t.nodes.values())) == 1
+        return rows_per_op
+
+    def test_diamond(self, diamond_graph):
+        self._check(diamond_graph, set(diamond_graph.compute_names))
+
+    def test_chain_various_tiles(self):
+        graph = build_chain(depth=4)
+        for tile in (1, 2, 3, 5):
+            self._check(graph, set(graph.compute_names), tile)
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_dags(), st.integers(1, 4))
+    def test_random_dags(self, graph, tile_rows):
+        members = set(graph.compute_names)
+        self._check(graph, members, tile_rows)
+
+    @settings(max_examples=25, deadline=None)
+    @given(random_dags())
+    def test_random_single_layers(self, graph):
+        for name in graph.compute_names:
+            self._check(graph, {name})
+
+
+class TestOnRealModels:
+    def test_resnet_block_tiles(self):
+        graph = get_model("resnet50")
+        block = {n for n in graph.compute_names if n.startswith("res3_1")}
+        t = derive_tiling(graph, block, output_tile_rows=2)
+        assert t.num_elementary_ops >= 1
+        assert all(n.upd_num >= 1 for n in t.nodes.values())
+
+    def test_inception_module_tiles(self):
+        graph = get_model("googlenet")
+        module = {n for n in graph.compute_names if n.startswith("inc3a")}
+        t = derive_tiling(graph, module, output_tile_rows=1)
+        # The 5x5 conv forces a >= 5-row window on its direct producer.
+        assert t["inc3a_5x5r"].tile_rows >= 5
+        # pool2 feeds 1x1 and 3x3 windows only.
+        assert t["pool2"].tile_rows >= 3

@@ -1,0 +1,60 @@
+"""Tests for the Figure 2 industrial-NPU survey."""
+
+from __future__ import annotations
+
+from repro.experiments.fig2_survey import SURVEY, marginal_performance, run
+
+
+class TestSurveyData:
+    def test_sixteen_chips(self):
+        assert len(SURVEY) == 16
+
+    def test_segment_split_matches_paper(self):
+        # Nine training parts, seven inference parts (Sec 2.1).
+        training = [c for c in SURVEY if c.segment == "training"]
+        inference = [c for c in SURVEY if c.segment == "inference"]
+        assert len(training) == 9
+        assert len(inference) == 7
+
+    def test_area_ratio_span_matches_paper(self):
+        areas = [c.sram_area_percent for c in SURVEY]
+        assert min(areas) < 5
+        assert max(areas) > 75
+
+    def test_capacity_span_matches_paper(self):
+        mems = [c.memory_mb for c in SURVEY]
+        assert min(mems) == 2.5
+        assert max(mems) == 896.0
+
+    def test_hanguang_is_the_ddr_less_outlier(self):
+        hanguang = next(c for c in SURVEY if c.name == "Hanguang")
+        assert hanguang.segment == "inference"
+        assert hanguang.memory_mb > 300
+
+
+class TestAnalysis:
+    def test_diminishing_returns_trend(self):
+        # Performance density falls with capacity: the small-memory chips
+        # extract far more TFLOPS per MB than the SRAM-rich ones.
+        small = [c.performance_tflops / c.memory_mb
+                 for c in SURVEY if c.memory_mb <= 64]
+        large = [c.performance_tflops / c.memory_mb
+                 for c in SURVEY if c.memory_mb > 200]
+        assert sum(small) / len(small) > 3 * (sum(large) / len(large))
+
+    def test_marginal_performance_covers_neighbors(self):
+        gains = marginal_performance(SURVEY)
+        # 15 capacity-sorted neighbor pairs minus the three equal-capacity
+        # ties (32, 120, and 144 MB) leaves twelve marginal gains.
+        assert len(gains) == 12
+
+    def test_run_emits_one_row_per_chip(self):
+        result = run()
+        assert len(result.rows) == 16
+        assert result.headers[0] == "chip"
+        assert any("diminishing" in note for note in result.notes)
+
+    def test_rows_sorted_by_capacity(self):
+        result = run()
+        mems = [row[3] for row in result.rows]
+        assert mems == sorted(mems)

@@ -1,0 +1,72 @@
+"""Reporting and the experiment harness scaffolding."""
+
+import pytest
+
+from repro.experiments.common import (
+    CORE_MODELS,
+    DEFAULT_SCALE,
+    FIG11_MODELS,
+    QUICK_SCALE,
+    SCALES,
+    paper_accelerator,
+    paper_memory,
+)
+from repro.experiments.reporting import ExperimentResult, format_table
+from repro.units import kb
+
+
+class TestFormatTable:
+    def test_aligned_columns(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["xx", 3]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all("|" in line for line in (lines[0], lines[2], lines[3]))
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_inf_rendered(self):
+        assert "inf" in format_table(["x"], [[float("inf")]])
+
+
+class TestExperimentResult:
+    def test_add_row_checks_arity(self):
+        result = ExperimentResult("e", headers=("a", "b"))
+        result.add_row(1, 2)
+        with pytest.raises(ValueError):
+            result.add_row(1)
+
+    def test_to_text_includes_notes(self):
+        result = ExperimentResult("e", headers=("a",))
+        result.add_row(1)
+        result.notes.append("hello")
+        assert "note: hello" in result.to_text()
+
+
+class TestCommon:
+    def test_paper_memory(self):
+        memory = paper_memory()
+        assert memory.global_buffer_bytes == kb(1024)
+        assert memory.weight_buffer_bytes == kb(1152)
+
+    def test_paper_accelerator_2tops(self):
+        accel = paper_accelerator()
+        assert accel.peak_ops == pytest.approx(2.048e12)
+
+    def test_scales_registered(self):
+        assert set(SCALES) == {"quick", "default", "full"}
+        assert SCALES["quick"] is QUICK_SCALE
+
+    def test_scale_budgets_ordered(self):
+        assert QUICK_SCALE.ga_population < DEFAULT_SCALE.ga_population
+        assert QUICK_SCALE.sa_steps < DEFAULT_SCALE.sa_steps
+
+    def test_model_lists(self):
+        assert len(FIG11_MODELS) == 8
+        assert set(CORE_MODELS) <= set(FIG11_MODELS) | {"nasnet"}
+
+    def test_ga_config_override(self):
+        config = QUICK_SCALE.ga_config(seed=5, record_samples=True)
+        assert config.seed == 5
+        assert config.record_samples

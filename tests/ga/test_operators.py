@@ -1,0 +1,155 @@
+"""Crossover and mutation operators: validity preservation (Fig 9)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import MemoryConfig
+from repro.ga.crossover import crossover
+from repro.ga.genome import Genome
+from repro.ga.mutation import (
+    MUTATION_OPS,
+    merge_subgraph,
+    modify_node,
+    mutate_dse,
+    split_subgraph,
+)
+from repro.partition.random_init import random_partition
+from repro.partition.validity import check_partition
+from repro.search_space import CapacitySpace
+from repro.units import kb
+
+from ..conftest import build_diamond, random_dags
+
+
+def make_genome(graph, seed=0, p_new=0.5):
+    rng = random.Random(seed)
+    return Genome(
+        partition=random_partition(graph, rng, p_new),
+        memory=MemoryConfig.separate(kb(512), kb(576)),
+    )
+
+
+class TestMutations:
+    def test_modify_node_valid(self, diamond_graph):
+        rng = random.Random(1)
+        genome = make_genome(diamond_graph)
+        for _ in range(30):
+            genome = modify_node(genome, rng)
+            check_partition(diamond_graph, genome.partition.assignment)
+
+    def test_split_subgraph_valid(self, diamond_graph):
+        rng = random.Random(2)
+        genome = make_genome(diamond_graph, p_new=0.0)
+        mutated = split_subgraph(genome, rng)
+        check_partition(diamond_graph, mutated.partition.assignment)
+
+    def test_split_noop_on_singletons(self, diamond_graph):
+        rng = random.Random(3)
+        genome = make_genome(diamond_graph, p_new=1.0)
+        assert split_subgraph(genome, rng) is genome
+
+    def test_merge_subgraph_valid(self, diamond_graph):
+        rng = random.Random(4)
+        genome = make_genome(diamond_graph, p_new=1.0)
+        merged = merge_subgraph(genome, rng)
+        check_partition(diamond_graph, merged.partition.assignment)
+        assert merged.partition.num_subgraphs < genome.partition.num_subgraphs
+
+    def test_merge_noop_on_whole_graph(self, chain_graph):
+        rng = random.Random(5)
+        genome = make_genome(chain_graph, p_new=0.0)
+        assert genome.partition.num_subgraphs == 1
+        assert merge_subgraph(genome, rng) is genome
+
+    def test_mutation_ops_registry(self):
+        assert set(MUTATION_OPS) == {
+            "modify-node",
+            "split-subgraph",
+            "merge-subgraph",
+        }
+
+    def test_mutations_preserve_memory(self, diamond_graph):
+        rng = random.Random(6)
+        genome = make_genome(diamond_graph)
+        for op in MUTATION_OPS.values():
+            assert op(genome, rng).memory == genome.memory
+
+
+class TestMutateDse:
+    def test_stays_on_candidate_grid(self):
+        space = CapacitySpace.paper_separate()
+        rng = random.Random(0)
+        genome = Genome(
+            partition=random_partition(build_diamond(), rng),
+            memory=space.sample(rng),
+        )
+        for _ in range(20):
+            genome = mutate_dse(genome, rng, space)
+            assert genome.memory.global_buffer_bytes in space.global_candidates
+            assert genome.memory.weight_buffer_bytes in space.weight_candidates
+
+    def test_partition_unchanged(self):
+        space = CapacitySpace.paper_separate()
+        rng = random.Random(0)
+        genome = Genome(
+            partition=random_partition(build_diamond(), rng),
+            memory=space.sample(rng),
+        )
+        assert mutate_dse(genome, rng, space).partition is genome.partition
+
+
+class TestCrossover:
+    def test_child_valid(self, diamond_graph):
+        rng = random.Random(7)
+        dad = make_genome(diamond_graph, seed=1, p_new=0.3)
+        mom = make_genome(diamond_graph, seed=2, p_new=0.8)
+        child = crossover(dad, mom, rng)
+        check_partition(diamond_graph, child.partition.assignment)
+
+    def test_identical_parents_reproduce_structure(self, chain_graph):
+        rng = random.Random(8)
+        parent = make_genome(chain_graph, seed=3)
+        child = crossover(parent, parent, rng)
+        assert child.partition == parent.partition
+
+    def test_memory_averaged_on_grid(self):
+        space = CapacitySpace.paper_separate()
+        rng = random.Random(9)
+        graph = build_diamond()
+        dad = Genome(
+            partition=random_partition(graph, rng),
+            memory=MemoryConfig.separate(kb(128), kb(144)),
+        )
+        mom = Genome(
+            partition=random_partition(graph, rng),
+            memory=MemoryConfig.separate(kb(640), kb(720)),
+        )
+        child = crossover(dad, mom, rng, space)
+        assert child.memory.global_buffer_bytes == kb(384)
+        assert child.memory.weight_buffer_bytes == kb(432)
+
+
+@settings(max_examples=50, deadline=None)
+@given(random_dags(), st.integers(0, 5000))
+def test_all_operators_preserve_validity(graph, seed):
+    """The load-bearing GA property: operators never corrupt genomes."""
+    rng = random.Random(seed)
+    space = CapacitySpace.paper_shared()
+    dad = Genome(
+        partition=random_partition(graph, rng, rng.uniform(0.1, 0.9)),
+        memory=space.sample(rng),
+    )
+    mom = Genome(
+        partition=random_partition(graph, rng, rng.uniform(0.1, 0.9)),
+        memory=space.sample(rng),
+    )
+    child = crossover(dad, mom, rng, space)
+    check_partition(graph, child.partition.assignment)
+    for op in (modify_node, split_subgraph, merge_subgraph):
+        child = op(child, rng)
+        check_partition(graph, child.partition.assignment)
+    child = mutate_dse(child, rng, space)
+    assert child.memory.shared_buffer_bytes in space.shared_candidates

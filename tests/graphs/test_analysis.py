@@ -1,0 +1,40 @@
+"""Graph statistics and critical path."""
+
+from repro.graphs.analysis import critical_path, graph_stats
+
+from ..conftest import build_chain, build_diamond
+
+
+class TestGraphStats:
+    def test_chain_is_plain(self):
+        stats = graph_stats(build_chain(depth=3))
+        assert stats.is_plain
+        assert stats.num_compute_layers == 3
+        assert stats.depth == 3
+
+    def test_diamond_is_branched(self):
+        stats = graph_stats(build_diamond())
+        assert not stats.is_plain
+        assert stats.max_fanout == 2
+
+    def test_totals_match_graph(self):
+        graph = build_diamond()
+        stats = graph_stats(graph)
+        assert stats.total_weight_bytes == graph.total_weight_bytes
+        assert stats.total_macs == graph.total_macs
+
+    def test_str_mentions_name(self):
+        assert "diamond" in str(graph_stats(build_diamond()))
+
+
+class TestCriticalPath:
+    def test_chain_critical_path_is_whole_chain(self):
+        graph = build_chain(depth=3)
+        path = critical_path(graph)
+        assert path == ("in", "conv1", "conv2", "conv3")
+
+    def test_diamond_path_goes_through_one_branch(self):
+        path = critical_path(build_diamond())
+        assert path[0] == "in"
+        assert path[-1] == "join"
+        assert len(path) == 4

@@ -1,0 +1,69 @@
+"""The fluent graph builder."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.builder import GraphBuilder
+from repro.graphs.ops import OpKind
+from repro.graphs.tensor import TensorShape
+
+
+@pytest.fixture
+def builder():
+    b = GraphBuilder("t")
+    b.input(TensorShape(32, 32, 8), name="in")
+    return b
+
+
+class TestBuilder:
+    def test_conv_chains_shapes(self, builder):
+        c1 = builder.conv("in", 16, kernel=3, stride=2)
+        assert builder.shape_of(c1) == TensorShape(16, 16, 16)
+
+    def test_fc_is_1x1_conv(self, builder):
+        f = builder.flatten("in")
+        fc = builder.fc(f, 100)
+        spec = builder.graph.layer(fc)
+        assert spec.op is OpKind.CONV
+        assert spec.kernel == 1
+        assert spec.weight_bytes == 32 * 32 * 8 * 100
+
+    def test_add_requires_matching_shapes(self, builder):
+        a = builder.conv("in", 16)
+        bad = builder.conv("in", 8)
+        with pytest.raises(GraphError):
+            builder.add([a, bad])
+
+    def test_add_requires_two_sources(self, builder):
+        a = builder.conv("in", 16)
+        with pytest.raises(GraphError):
+            builder.add([a])
+
+    def test_concat_requires_two_sources(self, builder):
+        a = builder.conv("in", 16)
+        with pytest.raises(GraphError):
+            builder.concat([a])
+
+    def test_auto_names_are_unique(self, builder):
+        a = builder.conv("in", 8)
+        b = builder.conv("in", 8)
+        assert a != b
+
+    def test_pool_global(self, builder):
+        p = builder.pool("in", global_pool=True)
+        assert builder.shape_of(p) == TensorShape(1, 1, 8)
+
+    def test_build_validates(self, builder):
+        builder.conv("in", 8)
+        graph = builder.build()
+        assert len(graph.compute_names) == 1
+
+    def test_matmul(self, builder):
+        a = builder.conv("in", 8)
+        b = builder.conv("in", 8)
+        m = builder.matmul([a, b], TensorShape(32, 1, 32), macs=1000)
+        assert builder.graph.layer(m).full_input
+
+    def test_eltwise_unary(self, builder):
+        e = builder.eltwise("in")
+        assert builder.shape_of(e) == TensorShape(32, 32, 8)

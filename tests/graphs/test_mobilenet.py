@@ -1,0 +1,33 @@
+"""MobileNetV2 extension model."""
+
+from repro.graphs.analysis import graph_stats
+from repro.graphs.zoo import get_model, mobilenet_v2
+
+
+class TestMobileNetV2:
+    def test_builds_and_validates(self):
+        graph = mobilenet_v2()
+        graph.validate()
+
+    def test_weights_near_3_5m(self):
+        # 3.4M parameters at int8.
+        graph = mobilenet_v2()
+        assert 2.8e6 < graph.total_weight_bytes < 4.2e6
+
+    def test_macs_near_300m(self):
+        graph = mobilenet_v2()
+        assert 0.25e9 < graph.total_macs < 0.4e9
+
+    def test_width_multiplier_scales(self):
+        slim = mobilenet_v2(width_mult=0.5)
+        assert slim.total_weight_bytes < mobilenet_v2().total_weight_bytes
+
+    def test_registered_in_zoo(self):
+        assert get_model("mobilenet_v2").name == "mobilenet_v2"
+
+    def test_has_residual_adds(self):
+        names = mobilenet_v2().compute_names
+        assert any(n.endswith("_add") for n in names)
+
+    def test_not_plain(self):
+        assert not graph_stats(mobilenet_v2()).is_plain

@@ -1,0 +1,125 @@
+"""Layer operator factories."""
+
+import pytest
+
+from repro.errors import ShapeError
+from repro.graphs import ops
+from repro.graphs.ops import LayerSpec, OpKind
+from repro.graphs.tensor import TensorShape
+
+
+class TestConv:
+    def test_weight_bytes(self):
+        spec = ops.conv("c", TensorShape(32, 32, 16), 32, kernel=3)
+        assert spec.weight_bytes == 3 * 3 * 16 * 32
+
+    def test_macs(self):
+        spec = ops.conv("c", TensorShape(32, 32, 16), 32, kernel=3)
+        assert spec.macs == 32 * 32 * 32 * 9 * 16
+
+    def test_stride_shrinks_output(self):
+        spec = ops.conv("c", TensorShape(32, 32, 16), 32, kernel=3, stride=2)
+        assert spec.shape == TensorShape(16, 16, 32)
+
+    def test_has_weights(self):
+        assert OpKind.CONV.has_weights
+        assert OpKind.DWCONV.has_weights
+        assert not OpKind.POOL.has_weights
+        assert not OpKind.ELTWISE.has_weights
+
+
+class TestDwConv:
+    def test_weights_scale_with_channels_only(self):
+        spec = ops.dwconv("d", TensorShape(16, 16, 24), kernel=3)
+        assert spec.weight_bytes == 9 * 24
+
+    def test_preserves_channels(self):
+        spec = ops.dwconv("d", TensorShape(16, 16, 24), kernel=5, stride=2)
+        assert spec.shape.channels == 24
+
+
+class TestPool:
+    def test_weightless(self):
+        spec = ops.pool("p", TensorShape(16, 16, 8))
+        assert spec.weight_bytes == 0
+        assert spec.macs > 0
+
+    def test_global_pool_is_full_input(self):
+        spec = ops.pool("p", TensorShape(16, 16, 8), global_pool=True)
+        assert spec.full_input
+        assert spec.shape == TensorShape(1, 1, 8)
+
+
+class TestEltwiseConcatFlatten:
+    def test_eltwise_costs_copy(self):
+        spec = ops.eltwise("e", TensorShape(8, 8, 8))
+        assert spec.macs == 512
+        assert spec.weight_bytes == 0
+
+    def test_concat_sums_channels(self):
+        spec = ops.concat(
+            "cat", [TensorShape(8, 8, 16), TensorShape(8, 8, 32)]
+        )
+        assert spec.shape == TensorShape(8, 8, 48)
+
+    def test_concat_rejects_mismatched_spatial(self):
+        with pytest.raises(ShapeError):
+            ops.concat("cat", [TensorShape(8, 8, 16), TensorShape(4, 4, 16)])
+
+    def test_concat_rejects_empty(self):
+        with pytest.raises(ShapeError):
+            ops.concat("cat", [])
+
+    def test_flatten_preserves_elements(self):
+        spec = ops.flatten("f", TensorShape(7, 7, 512))
+        assert spec.shape == TensorShape(1, 1, 7 * 7 * 512)
+        assert spec.full_input
+
+    def test_matmul_weightless_full_input(self):
+        spec = ops.matmul("m", TensorShape(64, 1, 64), macs=1000)
+        assert spec.weight_bytes == 0
+        assert spec.full_input
+
+
+class TestInputRowsFor:
+    def test_conv_window(self):
+        spec = LayerSpec("c", OpKind.CONV, TensorShape(30, 30, 8), kernel=3, stride=1)
+        assert spec.input_rows_for(4, input_height=32) == 6
+
+    def test_strided_window(self):
+        spec = LayerSpec("c", OpKind.CONV, TensorShape(15, 15, 8), kernel=3, stride=2)
+        assert spec.input_rows_for(4, input_height=32) == 9
+
+    def test_capped_at_input_height(self):
+        spec = LayerSpec("c", OpKind.CONV, TensorShape(30, 30, 8), kernel=3, stride=1)
+        assert spec.input_rows_for(100, input_height=32) == 32
+
+    def test_full_input_needs_everything(self):
+        spec = LayerSpec(
+            "m", OpKind.MATMUL, TensorShape(8, 1, 8), full_input=True
+        )
+        assert spec.input_rows_for(1, input_height=40) == 40
+
+    def test_rejects_nonpositive_rows(self):
+        spec = LayerSpec("c", OpKind.CONV, TensorShape(8, 8, 8))
+        with pytest.raises(ShapeError):
+            spec.input_rows_for(0, 8)
+
+
+class TestLayerSpecValidation:
+    def test_rejects_empty_name(self):
+        with pytest.raises(ShapeError):
+            LayerSpec("", OpKind.CONV, TensorShape(4, 4, 4))
+
+    def test_rejects_bad_kernel(self):
+        with pytest.raises(ShapeError):
+            LayerSpec("x", OpKind.CONV, TensorShape(4, 4, 4), kernel=0)
+
+    def test_rejects_negative_macs(self):
+        with pytest.raises(ShapeError):
+            LayerSpec("x", OpKind.CONV, TensorShape(4, 4, 4), macs=-1)
+
+    def test_renamed(self):
+        spec = ops.conv("a", TensorShape(8, 8, 8), 8)
+        assert spec.renamed("b").name == "b"
+        assert spec.renamed("b").macs == spec.macs

@@ -1,0 +1,55 @@
+"""Graph serialization round-trips."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import GraphError
+from repro.graphs.serialize import (
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    save_graph,
+)
+from repro.graphs.zoo import get_model
+
+from ..conftest import build_diamond, random_dags
+
+
+def _same_graph(a, b) -> bool:
+    if a.layer_names != b.layer_names or a.edges != b.edges:
+        return False
+    return all(a.layer(n) == b.layer(n) for n in a.layer_names)
+
+
+class TestRoundTrip:
+    def test_diamond_roundtrip(self):
+        graph = build_diamond()
+        clone = graph_from_dict(graph_to_dict(graph))
+        assert _same_graph(graph, clone)
+
+    def test_zoo_model_roundtrip(self):
+        graph = get_model("googlenet")
+        clone = graph_from_dict(graph_to_dict(graph))
+        assert _same_graph(graph, clone)
+
+    def test_file_roundtrip(self, tmp_path):
+        graph = build_diamond()
+        path = tmp_path / "g.json"
+        save_graph(graph, path)
+        assert _same_graph(graph, load_graph(path))
+
+    def test_rejects_unknown_version(self):
+        with pytest.raises(GraphError):
+            graph_from_dict({"version": 99, "layers": []})
+
+    def test_rejects_malformed_layer(self):
+        with pytest.raises(GraphError):
+            graph_from_dict(
+                {"version": 1, "name": "x", "layers": [{"name": "a"}]}
+            )
+
+
+@given(random_dags())
+def test_random_dag_roundtrip(graph):
+    clone = graph_from_dict(graph_to_dict(graph))
+    assert _same_graph(graph, clone)

@@ -1,0 +1,62 @@
+"""Tensor shapes."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.graphs.tensor import TensorShape
+
+
+class TestTensorShape:
+    def test_elements(self):
+        assert TensorShape(4, 5, 6).elements == 120
+
+    def test_bytes_default_int8(self):
+        assert TensorShape(4, 4, 4).bytes() == 64
+
+    def test_bytes_wider_elements(self):
+        assert TensorShape(4, 4, 4).bytes(2) == 128
+
+    def test_rejects_nonpositive_dims(self):
+        with pytest.raises(ShapeError):
+            TensorShape(0, 4, 4)
+        with pytest.raises(ShapeError):
+            TensorShape(4, -1, 4)
+
+    def test_str(self):
+        assert str(TensorShape(7, 7, 512)) == "7x7x512"
+
+    def test_conv_output_same_padding(self):
+        out = TensorShape(224, 224, 3).conv_output(3, 1, 64)
+        assert out == TensorShape(224, 224, 64)
+
+    def test_conv_output_stride_2(self):
+        out = TensorShape(224, 224, 3).conv_output(7, 2, 64)
+        assert out == TensorShape(112, 112, 64)
+
+    def test_conv_output_odd_size_rounds_up(self):
+        out = TensorShape(7, 7, 16).conv_output(3, 2, 16)
+        assert out == TensorShape(4, 4, 16)
+
+    def test_conv_output_rejects_bad_kernel(self):
+        with pytest.raises(ShapeError):
+            TensorShape(8, 8, 8).conv_output(0, 1, 8)
+
+
+@given(
+    h=st.integers(1, 256),
+    w=st.integers(1, 256),
+    c=st.integers(1, 64),
+    stride=st.integers(1, 4),
+)
+def test_conv_output_height_never_exceeds_input(h, w, c, stride):
+    out = TensorShape(h, w, c).conv_output(3, stride, c)
+    assert out.height <= h
+    assert out.width <= w
+    assert out.height >= 1
+
+
+@given(h=st.integers(1, 128), w=st.integers(1, 128), c=st.integers(1, 32))
+def test_elements_positive(h, w, c):
+    assert TensorShape(h, w, c).elements > 0

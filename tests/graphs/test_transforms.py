@@ -1,0 +1,249 @@
+"""Tests for graph transformation passes."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import GraphError
+from repro.graphs.builder import GraphBuilder
+from repro.graphs.graph import ComputationGraph
+from repro.graphs.ops import OpKind
+from repro.graphs.tensor import TensorShape
+from repro.graphs.transforms import (
+    compose,
+    extract_subgraph,
+    fold_unary_eltwise,
+    linear_chains,
+    rename_layers,
+)
+from repro.graphs.zoo import get_model
+
+from ..conftest import random_dags
+
+
+def build_with_activations() -> ComputationGraph:
+    """conv -> relu -> conv -> norm -> relu: two foldable runs."""
+    b = GraphBuilder("acts")
+    x = b.input(TensorShape(16, 16, 8), name="in")
+    x = b.conv(x, 8, kernel=3, name="conv1")
+    x = b.eltwise(x, name="relu1")
+    x = b.conv(x, 8, kernel=3, name="conv2")
+    x = b.eltwise(x, name="norm2")
+    x = b.eltwise(x, name="relu2")
+    b.conv(x, 8, kernel=1, name="head")
+    return b.build()
+
+
+class TestFoldUnaryEltwise:
+    def test_folds_activation_chains(self):
+        graph = fold_unary_eltwise(build_with_activations())
+        assert "relu1" not in graph
+        assert "norm2" not in graph
+        assert "relu2" not in graph
+        assert set(graph.predecessors("conv2")) == {"conv1"}
+        assert set(graph.predecessors("head")) == {"conv2"}
+
+    def test_macs_drop_by_folded_ops_only(self):
+        original = build_with_activations()
+        folded = fold_unary_eltwise(original)
+        folded_macs = sum(
+            original.layer(n).macs for n in ("relu1", "norm2", "relu2")
+        )
+        assert original.total_macs - folded.total_macs == folded_macs
+
+    def test_residual_adds_preserved(self, diamond_graph):
+        folded = fold_unary_eltwise(diamond_graph)
+        assert "join" in folded
+        assert set(folded.predecessors("join")) == {"left", "right"}
+
+    def test_output_eltwise_preserved(self):
+        b = GraphBuilder("tail")
+        x = b.input(TensorShape(8, 8, 4), name="in")
+        x = b.conv(x, 4, name="conv")
+        b.eltwise(x, name="final_act")
+        graph = fold_unary_eltwise(b.build())
+        # Folding the model output would silently rename the output tensor.
+        assert "final_act" in graph
+
+    def test_flatten_not_folded(self):
+        b = GraphBuilder("flat")
+        x = b.input(TensorShape(8, 8, 4), name="in")
+        x = b.conv(x, 4, name="conv")
+        x = b.flatten(x, name="flat")
+        b.fc(x, 10, name="fc")
+        graph = fold_unary_eltwise(b.build())
+        assert "flat" in graph
+
+    def test_idempotent(self):
+        once = fold_unary_eltwise(build_with_activations())
+        twice = fold_unary_eltwise(once)
+        assert once.layer_names == twice.layer_names
+
+    def test_no_op_returns_same_object(self, chain_graph):
+        assert fold_unary_eltwise(chain_graph) is chain_graph
+
+    @settings(max_examples=20, deadline=None)
+    @given(graph=random_dags())
+    def test_folded_random_dags_stay_valid(self, graph):
+        folded = fold_unary_eltwise(graph)
+        folded.validate()
+        assert len(folded.compute_names) <= len(graph.compute_names)
+
+
+class TestExtractSubgraph:
+    def test_boundary_becomes_inputs(self, chain_graph):
+        sub = extract_subgraph(chain_graph, {"conv2", "conv3"})
+        assert sub.layer("conv1").is_input
+        assert sub.layer("conv1").shape == chain_graph.layer("conv1").shape
+        assert set(sub.compute_names) == {"conv2", "conv3"}
+
+    def test_extracted_graph_is_usable(self, chain_graph):
+        from repro.cost.evaluator import Evaluator
+
+        sub = extract_subgraph(chain_graph, {"conv2", "conv3"})
+        cost = Evaluator(sub).evaluate([frozenset({"conv2", "conv3"})])
+        assert cost.feasible
+
+    def test_branch_extraction(self, diamond_graph):
+        sub = extract_subgraph(diamond_graph, {"left", "right", "join"})
+        assert sub.layer("stem").is_input
+        assert set(sub.predecessors("join")) == {"left", "right"}
+
+    def test_empty_rejected(self, chain_graph):
+        with pytest.raises(GraphError):
+            extract_subgraph(chain_graph, set())
+
+    def test_unknown_member_rejected(self, chain_graph):
+        with pytest.raises(GraphError):
+            extract_subgraph(chain_graph, {"nope"})
+
+    def test_input_member_rejected(self, chain_graph):
+        with pytest.raises(GraphError):
+            extract_subgraph(chain_graph, {"in", "conv1"})
+
+    def test_inception_module_round_trip(self):
+        graph = get_model("googlenet")
+        members = {n for n in graph.compute_names if n.startswith("inc3a_")}
+        sub = extract_subgraph(graph, members, name="inc3a")
+        assert sub.name == "inc3a"
+        assert set(sub.compute_names) == members
+
+
+class TestRenameLayers:
+    def test_prefix_applies_everywhere(self, chain_graph):
+        renamed = rename_layers(chain_graph, prefix="m/")
+        assert "m/conv1" in renamed
+        assert set(renamed.predecessors("m/conv2")) == {"m/conv1"}
+
+    def test_explicit_mapping(self, chain_graph):
+        renamed = rename_layers(chain_graph, mapping={"conv1": "stem"})
+        assert "stem" in renamed
+        assert "conv1" not in renamed
+        assert set(renamed.predecessors("conv2")) == {"stem"}
+
+    def test_collision_rejected(self, chain_graph):
+        with pytest.raises(GraphError):
+            rename_layers(chain_graph, mapping={"conv1": "conv2"})
+
+    def test_no_change_returns_same_object(self, chain_graph):
+        assert rename_layers(chain_graph) is chain_graph
+
+    def test_specs_preserved(self, chain_graph):
+        renamed = rename_layers(chain_graph, prefix="x_")
+        original = chain_graph.layer("conv1")
+        copy = renamed.layer("x_conv1")
+        assert copy.macs == original.macs
+        assert copy.shape == original.shape
+
+
+class TestLinearChains:
+    def test_plain_graph_is_one_chain(self, chain_graph):
+        chains = linear_chains(chain_graph)
+        assert chains == [("conv1", "conv2", "conv3", "conv4")]
+
+    def test_branches_split_chains(self, diamond_graph):
+        chains = linear_chains(diamond_graph)
+        by_head = {c[0]: c for c in chains}
+        # stem fans out to two branches; each branch is its own chain.
+        assert ("stem",) in chains
+        assert ("left",) in by_head.values() or ("left",) in chains
+        assert ("join",) in chains
+
+    def test_every_compute_layer_exactly_once(self):
+        graph = get_model("googlenet")
+        chains = linear_chains(graph)
+        flat = [n for chain in chains for n in chain]
+        assert sorted(flat) == sorted(graph.compute_names)
+
+    def test_vgg_collapses_to_single_chain(self):
+        graph = get_model("vgg16")
+        chains = linear_chains(graph)
+        assert len(chains) == 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(graph=random_dags())
+    def test_partition_property_on_random_dags(self, graph):
+        chains = linear_chains(graph)
+        flat = [n for chain in chains for n in chain]
+        assert sorted(flat) == sorted(graph.compute_names)
+        # Chains are contiguous in the DAG.
+        for chain in chains:
+            for a, b in zip(chain, chain[1:]):
+                assert b in graph.successors(a)
+
+
+class TestCompose:
+    def build_head(self) -> ComputationGraph:
+        # Matches the chain fixture's 32x32x8 output tensor.
+        b = GraphBuilder("head")
+        x = b.input(TensorShape(32, 32, 8), name="features")
+        x = b.pool(x, global_pool=True, name="gap")
+        b.fc(x, 10, name="fc")
+        return b.build()
+
+    def test_joins_by_shape(self, chain_graph):
+        combined = compose(chain_graph, self.build_head(),
+                           joins={"features": "conv4"})
+        assert set(combined.predecessors("gap")) == {"conv4"}
+        assert "fc" in combined
+
+    def test_shape_mismatch_rejected(self, chain_graph):
+        b = GraphBuilder("head")
+        b.input(TensorShape(4, 4, 4), name="features")
+        with pytest.raises(GraphError):
+            compose(chain_graph, b.build(), joins={"features": "conv4"})
+
+    def test_unjoined_input_rejected(self, chain_graph):
+        head = self.build_head()
+        with pytest.raises(GraphError):
+            compose(chain_graph, head, joins={})
+
+    def test_join_target_must_exist(self, chain_graph):
+        with pytest.raises(GraphError):
+            compose(chain_graph, self.build_head(),
+                    joins={"features": "missing"})
+
+    def test_colliding_names_prefixed(self):
+        b1 = GraphBuilder("a")
+        x = b1.input(TensorShape(8, 8, 4), name="in")
+        b1.conv(x, 4, name="conv")
+        first = b1.build()
+        b2 = GraphBuilder("b")
+        y = b2.input(TensorShape(8, 8, 4), name="fin")
+        b2.conv(y, 4, name="conv")  # collides with first's "conv"
+        second = b2.build()
+        combined = compose(first, second, joins={"fin": "conv"})
+        assert "g2/conv" in combined
+        assert set(combined.predecessors("g2/conv")) == {"conv"}
+
+    def test_composed_graph_prices(self, chain_graph):
+        from repro.cost.evaluator import Evaluator
+        from repro.partition.partition import Partition
+
+        combined = compose(chain_graph, self.build_head(),
+                           joins={"features": "conv4"})
+        cost = Evaluator(combined).evaluate(
+            Partition.whole_graph(combined).subgraph_sets
+        )
+        assert cost.feasible

@@ -1,0 +1,129 @@
+"""The model zoo: structural sanity of each reconstruction."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.analysis import graph_stats
+from repro.graphs.zoo import (
+    available_models,
+    get_model,
+    googlenet,
+    gpt,
+    nasnet,
+    randwire,
+    resnet50,
+    resnet152,
+    transformer,
+    vgg16,
+)
+
+
+class TestRegistry:
+    def test_all_models_build_and_validate(self):
+        for name in available_models():
+            graph = get_model(name)
+            graph.validate()
+
+    def test_get_model_caches(self):
+        assert get_model("vgg16") is get_model("vgg16")
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(GraphError):
+            get_model("alexnet")
+
+    def test_registry_order_matches_paper(self):
+        assert available_models()[:4] == (
+            "vgg16",
+            "resnet50",
+            "resnet152",
+            "googlenet",
+        )
+
+
+class TestVgg16:
+    def test_weight_volume_near_138m(self):
+        # 138M parameters at int8 => ~132 MiB.
+        graph = vgg16()
+        assert 125e6 < graph.total_weight_bytes < 145e6
+
+    def test_is_plain(self):
+        assert graph_stats(vgg16()).is_plain
+
+    def test_layer_count(self):
+        # 13 convs + 5 pools + flatten + 3 FCs.
+        assert len(vgg16().compute_names) == 22
+
+
+class TestResNets:
+    def test_resnet50_weights_near_25m(self):
+        graph = resnet50()
+        assert 22e6 < graph.total_weight_bytes < 28e6
+
+    def test_resnet50_macs_near_4g(self):
+        assert 3.5e9 < resnet50().total_macs < 4.5e9
+
+    def test_resnet152_deeper_than_50(self):
+        assert len(resnet152().compute_names) > 2.5 * len(resnet50().compute_names)
+
+    def test_branched(self):
+        assert not graph_stats(resnet50()).is_plain
+
+
+class TestGoogleNet:
+    def test_weights_near_7m(self):
+        graph = googlenet()
+        assert 5e6 < graph.total_weight_bytes < 9e6
+
+    def test_nine_inception_concats(self):
+        concats = [n for n in googlenet().compute_names if n.endswith("_out")]
+        assert len(concats) == 9
+
+
+class TestSequenceModels:
+    def test_transformer_blocks(self):
+        graph = transformer(num_layers=2)
+        assert len([n for n in graph.compute_names if n.endswith("_qk")]) == 2
+
+    def test_transformer_attention_is_weightless(self):
+        graph = transformer(num_layers=1)
+        qk = graph.layer("enc1_qk")
+        assert qk.weight_bytes == 0 and qk.full_input
+
+    def test_gpt_weights_near_85m(self):
+        graph = gpt()
+        assert 70e6 < graph.total_weight_bytes < 95e6
+
+
+class TestRandWire:
+    def test_seeded_determinism(self):
+        a = randwire("x", seed=7)
+        b = randwire("x", seed=7)
+        assert a.edges == b.edges
+
+    def test_different_seeds_differ(self):
+        a = randwire("x", seed=7)
+        b = randwire("y", seed=8)
+        assert a.edges != b.edges
+
+    def test_rejects_tiny_stages(self):
+        with pytest.raises(GraphError):
+            randwire("x", nodes_per_stage=3)
+
+    def test_structure_is_irregular(self):
+        assert not graph_stats(get_model("randwire_a")).is_plain
+
+
+class TestNasNet:
+    def test_builds_with_repeats(self):
+        graph = nasnet(repeats=1)
+        graph.validate()
+
+    def test_has_concat_cells(self):
+        names = nasnet(repeats=1).compute_names
+        assert any(n.endswith("_out") for n in names)
+
+    def test_reduction_shrinks_spatial(self):
+        graph = nasnet(repeats=1)
+        stem = graph.layer("stem").shape
+        gap_input = graph.predecessors("gap")[0]
+        assert graph.layer(gap_input).shape.height < stem.height

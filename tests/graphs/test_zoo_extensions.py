@@ -1,0 +1,153 @@
+"""Tests for the extension models: DenseNet-121, Inception-v3, UNet, ViT."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import MemoryConfig
+from repro.cost.evaluator import Evaluator
+from repro.execution.tiling import derive_tiling
+from repro.graphs.ops import OpKind
+from repro.graphs.zoo import (
+    available_models,
+    densenet121,
+    get_model,
+    inception_v3,
+    unet,
+    vit_base16,
+)
+from repro.partition.greedy import greedy_partition
+from repro.partition.partition import Partition
+from repro.units import mb
+
+EXTENSIONS = ("densenet121", "inception_v3", "unet", "vit_base16")
+
+
+class TestRegistry:
+    def test_extensions_registered(self):
+        for name in EXTENSIONS:
+            assert name in available_models()
+
+    def test_builders_match_registry(self):
+        assert get_model("densenet121").name == "densenet121"
+        assert get_model("unet").name == "unet"
+
+    @pytest.mark.parametrize("name", EXTENSIONS)
+    def test_graphs_validate(self, name):
+        graph = get_model(name)
+        graph.validate()
+        assert len(graph.compute_names) > 20
+
+
+class TestDenseNet:
+    def test_block_structure(self):
+        graph = densenet121()
+        # 121 = 1 stem + 2*(6+12+24+16) dense convs + 3 transitions + 1 fc.
+        convs = [n for n in graph.compute_names
+                 if graph.layer(n).op is OpKind.CONV]
+        assert len(convs) == 1 + 2 * 58 + 3 + 1
+
+    def test_dense_connectivity_dominates_edges(self):
+        graph = densenet121()
+        # Far more edges than layers: the concat fan-in grows linearly.
+        assert len(graph.edges) > 3 * len(graph.compute_names)
+
+    def test_final_block_concat_width(self):
+        graph = densenet121()
+        # DenseNet-121 ends at 512 + 16*32 = 1024 channels.
+        assert graph.layer("db4_cat16").shape.channels == 1024
+
+    def test_growth_rate_per_layer(self):
+        graph = densenet121()
+        assert graph.layer("db1_l1_conv").shape.channels == 32
+
+
+class TestInceptionV3:
+    def test_mac_band(self):
+        graph = inception_v3()
+        # ~12G MACs for the 299x299 configuration (published ~11.5 GFLOPs
+        # with fused multiply-adds; our pool/concat passes add a little).
+        assert 9e9 < graph.total_macs < 15e9
+
+    def test_module_c_concat_width(self):
+        graph = inception_v3()
+        assert graph.layer("c2_out").shape.channels == 320 + 4 * 384 + 192
+
+    def test_mixed_kernel_sizes_present(self):
+        graph = inception_v3()
+        kernels = {graph.layer(n).kernel for n in graph.compute_names
+                   if graph.layer(n).op is OpKind.CONV}
+        assert {1, 3, 5, 7} <= kernels
+
+
+class TestUNet:
+    def test_skips_span_encoder_to_decoder(self):
+        graph = unet()
+        # skip1 concatenates the first encoder stage with the last decoder.
+        preds = set(graph.predecessors("skip1"))
+        assert "enc1_conv2" in preds
+        assert "up1" in preds
+
+    def test_upsample_ops_present(self):
+        graph = unet()
+        ups = [n for n in graph.compute_names
+               if graph.layer(n).op is OpKind.UPSAMPLE]
+        assert len(ups) == 4
+
+    def test_decoder_restores_resolution(self):
+        graph = unet(input_size=256)
+        assert graph.layer("head").shape.height == 256
+
+    def test_indivisible_input_rejected(self):
+        with pytest.raises(ValueError):
+            unet(input_size=250, depth=4)
+
+    def test_decoder_subgraph_tiling_derives(self):
+        graph = unet(input_size=64, base_channels=8, depth=2)
+        members = frozenset(
+            {"up1", "skip1", "dec1_conv1", "dec1_conv2"}
+        )
+        tiling = derive_tiling(graph, members, output_tile_rows=2)
+        up = tiling["up1"]
+        # The upsample's producer advances at half the decoder rate.
+        bridge = tiling[next(iter(set(tiling.interface_inputs)
+                                  & set(graph.predecessors("up1"))))]
+        assert up.delta * up.upd_num == 2 * bridge.delta * bridge.upd_num
+
+    def test_whole_unet_is_partitionable(self):
+        graph = unet(input_size=64, base_channels=8, depth=2)
+        evaluator = Evaluator(graph)
+        memory = MemoryConfig.separate(mb(4), mb(4))
+
+        def cost_fn(members):
+            cost = evaluator.subgraph_cost(members, memory)
+            return cost.ema_bytes if cost.feasible else float("inf")
+
+        partition = greedy_partition(graph, cost_fn)
+        assert isinstance(partition, Partition)
+        assert evaluator.evaluate(partition.subgraph_sets, memory).feasible
+
+
+class TestViT:
+    def test_token_count(self):
+        graph = vit_base16()
+        assert graph.layer("seq_reshape").shape.height == 196
+
+    def test_mac_band(self):
+        graph = vit_base16()
+        # ~17 GMACs for ViT-Base/16 at 224x224.
+        assert 15e9 < graph.total_macs < 20e9
+
+    def test_attention_blocks_count(self):
+        graph = vit_base16()
+        qk = [n for n in graph.compute_names if n.endswith("_qk")]
+        assert len(qk) == 12
+
+    def test_patch_embedding_is_strided_conv(self):
+        graph = vit_base16()
+        patch = graph.layer("patch_embed")
+        assert patch.kernel == patch.stride == 16
+
+    def test_bad_patch_size_rejected(self):
+        with pytest.raises(ValueError):
+            vit_base16(input_size=225)

@@ -1,0 +1,180 @@
+"""Cross-module integration of the extension systems.
+
+These tests wire the mapper, the trace simulator, the transforms, the
+NSGA-II explorer, and the extension zoo models through the same pipelines
+the paper-reproduction systems use, asserting the joints hold: calibrated
+accelerators price real partitions, traces replay searched schedules,
+normalized graphs still optimize, and the frontier covers the scalarized
+optimum.
+"""
+
+import pytest
+
+from repro.config import AcceleratorConfig, MemoryConfig
+from repro.cost.evaluator import Evaluator
+from repro.cost.objective import Metric
+from repro.dse.cocco import cocco_partition_only
+from repro.dse.nsga import NSGAConfig, nsga2_co_optimize
+from repro.ga.engine import GAConfig
+from repro.graphs.transforms import extract_subgraph, fold_unary_eltwise
+from repro.graphs.zoo import get_model
+from repro.mapper import calibrated_accelerator, map_graph
+from repro.memory.trace import trace_subgraph, validate_trace
+from repro.partition.greedy import greedy_partition
+from repro.search_space import CapacitySpace
+from repro.units import kb, mb
+
+TINY_GA = GAConfig(population_size=10, generations=4, seed=0)
+
+
+@pytest.fixture(scope="module")
+def mobilenet():
+    return get_model("mobilenet_v2")
+
+
+@pytest.fixture(scope="module")
+def mobilenet_eval(mobilenet):
+    accel = AcceleratorConfig(memory=MemoryConfig.separate(kb(512), kb(576)))
+    return Evaluator(mobilenet, accel)
+
+
+class TestMapperInSearchLoop:
+    def test_cocco_runs_on_calibrated_accelerator(self, mobilenet):
+        accel = AcceleratorConfig(
+            memory=MemoryConfig.separate(kb(512), kb(576))
+        )
+        calibrated = calibrated_accelerator(accel, mobilenet)
+        evaluator = Evaluator(mobilenet, calibrated)
+        result = cocco_partition_only(
+            evaluator, calibrated.memory, metric=Metric.LATENCY,
+            ga_config=TINY_GA,
+        )
+        assert result.partition_cost.feasible
+        assert result.best_cost < float("inf")
+
+    def test_latency_metric_reflects_utilization(self, mobilenet):
+        # MobileNet's depth-wise layers drag measured utilization up or
+        # down relative to the flat 0.85; either way the same partition
+        # must re-price consistently (latency scales, EMA fixed).
+        accel = AcceleratorConfig(
+            memory=MemoryConfig.separate(mb(2), mb(2))
+        )
+        calibrated = calibrated_accelerator(accel, mobilenet)
+        flat_eval = Evaluator(mobilenet, accel)
+        cal_eval = Evaluator(mobilenet, calibrated)
+
+        def cost_fn(members):
+            cost = flat_eval.subgraph_cost(members)
+            return cost.ema_bytes if cost.feasible else float("inf")
+
+        partition = greedy_partition(mobilenet, cost_fn)
+        flat = flat_eval.evaluate(partition.subgraph_sets)
+        cal = cal_eval.evaluate(partition.subgraph_sets)
+        assert flat.ema_bytes == cal.ema_bytes
+        ratio = accel.pe_utilization / calibrated.pe_utilization
+        compute_bound = [
+            (a.compute_cycles, b.compute_cycles)
+            for a, b in zip(flat.subgraphs, cal.subgraphs)
+        ]
+        for flat_cycles, cal_cycles in compute_bound:
+            assert cal_cycles == pytest.approx(flat_cycles * ratio)
+
+
+class TestTraceReplaysSearchedSchedules:
+    def test_searched_partition_traces_cleanly(self, mobilenet, mobilenet_eval):
+        result = cocco_partition_only(
+            mobilenet_eval, mobilenet_eval.accel.memory, metric=Metric.EMA,
+            ga_config=TINY_GA,
+        )
+        partition = result.best_genome.partition
+        for members in partition.subgraph_sets:
+            cost = mobilenet_eval.subgraph_cost(members)
+            assert cost.feasible
+            trace = trace_subgraph(
+                mobilenet,
+                members,
+                output_tile_rows=cost.tile_rows,
+                cached_weight_nodes=cost.cached_weight_nodes,
+            )
+            problems = validate_trace(
+                trace,
+                mobilenet,
+                memory=mobilenet_eval.accel.memory,
+                analytic_ema_bytes=cost.ema_bytes,
+            )
+            assert problems == []
+
+    def test_partition_trace_totals_bound_model_io(self, mobilenet,
+                                                   mobilenet_eval):
+        # Summed over any partition, traced activation IO >= the model's
+        # input + output tensors (invariant 3 of DESIGN.md, traced form).
+        result = cocco_partition_only(
+            mobilenet_eval, mobilenet_eval.accel.memory, metric=Metric.EMA,
+            ga_config=TINY_GA,
+        )
+        total_io = 0
+        for members in result.best_genome.partition.subgraph_sets:
+            cost = mobilenet_eval.subgraph_cost(members)
+            trace = trace_subgraph(
+                mobilenet, members,
+                output_tile_rows=cost.tile_rows,
+                cached_weight_nodes=cost.cached_weight_nodes,
+            )
+            total_io += trace.input_load_bytes + trace.output_store_bytes
+        floor = mobilenet.model_input_bytes() + mobilenet.model_output_bytes()
+        assert total_io >= floor
+
+
+class TestTransformsFeedSearch:
+    def test_folded_model_still_partitions(self):
+        graph = fold_unary_eltwise(get_model("resnet50"))
+        evaluator = Evaluator(
+            graph,
+            AcceleratorConfig(memory=MemoryConfig.separate(mb(1), kb(1152))),
+        )
+
+        def cost_fn(members):
+            cost = evaluator.subgraph_cost(members)
+            return cost.ema_bytes if cost.feasible else float("inf")
+
+        partition = greedy_partition(graph, cost_fn)
+        assert evaluator.evaluate(partition.subgraph_sets).feasible
+
+    def test_extracted_stage_explores_standalone(self):
+        graph = get_model("resnet50")
+        # Stage-2 residual blocks only.
+        members = [n for n in graph.compute_names if n.startswith("res2_")]
+        stage = extract_subgraph(graph, members, name="resnet50-stage1")
+        evaluator = Evaluator(stage)
+        result = nsga2_co_optimize(
+            evaluator,
+            CapacitySpace.paper_shared(),
+            metric=Metric.EMA,
+            config=NSGAConfig(population_size=8, generations=3, seed=0),
+        )
+        assert result.front
+        for point in result.front:
+            assert point.metric_cost < float("inf")
+
+
+class TestExtensionModelsThroughPipelines:
+    @pytest.mark.parametrize("name", ("densenet121", "unet", "vit_base16",
+                                      "inception_v3"))
+    def test_extension_models_map_and_price(self, name):
+        graph = get_model(name)
+        accel = AcceleratorConfig(memory=MemoryConfig.shared(mb(3)))
+        mapping = map_graph(graph, accel)
+        assert 0 < mapping.macs_weighted_utilization() <= 1.0
+        evaluator = Evaluator(graph, accel)
+
+        def cost_fn(members):
+            cost = evaluator.subgraph_cost(members)
+            return cost.ema_bytes if cost.feasible else float("inf")
+
+        partition = greedy_partition(graph, cost_fn, max_merges=20)
+        cost = evaluator.evaluate(partition.subgraph_sets)
+        assert cost.feasible
+        # EMA floor: weights + model inputs + outputs (invariant 3).
+        floor = (graph.total_weight_bytes + graph.model_input_bytes()
+                 + graph.model_output_bytes())
+        assert cost.ema_bytes >= floor

@@ -1,0 +1,153 @@
+"""Tests for mapping evaluation: utilization and buffer-traffic accounting."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.config import AcceleratorConfig
+from repro.mapper.evaluate import evaluate_mapping
+from repro.mapper.space import (
+    Dataflow,
+    Dim,
+    LoopDims,
+    Mapping,
+    SpatialMapping,
+    enumerate_mappings,
+    spatial_factor,
+    temporal_trips,
+)
+
+ACCEL = AcceleratorConfig()
+
+
+def make_mapping(rows_dim=Dim.K, cols_dim=Dim.H, dataflow=Dataflow.WEIGHT_STATIONARY):
+    return Mapping(
+        spatial=SpatialMapping(rows_dim=rows_dim, cols_dim=cols_dim, rows=4, cols=4),
+        dataflow=dataflow,
+    )
+
+
+class TestUtilization:
+    def test_perfectly_divisible_layer_hits_full_utilization(self):
+        # K=32 over rows(4)x8 inner, C=8 inner, H=16 over cols(4): all exact.
+        dims = LoopDims(k=32, c=8, h=16, w=16, kernel_taps=9)
+        ev = evaluate_mapping(dims, make_mapping(), ACCEL)
+        assert ev.utilization == 1.0
+
+    def test_remainder_wastes_lanes(self):
+        # K=33 needs two trips of 32 lanes: second trip uses 1 of 32.
+        dims = LoopDims(k=33, c=8, h=16, w=16, kernel_taps=9)
+        ev = evaluate_mapping(dims, make_mapping(), ACCEL)
+        assert ev.utilization == 33 / 64
+
+    def test_depthwise_cannot_exceed_one_eighth(self):
+        # Without a cross-channel reduction, the 8-wide inner C axis idles.
+        dims = LoopDims(k=256, c=1, h=64, w=64, kernel_taps=9, reduction_free=True)
+        for mapping in enumerate_mappings(dims, ACCEL):
+            ev = evaluate_mapping(dims, mapping, ACCEL, weightless=True)
+            assert ev.utilization <= 1 / 8 + 1e-12
+
+    def test_cycles_times_lanes_bounds_macs(self):
+        dims = LoopDims(k=40, c=24, h=14, w=14, kernel_taps=9)
+        for mapping in enumerate_mappings(dims, ACCEL):
+            ev = evaluate_mapping(dims, mapping, ACCEL)
+            assert ev.compute_cycles * ACCEL.macs_per_cycle >= dims.macs
+            assert math.isclose(
+                ev.utilization,
+                min(1.0, dims.macs / (ev.compute_cycles * ACCEL.macs_per_cycle)),
+            )
+
+    @given(
+        k=st.integers(1, 512),
+        c=st.integers(1, 512),
+        h=st.integers(1, 64),
+        taps=st.sampled_from([1, 9, 25]),
+    )
+    def test_utilization_always_in_unit_interval(self, k, c, h, taps):
+        dims = LoopDims(k=k, c=c, h=h, w=h, kernel_taps=taps)
+        for mapping in enumerate_mappings(dims, ACCEL):
+            ev = evaluate_mapping(dims, mapping, ACCEL)
+            assert 0 < ev.utilization <= 1.0
+
+
+class TestTraffic:
+    DIMS = LoopDims(k=64, c=32, h=16, w=16, kernel_taps=9)
+
+    def test_weight_stationary_fetches_weights_once(self):
+        ev = evaluate_mapping(
+            self.DIMS, make_mapping(dataflow=Dataflow.WEIGHT_STATIONARY), ACCEL
+        )
+        weights = 64 * 32 * 9
+        assert ev.traffic.weight_bytes == weights
+
+    def test_input_stationary_fetches_inputs_once(self):
+        ev = evaluate_mapping(
+            self.DIMS, make_mapping(dataflow=Dataflow.INPUT_STATIONARY), ACCEL
+        )
+        inputs = 32 * 16 * 16
+        assert ev.traffic.input_bytes == inputs
+
+    def test_output_stationary_writes_psums_once(self):
+        ev = evaluate_mapping(
+            self.DIMS, make_mapping(dataflow=Dataflow.OUTPUT_STATIONARY), ACCEL
+        )
+        outputs = 64 * 16 * 16
+        assert ev.traffic.psum_bytes == outputs * 3
+
+    def test_non_stationary_traffic_scales_with_trips(self):
+        mapping = make_mapping(dataflow=Dataflow.OUTPUT_STATIONARY)
+        trips = temporal_trips(mapping.spatial, self.DIMS)
+        ev = evaluate_mapping(self.DIMS, mapping, ACCEL)
+        weights = 64 * 32 * 9
+        assert ev.traffic.weight_bytes == weights * trips[Dim.H] * trips[Dim.W]
+
+    def test_weightless_layer_moves_no_weights(self):
+        dims = LoopDims(k=64, c=1, h=16, w=16, kernel_taps=4, reduction_free=True)
+        for flow in Dataflow:
+            ev = evaluate_mapping(
+                dims, make_mapping(dataflow=flow), ACCEL, weightless=True
+            )
+            assert ev.traffic.weight_bytes == 0
+
+    def test_traffic_lower_bounded_by_tensor_sizes(self):
+        # Every dataflow must touch each datum at least once.
+        for mapping in enumerate_mappings(self.DIMS, ACCEL):
+            ev = evaluate_mapping(self.DIMS, mapping, ACCEL)
+            assert ev.traffic.input_bytes >= 32 * 16 * 16
+            assert ev.traffic.weight_bytes >= 64 * 32 * 9
+            assert ev.traffic.psum_bytes >= 64 * 16 * 16 * 3
+
+    def test_total_is_sum_of_parts(self):
+        ev = evaluate_mapping(self.DIMS, make_mapping(), ACCEL)
+        t = ev.traffic
+        assert t.total_bytes == t.input_bytes + t.weight_bytes + t.psum_bytes
+
+    @given(
+        k=st.integers(1, 128),
+        c=st.integers(1, 128),
+        h=st.integers(1, 32),
+        flow=st.sampled_from(list(Dataflow)),
+    )
+    def test_stationary_datum_never_refetched(self, k, c, h, flow):
+        dims = LoopDims(k=k, c=c, h=h, w=h, kernel_taps=9)
+        ev = evaluate_mapping(dims, make_mapping(dataflow=flow), ACCEL)
+        if flow is Dataflow.WEIGHT_STATIONARY:
+            assert ev.traffic.weight_bytes == k * c * 9
+        elif flow is Dataflow.INPUT_STATIONARY:
+            assert ev.traffic.input_bytes == c * h * h
+        else:
+            assert ev.traffic.psum_bytes == k * h * h * 3
+
+
+class TestTrafficMonotonicity:
+    def test_larger_layer_never_cheaper(self):
+        small = LoopDims(k=32, c=16, h=8, w=8, kernel_taps=9)
+        large = LoopDims(k=64, c=16, h=8, w=8, kernel_taps=9)
+        for flow in Dataflow:
+            ev_s = evaluate_mapping(small, make_mapping(dataflow=flow), ACCEL)
+            ev_l = evaluate_mapping(large, make_mapping(dataflow=flow), ACCEL)
+            assert ev_l.traffic.total_bytes >= ev_s.traffic.total_bytes
+            assert ev_l.compute_cycles >= ev_s.compute_cycles

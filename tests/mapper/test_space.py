@@ -1,0 +1,152 @@
+"""Tests for the mapping search space (dims, spatial assignments)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.config import AcceleratorConfig
+from repro.errors import ShapeError
+from repro.graphs.ops import conv, dwconv, eltwise, input_layer, matmul, pool
+from repro.graphs.tensor import TensorShape
+from repro.mapper.space import (
+    Dataflow,
+    Dim,
+    LoopDims,
+    SpatialMapping,
+    enumerate_mappings,
+    enumerate_spatial,
+    spatial_factor,
+    temporal_trips,
+)
+
+ACCEL = AcceleratorConfig()
+
+
+class TestLoopDims:
+    def test_conv_dims_from_spec(self):
+        spec = conv("c", TensorShape(32, 32, 16), out_channels=32, kernel=3)
+        dims = LoopDims.from_spec(spec, in_channels=16)
+        assert (dims.k, dims.c, dims.h, dims.w) == (32, 16, 32, 32)
+        assert dims.kernel_taps == 9
+        assert not dims.reduction_free
+
+    def test_conv_macs_match_spec(self):
+        spec = conv("c", TensorShape(16, 16, 8), out_channels=24, kernel=3, stride=2)
+        dims = LoopDims.from_spec(spec, in_channels=8)
+        assert dims.macs == spec.macs
+
+    def test_conv_reconstructs_in_channels_without_graph(self):
+        spec = conv("c", TensorShape(32, 32, 16), out_channels=32, kernel=3)
+        dims = LoopDims.from_spec(spec)
+        assert dims.c == 16
+
+    def test_dwconv_is_reduction_free(self):
+        spec = dwconv("d", TensorShape(32, 32, 16), kernel=3)
+        dims = LoopDims.from_spec(spec)
+        assert dims.reduction_free
+        assert dims.c == 1
+        assert dims.k == 16
+        assert dims.macs == spec.macs
+
+    def test_pool_is_reduction_free(self):
+        spec = pool("p", TensorShape(32, 32, 16), kernel=2, stride=2)
+        dims = LoopDims.from_spec(spec)
+        assert dims.reduction_free
+        assert dims.macs == spec.macs
+
+    def test_global_pool_taps_match_macs(self):
+        spec = pool("gp", TensorShape(7, 7, 64), global_pool=True)
+        dims = LoopDims.from_spec(spec)
+        assert dims.macs == spec.macs
+
+    def test_eltwise_macs(self):
+        spec = eltwise("e", TensorShape(8, 8, 32))
+        dims = LoopDims.from_spec(spec)
+        assert dims.macs == spec.macs
+
+    def test_matmul_reconstructs_reduction_dim(self):
+        # Attention QK^T: 64x64 scores over depth 128.
+        spec = matmul("qk", TensorShape(64, 1, 64), macs=64 * 64 * 128)
+        dims = LoopDims.from_spec(spec)
+        assert dims.c == 128
+        assert dims.macs == spec.macs
+
+    def test_input_layer_rejected(self):
+        spec = input_layer("in", TensorShape(4, 4, 4))
+        with pytest.raises(ShapeError):
+            LoopDims.from_spec(spec)
+
+    def test_nonpositive_extent_rejected(self):
+        with pytest.raises(ShapeError):
+            LoopDims(k=0, c=1, h=1, w=1, kernel_taps=1)
+
+    def test_size_accessor(self):
+        dims = LoopDims(k=2, c=3, h=4, w=5, kernel_taps=1)
+        assert [dims.size(d) for d in Dim] == [2, 3, 4, 5]
+
+
+class TestSpatialMapping:
+    def test_array_factor_single_axis(self):
+        m = SpatialMapping(rows_dim=Dim.K, cols_dim=Dim.H, rows=4, cols=4)
+        assert m.array_factor(Dim.K) == 4
+        assert m.array_factor(Dim.H) == 4
+        assert m.array_factor(Dim.W) == 1
+
+    def test_array_factor_doubled_axis(self):
+        m = SpatialMapping(rows_dim=Dim.K, cols_dim=Dim.K, rows=4, cols=4)
+        assert m.array_factor(Dim.K) == 16
+
+    def test_spatial_factor_includes_inner_pe(self):
+        dims = LoopDims(k=64, c=64, h=8, w=8, kernel_taps=9)
+        m = SpatialMapping(rows_dim=Dim.K, cols_dim=Dim.H, rows=4, cols=4)
+        assert spatial_factor(m, dims, Dim.K) == 4 * 8  # array x inner
+        assert spatial_factor(m, dims, Dim.C) == 8  # inner only
+        assert spatial_factor(m, dims, Dim.H) == 4
+
+    def test_depthwise_loses_inner_c(self):
+        dims = LoopDims(k=64, c=1, h=8, w=8, kernel_taps=9, reduction_free=True)
+        m = SpatialMapping(rows_dim=Dim.K, cols_dim=Dim.H, rows=4, cols=4)
+        assert spatial_factor(m, dims, Dim.C) == 1
+
+    def test_temporal_trips_cover_extents(self):
+        dims = LoopDims(k=100, c=20, h=30, w=30, kernel_taps=9)
+        m = SpatialMapping(rows_dim=Dim.K, cols_dim=Dim.W, rows=4, cols=4)
+        trips = temporal_trips(m, dims)
+        for dim in Dim:
+            assert trips[dim] * spatial_factor(m, dims, dim) >= dims.size(dim)
+
+
+class TestEnumeration:
+    def test_spatial_candidates_skip_unit_dims(self):
+        dims = LoopDims(k=64, c=1, h=8, w=1, kernel_taps=1, reduction_free=True)
+        mappings = list(enumerate_spatial(dims, ACCEL))
+        used = {m.rows_dim for m in mappings} | {m.cols_dim for m in mappings}
+        assert Dim.C not in used
+        assert Dim.W not in used
+
+    def test_degenerate_all_unit_dims_still_yields(self):
+        dims = LoopDims(k=1, c=1, h=1, w=1, kernel_taps=1)
+        assert len(list(enumerate_spatial(dims, ACCEL))) == 1
+
+    def test_full_space_is_spatial_x_dataflow(self):
+        dims = LoopDims(k=64, c=32, h=16, w=16, kernel_taps=9)
+        spatial = list(enumerate_spatial(dims, ACCEL))
+        mappings = list(enumerate_mappings(dims, ACCEL))
+        assert len(mappings) == len(spatial) * len(Dataflow)
+        assert len(spatial) == 16  # 4 dims x 4 dims
+
+    @given(
+        k=st.integers(1, 256),
+        c=st.integers(1, 256),
+        h=st.integers(1, 64),
+        w=st.integers(1, 64),
+    )
+    def test_every_candidate_is_valid(self, k, c, h, w):
+        dims = LoopDims(k=k, c=c, h=h, w=w, kernel_taps=9)
+        mappings = list(enumerate_mappings(dims, ACCEL))
+        assert mappings
+        for m in mappings:
+            assert m.spatial.rows == ACCEL.pe_rows
+            assert m.spatial.cols == ACCEL.pe_cols

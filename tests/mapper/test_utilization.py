@@ -1,0 +1,113 @@
+"""Tests for the mapper-to-cost-model bridge."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import AcceleratorConfig
+from repro.cost.evaluator import Evaluator
+from repro.errors import ConfigError
+from repro.graphs.graph import ComputationGraph
+from repro.graphs.ops import input_layer
+from repro.graphs.tensor import TensorShape
+from repro.graphs.zoo import get_model
+from repro.mapper.mapper import map_graph
+from repro.mapper.utilization import (
+    calibrated_accelerator,
+    graph_utilization,
+    subgraph_compute_cycles,
+)
+
+ACCEL = AcceleratorConfig()
+
+
+class TestGraphUtilization:
+    def test_per_layer_matches_mapping(self, chain_graph):
+        mapping = map_graph(chain_graph, ACCEL)
+        util = graph_utilization(chain_graph, ACCEL, mapping)
+        for name, layer in mapping.layers.items():
+            assert util[name] == layer.utilization
+
+    def test_summary_statistics_consistent(self, diamond_graph):
+        util = graph_utilization(diamond_graph, ACCEL)
+        values = list(util.per_layer.values())
+        assert util.mean == pytest.approx(sum(values) / len(values))
+        assert 0 < util.macs_weighted <= 1.0
+
+    def test_mapping_defaults_to_fresh_search(self, chain_graph):
+        explicit = graph_utilization(chain_graph, ACCEL, map_graph(chain_graph, ACCEL))
+        implicit = graph_utilization(chain_graph, ACCEL)
+        assert explicit.per_layer == implicit.per_layer
+
+
+class TestCalibratedAccelerator:
+    def test_replaces_flat_utilization(self):
+        graph = get_model("resnet50")
+        calibrated = calibrated_accelerator(ACCEL, graph)
+        assert calibrated.pe_utilization != ACCEL.pe_utilization
+        assert 0 < calibrated.pe_utilization <= 1.0
+
+    def test_other_fields_preserved(self, chain_graph):
+        calibrated = calibrated_accelerator(ACCEL, chain_graph)
+        assert calibrated.dram_bandwidth == ACCEL.dram_bandwidth
+        assert calibrated.memory == ACCEL.memory
+
+    def test_input_only_graph_rejected(self):
+        g = ComputationGraph("empty")
+        g.add_layer(input_layer("in", TensorShape(8, 8, 8)))
+        with pytest.raises(ConfigError):
+            calibrated_accelerator(ACCEL, g)
+
+    def test_calibrated_evaluator_still_prices_partitions(self, chain_graph):
+        calibrated = calibrated_accelerator(ACCEL, chain_graph)
+        ev = Evaluator(chain_graph, calibrated)
+        members = frozenset(n for n in chain_graph.topological_order()
+                            if not chain_graph.layer(n).is_input)
+        cost = ev.evaluate([members])
+        assert cost.feasible
+        assert cost.energy_pj > 0
+
+    def test_lower_utilization_means_more_cycles(self, chain_graph):
+        calibrated = calibrated_accelerator(ACCEL, chain_graph)
+        members = frozenset(n for n in chain_graph.topological_order()
+                            if not chain_graph.layer(n).is_input)
+        flat = Evaluator(chain_graph, ACCEL).subgraph_cost(members)
+        mapped = Evaluator(chain_graph, calibrated).subgraph_cost(members)
+        if calibrated.pe_utilization < ACCEL.pe_utilization:
+            assert mapped.compute_cycles > flat.compute_cycles
+        else:
+            assert mapped.compute_cycles <= flat.compute_cycles
+
+
+class TestSubgraphComputeCycles:
+    def test_sums_member_layers(self, chain_graph):
+        mapping = map_graph(chain_graph, ACCEL)
+        members = ["conv1", "conv2"]
+        total = subgraph_compute_cycles(chain_graph, members, ACCEL, mapping)
+        expected = sum(mapping[m].compute_cycles for m in members)
+        assert total == expected
+
+    def test_skips_input_nodes(self, chain_graph):
+        mapping = map_graph(chain_graph, ACCEL)
+        with_input = subgraph_compute_cycles(
+            chain_graph, ["in", "conv1"], ACCEL, mapping
+        )
+        without = subgraph_compute_cycles(chain_graph, ["conv1"], ACCEL, mapping)
+        assert with_input == without
+
+    def test_unknown_layer_raises(self, chain_graph):
+        mapping = map_graph(chain_graph, ACCEL)
+        partial = type(mapping)(layers={
+            k: v for k, v in mapping.layers.items() if k != "conv2"
+        })
+        with pytest.raises(ConfigError):
+            subgraph_compute_cycles(chain_graph, ["conv2"], ACCEL, partial)
+
+    def test_per_layer_sum_at_least_aggregate_peak_bound(self, chain_graph):
+        # Mapped cycles can never beat the peak-lane lower bound.
+        mapping = map_graph(chain_graph, ACCEL)
+        members = [n for n in chain_graph.topological_order()
+                   if not chain_graph.layer(n).is_input]
+        macs = sum(chain_graph.layer(m).macs for m in members)
+        mapped = subgraph_compute_cycles(chain_graph, members, ACCEL, mapping)
+        assert mapped >= macs / ACCEL.macs_per_cycle

@@ -1,0 +1,74 @@
+"""Subgraph allocation into physical buffers."""
+
+import pytest
+
+from repro.config import MemoryConfig
+from repro.errors import CapacityError
+from repro.execution.footprint import activation_footprint
+from repro.execution.tiling import derive_tiling
+from repro.memory.allocator import allocate_subgraph
+from repro.memory.buffers import plan_buffers
+from repro.units import kb
+
+from ..conftest import build_chain, build_fig5
+
+
+@pytest.fixture
+def chain():
+    return build_chain(depth=3, size=16, channels=4)
+
+
+class TestAllocateSubgraph:
+    def test_regions_cover_footprint(self, chain):
+        members = set(chain.compute_names)
+        tiling = derive_tiling(chain, members, output_tile_rows=2)
+        plan = plan_buffers(MemoryConfig.shared(kb(64)))
+        allocation = allocate_subgraph(chain, tiling, plan)
+        assert allocation.activation_bytes == activation_footprint(chain, tiling)
+
+    def test_every_node_gets_a_region(self, chain):
+        members = set(chain.compute_names)
+        tiling = derive_tiling(chain, members)
+        plan = plan_buffers(MemoryConfig.shared(kb(64)))
+        allocation = allocate_subgraph(chain, tiling, plan)
+        assert set(allocation.activation_regions) == set(tiling.nodes)
+
+    def test_cached_weights_allocated(self, chain):
+        members = set(chain.compute_names)
+        tiling = derive_tiling(chain, members)
+        plan = plan_buffers(MemoryConfig.separate(kb(32), kb(32)))
+        allocation = allocate_subgraph(
+            chain, tiling, plan, cached_weight_nodes=("conv1", "conv2")
+        )
+        assert allocation.weight_bytes == 2 * chain.layer("conv1").weight_bytes
+
+    def test_overflow_raises_capacity_error(self, chain):
+        members = set(chain.compute_names)
+        tiling = derive_tiling(chain, members, output_tile_rows=16)
+        plan = plan_buffers(MemoryConfig.shared(256))
+        with pytest.raises(CapacityError):
+            allocate_subgraph(chain, tiling, plan)
+
+    def test_unknown_cached_node_rejected(self, chain):
+        tiling = derive_tiling(chain, {"conv1"})
+        plan = plan_buffers(MemoryConfig.shared(kb(64)))
+        with pytest.raises(CapacityError):
+            allocate_subgraph(chain, tiling, plan, cached_weight_nodes=("ghost",))
+
+    def test_fig5_layout_is_disjoint(self):
+        graph = build_fig5()
+        tiling = derive_tiling(graph, {"node0", "node1", "node2"}, output_tile_rows=2)
+        plan = plan_buffers(MemoryConfig.shared(kb(4)))
+        allocation = allocate_subgraph(graph, tiling, plan)
+        regions = sorted(
+            allocation.activation_regions.values(), key=lambda r: r.head
+        )
+        for a, b in zip(regions, regions[1:]):
+            assert a.end <= b.head
+
+    def test_region_count_limit_enforced(self, chain):
+        members = set(chain.compute_names)
+        tiling = derive_tiling(chain, members)
+        plan = plan_buffers(MemoryConfig.shared(kb(64)), max_regions=2)
+        with pytest.raises(CapacityError):
+            allocate_subgraph(chain, tiling, plan)

@@ -1,0 +1,36 @@
+"""Buffer plans for separate and shared configurations."""
+
+from repro.config import MemoryConfig
+from repro.memory.buffers import plan_buffers
+from repro.units import kb
+
+
+class TestBufferPlan:
+    def test_separate_plan_has_two_managers(self):
+        plan = plan_buffers(MemoryConfig.separate(kb(64), kb(32)))
+        assert not plan.is_shared
+        assert plan.activation.capacity_bytes == kb(64)
+        assert plan.weight.capacity_bytes == kb(32)
+
+    def test_shared_plan_aliases_one_manager(self):
+        plan = plan_buffers(MemoryConfig.shared(kb(96)))
+        assert plan.is_shared
+        assert plan.activation is plan.weight
+        assert plan.activation.capacity_bytes == kb(96)
+
+    def test_shared_competition(self):
+        plan = plan_buffers(MemoryConfig.shared(kb(1)))
+        plan.activation.allocate("act", 800)
+        assert plan.weight.free_bytes == 1024 - 800
+
+    def test_reset_clears_both(self):
+        plan = plan_buffers(MemoryConfig.separate(kb(64), kb(32)))
+        plan.activation.allocate("a", 100)
+        plan.weight.allocate("w", 100)
+        plan.reset()
+        assert plan.activation.free_bytes == kb(64)
+        assert plan.weight.free_bytes == kb(32)
+
+    def test_max_regions_threaded(self):
+        plan = plan_buffers(MemoryConfig.shared(kb(96)), max_regions=4)
+        assert plan.activation.max_regions == 4

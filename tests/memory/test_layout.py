@@ -1,0 +1,69 @@
+"""NWHC8c layout arithmetic (Fig 7)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AllocationError
+from repro.graphs.tensor import TensorShape
+from repro.memory.layout import Nwhc8cLayout
+
+
+class TestLayout:
+    def test_channel_groups_round_up(self):
+        layout = Nwhc8cLayout(TensorShape(8, 8, 20), tile_rows=4, tile_width=4)
+        assert layout.channel_groups == 3
+
+    def test_entries_per_group(self):
+        layout = Nwhc8cLayout(TensorShape(8, 8, 16), tile_rows=4, tile_width=4)
+        assert layout.entries_per_group == 2 * 4
+
+    def test_tile_bytes_padded_to_channel_group(self):
+        layout = Nwhc8cLayout(TensorShape(8, 8, 20), tile_rows=2, tile_width=2)
+        assert layout.tile_bytes == 3 * 2 * 8 * 2
+
+    def test_offset_zero(self):
+        layout = Nwhc8cLayout(TensorShape(8, 8, 16), tile_rows=4, tile_width=4)
+        assert layout.offset(0, 0, 0) == 0
+
+    def test_offset_channel_lane(self):
+        layout = Nwhc8cLayout(TensorShape(8, 8, 16), tile_rows=4, tile_width=4)
+        assert layout.offset(0, 0, 5) == 5
+
+    def test_offset_row_steps_by_entry(self):
+        layout = Nwhc8cLayout(TensorShape(8, 8, 16), tile_rows=4, tile_width=4)
+        assert layout.offset(1, 0, 0) == 8
+
+    def test_offset_rejects_out_of_tile(self):
+        layout = Nwhc8cLayout(TensorShape(8, 8, 16), tile_rows=2, tile_width=2)
+        with pytest.raises(AllocationError):
+            layout.offset(2, 0, 0)
+        with pytest.raises(AllocationError):
+            layout.offset(0, 2, 0)
+        with pytest.raises(AllocationError):
+            layout.offset(0, 0, 16)
+
+    def test_rejects_tile_larger_than_tensor(self):
+        with pytest.raises(AllocationError):
+            Nwhc8cLayout(TensorShape(4, 4, 8), tile_rows=5, tile_width=2)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    rows=st.integers(1, 6),
+    width=st.integers(1, 6),
+    channels=st.integers(1, 24),
+)
+def test_offsets_are_unique_and_in_range(rows, width, channels):
+    """Property: the layout is a bijection into the tile's byte range."""
+    layout = Nwhc8cLayout(
+        TensorShape(8, 8, channels), tile_rows=rows, tile_width=width
+    )
+    seen = set()
+    for r in range(rows):
+        for c in range(width):
+            for ch in range(channels):
+                offset = layout.offset(r, c, ch)
+                assert 0 <= offset < layout.tile_bytes
+                assert offset not in seen
+                seen.add(offset)

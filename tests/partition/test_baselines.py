@@ -1,0 +1,155 @@
+"""Greedy, DP, enumeration, and random-init partitioners."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import AcceleratorConfig, MemoryConfig
+from repro.cost.evaluator import Evaluator
+from repro.errors import SearchError
+from repro.partition.dp import dp_partition
+from repro.partition.enumeration import enumerate_partition
+from repro.partition.greedy import greedy_partition
+from repro.partition.partition import Partition
+from repro.partition.random_init import random_partition
+from repro.partition.validity import check_partition
+from repro.units import kb
+
+from ..conftest import build_chain, build_diamond, random_dags
+
+
+def make_cost_fn(graph, act_kb=256, wgt_kb=256):
+    accel = AcceleratorConfig(memory=MemoryConfig.separate(kb(act_kb), kb(wgt_kb)))
+    evaluator = Evaluator(graph, accel)
+
+    def cost_fn(members):
+        cost = evaluator.subgraph_cost(members)
+        return cost.ema_bytes if cost.feasible else float("inf")
+
+    return cost_fn
+
+
+class TestGreedy:
+    def test_valid_result(self, diamond_graph):
+        p = greedy_partition(diamond_graph, make_cost_fn(diamond_graph))
+        check_partition(diamond_graph, p.assignment)
+
+    def test_beats_or_ties_singletons(self, chain_graph):
+        cost_fn = make_cost_fn(chain_graph)
+        p = greedy_partition(chain_graph, cost_fn)
+        greedy_total = sum(cost_fn(s) for s in p.subgraph_sets)
+        singles_total = sum(
+            cost_fn(s) for s in Partition.singletons(chain_graph).subgraph_sets
+        )
+        assert greedy_total <= singles_total
+
+    def test_max_merges_respected(self, chain_graph):
+        p = greedy_partition(chain_graph, make_cost_fn(chain_graph), max_merges=1)
+        assert p.num_subgraphs >= len(chain_graph.compute_names) - 1
+
+    def test_never_merges_when_everything_infeasible(self, chain_graph):
+        p = greedy_partition(chain_graph, lambda m: float("inf"))
+        assert p.num_subgraphs == len(chain_graph.compute_names)
+
+    @settings(max_examples=15, deadline=None)
+    @given(random_dags())
+    def test_random_dags_stay_valid(self, graph):
+        p = greedy_partition(graph, make_cost_fn(graph))
+        check_partition(graph, p.assignment)
+
+
+class TestDp:
+    def test_valid_result(self, diamond_graph):
+        p = dp_partition(diamond_graph, make_cost_fn(diamond_graph))
+        check_partition(diamond_graph, p.assignment)
+
+    def test_chain_dp_matches_enumeration(self, chain_graph):
+        # On a plain chain the depth order IS the only order, so the DP
+        # search space is complete and must match the exact optimum.
+        cost_fn = make_cost_fn(chain_graph)
+        dp = dp_partition(chain_graph, cost_fn)
+        exact = enumerate_partition(chain_graph, cost_fn)
+        dp_total = sum(cost_fn(s) for s in dp.subgraph_sets)
+        exact_total = sum(cost_fn(s) for s in exact.subgraph_sets)
+        assert dp_total == pytest.approx(exact_total)
+
+    def test_max_segment_respected(self, chain_graph):
+        p = dp_partition(chain_graph, make_cost_fn(chain_graph), max_segment=2)
+        assert all(len(s) <= 2 for s in p.subgraph_sets)
+
+    @settings(max_examples=15, deadline=None)
+    @given(random_dags())
+    def test_random_dags_stay_valid(self, graph):
+        p = dp_partition(graph, make_cost_fn(graph))
+        check_partition(graph, p.assignment)
+
+
+class TestEnumeration:
+    def test_valid_result(self, diamond_graph):
+        p = enumerate_partition(diamond_graph, make_cost_fn(diamond_graph))
+        check_partition(diamond_graph, p.assignment)
+
+    def test_optimal_on_diamond(self, diamond_graph):
+        cost_fn = make_cost_fn(diamond_graph)
+        exact = enumerate_partition(diamond_graph, cost_fn)
+        exact_total = sum(cost_fn(s) for s in exact.subgraph_sets)
+        greedy_total = sum(
+            cost_fn(s)
+            for s in greedy_partition(diamond_graph, cost_fn).subgraph_sets
+        )
+        dp_total = sum(
+            cost_fn(s) for s in dp_partition(diamond_graph, cost_fn).subgraph_sets
+        )
+        assert exact_total <= greedy_total
+        assert exact_total <= dp_total
+
+    def test_state_budget_raises(self, chain_graph):
+        with pytest.raises(SearchError):
+            enumerate_partition(
+                chain_graph, make_cost_fn(chain_graph), max_states=1
+            )
+
+    def test_prune_fn_limits_growth(self, chain_graph):
+        cost_fn = make_cost_fn(chain_graph)
+        p = enumerate_partition(
+            chain_graph, cost_fn, prune_fn=lambda m: len(m) >= 2
+        )
+        assert all(len(s) <= 2 for s in p.subgraph_sets)
+
+    @settings(max_examples=10, deadline=None)
+    @given(random_dags())
+    def test_exact_beats_heuristics_on_small_dags(self, graph):
+        cost_fn = make_cost_fn(graph)
+        try:
+            exact = enumerate_partition(graph, cost_fn, max_states=20_000)
+        except SearchError:
+            return
+        exact_total = sum(cost_fn(s) for s in exact.subgraph_sets)
+        for baseline in (greedy_partition, dp_partition):
+            total = sum(
+                cost_fn(s) for s in baseline(graph, cost_fn).subgraph_sets
+            )
+            assert exact_total <= total + 1e-9
+
+
+class TestRandomInit:
+    def test_valid_partitions(self, diamond_graph):
+        rng = random.Random(0)
+        for _ in range(20):
+            p = random_partition(diamond_graph, rng)
+            check_partition(diamond_graph, p.assignment)
+
+    def test_p_new_extremes(self, chain_graph):
+        rng = random.Random(0)
+        all_new = random_partition(chain_graph, rng, p_new=1.0)
+        assert all_new.num_subgraphs == len(chain_graph.compute_names)
+        fused = random_partition(chain_graph, rng, p_new=0.0)
+        assert fused.num_subgraphs == 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(random_dags(), st.integers(0, 1000), st.floats(0.0, 1.0))
+    def test_random_dags_always_valid(self, graph, seed, p_new):
+        p = random_partition(graph, random.Random(seed), p_new=p_new)
+        check_partition(graph, p.assignment)

@@ -1,0 +1,103 @@
+"""normalize_groups: any grouping becomes a valid partition."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partition.partition import Partition
+from repro.partition.validity import (
+    check_partition,
+    normalize_groups,
+    split_infeasible,
+)
+
+from ..conftest import build_chain, build_diamond, random_dags
+
+
+class TestNormalizeGroups:
+    def test_identity_on_valid_grouping(self, chain_graph):
+        p = normalize_groups(
+            chain_graph, [{"conv1", "conv2"}, {"conv3"}, {"conv4"}]
+        )
+        assert p.num_subgraphs == 3
+
+    def test_splits_disconnected_group(self, chain_graph):
+        p = normalize_groups(
+            chain_graph, [{"conv1", "conv3"}, {"conv2"}, {"conv4"}]
+        )
+        # conv1/conv3 share no edge -> split into singletons.
+        assert p.num_subgraphs == 4
+
+    def test_merges_quotient_cycle(self, diamond_graph):
+        # {stem, left, join} and {right}: quotient has a 2-cycle
+        # (group0 -> right -> group0), so the two must merge.
+        p = normalize_groups(
+            diamond_graph, [{"stem", "left", "join"}, {"right"}]
+        )
+        assert p.num_subgraphs == 1
+
+    def test_assigns_missing_layers(self, chain_graph):
+        p = normalize_groups(chain_graph, [{"conv1", "conv2"}])
+        assert p.num_subgraphs == 3
+
+    def test_drops_unknown_names(self, chain_graph):
+        p = normalize_groups(chain_graph, [{"conv1", "ghost"}, {"conv2"},
+                                           {"conv3"}, {"conv4"}])
+        assert p.num_subgraphs == 4
+
+    def test_deduplicates_across_groups(self, chain_graph):
+        p = normalize_groups(
+            chain_graph,
+            [{"conv1", "conv2"}, {"conv2", "conv3"}, {"conv4"}],
+        )
+        check_partition(chain_graph, p.assignment)
+
+    def test_empty_groups_skipped(self, chain_graph):
+        p = normalize_groups(chain_graph, [set(), {"conv1"}, set(),
+                                           {"conv2", "conv3"}, {"conv4"}])
+        assert p.num_subgraphs == 3
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_dags(), st.integers(0, 10_000))
+def test_normalize_arbitrary_groupings(graph, seed):
+    """Property: ANY random grouping normalizes to a valid partition."""
+    rng = random.Random(seed)
+    names = list(graph.compute_names)
+    rng.shuffle(names)
+    groups = []
+    cursor = 0
+    while cursor < len(names):
+        size = rng.randint(1, 4)
+        groups.append(set(names[cursor : cursor + size]))
+        cursor += size
+    partition = normalize_groups(graph, groups)
+    check_partition(graph, partition.assignment)
+
+
+class TestSplitInfeasible:
+    def test_splits_until_fits(self, chain_graph):
+        def fits(members):
+            return len(members) <= 2
+
+        p = split_infeasible(Partition.whole_graph(chain_graph), fits)
+        assert all(len(s) <= 2 for s in p.subgraph_sets)
+        check_partition(chain_graph, p.assignment)
+
+    def test_noop_when_feasible(self, chain_graph):
+        p = Partition.singletons(chain_graph)
+        assert split_infeasible(p, lambda m: True) is p
+
+    def test_keeps_infeasible_singletons(self, chain_graph):
+        p = split_infeasible(Partition.whole_graph(chain_graph), lambda m: False)
+        assert all(len(s) == 1 for s in p.subgraph_sets)
+
+    @settings(max_examples=25, deadline=None)
+    @given(random_dags(), st.integers(1, 4))
+    def test_random_dags_split_to_limit(self, graph, limit):
+        start = normalize_groups(graph, [set(graph.compute_names)])
+        p = split_infeasible(start, lambda m: len(m) <= limit)
+        check_partition(graph, p.assignment)
+        assert all(len(s) <= limit for s in p.subgraph_sets)

@@ -1,0 +1,92 @@
+"""Hardware configuration objects."""
+
+import pytest
+
+from repro.config import AcceleratorConfig, BufferMode, MemoryConfig
+from repro.errors import ConfigError
+from repro.units import kb, mb
+
+
+class TestMemoryConfig:
+    def test_default_is_separate(self):
+        memory = MemoryConfig()
+        assert memory.mode is BufferMode.SEPARATE
+
+    def test_total_bytes_separate(self):
+        memory = MemoryConfig.separate(kb(512), kb(576))
+        assert memory.total_bytes == kb(512) + kb(576)
+
+    def test_total_bytes_shared(self):
+        memory = MemoryConfig.shared(kb(1152))
+        assert memory.total_bytes == kb(1152)
+
+    def test_activation_capacity_separate(self):
+        memory = MemoryConfig.separate(kb(512), kb(576))
+        assert memory.activation_capacity == kb(512)
+        assert memory.weight_capacity == kb(576)
+
+    def test_shared_capacity_is_whole_buffer(self):
+        memory = MemoryConfig.shared(kb(1152))
+        assert memory.activation_capacity == kb(1152)
+        assert memory.weight_capacity == kb(1152)
+
+    def test_with_sizes_replaces(self):
+        memory = MemoryConfig.separate(kb(512), kb(576))
+        bigger = memory.with_sizes(global_buffer_bytes=kb(1024))
+        assert bigger.global_buffer_bytes == kb(1024)
+        assert bigger.weight_buffer_bytes == kb(576)
+        assert memory.global_buffer_bytes == kb(512)
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ConfigError):
+            MemoryConfig.separate(0, kb(100))
+        with pytest.raises(ConfigError):
+            MemoryConfig.shared(-1)
+
+
+class TestAcceleratorConfig:
+    def test_default_is_2tops(self):
+        accel = AcceleratorConfig()
+        assert accel.peak_ops == pytest.approx(2.048e12)
+
+    def test_macs_per_cycle(self):
+        accel = AcceleratorConfig()
+        assert accel.macs_per_cycle == 4 * 4 * 64
+
+    def test_sram_energy_grows_with_capacity(self):
+        accel = AcceleratorConfig()
+        assert accel.sram_pj_per_byte(mb(2)) > accel.sram_pj_per_byte(kb(128))
+
+    def test_sram_energy_rejects_zero_capacity(self):
+        accel = AcceleratorConfig()
+        with pytest.raises(ConfigError):
+            accel.sram_pj_per_byte(0)
+
+    def test_sram_area_is_linear(self):
+        accel = AcceleratorConfig()
+        assert accel.sram_area_mm2(mb(2)) == pytest.approx(
+            2 * accel.sram_area_mm2(mb(1))
+        )
+
+    def test_dram_energy_matches_paper(self):
+        # 12.5 pJ/bit = 100 pJ/byte (Sec 5.1.2).
+        assert AcceleratorConfig().dram_pj_per_byte == 100.0
+
+    def test_with_cores(self):
+        accel = AcceleratorConfig().with_cores(4)
+        assert accel.num_cores == 4
+
+    def test_with_memory(self):
+        memory = MemoryConfig.shared(kb(640))
+        accel = AcceleratorConfig().with_memory(memory)
+        assert accel.memory is memory
+
+    def test_rejects_bad_utilization(self):
+        with pytest.raises(ConfigError):
+            AcceleratorConfig(pe_utilization=0.0)
+        with pytest.raises(ConfigError):
+            AcceleratorConfig(pe_utilization=1.5)
+
+    def test_rejects_bad_pe_array(self):
+        with pytest.raises(ConfigError):
+            AcceleratorConfig(pe_rows=0)

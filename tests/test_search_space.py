@@ -1,0 +1,102 @@
+"""Capacity search space: sampling, rounding, averaging, perturbation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import BufferMode, MemoryConfig
+from repro.errors import ConfigError
+from repro.search_space import CapacitySpace
+from repro.units import kb
+
+
+class TestPaperRanges:
+    def test_separate_range(self):
+        space = CapacitySpace.paper_separate()
+        assert space.global_candidates[0] == kb(128)
+        assert space.global_candidates[-1] == kb(2048)
+        assert space.global_candidates[1] - space.global_candidates[0] == kb(64)
+        assert space.weight_candidates[0] == kb(144)
+        assert space.weight_candidates[-1] == kb(2304)
+        assert space.weight_candidates[1] - space.weight_candidates[0] == kb(72)
+
+    def test_shared_range(self):
+        space = CapacitySpace.paper_shared()
+        assert space.shared_candidates[0] == kb(128)
+        assert space.shared_candidates[-1] == kb(3072)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            CapacitySpace(mode=BufferMode.SEPARATE)
+        with pytest.raises(ConfigError):
+            CapacitySpace(mode=BufferMode.SHARED)
+
+
+class TestOperations:
+    def test_sample_on_grid(self):
+        space = CapacitySpace.paper_separate()
+        rng = random.Random(0)
+        for _ in range(20):
+            memory = space.sample(rng)
+            assert memory.global_buffer_bytes in space.global_candidates
+            assert memory.weight_buffer_bytes in space.weight_candidates
+
+    def test_round_snaps(self):
+        space = CapacitySpace.paper_separate()
+        rounded = space.round(MemoryConfig.separate(kb(130), kb(150)))
+        assert rounded.global_buffer_bytes == kb(128)
+        assert rounded.weight_buffer_bytes == kb(144)
+
+    def test_round_clamps_out_of_range(self):
+        space = CapacitySpace.paper_shared()
+        low = space.round(MemoryConfig.shared(1))
+        high = space.round(MemoryConfig.shared(kb(10_000)))
+        assert low.shared_buffer_bytes == kb(128)
+        assert high.shared_buffer_bytes == kb(3072)
+
+    def test_average_is_midpoint_on_grid(self):
+        space = CapacitySpace.paper_shared()
+        mid = space.average(
+            MemoryConfig.shared(kb(128)), MemoryConfig.shared(kb(384))
+        )
+        assert mid.shared_buffer_bytes == kb(256)
+
+    def test_perturb_stays_on_grid(self):
+        space = CapacitySpace.paper_shared()
+        rng = random.Random(1)
+        memory = MemoryConfig.shared(kb(1024))
+        for _ in range(50):
+            memory = space.perturb(memory, rng)
+            assert memory.shared_buffer_bytes in space.shared_candidates
+
+    def test_grid_descending(self):
+        space = CapacitySpace.paper_shared()
+        configs = space.grid(stride=8)
+        totals = [m.total_bytes for m in configs]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_fixed_presets_match_paper(self):
+        space = CapacitySpace.paper_separate()
+        small = space.fixed_preset("small")
+        assert small.global_buffer_bytes == kb(512)
+        assert small.weight_buffer_bytes == kb(576)
+        shared = CapacitySpace.paper_shared().fixed_preset("medium")
+        assert shared.shared_buffer_bytes == kb(1152)
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ConfigError):
+            CapacitySpace.paper_shared().fixed_preset("huge")
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(0, 10_000), st.floats(0.5, 8.0))
+def test_perturbation_never_leaves_grid(seed, sigma):
+    space = CapacitySpace.paper_separate()
+    rng = random.Random(seed)
+    memory = space.sample(rng)
+    for _ in range(10):
+        memory = space.perturb(memory, rng, sigma_steps=sigma)
+        assert memory.global_buffer_bytes in space.global_candidates
+        assert memory.weight_buffer_bytes in space.weight_candidates

@@ -1,0 +1,75 @@
+"""Unit-conversion helpers."""
+
+import pytest
+
+from repro.units import (
+    fmt_bytes,
+    fmt_energy,
+    fmt_sci,
+    gbps,
+    kb,
+    mb,
+    mj_from_pj,
+    ms_from_cycles,
+    to_gbps,
+    to_kb,
+    to_mb,
+)
+
+
+class TestByteConversions:
+    def test_kb_is_binary(self):
+        assert kb(1) == 1024
+
+    def test_mb_is_binary(self):
+        assert mb(1) == 1024 * 1024
+
+    def test_kb_roundtrip(self):
+        assert to_kb(kb(144)) == 144
+
+    def test_mb_roundtrip(self):
+        assert to_mb(mb(3)) == 3
+
+    def test_fractional_kb(self):
+        assert kb(1.5) == 1536
+
+
+class TestEnergyAndTime:
+    def test_mj_from_pj(self):
+        assert mj_from_pj(1e9) == 1.0
+
+    def test_ms_from_cycles_at_1ghz(self):
+        assert ms_from_cycles(1e6, 1e9) == 1.0
+
+    def test_ms_from_cycles_rejects_bad_frequency(self):
+        with pytest.raises(ValueError):
+            ms_from_cycles(100, 0)
+
+    def test_gbps_roundtrip(self):
+        assert to_gbps(gbps(16)) == 16
+
+
+class TestFormatting:
+    def test_fmt_bytes_mb(self):
+        assert fmt_bytes(mb(2)) == "2.00MB"
+
+    def test_fmt_bytes_kb(self):
+        assert fmt_bytes(kb(512)) == "512KB"
+
+    def test_fmt_bytes_small(self):
+        assert fmt_bytes(100) == "100B"
+
+    def test_fmt_energy_mj(self):
+        assert fmt_energy(4.21e9) == "4.21mJ"
+
+    def test_fmt_energy_uj(self):
+        assert fmt_energy(2.5e6) == "2.50uJ"
+
+    def test_fmt_sci_matches_paper_style(self):
+        assert fmt_sci(1.04e7) == "1.04E7"
+
+    def test_fmt_sci_zero(self):
+        assert fmt_sci(0) == "0.00E0"
+
+    def test_fmt_sci_small(self):
+        assert fmt_sci(0.002) == "2.00E-3"

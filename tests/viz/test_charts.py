@@ -1,0 +1,188 @@
+"""Tests for the ASCII chart renderers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.viz.charts import (
+    bar_chart,
+    grouped_bar_chart,
+    histogram,
+    line_chart,
+    scatter_chart,
+)
+
+
+class TestLineChart:
+    def test_contains_legend_and_axes(self):
+        text = line_chart({"cocco": [(0, 10.0), (10, 5.0)]}, title="conv")
+        assert "conv" in text
+        assert "legend: * cocco" in text
+        assert "+" in text  # axis corner
+
+    def test_multiple_series_get_distinct_markers(self):
+        text = line_chart({
+            "a": [(0, 1.0), (1, 2.0)],
+            "b": [(0, 2.0), (1, 1.0)],
+        })
+        assert "* a" in text
+        assert "+ b" in text
+
+    def test_y_range_labels_present(self):
+        text = line_chart({"s": [(0, 3.0), (5, 9.0)]})
+        assert "3" in text
+        assert "9" in text
+
+    def test_single_point_series_renders(self):
+        text = line_chart({"s": [(1.0, 1.0)]})
+        assert "*" in text
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ConfigError):
+            line_chart({})
+
+    def test_all_nan_rejected(self):
+        with pytest.raises(ConfigError):
+            line_chart({"s": [(float("nan"), float("nan"))]})
+
+    def test_too_small_canvas_rejected(self):
+        with pytest.raises(ConfigError):
+            line_chart({"s": [(0, 1.0), (1, 2.0)]}, width=4, height=2)
+
+    def test_interpolation_fills_between_points(self):
+        sparse = line_chart({"s": [(0, 0.0), (100, 100.0)]}, width=40)
+        # A connected diagonal has far more marks than two endpoints.
+        assert sparse.count("*") > 10
+
+    @given(
+        points=st.lists(
+            st.tuples(
+                st.floats(-1e6, 1e6, allow_nan=False),
+                st.floats(-1e6, 1e6, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_arbitrary_finite_points_never_crash(self, points):
+        text = line_chart({"s": points})
+        assert "legend" in text
+
+
+class TestScatterChart:
+    @staticmethod
+    def plot_area(text: str) -> str:
+        return "\n".join(
+            line for line in text.splitlines() if not line.startswith("legend")
+        )
+
+    def test_no_interpolation(self):
+        text = scatter_chart({"s": [(0, 0.0), (100, 100.0)]}, width=40)
+        assert self.plot_area(text).count("*") == 2
+
+    def test_groups_in_legend(self):
+        text = scatter_chart({
+            "gen0": [(1, 1.0)],
+            "gen9": [(2, 2.0)],
+        })
+        assert "gen0" in text and "gen9" in text
+
+    def test_infinite_points_skipped(self):
+        text = scatter_chart({"s": [(0, 1.0), (1, float("inf"))]})
+        assert self.plot_area(text).count("*") == 1
+
+
+class TestBarChart:
+    def test_bars_scale_with_values(self):
+        text = bar_chart(["a", "b"], [1.0, 2.0], width=20)
+        rows = [line for line in text.splitlines() if "|" in line]
+        assert rows[0].count("#") < rows[1].count("#")
+
+    def test_peak_bar_fills_width(self):
+        text = bar_chart(["x"], [7.0], width=30)
+        assert "#" * 30 in text
+
+    def test_values_annotated(self):
+        text = bar_chart(["x"], [7.0])
+        assert "7" in text
+
+    def test_zero_values_render_empty_bars(self):
+        text = bar_chart(["x", "y"], [0.0, 0.0])
+        assert "#" not in text
+
+    def test_infinite_value_marked(self):
+        text = bar_chart(["x", "y"], [1.0, float("inf")])
+        assert "inf" in text
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            bar_chart([], [])
+
+
+class TestGroupedBarChart:
+    def test_every_category_and_series_present(self):
+        text = grouped_bar_chart(
+            ["resnet50", "googlenet"],
+            {"halide": [1.0, 1.0], "cocco": [0.8, 0.7]},
+        )
+        for token in ("resnet50", "googlenet", "halide", "cocco"):
+            assert token in text
+
+    def test_series_length_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            grouped_bar_chart(["a", "b"], {"s": [1.0]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            grouped_bar_chart([], {})
+
+
+class TestHistogram:
+    def test_counts_sum_to_input_size(self):
+        values = [1.0, 1.1, 2.0, 3.0, 3.0, 3.0]
+        text = histogram(values, bins=4)
+        counts = [int(line.rsplit(" ", 1)[1]) for line in text.splitlines()]
+        assert sum(counts) == len(values)
+
+    def test_uniform_values_single_hot_bin(self):
+        text = histogram([5.0] * 10, bins=5)
+        counts = [int(line.rsplit(" ", 1)[1]) for line in text.splitlines()]
+        assert sorted(counts)[-1] == 10
+
+    def test_bad_bins_rejected(self):
+        with pytest.raises(ConfigError):
+            histogram([1.0], bins=0)
+
+    def test_nan_only_rejected(self):
+        with pytest.raises(ConfigError):
+            histogram([float("nan")])
+
+    @given(st.lists(st.floats(-1e9, 1e9, allow_nan=False), min_size=1, max_size=200))
+    def test_arbitrary_values_never_crash(self, values):
+        text = histogram(values)
+        assert "|" in text
+
+
+class TestFormatting:
+    def test_large_values_use_scientific_ticks(self):
+        text = line_chart({"s": [(0, 1.0e7), (1, 2.0e7)]})
+        assert "e+07" in text
+
+    def test_tiny_values_use_scientific_ticks(self):
+        text = bar_chart(["x"], [1e-6])
+        assert "e-06" in text
+
+    def test_degenerate_flat_series_renders(self):
+        # Identical y everywhere: the range is padded, not divided by zero.
+        text = line_chart({"s": [(0, 5.0), (1, 5.0), (2, 5.0)]})
+        assert math.isfinite(len(text))
+        assert "legend" in text

@@ -1,0 +1,84 @@
+"""Tests for CSV/JSON experiment-result export."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.reporting import ExperimentResult
+from repro.viz.export import result_to_csv, result_to_json, write_result
+
+
+@pytest.fixture
+def result() -> ExperimentResult:
+    r = ExperimentResult(
+        experiment="fig3",
+        headers=("model", "L", "ema_mb"),
+    )
+    r.add_row("resnet50", 1, 70.7)
+    r.add_row("resnet50", 3, 53.2)
+    r.notes.append("quick scale")
+    r.extra["alpha"] = 0.002
+    return r
+
+
+class TestCsv:
+    def test_round_trips_through_csv_reader(self, result):
+        text = result_to_csv(result)
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["model", "L", "ema_mb"]
+        assert rows[1] == ["resnet50", "1", "70.7"]
+
+    def test_notes_become_comments(self, result):
+        text = result_to_csv(result)
+        assert "# quick scale" in text
+
+    def test_empty_result_is_header_only(self):
+        empty = ExperimentResult(experiment="x", headers=("a",))
+        text = result_to_csv(empty)
+        assert text.splitlines() == ["a"]
+
+    def test_non_scalar_cells_stringified(self):
+        r = ExperimentResult(experiment="x", headers=("cell",))
+        r.add_row(frozenset({"conv1"}))
+        text = result_to_csv(r)
+        assert "conv1" in text
+
+
+class TestJson:
+    def test_payload_structure(self, result):
+        payload = json.loads(result_to_json(result))
+        assert payload["experiment"] == "fig3"
+        assert payload["headers"] == ["model", "L", "ema_mb"]
+        assert payload["rows"][0] == ["resnet50", 1, 70.7]
+        assert payload["notes"] == ["quick scale"]
+        assert payload["extra"] == {"alpha": 0.002}
+
+    def test_numbers_stay_numbers(self, result):
+        payload = json.loads(result_to_json(result))
+        assert isinstance(payload["rows"][0][2], float)
+        assert isinstance(payload["rows"][0][1], int)
+
+
+class TestWrite:
+    def test_format_inferred_from_suffix(self, result, tmp_path):
+        csv_path = write_result(result, tmp_path / "out.csv")
+        json_path = write_result(result, tmp_path / "out.json")
+        assert csv_path.read_text().startswith("model,L,ema_mb")
+        assert json.loads(json_path.read_text())["experiment"] == "fig3"
+
+    def test_explicit_format_overrides_suffix(self, result, tmp_path):
+        path = write_result(result, tmp_path / "out.dat", fmt="json")
+        assert json.loads(path.read_text())["experiment"] == "fig3"
+
+    def test_creates_parent_directories(self, result, tmp_path):
+        path = write_result(result, tmp_path / "a" / "b" / "out.csv")
+        assert path.exists()
+
+    def test_unknown_format_rejected(self, result, tmp_path):
+        with pytest.raises(ConfigError):
+            write_result(result, tmp_path / "out.xlsx")
