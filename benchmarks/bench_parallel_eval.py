@@ -1,0 +1,170 @@
+"""Serial vs process-pool population evaluation on a real GA run.
+
+Runs the same partition-only Cocco GA (fixed seed) once with the
+:class:`~repro.parallel.backend.SerialBackend` and once with a
+:class:`~repro.parallel.backend.ProcessPoolBackend`, asserts the results
+are bit-identical (evaluation is pure per genome — only the fan-out
+changes), and reports the wall-clock speedup.
+
+As a script::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_eval.py \
+        --model resnet50 --population 50 --generations 5 --workers 4
+
+Under pytest-benchmark (the identity assertion always runs; the >= 2x
+speedup assertion is enforced only on machines with >= 4 CPUs, since a
+process pool cannot beat serial execution without cores to run on)::
+
+    python -m pytest benchmarks/bench_parallel_eval.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+import pytest
+
+from repro.cost.evaluator import Evaluator
+from repro.cost.objective import Metric
+from repro.experiments.common import paper_accelerator, paper_memory
+from repro.ga.engine import GAConfig, GAResult, GeneticEngine
+from repro.ga.problem import OptimizationProblem
+from repro.graphs.zoo import get_model
+
+#: Minimum speedup the ISSUE/acceptance criteria demand at 4 workers.
+TARGET_SPEEDUP = 2.0
+
+
+def _run_ga(
+    model: str, population: int, generations: int, seed: int, workers: int
+) -> tuple[GAResult, float]:
+    """One GA run with a fresh evaluator; returns (result, seconds)."""
+    graph = get_model(model)
+    problem = OptimizationProblem(
+        evaluator=Evaluator(graph, paper_accelerator()),
+        metric=Metric.EMA,
+        alpha=None,
+        fixed_memory=paper_memory(),
+    )
+    config = GAConfig(
+        population_size=population,
+        generations=generations,
+        seed=seed,
+        workers=workers,
+    )
+    started = time.perf_counter()
+    result = GeneticEngine(problem, config).run()
+    return result, time.perf_counter() - started
+
+
+def measure(
+    model: str = "resnet50",
+    population: int = 50,
+    generations: int = 5,
+    workers: int = 4,
+    seed: int = 0,
+) -> dict:
+    """Serial vs parallel comparison; raises if the results diverge."""
+    serial, t_serial = _run_ga(model, population, generations, seed, workers=1)
+    parallel, t_parallel = _run_ga(
+        model, population, generations, seed, workers=workers
+    )
+    if (
+        parallel.best_cost != serial.best_cost
+        or parallel.best_genome.key() != serial.best_genome.key()
+        or parallel.history != serial.history
+        or parallel.num_evaluations != serial.num_evaluations
+    ):
+        raise AssertionError(
+            "parallel GA diverged from serial: "
+            f"{parallel.best_cost} vs {serial.best_cost}"
+        )
+    return {
+        "model": model,
+        "population": population,
+        "generations": generations,
+        "workers": workers,
+        "evaluations": serial.num_evaluations,
+        "best_cost": serial.best_cost,
+        "serial_seconds": t_serial,
+        "parallel_seconds": t_parallel,
+        "speedup": t_serial / t_parallel if t_parallel > 0 else float("inf"),
+    }
+
+
+# ---------------------------------------------------------------------------
+# pytest entry points
+# ---------------------------------------------------------------------------
+def test_parallel_eval_identical_and_fast(once):
+    """The acceptance benchmark: identical results, speedup on multicore."""
+    report = once(
+        measure, model="resnet50", population=50, generations=5, workers=4
+    )
+    sys.stderr.write(
+        f"\n[bench_parallel_eval] {report['model']}: "
+        f"{report['evaluations']} evaluations, "
+        f"serial {report['serial_seconds']:.2f}s, "
+        f"4 workers {report['parallel_seconds']:.2f}s, "
+        f"speedup {report['speedup']:.2f}x "
+        f"(on {os.cpu_count()} CPUs)\n"
+    )
+    if (os.cpu_count() or 1) >= 4:
+        assert report["speedup"] >= TARGET_SPEEDUP, (
+            f"expected >= {TARGET_SPEEDUP}x speedup at 4 workers on "
+            f"{os.cpu_count()} CPUs, measured {report['speedup']:.2f}x"
+        )
+    else:
+        pytest.skip(
+            f"only {os.cpu_count()} CPU(s): results verified identical, "
+            f"speedup assertion needs >= 4 cores "
+            f"(measured {report['speedup']:.2f}x)"
+        )
+
+
+def test_parallel_eval_small_batch_identical(once):
+    """Cheap variant exercised even on tiny machines."""
+    report = once(
+        measure, model="googlenet", population=12, generations=2, workers=2
+    )
+    assert report["evaluations"] > 0
+
+
+# ---------------------------------------------------------------------------
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--model", default="resnet50")
+    parser.add_argument("--population", type=int, default=50)
+    parser.add_argument("--generations", type=int, default=5)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    report = measure(
+        model=args.model,
+        population=args.population,
+        generations=args.generations,
+        workers=args.workers,
+        seed=args.seed,
+    )
+    print(
+        f"{report['model']}: population={report['population']} "
+        f"generations={report['generations']} "
+        f"({report['evaluations']} evaluations)"
+    )
+    print(f"  serial          : {report['serial_seconds']:.2f}s")
+    print(
+        f"  {report['workers']} workers       : "
+        f"{report['parallel_seconds']:.2f}s"
+    )
+    print(
+        f"  speedup         : {report['speedup']:.2f}x "
+        f"(host has {os.cpu_count()} CPUs)"
+    )
+    print("  results identical: yes (best cost, genome, history)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -248,6 +248,7 @@ def cmd_dse(args: argparse.Namespace) -> str:
     graph = get_model(args.model)
     evaluator = Evaluator(graph, paper_accelerator())
     scale = SCALES[args.scale]
+    workers = getattr(args, "workers", 1)
     space = (
         CapacitySpace.paper_shared()
         if args.mode == "shared"
@@ -257,9 +258,10 @@ def cmd_dse(args: argparse.Namespace) -> str:
     if args.method == "cocco":
         result = cocco_co_optimize(
             evaluator, space, metric=metric, alpha=args.alpha,
-            ga_config=scale.co_opt_ga_config(seed=args.seed),
+            ga_config=scale.co_opt_ga_config(seed=args.seed, workers=workers),
         )
     elif args.method == "sa":
+        # the SA chain is sequential; --workers has nothing to fan out
         result = sa_co_optimize(
             evaluator, space, metric=metric, alpha=args.alpha,
             sa_config=scale.co_opt_sa_config(seed=args.seed),
@@ -268,13 +270,14 @@ def cmd_dse(args: argparse.Namespace) -> str:
         result = random_search_ga(
             evaluator, space, metric=metric, alpha=args.alpha,
             num_candidates=scale.rs_candidates,
-            ga_config=scale.ga_config(seed=args.seed), seed=args.seed,
+            ga_config=scale.ga_config(seed=args.seed, workers=workers),
+            seed=args.seed,
         )
     else:
         result = grid_search_ga(
             evaluator, space, metric=metric, alpha=args.alpha,
             stride=scale.gs_stride, max_candidates=scale.gs_max_candidates,
-            ga_config=scale.ga_config(seed=args.seed),
+            ga_config=scale.ga_config(seed=args.seed, workers=workers),
         )
     cost = result.partition_cost
     lines = [
@@ -311,6 +314,7 @@ def cmd_pareto(args: argparse.Namespace) -> str:
             population_size=scale.ga_population,
             generations=scale.ga_generations,
             seed=args.seed,
+            workers=getattr(args, "workers", 1),
         ),
     )
     headers = ("capacity", "metric_cost", "formula2@0.002")
@@ -337,18 +341,16 @@ def cmd_pareto(args: argparse.Namespace) -> str:
 
 def cmd_experiment(args: argparse.Namespace) -> str:
     """``repro experiment <id>`` — regenerate a paper table/figure."""
-    from ..experiments.runner import EXPERIMENTS, _SCALED
+    from ..experiments.runner import EXPERIMENTS, experiment_result
 
     if args.id not in EXPERIMENTS:
         raise ConfigError(
             f"unknown experiment {args.id!r}; choose from "
             f"{', '.join(EXPERIMENTS)}"
         )
-    module = EXPERIMENTS[args.id]
-    if args.id in _SCALED:
-        result: ExperimentResult = module.run(scale=SCALES[args.scale])
-    else:
-        result = module.run()
+    result: ExperimentResult = experiment_result(
+        args.id, SCALES[args.scale], workers=getattr(args, "workers", 1)
+    )
     text = result.to_text()
     if args.export:
         path = write_result(result, args.export)

@@ -74,6 +74,9 @@ def build_parser() -> argparse.ArgumentParser:
     dse.add_argument("--alpha", type=float, default=0.002)
     dse.add_argument("--scale", choices=sorted(SCALES), default="quick")
     dse.add_argument("--seed", type=int, default=0)
+    dse.add_argument("--workers", type=int, default=1,
+                     help="evaluation worker processes (1 = serial; "
+                          "results are identical for any value)")
 
     pareto = sub.add_parser(
         "pareto", help="multi-objective capacity/metric frontier (NSGA-II)"
@@ -85,6 +88,9 @@ def build_parser() -> argparse.ArgumentParser:
                         default="energy")
     pareto.add_argument("--scale", choices=sorted(SCALES), default="quick")
     pareto.add_argument("--seed", type=int, default=0)
+    pareto.add_argument("--workers", type=int, default=1,
+                        help="evaluation worker processes (1 = serial; "
+                             "results are identical for any value)")
     pareto.add_argument("--chart", action="store_true",
                         help="ASCII scatter of the frontier")
 
@@ -93,6 +99,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiment.add_argument("id", help="fig3, fig11..fig14, table1..table3")
     experiment.add_argument("--scale", choices=sorted(SCALES), default="quick")
+    experiment.add_argument("--workers", type=int, default=1,
+                            help="evaluation worker processes for the "
+                                 "search loops (1 = serial)")
     experiment.add_argument("--export", help="write the result to CSV/JSON")
 
     return parser

@@ -19,6 +19,7 @@ from ..cost.objective import Metric, co_opt_objective
 from ..ga.engine import GAConfig, GeneticEngine
 from ..ga.genome import Genome
 from ..ga.problem import OptimizationProblem
+from ..parallel.backend import EvaluationBackend
 from ..partition.partition import Partition
 from ..search_space import CapacitySpace
 from .results import DSEResult
@@ -31,18 +32,23 @@ def cocco_partition_only(
     ga_config: GAConfig | None = None,
     method_name: str = "Cocco",
     seed_partitions: Sequence[Partition] = (),
+    backend: EvaluationBackend | None = None,
 ) -> DSEResult:
     """Partition-only Cocco (Formula 1) at a fixed memory configuration.
 
     ``seed_partitions`` warm-start the population — the paper's "flexible
     initialization" property (Sec 4.3): results of other optimization
     algorithms can initialize the GA, which then fine-tunes them.
+
+    ``backend`` overrides the engine's own evaluation fan-out (which
+    otherwise follows ``ga_config.workers``); the caller keeps ownership
+    of an explicitly passed backend.
     """
     problem = OptimizationProblem(
         evaluator=evaluator, metric=metric, alpha=None, fixed_memory=memory
     )
     seeds = [Genome(partition=p, memory=memory) for p in seed_partitions]
-    result = GeneticEngine(problem, ga_config).run(seeds=seeds)
+    result = GeneticEngine(problem, ga_config, backend=backend).run(seeds=seeds)
     _, partition_cost = problem.evaluate(result.best_genome)
     return DSEResult(
         method=method_name,
@@ -63,12 +69,18 @@ def cocco_co_optimize(
     ga_config: GAConfig | None = None,
     refine: bool = True,
     refine_config: GAConfig | None = None,
+    backend: EvaluationBackend | None = None,
 ) -> DSEResult:
-    """Joint partition + capacity search under Formula 2."""
+    """Joint partition + capacity search under Formula 2.
+
+    Both the co-exploration run and the partition-only refinement share
+    ``backend`` when one is passed (otherwise each engine builds its own
+    from ``ga_config.workers``).
+    """
     problem = OptimizationProblem(
         evaluator=evaluator, metric=metric, alpha=alpha, space=space
     )
-    result = GeneticEngine(problem, ga_config).run()
+    result = GeneticEngine(problem, ga_config, backend=backend).run()
     best_genome = result.best_genome
     total_evals = result.num_evaluations
     history = list(result.history)
@@ -79,6 +91,7 @@ def cocco_co_optimize(
             best_genome.memory,
             metric=metric,
             ga_config=refine_config or ga_config,
+            backend=backend,
         )
         refined_total = co_opt_objective(
             refinement.partition_cost, best_genome.memory, alpha, metric

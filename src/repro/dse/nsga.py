@@ -19,7 +19,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from ..cost.objective import Metric, partition_objective
+from ..cost.objective import Metric
 from ..cost.evaluator import Evaluator
 from ..errors import SearchError
 from ..ga.crossover import crossover
@@ -27,6 +27,8 @@ from ..ga.genome import Genome
 from ..ga.mutation import merge_subgraph, modify_node, mutate_dse, split_subgraph
 from ..ga.population import initialize_population
 from ..ga.problem import OptimizationProblem
+from ..parallel.backend import EvaluationBackend, cached_map, resolve_backend
+from ..parallel.tasks import ParetoCostTask
 from ..search_space import CapacitySpace
 from .pareto import ParetoPoint
 
@@ -63,12 +65,21 @@ class NSGAConfig:
     mutation_rate: float = 0.9
     dse_mutation_rate: float = 0.5
     seed: int = 0
+    #: Evaluation fan-out: 0/1 evaluates serially, N>1 uses a
+    #: :class:`~repro.parallel.backend.ProcessPoolBackend` with N workers.
+    workers: int = 1
+    #: Genomes per parallel work unit (None: auto-chunked per batch).
+    eval_chunk_size: int | None = None
 
     def __post_init__(self) -> None:
         if self.population_size < 4:
             raise SearchError("NSGA-II needs a population of at least four")
         if self.generations < 1:
             raise SearchError("need at least one generation")
+        if self.workers < 0:
+            raise SearchError("workers must be non-negative")
+        if self.eval_chunk_size is not None and self.eval_chunk_size < 1:
+            raise SearchError("eval_chunk_size must be positive")
 
 
 @dataclass
@@ -182,28 +193,43 @@ class _Archive:
         self.metric = metric
         self.evaluations = 0
         self._cache: dict[tuple, MultiObjectivePoint] = {}
+        # One task object per run keeps a process pool warm (the backend
+        # keys its worker pool to task identity).
+        self._task = ParetoCostTask(problem, metric)
 
-    def evaluate(self, genome: Genome) -> MultiObjectivePoint:
-        key = genome.key()
-        hit = self._cache.get(key)
-        if hit is not None:
-            return hit
-        cost = self.problem.evaluator.evaluate(
-            genome.partition.subgraph_sets, genome.memory
+    def evaluate_batch(
+        self,
+        genomes: Sequence[Genome],
+        backend: EvaluationBackend,
+    ) -> list[MultiObjectivePoint]:
+        """Batch evaluation preserving order, dedup, and evaluation count.
+
+        Only the *unique* cache misses fan out, so ``evaluations`` counts
+        exactly what a serial in-order sweep would have computed, and the
+        metric costs are bit-identical for any backend (evaluation is
+        pure per genome).
+        """
+
+        def store(
+            key: tuple, genome: Genome, metric_cost: float
+        ) -> MultiObjectivePoint:
+            self.evaluations += 1
+            point = MultiObjectivePoint(
+                genome=genome,
+                capacity_bytes=genome.memory.total_bytes,
+                metric_cost=metric_cost,
+            )
+            self._cache[key] = point
+            return point
+
+        return cached_map(
+            self._task,
+            genomes,
+            backend,
+            key=Genome.key,
+            lookup=self._cache.get,
+            store=store,
         )
-        self.evaluations += 1
-        metric_cost = (
-            partition_objective(cost, self.metric)
-            if cost.feasible
-            else float("inf")
-        )
-        point = MultiObjectivePoint(
-            genome=genome,
-            capacity_bytes=genome.memory.total_bytes,
-            metric_cost=metric_cost,
-        )
-        self._cache[key] = point
-        return point
 
 
 def _crowded_pick(
@@ -224,6 +250,7 @@ def nsga2_co_optimize(
     space: CapacitySpace,
     metric: Metric = Metric.ENERGY,
     config: NSGAConfig | None = None,
+    backend: EvaluationBackend | None = None,
 ) -> NSGAResult:
     """Run NSGA-II over (buffer capacity, metric cost).
 
@@ -231,8 +258,30 @@ def nsga2_co_optimize(
     values and sorted by capacity. The ``history`` records hypervolume
     per generation against the fixed corner of the initial population,
     so convergence is observable.
+
+    Each generation's offspring are bred first and evaluated as one batch
+    through ``backend`` (built from ``config.workers`` when not given);
+    selection never interleaves with evaluation, so the frontier is
+    bit-identical to serial execution for a fixed seed.
     """
     config = config or NSGAConfig()
+    owns_backend = backend is None
+    if backend is None:
+        backend = resolve_backend(config.workers, config.eval_chunk_size)
+    try:
+        return _nsga2(evaluator, space, metric, config, backend)
+    finally:
+        if owns_backend:
+            backend.close()
+
+
+def _nsga2(
+    evaluator: Evaluator,
+    space: CapacitySpace,
+    metric: Metric,
+    config: NSGAConfig,
+    backend: EvaluationBackend,
+) -> NSGAResult:
     rng = random.Random(config.seed)
     # alpha is irrelevant here (selection is Pareto-based), but the shared
     # problem object provides sampling and in-situ capacity repair.
@@ -242,7 +291,7 @@ def nsga2_co_optimize(
     archive = _Archive(problem, metric)
 
     genomes = initialize_population(problem, config.population_size, rng)
-    points = [archive.evaluate(g) for g in genomes]
+    points = archive.evaluate_batch(genomes, backend)
     feasible = [p for p in points if p.metric_cost != float("inf")]
     if feasible:
         reference = (
@@ -263,8 +312,11 @@ def nsga2_co_optimize(
                 rank[index] = level
                 crowd[index] = distances[index]
 
-        offspring: list[MultiObjectivePoint] = []
-        while len(offspring) < config.population_size:
+        # Breed the full generation first (RNG consumption is unchanged:
+        # evaluation never touched the RNG), then evaluate it as one batch
+        # so the backend can fan the children out to its workers.
+        children: list[Genome] = []
+        while len(children) < config.population_size:
             parent_a = _crowded_pick(rng, points, rank, crowd)
             if rng.random() < config.crossover_rate:
                 parent_b = _crowded_pick(rng, points, rank, crowd)
@@ -276,8 +328,8 @@ def nsga2_co_optimize(
                 child = op(child, rng)
             if rng.random() < config.dse_mutation_rate:
                 child = mutate_dse(child, rng, space)
-            child = problem.repair(child)
-            offspring.append(archive.evaluate(child))
+            children.append(problem.repair(child))
+        offspring = archive.evaluate_batch(children, backend)
 
         combined = points + offspring
         fronts = fast_non_dominated_sort(combined)

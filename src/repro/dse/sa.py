@@ -12,6 +12,7 @@ from ..cost.evaluator import Evaluator
 from ..cost.objective import Metric
 from ..ga.annealing import SAConfig, simulated_annealing
 from ..ga.problem import OptimizationProblem
+from ..parallel.backend import EvaluationBackend
 from ..search_space import CapacitySpace
 from .results import DSEResult
 
@@ -22,12 +23,18 @@ def sa_co_optimize(
     metric: Metric = Metric.ENERGY,
     alpha: float = 0.002,
     sa_config: SAConfig | None = None,
+    backend: EvaluationBackend | None = None,
 ) -> DSEResult:
-    """Joint partition + capacity search with simulated annealing."""
+    """Joint partition + capacity search with simulated annealing.
+
+    The SA chain is sequential, so ``backend`` only matters for shared
+    cache-statistics accounting — see
+    :func:`repro.ga.annealing.simulated_annealing`.
+    """
     problem = OptimizationProblem(
         evaluator=evaluator, metric=metric, alpha=alpha, space=space
     )
-    result = simulated_annealing(problem, sa_config)
+    result = simulated_annealing(problem, sa_config, backend=backend)
     _, partition_cost = problem.evaluate(result.best_genome)
     return DSEResult(
         method="SA",

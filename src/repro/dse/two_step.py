@@ -11,6 +11,7 @@ budget is configurable here.
 from __future__ import annotations
 
 import random
+from dataclasses import replace
 
 from ..config import MemoryConfig
 from ..cost.evaluator import Evaluator
@@ -18,6 +19,7 @@ from ..cost.objective import Metric, co_opt_objective
 from ..errors import SearchError
 from ..ga.engine import GAConfig, GeneticEngine, SampleRecord
 from ..ga.problem import OptimizationProblem
+from ..parallel.backend import EvaluationBackend, resolve_backend
 from ..search_space import CapacitySpace
 from .results import DSEResult
 
@@ -27,11 +29,12 @@ def _partition_ga(
     memory: MemoryConfig,
     metric: Metric,
     ga_config: GAConfig,
+    backend: EvaluationBackend | None = None,
 ):
     problem = OptimizationProblem(
         evaluator=evaluator, metric=metric, alpha=None, fixed_memory=memory
     )
-    return problem, GeneticEngine(problem, ga_config).run()
+    return problem, GeneticEngine(problem, ga_config, backend=backend).run()
 
 
 def _two_step(
@@ -41,27 +44,46 @@ def _two_step(
     alpha: float,
     ga_config: GAConfig,
     method_name: str,
+    backend: EvaluationBackend | None = None,
 ) -> DSEResult:
     if not candidates:
         raise SearchError(f"{method_name}: no capacity candidates to try")
+    owns_backend = backend is None
+    if backend is None:
+        # One backend object for every per-candidate GA run. A process
+        # pool is still rebuilt at candidate boundaries (each candidate
+        # is a fresh problem, and the pool is keyed to the problem's
+        # task — a cheap fork, amortized over a whole GA run), but the
+        # single object gives callers one lifecycle and one stats sink.
+        backend = resolve_backend(ga_config.workers, ga_config.eval_chunk_size)
+    try:
+        return _two_step_inner(
+            evaluator, candidates, metric, alpha, ga_config, method_name, backend
+        )
+    finally:
+        if owns_backend:
+            backend.close()
+
+
+def _two_step_inner(
+    evaluator: Evaluator,
+    candidates: list[MemoryConfig],
+    metric: Metric,
+    alpha: float,
+    ga_config: GAConfig,
+    method_name: str,
+    backend: EvaluationBackend,
+) -> DSEResult:
     best: DSEResult | None = None
     cumulative = 0
     history: list[tuple[int, float]] = []
     samples: list[SampleRecord] = []
     running_best = float("inf")
     for index, memory in enumerate(candidates):
-        per_candidate = GAConfig(
-            population_size=ga_config.population_size,
-            generations=ga_config.generations,
-            crossover_rate=ga_config.crossover_rate,
-            mutation_rate=ga_config.mutation_rate,
-            tournament_size=ga_config.tournament_size,
-            elitism=ga_config.elitism,
-            seed=ga_config.seed + index,
-            max_samples=ga_config.max_samples,
-            record_samples=ga_config.record_samples,
+        per_candidate = replace(ga_config, seed=ga_config.seed + index)
+        problem, result = _partition_ga(
+            evaluator, memory, metric, per_candidate, backend
         )
-        problem, result = _partition_ga(evaluator, memory, metric, per_candidate)
         _, partition_cost = problem.evaluate(result.best_genome)
         total = co_opt_objective(partition_cost, memory, alpha, metric)
         for offset, value in result.history:
@@ -104,6 +126,7 @@ def random_search_ga(
     alpha: float = 0.002,
     ga_config: GAConfig | None = None,
     seed: int = 0,
+    backend: EvaluationBackend | None = None,
 ) -> DSEResult:
     """RS+GA: random capacity candidates, independent partition GAs."""
     rng = random.Random(seed)
@@ -117,7 +140,8 @@ def random_search_ga(
         seen.add(key)
         candidates.append(memory)
     return _two_step(
-        evaluator, candidates, metric, alpha, ga_config or GAConfig(), "RS+GA"
+        evaluator, candidates, metric, alpha, ga_config or GAConfig(), "RS+GA",
+        backend=backend,
     )
 
 
@@ -129,9 +153,11 @@ def grid_search_ga(
     metric: Metric = Metric.ENERGY,
     alpha: float = 0.002,
     ga_config: GAConfig | None = None,
+    backend: EvaluationBackend | None = None,
 ) -> DSEResult:
     """GS+GA: coarse large-to-small capacity grid, one GA per point."""
     candidates = space.grid(stride=stride, descending=True)[:max_candidates]
     return _two_step(
-        evaluator, candidates, metric, alpha, ga_config or GAConfig(), "GS+GA"
+        evaluator, candidates, metric, alpha, ga_config or GAConfig(), "GS+GA",
+        backend=backend,
     )

@@ -49,6 +49,11 @@ class Scale:
     gs_max_candidates: int
     enum_max_states: int
     enum_max_subgraph: int
+    #: Evaluation worker processes for population-based searches (1 =
+    #: serial). Results are identical for any value; only wall-clock
+    #: changes. Override per run with ``replace(scale, workers=N)`` or
+    #: the ``--workers`` CLI flag.
+    workers: int = 1
 
     def ga_config(self, seed: int = 0, **overrides) -> GAConfig:
         """A :class:`GAConfig` at this scale."""
@@ -56,6 +61,7 @@ class Scale:
             population_size=self.ga_population,
             generations=self.ga_generations,
             seed=seed,
+            workers=self.workers,
         )
         return replace(config, **overrides) if overrides else config
 
@@ -75,6 +81,7 @@ class Scale:
             population_size=self.ga_population,
             generations=self.ga_generations * self.rs_candidates,
             seed=seed,
+            workers=self.workers,
         )
         return replace(config, **overrides) if overrides else config
 

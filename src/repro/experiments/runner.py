@@ -14,6 +14,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from dataclasses import replace
 
 from . import (
     fig1_extremes,
@@ -49,15 +50,26 @@ _SCALED = ("fig1", "fig11", "table1", "table2", "fig12", "fig13",
            "fig14", "table3", "stability")
 
 
-def run_experiment(name: str, scale_name: str) -> str:
-    """Run one experiment and return its rendered table."""
+def experiment_result(name: str, scale, workers: int | None = None):
+    """Run one experiment and return its :class:`ExperimentResult`.
+
+    ``workers`` (when given) fans population evaluation out to that many
+    worker processes inside every search loop the experiment runs; the
+    tables are identical for any value (evaluation is pure per genome).
+    When ``None``, ``scale.workers`` is respected as-is.
+    """
     module = EXPERIMENTS[name]
-    scale = SCALES.get(scale_name, DEFAULT_SCALE)
+    if workers is not None:
+        scale = replace(scale, workers=workers)
     if name in _SCALED:
-        result = module.run(scale=scale)
-    else:
-        result = module.run()
-    return result.to_text()
+        return module.run(scale=scale)
+    return module.run()
+
+
+def run_experiment(name: str, scale_name: str, workers: int | None = None) -> str:
+    """Run one experiment and return its rendered table."""
+    scale = SCALES.get(scale_name, DEFAULT_SCALE)
+    return experiment_result(name, scale, workers=workers).to_text()
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -73,11 +85,18 @@ def main(argv: list[str] | None = None) -> int:
         default="default",
         help="search budget profile",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="evaluation worker processes inside the search loops "
+             "(1 = serial; results are identical for any value)",
+    )
     args = parser.parse_args(argv)
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         started = time.time()
-        print(run_experiment(name, args.scale))
+        print(run_experiment(name, args.scale, workers=args.workers))
         print(f"[{name} finished in {time.time() - started:.1f}s]\n")
     return 0
 

@@ -15,6 +15,7 @@ import random
 from dataclasses import dataclass
 
 from ..errors import SearchError
+from ..parallel.backend import EvaluationBackend
 from .engine import GAResult, SampleRecord
 from .genome import Genome
 from .mutation import merge_subgraph, modify_node, mutate_dse, split_subgraph
@@ -43,13 +44,22 @@ def simulated_annealing(
     problem: OptimizationProblem,
     config: SAConfig | None = None,
     initial: Genome | None = None,
+    backend: EvaluationBackend | None = None,
 ) -> GAResult:
-    """Run SA and return the result in the shared :class:`GAResult` shape."""
+    """Run SA and return the result in the shared :class:`GAResult` shape.
+
+    The Metropolis chain is inherently sequential — each step's candidate
+    depends on the previous accept — so a one-genome batch is the largest
+    evaluation SA can fan out. The ``backend`` parameter exists so a
+    shared backend's merged cache statistics stay consistent when SA runs
+    alongside the population methods; results are identical for any
+    backend, and the serial default is the sensible choice.
+    """
     config = config or SAConfig()
     rng = random.Random(config.seed)
     current = initial if initial is not None else problem.random_genome(rng)
     current = problem.repair(current)
-    current_cost = problem.cost(current)
+    current_cost = problem.cost_batch([current], backend)[0]
 
     best, best_cost = current, current_cost
     evaluations = 1
@@ -68,7 +78,7 @@ def simulated_annealing(
         if problem.space is not None and rng.random() < config.dse_mutation_rate:
             candidate = mutate_dse(candidate, rng, problem.space)
         candidate = problem.repair(candidate)
-        candidate_cost = problem.cost(candidate)
+        candidate_cost = problem.cost_batch([candidate], backend)[0]
         evaluations += 1
         if config.record_samples:
             samples.append(

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from ..errors import SearchError
+from ..parallel.backend import EvaluationBackend, resolve_backend
 from .crossover import crossover
 from .genome import Genome
 from .mutation import merge_subgraph, modify_node, mutate_dse, split_subgraph
@@ -46,12 +47,23 @@ class GAConfig:
     seed: int = 0
     max_samples: int | None = None
     record_samples: bool = False
+    #: Evaluation fan-out: 0/1 evaluates serially, N>1 uses a
+    #: :class:`~repro.parallel.backend.ProcessPoolBackend` with N workers.
+    workers: int = 1
+    #: Genomes per parallel work unit (None: auto-chunked per batch).
+    eval_chunk_size: int | None = None
 
     def __post_init__(self) -> None:
         if self.population_size < 2:
             raise SearchError("population must hold at least two genomes")
         if self.generations < 1:
             raise SearchError("need at least one generation")
+        if self.max_samples is not None and self.max_samples < 1:
+            raise SearchError("max_samples must be positive when set")
+        if self.workers < 0:
+            raise SearchError("workers must be non-negative")
+        if self.eval_chunk_size is not None and self.eval_chunk_size < 1:
+            raise SearchError("eval_chunk_size must be positive")
 
 
 @dataclass
@@ -66,11 +78,26 @@ class GAResult:
 
 
 class GeneticEngine:
-    """Runs the Cocco GA on one :class:`OptimizationProblem`."""
+    """Runs the Cocco GA on one :class:`OptimizationProblem`.
 
-    def __init__(self, problem: OptimizationProblem, config: GAConfig | None = None):
+    Population evaluation goes through an :class:`~repro.parallel.backend.
+    EvaluationBackend`: pass one explicitly (it is shared, and the caller
+    owns its lifecycle — the island model and the two-step schemes do this
+    to keep one worker pool warm across many engine runs), or leave it
+    ``None`` and the engine builds one from ``config.workers`` and closes
+    it when :meth:`run` returns. Genome evaluation is pure, so every
+    backend produces bit-identical results for a fixed seed.
+    """
+
+    def __init__(
+        self,
+        problem: OptimizationProblem,
+        config: GAConfig | None = None,
+        backend: EvaluationBackend | None = None,
+    ):
         self.problem = problem
         self.config = config or GAConfig()
+        self._external_backend = backend
         self._rng = random.Random(self.config.seed)
         self._evaluations = 0
         self._best: Genome | None = None
@@ -80,27 +107,44 @@ class GeneticEngine:
         self._generation = 0
 
     # ------------------------------------------------------------------
-    def _score(self, genome: Genome) -> float:
-        cost = self.problem.cost(genome)
-        self._evaluations += 1
-        if cost < self._best_cost:
-            self._best_cost = cost
-            self._best = genome
-            self._history.append((self._evaluations, cost))
-        if self.config.record_samples:
-            self._samples.append(
-                SampleRecord(
-                    index=self._evaluations,
-                    cost=cost,
-                    total_buffer_bytes=self.problem.memory_of(genome).total_bytes,
-                    generation=self._generation,
+    def _score_batch(
+        self, genomes: list[Genome], backend: EvaluationBackend
+    ) -> list[float]:
+        """Evaluate a batch, then book-keep each genome in input order.
+
+        The costs land first (serially or fanned out — results are
+        identical either way), then telemetry replays them in order, so
+        ``num_evaluations``, the Fig 12 history, and the Fig 13 sample
+        records match serial evaluation exactly.
+        """
+        costs = self.problem.cost_batch(genomes, backend)
+        for genome, cost in zip(genomes, costs):
+            self._evaluations += 1
+            if cost < self._best_cost:
+                self._best_cost = cost
+                self._best = genome
+                self._history.append((self._evaluations, cost))
+            if self.config.record_samples:
+                self._samples.append(
+                    SampleRecord(
+                        index=self._evaluations,
+                        cost=cost,
+                        total_buffer_bytes=self.problem.memory_of(genome).total_bytes,
+                        generation=self._generation,
+                    )
                 )
-            )
-        return cost
+        return costs
 
     def _budget_left(self) -> bool:
         limit = self.config.max_samples
         return limit is None or self._evaluations < limit
+
+    def _fit_to_budget(self, genomes: list[Genome]) -> list[Genome]:
+        """Truncate a batch so scoring it cannot overshoot ``max_samples``."""
+        limit = self.config.max_samples
+        if limit is None:
+            return genomes
+        return genomes[: max(0, limit - self._evaluations)]
 
     def _make_child(self, population: list[Genome], costs: list[float]) -> Genome:
         cfg = self.config
@@ -125,20 +169,39 @@ class GeneticEngine:
     def run(self, seeds: Sequence[Genome] = ()) -> GAResult:
         """Execute the configured number of generations and return the best."""
         cfg = self.config
+        backend = self._external_backend
+        owns_backend = backend is None
+        if backend is None:
+            backend = resolve_backend(cfg.workers, cfg.eval_chunk_size)
+        try:
+            return self._run(backend, seeds)
+        finally:
+            if owns_backend:
+                backend.close()
+
+    def _run(self, backend: EvaluationBackend, seeds: Sequence[Genome]) -> GAResult:
+        cfg = self.config
         population = initialize_population(
             self.problem, cfg.population_size, self._rng, seeds
         )
-        costs = [self._score(g) for g in population]
+        population = self._fit_to_budget(population)
+        costs = self._score_batch(population, backend)
 
         for generation in range(1, cfg.generations + 1):
             self._generation = generation
             if not self._budget_left():
                 break
-            offspring = []
-            while len(offspring) < cfg.population_size and self._budget_left():
-                child = self._make_child(population, costs)
-                offspring.append(child)
-            offspring_costs = [self._score(g) for g in offspring]
+            # Children are bred for the full population before any of them
+            # is evaluated (the serial loop behaved the same way: scoring
+            # happened after breeding, so the RNG stream is unchanged).
+            # Truncating *before* scoring keeps num_evaluations exactly at
+            # max_samples instead of overshooting by up to a generation.
+            offspring = [
+                self._make_child(population, costs)
+                for _ in range(cfg.population_size)
+            ]
+            offspring = self._fit_to_budget(offspring)
+            offspring_costs = self._score_batch(offspring, backend)
 
             pool = population + offspring
             pool_costs = costs + offspring_costs

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field, replace
 from typing import Sequence
 
 from ..errors import SearchError
+from ..parallel.backend import EvaluationBackend, resolve_backend
 from .engine import GAConfig, GAResult, GeneticEngine
 from .genome import Genome
 from .problem import OptimizationProblem
@@ -55,7 +56,9 @@ class IslandConfig:
 
 
 def _island_engines(
-    problem: OptimizationProblem, config: IslandConfig
+    problem: OptimizationProblem,
+    config: IslandConfig,
+    backend: EvaluationBackend,
 ) -> list[GeneticEngine]:
     engines = []
     for index in range(config.num_islands):
@@ -64,7 +67,7 @@ def _island_engines(
             generations=config.epoch_generations,
             seed=config.seed * 1009 + index,
         )
-        engines.append(GeneticEngine(problem, island_cfg))
+        engines.append(GeneticEngine(problem, island_cfg, backend=backend))
     return engines
 
 
@@ -72,6 +75,7 @@ def island_search(
     problem: OptimizationProblem,
     config: IslandConfig | None = None,
     seeds: Sequence[Genome] = (),
+    backend: EvaluationBackend | None = None,
 ) -> GAResult:
     """Run the island-model GA and return the globally best genome.
 
@@ -79,9 +83,32 @@ def island_search(
     carries over); migration then distributes anything useful they
     contain. The returned :class:`GAResult` aggregates evaluations and
     concatenates a global best-cost history across epochs.
+
+    All islands share one evaluation ``backend`` (built from
+    ``config.base.workers`` when not supplied), so a process pool stays
+    warm across every epoch of every island instead of restarting per
+    engine run.
     """
     config = config or IslandConfig()
-    engines = _island_engines(problem, config)
+    owns_backend = backend is None
+    if backend is None:
+        backend = resolve_backend(
+            config.base.workers, config.base.eval_chunk_size
+        )
+    try:
+        return _island_search(problem, config, seeds, backend)
+    finally:
+        if owns_backend:
+            backend.close()
+
+
+def _island_search(
+    problem: OptimizationProblem,
+    config: IslandConfig,
+    seeds: Sequence[Genome],
+    backend: EvaluationBackend,
+) -> GAResult:
+    engines = _island_engines(problem, config, backend)
     rng = random.Random(config.seed)
 
     populations: list[list[Genome]] = []

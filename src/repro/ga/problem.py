@@ -10,12 +10,15 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from ..config import MemoryConfig
 from ..cost.evaluator import Evaluator, PartitionCost
 from ..cost.objective import Metric, co_opt_objective, partition_objective
 from ..errors import ConfigError
 from ..graphs.graph import ComputationGraph
+from ..parallel.backend import EvaluationBackend, cached_map
+from ..parallel.tasks import CostTask
 from ..partition.random_init import random_partition
 from ..partition.validity import split_infeasible
 from ..search_space import CapacitySpace
@@ -37,6 +40,7 @@ class OptimizationProblem:
     space: CapacitySpace | None = None
     fixed_memory: MemoryConfig | None = None
     _fitness_cache: dict = field(default_factory=dict, repr=False)
+    _cost_task: CostTask | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.space is None and self.fixed_memory is None:
@@ -94,3 +98,45 @@ class OptimizationProblem:
         value, _ = self.evaluate(genome)
         self._fitness_cache[key] = value
         return value
+
+    # ------------------------------------------------------------------
+    def cost_task(self) -> CostTask:
+        """The stable, picklable task a backend ships to its workers.
+
+        One task object per problem keeps a :class:`~repro.parallel.
+        backend.ProcessPoolBackend`'s pool warm across generations (the
+        pool is keyed to task identity).
+        """
+        if self._cost_task is None:
+            self._cost_task = CostTask(self)
+        return self._cost_task
+
+    def cost_batch(
+        self,
+        genomes: Sequence[Genome],
+        backend: EvaluationBackend | None = None,
+    ) -> list[float]:
+        """Objective values for a batch, preserving order and memoization.
+
+        Genomes whose fitness is already memoized are answered from the
+        cache; the remaining *unique* genomes fan out through ``backend``
+        (deduplicated first, so a batch with repeats costs one evaluation
+        per distinct genome — exactly like serial evaluation in order).
+        Evaluation is pure per genome, so the returned costs are
+        bit-identical to serial evaluation regardless of the backend.
+        """
+        if backend is None:
+            return [self.cost(g) for g in genomes]
+
+        def store(key: tuple, genome: Genome, value: float) -> float:
+            self._fitness_cache[key] = value
+            return value
+
+        return cached_map(
+            self.cost_task(),
+            genomes,
+            backend,
+            key=Genome.key,
+            lookup=self._fitness_cache.get,
+            store=store,
+        )

@@ -1,0 +1,24 @@
+"""Evaluation backends: serial and process-pool population evaluation.
+
+See :mod:`repro.parallel.backend` for the design discussion. The search
+loops (:mod:`repro.ga`, :mod:`repro.dse`) accept any object satisfying
+the :class:`EvaluationBackend` protocol; ``resolve_backend(workers)``
+turns a CLI/config worker count into the right implementation.
+"""
+
+from .backend import (
+    EvaluationBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    resolve_backend,
+)
+from .tasks import CostTask, ParetoCostTask
+
+__all__ = [
+    "EvaluationBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "resolve_backend",
+    "CostTask",
+    "ParetoCostTask",
+]

@@ -1,0 +1,242 @@
+"""Population-evaluation backends for the co-exploration search loops.
+
+The genetic co-exploration of Sec 4.4 evaluates ~100-genome populations
+for ~50 generations, and every genome evaluation prices its subgraphs
+through the simulator — the single hottest path in the repository. Genome
+evaluation is *pure* (a deterministic function of the genome and the
+frozen accelerator/memory configuration), so a generation's unevaluated
+genomes can fan out to worker processes without changing any result: the
+search loops stay bit-identical to serial execution for a fixed seed,
+only the wall-clock changes.
+
+Two backends implement the :class:`EvaluationBackend` protocol:
+
+* :class:`SerialBackend` — evaluates in the calling process; the default
+  and the reference behavior.
+* :class:`ProcessPoolBackend` — fans batches out to a persistent
+  :class:`~concurrent.futures.ProcessPoolExecutor`. Each worker holds its
+  own evaluation task (and therefore its own :class:`~repro.cost.
+  evaluator.Evaluator` with its LRU profile/cost caches), initialized
+  once per pool so the task is pickled once instead of per genome.
+  Genomes are shipped in chunks to amortize pickling overhead, and the
+  workers' evaluator cache statistics are merged back into the parent's
+  counters after every map call.
+
+Tasks are plain picklable callables (see :mod:`repro.parallel.tasks`);
+the backend layer knows nothing about genomes or evaluators, which keeps
+it import-cycle-free beneath :mod:`repro.ga` and :mod:`repro.dse`.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Protocol, Sequence, runtime_checkable
+
+from ..errors import ConfigError
+
+#: Chunks per worker when no explicit chunk size is given: small enough to
+#: load-balance uneven genomes, large enough to amortize pickling.
+_CHUNKS_PER_WORKER = 4
+
+
+@runtime_checkable
+class EvaluationBackend(Protocol):
+    """Maps a picklable task over a batch of items, preserving order."""
+
+    def map(self, task: Callable[[Any], Any], items: Sequence[Any]) -> list[Any]:
+        """Return ``[task(item) for item in items]`` (possibly in parallel)."""
+        ...
+
+    def close(self) -> None:
+        """Release any worker resources; the backend may be reused after."""
+        ...
+
+
+class SerialBackend:
+    """Reference backend: evaluates every item in the calling process."""
+
+    def map(self, task: Callable[[Any], Any], items: Sequence[Any]) -> list[Any]:
+        return [task(item) for item in items]
+
+    def close(self) -> None:  # nothing to release
+        return None
+
+    def __enter__(self) -> "SerialBackend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# Worker-process plumbing. The task is shipped once per worker through the
+# pool initializer; chunks then reference it through a module global.
+# ---------------------------------------------------------------------------
+_WORKER_TASK: Callable[[Any], Any] | None = None
+
+
+def _init_worker(task: Callable[[Any], Any]) -> None:
+    global _WORKER_TASK
+    _WORKER_TASK = task
+
+
+def _run_chunk(chunk: list[Any]) -> tuple[list[Any], dict[str, int] | None]:
+    """Evaluate one chunk in a worker; returns results plus stats deltas."""
+    task = _WORKER_TASK
+    assert task is not None, "worker used before initialization"
+    before = task.stats() if hasattr(task, "stats") else None
+    results = [task(item) for item in chunk]
+    if before is None:
+        return results, None
+    after = task.stats()
+    return results, {key: after[key] - before.get(key, 0) for key in after}
+
+
+class ProcessPoolBackend:
+    """Fans batches out to worker processes, each with its own caches.
+
+    The pool is created lazily on the first :meth:`map` call and is keyed
+    to the task object's identity: mapping a *different* task tears the
+    pool down and rebuilds it with the new task, so callers should reuse
+    one task object per search run (the search loops do this through
+    :meth:`repro.ga.problem.OptimizationProblem.cost_batch`). Results come
+    back in input order, and any exception raised inside a worker
+    propagates to the caller.
+
+    Parameters
+    ----------
+    workers:
+        Worker-process count; defaults to ``os.cpu_count()``.
+    chunk_size:
+        Genomes per work unit. Defaults to splitting the batch into
+        roughly four chunks per worker.
+    merge_stats:
+        When true (default) and the task exposes ``stats()`` /
+        ``absorb_stats()``, the workers' evaluator cache counters are
+        folded back into the parent task after every map.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        chunk_size: int | None = None,
+        merge_stats: bool = True,
+        mp_context: Any | None = None,
+    ) -> None:
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise ConfigError("ProcessPoolBackend needs at least one worker")
+        if chunk_size is not None and chunk_size < 1:
+            raise ConfigError("chunk size must be positive")
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self.merge_stats = merge_stats
+        self._mp_context = mp_context
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_task: Callable[[Any], Any] | None = None
+
+    # ------------------------------------------------------------------
+    def _chunks(self, items: list[Any]) -> list[list[Any]]:
+        size = self.chunk_size
+        if size is None:
+            size = max(1, math.ceil(len(items) / (self.workers * _CHUNKS_PER_WORKER)))
+        return [items[i : i + size] for i in range(0, len(items), size)]
+
+    def _executor_for(self, task: Callable[[Any], Any]) -> ProcessPoolExecutor:
+        if self._pool is not None and self._pool_task is not task:
+            self.close()
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_init_worker,
+                initargs=(task,),
+                mp_context=self._mp_context,
+            )
+            self._pool_task = task
+        return self._pool
+
+    # ------------------------------------------------------------------
+    def map(self, task: Callable[[Any], Any], items: Sequence[Any]) -> list[Any]:
+        items = list(items)
+        if not items:
+            return []
+        pool = self._executor_for(task)
+        futures = [pool.submit(_run_chunk, chunk) for chunk in self._chunks(items)]
+        results: list[Any] = []
+        merged: dict[str, int] = {}
+        for future in futures:
+            chunk_results, delta = future.result()
+            results.extend(chunk_results)
+            if delta:
+                for key, value in delta.items():
+                    merged[key] = merged.get(key, 0) + value
+        if self.merge_stats and merged and hasattr(task, "absorb_stats"):
+            task.absorb_stats(merged)
+        return results
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+            self._pool_task = None
+
+    def __enter__(self) -> "ProcessPoolBackend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def resolve_backend(
+    workers: int | None, chunk_size: int | None = None
+) -> EvaluationBackend:
+    """Backend for a worker-count setting: serial for ``None``/``0``/``1``."""
+    if workers is None or workers in (0, 1):
+        return SerialBackend()
+    if workers < 0:
+        raise ConfigError("worker count must be non-negative")
+    return ProcessPoolBackend(workers=workers, chunk_size=chunk_size)
+
+
+def cached_map(
+    task: Callable[[Any], Any],
+    items: Sequence[Any],
+    backend: EvaluationBackend,
+    key: Callable[[Any], Any],
+    lookup: Callable[[Any], Any],
+    store: Callable[[Any, Any, Any], Any],
+) -> list[Any]:
+    """Map ``task`` over ``items``, serving repeats and known keys from a cache.
+
+    The caller provides the cache through three callables: ``key(item)``
+    yields the identity, ``lookup(key)`` returns a previous result or
+    ``None``, and ``store(key, item, value)`` records a fresh evaluation
+    and returns the object to place in the output (letting callers wrap
+    the raw value, e.g. into an objective-space point). Only *unique*
+    cache misses reach ``backend.map``, in first-occurrence order, so
+    evaluation counts match a serial in-order sweep exactly. Both the GA
+    fitness cache and the NSGA-II archive batch through here.
+    """
+    results: list[Any] = []
+    pending: dict[Any, list[int]] = {}
+    unique: list[Any] = []
+    for index, item in enumerate(items):
+        item_key = key(item)
+        hit = lookup(item_key)
+        results.append(hit)
+        if hit is None:
+            if item_key not in pending:
+                pending[item_key] = []
+                unique.append(item)
+            pending[item_key].append(index)
+    if unique:
+        values = backend.map(task, unique)
+        for item, value in zip(unique, values):
+            item_key = key(item)
+            final = store(item_key, item, value)
+            for index in pending[item_key]:
+                results[index] = final
+    return results

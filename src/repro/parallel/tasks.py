@@ -1,0 +1,72 @@
+"""Picklable evaluation tasks shipped to backend workers.
+
+A task wraps the objects a worker needs to price genomes — the
+:class:`~repro.ga.problem.OptimizationProblem` (and through it the
+:class:`~repro.cost.evaluator.Evaluator` with its LRU caches) — behind a
+plain ``__call__``. The task is pickled once per worker at pool startup,
+so each worker evolves its own caches across a whole search run instead
+of re-pickling state per genome.
+
+Tasks optionally expose ``stats()`` / ``absorb_stats()`` so the backend
+can merge the workers' evaluator cache counters back into the parent
+process: ``num_profile_calls`` / ``num_cost_calls`` then reflect the
+whole run's work no matter where it executed.
+
+The classes here reference the problem and evaluator purely through duck
+typing, keeping :mod:`repro.parallel` importable from anywhere in the
+package without cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class _EvaluatorStatsMixin:
+    """Cache-statistics plumbing shared by evaluator-backed tasks."""
+
+    problem: Any
+
+    def stats(self) -> dict[str, int]:
+        evaluator = self.problem.evaluator
+        return {
+            "profile_calls": evaluator.num_profile_calls,
+            "cost_calls": evaluator.num_cost_calls,
+        }
+
+    def absorb_stats(self, delta: dict[str, int]) -> None:
+        evaluator = self.problem.evaluator
+        evaluator.num_profile_calls += delta.get("profile_calls", 0)
+        evaluator.num_cost_calls += delta.get("cost_calls", 0)
+
+
+class CostTask(_EvaluatorStatsMixin):
+    """Scalar Formula 1/2 objective of one genome (GA / SA / two-step)."""
+
+    def __init__(self, problem: Any) -> None:
+        self.problem = problem
+
+    def __call__(self, genome: Any) -> float:
+        return self.problem.cost(genome)
+
+
+class ParetoCostTask(_EvaluatorStatsMixin):
+    """Metric cost of one genome under its own memory (NSGA-II).
+
+    Returns only the metric axis; the capacity axis is a pure attribute
+    of the genome's memory configuration and is derived in the parent.
+    """
+
+    def __init__(self, problem: Any, metric: Any) -> None:
+        self.problem = problem
+        self.metric = metric
+
+    def __call__(self, genome: Any) -> float:
+        from ..cost.objective import partition_objective
+
+        cost = self.problem.evaluator.evaluate(
+            genome.partition.subgraph_sets, genome.memory
+        )
+        if not cost.feasible:
+            return float("inf")
+        return partition_objective(cost, self.metric)

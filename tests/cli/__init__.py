@@ -1,0 +1,1 @@
+"""Test package: enables relative imports of the shared conftest."""
