@@ -1,7 +1,12 @@
 """Analytical cost simulator: EMA, energy, latency, bandwidth, area."""
 
-from .ema import SubgraphProfile, TileOption, profile_subgraph
-from .evaluator import Evaluator, PartitionCost, SubgraphCost
+from .ema import (
+    SubgraphProfile,
+    TileOption,
+    profile_subgraph,
+    profile_subgraph_reference,
+)
+from .evaluator import Evaluator, PartitionCost, PartitionSummary, SubgraphCost
 from .objective import Metric, co_opt_objective, partition_objective
 from .energy import EnergyBreakdown, subgraph_energy
 from .latency import subgraph_latency_cycles
@@ -19,8 +24,10 @@ __all__ = [
     "SubgraphProfile",
     "TileOption",
     "profile_subgraph",
+    "profile_subgraph_reference",
     "Evaluator",
     "PartitionCost",
+    "PartitionSummary",
     "SubgraphCost",
     "Metric",
     "co_opt_objective",

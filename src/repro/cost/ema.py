@@ -15,6 +15,15 @@ number of elementary operations (more operations mean more weight
 re-streaming), so the profile precomputes one :class:`TileOption` per
 candidate tile size and the memory-dependent evaluator picks the best
 feasible one.
+
+:func:`profile_subgraph` is the fast single-pass implementation: one
+:class:`~repro.execution.tiling.TilingStructure` derivation prices all
+tile candidates, and the per-layer byte/MAC aggregations run over the
+graph's precomputed :class:`~repro.graphs.arrays.GraphArrays`.
+:func:`profile_subgraph_reference` retains the naive implementation
+(one full :func:`~repro.execution.tiling.derive_tiling` walk per
+candidate, per-node generator sums) as the equivalence oracle — both
+produce bit-identical :class:`SubgraphProfile` objects.
 """
 
 from __future__ import annotations
@@ -23,7 +32,7 @@ from dataclasses import dataclass
 
 from ..errors import TilingError
 from ..execution.footprint import activation_footprint
-from ..execution.tiling import derive_tiling
+from ..execution.tiling import TilingStructure, derive_tiling
 from ..graphs.graph import ComputationGraph
 
 #: Output-row tile sizes stage 1 may choose from (powers of two, as the
@@ -52,16 +61,22 @@ class SubgraphProfile:
     member_activation_bytes: int
     layer_weights: tuple[tuple[str, int], ...]
     tile_options: tuple[TileOption, ...]
+    #: Footprint of the smallest tile option, materialized at construction
+    #: (memory-feasibility tests read it on every repair probe).
+    min_activation_bytes: int = -1
+
+    def __post_init__(self) -> None:
+        if self.min_activation_bytes < 0:
+            object.__setattr__(
+                self,
+                "min_activation_bytes",
+                min(o.activation_bytes for o in self.tile_options),
+            )
 
     @property
     def io_bytes(self) -> int:
         """Activation bytes exchanged with DRAM (inputs plus outputs)."""
         return self.input_bytes + self.output_bytes
-
-    @property
-    def min_activation_bytes(self) -> int:
-        """Footprint of the smallest tile option."""
-        return min(o.activation_bytes for o in self.tile_options)
 
 
 def _interface_inputs(graph: ComputationGraph, members: frozenset[str]) -> tuple[str, ...]:
@@ -88,18 +103,127 @@ def _writeback_nodes(graph: ComputationGraph, members: frozenset[str]) -> tuple[
     return tuple(outputs)
 
 
+def _select_options(
+    structure_options,
+    tile_candidates: tuple[int, ...],
+    max_height: int,
+    stable_after: int | None = None,
+) -> list[TileOption]:
+    """Shared candidate-selection policy over ``(tile, act, ops)`` rows.
+
+    Candidates larger than every member's output height are skipped after
+    one saturating candidate, consecutive duplicates are dropped, and the
+    scan stops at the first single-operation schedule (larger tiles only
+    cost more memory for no fewer weight reloads). ``stable_after`` — the
+    tile size beyond which every output-height cap binds, making the
+    scheme constant — lets the fast path stop after the first such
+    candidate; later ones would all be dropped as duplicates anyway.
+    """
+    options: list[TileOption] = []
+    for tile_rows in tile_candidates:
+        if options and tile_rows > max_height:
+            break
+        activation_bytes, num_ops = structure_options(tile_rows)
+        option = TileOption(
+            tile_rows=min(tile_rows, max_height),
+            activation_bytes=activation_bytes,
+            num_elementary_ops=num_ops,
+        )
+        previous = options[-1] if options else None
+        if previous is None or (
+            option.activation_bytes != previous.activation_bytes
+            or option.num_elementary_ops != previous.num_elementary_ops
+        ):
+            options.append(option)
+        if option.num_elementary_ops == 1:
+            break
+        if stable_after is not None and tile_rows >= stable_after:
+            break
+    return options
+
+
 def profile_subgraph(
     graph: ComputationGraph,
     members: frozenset[str] | set[str],
     bytes_per_element: int = 1,
     tile_candidates: tuple[int, ...] = DEFAULT_TILE_CANDIDATES,
+    structure: TilingStructure | None = None,
 ) -> SubgraphProfile:
-    """Build the memory-independent profile of one subgraph.
+    """Build the memory-independent profile of one subgraph (fast path).
 
-    Tile candidates larger than every member's output height are skipped
-    (after including one saturating candidate); a :class:`TilingError`
-    from an individual candidate is fatal, since it indicates an
-    inconsistent graph rather than a capacity problem.
+    One :class:`TilingStructure` derivation serves every tile candidate
+    (pass ``structure`` to reuse one derived earlier, e.g. by a
+    feasibility probe), and all byte/MAC totals are array reductions over
+    ``graph.arrays(bytes_per_element)``. A :class:`TilingError` from an
+    individual candidate is fatal, since it indicates an inconsistent
+    graph rather than a capacity problem.
+    """
+    members = frozenset(members)
+    if structure is None:
+        structure = TilingStructure(graph, members)
+    arrays = graph.arrays(bytes_per_element)
+    index = arrays.index
+
+    member_indices = arrays.indices(members)
+    succ_map = graph.successor_map()
+    inputs = sorted(
+        name
+        for name, is_member in zip(structure.names, structure.is_member)
+        if not is_member
+    )
+    outputs = [
+        name
+        for name in sorted(members)
+        if not succ_map[name] or any(s not in members for s in succ_map[name])
+    ]
+    input_bytes = arrays.total(arrays.output_bytes, [index[n] for n in inputs])
+    output_bytes = arrays.total(arrays.output_bytes, [index[n] for n in outputs])
+    weight_bytes = arrays.total(arrays.weight_bytes, member_indices)
+    macs = arrays.total(arrays.macs, member_indices)
+    member_activation_bytes = arrays.total(arrays.output_bytes, member_indices)
+    layer_weights = tuple(
+        sorted(
+            ((n, int(arrays.weight_bytes[index[n]])) for n in members),
+            key=lambda item: (-item[1], item[0]),
+        )
+    )
+    max_height = max(
+        int(arrays.heights[i]) for i in member_indices
+    )
+
+    local_row_bytes = [int(arrays.row_bytes[index[n]]) for n in structure.names]
+    options = _select_options(
+        lambda tile_rows: structure.option(tile_rows, local_row_bytes),
+        tile_candidates,
+        max_height,
+        stable_after=structure.saturation,
+    )
+    if not options:
+        raise TilingError(f"no tile candidates for subgraph {sorted(members)}")
+    return SubgraphProfile(
+        members=members,
+        input_bytes=input_bytes,
+        output_bytes=output_bytes,
+        weight_bytes=weight_bytes,
+        macs=macs,
+        member_activation_bytes=member_activation_bytes,
+        layer_weights=layer_weights,
+        tile_options=tuple(options),
+    )
+
+
+def profile_subgraph_reference(
+    graph: ComputationGraph,
+    members: frozenset[str] | set[str],
+    bytes_per_element: int = 1,
+    tile_candidates: tuple[int, ...] = DEFAULT_TILE_CANDIDATES,
+) -> SubgraphProfile:
+    """Naive reference profiler: one full tiling walk per candidate.
+
+    Retained verbatim from the pre-single-pass pipeline as the
+    equivalence oracle for :func:`profile_subgraph` (the two must agree
+    bit-for-bit) and as the baseline the evaluator benchmark measures
+    speedups against.
     """
     members = frozenset(members)
     inputs = _interface_inputs(graph, members)
@@ -123,26 +247,15 @@ def profile_subgraph(
     )
 
     max_height = max(graph.layer(n).shape.height for n in members)
-    options: list[TileOption] = []
-    for tile_rows in tile_candidates:
-        if options and tile_rows > max_height:
-            break
+
+    def naive_option(tile_rows: int) -> tuple[int, int]:
         tiling = derive_tiling(graph, members, output_tile_rows=tile_rows)
-        option = TileOption(
-            tile_rows=min(tile_rows, max_height),
-            activation_bytes=activation_footprint(graph, tiling, bytes_per_element),
-            num_elementary_ops=tiling.num_elementary_ops,
+        return (
+            activation_footprint(graph, tiling, bytes_per_element),
+            tiling.num_elementary_ops,
         )
-        previous = options[-1] if options else None
-        if previous is None or (
-            option.activation_bytes != previous.activation_bytes
-            or option.num_elementary_ops != previous.num_elementary_ops
-        ):
-            options.append(option)
-        # Larger tiles past a single-operation schedule only cost more
-        # memory for no fewer weight reloads — stop exploring.
-        if option.num_elementary_ops == 1:
-            break
+
+    options = _select_options(naive_option, tile_candidates, max_height)
     if not options:
         raise TilingError(f"no tile candidates for subgraph {sorted(members)}")
     return SubgraphProfile(

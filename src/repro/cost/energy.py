@@ -37,6 +37,48 @@ class EnergyBreakdown:
         )
 
 
+@dataclass(frozen=True)
+class EnergyRates:
+    """Precomputed per-byte/per-MAC energy rates for one (accel, memory).
+
+    The capacity-dependent SRAM rates involve square roots; the pricing
+    loop evaluates many tile options (and many subgraphs) under the same
+    memory configuration, so the rates are hoisted out and reused. The
+    resulting breakdowns are bit-identical to :func:`subgraph_energy`
+    (same factors, same multiplication order).
+    """
+
+    dram_pj_per_byte: float
+    act_pj_per_byte: float
+    wgt_pj_per_byte: float
+    mac_pj: float
+
+    @staticmethod
+    def for_memory(accel: AcceleratorConfig, memory: MemoryConfig) -> "EnergyRates":
+        return EnergyRates(
+            dram_pj_per_byte=accel.dram_pj_per_byte,
+            act_pj_per_byte=accel.sram_pj_per_byte(memory.activation_capacity),
+            wgt_pj_per_byte=accel.sram_pj_per_byte(memory.weight_capacity),
+            mac_pj=accel.mac_pj,
+        )
+
+    def breakdown(
+        self,
+        ema_bytes: int,
+        activation_traffic_bytes: int,
+        weight_write_bytes: int,
+        weight_read_bytes: int,
+        macs: int,
+    ) -> EnergyBreakdown:
+        return EnergyBreakdown(
+            dram_pj=ema_bytes * self.dram_pj_per_byte,
+            sram_activation_pj=activation_traffic_bytes * self.act_pj_per_byte,
+            sram_weight_pj=(weight_write_bytes + weight_read_bytes)
+            * self.wgt_pj_per_byte,
+            mac_pj=macs * self.mac_pj,
+        )
+
+
 def subgraph_energy(
     accel: AcceleratorConfig,
     memory: MemoryConfig,
@@ -53,11 +95,10 @@ def subgraph_energy(
     ``weight_write_bytes`` is the DRAM-side fill traffic and
     ``weight_read_bytes`` the per-operation read traffic.
     """
-    act_pj_per_byte = accel.sram_pj_per_byte(memory.activation_capacity)
-    wgt_pj_per_byte = accel.sram_pj_per_byte(memory.weight_capacity)
-    return EnergyBreakdown(
-        dram_pj=ema_bytes * accel.dram_pj_per_byte,
-        sram_activation_pj=activation_traffic_bytes * act_pj_per_byte,
-        sram_weight_pj=(weight_write_bytes + weight_read_bytes) * wgt_pj_per_byte,
-        mac_pj=macs * accel.mac_pj,
+    return EnergyRates.for_memory(accel, memory).breakdown(
+        ema_bytes=ema_bytes,
+        activation_traffic_bytes=activation_traffic_bytes,
+        weight_write_bytes=weight_write_bytes,
+        weight_read_bytes=weight_read_bytes,
+        macs=macs,
     )

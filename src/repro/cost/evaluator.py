@@ -1,22 +1,40 @@
 """The evaluation environment: partition + memory config -> cost.
 
 This is the reproduction of the paper's "modified simulator that supports
-the evaluation of latency and energy" (Sec 5.1.2). It memoizes aggressively
-in two layers:
+the evaluation of latency and energy" (Sec 5.1.2), restructured as a
+layered, throughput-oriented pipeline:
 
 1. :meth:`Evaluator.profile` — memory-*independent* subgraph profiles
-   (tilings, footprints, MAC/weight/IO byte counts). A genetic search
-   re-visits the same subgraph sets constantly, and during co-exploration
-   the same set is re-priced under many different capacities, so this
-   cache does most of the work.
+   (tilings, footprints, MAC/weight/IO byte counts), produced by the
+   single-pass :func:`~repro.cost.ema.profile_subgraph` (one
+   :class:`~repro.execution.tiling.TilingStructure` derivation prices all
+   tile candidates) over the graph's precomputed constant arrays.
 2. :meth:`Evaluator.subgraph_cost` — memory-*dependent* pricing of one
-   profile (feasible tile choice, weight caching, EMA/energy/latency).
+   profile (feasible tile choice, weight caching, EMA/energy/latency)
+   with the weight-caching selection and SRAM energy rates hoisted out
+   of the tile-option loop.
+3. :meth:`Evaluator.evaluate` / :meth:`Evaluator.summarize` — partition
+   aggregation. ``evaluate`` builds the full :class:`PartitionCost`
+   (bandwidth report included); ``summarize`` is the incremental path the
+   search loops use: per-subgraph scalar aggregates are cached, so a
+   child genome that shares most cut points with its parents re-prices
+   only the subgraphs that differ, and the partition total is a running
+   sum over cached scalars. :meth:`Evaluator.feasible` answers the
+   in-situ repair probe from the profile's materialized minimum
+   footprint without pricing at all.
 
-Both caches are bounded LRUs so long searches stay within memory.
+All caches are bounded LRUs so long searches stay within memory, and
+every fast path is bit-identical to the retained reference pipeline in
+:mod:`repro.cost.reference` (enforced by ``tests/cost/``).
+
+Setting ``collect_timings=True`` accumulates per-stage wall-clock
+(``profile`` / ``price`` / ``aggregate``) into :attr:`Evaluator.timings`
+for the CLI's ``--profile-timings`` report.
 """
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterable, Sequence
@@ -30,8 +48,8 @@ from .ema import (
     cached_weight_selection,
     profile_subgraph,
 )
-from .energy import EnergyBreakdown, subgraph_energy
-from .latency import compute_cycles, subgraph_latency_cycles
+from .energy import EnergyBreakdown, EnergyRates
+from .latency import dram_bytes_per_cycle, effective_macs_per_cycle
 
 
 @dataclass(frozen=True)
@@ -68,6 +86,23 @@ class PartitionCost:
     subgraphs: tuple[SubgraphCost, ...]
 
 
+@dataclass(frozen=True)
+class PartitionSummary:
+    """The scalar aggregates the search objectives actually read.
+
+    A :class:`PartitionCost` without the bandwidth report and the
+    per-subgraph cost tuple: cheap to assemble from cached per-subgraph
+    scalars on every genome evaluation. Field values are bit-identical
+    to the corresponding :class:`PartitionCost` fields.
+    """
+
+    feasible: bool
+    num_subgraphs: int
+    ema_bytes: float
+    energy_pj: float
+    latency_cycles: float
+
+
 def _lru_get(cache: OrderedDict, key):
     try:
         value = cache[key]
@@ -100,19 +135,50 @@ class Evaluator:
         tile_candidates: tuple[int, ...] = DEFAULT_TILE_CANDIDATES,
         profile_cache_size: int = 100_000,
         cost_cache_size: int = 200_000,
+        collect_timings: bool = False,
     ) -> None:
         self.graph = graph
         self.accel = accel or AcceleratorConfig()
         self.tile_candidates = tile_candidates
         self._profiles: OrderedDict[frozenset[str], SubgraphProfile] = OrderedDict()
         self._min_footprints: OrderedDict[frozenset[str], int] = OrderedDict()
+        self._structures: OrderedDict[frozenset[str], object] = OrderedDict()
         self._costs: OrderedDict[tuple, SubgraphCost] = OrderedDict()
         self._profile_cache_size = profile_cache_size
         self._cost_cache_size = cost_cache_size
         self.num_profile_calls = 0
         self.num_cost_calls = 0
+        # Per-(memory, accel) pricing constants, hoisted out of _price.
+        self._rates: dict[tuple, EnergyRates] = {}
+        # Per-subgraph scalar aggregates for the incremental summarize
+        # path, plus the log that ships warm entries to parallel workers.
+        self._summaries: dict[tuple, tuple] = {}
+        self._summary_log: list[tuple[tuple, tuple]] = []
+        self._record_summaries = False
+        self.collect_timings = collect_timings
+        self.timings: dict[str, float] = {
+            "profile_s": 0.0,
+            "price_s": 0.0,
+            "aggregate_s": 0.0,
+        }
 
     # ------------------------------------------------------------------
+    def _structure(self, key: frozenset[str]):
+        """Cached tile-size-independent tiling structure of a subgraph.
+
+        Shared between feasibility probes, min-footprint pruning, and
+        full profiling, so each member set pays for exactly one
+        adjacency/ratio derivation no matter which path asks first.
+        """
+        hit = _lru_get(self._structures, key)
+        if hit is not None:
+            return hit
+        from ..execution.tiling import TilingStructure
+
+        structure = TilingStructure(self.graph, key)
+        _lru_put(self._structures, key, structure, self._profile_cache_size)
+        return structure
+
     def profile(self, members: Iterable[str]) -> SubgraphProfile:
         """Memory-independent profile of a subgraph (cached)."""
         key = frozenset(members)
@@ -120,12 +186,16 @@ class Evaluator:
         if hit is not None:
             return hit
         self.num_profile_calls += 1
+        started = time.perf_counter() if self.collect_timings else 0.0
         profile = profile_subgraph(
             self.graph,
             key,
             bytes_per_element=self.accel.bytes_per_element,
             tile_candidates=self.tile_candidates,
+            structure=self._structure(key),
         )
+        if self.collect_timings:
+            self.timings["profile_s"] += time.perf_counter() - started
         _lru_put(self._profiles, key, profile, self._profile_cache_size)
         return profile
 
@@ -144,15 +214,30 @@ class Evaluator:
         if full is not None:
             value = full.min_activation_bytes
         else:
-            from ..execution.footprint import activation_footprint
-            from ..execution.tiling import derive_tiling
-
-            tiling = derive_tiling(self.graph, key, output_tile_rows=1)
-            value = activation_footprint(
-                self.graph, tiling, self.accel.bytes_per_element
-            )
+            structure = self._structure(key)
+            arrays = self.graph.arrays(self.accel.bytes_per_element)
+            row_bytes = [
+                int(arrays.row_bytes[arrays.index[n]]) for n in structure.names
+            ]
+            value, _ = structure.option(1, row_bytes)
         _lru_put(self._min_footprints, key, value, self._profile_cache_size)
         return value
+
+    def feasible(
+        self, members: Iterable[str], memory: MemoryConfig | None = None
+    ) -> bool:
+        """Whether any tile option of the subgraph fits ``memory``.
+
+        Equivalent to ``subgraph_cost(members, memory).feasible`` — a
+        subgraph is feasible exactly when its smallest tile option's
+        activation footprint fits the activation capacity — but answered
+        from the profile's materialized minimum footprint, with no
+        pricing. In-situ capacity repair probes far more candidate sets
+        than ever get priced, so this is its dedicated fast path.
+        """
+        memory = memory or self.accel.memory
+        profile = self.profile(members)
+        return profile.min_activation_bytes <= memory.activation_capacity
 
     # ------------------------------------------------------------------
     def subgraph_cost(
@@ -165,24 +250,55 @@ class Evaluator:
         if hit is not None:
             return hit
         self.num_cost_calls += 1
-        cost = self._price(self.profile(key[0]), memory)
+        if self.collect_timings:
+            # The profile may be derived inside this window; subtract its
+            # time so the stage buckets stay mutually exclusive.
+            started = time.perf_counter()
+            profiled_before = self.timings["profile_s"]
+            cost = self._price(self.profile(key[0]), memory)
+            elapsed = time.perf_counter() - started
+            nested = self.timings["profile_s"] - profiled_before
+            self.timings["price_s"] += elapsed - nested
+        else:
+            cost = self._price(self.profile(key[0]), memory)
         _lru_put(self._costs, key, cost, self._cost_cache_size)
         return cost
 
+    def _energy_rates(self, memory: MemoryConfig) -> EnergyRates:
+        key = _memory_key(memory)
+        rates = self._rates.get(key)
+        if rates is None:
+            rates = EnergyRates.for_memory(self.accel, memory)
+            self._rates[key] = rates
+        return rates
+
     def _price(self, profile: SubgraphProfile, memory: MemoryConfig) -> SubgraphCost:
+        separate = memory.mode is BufferMode.SEPARATE
+        rates = self._energy_rates(memory)
+        compute = profile.macs / effective_macs_per_cycle(self.accel)
+        bytes_per_cycle = dram_bytes_per_cycle(self.accel)
+        activation_traffic = 2 * (
+            profile.input_bytes + profile.member_activation_bytes
+        )
+        # In separate-buffer mode the weight budget is the same for every
+        # tile option, so the greedy selection runs once, not per option.
+        if separate:
+            fixed_selection = cached_weight_selection(
+                profile.layer_weights, memory.weight_buffer_bytes
+            )
         best: SubgraphCost | None = None
         for option in profile.tile_options:
-            if memory.mode is BufferMode.SEPARATE:
+            if separate:
                 if option.activation_bytes > memory.global_buffer_bytes:
                     continue
-                budget = memory.weight_buffer_bytes
+                cached_nodes, cached_bytes = fixed_selection
             else:
                 budget = memory.shared_buffer_bytes - option.activation_bytes
                 if budget < 0:
                     continue
-            cached_nodes, cached_bytes = cached_weight_selection(
-                profile.layer_weights, budget
-            )
+                cached_nodes, cached_bytes = cached_weight_selection(
+                    profile.layer_weights, budget
+                )
             uncached = profile.weight_bytes - cached_bytes
             weight_ema = cached_bytes + uncached * option.num_elementary_ops
             ema = weight_ema + profile.io_bytes
@@ -194,12 +310,9 @@ class Evaluator:
                 and option.tile_rows <= best.tile_rows
             ):
                 continue
-            energy = subgraph_energy(
-                self.accel,
-                memory,
+            energy = rates.breakdown(
                 ema_bytes=ema,
-                activation_traffic_bytes=2
-                * (profile.input_bytes + profile.member_activation_bytes),
+                activation_traffic_bytes=activation_traffic,
                 weight_write_bytes=weight_ema,
                 weight_read_bytes=profile.weight_bytes * option.num_elementary_ops,
                 macs=profile.macs,
@@ -214,8 +327,8 @@ class Evaluator:
                 weight_ema_bytes=weight_ema,
                 ema_bytes=ema,
                 energy=energy,
-                compute_cycles=compute_cycles(self.accel, profile.macs),
-                latency_cycles=subgraph_latency_cycles(self.accel, profile.macs, ema),
+                compute_cycles=compute,
+                latency_cycles=max(compute, ema / bytes_per_cycle),
             )
         if best is not None:
             return best
@@ -229,7 +342,7 @@ class Evaluator:
             weight_ema_bytes=0,
             ema_bytes=int(1e18),
             energy=None,
-            compute_cycles=compute_cycles(self.accel, profile.macs),
+            compute_cycles=compute,
             latency_cycles=float("inf"),
         )
 
@@ -242,20 +355,157 @@ class Evaluator:
         """Price a whole partition, given its subgraphs in schedule order."""
         memory = memory or self.accel.memory
         costs = [self.subgraph_cost(members, memory) for members in subgraph_sets]
-        feasible = all(c.feasible for c in costs)
+        started = time.perf_counter() if self.collect_timings else 0.0
+        feasible = True
+        ema_total = 0
+        energy_total = 0.0
+        latency_total = 0.0
+        io_bytes: list[int] = []
+        weight_bytes: list[int] = []
+        weight_ema_bytes: list[int] = []
+        compute_seconds: list[float] = []
         frequency = self.accel.frequency_hz
+        for cost in costs:
+            feasible = feasible and cost.feasible
+            ema_total += cost.ema_bytes
+            energy_total += cost.energy_pj
+            latency_total += cost.latency_cycles
+            io_bytes.append(cost.profile.io_bytes)
+            weight_bytes.append(cost.profile.weight_bytes)
+            weight_ema_bytes.append(cost.weight_ema_bytes)
+            compute_seconds.append(cost.compute_cycles / frequency)
         bandwidth = bandwidth_report(
-            io_bytes=[c.profile.io_bytes for c in costs],
-            weight_bytes=[c.profile.weight_bytes for c in costs],
-            weight_ema_bytes=[c.weight_ema_bytes for c in costs],
-            compute_seconds=[c.compute_cycles / frequency for c in costs],
+            io_bytes=io_bytes,
+            weight_bytes=weight_bytes,
+            weight_ema_bytes=weight_ema_bytes,
+            compute_seconds=compute_seconds,
         )
-        return PartitionCost(
+        result = PartitionCost(
             feasible=feasible,
             num_subgraphs=len(costs),
-            ema_bytes=float(sum(c.ema_bytes for c in costs)),
-            energy_pj=sum(c.energy_pj for c in costs),
-            latency_cycles=sum(c.latency_cycles for c in costs),
+            ema_bytes=float(ema_total),
+            energy_pj=energy_total,
+            latency_cycles=latency_total,
             bandwidth=bandwidth,
             subgraphs=tuple(costs),
         )
+        if self.collect_timings:
+            self.timings["aggregate_s"] += time.perf_counter() - started
+        return result
+
+    # ------------------------------------------------------------------
+    # Incremental (delta) evaluation: per-subgraph scalar aggregates.
+    # ------------------------------------------------------------------
+    def _subgraph_summary(
+        self, members: frozenset[str], memory: MemoryConfig, mem_key: tuple
+    ) -> tuple:
+        key = (members, mem_key)
+        hit = self._summaries.get(key)
+        if hit is not None:
+            return hit
+        cost = self.subgraph_cost(members, memory)
+        summary = (
+            cost.feasible,
+            cost.ema_bytes,
+            cost.energy_pj,
+            cost.latency_cycles,
+        )
+        if len(self._summaries) >= self._cost_cache_size:
+            self._summaries.pop(next(iter(self._summaries)))
+        self._summaries[key] = summary
+        if self._record_summaries:
+            self._summary_log.append((key, summary))
+        return summary
+
+    def summarize(
+        self,
+        subgraph_sets: Sequence[frozenset[str]],
+        memory: MemoryConfig | None = None,
+    ) -> PartitionSummary:
+        """Scalar partition aggregates for the search loops (incremental).
+
+        Per-subgraph scalars are cached, so pricing work is proportional
+        to the subgraphs *not seen before* under this memory
+        configuration — for GA offspring, the few cut points that differ
+        from the parents. The sums run in schedule order, making every
+        field bit-identical to :meth:`evaluate`'s.
+        """
+        memory = memory or self.accel.memory
+        mem_key = _memory_key(memory)
+        timed = self.collect_timings
+        if timed:
+            # Cold subgraphs profile and price inside this window; count
+            # only the aggregation itself (buckets stay exclusive).
+            started = time.perf_counter()
+            nested_before = (
+                self.timings["profile_s"] + self.timings["price_s"]
+            )
+        feasible = True
+        ema_total = 0
+        energy_total = 0.0
+        latency_total = 0.0
+        for members in subgraph_sets:
+            ok, ema, energy_pj, latency = self._subgraph_summary(
+                members, memory, mem_key
+            )
+            feasible = feasible and ok
+            ema_total += ema
+            energy_total += energy_pj
+            latency_total += latency
+        result = PartitionSummary(
+            feasible=feasible,
+            num_subgraphs=len(subgraph_sets),
+            ema_bytes=float(ema_total),
+            energy_pj=energy_total,
+            latency_cycles=latency_total,
+        )
+        if timed:
+            elapsed = time.perf_counter() - started
+            nested = (
+                self.timings["profile_s"] + self.timings["price_s"]
+            ) - nested_before
+            self.timings["aggregate_s"] += elapsed - nested
+        return result
+
+    # ------------------------------------------------------------------
+    # Warm-state plumbing for parallel population evaluation.
+    # ------------------------------------------------------------------
+    def enable_summary_log(self) -> None:
+        """Start recording fresh subgraph summaries for export."""
+        self._record_summaries = True
+
+    def drain_summary_log(self) -> list[tuple[tuple, tuple]]:
+        """Return and clear the summaries recorded since the last drain."""
+        out = self._summary_log
+        self._summary_log = []
+        return out
+
+    def absorb_summaries(self, entries: Iterable[tuple[tuple, tuple]]) -> None:
+        """Install subgraph summaries computed elsewhere (idempotent).
+
+        Evaluation is pure, so an imported summary is exactly what this
+        evaluator would have computed; absorbing skips the re-pricing.
+        Absorbed entries are not re-logged.
+        """
+        summaries = self._summaries
+        for key, summary in entries:
+            if key not in summaries:
+                if len(summaries) >= self._cost_cache_size:
+                    summaries.pop(next(iter(summaries)))
+                summaries[key] = summary
+
+    def stats(self) -> dict[str, float]:
+        """Cache/timing counters (mergeable across worker processes)."""
+        out: dict[str, float] = {
+            "profile_calls": self.num_profile_calls,
+            "cost_calls": self.num_cost_calls,
+        }
+        out.update(self.timings)
+        return out
+
+    def absorb_stats(self, delta: dict[str, float]) -> None:
+        """Fold worker counter deltas back into this evaluator."""
+        self.num_profile_calls += int(delta.get("profile_calls", 0))
+        self.num_cost_calls += int(delta.get("cost_calls", 0))
+        for key in self.timings:
+            self.timings[key] += delta.get(key, 0.0)

@@ -12,16 +12,24 @@ from __future__ import annotations
 from ..config import AcceleratorConfig
 
 
+def effective_macs_per_cycle(accel: AcceleratorConfig) -> float:
+    """Utilization-derated MAC throughput of the PE array."""
+    return accel.macs_per_cycle * accel.pe_utilization
+
+
+def dram_bytes_per_cycle(accel: AcceleratorConfig) -> float:
+    """DRAM link bytes moved per core cycle."""
+    return accel.dram_bandwidth / accel.frequency_hz
+
+
 def compute_cycles(accel: AcceleratorConfig, macs: int) -> float:
     """Cycles the PE array needs for ``macs`` multiply-accumulates."""
-    effective = accel.macs_per_cycle * accel.pe_utilization
-    return macs / effective
+    return macs / effective_macs_per_cycle(accel)
 
 
 def dram_cycles(accel: AcceleratorConfig, ema_bytes: int) -> float:
     """Cycles to move ``ema_bytes`` over the core's DRAM link."""
-    bytes_per_cycle = accel.dram_bandwidth / accel.frequency_hz
-    return ema_bytes / bytes_per_cycle
+    return ema_bytes / dram_bytes_per_cycle(accel)
 
 
 def subgraph_latency_cycles(

@@ -13,8 +13,14 @@ from __future__ import annotations
 
 from enum import Enum
 
+from typing import Union
+
 from ..config import MemoryConfig
-from .evaluator import PartitionCost
+from .evaluator import PartitionCost, PartitionSummary
+
+#: Either aggregate form works: the objectives only read the scalar
+#: fields, which are bit-identical between the two.
+PartitionAggregate = Union[PartitionCost, PartitionSummary]
 
 #: The alpha used throughout the paper's co-exploration experiments.
 DEFAULT_ALPHA = 0.002
@@ -28,7 +34,7 @@ class Metric(Enum):
     LATENCY = "latency"
 
 
-def metric_value(cost: PartitionCost, metric: Metric) -> float:
+def metric_value(cost: PartitionAggregate, metric: Metric) -> float:
     """Extract the metric ``M`` from an evaluated partition."""
     if not cost.feasible:
         return float("inf")
@@ -39,13 +45,13 @@ def metric_value(cost: PartitionCost, metric: Metric) -> float:
     return cost.latency_cycles
 
 
-def partition_objective(cost: PartitionCost, metric: Metric = Metric.EMA) -> float:
+def partition_objective(cost: PartitionAggregate, metric: Metric = Metric.EMA) -> float:
     """Formula 1: the summed subgraph cost for a fixed hardware."""
     return metric_value(cost, metric)
 
 
 def co_opt_objective(
-    cost: PartitionCost,
+    cost: PartitionAggregate,
     memory: MemoryConfig,
     alpha: float = DEFAULT_ALPHA,
     metric: Metric = Metric.ENERGY,

@@ -70,6 +70,10 @@ class NSGAConfig:
     workers: int = 1
     #: Genomes per parallel work unit (None: auto-chunked per batch).
     eval_chunk_size: int | None = None
+    #: Incremental (delta) genome evaluation (see
+    #: :class:`~repro.ga.engine.GAConfig.incremental`); metric costs are
+    #: bit-identical with the flag on or off.
+    incremental: bool = True
 
     def __post_init__(self) -> None:
         if self.population_size < 4:
@@ -286,7 +290,11 @@ def _nsga2(
     # alpha is irrelevant here (selection is Pareto-based), but the shared
     # problem object provides sampling and in-situ capacity repair.
     problem = OptimizationProblem(
-        evaluator=evaluator, metric=metric, alpha=1.0, space=space
+        evaluator=evaluator,
+        metric=metric,
+        alpha=1.0,
+        space=space,
+        incremental=config.incremental,
     )
     archive = _Archive(problem, metric)
 

@@ -1,6 +1,6 @@
 """Subgraph execution: the consumption-centric tiling flow of Sec 3."""
 
-from .tiling import NodeTiling, SubgraphTiling, derive_tiling
+from .tiling import NodeTiling, SubgraphTiling, TilingStructure, derive_tiling
 from .production import production_tiling
 from .schedule import ElementaryOp, elementary_schedule
 from .footprint import activation_footprint, node_footprints
@@ -8,6 +8,7 @@ from .footprint import activation_footprint, node_footprints
 __all__ = [
     "NodeTiling",
     "SubgraphTiling",
+    "TilingStructure",
     "derive_tiling",
     "production_tiling",
     "ElementaryOp",

@@ -23,6 +23,23 @@ Rows are tracked as :class:`fractions.Fraction` internally because
 ``full_input`` consumers (attention, flatten, global pooling) induce
 rational consumption ratios; results are materialized as integers capped
 at each tensor's real height.
+
+Two implementations coexist:
+
+* :func:`derive_tiling` — the straightforward reference implementation,
+  re-deriving everything from the graph on every call. It is retained
+  verbatim as the equivalence oracle for the fast path and for one-shot
+  callers (CLI ``tiling``/``trace``).
+* :class:`TilingStructure` — the single-pass engine used by the
+  evaluation hot path. It derives the subgraph's *structure* (local
+  adjacency, consumption ratios, window offsets, production/consumption
+  rate relations) exactly once, solves the stages at tile size 1, and
+  re-prices further tile candidates by exact linear rescaling (LCMs over
+  positive rationals scale linearly, and the rate vector is invariant
+  under that scaling) whenever no output-height cap binds — falling back
+  to a full, still graph-access-free, numeric walk when one does. The
+  results are bit-identical to :func:`derive_tiling` for every tile size
+  (enforced by ``tests/execution/test_tiling_structure.py``).
 """
 
 from __future__ import annotations
@@ -31,6 +48,7 @@ import math
 from dataclasses import dataclass
 from fractions import Fraction
 from functools import reduce
+from typing import Sequence
 
 from ..errors import TilingError
 from ..graphs.graph import ComputationGraph
@@ -275,3 +293,306 @@ def derive_tiling(
         output_tile_rows=output_tile_rows,
         num_elementary_ops=num_ops,
     )
+
+
+# ---------------------------------------------------------------------------
+# Single-pass tiling: derive the structure once, price candidates cheaply.
+# ---------------------------------------------------------------------------
+
+#: Consumer kinds, in the priority order the reference walk checks them.
+_STREAMING, _FULL, _UPSAMPLE, _WINDOW = 0, 1, 2, 3
+
+
+class TilingStructure:
+    """The tile-size-independent structure of one subgraph's tiling.
+
+    Construction performs the only graph traversal: it resolves the local
+    adjacency (members plus interface inputs), classifies every local
+    edge (streaming / full-input / upsample / window), precomputes each
+    node's window requirement offset and full-input constant, and solves
+    stages 1-3 at ``output_tile_rows = 1`` (which also validates the
+    production/consumption balance, raising :class:`TilingError` exactly
+    where :func:`derive_tiling` would).
+
+    Pricing a tile candidate ``t`` afterwards touches no graph state:
+
+    * ``t <= scale_limit`` (no output-height cap binds): the stage-2
+      offsets are ``t`` times the base solution — exactly, because the
+      LCM over positive rationals is linear under common scaling — and
+      the stage-3 rate vector is scale-invariant, so only the per-node
+      window requirements and the elementary-operation count are
+      recomputed (O(nodes) integer arithmetic).
+    * ``t > scale_limit``: a full numeric walk over the precomputed
+      structure (still no graph access, no layer lookups).
+
+    Both paths reproduce :func:`derive_tiling` bit-for-bit.
+    """
+
+    __slots__ = (
+        "members",
+        "names",
+        "heights",
+        "is_member",
+        "kids_info",
+        "aff_max",
+        "full_req",
+        "leaves",
+        "scale_limit",
+        "_saturation",
+        "_saturated",
+        "_base",
+    )
+
+    def __init__(
+        self, graph: ComputationGraph, members: frozenset[str] | set[str]
+    ) -> None:
+        members = frozenset(members)
+        if not members:
+            raise TilingError("cannot derive tiling for an empty subgraph")
+        for name in members:
+            if graph.layer(name).is_input:
+                raise TilingError(
+                    f"model input {name!r} cannot be a subgraph member"
+                )
+        self.members = members
+        succ_map = graph.successor_map()
+        pred_map = graph.predecessor_map()
+        children: dict[str, tuple[str, ...]] = {}
+        for name in members:
+            children[name] = tuple(s for s in succ_map[name] if s in members)
+            for parent in pred_map[name]:
+                if parent not in members and parent not in children:
+                    children[parent] = tuple(
+                        s for s in succ_map[parent] if s in members
+                    )
+        topo = [n for n in graph.topological_order() if n in children]
+        local = {name: i for i, name in enumerate(topo)}
+        count = len(topo)
+
+        self.names: tuple[str, ...] = tuple(topo)
+        self.heights: list[int] = [graph.layer(n).shape.height for n in topo]
+        self.is_member: list[bool] = [n in members for n in topo]
+        # Per node: ((kid_local, kind, stage2_ratio, stage3_ratio), ...).
+        kids_info: list[tuple[tuple, ...]] = []
+        aff_max: list[int | None] = []
+        full_req: list[int | None] = []
+        for i, name in enumerate(topo):
+            infos = []
+            affine: int | None = None
+            full: int | None = None
+            for kid in children[name]:
+                spec = graph.layer(kid)
+                ratio3 = _consumption_ratio(graph, name, kid)
+                if spec.streaming:
+                    infos.append((local[kid], _STREAMING, None, ratio3))
+                    affine = max(affine, 0) if affine is not None else 0
+                elif spec.full_input:
+                    infos.append((local[kid], _FULL, ratio3, ratio3))
+                    full = self.heights[i]
+                elif spec.upsample_factor > 1:
+                    infos.append((local[kid], _UPSAMPLE, ratio3, ratio3))
+                    affine = max(affine, 0) if affine is not None else 0
+                else:
+                    infos.append((local[kid], _WINDOW, ratio3, ratio3))
+                    offset = spec.kernel - spec.stride
+                    affine = (
+                        max(affine, offset) if affine is not None else offset
+                    )
+            kids_info.append(tuple(infos))
+            aff_max.append(affine)
+            full_req.append(full)
+        self.kids_info = kids_info
+        self.aff_max = aff_max
+        self.full_req = full_req
+        # Interface inputs always have member consumers, so every leaf is
+        # a member output node; its height is where the stage-1 cap binds.
+        self.leaves: tuple[int, ...] = tuple(
+            i for i in range(count) if not kids_info[i]
+        )
+        self.scale_limit: int = min(self.heights[i] for i in self.leaves)
+        # Above every leaf height the stage-1 caps all bind, so the whole
+        # solution is constant in the tile size; solved lazily, once.
+        self._saturation: int = max(self.heights[i] for i in self.leaves)
+        self._saturated: tuple[list, list, list[int]] | None = None
+        base_delta, base_tile = self._solve_deltas(1)
+        base_upd = self._solve_rates(base_delta)
+        self._base = (base_delta, base_tile, base_upd)
+
+    # ------------------------------------------------------------------
+    def _solve_deltas(self, t: int) -> tuple[list, list]:
+        """Stages 1+2: the reverse-topological offset/window walk."""
+        count = len(self.heights)
+        delta: list = [None] * count
+        tile: list = [None] * count
+        heights = self.heights
+        for i in range(count - 1, -1, -1):
+            height = heights[i]
+            info = self.kids_info[i]
+            if not info:
+                rows = min(t, height)
+                delta[i] = rows
+                tile[i] = rows
+                continue
+            offsets = [
+                delta[k] if kind == _STREAMING else delta[k] * ratio2
+                for k, kind, ratio2, _ in info
+            ]
+            step = _lcm_rows(offsets)
+            delta[i] = step
+            affine = self.aff_max[i]
+            full = self.full_req[i]
+            if affine is None:
+                requirement = full
+            elif full is None:
+                requirement = step + affine
+            else:
+                requirement = max(step + affine, full)
+            tile[i] = min(requirement, height)
+        return delta, tile
+
+    def _solve_rates(self, delta: list) -> list[int]:
+        """Stage 3: minimal co-prime production/consumption rates."""
+        count = len(self.heights)
+        neighbors: list[list[tuple[int, object]]] = [[] for _ in range(count)]
+        for i in range(count):
+            di = delta[i]
+            for k, _kind, _r2, ratio3 in self.kids_info[i]:
+                consumed = delta[k] * ratio3
+                # Pure-integer edges (the common case for conv nets) stay
+                # on int arithmetic; anything rational drops to Fraction.
+                if type(di) is int and type(consumed) is int:
+                    if di % consumed == 0:
+                        factor = di // consumed
+                    else:
+                        factor = Fraction(di, consumed)
+                else:
+                    factor = Fraction(di) / consumed
+                neighbors[i].append((k, factor))
+                inverse = (
+                    1 if factor == 1 else
+                    Fraction(1, factor) if type(factor) is int else 1 / factor
+                )
+                neighbors[k].append((i, inverse))
+        rate: list = [None] * count
+        all_int = True
+        for root in range(count):
+            if rate[root] is not None:
+                continue
+            rate[root] = 1
+            queue = [root]
+            while queue:
+                node = queue.pop()
+                for other, factor in neighbors[node]:
+                    implied = rate[node] * factor
+                    existing = rate[other]
+                    if existing is None:
+                        if type(implied) is not int:
+                            all_int = False
+                        rate[other] = implied
+                        queue.append(other)
+                    elif existing != implied:
+                        raise TilingError(
+                            f"inconsistent production/consumption balance at "
+                            f"{self.names[other]!r}: {existing} vs {implied}"
+                        )
+        if all_int:
+            # Every component's root is pinned to 1, so the integer rate
+            # vector is already minimal co-prime: gcd must divide 1.
+            return rate
+        denominator = reduce(
+            math.lcm,
+            (r.denominator if type(r) is Fraction else 1 for r in rate),
+        )
+        common = reduce(math.gcd, (int(r * denominator) for r in rate))
+        return [int(r * denominator) // common for r in rate]
+
+    # ------------------------------------------------------------------
+    def solve(self, output_tile_rows: int) -> tuple[list, list, list[int]]:
+        """Uncapped ``(delta, tile, upd_num)`` vectors for one tile size."""
+        if output_tile_rows <= 0:
+            raise TilingError(
+                f"output tile rows must be positive, got {output_tile_rows}"
+            )
+        t = output_tile_rows
+        if t == 1:
+            return self._base
+        if t > self.scale_limit:
+            if t >= self._saturation:
+                if self._saturated is None:
+                    delta, tile = self._solve_deltas(self._saturation)
+                    self._saturated = (delta, tile, self._solve_rates(delta))
+                return self._saturated
+            delta, tile = self._solve_deltas(t)
+            return delta, tile, self._solve_rates(delta)
+        # Exact rescaling: no leaf cap binds, so every stage-2 value is t
+        # times the base solution and the stage-3 rates are unchanged.
+        base_delta, _, base_upd = self._base
+        delta = [d * t for d in base_delta]
+        tile: list = [None] * len(delta)
+        for i, info in enumerate(self.kids_info):
+            if not info:
+                tile[i] = delta[i]
+                continue
+            step = delta[i]
+            affine = self.aff_max[i]
+            full = self.full_req[i]
+            if affine is None:
+                requirement = full
+            elif full is None:
+                requirement = step + affine
+            else:
+                requirement = max(step + affine, full)
+            tile[i] = min(requirement, self.heights[i])
+        return delta, tile, base_upd
+
+    @property
+    def saturation(self) -> int:
+        """Tile size beyond which the solution is constant (caps bind)."""
+        return self._saturation
+
+    def _num_ops(self, delta: list, upd: list[int]) -> int:
+        ops = 1
+        for i in self.leaves:
+            ops = max(ops, math.ceil(self.heights[i] / (upd[i] * delta[i])))
+        return ops
+
+    def option(
+        self, output_tile_rows: int, row_bytes: Sequence[int]
+    ) -> tuple[int, int]:
+        """``(activation_bytes, num_elementary_ops)`` for one candidate.
+
+        ``row_bytes`` gives each local node's bytes per output row (in
+        :attr:`names` order). Equals ``activation_footprint`` of the full
+        :meth:`tiling` without materializing any :class:`NodeTiling`.
+        """
+        delta, tile, upd = self.solve(output_tile_rows)
+        heights = self.heights
+        footprint = 0
+        for i, height in enumerate(heights):
+            d = min(max(1, math.ceil(delta[i])), height)
+            x = min(max(d, math.ceil(tile[i])), height)
+            footprint += x * row_bytes[i]
+        return footprint, self._num_ops(delta, upd)
+
+    def tiling(self, output_tile_rows: int) -> SubgraphTiling:
+        """Materialize the full scheme (bit-identical to derive_tiling)."""
+        delta, tile, upd = self.solve(output_tile_rows)
+        node_tilings: dict[str, NodeTiling] = {}
+        for i, name in enumerate(self.names):
+            height = self.heights[i]
+            is_member = self.is_member[i]
+            d = min(max(1, math.ceil(delta[i])), height)
+            x = min(max(d, math.ceil(tile[i])), height)
+            node_tilings[name] = NodeTiling(
+                name=name,
+                delta=d,
+                tile_rows=x,
+                upd_num=upd[i],
+                is_interface_input=not is_member,
+                is_output=is_member and not self.kids_info[i],
+            )
+        return SubgraphTiling(
+            nodes=node_tilings,
+            output_tile_rows=output_tile_rows,
+            num_elementary_ops=self._num_ops(delta, upd),
+        )

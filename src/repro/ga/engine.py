@@ -52,6 +52,11 @@ class GAConfig:
     workers: int = 1
     #: Genomes per parallel work unit (None: auto-chunked per batch).
     eval_chunk_size: int | None = None
+    #: Incremental (delta) genome evaluation: children re-price only the
+    #: subgraphs that differ from already-seen genomes, and repair probes
+    #: skip pricing entirely. Objective values are bit-identical with the
+    #: flag on or off, and identical for any ``workers`` setting.
+    incremental: bool = True
 
     def __post_init__(self) -> None:
         if self.population_size < 2:
@@ -97,6 +102,7 @@ class GeneticEngine:
     ):
         self.problem = problem
         self.config = config or GAConfig()
+        self.problem.incremental = self.config.incremental
         self._external_backend = backend
         self._rng = random.Random(self.config.seed)
         self._evaluations = 0

@@ -39,6 +39,14 @@ class OptimizationProblem:
     alpha: float | None = None
     space: CapacitySpace | None = None
     fixed_memory: MemoryConfig | None = None
+    #: Incremental (delta) evaluation: fitness comes from
+    #: :meth:`~repro.cost.evaluator.Evaluator.summarize` (per-subgraph
+    #: scalar aggregates, cached — a child genome re-prices only the
+    #: subgraphs that differ from its parents) and repair probes use the
+    #: pricing-free :meth:`~repro.cost.evaluator.Evaluator.feasible`.
+    #: Disabling falls back to building a full PartitionCost per genome;
+    #: objective values are bit-identical either way.
+    incremental: bool = True
     _fitness_cache: dict = field(default_factory=dict, repr=False)
     _cost_task: CostTask | None = field(default=None, repr=False)
 
@@ -72,9 +80,12 @@ class OptimizationProblem:
     def repair(self, genome: Genome) -> Genome:
         """In-situ tuning: split subgraphs that exceed the buffer capacity."""
         memory = self.memory_of(genome)
-
-        def fits(members: frozenset[str]) -> bool:
-            return self.evaluator.subgraph_cost(members, memory).feasible
+        if self.incremental:
+            def fits(members: frozenset[str]) -> bool:
+                return self.evaluator.feasible(members, memory)
+        else:
+            def fits(members: frozenset[str]) -> bool:
+                return self.evaluator.subgraph_cost(members, memory).feasible
 
         repaired = split_infeasible(genome.partition, fits)
         if repaired is genome.partition:
@@ -90,12 +101,30 @@ class OptimizationProblem:
         return co_opt_objective(cost, memory, self.alpha, self.metric), cost
 
     def cost(self, genome: Genome) -> float:
-        """Objective value only, memoized per genome key."""
+        """Objective value only, memoized per genome key.
+
+        With :attr:`incremental` (the default) the value is derived from
+        :meth:`Evaluator.summarize` — running sums over cached
+        per-subgraph scalars — instead of a full :class:`PartitionCost`;
+        the two are bit-identical.
+        """
         key = genome.key()
         hit = self._fitness_cache.get(key)
         if hit is not None:
             return hit
-        value, _ = self.evaluate(genome)
+        if self.incremental:
+            memory = self.memory_of(genome)
+            summary = self.evaluator.summarize(
+                genome.partition.subgraph_sets, memory
+            )
+            if self.alpha is None:
+                value = partition_objective(summary, self.metric)
+            else:
+                value = co_opt_objective(
+                    summary, memory, self.alpha, self.metric
+                )
+        else:
+            value, _ = self.evaluate(genome)
         self._fitness_cache[key] = value
         return value
 

@@ -24,6 +24,9 @@ class ComputationGraph:
         self._preds: dict[str, tuple[str, ...]] = {}
         self._succs: dict[str, list[str]] = {}
         self._topo_cache: tuple[str, ...] | None = None
+        self._topo_index_cache: dict[str, int] | None = None
+        self._succ_map_cache: dict[str, tuple[str, ...]] | None = None
+        self._arrays_cache: dict[int, object] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -50,6 +53,9 @@ class ComputationGraph:
         for parent in inputs:
             self._succs[parent].append(spec.name)
         self._topo_cache = None
+        self._topo_index_cache = None
+        self._succ_map_cache = None
+        self._arrays_cache.clear()
         return spec.name
 
     # ------------------------------------------------------------------
@@ -84,7 +90,23 @@ class ComputationGraph:
     def successors(self, name: str) -> tuple[str, ...]:
         """Consumers of ``name``, in insertion order."""
         self.layer(name)
-        return tuple(self._succs[name])
+        return self.successor_map()[name]
+
+    def successor_map(self) -> dict[str, tuple[str, ...]]:
+        """Cached ``{layer: consumers}`` adjacency (insertion order)."""
+        if self._succ_map_cache is None:
+            self._succ_map_cache = {
+                name: tuple(succs) for name, succs in self._succs.items()
+            }
+        return self._succ_map_cache
+
+    def predecessor_map(self) -> dict[str, tuple[str, ...]]:
+        """``{layer: producers}`` adjacency (declaration order).
+
+        The underlying dict is immutable once built (predecessors are
+        fixed at :meth:`add_layer` time), so it is shared, not copied.
+        """
+        return self._preds
 
     @property
     def edges(self) -> tuple[tuple[str, str], ...]:
@@ -132,8 +154,27 @@ class ComputationGraph:
         return self._topo_cache
 
     def topo_index(self) -> dict[str, int]:
-        """Map layer name -> position in the topological order."""
-        return {name: i for i, name in enumerate(self.topological_order())}
+        """Map layer name -> position in the topological order (cached)."""
+        if self._topo_index_cache is None:
+            self._topo_index_cache = {
+                name: i for i, name in enumerate(self.topological_order())
+            }
+        return self._topo_index_cache
+
+    def arrays(self, bytes_per_element: int = 1):
+        """Cached :class:`~repro.graphs.arrays.GraphArrays` for this graph.
+
+        Per-layer constant arrays (weight bytes, MACs, output bytes,
+        heights) indexed by topological position, so hot-path aggregations
+        run as array reductions instead of per-node attribute walks.
+        """
+        cached = self._arrays_cache.get(bytes_per_element)
+        if cached is None:
+            from .arrays import GraphArrays
+
+            cached = GraphArrays(self, bytes_per_element)
+            self._arrays_cache[bytes_per_element] = cached
+        return cached
 
     def depth(self) -> dict[str, int]:
         """Longest-path depth of each layer (inputs have depth 0)."""

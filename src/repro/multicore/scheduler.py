@@ -51,6 +51,17 @@ class MultiCoreEvaluator(Evaluator):
         self.batch = batch
         self.num_cores = self.accel.num_cores
 
+    def feasible(self, members, memory: MemoryConfig | None = None) -> bool:
+        """Per-core variant of the repair fast path.
+
+        A subgraph fits exactly when the smallest tile option's *per-core*
+        activation share fits the per-core activation capacity.
+        """
+        memory = memory or self.accel.memory
+        profile = self.profile(members)
+        per_core = -(-profile.min_activation_bytes // self.num_cores)
+        return per_core <= memory.activation_capacity
+
     def _price(self, profile: SubgraphProfile, memory: MemoryConfig) -> SubgraphCost:
         cores = self.num_cores
         batch = self.batch

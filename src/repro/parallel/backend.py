@@ -75,23 +75,39 @@ class SerialBackend:
 # pool initializer; chunks then reference it through a module global.
 # ---------------------------------------------------------------------------
 _WORKER_TASK: Callable[[Any], Any] | None = None
+_WORKER_WARM = False
 
 
-def _init_worker(task: Callable[[Any], Any]) -> None:
-    global _WORKER_TASK
+def _init_worker(task: Callable[[Any], Any], warm: bool = False) -> None:
+    global _WORKER_TASK, _WORKER_WARM
     _WORKER_TASK = task
+    _WORKER_WARM = warm and hasattr(task, "enable_warm")
+    if _WORKER_WARM:
+        task.enable_warm()
 
 
-def _run_chunk(chunk: list[Any]) -> tuple[list[Any], dict[str, int] | None]:
-    """Evaluate one chunk in a worker; returns results plus stats deltas."""
+def _run_chunk(
+    chunk: list[Any], warm: list[Any] | None = None
+) -> tuple[list[Any], dict[str, float] | None, list[Any] | None]:
+    """Evaluate one chunk in a worker.
+
+    Returns results plus the stats deltas and the warm-state entries
+    (fresh per-subgraph summaries) this chunk produced. ``warm`` carries
+    the other processes' entries from the previous round; absorbing them
+    is idempotent and lets this worker skip re-pricing those subgraphs.
+    """
     task = _WORKER_TASK
     assert task is not None, "worker used before initialization"
+    if warm and hasattr(task, "absorb_warm"):
+        task.absorb_warm(warm)
     before = task.stats() if hasattr(task, "stats") else None
     results = [task(item) for item in chunk]
+    fresh = task.drain_warm() if _WORKER_WARM else None
     if before is None:
-        return results, None
+        return results, None, fresh
     after = task.stats()
-    return results, {key: after[key] - before.get(key, 0) for key in after}
+    delta = {key: after[key] - before.get(key, 0) for key in after}
+    return results, delta, fresh
 
 
 class ProcessPoolBackend:
@@ -116,7 +132,18 @@ class ProcessPoolBackend:
         When true (default) and the task exposes ``stats()`` /
         ``absorb_stats()``, the workers' evaluator cache counters are
         folded back into the parent task after every map.
+    share_warm_state:
+        When true (default) and the task exposes the warm-state protocol
+        (``drain_warm`` / ``absorb_warm``), each map ships the previous
+        round's freshly computed per-subgraph summaries to every chunk
+        and collects this round's back, so no subgraph is priced twice
+        across the whole pool. Purely an exchange of already-computed
+        values — results stay bit-identical with it on or off.
     """
+
+    #: Upper bound on warm entries carried between rounds (a runaway
+    #: guard; one entry is a few hundred bytes).
+    _WARM_OUTBOX_CAP = 50_000
 
     def __init__(
         self,
@@ -124,6 +151,7 @@ class ProcessPoolBackend:
         chunk_size: int | None = None,
         merge_stats: bool = True,
         mp_context: Any | None = None,
+        share_warm_state: bool = True,
     ) -> None:
         if workers is None:
             workers = os.cpu_count() or 1
@@ -134,9 +162,11 @@ class ProcessPoolBackend:
         self.workers = workers
         self.chunk_size = chunk_size
         self.merge_stats = merge_stats
+        self.share_warm_state = share_warm_state
         self._mp_context = mp_context
         self._pool: ProcessPoolExecutor | None = None
         self._pool_task: Callable[[Any], Any] | None = None
+        self._warm_outbox: list[Any] = []
 
     # ------------------------------------------------------------------
     def _chunks(self, items: list[Any]) -> list[list[Any]]:
@@ -152,7 +182,7 @@ class ProcessPoolBackend:
             self._pool = ProcessPoolExecutor(
                 max_workers=self.workers,
                 initializer=_init_worker,
-                initargs=(task,),
+                initargs=(task, self.share_warm_state),
                 mp_context=self._mp_context,
             )
             self._pool_task = task
@@ -164,17 +194,33 @@ class ProcessPoolBackend:
         if not items:
             return []
         pool = self._executor_for(task)
-        futures = [pool.submit(_run_chunk, chunk) for chunk in self._chunks(items)]
+        warm_capable = self.share_warm_state and hasattr(task, "absorb_warm")
+        shipment = self._warm_outbox if warm_capable else None
+        futures = [
+            pool.submit(_run_chunk, chunk, shipment)
+            for chunk in self._chunks(items)
+        ]
         results: list[Any] = []
-        merged: dict[str, int] = {}
+        merged: dict[str, float] = {}
+        fresh: dict[Any, Any] = {}
         for future in futures:
-            chunk_results, delta = future.result()
+            chunk_results, delta, chunk_warm = future.result()
             results.extend(chunk_results)
             if delta:
                 for key, value in delta.items():
                     merged[key] = merged.get(key, 0) + value
+            if warm_capable and chunk_warm:
+                fresh.update(chunk_warm)
         if self.merge_stats and merged and hasattr(task, "absorb_stats"):
             task.absorb_stats(merged)
+        if warm_capable:
+            # This round's fresh summaries become the next round's
+            # shipment (workers already hold everything shipped earlier),
+            # and the parent absorbs them so its own serial evaluations
+            # stay warm too.
+            entries = list(fresh.items())
+            task.absorb_warm(entries)
+            self._warm_outbox = entries[-self._WARM_OUTBOX_CAP:]
         return results
 
     def close(self) -> None:
@@ -182,6 +228,7 @@ class ProcessPoolBackend:
             self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
             self._pool_task = None
+            self._warm_outbox = []
 
     def __enter__(self) -> "ProcessPoolBackend":
         return self

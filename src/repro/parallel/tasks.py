@@ -5,12 +5,22 @@ A task wraps the objects a worker needs to price genomes — the
 :class:`~repro.cost.evaluator.Evaluator` with its LRU caches) — behind a
 plain ``__call__``. The task is pickled once per worker at pool startup,
 so each worker evolves its own caches across a whole search run instead
-of re-pickling state per genome.
+of re-pickling state per genome — and because the parent's evaluator
+state rides along in that pickle, workers start with whatever profile
+and summary caches the parent had already warmed (e.g. from in-situ
+repair of the first population).
 
-Tasks optionally expose ``stats()`` / ``absorb_stats()`` so the backend
-can merge the workers' evaluator cache counters back into the parent
-process: ``num_profile_calls`` / ``num_cost_calls`` then reflect the
-whole run's work no matter where it executed.
+Tasks optionally expose two duck-typed protocols the backend layer uses:
+
+* ``stats()`` / ``absorb_stats()`` — cache counters and stage timings,
+  merged back into the parent after every map so
+  ``num_profile_calls`` / ``num_cost_calls`` / ``timings`` reflect the
+  whole run's work no matter where it executed.
+* ``enable_warm()`` / ``drain_warm()`` / ``absorb_warm()`` — cache-warm
+  state: compact per-subgraph summary scalars freshly computed by one
+  process, shipped to the others so no subgraph is priced twice across
+  the pool. Evaluation is pure, so absorbed entries are bit-identical
+  to what the receiver would have computed itself.
 
 The classes here reference the problem and evaluator purely through duck
 typing, keeping :mod:`repro.parallel` importable from anywhere in the
@@ -19,25 +29,29 @@ package without cycles.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Iterable
 
 
 class _EvaluatorStatsMixin:
-    """Cache-statistics plumbing shared by evaluator-backed tasks."""
+    """Cache-statistics and warm-state plumbing for evaluator tasks."""
 
     problem: Any
 
-    def stats(self) -> dict[str, int]:
-        evaluator = self.problem.evaluator
-        return {
-            "profile_calls": evaluator.num_profile_calls,
-            "cost_calls": evaluator.num_cost_calls,
-        }
+    def stats(self) -> dict[str, float]:
+        return self.problem.evaluator.stats()
 
-    def absorb_stats(self, delta: dict[str, int]) -> None:
-        evaluator = self.problem.evaluator
-        evaluator.num_profile_calls += delta.get("profile_calls", 0)
-        evaluator.num_cost_calls += delta.get("cost_calls", 0)
+    def absorb_stats(self, delta: dict[str, float]) -> None:
+        self.problem.evaluator.absorb_stats(delta)
+
+    # Warm-state protocol (see repro.parallel.backend).
+    def enable_warm(self) -> None:
+        self.problem.evaluator.enable_summary_log()
+
+    def drain_warm(self) -> list[tuple]:
+        return self.problem.evaluator.drain_summary_log()
+
+    def absorb_warm(self, entries: Iterable[tuple]) -> None:
+        self.problem.evaluator.absorb_summaries(entries)
 
 
 class CostTask(_EvaluatorStatsMixin):
@@ -55,6 +69,8 @@ class ParetoCostTask(_EvaluatorStatsMixin):
 
     Returns only the metric axis; the capacity axis is a pure attribute
     of the genome's memory configuration and is derived in the parent.
+    Uses the evaluator's incremental summary path when the problem runs
+    incrementally (the default) — the metric value is bit-identical.
     """
 
     def __init__(self, problem: Any, metric: Any) -> None:
@@ -64,9 +80,15 @@ class ParetoCostTask(_EvaluatorStatsMixin):
     def __call__(self, genome: Any) -> float:
         from ..cost.objective import partition_objective
 
-        cost = self.problem.evaluator.evaluate(
-            genome.partition.subgraph_sets, genome.memory
-        )
+        evaluator = self.problem.evaluator
+        if getattr(self.problem, "incremental", False):
+            cost = evaluator.summarize(
+                genome.partition.subgraph_sets, genome.memory
+            )
+        else:
+            cost = evaluator.evaluate(
+                genome.partition.subgraph_sets, genome.memory
+            )
         if not cost.feasible:
             return float("inf")
         return partition_objective(cost, self.metric)

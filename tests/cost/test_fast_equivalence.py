@@ -1,0 +1,148 @@
+"""Fast-pipeline equivalence: bit-identical costs vs the naive reference.
+
+Property-style randomized checks that the optimized evaluation pipeline
+(single-pass profiling, hoisted pricing, incremental summaries) produces
+*bit-identical* results to the retained reference implementation in
+:mod:`repro.cost.reference`, across random graphs, random partitions,
+and a spread of memory configurations.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.config import MemoryConfig
+from repro.cost.ema import profile_subgraph, profile_subgraph_reference
+from repro.cost.evaluator import Evaluator, PartitionSummary
+from repro.cost.reference import (
+    ReferenceEvaluator,
+    evaluate_partition_reference,
+)
+from repro.experiments.common import paper_accelerator
+from repro.graphs.zoo import get_model
+from repro.partition.random_init import random_partition
+from repro.units import kb, mb
+
+from ..conftest import build_random_dag
+
+MEMORIES = (
+    MemoryConfig.separate(mb(1), kb(1152)),
+    MemoryConfig.separate(kb(64), kb(64)),
+    MemoryConfig.shared(kb(512)),
+    MemoryConfig.shared(kb(32)),
+)
+
+
+class TestProfileEquivalence:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_dag_profiles_bit_identical(self, seed):
+        graph = build_random_dag(seed, num_layers=12)
+        rng = random.Random(seed)
+        for members in random_partition(graph, rng).subgraph_sets:
+            assert profile_subgraph(graph, members) == profile_subgraph_reference(
+                graph, members
+            )
+
+    def test_min_activation_bytes_materialized(self):
+        graph = get_model("googlenet")
+        rng = random.Random(0)
+        members = random_partition(graph, rng).subgraph_sets[0]
+        profile = profile_subgraph(graph, members)
+        assert profile.min_activation_bytes == min(
+            o.activation_bytes for o in profile.tile_options
+        )
+        # The field is a plain attribute now, not a recomputing property.
+        assert not isinstance(
+            getattr(type(profile), "min_activation_bytes", None), property
+        )
+
+
+class TestPartitionCostEquivalence:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_partitions_bit_identical(self, seed):
+        graph = build_random_dag(seed + 20, num_layers=14)
+        accel = paper_accelerator()
+        evaluator = Evaluator(graph, accel)
+        rng = random.Random(seed)
+        for _ in range(2):
+            partition = random_partition(graph, rng)
+            memory = MEMORIES[rng.randrange(len(MEMORIES))]
+            fast = evaluator.evaluate(partition.subgraph_sets, memory)
+            reference = evaluate_partition_reference(
+                graph, accel, partition.subgraph_sets, memory
+            )
+            assert fast == reference
+
+    def test_zoo_model_bit_identical(self):
+        graph = get_model("mobilenet_v2")
+        accel = paper_accelerator()
+        evaluator = Evaluator(graph, accel)
+        partition = random_partition(graph, random.Random(1))
+        for memory in MEMORIES:
+            fast = evaluator.evaluate(partition.subgraph_sets, memory)
+            reference = evaluate_partition_reference(
+                graph, accel, partition.subgraph_sets, memory
+            )
+            assert fast == reference
+
+
+class TestSummaryEquivalence:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_summarize_matches_evaluate(self, seed):
+        graph = build_random_dag(seed + 40, num_layers=12)
+        evaluator = Evaluator(graph, paper_accelerator())
+        rng = random.Random(seed)
+        partition = random_partition(graph, rng)
+        for memory in MEMORIES:
+            summary = evaluator.summarize(partition.subgraph_sets, memory)
+            full = evaluator.evaluate(partition.subgraph_sets, memory)
+            assert isinstance(summary, PartitionSummary)
+            assert summary.feasible == full.feasible
+            assert summary.num_subgraphs == full.num_subgraphs
+            assert summary.ema_bytes == full.ema_bytes
+            assert summary.energy_pj == full.energy_pj
+            assert summary.latency_cycles == full.latency_cycles
+
+    def test_summarize_cold_equals_warm(self):
+        """Incremental (cached) summaries equal a from-scratch evaluation."""
+        graph = get_model("googlenet")
+        warm = Evaluator(graph, paper_accelerator())
+        partition = random_partition(graph, random.Random(5))
+        memory = MEMORIES[0]
+        first = warm.summarize(partition.subgraph_sets, memory)
+        again = warm.summarize(partition.subgraph_sets, memory)
+        cold = Evaluator(graph, paper_accelerator()).summarize(
+            partition.subgraph_sets, memory
+        )
+        assert first == again == cold
+
+
+class TestFeasibilityFastPath:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_feasible_matches_priced_feasibility(self, seed):
+        graph = build_random_dag(seed + 60, num_layers=12)
+        evaluator = Evaluator(graph, paper_accelerator())
+        rng = random.Random(seed)
+        partition = random_partition(graph, rng)
+        for memory in MEMORIES:
+            for members in partition.subgraph_sets:
+                assert evaluator.feasible(members, memory) == (
+                    evaluator.subgraph_cost(members, memory).feasible
+                )
+
+
+class TestReferenceEvaluatorParity:
+    def test_reference_evaluator_same_values(self):
+        graph = get_model("googlenet")
+        accel = paper_accelerator()
+        fast, reference = Evaluator(graph, accel), ReferenceEvaluator(graph, accel)
+        partition = random_partition(graph, random.Random(9))
+        for memory in MEMORIES[:2]:
+            assert fast.evaluate(partition.subgraph_sets, memory) == (
+                reference.evaluate(partition.subgraph_sets, memory)
+            )
+            assert fast.summarize(partition.subgraph_sets, memory) == (
+                reference.summarize(partition.subgraph_sets, memory)
+            )

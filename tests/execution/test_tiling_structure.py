@@ -1,0 +1,102 @@
+"""TilingStructure must reproduce derive_tiling bit-for-bit.
+
+The single-pass engine derives a subgraph's tiling structure once and
+re-prices tile candidates by exact rescaling (or a saturated/generic
+numeric walk); every path must agree with the naive reference walk on
+every node's delta/tile/upd_num and on the elementary-operation count.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import TilingError
+from repro.execution.footprint import activation_footprint
+from repro.execution.tiling import TilingStructure, derive_tiling
+from repro.graphs.zoo import get_model
+from repro.partition.random_init import random_partition
+
+from ..conftest import build_random_dag
+
+#: Covers the scaled region (small t), the generic region, and saturation.
+TILE_SIZES = (1, 2, 3, 5, 8, 16, 64, 128, 300)
+
+
+def _assert_identical(graph, members, tile_sizes=TILE_SIZES):
+    structure = TilingStructure(graph, members)
+    for t in tile_sizes:
+        ref = derive_tiling(graph, members, output_tile_rows=t)
+        fast = structure.tiling(t)
+        assert fast.nodes == ref.nodes
+        assert fast.num_elementary_ops == ref.num_elementary_ops
+        assert fast.output_tile_rows == ref.output_tile_rows
+
+
+class TestRandomizedEquivalence:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_dags_random_partitions(self, seed):
+        graph = build_random_dag(seed, num_layers=12)
+        rng = random.Random(seed)
+        for _ in range(3):
+            partition = random_partition(graph, rng)
+            for members in partition.subgraph_sets:
+                _assert_identical(graph, members)
+
+    @pytest.mark.parametrize(
+        "model", ["googlenet", "mobilenet_v2", "unet", "transformer"]
+    )
+    def test_zoo_models(self, model):
+        graph = get_model(model)
+        rng = random.Random(11)
+        partition = random_partition(graph, rng)
+        for members in partition.subgraph_sets:
+            _assert_identical(graph, members, tile_sizes=(1, 2, 8, 64))
+
+
+class TestOptionFastPath:
+    def test_option_equals_materialized_footprint(self):
+        graph = get_model("googlenet")
+        arrays = graph.arrays(1)
+        rng = random.Random(3)
+        partition = random_partition(graph, rng)
+        for members in partition.subgraph_sets:
+            structure = TilingStructure(graph, members)
+            rows = [
+                int(arrays.row_bytes[arrays.index[n]]) for n in structure.names
+            ]
+            for t in (1, 4, 32, 200):
+                act, ops = structure.option(t, rows)
+                tiling = derive_tiling(graph, members, output_tile_rows=t)
+                assert act == activation_footprint(graph, tiling, 1)
+                assert ops == tiling.num_elementary_ops
+
+    def test_saturation_makes_solution_constant(self):
+        graph = build_random_dag(2, num_layers=10)
+        rng = random.Random(5)
+        members = random_partition(graph, rng).subgraph_sets[0]
+        structure = TilingStructure(graph, members)
+        sat = structure.saturation
+        base = structure.tiling(sat)
+        for t in (sat + 1, sat * 2, sat * 10):
+            beyond = structure.tiling(t)
+            assert beyond.nodes == base.nodes
+            assert beyond.num_elementary_ops == base.num_elementary_ops
+
+
+class TestValidation:
+    def test_empty_subgraph_rejected(self, chain_graph):
+        with pytest.raises(TilingError):
+            TilingStructure(chain_graph, frozenset())
+
+    def test_input_member_rejected(self, chain_graph):
+        with pytest.raises(TilingError):
+            TilingStructure(chain_graph, frozenset(["in", "conv1"]))
+
+    def test_nonpositive_tile_rejected(self, chain_graph):
+        structure = TilingStructure(chain_graph, frozenset(["conv1"]))
+        with pytest.raises(TilingError):
+            structure.tiling(0)
+        with pytest.raises(TilingError):
+            structure.solve(-3)
