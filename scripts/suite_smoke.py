@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""Suite smoke: kill a campaign mid-flight, resume it, compare reports.
+
+The CI acceptance check for the ``repro suite`` orchestration layer:
+
+1. run a small matrix to completion in a *clean* registry;
+2. start the same matrix in a second registry, SIGKILL the whole process
+   as soon as the first cell's durable result lands (or after a grace
+   period, whichever comes first);
+3. re-run the same command — the campaign must resume, re-running only
+   incomplete cells;
+4. assert the resumed registry's merged report is bit-identical to the
+   clean run's.
+
+Exit code 0 on success; non-zero with a diagnostic otherwise. The
+killed-and-resumed registry directory is left in place so CI can upload
+it as an artifact.
+
+Usage::
+
+    PYTHONPATH=src python scripts/suite_smoke.py --workdir suite-smoke \
+        --workers 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+MATRIX_ARGS = [
+    "--networks", "vgg16,googlenet",
+    "--schemes", "cocco,sa",
+    "--scale", "tiny",
+    "--seed", "0",
+]
+
+
+def suite_command(registry: Path, workers: int) -> list[str]:
+    return [
+        sys.executable, "-m", "repro.cli.main", "suite",
+        *MATRIX_ARGS,
+        "--registry", str(registry),
+        "--workers", str(workers),
+    ]
+
+
+def read_rows(registry: Path) -> list:
+    report = registry / "report.json"
+    if not report.exists():
+        raise SystemExit(f"FAIL: no merged report at {report}")
+    return json.loads(report.read_text())["rows"]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workdir", default="suite-smoke",
+                        help="directory holding both registries")
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--kill-grace", type=float, default=60.0,
+                        help="max seconds to wait for the first durable "
+                             "result before killing anyway")
+    args = parser.parse_args()
+
+    workdir = Path(args.workdir)
+    if workdir.exists():
+        shutil.rmtree(workdir)
+    clean = workdir / "clean-registry"
+    killed = workdir / "killed-registry"
+    env = dict(os.environ)
+
+    # 1. clean, uninterrupted campaign
+    started = time.time()
+    subprocess.run(
+        suite_command(clean, args.workers), env=env, check=True,
+        stdout=subprocess.DEVNULL,
+    )
+    print(f"clean campaign finished in {time.time() - started:.1f}s")
+
+    # 2. start the same campaign elsewhere and SIGKILL it mid-flight.
+    # The victim gets its own session so the kill takes down the pool
+    # workers too — otherwise the orphaned workers would finish their
+    # cells and the "kill" would leave nothing incomplete.
+    victim = subprocess.Popen(
+        suite_command(killed, args.workers), env=env,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        start_new_session=True,
+    )
+    deadline = time.time() + args.kill_grace
+    while time.time() < deadline and victim.poll() is None:
+        if list(killed.glob("*/result.json")):
+            break
+        time.sleep(0.02)
+    if victim.poll() is None:
+        os.killpg(os.getpgid(victim.pid), signal.SIGKILL)
+        victim.wait()
+        print(
+            f"killed campaign with "
+            f"{len(list(killed.glob('*/result.json')))} of 4 cells durable"
+        )
+    else:
+        # machine too fast: the campaign completed before the kill —
+        # the resume below then exercises the all-complete path
+        print("campaign finished before the kill landed (fast machine)")
+
+    complete_after_kill = {p.parent.name for p in killed.glob("*/result.json")}
+
+    # 3. resume
+    result = subprocess.run(
+        suite_command(killed, args.workers), env=env, check=True,
+        capture_output=True, text=True,
+    )
+    print(result.stdout.splitlines()[-2])
+
+    # completed cells were not re-run: their result files are untouched
+    for line in result.stdout.splitlines():
+        if "already complete" in line:
+            already = int(line.split("cells:")[1].split("already")[0])
+            if already < len(complete_after_kill):
+                print(
+                    f"FAIL: {len(complete_after_kill)} cells were durable "
+                    f"but only {already} were skipped on resume"
+                )
+                return 1
+
+    # 4. merged reports must be bit-identical
+    clean_rows = read_rows(clean)
+    killed_rows = read_rows(killed)
+    if clean_rows != killed_rows:
+        print("FAIL: resumed campaign's merged report differs from clean run")
+        for a, b in zip(clean_rows, killed_rows):
+            marker = "  " if a == b else "!="
+            print(f"{marker} clean={a}\n{marker} resumed={b}")
+        return 1
+    print(f"OK: resumed report bit-identical to clean run "
+          f"({len(clean_rows)} rows)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -80,6 +80,7 @@ from .parallel import (
 from .mapper import GraphMapping, calibrated_accelerator, map_graph, map_layer
 from .memory import SubgraphTrace, trace_subgraph, validate_trace
 from .multicore import MultiCoreEvaluator
+from .runs import RunRegistry, derive_seed
 
 __version__ = "1.0.0"
 
@@ -142,5 +143,7 @@ __all__ = [
     "trace_subgraph",
     "validate_trace",
     "MultiCoreEvaluator",
+    "RunRegistry",
+    "derive_seed",
     "__version__",
 ]

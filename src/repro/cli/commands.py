@@ -262,6 +262,7 @@ def cmd_trace(args: argparse.Namespace) -> str:
         graph,
         members,
         output_tile_rows=args.tile,
+        bytes_per_element=getattr(args, "bpe", 1),
         max_ops=args.ops,
     )
     return render_trace(trace, graph, max_snapshots=args.snapshots)
@@ -401,3 +402,56 @@ def cmd_experiment(args: argparse.Namespace) -> str:
         path = write_result(result, args.export)
         text += f"\nexported to {path}"
     return text
+
+
+def _parse_list(text: str) -> tuple[str, ...]:
+    return tuple(part.strip() for part in text.split(",") if part.strip())
+
+
+def cmd_suite(args: argparse.Namespace) -> tuple[str, int]:
+    """``repro suite`` — run (or resume) a sharded experiment campaign.
+
+    Expands the workload matrix into cells, shards them across worker
+    processes, skips cells the registry already holds complete, and
+    merges every durable result into one report. Safe to kill and
+    re-run: the resumed campaign's merged report is bit-identical to an
+    uninterrupted one at the same campaign seed. Exits non-zero when any
+    cell failed or remains incomplete, so CI can gate on the campaign.
+    """
+    from pathlib import Path as _Path
+
+    from ..runs.registry import RunRegistry
+    from ..runs.suite import SuiteMatrix, merged_report, run_suite
+
+    matrix = SuiteMatrix(
+        networks=_parse_list(args.networks),
+        modes=_parse_list(args.modes),
+        metrics=_parse_list(args.metrics),
+        bytes_per_element=tuple(
+            int(v) for v in _parse_list(args.bytes_per_element)
+        ),
+        schemes=_parse_list(args.schemes),
+        alphas=tuple(float(v) for v in _parse_list(args.alphas)),
+        scale=args.scale,
+        seed=args.seed,
+    )
+    if args.report_only:
+        report = merged_report(matrix, RunRegistry(args.registry))
+        lines = [report.to_text()]
+        if args.export:
+            lines.append(f"exported to {write_result(report, args.export)}")
+        return "\n".join(lines), 0
+    outcome = run_suite(
+        matrix, args.registry, workers=args.workers, max_rounds=args.max_rounds
+    )
+    report_path = write_result(
+        outcome.report, _Path(args.registry) / "report.json"
+    )
+    lines = [outcome.report.to_text(), "", outcome.summary(),
+             f"merged report: {report_path}"]
+    for cell_id, error in outcome.errors.items():
+        lines.append(f"  failed {cell_id}: {error}")
+    if args.export:
+        path = write_result(outcome.report, args.export)
+        lines.append(f"exported to {path}")
+    return "\n".join(lines), 1 if outcome.failed else 0

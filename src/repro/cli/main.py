@@ -60,6 +60,9 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--layers", required=True,
                        help="comma list, 'a..b' spans, or 'all'")
     trace.add_argument("--tile", type=int, default=1)
+    trace.add_argument("--bpe", type=int, default=1,
+                       help="bytes per element (must match the pricing "
+                            "config; the trace records it)")
     trace.add_argument("--ops", type=int, default=None,
                        help="truncate after N elementary operations")
     trace.add_argument("--snapshots", type=int, default=4,
@@ -110,6 +113,38 @@ def build_parser() -> argparse.ArgumentParser:
                                  "search loops (1 = serial)")
     experiment.add_argument("--export", help="write the result to CSV/JSON")
 
+    suite = sub.add_parser(
+        "suite",
+        help="run a durable, sharded, resumable experiment campaign",
+    )
+    suite.add_argument("--networks", required=True,
+                       help="comma list of zoo models (matrix dimension)")
+    suite.add_argument("--modes", default="separate",
+                       help="comma list of buffer modes: separate,shared")
+    suite.add_argument("--metrics", default="energy",
+                       help="comma list of metrics: ema,energy")
+    suite.add_argument("--schemes", default="cocco",
+                       help="comma list of schemes: cocco,rs,gs,sa,nsga")
+    suite.add_argument("--bytes-per-element", default="1",
+                       help="comma list of element widths in bytes")
+    suite.add_argument("--alphas", default="0.002",
+                       help="comma list of Formula 2 alphas")
+    suite.add_argument("--scale", choices=sorted(SCALES), default="quick")
+    suite.add_argument("--seed", type=int, default=0,
+                       help="campaign seed; every cell's seed derives "
+                            "from it plus the cell's stable key")
+    suite.add_argument("--workers", type=int, default=1,
+                       help="worker processes cells are sharded across")
+    suite.add_argument("--registry", default="runs-registry",
+                       help="run-registry directory (created if missing)")
+    suite.add_argument("--max-rounds", type=int, default=3,
+                       help="retry rounds after worker-process deaths")
+    suite.add_argument("--report-only", action="store_true",
+                       help="merge and print the registry's current "
+                            "results without running anything")
+    suite.add_argument("--export", help="also write the merged report "
+                                        "to this CSV/JSON path")
+
     return parser
 
 
@@ -123,19 +158,31 @@ _HANDLERS = {
     "dse": commands.cmd_dse,
     "pareto": commands.cmd_pareto,
     "experiment": commands.cmd_experiment,
+    "suite": commands.cmd_suite,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Handlers return the text to print, or ``(text, exit_code)`` when the
+    printed output and the process status are independent (``suite``
+    prints its merged report even for a failed campaign but must exit
+    non-zero so automation can gate on it).
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     handler = _HANDLERS[args.command]
     try:
-        print(handler(args))
+        result = handler(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    if isinstance(result, tuple):
+        text, code = result
+        print(text)
+        return code
+    print(result)
     return 0
 
 

@@ -347,6 +347,43 @@ class Evaluator:
         )
 
     # ------------------------------------------------------------------
+    def trace(
+        self,
+        members: Iterable[str],
+        memory: MemoryConfig | None = None,
+        tile_width: int | None = None,
+        max_ops: int | None = None,
+    ):
+        """Execute one subgraph with this evaluator's own pricing choices.
+
+        Replays the memory behaviour using the tile size and
+        weight-caching selection :meth:`subgraph_cost` chose, at the
+        accelerator's ``bytes_per_element`` — one source of truth for
+        the element width, so the trace and the analytic cost can never
+        silently disagree on units. Returns a
+        :class:`~repro.memory.trace.SubgraphTrace`.
+        """
+        from ..errors import CapacityError
+        from ..memory.trace import trace_subgraph
+
+        members = frozenset(members)  # may be a one-shot iterable
+        memory = memory or self.accel.memory
+        cost = self.subgraph_cost(members, memory)
+        if not cost.feasible:
+            raise CapacityError(
+                "cannot trace an infeasible subgraph (no tile option fits)"
+            )
+        return trace_subgraph(
+            self.graph,
+            members,
+            output_tile_rows=cost.tile_rows,
+            cached_weight_nodes=cost.cached_weight_nodes,
+            bytes_per_element=self.accel.bytes_per_element,
+            tile_width=tile_width,
+            max_ops=max_ops,
+        )
+
+    # ------------------------------------------------------------------
     def evaluate(
         self,
         subgraph_sets: Sequence[frozenset[str]],

@@ -16,7 +16,7 @@ from typing import Sequence
 from ..config import MemoryConfig
 from ..cost.evaluator import Evaluator
 from ..cost.objective import Metric, co_opt_objective
-from ..ga.engine import GAConfig, GeneticEngine
+from ..ga.engine import GAConfig, GenerationHook, GeneticEngine
 from ..ga.genome import Genome
 from ..ga.problem import OptimizationProblem
 from ..parallel.backend import EvaluationBackend
@@ -33,6 +33,7 @@ def cocco_partition_only(
     method_name: str = "Cocco",
     seed_partitions: Sequence[Partition] = (),
     backend: EvaluationBackend | None = None,
+    on_generation: GenerationHook | None = None,
 ) -> DSEResult:
     """Partition-only Cocco (Formula 1) at a fixed memory configuration.
 
@@ -42,13 +43,16 @@ def cocco_partition_only(
 
     ``backend`` overrides the engine's own evaluation fan-out (which
     otherwise follows ``ga_config.workers``); the caller keeps ownership
-    of an explicitly passed backend.
+    of an explicitly passed backend. ``on_generation`` streams the
+    engine's per-generation checkpoints (see :meth:`GeneticEngine.run`).
     """
     problem = OptimizationProblem(
         evaluator=evaluator, metric=metric, alpha=None, fixed_memory=memory
     )
     seeds = [Genome(partition=p, memory=memory) for p in seed_partitions]
-    result = GeneticEngine(problem, ga_config, backend=backend).run(seeds=seeds)
+    result = GeneticEngine(problem, ga_config, backend=backend).run(
+        seeds=seeds, on_generation=on_generation
+    )
     _, partition_cost = problem.evaluate(result.best_genome)
     return DSEResult(
         method=method_name,
@@ -70,17 +74,22 @@ def cocco_co_optimize(
     refine: bool = True,
     refine_config: GAConfig | None = None,
     backend: EvaluationBackend | None = None,
+    on_generation: GenerationHook | None = None,
 ) -> DSEResult:
     """Joint partition + capacity search under Formula 2.
 
     Both the co-exploration run and the partition-only refinement share
     ``backend`` when one is passed (otherwise each engine builds its own
-    from ``ga_config.workers``).
+    from ``ga_config.workers``). ``on_generation`` streams the
+    co-exploration engine's per-generation checkpoints (the refinement
+    stage, being a separate engine run, is not streamed).
     """
     problem = OptimizationProblem(
         evaluator=evaluator, metric=metric, alpha=alpha, space=space
     )
-    result = GeneticEngine(problem, ga_config, backend=backend).run()
+    result = GeneticEngine(problem, ga_config, backend=backend).run(
+        on_generation=on_generation
+    )
     best_genome = result.best_genome
     total_evals = result.num_evaluations
     history = list(result.history)

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Callable, Sequence
 
 from ..cost.objective import Metric
 from ..cost.evaluator import Evaluator
@@ -84,6 +84,31 @@ class NSGAConfig:
             raise SearchError("workers must be non-negative")
         if self.eval_chunk_size is not None and self.eval_chunk_size < 1:
             raise SearchError("eval_chunk_size must be positive")
+
+
+@dataclass
+class NSGACheckpoint:
+    """Complete NSGA-II state after one generation.
+
+    Carries the current population (``points``), the deduplicated
+    evaluation archive (needed so resumed runs count cache hits exactly
+    like uninterrupted ones), the RNG state, the hypervolume reference
+    corner, and the telemetry. ``generation`` is 0 right after the
+    initial population is evaluated. Serialized to JSON by
+    :mod:`repro.runs.checkpoint`.
+    """
+
+    generation: int
+    rng_state: tuple
+    evaluations: int
+    reference: tuple[float, float]
+    history: list[tuple[int, float]]
+    points: list["MultiObjectivePoint"]
+    archive: list["MultiObjectivePoint"]
+
+
+#: Called after every evaluated generation with the search's checkpoint.
+NSGAGenerationHook = Callable[[NSGACheckpoint], None]
 
 
 @dataclass
@@ -235,6 +260,17 @@ class _Archive:
             store=store,
         )
 
+    def export(self) -> list[MultiObjectivePoint]:
+        """Every archived point, in insertion (evaluation) order."""
+        return list(self._cache.values())
+
+    def restore(
+        self, points: Sequence[MultiObjectivePoint], evaluations: int
+    ) -> None:
+        """Reinstall a checkpointed archive (keys rebuilt from genomes)."""
+        self._cache = {point.genome.key(): point for point in points}
+        self.evaluations = evaluations
+
 
 def _crowded_pick(
     rng: random.Random,
@@ -255,6 +291,8 @@ def nsga2_co_optimize(
     metric: Metric = Metric.ENERGY,
     config: NSGAConfig | None = None,
     backend: EvaluationBackend | None = None,
+    on_generation: NSGAGenerationHook | None = None,
+    resume_from: NSGACheckpoint | None = None,
 ) -> NSGAResult:
     """Run NSGA-II over (buffer capacity, metric cost).
 
@@ -267,13 +305,20 @@ def nsga2_co_optimize(
     through ``backend`` (built from ``config.workers`` when not given);
     selection never interleaves with evaluation, so the frontier is
     bit-identical to serial execution for a fixed seed.
+
+    ``on_generation`` receives an :class:`NSGACheckpoint` after the
+    initial evaluation (generation 0) and after every generation;
+    ``resume_from`` continues a checkpointed run bit-identically to one
+    that was never interrupted (same ``config`` required).
     """
     config = config or NSGAConfig()
     owns_backend = backend is None
     if backend is None:
         backend = resolve_backend(config.workers, config.eval_chunk_size)
     try:
-        return _nsga2(evaluator, space, metric, config, backend)
+        return _nsga2(
+            evaluator, space, metric, config, backend, on_generation, resume_from
+        )
     finally:
         if owns_backend:
             backend.close()
@@ -285,6 +330,8 @@ def _nsga2(
     metric: Metric,
     config: NSGAConfig,
     backend: EvaluationBackend,
+    on_generation: NSGAGenerationHook | None = None,
+    resume_from: NSGACheckpoint | None = None,
 ) -> NSGAResult:
     rng = random.Random(config.seed)
     # alpha is irrelevant here (selection is Pareto-based), but the shared
@@ -298,19 +345,46 @@ def _nsga2(
     )
     archive = _Archive(problem, metric)
 
-    genomes = initialize_population(problem, config.population_size, rng)
-    points = archive.evaluate_batch(genomes, backend)
-    feasible = [p for p in points if p.metric_cost != float("inf")]
-    if feasible:
-        reference = (
-            max(p.objectives[0] for p in feasible) * 1.1,
-            max(p.objectives[1] for p in feasible) * 1.1,
+    def snapshot(generation: int) -> NSGACheckpoint:
+        return NSGACheckpoint(
+            generation=generation,
+            rng_state=rng.getstate(),
+            evaluations=archive.evaluations,
+            reference=reference,
+            history=list(history),
+            points=list(points),
+            archive=archive.export(),
         )
-    else:
-        reference = (float("inf"), float("inf"))
-    history: list[tuple[int, float]] = []
 
-    for generation in range(1, config.generations + 1):
+    if resume_from is not None:
+        if resume_from.generation > config.generations:
+            raise SearchError(
+                f"checkpoint is at generation {resume_from.generation}, "
+                f"config only runs {config.generations}"
+            )
+        rng.setstate(resume_from.rng_state)
+        archive.restore(resume_from.archive, resume_from.evaluations)
+        points = list(resume_from.points)
+        reference = resume_from.reference
+        history = list(resume_from.history)
+        start_generation = resume_from.generation + 1
+    else:
+        genomes = initialize_population(problem, config.population_size, rng)
+        points = archive.evaluate_batch(genomes, backend)
+        feasible = [p for p in points if p.metric_cost != float("inf")]
+        if feasible:
+            reference = (
+                max(p.objectives[0] for p in feasible) * 1.1,
+                max(p.objectives[1] for p in feasible) * 1.1,
+            )
+        else:
+            reference = (float("inf"), float("inf"))
+        history = []
+        start_generation = 1
+        if on_generation is not None:
+            on_generation(snapshot(0))
+
+    for generation in range(start_generation, config.generations + 1):
         fronts = fast_non_dominated_sort(points)
         rank: dict[int, int] = {}
         crowd: dict[int, float] = {}
@@ -355,6 +429,8 @@ def _nsga2(
         if reference[0] != float("inf"):
             first = [combined[i] for i in fronts[0]]
             history.append((generation, hypervolume(first, reference)))
+        if on_generation is not None:
+            on_generation(snapshot(generation))
 
     final_front_indices = fast_non_dominated_sort(points)[0]
     seen: set[tuple[float, float]] = set()

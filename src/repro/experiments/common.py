@@ -14,7 +14,23 @@ from dataclasses import dataclass, replace
 from ..config import AcceleratorConfig, MemoryConfig
 from ..ga.annealing import SAConfig
 from ..ga.engine import GAConfig
+from ..runs.seeds import derive_seed
 from ..units import kb
+
+__all__ = [
+    "CORE_MODELS",
+    "FIG11_MODELS",
+    "ENUMERABLE_MODELS",
+    "Scale",
+    "TINY_SCALE",
+    "QUICK_SCALE",
+    "DEFAULT_SCALE",
+    "FULL_SCALE",
+    "SCALES",
+    "derive_seed",
+    "paper_memory",
+    "paper_accelerator",
+]
 
 
 #: The four models of Fig 3 / Tables 1-3 / Figs 13-14.
@@ -94,6 +110,20 @@ class Scale:
         return replace(config, **overrides) if overrides else config
 
 
+#: Smallest meaningful budget: CI smoke jobs and the suite tests use it
+#: to exercise whole campaigns in seconds. Not a results-quality profile.
+TINY_SCALE = Scale(
+    name="tiny",
+    ga_population=8,
+    ga_generations=3,
+    sa_steps=60,
+    rs_candidates=2,
+    gs_stride=16,
+    gs_max_candidates=2,
+    enum_max_states=5_000,
+    enum_max_subgraph=8,
+)
+
 QUICK_SCALE = Scale(
     name="quick",
     ga_population=20,
@@ -130,7 +160,7 @@ FULL_SCALE = Scale(
     enum_max_subgraph=64,
 )
 
-SCALES = {s.name: s for s in (QUICK_SCALE, DEFAULT_SCALE, FULL_SCALE)}
+SCALES = {s.name: s for s in (TINY_SCALE, QUICK_SCALE, DEFAULT_SCALE, FULL_SCALE)}
 
 
 def paper_memory() -> MemoryConfig:

@@ -13,7 +13,7 @@ from ..dse.cocco import cocco_co_optimize
 from ..graphs.zoo import get_model
 from ..search_space import CapacitySpace
 from ..units import to_mb
-from .common import CORE_MODELS, DEFAULT_SCALE, Scale, paper_accelerator
+from .common import CORE_MODELS, DEFAULT_SCALE, Scale, derive_seed, paper_accelerator
 from .reporting import ExperimentResult
 
 ALPHAS = (5e-4, 1e-3, 2e-3, 5e-3, 1e-2)
@@ -41,13 +41,17 @@ def run(
         graph = get_model(model_name)
         evaluator = Evaluator(graph, paper_accelerator())
         base_energy = None
-        for index, alpha in enumerate(alphas):
+        for alpha in alphas:
+            # The cell seed depends only on (campaign seed, model, alpha):
+            # adding or reordering alphas cannot shift any other cell's
+            # random stream.
+            cell_seed = derive_seed(seed, "fig14", model_name, alpha)
             outcome = cocco_co_optimize(
                 evaluator,
                 space,
                 metric=Metric.ENERGY,
                 alpha=alpha,
-                ga_config=scale.co_opt_ga_config(seed=seed + index),
+                ga_config=scale.co_opt_ga_config(seed=cell_seed),
                 refine=False,
             )
             energy_mj = outcome.partition_cost.energy_pj / 1e9

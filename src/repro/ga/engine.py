@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Callable, Sequence
 
 from ..errors import SearchError
 from ..parallel.backend import EvaluationBackend, resolve_backend
@@ -80,6 +80,36 @@ class GAResult:
     num_evaluations: int
     history: list[tuple[int, float]] = field(default_factory=list)
     samples: list[SampleRecord] = field(default_factory=list)
+
+
+@dataclass
+class EngineCheckpoint:
+    """Complete search state after one generation.
+
+    Everything :meth:`GeneticEngine.resume` needs to continue a run
+    bit-identically to one that was never interrupted: the population
+    and its costs, the RNG state (so the breeding stream picks up
+    mid-sequence), and every piece of telemetry (evaluation counter,
+    best-so-far, history, sample records). ``generation`` is 0 for the
+    snapshot taken right after initial-population scoring.
+
+    Checkpoints are in-memory objects; :mod:`repro.runs.checkpoint`
+    serializes them to JSON for the run registry.
+    """
+
+    generation: int
+    rng_state: tuple
+    evaluations: int
+    best_genome: Genome | None
+    best_cost: float
+    history: list[tuple[int, float]]
+    samples: list[SampleRecord]
+    population: list[Genome]
+    costs: list[float]
+
+
+#: Called after every scored generation with the engine's checkpoint.
+GenerationHook = Callable[[EngineCheckpoint], None]
 
 
 class GeneticEngine:
@@ -171,29 +201,116 @@ class GeneticEngine:
             child = mutate_dse(child, rng, self.problem.space)
         return self.problem.repair(child)
 
+    def _snapshot(
+        self, population: list[Genome], costs: list[float]
+    ) -> EngineCheckpoint:
+        """Capture the full search state (defensive copies throughout)."""
+        return EngineCheckpoint(
+            generation=self._generation,
+            rng_state=self._rng.getstate(),
+            evaluations=self._evaluations,
+            best_genome=self._best,
+            best_cost=self._best_cost,
+            history=list(self._history),
+            samples=list(self._samples),
+            population=list(population),
+            costs=list(costs),
+        )
+
     # ------------------------------------------------------------------
-    def run(self, seeds: Sequence[Genome] = ()) -> GAResult:
-        """Execute the configured number of generations and return the best."""
+    def run(
+        self,
+        seeds: Sequence[Genome] = (),
+        on_generation: GenerationHook | None = None,
+    ) -> GAResult:
+        """Execute the configured number of generations and return the best.
+
+        ``on_generation`` (when given) receives an
+        :class:`EngineCheckpoint` after the initial population is scored
+        (generation 0) and after every subsequent generation, enabling
+        streamed telemetry and durable generation-level checkpoints.
+        """
         cfg = self.config
         backend = self._external_backend
         owns_backend = backend is None
         if backend is None:
             backend = resolve_backend(cfg.workers, cfg.eval_chunk_size)
         try:
-            return self._run(backend, seeds)
+            return self._run(backend, seeds, on_generation)
         finally:
             if owns_backend:
                 backend.close()
 
-    def _run(self, backend: EvaluationBackend, seeds: Sequence[Genome]) -> GAResult:
+    def resume(
+        self,
+        checkpoint: EngineCheckpoint,
+        on_generation: GenerationHook | None = None,
+    ) -> GAResult:
+        """Continue a checkpointed run, bit-identically to one never paused.
+
+        The engine must be freshly constructed on an equivalent problem
+        and the *same* :class:`GAConfig` the checkpointed run used
+        (evaluation is pure, so the evaluator's caches may be cold — the
+        recomputed costs are identical). The RNG stream, the evaluation
+        counter, and all telemetry pick up exactly where the checkpoint
+        left them.
+        """
+        if checkpoint.generation > self.config.generations:
+            raise SearchError(
+                f"checkpoint is at generation {checkpoint.generation}, config "
+                f"only runs {self.config.generations}"
+            )
+        self._rng.setstate(checkpoint.rng_state)
+        self._evaluations = checkpoint.evaluations
+        self._best = checkpoint.best_genome
+        self._best_cost = checkpoint.best_cost
+        self._history = list(checkpoint.history)
+        self._samples = list(checkpoint.samples)
+        self._generation = checkpoint.generation
+        backend = self._external_backend
+        owns_backend = backend is None
+        if backend is None:
+            backend = resolve_backend(
+                self.config.workers, self.config.eval_chunk_size
+            )
+        try:
+            return self._loop(
+                backend,
+                list(checkpoint.population),
+                list(checkpoint.costs),
+                checkpoint.generation + 1,
+                on_generation,
+            )
+        finally:
+            if owns_backend:
+                backend.close()
+
+    def _run(
+        self,
+        backend: EvaluationBackend,
+        seeds: Sequence[Genome],
+        on_generation: GenerationHook | None = None,
+    ) -> GAResult:
         cfg = self.config
         population = initialize_population(
             self.problem, cfg.population_size, self._rng, seeds
         )
         population = self._fit_to_budget(population)
         costs = self._score_batch(population, backend)
+        if on_generation is not None:
+            on_generation(self._snapshot(population, costs))
+        return self._loop(backend, population, costs, 1, on_generation)
 
-        for generation in range(1, cfg.generations + 1):
+    def _loop(
+        self,
+        backend: EvaluationBackend,
+        population: list[Genome],
+        costs: list[float],
+        start_generation: int,
+        on_generation: GenerationHook | None = None,
+    ) -> GAResult:
+        cfg = self.config
+        for generation in range(start_generation, cfg.generations + 1):
             self._generation = generation
             if not self._budget_left():
                 break
@@ -225,6 +342,8 @@ class GeneticEngine:
             )
             population = survivors + selected
             costs = survivor_costs + [self.problem.cost(g) for g in selected]
+            if on_generation is not None:
+                on_generation(self._snapshot(population, costs))
 
         assert self._best is not None
         return GAResult(

@@ -44,8 +44,10 @@ def allocate_subgraph(
 
     ``cached_weight_nodes`` lists the members whose weights stay resident
     across elementary operations (the weight-caching decision made by the
-    cost model). Buffers are reset first; on failure a
-    :class:`CapacityError` carries the offending request.
+    cost model). Buffers are reset first; on failure the plan is reset
+    *again* before the :class:`CapacityError` propagates, so a caller
+    that probes fit and then reuses the plan never sees the partial
+    allocation of the failed attempt.
     """
     plan.reset()
     footprints = node_footprints(graph, tiling, bytes_per_element, tile_width)
@@ -75,6 +77,7 @@ def allocate_subgraph(
                 f"{name}/weights", weight_bytes, RegionKind.MAIN
             )
     except AllocationError as exc:
+        plan.reset()
         raise CapacityError(f"subgraph does not fit on chip: {exc}") from exc
     return SubgraphAllocation(
         activation_regions=activation_regions,

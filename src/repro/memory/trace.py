@@ -80,7 +80,13 @@ class MemorySnapshot:
 
 @dataclass(frozen=True)
 class SubgraphTrace:
-    """The full execution record of one subgraph."""
+    """The full execution record of one subgraph.
+
+    ``bytes_per_element`` records the element width every event was
+    priced at, so downstream consumers (:func:`validate_trace`, the
+    renderers) measure against the same unit instead of silently
+    assuming one byte.
+    """
 
     members: frozenset[str]
     tile_rows: int
@@ -88,6 +94,7 @@ class SubgraphTrace:
     events: tuple[TraceEvent, ...]
     snapshots: tuple[MemorySnapshot, ...]
     cached_weight_nodes: tuple[str, ...]
+    bytes_per_element: int = 1
 
     def bytes_of(self, kind: EventKind) -> int:
         """Total bytes moved by events of one kind."""
@@ -236,6 +243,7 @@ def trace_subgraph(
         events=tuple(events),
         snapshots=tuple(snapshots),
         cached_weight_nodes=tuple(sorted(cached)),
+        bytes_per_element=bytes_per_element,
     )
 
 
@@ -268,14 +276,18 @@ def validate_trace(
         elif event.kind is EventKind.STORE_OUTPUT:
             stores[event.node] = stores.get(event.node, 0) + event.num_bytes
 
+    # Tensor sizes must be measured at the trace's own element width; an
+    # independent 1-byte default here flagged every bytes_per_element>1
+    # trace (or worse, blessed a trace priced at the wrong width).
+    byte = trace.bytes_per_element
     for name, total in loads.items():
-        expected = graph.layer(name).output_bytes()
+        expected = graph.layer(name).output_bytes(byte)
         if total != expected:
             problems.append(
                 f"input {name!r} loaded {total} bytes, tensor is {expected}"
             )
     for name, total in stores.items():
-        expected = graph.layer(name).output_bytes()
+        expected = graph.layer(name).output_bytes(byte)
         if total != expected:
             problems.append(
                 f"output {name!r} stored {total} bytes, tensor is {expected}"

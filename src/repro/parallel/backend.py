@@ -32,6 +32,7 @@ from __future__ import annotations
 import math
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Protocol, Sequence, runtime_checkable
 
 from ..errors import ConfigError
@@ -196,21 +197,31 @@ class ProcessPoolBackend:
         pool = self._executor_for(task)
         warm_capable = self.share_warm_state and hasattr(task, "absorb_warm")
         shipment = self._warm_outbox if warm_capable else None
-        futures = [
-            pool.submit(_run_chunk, chunk, shipment)
-            for chunk in self._chunks(items)
-        ]
         results: list[Any] = []
         merged: dict[str, float] = {}
         fresh: dict[Any, Any] = {}
-        for future in futures:
-            chunk_results, delta, chunk_warm = future.result()
-            results.extend(chunk_results)
-            if delta:
-                for key, value in delta.items():
-                    merged[key] = merged.get(key, 0) + value
-            if warm_capable and chunk_warm:
-                fresh.update(chunk_warm)
+        try:
+            # submit() raises BrokenProcessPool too (a worker can die
+            # during pool spin-up), so it lives inside the teardown guard.
+            futures = [
+                pool.submit(_run_chunk, chunk, shipment)
+                for chunk in self._chunks(items)
+            ]
+            for future in futures:
+                chunk_results, delta, chunk_warm = future.result()
+                results.extend(chunk_results)
+                if delta:
+                    for key, value in delta.items():
+                        merged[key] = merged.get(key, 0) + value
+                if warm_capable and chunk_warm:
+                    fresh.update(chunk_warm)
+        except BrokenProcessPool:
+            # A worker died (OOM kill, segfault, os._exit). The executor
+            # is permanently broken, so tear it down before re-raising:
+            # the next map on this backend builds a fresh pool, letting
+            # callers retry the batch instead of inheriting a dead pool.
+            self.close()
+            raise
         if self.merge_stats and merged and hasattr(task, "absorb_stats"):
             task.absorb_stats(merged)
         if warm_capable:

@@ -1,0 +1,217 @@
+"""JSON serialization of engine checkpoints for the run registry.
+
+:class:`~repro.ga.engine.EngineCheckpoint` and
+:class:`~repro.dse.nsga.NSGACheckpoint` are in-memory snapshots; this
+module round-trips them through plain JSON-able dicts so a run directory
+can hold a durable ``checkpoint.json``. Genomes are serialized
+*structurally* (layer -> subgraph assignment plus the memory
+configuration) and rebuilt against the resuming process's graph object,
+so a checkpoint written by one process resumes in another even though
+:class:`~repro.partition.partition.Partition` equality is tied to graph
+identity. Every float survives the round trip exactly (Python's JSON
+encoder emits shortest round-trip reprs), which is what keeps resumed
+runs bit-identical to uninterrupted ones.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..config import BufferMode, MemoryConfig
+from ..dse.nsga import MultiObjectivePoint, NSGACheckpoint
+from ..errors import ConfigError
+from ..ga.engine import EngineCheckpoint, SampleRecord
+from ..ga.genome import Genome
+from ..graphs.graph import ComputationGraph
+from ..partition.partition import Partition
+
+_FORMAT_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Building blocks
+# ---------------------------------------------------------------------------
+def memory_to_dict(memory: MemoryConfig) -> dict[str, Any]:
+    if memory.mode is BufferMode.SHARED:
+        return {"mode": "shared", "shared": memory.shared_buffer_bytes}
+    return {
+        "mode": "separate",
+        "global": memory.global_buffer_bytes,
+        "weight": memory.weight_buffer_bytes,
+    }
+
+
+def memory_from_dict(data: dict[str, Any]) -> MemoryConfig:
+    if data["mode"] == "shared":
+        return MemoryConfig.shared(data["shared"])
+    return MemoryConfig.separate(data["global"], data["weight"])
+
+
+def genome_to_dict(genome: Genome) -> dict[str, Any]:
+    return {
+        "assignment": genome.partition.assignment,
+        "memory": memory_to_dict(genome.memory),
+    }
+
+
+def genome_from_dict(data: dict[str, Any], graph: ComputationGraph) -> Genome:
+    return Genome(
+        partition=Partition(graph, data["assignment"]),
+        memory=memory_from_dict(data["memory"]),
+    )
+
+
+def _rng_state_to_json(state: tuple) -> list:
+    # random.Random.getstate(): (version, tuple-of-ints, gauss_next)
+    version, internal, gauss_next = state
+    return [version, list(internal), gauss_next]
+
+
+def _rng_state_from_json(data: list) -> tuple:
+    version, internal, gauss_next = data
+    return (version, tuple(internal), gauss_next)
+
+
+def _sample_to_dict(record: SampleRecord) -> dict[str, Any]:
+    return {
+        "index": record.index,
+        "cost": record.cost,
+        "total_buffer_bytes": record.total_buffer_bytes,
+        "generation": record.generation,
+    }
+
+
+def _sample_from_dict(data: dict[str, Any]) -> SampleRecord:
+    return SampleRecord(
+        index=data["index"],
+        cost=data["cost"],
+        total_buffer_bytes=data["total_buffer_bytes"],
+        generation=data["generation"],
+    )
+
+
+def _check_format(data: dict[str, Any], kind: str) -> None:
+    if data.get("format") != _FORMAT_VERSION:
+        raise ConfigError(
+            f"unsupported checkpoint format {data.get('format')!r}"
+        )
+    if data.get("kind") != kind:
+        raise ConfigError(
+            f"checkpoint is a {data.get('kind')!r} snapshot, expected {kind!r}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# GeneticEngine checkpoints
+# ---------------------------------------------------------------------------
+def ga_checkpoint_to_dict(checkpoint: EngineCheckpoint) -> dict[str, Any]:
+    """Serialize an :class:`EngineCheckpoint` to a JSON-able dict."""
+    return {
+        "format": _FORMAT_VERSION,
+        "kind": "ga",
+        "generation": checkpoint.generation,
+        "rng_state": _rng_state_to_json(checkpoint.rng_state),
+        "evaluations": checkpoint.evaluations,
+        "best": (
+            genome_to_dict(checkpoint.best_genome)
+            if checkpoint.best_genome is not None
+            else None
+        ),
+        "best_cost": checkpoint.best_cost,
+        "history": [list(entry) for entry in checkpoint.history],
+        "samples": [_sample_to_dict(s) for s in checkpoint.samples],
+        "population": [genome_to_dict(g) for g in checkpoint.population],
+        "costs": list(checkpoint.costs),
+    }
+
+
+def ga_checkpoint_from_dict(
+    data: dict[str, Any], graph: ComputationGraph
+) -> EngineCheckpoint:
+    """Rebuild an :class:`EngineCheckpoint` against ``graph``."""
+    _check_format(data, "ga")
+    return EngineCheckpoint(
+        generation=data["generation"],
+        rng_state=_rng_state_from_json(data["rng_state"]),
+        evaluations=data["evaluations"],
+        best_genome=(
+            genome_from_dict(data["best"], graph)
+            if data["best"] is not None
+            else None
+        ),
+        best_cost=data["best_cost"],
+        history=[(entry[0], entry[1]) for entry in data["history"]],
+        samples=[_sample_from_dict(s) for s in data["samples"]],
+        population=[genome_from_dict(g, graph) for g in data["population"]],
+        costs=list(data["costs"]),
+    )
+
+
+# ---------------------------------------------------------------------------
+# NSGA-II checkpoints
+# ---------------------------------------------------------------------------
+def _point_to_dict(point: MultiObjectivePoint) -> dict[str, Any]:
+    return {
+        "genome": genome_to_dict(point.genome),
+        "capacity_bytes": point.capacity_bytes,
+        "metric_cost": point.metric_cost,
+    }
+
+
+def _point_from_dict(
+    data: dict[str, Any], graph: ComputationGraph
+) -> MultiObjectivePoint:
+    return MultiObjectivePoint(
+        genome=genome_from_dict(data["genome"], graph),
+        capacity_bytes=data["capacity_bytes"],
+        metric_cost=data["metric_cost"],
+    )
+
+
+def nsga_checkpoint_to_dict(checkpoint: NSGACheckpoint) -> dict[str, Any]:
+    """Serialize an :class:`NSGACheckpoint` to a JSON-able dict.
+
+    The current population is stored as indices into the archive (every
+    evaluated point lives there), so genomes are serialized once.
+    """
+    index_of = {id(point): i for i, point in enumerate(checkpoint.archive)}
+    points: list[Any] = []
+    for point in checkpoint.points:
+        slot = index_of.get(id(point))
+        # Identity lookup covers the live-engine case; a checkpoint that
+        # was itself round-tripped holds equal-but-distinct objects, so
+        # fall back to inlining the point.
+        points.append(slot if slot is not None else _point_to_dict(point))
+    return {
+        "format": _FORMAT_VERSION,
+        "kind": "nsga",
+        "generation": checkpoint.generation,
+        "rng_state": _rng_state_to_json(checkpoint.rng_state),
+        "evaluations": checkpoint.evaluations,
+        "reference": list(checkpoint.reference),
+        "history": [list(entry) for entry in checkpoint.history],
+        "archive": [_point_to_dict(p) for p in checkpoint.archive],
+        "points": points,
+    }
+
+
+def nsga_checkpoint_from_dict(
+    data: dict[str, Any], graph: ComputationGraph
+) -> NSGACheckpoint:
+    """Rebuild an :class:`NSGACheckpoint` against ``graph``."""
+    _check_format(data, "nsga")
+    archive = [_point_from_dict(p, graph) for p in data["archive"]]
+    points = [
+        archive[entry] if isinstance(entry, int)
+        else _point_from_dict(entry, graph)
+        for entry in data["points"]
+    ]
+    return NSGACheckpoint(
+        generation=data["generation"],
+        rng_state=_rng_state_from_json(data["rng_state"]),
+        evaluations=data["evaluations"],
+        reference=(data["reference"][0], data["reference"][1]),
+        history=[(entry[0], entry[1]) for entry in data["history"]],
+        points=points,
+        archive=archive,
+    )

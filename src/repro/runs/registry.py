@@ -1,0 +1,189 @@
+"""Durable run registry: one directory per exploration run.
+
+The paper's result matrices come from hundreds of independent search
+runs; this registry makes each of them a durable, restartable unit. A
+run is keyed by the SHA-256 of its canonical configuration plus its
+seed, and owns a directory holding
+
+* ``config.json`` — the serialized cell/run configuration (written at
+  open, before any work),
+* ``history.jsonl`` — a line-per-event log streamed while the search
+  progresses (best-cost improvements, generation summaries),
+* ``checkpoint.json`` — the latest generation-level engine checkpoint
+  (optional; enables mid-run resume),
+* ``result.json`` — the final result, written atomically *last*, so its
+  presence is the completion marker.
+
+A killed process therefore leaves either a completed run (result.json
+present) or a resumable one (config + history + maybe a checkpoint);
+it can never leave a half-written result that masquerades as complete.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator
+
+from ..errors import ConfigError
+from .seeds import stable_digest
+
+_CONFIG = "config.json"
+_HISTORY = "history.jsonl"
+_CHECKPOINT = "checkpoint.json"
+_RESULT = "result.json"
+
+#: Hex digits of the config hash used in directory names — enough to
+#: make collisions vanishingly unlikely within one registry.
+_HASH_CHARS = 12
+
+
+def config_hash(config: dict[str, Any]) -> str:
+    """Stable short hash of a JSON-able configuration dict."""
+    canonical = json.dumps(config, sort_keys=True, separators=(",", ":"))
+    return stable_digest(canonical)[:_HASH_CHARS]
+
+
+def _write_atomic(path: Path, text: str) -> None:
+    """Write via a same-directory temp file + rename (atomic on POSIX)."""
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+@dataclass
+class RunHandle:
+    """One run's directory, with streaming and completion primitives."""
+
+    path: Path
+    config: dict[str, Any]
+
+    # -- lifecycle ------------------------------------------------------
+    @property
+    def is_complete(self) -> bool:
+        """Whether the final result has been durably written."""
+        return (self.path / _RESULT).exists()
+
+    @property
+    def has_checkpoint(self) -> bool:
+        return (self.path / _CHECKPOINT).exists()
+
+    # -- streaming ------------------------------------------------------
+    def log_history(self, entry: dict[str, Any]) -> None:
+        """Append one JSON line to the streamed history log."""
+        with (self.path / _HISTORY).open("a") as fh:
+            fh.write(json.dumps(entry) + "\n")
+            fh.flush()
+
+    def read_history(self) -> list[dict[str, Any]]:
+        """All streamed history entries, in append order."""
+        path = self.path / _HISTORY
+        if not path.exists():
+            return []
+        entries = []
+        for line in path.read_text().splitlines():
+            line = line.strip()
+            if line:
+                entries.append(json.loads(line))
+        return entries
+
+    def truncate_history(self, max_generation: int) -> None:
+        """Drop history entries past ``max_generation``.
+
+        A kill can land between a generation's history line and its
+        checkpoint write; resuming from the checkpoint replays that
+        generation, so the orphaned line must go or it would appear
+        twice.
+        """
+        entries = [
+            e for e in self.read_history()
+            if e.get("generation", -1) <= max_generation
+        ]
+        _write_atomic(
+            self.path / _HISTORY,
+            "".join(json.dumps(e) + "\n" for e in entries),
+        )
+
+    # -- checkpointing --------------------------------------------------
+    def save_checkpoint(self, state: dict[str, Any]) -> None:
+        """Atomically persist a generation-level checkpoint."""
+        _write_atomic(self.path / _CHECKPOINT, json.dumps(state))
+
+    def load_checkpoint(self) -> dict[str, Any] | None:
+        path = self.path / _CHECKPOINT
+        if not path.exists():
+            return None
+        return json.loads(path.read_text())
+
+    # -- completion -----------------------------------------------------
+    def finish(self, result: dict[str, Any]) -> None:
+        """Write the final result atomically, marking the run complete."""
+        _write_atomic(self.path / _RESULT, json.dumps(result, indent=2))
+
+    def load_result(self) -> dict[str, Any]:
+        path = self.path / _RESULT
+        if not path.exists():
+            raise ConfigError(f"run {self.path.name} has no result yet")
+        return json.loads(path.read_text())
+
+
+class RunRegistry:
+    """Directory of runs, keyed by config hash + seed."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+
+    def run_name(self, config: dict[str, Any], seed: int) -> str:
+        """Directory name for one (config, seed) run."""
+        return f"{config_hash(config)}-s{seed}"
+
+    def run_path(self, config: dict[str, Any], seed: int) -> Path:
+        return self.root / self.run_name(config, seed)
+
+    def is_complete(self, config: dict[str, Any], seed: int) -> bool:
+        return (self.run_path(config, seed) / _RESULT).exists()
+
+    def open_run(self, config: dict[str, Any], seed: int) -> RunHandle:
+        """Create (or re-open) the run directory and persist its config.
+
+        Re-opening an *incomplete* run truncates its history stream —
+        the run restarts (or resumes from its checkpoint), and stale
+        partial history from the killed attempt must not double-count.
+        Re-opening a complete run leaves everything untouched.
+        """
+        path = self.run_path(config, seed)
+        path.mkdir(parents=True, exist_ok=True)
+        handle = RunHandle(path=path, config=dict(config))
+        if not handle.is_complete:
+            _write_atomic(
+                path / _CONFIG,
+                json.dumps({"config": config, "seed": seed}, indent=2),
+            )
+            history = path / _HISTORY
+            if history.exists() and not handle.has_checkpoint:
+                history.unlink()
+        return handle
+
+    def load(self, config: dict[str, Any], seed: int) -> RunHandle:
+        """Handle for an existing run directory (no writes)."""
+        path = self.run_path(config, seed)
+        if not path.is_dir():
+            raise ConfigError(f"no run directory {path}")
+        return RunHandle(path=path, config=dict(config))
+
+    def runs(self) -> Iterator[RunHandle]:
+        """Iterate every registered run (complete or not), sorted by name."""
+        if not self.root.is_dir():
+            return
+        for entry in sorted(self.root.iterdir()):
+            config_path = entry / _CONFIG
+            if not config_path.is_file():
+                continue
+            payload = json.loads(config_path.read_text())
+            yield RunHandle(path=entry, config=payload.get("config", {}))
+
+    def completed(self) -> list[RunHandle]:
+        """Every run whose final result has been written."""
+        return [run for run in self.runs() if run.is_complete]

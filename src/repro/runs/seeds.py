@@ -1,0 +1,59 @@
+"""Stable per-cell seed derivation for experiment campaigns.
+
+Every cell of an exploration matrix — one (network, buffer mode, metric,
+scheme, ...) combination — runs a seeded stochastic search. Deriving the
+cell seed from the *iteration order* (``seed + index``) makes published
+numbers fragile: inserting one network or alpha into the matrix shifts
+every later cell onto a different random stream and silently changes its
+result. Instead, :func:`derive_seed` hashes the campaign seed together
+with the cell's *stable key* (the values that define the cell, not its
+position), so a cell's seed is a pure function of what it computes.
+DiGamma makes the same reproducibility argument for GA-based co-search
+campaigns: restartable, sample-budget-accounted runs need per-cell
+streams that never move.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+#: Field separator for the canonical key encoding: a control character
+#: that cannot appear in model names, scheme names, or number reprs, so
+#: ("ab", "c") and ("a", "bc") never collide.
+_SEP = "\x1f"
+
+
+def _canonical(part: object) -> str:
+    """Stable text encoding of one key part.
+
+    ``repr`` round-trips ints and floats exactly and is stable across
+    Python 3 versions for the types a cell key uses (str, int, float,
+    bool, None). Nested tuples/lists are flattened recursively.
+    """
+    if isinstance(part, (tuple, list)):
+        return "(" + _SEP.join(_canonical(p) for p in part) + ")"
+    if isinstance(part, str):
+        return part
+    return repr(part)
+
+
+def stable_digest(*parts: object) -> str:
+    """Hex SHA-256 of the canonical encoding of ``parts``.
+
+    Used both for seed derivation and for run-directory naming, so the
+    registry and the seed stream key off exactly the same identity.
+    """
+    text = _SEP.join(_canonical(p) for p in parts)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def derive_seed(campaign_seed: int, *key_parts: object) -> int:
+    """Seed for one cell: a pure function of (campaign seed, cell key).
+
+    Independent of iteration order and of every other cell in the
+    matrix — adding, removing, or reordering cells never changes the
+    seed of an existing cell. Returns a non-negative 63-bit int, usable
+    directly as ``random.Random(seed)`` / ``GAConfig.seed``.
+    """
+    digest = stable_digest(int(campaign_seed), *key_parts)
+    return int(digest[:16], 16) >> 1

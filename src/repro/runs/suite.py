@@ -1,0 +1,650 @@
+"""The ``repro suite`` campaign runner: durable, sharded, resumable.
+
+The paper's result matrices (Tables 1–3, Figs 11–14) are campaigns of
+independent exploration runs over {network x buffer mode x metric x
+bytes-per-element x scheme x alpha}. This module turns such a matrix
+into *cells*, each a durable unit in a :class:`~repro.runs.registry.
+RunRegistry`:
+
+* every cell's seed derives from (campaign seed, stable cell key) — see
+  :mod:`repro.runs.seeds` — so matrix edits never shift another cell's
+  random stream;
+* cells shard across the existing evaluation backends
+  (:func:`~repro.parallel.backend.resolve_backend`), each worker
+  reusing warm per-graph evaluator summaries across the cells it runs
+  (and shipping them to its peers through the backend's warm-state
+  protocol — a pure exchange of already-computed values);
+* a completed cell writes ``result.json`` atomically, so a restarted
+  campaign re-runs only incomplete cells, and the merged report of a
+  killed-and-resumed campaign is bit-identical to an uninterrupted one;
+* GA and NSGA-II cells stream per-generation history into the registry
+  and persist generation-level checkpoints, so an interrupted cell
+  resumes mid-search instead of restarting;
+* a worker killed mid-cell (OOM, segfault) breaks its pool: the runner
+  rebuilds the backend and retries the cells that have no durable
+  result — a killed cell is never recorded as complete.
+
+The merged campaign report is an ordinary
+:class:`~repro.experiments.reporting.ExperimentResult`, consumable by
+:mod:`repro.viz.export`.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any
+
+from concurrent.futures.process import BrokenProcessPool
+
+from ..config import AcceleratorConfig
+from ..cost.evaluator import Evaluator
+from ..cost.objective import Metric
+from ..dse.nsga import NSGAConfig, nsga2_co_optimize
+from ..dse.sa import sa_co_optimize
+from ..dse.two_step import grid_search_ga, random_search_ga
+from ..errors import ConfigError, ReproError
+from ..experiments.common import SCALES, Scale, paper_accelerator
+from ..experiments.reporting import ExperimentResult
+from ..ga.engine import GeneticEngine
+from ..ga.problem import OptimizationProblem
+from ..graphs.zoo import get_model
+from ..parallel.backend import EvaluationBackend, resolve_backend
+from ..search_space import CapacitySpace
+from ..units import to_kb, to_mb
+from .checkpoint import (
+    ga_checkpoint_from_dict,
+    ga_checkpoint_to_dict,
+    nsga_checkpoint_from_dict,
+    nsga_checkpoint_to_dict,
+)
+from .registry import RunRegistry
+from .seeds import derive_seed
+
+SCHEMES = ("cocco", "rs", "gs", "sa", "nsga")
+MODES = ("separate", "shared")
+METRICS = ("ema", "energy")
+
+#: Matrix-cell kill switch for the worker-death tests: when the
+#: environment variable names a substring of a cell id, the *first*
+#: attempt at that cell hard-exits its worker process (subsequent
+#: attempts run normally, as after a real transient OOM kill).
+FAULT_ENV = "REPRO_SUITE_FAULT_CELL"
+
+
+# ---------------------------------------------------------------------------
+# Matrix expansion
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class SuiteCell:
+    """One (network, mode, metric, bytes/elem, scheme, alpha) cell."""
+
+    network: str
+    mode: str
+    metric: str
+    bytes_per_element: int
+    scheme: str
+    alpha: float
+    scale: str
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ConfigError(f"unknown buffer mode {self.mode!r}")
+        if self.metric not in METRICS:
+            raise ConfigError(f"unknown metric {self.metric!r}")
+        if self.scheme not in SCHEMES:
+            raise ConfigError(f"unknown scheme {self.scheme!r}")
+        if self.bytes_per_element < 1:
+            raise ConfigError("bytes_per_element must be positive")
+        if self.scale not in SCALES:
+            raise ConfigError(f"unknown scale {self.scale!r}")
+
+    @property
+    def key(self) -> tuple:
+        """The stable identity the seed and registry key derive from."""
+        return (
+            self.network,
+            self.mode,
+            self.metric,
+            self.bytes_per_element,
+            self.scheme,
+            self.alpha,
+            self.scale,
+        )
+
+    @property
+    def cell_id(self) -> str:
+        """Human-readable id (used in logs and fault injection)."""
+        return (
+            f"{self.network}/{self.mode}/{self.metric}"
+            f"/b{self.bytes_per_element}/{self.scheme}/a{self.alpha}"
+        )
+
+    def config_dict(self) -> dict[str, Any]:
+        """The JSON-able configuration the registry hashes and stores."""
+        return {
+            "network": self.network,
+            "mode": self.mode,
+            "metric": self.metric,
+            "bytes_per_element": self.bytes_per_element,
+            "scheme": self.scheme,
+            "alpha": self.alpha,
+            "scale": self.scale,
+        }
+
+    def seed(self, campaign_seed: int) -> int:
+        """This cell's derived seed — independent of every other cell."""
+        return derive_seed(campaign_seed, *self.key)
+
+
+@dataclass(frozen=True)
+class SuiteMatrix:
+    """A campaign: the cross product of the workload dimensions."""
+
+    networks: tuple[str, ...]
+    modes: tuple[str, ...] = ("separate",)
+    metrics: tuple[str, ...] = ("energy",)
+    bytes_per_element: tuple[int, ...] = (1,)
+    schemes: tuple[str, ...] = ("cocco",)
+    alphas: tuple[float, ...] = (0.002,)
+    scale: str = "quick"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.networks:
+            raise ConfigError("suite matrix needs at least one network")
+
+    def cells(self) -> list[SuiteCell]:
+        """Expand the matrix, network-major.
+
+        Network-major order keeps same-graph cells adjacent, so backend
+        chunking tends to hand them to the same worker and the warm
+        evaluator summaries actually get reused.
+        """
+        return [
+            SuiteCell(
+                network=network,
+                mode=mode,
+                metric=metric,
+                bytes_per_element=bpe,
+                scheme=scheme,
+                alpha=alpha,
+                scale=self.scale,
+            )
+            for network in self.networks
+            for bpe in self.bytes_per_element
+            for mode in self.modes
+            for metric in self.metrics
+            for scheme in self.schemes
+            for alpha in self.alphas
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Cell execution
+# ---------------------------------------------------------------------------
+def _metric(name: str) -> Metric:
+    return Metric.EMA if name == "ema" else Metric.ENERGY
+
+
+def _space(mode: str) -> CapacitySpace:
+    if mode == "shared":
+        return CapacitySpace.paper_shared()
+    return CapacitySpace.paper_separate()
+
+
+def cell_accelerator(cell: SuiteCell) -> AcceleratorConfig:
+    """The cell's platform: the paper core at the cell's element width."""
+    return replace(
+        paper_accelerator(), bytes_per_element=cell.bytes_per_element
+    )
+
+
+def _run_cocco_cell(
+    cell: SuiteCell,
+    seed: int,
+    evaluator: Evaluator,
+    scale: Scale,
+    run,
+) -> dict[str, Any]:
+    """Co-opt GA with streamed history + generation-level resume.
+
+    Equivalent to ``cocco_co_optimize(..., refine=False)`` but drives
+    the engine directly so an interrupted cell continues from its
+    ``checkpoint.json`` bit-identically instead of starting over.
+    """
+    metric = _metric(cell.metric)
+    problem = OptimizationProblem(
+        evaluator=evaluator, metric=metric, alpha=cell.alpha,
+        space=_space(cell.mode),
+    )
+    engine = GeneticEngine(problem, scale.co_opt_ga_config(seed=seed))
+
+    def hook(checkpoint) -> None:
+        run.log_history(
+            {
+                "generation": checkpoint.generation,
+                "evaluations": checkpoint.evaluations,
+                "best_cost": checkpoint.best_cost,
+            }
+        )
+        run.save_checkpoint(ga_checkpoint_to_dict(checkpoint))
+
+    state = run.load_checkpoint()
+    if state is not None:
+        checkpoint = ga_checkpoint_from_dict(state, evaluator.graph)
+        run.truncate_history(checkpoint.generation)
+        result = engine.resume(checkpoint, on_generation=hook)
+    else:
+        result = engine.run(on_generation=hook)
+
+    _, partition_cost = problem.evaluate(result.best_genome)
+    return {
+        "best_cost": result.best_cost,
+        "memory": result.best_genome.memory,
+        "partition_cost": partition_cost,
+        "num_evaluations": result.num_evaluations,
+    }
+
+
+#: NSGA-II checkpoints carry the whole evaluation archive (it grows with
+#: every generation), so persisting one per generation would rewrite
+#: O(generations x archive) JSON. Snapshot every N generations instead;
+#: a resume recomputes at most N-1 generations, still bit-identically.
+_NSGA_CHECKPOINT_EVERY = 5
+
+
+def _run_nsga_cell(
+    cell: SuiteCell,
+    seed: int,
+    evaluator: Evaluator,
+    scale: Scale,
+    run,
+) -> dict[str, Any]:
+    """NSGA-II frontier run, reported at the cell's alpha."""
+    config = NSGAConfig(
+        population_size=max(4, scale.ga_population),
+        generations=scale.ga_generations,
+        seed=seed,
+    )
+
+    def hook(checkpoint) -> None:
+        run.log_history(
+            {
+                "generation": checkpoint.generation,
+                "evaluations": checkpoint.evaluations,
+            }
+        )
+        if checkpoint.generation % _NSGA_CHECKPOINT_EVERY == 0:
+            run.save_checkpoint(nsga_checkpoint_to_dict(checkpoint))
+
+    state = run.load_checkpoint()
+    resume_from = None
+    if state is not None:
+        resume_from = nsga_checkpoint_from_dict(state, evaluator.graph)
+        run.truncate_history(resume_from.generation)
+    result = nsga2_co_optimize(
+        evaluator,
+        _space(cell.mode),
+        metric=_metric(cell.metric),
+        config=config,
+        on_generation=hook,
+        resume_from=resume_from,
+    )
+    point = result.select_by_alpha(cell.alpha)
+    partition_cost = evaluator.evaluate(
+        point.genome.partition.subgraph_sets, point.genome.memory
+    )
+    return {
+        "best_cost": point.formula2(cell.alpha),
+        "memory": point.genome.memory,
+        "partition_cost": partition_cost,
+        "num_evaluations": result.num_evaluations,
+    }
+
+
+def _run_baseline_cell(
+    cell: SuiteCell,
+    seed: int,
+    evaluator: Evaluator,
+    scale: Scale,
+    run,
+) -> dict[str, Any]:
+    """RS+GA / GS+GA / SA cells (no mid-run checkpoint; cell-atomic)."""
+    metric = _metric(cell.metric)
+    space = _space(cell.mode)
+    if cell.scheme == "rs":
+        dse = random_search_ga(
+            evaluator, space, metric=metric, alpha=cell.alpha,
+            num_candidates=scale.rs_candidates,
+            ga_config=scale.ga_config(seed=seed), seed=seed,
+        )
+    elif cell.scheme == "gs":
+        dse = grid_search_ga(
+            evaluator, space, metric=metric, alpha=cell.alpha,
+            stride=scale.gs_stride, max_candidates=scale.gs_max_candidates,
+            ga_config=scale.ga_config(seed=seed),
+        )
+    else:
+        dse = sa_co_optimize(
+            evaluator, space, metric=metric, alpha=cell.alpha,
+            sa_config=scale.co_opt_sa_config(seed=seed),
+        )
+    for evaluations, cost in dse.history:
+        run.log_history({"evaluations": evaluations, "best_cost": cost})
+    return {
+        "best_cost": dse.best_cost,
+        "memory": dse.memory,
+        "partition_cost": dse.partition_cost,
+        "num_evaluations": dse.num_evaluations,
+    }
+
+
+def run_cell(
+    cell: SuiteCell,
+    campaign_seed: int,
+    registry: RunRegistry,
+    evaluator: Evaluator | None = None,
+) -> dict[str, Any]:
+    """Execute one cell durably; returns its result row.
+
+    Already-completed cells return their stored result without any
+    recomputation. The result row is written to ``result.json``
+    atomically *after* all search work, so a kill at any point leaves
+    the cell incomplete (and resumable), never half-recorded.
+    """
+    config = cell.config_dict()
+    seed = cell.seed(campaign_seed)
+    if registry.is_complete(config, seed):
+        return registry.load(config, seed).load_result()
+    run = registry.open_run(config, seed)
+    if evaluator is None:
+        evaluator = Evaluator(get_model(cell.network), cell_accelerator(cell))
+    scale = SCALES[cell.scale]
+    if cell.scheme == "cocco":
+        outcome = _run_cocco_cell(cell, seed, evaluator, scale, run)
+    elif cell.scheme == "nsga":
+        outcome = _run_nsga_cell(cell, seed, evaluator, scale, run)
+    else:
+        outcome = _run_baseline_cell(cell, seed, evaluator, scale, run)
+    cost = outcome["partition_cost"]
+    result = {
+        **config,
+        "seed": seed,
+        "status": "complete",
+        "best_cost": outcome["best_cost"],
+        "capacity_bytes": outcome["memory"].total_bytes,
+        "ema_bytes": cost.ema_bytes,
+        "energy_pj": cost.energy_pj,
+        "num_subgraphs": cost.num_subgraphs,
+        "num_evaluations": outcome["num_evaluations"],
+    }
+    run.finish(result)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# The sharded task (one instance per worker; warm state accumulates)
+# ---------------------------------------------------------------------------
+class SuiteCellTask:
+    """Picklable cell executor with cross-cell warm-summary reuse.
+
+    Each worker process holds one instance for the campaign's lifetime.
+    Per ``(network, bytes_per_element)`` graph key it keeps the
+    subgraph-summary scalars produced by every cell it ran; the next
+    cell on the same graph absorbs them before searching, so shared
+    subgraphs are priced once per worker rather than once per cell.
+    Through the backend's warm-state protocol (``enable_warm`` /
+    ``drain_warm`` / ``absorb_warm``) the entries also ship to the other
+    workers between map rounds. Purely an exchange of already-computed
+    values — cell results are bit-identical with or without it.
+    """
+
+    def __init__(self, matrix: SuiteMatrix, registry_root: str | Path):
+        self.matrix = matrix
+        self.registry_root = str(registry_root)
+        self._stores: dict[tuple, dict] = {}
+        self._outbox: list[tuple] = []
+        self._warm_enabled = False
+
+    # Warm-state protocol (see repro.parallel.backend).
+    def enable_warm(self) -> None:
+        self._warm_enabled = True
+
+    def drain_warm(self) -> list[tuple]:
+        out = self._outbox
+        self._outbox = []
+        return out
+
+    def absorb_warm(self, entries) -> None:
+        for (graph_key, summary_key), summary in entries:
+            self._stores.setdefault(graph_key, {}).setdefault(
+                summary_key, summary
+            )
+
+    # ------------------------------------------------------------------
+    def _maybe_fault(self, cell: SuiteCell, registry: RunRegistry) -> None:
+        """Test instrumentation: die like an OOM-killed worker, once."""
+        target = os.environ.get(FAULT_ENV)
+        if not target or target not in cell.cell_id:
+            return
+        run_path = registry.run_path(cell.config_dict(), cell.seed(self.matrix.seed))
+        marker = run_path / "fault-attempted"
+        if marker.exists():
+            return
+        run_path.mkdir(parents=True, exist_ok=True)
+        marker.write_text("injected worker kill\n")
+        os._exit(23)
+
+    def __call__(self, cell: SuiteCell) -> dict[str, Any]:
+        registry = RunRegistry(self.registry_root)
+        config = cell.config_dict()
+        seed = cell.seed(self.matrix.seed)
+        if registry.is_complete(config, seed):
+            return registry.load(config, seed).load_result()
+        self._maybe_fault(cell, registry)
+
+        graph_key = (cell.network, cell.bytes_per_element)
+        store = self._stores.setdefault(graph_key, {})
+        evaluator: Evaluator | None = None
+        try:
+            evaluator = Evaluator(
+                get_model(cell.network), cell_accelerator(cell)
+            )
+            if store:
+                evaluator.absorb_summaries(store.items())
+            evaluator.enable_summary_log()
+            row = run_cell(cell, self.matrix.seed, registry, evaluator=evaluator)
+        except ReproError as exc:
+            row = {
+                **config,
+                "seed": seed,
+                "status": "failed",
+                "error": str(exc),
+            }
+        finally:
+            if evaluator is not None:
+                for summary_key, summary in evaluator.drain_summary_log():
+                    if summary_key not in store:
+                        store[summary_key] = summary
+                        if self._warm_enabled:
+                            self._outbox.append(
+                                ((graph_key, summary_key), summary)
+                            )
+        return row
+
+
+# ---------------------------------------------------------------------------
+# Campaign driver
+# ---------------------------------------------------------------------------
+REPORT_HEADERS = (
+    "network",
+    "mode",
+    "metric",
+    "bpe",
+    "scheme",
+    "alpha",
+    "seed",
+    "best_cost",
+    "capacity_KB",
+    "ema_MB",
+    "energy_mJ",
+    "subgraphs",
+    "evaluations",
+    "status",
+)
+
+
+@dataclass
+class SuiteOutcome:
+    """What one ``run_suite`` invocation did, plus the merged report."""
+
+    report: ExperimentResult
+    total: int
+    completed: int
+    skipped: int
+    failed: int
+    rounds: int
+    errors: dict[str, str] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        return (
+            f"{self.total} cells: {self.skipped} already complete, "
+            f"{self.completed} run, {self.failed} failed/incomplete "
+            f"({self.rounds} round(s))"
+        )
+
+
+def _result_row(result: dict[str, Any]) -> tuple:
+    """One merged-report row from a cell's stored result dict."""
+    if result.get("status") != "complete":
+        return (
+            result.get("network", "?"),
+            result.get("mode", "?"),
+            result.get("metric", "?"),
+            result.get("bytes_per_element", "?"),
+            result.get("scheme", "?"),
+            result.get("alpha", "?"),
+            result.get("seed", "?"),
+            "-", "-", "-", "-", "-", "-",
+            result.get("status", "incomplete"),
+        )
+    return (
+        result["network"],
+        result["mode"],
+        result["metric"],
+        result["bytes_per_element"],
+        result["scheme"],
+        result["alpha"],
+        result["seed"],
+        result["best_cost"],
+        round(to_kb(result["capacity_bytes"]), 1),
+        round(to_mb(result["ema_bytes"]), 4),
+        round(result["energy_pj"] / 1e9, 4),
+        result["num_subgraphs"],
+        result["num_evaluations"],
+        "complete",
+    )
+
+
+def merged_report(
+    matrix: SuiteMatrix, registry: RunRegistry
+) -> ExperimentResult:
+    """Merge every cell's stored result into one report, matrix order.
+
+    Rows come exclusively from the registry's durable ``result.json``
+    files, so a killed-and-resumed campaign merges to exactly the same
+    report as an uninterrupted one.
+    """
+    report = ExperimentResult(
+        experiment=(
+            f"suite: {len(matrix.cells())} cells, scale={matrix.scale}, "
+            f"campaign seed={matrix.seed}"
+        ),
+        headers=REPORT_HEADERS,
+        extra={"campaign_seed": matrix.seed, "scale": matrix.scale},
+    )
+    for cell in matrix.cells():
+        config = cell.config_dict()
+        seed = cell.seed(matrix.seed)
+        if registry.is_complete(config, seed):
+            result = registry.load(config, seed).load_result()
+        else:
+            result = {**config, "seed": seed, "status": "incomplete"}
+        report.add_row(*_result_row(result))
+    return report
+
+
+def run_suite(
+    matrix: SuiteMatrix,
+    registry_root: str | Path,
+    workers: int = 1,
+    max_rounds: int = 3,
+) -> SuiteOutcome:
+    """Run (or resume) a campaign, sharding cells across ``workers``.
+
+    Completed cells are skipped; incomplete ones run (GA/NSGA cells
+    continue from their generation checkpoints). If a worker process
+    dies mid-cell the backend's pool breaks: the runner rebuilds it and
+    retries every cell that still has no durable result, up to
+    ``max_rounds`` times — so a killed cell is retried, never recorded
+    as complete. Deterministic in-cell errors are recorded as failed
+    rows and not retried within this invocation.
+    """
+    registry = RunRegistry(registry_root)
+    cells = matrix.cells()
+    if len({cell.key for cell in cells}) != len(cells):
+        raise ConfigError("suite matrix expands to duplicate cells")
+
+    def incomplete(batch: list[SuiteCell]) -> list[SuiteCell]:
+        return [
+            c for c in batch
+            if not registry.is_complete(c.config_dict(), c.seed(matrix.seed))
+        ]
+
+    pending = incomplete(cells)
+    skipped = len(cells) - len(pending)
+    errors: dict[str, str] = {}
+    task = SuiteCellTask(matrix, registry_root)
+    backend: EvaluationBackend = resolve_backend(workers)
+    rounds = 0
+    try:
+        while pending and rounds < max_rounds:
+            rounds += 1
+            try:
+                rows = backend.map(task, pending)
+            except BrokenProcessPool:
+                # One or more workers died mid-cell. Their finished
+                # cells are durable; everything else gets retried on a
+                # fresh pool (backend.map already tore the old one down).
+                pending = incomplete(pending)
+                continue
+            for cell, row in zip(pending, rows):
+                if row.get("status") == "failed":
+                    errors[cell.cell_id] = row.get("error", "unknown error")
+            # A clean map leaves only deterministic failures behind;
+            # retrying those in-process would loop forever.
+            pending = []
+    finally:
+        backend.close()
+
+    still_pending = incomplete(cells)
+    for cell in still_pending:
+        # Cells whose rounds were all cut short by worker deaths never
+        # produced a failure row; give the operator a diagnostic anyway.
+        errors.setdefault(
+            cell.cell_id,
+            f"no durable result after {rounds} round(s) "
+            "(worker died or rounds exhausted); re-run to resume",
+        )
+    report = merged_report(matrix, registry)
+    return SuiteOutcome(
+        report=report,
+        total=len(cells),
+        completed=len(cells) - skipped - len(still_pending),
+        skipped=skipped,
+        failed=len(still_pending),
+        rounds=rounds,
+        errors=errors,
+    )

@@ -49,6 +49,26 @@ def result_to_json(result: ExperimentResult, indent: int = 2) -> str:
     return json.dumps(payload, indent=indent, default=str)
 
 
+def read_result_json(path: str | Path) -> ExperimentResult:
+    """Load an :class:`ExperimentResult` written by :func:`write_result`.
+
+    The round trip is exact for JSON-native cell types (numbers, strings,
+    booleans, ``None``): ``read_result_json(write_result(r, p))`` merges
+    and renders identically. The suite smoke job uses this to compare a
+    killed-and-resumed campaign's report against a clean run's.
+    """
+    payload = json.loads(Path(path).read_text())
+    result = ExperimentResult(
+        experiment=payload["experiment"],
+        headers=tuple(payload["headers"]),
+        notes=list(payload.get("notes", [])),
+        extra=dict(payload.get("extra", {})),
+    )
+    for row in payload["rows"]:
+        result.add_row(*row)
+    return result
+
+
 def write_result(
     result: ExperimentResult, path: str | Path, fmt: str | None = None
 ) -> Path:

@@ -161,3 +161,66 @@ class TestExperiment:
         payload = json.loads(target.read_text())
         assert payload["headers"][0] == "model"
         assert payload["rows"]
+
+
+class TestSuite:
+    def test_campaign_runs_resumes_and_exports(self, capsys, tmp_path):
+        registry = tmp_path / "registry"
+        argv = (
+            "suite", "--networks", "vgg16", "--schemes", "cocco,sa",
+            "--scale", "tiny", "--registry", str(registry),
+        )
+        code, out = run_cli(capsys, *argv)
+        assert code == 0
+        assert "2 cells" in out
+        assert "0 failed" in out
+        report = json.loads((registry / "report.json").read_text())
+        assert len(report["rows"]) == 2
+
+        # second invocation only merges: every cell already complete
+        code, out = run_cli(capsys, *argv)
+        assert code == 0
+        assert "2 already complete" in out
+        assert json.loads((registry / "report.json").read_text()) == report
+
+    def test_report_only_reads_without_running(self, capsys, tmp_path):
+        registry = tmp_path / "registry"
+        code, out = run_cli(
+            capsys, "suite", "--networks", "vgg16", "--scale", "tiny",
+            "--registry", str(registry), "--report-only",
+        )
+        assert code == 0
+        assert "incomplete" in out
+        assert not registry.exists()  # a pure read creates nothing
+
+    def test_export_flag_writes_copy(self, capsys, tmp_path):
+        registry = tmp_path / "registry"
+        target = tmp_path / "campaign.csv"
+        code, out = run_cli(
+            capsys, "suite", "--networks", "vgg16", "--schemes", "sa",
+            "--scale", "tiny", "--registry", str(registry),
+            "--export", str(target),
+        )
+        assert code == 0
+        assert target.read_text().startswith("network,")
+
+    def test_failed_campaign_exits_nonzero(self, capsys, tmp_path):
+        """Automation gates on the exit code: a campaign with failed or
+        incomplete cells must not report success."""
+        code, out = run_cli(
+            capsys, "suite", "--networks", "no_such_model",
+            "--scale", "tiny", "--registry", str(tmp_path / "registry"),
+        )
+        assert code == 1
+        assert "1 failed" in out
+        assert "failed no_such_model" in out
+
+    def test_report_only_honors_export(self, capsys, tmp_path):
+        target = tmp_path / "merged.json"
+        code, out = run_cli(
+            capsys, "suite", "--networks", "vgg16", "--scale", "tiny",
+            "--registry", str(tmp_path / "registry"),
+            "--report-only", "--export", str(target),
+        )
+        assert code == 0
+        assert json.loads(target.read_text())["rows"]

@@ -55,7 +55,7 @@ class TestCommon:
         assert accel.peak_ops == pytest.approx(2.048e12)
 
     def test_scales_registered(self):
-        assert set(SCALES) == {"quick", "default", "full"}
+        assert set(SCALES) == {"tiny", "quick", "default", "full"}
         assert SCALES["quick"] is QUICK_SCALE
 
     def test_scale_budgets_ordered(self):

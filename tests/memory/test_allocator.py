@@ -72,3 +72,55 @@ class TestAllocateSubgraph:
         plan = plan_buffers(MemoryConfig.shared(kb(64)), max_regions=2)
         with pytest.raises(CapacityError):
             allocate_subgraph(chain, tiling, plan)
+
+
+class TestFailureLeavesPlanClean:
+    """Regression: a CapacityError used to leave the shared BufferPlan
+    holding the partial allocation, so a caller that probed fit and then
+    reused the plan saw stale regions."""
+
+    def test_partial_activation_allocation_is_rolled_back(self, chain):
+        members = set(chain.compute_names)
+        tiling = derive_tiling(chain, members, output_tile_rows=4)
+        total = activation_footprint(chain, tiling)
+        # capacity admits the first node(s) but not the whole subgraph,
+        # so the failure happens after some regions were placed
+        plan = plan_buffers(MemoryConfig.shared(total - 1))
+        with pytest.raises(CapacityError):
+            allocate_subgraph(chain, tiling, plan)
+        assert plan.activation.used_bytes == 0
+        assert plan.activation.regions == ()
+
+    def test_weight_overflow_rolls_back_activations_too(self, chain):
+        members = set(chain.compute_names)
+        tiling = derive_tiling(chain, members, output_tile_rows=2)
+        # activations fit comfortably; the cached weights cannot
+        plan = plan_buffers(MemoryConfig.separate(kb(64), 8))
+        with pytest.raises(CapacityError):
+            allocate_subgraph(
+                chain, tiling, plan,
+                cached_weight_nodes=tuple(sorted(members)),
+            )
+        assert plan.activation.used_bytes == 0
+        assert plan.weight.used_bytes == 0
+
+    def test_plan_reusable_after_failed_probe(self, chain):
+        """Probe a too-big subgraph, then allocate a fitting one into the
+        same plan: the successful allocation sees a clean buffer."""
+        members = set(chain.compute_names)
+        big = derive_tiling(chain, members, output_tile_rows=4)
+        total = activation_footprint(chain, big)
+        plan = plan_buffers(MemoryConfig.shared(total - 1))
+        with pytest.raises(CapacityError):
+            allocate_subgraph(chain, big, plan)
+        small = derive_tiling(chain, {"conv1"}, output_tile_rows=1)
+        allocation = allocate_subgraph(chain, small, plan)
+        assert allocation.activation_bytes == activation_footprint(chain, small)
+        assert plan.activation.used_bytes == allocation.activation_bytes
+
+    def test_unknown_cached_node_also_resets(self, chain):
+        tiling = derive_tiling(chain, {"conv1"})
+        plan = plan_buffers(MemoryConfig.shared(kb(64)))
+        with pytest.raises(CapacityError):
+            allocate_subgraph(chain, tiling, plan, cached_weight_nodes=("ghost",))
+        assert plan.activation.used_bytes == 0

@@ -1,0 +1,127 @@
+"""Element-width plumbing: trace vs analytic model at bytes_per_element=2.
+
+The regression under test: ``bytes_per_element`` used to default to 1
+independently in the tensor shapes, the footprint calculator, the trace
+executor, and the trace validator, so a platform configured for 2-byte
+elements could be priced analytically at 2 bytes but traced/validated at
+1 byte without any error surfacing. Now the accelerator config is the
+single source of truth (``Evaluator.trace`` threads it end to end) and
+the trace records the width it was executed at, so the validator
+measures in the same unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import AcceleratorConfig, MemoryConfig
+from repro.cost.evaluator import Evaluator
+from repro.errors import CapacityError
+from repro.memory.trace import trace_subgraph, validate_trace
+from repro.units import kb, mb
+
+from ..conftest import build_chain, build_diamond
+
+
+@pytest.fixture(params=[build_chain, build_diamond])
+def graph(request):
+    return request.param()
+
+
+def compute_members(graph):
+    return frozenset(graph.compute_names)
+
+
+MEMORY = MemoryConfig.separate(mb(1), mb(2))
+
+
+def evaluator_at(graph, byte: int) -> Evaluator:
+    accel = replace(
+        AcceleratorConfig(memory=MEMORY), bytes_per_element=byte
+    )
+    return Evaluator(graph, accel)
+
+
+class TestTraceAnalyticEquivalenceAt2Bytes:
+    def test_evaluator_trace_validates_clean(self, graph):
+        """The single-source-of-truth path: pricing and tracing both read
+        the accelerator's element width, so the cross-check is clean."""
+        members = compute_members(graph)
+        evaluator = evaluator_at(graph, 2)
+        cost = evaluator.subgraph_cost(members, MEMORY)
+        assert cost.feasible
+        trace = evaluator.trace(members, MEMORY)
+        assert trace.bytes_per_element == 2
+        problems = validate_trace(
+            trace, graph, memory=MEMORY, analytic_ema_bytes=cost.ema_bytes
+        )
+        assert problems == []
+
+    def test_trace_ema_matches_analytic_exactly(self, graph):
+        """With everything weight-cached, trace EMA == closed form at
+        both element widths, and the activation traffic scales exactly
+        2x (weights are already stored in bytes, so they don't)."""
+        members = compute_members(graph)
+        traces = {}
+        for byte in (1, 2):
+            evaluator = evaluator_at(graph, byte)
+            cost = evaluator.subgraph_cost(members, MEMORY)
+            assert set(cost.cached_weight_nodes) == {
+                n for n in members if graph.layer(n).weight_bytes > 0
+            }
+            trace = evaluator.trace(members, MEMORY)
+            assert trace.ema_bytes == cost.ema_bytes
+            traces[byte] = trace
+        one, two = traces[1], traces[2]
+        assert two.input_load_bytes == 2 * one.input_load_bytes
+        assert two.output_store_bytes == 2 * one.output_store_bytes
+        assert two.weight_load_bytes == one.weight_load_bytes
+        assert two.peak_occupancy_bytes == 2 * one.peak_occupancy_bytes
+
+    def test_analytic_io_scales_with_element_width(self, graph):
+        members = compute_members(graph)
+        profile_1 = evaluator_at(graph, 1).profile(members)
+        profile_2 = evaluator_at(graph, 2).profile(members)
+        assert profile_2.io_bytes == 2 * profile_1.io_bytes
+        assert profile_2.min_activation_bytes == 2 * profile_1.min_activation_bytes
+        assert profile_2.weight_bytes == profile_1.weight_bytes
+
+    def test_validator_measures_in_trace_units(self, graph):
+        """Regression: validate_trace used to compare a 2-byte trace's
+        loads against 1-byte tensor sizes and report phantom problems."""
+        members = compute_members(graph)
+        trace = trace_subgraph(graph, members, bytes_per_element=2)
+        problems = validate_trace(trace, graph)
+        assert problems == []
+
+    def test_validator_still_catches_width_mismatch(self, graph):
+        """A trace claiming 1-byte elements but carrying 2-byte traffic
+        is flagged — the check is unit-aware, not disabled."""
+        members = compute_members(graph)
+        wide = trace_subgraph(graph, members, bytes_per_element=2)
+        lying = replace(wide, bytes_per_element=1)
+        assert validate_trace(lying, graph)
+
+    def test_feasibility_respects_element_width(self):
+        """A subgraph that fits at 1 byte/element can overflow at 2."""
+        graph = build_chain(depth=4, size=64, channels=32)
+        members = compute_members(graph)
+        tight = MemoryConfig.separate(
+            evaluator_at(graph, 1).profile(members).min_activation_bytes
+            + kb(1),
+            mb(2),
+        )
+        accel_1 = replace(AcceleratorConfig(memory=tight), bytes_per_element=1)
+        accel_2 = replace(AcceleratorConfig(memory=tight), bytes_per_element=2)
+        assert Evaluator(graph, accel_1).feasible(members, tight)
+        assert not Evaluator(graph, accel_2).feasible(members, tight)
+
+    def test_trace_of_infeasible_subgraph_rejected(self):
+        graph = build_chain(depth=4, size=64, channels=32)
+        members = compute_members(graph)
+        tiny = MemoryConfig.separate(kb(1), kb(1))
+        accel = replace(AcceleratorConfig(memory=tiny), bytes_per_element=2)
+        with pytest.raises(CapacityError):
+            Evaluator(graph, accel).trace(members, tiny)

@@ -1,0 +1,245 @@
+"""Generation-level checkpoint/resume: bit-identical continuation.
+
+The contract: a run interrupted after any generation and resumed from
+its checkpoint — in the same process, or after a JSON round trip in a
+fresh process with cold evaluator caches — finishes with exactly the
+result of a run that was never interrupted: same best cost, same best
+genome, same evaluation counter, same history, same telemetry. Both
+serial and :class:`ProcessPoolBackend` evaluation are covered.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.config import MemoryConfig
+from repro.cost.evaluator import Evaluator
+from repro.cost.objective import Metric
+from repro.dse.nsga import NSGAConfig, nsga2_co_optimize
+from repro.errors import SearchError
+from repro.ga.engine import EngineCheckpoint, GAConfig, GeneticEngine
+from repro.ga.problem import OptimizationProblem
+from repro.runs.checkpoint import (
+    ga_checkpoint_from_dict,
+    ga_checkpoint_to_dict,
+    genome_from_dict,
+    genome_to_dict,
+    memory_from_dict,
+    memory_to_dict,
+    nsga_checkpoint_from_dict,
+    nsga_checkpoint_to_dict,
+)
+from repro.search_space import CapacitySpace
+from repro.units import kb
+
+from ..conftest import build_chain
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return build_chain(depth=6)
+
+
+def co_problem(graph) -> OptimizationProblem:
+    return OptimizationProblem(
+        evaluator=Evaluator(graph),
+        metric=Metric.ENERGY,
+        alpha=0.002,
+        space=CapacitySpace.paper_separate(),
+    )
+
+
+GA_CONFIG = GAConfig(
+    population_size=10, generations=6, seed=11, record_samples=True
+)
+
+
+def ga_results_equal(a, b) -> bool:
+    return (
+        a.best_cost == b.best_cost
+        and a.best_genome.key() == b.best_genome.key()
+        and a.num_evaluations == b.num_evaluations
+        and a.history == b.history
+        and [
+            (s.index, s.cost, s.total_buffer_bytes, s.generation)
+            for s in a.samples
+        ]
+        == [
+            (s.index, s.cost, s.total_buffer_bytes, s.generation)
+            for s in b.samples
+        ]
+    )
+
+
+def capture_checkpoints(graph, config=GA_CONFIG) -> dict[int, EngineCheckpoint]:
+    checkpoints: dict[int, EngineCheckpoint] = {}
+    GeneticEngine(co_problem(graph), config).run(
+        on_generation=lambda ck: checkpoints.__setitem__(ck.generation, ck)
+    )
+    return checkpoints
+
+
+# ---------------------------------------------------------------------------
+class TestGenomeSerialization:
+    def test_memory_round_trip(self):
+        for memory in (
+            MemoryConfig.separate(kb(512), kb(576)),
+            MemoryConfig.shared(kb(1024)),
+        ):
+            assert memory_from_dict(memory_to_dict(memory)) == memory
+
+    def test_genome_round_trip_crosses_graph_instances(self, graph):
+        problem = co_problem(graph)
+        import random
+
+        genome = problem.random_genome(random.Random(0))
+        clone_graph = build_chain(depth=6)
+        rebuilt = genome_from_dict(genome_to_dict(genome), clone_graph)
+        assert rebuilt.key() == genome.key()
+
+
+# ---------------------------------------------------------------------------
+class TestEngineResume:
+    def test_hook_sees_every_generation(self, graph):
+        checkpoints = capture_checkpoints(graph)
+        assert sorted(checkpoints) == list(range(0, GA_CONFIG.generations + 1))
+
+    def test_resume_every_generation_is_bit_identical(self, graph):
+        full = GeneticEngine(co_problem(graph), GA_CONFIG).run()
+        checkpoints = capture_checkpoints(graph)
+        for generation in (0, 2, GA_CONFIG.generations - 1):
+            resumed = GeneticEngine(co_problem(graph), GA_CONFIG).resume(
+                checkpoints[generation]
+            )
+            assert ga_results_equal(resumed, full), f"gen {generation}"
+
+    def test_resume_after_json_round_trip_with_cold_caches(self, graph):
+        """The registry path: checkpoint -> JSON -> fresh process state
+        (new problem, new evaluator, rebuilt genomes)."""
+        full = GeneticEngine(co_problem(graph), GA_CONFIG).run()
+        checkpoint = capture_checkpoints(graph)[3]
+        blob = json.dumps(ga_checkpoint_to_dict(checkpoint))
+        restored = ga_checkpoint_from_dict(json.loads(blob), graph)
+        resumed = GeneticEngine(co_problem(graph), GA_CONFIG).resume(restored)
+        assert ga_results_equal(resumed, full)
+
+    def test_resume_from_final_generation_returns_result(self, graph):
+        full = GeneticEngine(co_problem(graph), GA_CONFIG).run()
+        checkpoint = capture_checkpoints(graph)[GA_CONFIG.generations]
+        resumed = GeneticEngine(co_problem(graph), GA_CONFIG).resume(checkpoint)
+        assert ga_results_equal(resumed, full)
+
+    def test_resume_with_process_pool_backend(self, graph):
+        parallel = GAConfig(
+            population_size=10, generations=5, seed=11,
+            record_samples=True, workers=2,
+        )
+        full = GeneticEngine(co_problem(graph), parallel).run()
+        checkpoints: dict[int, EngineCheckpoint] = {}
+        GeneticEngine(co_problem(graph), parallel).run(
+            on_generation=lambda ck: checkpoints.__setitem__(ck.generation, ck)
+        )
+        blob = json.dumps(ga_checkpoint_to_dict(checkpoints[2]))
+        restored = ga_checkpoint_from_dict(json.loads(blob), graph)
+        resumed = GeneticEngine(co_problem(graph), parallel).resume(restored)
+        assert ga_results_equal(resumed, full)
+
+    def test_serial_and_parallel_resume_agree(self, graph):
+        checkpoint = capture_checkpoints(graph)[2]
+        serial = GeneticEngine(co_problem(graph), GA_CONFIG).resume(checkpoint)
+        parallel_config = GAConfig(
+            population_size=10, generations=6, seed=11,
+            record_samples=True, workers=2,
+        )
+        parallel = GeneticEngine(co_problem(graph), parallel_config).resume(
+            capture_checkpoints(graph)[2]
+        )
+        assert ga_results_equal(serial, parallel)
+
+    def test_checkpoint_beyond_config_rejected(self, graph):
+        checkpoint = capture_checkpoints(graph)[4]
+        short = GAConfig(population_size=10, generations=2, seed=11)
+        with pytest.raises(SearchError):
+            GeneticEngine(co_problem(graph), short).resume(checkpoint)
+
+    def test_checkpoint_copies_are_defensive(self, graph):
+        checkpoints = capture_checkpoints(graph)
+        first, last = checkpoints[0], checkpoints[GA_CONFIG.generations]
+        assert len(first.history) <= len(last.history)
+        first.history.append((999, 0.0))
+        assert (999, 0.0) not in last.history
+
+
+# ---------------------------------------------------------------------------
+NSGA_CONFIG = NSGAConfig(population_size=8, generations=5, seed=3)
+
+
+def nsga_front_key(result):
+    return [
+        (p.capacity_bytes, p.metric_cost, p.genome.key()) for p in result.front
+    ]
+
+
+class TestNSGAResume:
+    def run_full(self, graph):
+        return nsga2_co_optimize(
+            Evaluator(graph),
+            CapacitySpace.paper_shared(),
+            metric=Metric.ENERGY,
+            config=NSGA_CONFIG,
+        )
+
+    def capture(self, graph):
+        checkpoints = {}
+        nsga2_co_optimize(
+            Evaluator(graph),
+            CapacitySpace.paper_shared(),
+            metric=Metric.ENERGY,
+            config=NSGA_CONFIG,
+            on_generation=lambda ck: checkpoints.__setitem__(
+                ck.generation, ck
+            ),
+        )
+        return checkpoints
+
+    def test_resume_bit_identical(self, graph):
+        full = self.run_full(graph)
+        checkpoints = self.capture(graph)
+        for generation in (0, 2, 4):
+            restored = nsga_checkpoint_from_dict(
+                json.loads(
+                    json.dumps(nsga_checkpoint_to_dict(checkpoints[generation]))
+                ),
+                graph,
+            )
+            resumed = nsga2_co_optimize(
+                Evaluator(graph),
+                CapacitySpace.paper_shared(),
+                metric=Metric.ENERGY,
+                config=NSGA_CONFIG,
+                resume_from=restored,
+            )
+            assert resumed.num_evaluations == full.num_evaluations
+            assert resumed.history == full.history
+            assert nsga_front_key(resumed) == nsga_front_key(full)
+
+    def test_archive_preserves_dedup_counting(self, graph):
+        """Without the archive, a resumed run would re-evaluate genomes
+        the original had cached and inflate num_evaluations."""
+        checkpoints = self.capture(graph)
+        checkpoint = checkpoints[2]
+        assert len(checkpoint.archive) >= len(checkpoint.points)
+
+    def test_checkpoint_beyond_config_rejected(self, graph):
+        checkpoint = self.capture(graph)[4]
+        short = NSGAConfig(population_size=8, generations=2, seed=3)
+        with pytest.raises(SearchError):
+            nsga2_co_optimize(
+                Evaluator(graph),
+                CapacitySpace.paper_shared(),
+                metric=Metric.ENERGY,
+                config=short,
+                resume_from=checkpoint,
+            )

@@ -1,0 +1,127 @@
+"""The run registry: durable directories, streaming, atomic completion."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.runs.registry import RunRegistry, config_hash
+
+
+CONFIG = {"network": "resnet50", "scheme": "cocco", "alpha": 0.002}
+
+
+@pytest.fixture
+def registry(tmp_path) -> RunRegistry:
+    return RunRegistry(tmp_path / "reg")
+
+
+class TestConfigHash:
+    def test_key_order_independent(self):
+        a = {"x": 1, "y": 2}
+        b = {"y": 2, "x": 1}
+        assert config_hash(a) == config_hash(b)
+
+    def test_value_sensitive(self):
+        assert config_hash({"x": 1}) != config_hash({"x": 2})
+
+
+class TestRunLifecycle:
+    def test_open_writes_config(self, registry):
+        run = registry.open_run(CONFIG, seed=7)
+        assert run.path.is_dir()
+        payload = json.loads((run.path / "config.json").read_text())
+        assert payload["config"] == CONFIG
+        assert payload["seed"] == 7
+
+    def test_directory_keyed_by_hash_and_seed(self, registry):
+        assert registry.run_name(CONFIG, 7).endswith("-s7")
+        assert registry.run_path(CONFIG, 7) != registry.run_path(CONFIG, 8)
+        other = {**CONFIG, "alpha": 0.005}
+        assert registry.run_path(CONFIG, 7) != registry.run_path(other, 7)
+
+    def test_incomplete_until_finished(self, registry):
+        run = registry.open_run(CONFIG, seed=0)
+        assert not run.is_complete
+        assert not registry.is_complete(CONFIG, 0)
+        run.finish({"best_cost": 1.5})
+        assert run.is_complete
+        assert registry.is_complete(CONFIG, 0)
+        assert run.load_result() == {"best_cost": 1.5}
+
+    def test_load_result_before_finish_raises(self, registry):
+        run = registry.open_run(CONFIG, seed=0)
+        with pytest.raises(ConfigError):
+            run.load_result()
+
+    def test_no_partial_result_file_left_behind(self, registry):
+        """finish() is atomic: either result.json exists whole or not
+        at all — no .tmp debris counts as completion."""
+        run = registry.open_run(CONFIG, seed=0)
+        run.finish({"v": 1})
+        assert not list(run.path.glob("*.tmp"))
+
+
+class TestHistoryStreaming:
+    def test_append_and_read(self, registry):
+        run = registry.open_run(CONFIG, seed=0)
+        run.log_history({"generation": 0, "best_cost": 9.0})
+        run.log_history({"generation": 1, "best_cost": 7.0})
+        assert [e["generation"] for e in run.read_history()] == [0, 1]
+
+    def test_reopen_incomplete_truncates_history(self, registry):
+        run = registry.open_run(CONFIG, seed=0)
+        run.log_history({"generation": 0})
+        run = registry.open_run(CONFIG, seed=0)  # restart, no checkpoint
+        assert run.read_history() == []
+
+    def test_reopen_with_checkpoint_keeps_history(self, registry):
+        run = registry.open_run(CONFIG, seed=0)
+        run.log_history({"generation": 0})
+        run.save_checkpoint({"format": 1, "generation": 0})
+        run = registry.open_run(CONFIG, seed=0)
+        assert [e["generation"] for e in run.read_history()] == [0]
+
+    def test_truncate_history_drops_orphans(self, registry):
+        run = registry.open_run(CONFIG, seed=0)
+        for generation in range(4):
+            run.log_history({"generation": generation})
+        run.save_checkpoint({"format": 1, "generation": 2})
+        run = registry.open_run(CONFIG, seed=0)
+        run.truncate_history(2)
+        assert [e["generation"] for e in run.read_history()] == [0, 1, 2]
+
+    def test_reopen_complete_is_readonly(self, registry):
+        run = registry.open_run(CONFIG, seed=0)
+        run.log_history({"generation": 0})
+        run.finish({"v": 1})
+        run = registry.open_run(CONFIG, seed=0)
+        assert run.is_complete
+        assert [e["generation"] for e in run.read_history()] == [0]
+
+
+class TestCheckpointFiles:
+    def test_round_trip(self, registry):
+        run = registry.open_run(CONFIG, seed=0)
+        assert run.load_checkpoint() is None
+        run.save_checkpoint({"generation": 3, "rng_state": [1, 2]})
+        assert run.load_checkpoint() == {"generation": 3, "rng_state": [1, 2]}
+        assert run.has_checkpoint
+
+
+class TestEnumeration:
+    def test_runs_and_completed(self, registry):
+        registry.open_run(CONFIG, seed=0)
+        other = registry.open_run({**CONFIG, "network": "vgg16"}, seed=1)
+        other.finish({"v": 2})
+        assert len(list(registry.runs())) == 2
+        completed = registry.completed()
+        assert len(completed) == 1
+        assert completed[0].load_result() == {"v": 2}
+
+    def test_empty_registry(self, tmp_path):
+        registry = RunRegistry(tmp_path / "missing")
+        assert list(registry.runs()) == []
+        assert registry.completed() == []

@@ -1,0 +1,61 @@
+"""Per-cell seed derivation: stable, order-independent, collision-free."""
+
+from __future__ import annotations
+
+from repro.runs.seeds import derive_seed, stable_digest
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(0, "resnet50", "separate") == derive_seed(
+            0, "resnet50", "separate"
+        )
+
+    def test_campaign_seed_changes_stream(self):
+        assert derive_seed(0, "resnet50") != derive_seed(1, "resnet50")
+
+    def test_key_parts_change_stream(self):
+        assert derive_seed(0, "resnet50") != derive_seed(0, "googlenet")
+        assert derive_seed(0, "a", 1) != derive_seed(0, "a", 2)
+        assert derive_seed(0, "fig14", "vgg16", 2e-3) != derive_seed(
+            0, "fig14", "vgg16", 5e-3
+        )
+
+    def test_independent_of_matrix_membership(self):
+        """Adding cells to a matrix never shifts an existing cell's seed.
+
+        This is the property the old ``seed + index`` scheme violated:
+        the seed is a pure function of the cell key, so it's the same
+        whether the cell is computed alone or within any larger sweep.
+        """
+        alphas_small = (1e-3, 2e-3)
+        alphas_large = (5e-4, 1e-3, 2e-3, 5e-3)  # superset, reordered start
+        small = {a: derive_seed(0, "fig14", "resnet50", a) for a in alphas_small}
+        large = {a: derive_seed(0, "fig14", "resnet50", a) for a in alphas_large}
+        for alpha in alphas_small:
+            assert small[alpha] == large[alpha]
+
+    def test_no_concatenation_collisions(self):
+        assert derive_seed(0, "ab", "c") != derive_seed(0, "a", "bc")
+        assert derive_seed(0, ("a", "b")) != derive_seed(0, "a", "b")
+
+    def test_int_and_float_parts_distinct(self):
+        assert derive_seed(0, 1) != derive_seed(0, 1.0)
+
+    def test_range_is_63_bit_non_negative(self):
+        for seed in (derive_seed(s, "x") for s in range(50)):
+            assert 0 <= seed < 2**63
+
+    def test_locked_golden_values(self):
+        """Pin concrete values: any change to the derivation silently
+        re-seeds every published experiment cell, so it must be loud."""
+        assert derive_seed(0, "fig14", "resnet50", 2e-3) == 5162480715140506213
+        assert derive_seed(0, "table3", "googlenet", 2, 8) == 5278281200923285998
+        assert (
+            stable_digest("x")
+            == "2d711642b726b04401627ca9fbac32f5c8530fb1903cc4db02258717921a4881"
+        )
+
+    def test_spread(self):
+        seeds = {derive_seed(0, "cell", i) for i in range(200)}
+        assert len(seeds) == 200

@@ -35,6 +35,9 @@ class TestPublicApi:
             "repro.experiments",
             "repro.viz",
             "repro.cli",
+            "repro.parallel",
+            "repro.runs",
+            "repro.runs.suite",
         ],
     )
     def test_subpackages_import(self, module):
