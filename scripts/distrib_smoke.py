@@ -1,0 +1,152 @@
+#!/usr/bin/env python
+"""Distrib smoke: two workers, one SIGKILLed mid-cell, identical report.
+
+The CI acceptance check for the distributed campaign layer:
+
+1. run a small matrix to completion single-process in a *clean*
+   registry (`repro suite`);
+2. start a `repro worker` against a second registry with fault
+   injection targeting the first cell: the worker claims the cell's
+   lease, then hard-exits mid-cell exactly like an OOM kill — leaving
+   an unreleased lease and no durable result;
+3. start two concurrent survivor `repro worker` processes on the same
+   registry: between them they must steal the dead worker's expired
+   lease (exactly once), re-run/resume its cell, and finish the whole
+   campaign;
+4. merge the registry (`repro suite --report-only`) and assert the
+   merged rows are bit-identical to the clean single-process run's.
+
+Exit code 0 on success; non-zero with a diagnostic otherwise. The
+killed-and-reclaimed registry is left in place so CI can upload it as
+an artifact.
+
+Usage::
+
+    PYTHONPATH=src python scripts/distrib_smoke.py --workdir distrib-smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+MATRIX_ARGS = [
+    "--networks", "vgg16,googlenet",
+    "--schemes", "cocco,sa",
+    "--scale", "tiny",
+    "--seed", "0",
+]
+
+#: The first cell in matrix order — the one the victim worker claims.
+FAULT_CELL = "vgg16/separate/energy/b1/cocco"
+
+
+def suite_command(registry: Path, *extra: str) -> list[str]:
+    return [
+        sys.executable, "-m", "repro.cli.main", "suite",
+        *MATRIX_ARGS, "--registry", str(registry), *extra,
+    ]
+
+
+def worker_command(registry: Path, worker_id: str) -> list[str]:
+    return [
+        sys.executable, "-m", "repro.cli.main", "worker",
+        *MATRIX_ARGS, "--registry", str(registry),
+        "--worker-id", worker_id, "--ttl", "3", "--poll", "0.1",
+    ]
+
+
+def read_rows(path: Path) -> list:
+    if not path.exists():
+        raise SystemExit(f"FAIL: no merged report at {path}")
+    return json.loads(path.read_text())["rows"]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workdir", default="distrib-smoke",
+                        help="directory holding both registries")
+    args = parser.parse_args()
+
+    workdir = Path(args.workdir)
+    if workdir.exists():
+        shutil.rmtree(workdir)
+    clean = workdir / "clean-registry"
+    shared = workdir / "shared-registry"
+    env = dict(os.environ)
+
+    # 1. clean single-process reference run
+    subprocess.run(
+        suite_command(clean, "--workers", "1"), env=env, check=True,
+        stdout=subprocess.DEVNULL,
+    )
+    clean_rows = read_rows(clean / "report.json")
+    print(f"clean single-process run: {len(clean_rows)} rows")
+
+    # 2. victim worker: dies mid-cell on the first cell it claims,
+    # leaving an unreleased lease behind
+    victim_env = dict(env, REPRO_SUITE_FAULT_CELL=FAULT_CELL)
+    victim = subprocess.run(
+        worker_command(shared, "victim"), env=victim_env,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    if victim.returncode != 23:
+        print(f"FAIL: victim exited {victim.returncode}, expected the "
+              "injected hard-kill code 23")
+        return 1
+    leases = list(shared.glob("*/lease.json"))
+    if len(leases) != 1:
+        print(f"FAIL: expected exactly one orphaned lease, found {leases}")
+        return 1
+    print("victim killed mid-cell; orphaned lease in place")
+
+    # 3. two concurrent survivors: a real shared-registry fleet. One of
+    # them must reclaim the victim's expired lease; both must exit clean.
+    survivors = [
+        subprocess.Popen(
+            worker_command(shared, f"survivor-{i}"), env=env,
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        )
+        for i in range(2)
+    ]
+    reclaimed = 0
+    for process in survivors:
+        stdout, _ = process.communicate(timeout=600)
+        if process.returncode != 0:
+            print(f"FAIL: a survivor exited {process.returncode}:\n{stdout}")
+            return 1
+        summary = stdout.strip().splitlines()[-1]
+        print(summary)
+        match = re.search(r"reclaimed (\d+) expired lease", summary)
+        reclaimed += int(match.group(1)) if match else 0
+    if reclaimed != 1:
+        print(f"FAIL: expected exactly one lease reclaim across the "
+              f"fleet, saw {reclaimed}")
+        return 1
+
+    # 4. merged report must be bit-identical to the clean run
+    subprocess.run(
+        suite_command(shared, "--report-only", "--export",
+                      str(shared / "report.json")),
+        env=env, check=True, stdout=subprocess.DEVNULL,
+    )
+    shared_rows = read_rows(shared / "report.json")
+    if shared_rows != clean_rows:
+        print("FAIL: two-worker kill/reclaim campaign differs from clean run")
+        for a, b in zip(clean_rows, shared_rows):
+            marker = "  " if a == b else "!="
+            print(f"{marker} clean={a}\n{marker} workers={b}")
+        return 1
+    print(f"OK: kill/reclaim report bit-identical to clean run "
+          f"({len(clean_rows)} rows)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -408,22 +408,12 @@ def _parse_list(text: str) -> tuple[str, ...]:
     return tuple(part.strip() for part in text.split(",") if part.strip())
 
 
-def cmd_suite(args: argparse.Namespace) -> tuple[str, int]:
-    """``repro suite`` — run (or resume) a sharded experiment campaign.
+def _suite_matrix(args: argparse.Namespace):
+    from ..runs.suite import SuiteMatrix
 
-    Expands the workload matrix into cells, shards them across worker
-    processes, skips cells the registry already holds complete, and
-    merges every durable result into one report. Safe to kill and
-    re-run: the resumed campaign's merged report is bit-identical to an
-    uninterrupted one at the same campaign seed. Exits non-zero when any
-    cell failed or remains incomplete, so CI can gate on the campaign.
-    """
-    from pathlib import Path as _Path
-
-    from ..runs.registry import RunRegistry
-    from ..runs.suite import SuiteMatrix, merged_report, run_suite
-
-    matrix = SuiteMatrix(
+    if not args.networks:
+        raise ConfigError("--networks is required (except with --gc)")
+    return SuiteMatrix(
         networks=_parse_list(args.networks),
         modes=_parse_list(args.modes),
         metrics=_parse_list(args.metrics),
@@ -435,15 +425,85 @@ def cmd_suite(args: argparse.Namespace) -> tuple[str, int]:
         scale=args.scale,
         seed=args.seed,
     )
+
+
+def cmd_suite(args: argparse.Namespace) -> tuple[str, int]:
+    """``repro suite`` — run (or resume) a sharded experiment campaign.
+
+    Expands the workload matrix into cells, shards them across worker
+    processes, skips cells the registry already holds complete, and
+    merges every durable result into one report. Safe to kill and
+    re-run: the resumed campaign's merged report is bit-identical to an
+    uninterrupted one at the same campaign seed. Exits non-zero when any
+    cell failed or remains incomplete, so CI can gate on the campaign.
+
+    ``--distributed`` switches to coordinator mode (spawning
+    ``--workers`` local ``repro worker`` processes against the shared
+    registry), ``--budget`` caps the campaign's total samples with
+    deterministic per-cell re-granting, ``--status`` prints the live
+    lease/checkpoint view, and ``--gc`` reclaims stale checkpoint/lease
+    files of completed runs.
+    """
+    from pathlib import Path as _Path
+
+    from ..runs.registry import RunRegistry
+    from ..runs.suite import merged_report, run_suite
+
+    registry = RunRegistry(args.registry)
+    if args.gc:
+        removed, reclaimed = registry.gc()
+        return (
+            f"gc: removed {removed} stale file(s), "
+            f"reclaimed {to_kb(reclaimed):.1f} KB"
+        ), 0
+
+    if args.status:
+        # Status is a pure read of someone else's campaign: prefer the
+        # coordinator's manifest over retyped (and easily mistyped)
+        # matrix flags, exactly as `repro worker` does.
+        from ..distrib.coordinator import read_manifest
+        from ..viz.campaign import campaign_snapshot, render_campaign
+
+        budget = args.budget
+        if args.networks:
+            matrix = _suite_matrix(args)
+        else:
+            matrix, manifest_budget = read_manifest(args.registry)
+            if budget is None:
+                budget = manifest_budget
+        return render_campaign(
+            campaign_snapshot(matrix, registry, budget=budget)
+        ), 0
+
+    matrix = _suite_matrix(args)
     if args.report_only:
-        report = merged_report(matrix, RunRegistry(args.registry))
+        report = merged_report(matrix, registry)
         lines = [report.to_text()]
         if args.export:
             lines.append(f"exported to {write_result(report, args.export)}")
         return "\n".join(lines), 0
-    outcome = run_suite(
-        matrix, args.registry, workers=args.workers, max_rounds=args.max_rounds
-    )
+
+    if args.distributed:
+        from ..distrib.coordinator import CoordinatorConfig, run_distributed
+
+        config = CoordinatorConfig(
+            spawn_workers=args.workers,
+            lease_ttl=args.ttl,
+            poll_interval=args.poll,
+            eval_workers=args.eval_workers,
+            status_interval=args.status_interval,
+            timeout=args.timeout,
+            on_status=lambda text: print(text, flush=True),
+        )
+        outcome = run_distributed(
+            matrix, args.registry, budget=args.budget, config=config
+        )
+    else:
+        outcome = run_suite(
+            matrix, args.registry, workers=args.workers,
+            max_rounds=args.max_rounds, budget=args.budget,
+            eval_workers=args.eval_workers,
+        )
     report_path = write_result(
         outcome.report, _Path(args.registry) / "report.json"
     )
@@ -454,4 +514,46 @@ def cmd_suite(args: argparse.Namespace) -> tuple[str, int]:
     if args.export:
         path = write_result(outcome.report, args.export)
         lines.append(f"exported to {path}")
-    return "\n".join(lines), 1 if outcome.failed else 0
+    return "\n".join(lines), 1 if outcome.failed or outcome.exhausted else 0
+
+
+def cmd_worker(args: argparse.Namespace) -> str:
+    """``repro worker`` — join a campaign as a lease-claiming worker.
+
+    Points at a shared registry directory; the matrix comes from the
+    flags or, when ``--networks`` is omitted, from the coordinator's
+    ``campaign.json`` manifest. Runs until the campaign is finished
+    (or ``--max-idle`` elapses with nothing claimable), then prints a
+    summary of the cells it ran, resumed, and reclaimed.
+    """
+    from ..distrib.coordinator import read_manifest
+    from ..distrib.worker import (
+        WorkerConfig,
+        default_worker_id,
+        run_worker,
+    )
+
+    budget = args.budget
+    if args.networks:
+        matrix = _suite_matrix(args)
+        if budget is None:
+            # Explicit matrix flags must not silently shed the fleet's
+            # budget: a worker running uncapped would blow through the
+            # deterministic schedule every other participant computes.
+            try:
+                _, budget = read_manifest(args.registry)
+            except ConfigError:
+                pass  # no coordinator manifest: genuinely unbudgeted
+    else:
+        matrix, manifest_budget = read_manifest(args.registry)
+        if budget is None:
+            budget = manifest_budget
+    config = WorkerConfig(
+        worker_id=args.worker_id or default_worker_id(),
+        lease_ttl=args.ttl,
+        poll_interval=args.poll,
+        eval_workers=args.eval_workers,
+        max_idle=args.max_idle,
+    )
+    summary = run_worker(matrix, args.registry, config, budget=budget)
+    return summary.render()

@@ -117,8 +117,10 @@ def build_parser() -> argparse.ArgumentParser:
         "suite",
         help="run a durable, sharded, resumable experiment campaign",
     )
-    suite.add_argument("--networks", required=True,
-                       help="comma list of zoo models (matrix dimension)")
+    suite.add_argument("--networks",
+                       help="comma list of zoo models (matrix dimension); "
+                            "required except with --gc, or with --status "
+                            "when the registry holds a campaign manifest")
     suite.add_argument("--modes", default="separate",
                        help="comma list of buffer modes: separate,shared")
     suite.add_argument("--metrics", default="energy",
@@ -144,6 +146,72 @@ def build_parser() -> argparse.ArgumentParser:
                             "results without running anything")
     suite.add_argument("--export", help="also write the merged report "
                                         "to this CSV/JSON path")
+    suite.add_argument("--budget", type=int, default=None,
+                       help="campaign-wide sample budget: cells get "
+                            "deterministic per-cell allocations and "
+                            "unspent samples are re-granted from "
+                            "converged cells to unconverged ones")
+    suite.add_argument("--distributed", action="store_true",
+                       help="coordinator mode: enqueue the campaign "
+                            "manifest, spawn --workers local `repro "
+                            "worker` processes, watch lease/checkpoint "
+                            "state, reclaim expired leases, and merge "
+                            "the final report")
+    suite.add_argument("--ttl", type=float, default=30.0,
+                       help="lease TTL in seconds (distributed mode): "
+                            "a worker silent this long is presumed dead "
+                            "and its cells are reclaimed")
+    suite.add_argument("--poll", type=float, default=1.0,
+                       help="coordinator/worker poll interval (s)")
+    suite.add_argument("--status-interval", type=float, default=10.0,
+                       help="seconds between live status renders in "
+                            "distributed mode")
+    suite.add_argument("--timeout", type=float, default=None,
+                       help="abort the distributed campaign after this "
+                            "many seconds (default: wait forever)")
+    suite.add_argument("--eval-workers", type=int, default=None,
+                       help="evaluation fan-out *inside* each cell "
+                            "(bit-identical for any value)")
+    suite.add_argument("--status", action="store_true",
+                       help="print the live campaign status table and "
+                            "exit (no work is run)")
+    suite.add_argument("--gc", action="store_true",
+                       help="drop stale checkpoint/lease files of "
+                            "completed runs in --registry, report "
+                            "reclaimed bytes, and exit")
+
+    worker = sub.add_parser(
+        "worker",
+        help="long-running campaign worker: lease cells from a shared "
+             "registry, execute and checkpoint them, heartbeat, resume "
+             "dead peers' cells",
+    )
+    worker.add_argument("--registry", required=True,
+                        help="shared run-registry directory")
+    worker.add_argument("--networks", default=None,
+                        help="comma list of zoo models; omit to read "
+                             "the coordinator's campaign.json manifest")
+    worker.add_argument("--modes", default="separate")
+    worker.add_argument("--metrics", default="energy")
+    worker.add_argument("--schemes", default="cocco")
+    worker.add_argument("--bytes-per-element", default="1")
+    worker.add_argument("--alphas", default="0.002")
+    worker.add_argument("--scale", choices=sorted(SCALES), default="quick")
+    worker.add_argument("--seed", type=int, default=0)
+    worker.add_argument("--budget", type=int, default=None,
+                        help="campaign sample budget (must match the "
+                             "other workers'; omit to read the manifest)")
+    worker.add_argument("--worker-id", default=None,
+                        help="stable worker identity (default: host-pid)")
+    worker.add_argument("--ttl", type=float, default=30.0,
+                        help="lease TTL in seconds")
+    worker.add_argument("--poll", type=float, default=1.0,
+                        help="idle poll interval (s)")
+    worker.add_argument("--eval-workers", type=int, default=None,
+                        help="evaluation fan-out inside a leased cell")
+    worker.add_argument("--max-idle", type=float, default=None,
+                        help="exit after this many consecutive idle "
+                             "seconds (default: wait for peers forever)")
 
     return parser
 
@@ -159,6 +227,7 @@ _HANDLERS = {
     "pareto": commands.cmd_pareto,
     "experiment": commands.cmd_experiment,
     "suite": commands.cmd_suite,
+    "worker": commands.cmd_worker,
 }
 
 

@@ -1,0 +1,249 @@
+"""``repro suite --distributed``: the campaign coordinator.
+
+The coordinator owns the campaign's lifecycle but none of its work:
+
+* it writes the ``campaign.json`` manifest into the registry root, so
+  bare ``repro worker --registry DIR`` processes (on this machine or
+  any machine sharing the directory) know the matrix, scale, seed, and
+  budget without re-typing them;
+* it optionally spawns local worker processes (real OS processes via
+  the ``spawn`` context — each one is exactly a ``repro worker``);
+* it watches lease/checkpoint state live, re-rendering the campaign
+  status view, and sweeps expired leases so dead workers' cells free up
+  even when every survivor is busy;
+* when the campaign finishes it merges every durable ``result.json``
+  into the final report **exactly as the local path does** — the merge
+  is :func:`repro.runs.suite.merged_report`, shared code, which is what
+  makes a distributed campaign's report bit-identical to a local run's.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from ..errors import ConfigError, ReproError
+from ..runs.registry import RunRegistry, _write_atomic
+from ..runs.suite import (
+    SuiteMatrix,
+    SuiteOutcome,
+    classify_campaign,
+    merged_report,
+)
+from .budget import campaign_finished, campaign_progress
+from .lease import break_expired_lease
+from .worker import worker_entry
+
+MANIFEST = "campaign.json"
+
+
+def matrix_to_dict(matrix: SuiteMatrix) -> dict:
+    """JSON-able form of a campaign matrix (inverse of ``SuiteMatrix``)."""
+    return {
+        "networks": list(matrix.networks),
+        "modes": list(matrix.modes),
+        "metrics": list(matrix.metrics),
+        "bytes_per_element": list(matrix.bytes_per_element),
+        "schemes": list(matrix.schemes),
+        "alphas": list(matrix.alphas),
+        "scale": matrix.scale,
+        "seed": matrix.seed,
+    }
+
+
+def matrix_from_dict(data: dict) -> SuiteMatrix:
+    return SuiteMatrix(
+        networks=tuple(data["networks"]),
+        modes=tuple(data["modes"]),
+        metrics=tuple(data["metrics"]),
+        bytes_per_element=tuple(int(v) for v in data["bytes_per_element"]),
+        schemes=tuple(data["schemes"]),
+        alphas=tuple(float(v) for v in data["alphas"]),
+        scale=data["scale"],
+        seed=int(data["seed"]),
+    )
+
+
+def write_manifest(
+    matrix: SuiteMatrix, registry_root: str | Path, budget: int | None = None
+) -> Path:
+    """Persist the campaign definition at the registry root."""
+    root = Path(registry_root)
+    root.mkdir(parents=True, exist_ok=True)
+    path = root / MANIFEST
+    _write_atomic(
+        path,
+        json.dumps({"matrix": matrix_to_dict(matrix), "budget": budget}, indent=2),
+    )
+    return path
+
+
+def read_manifest(registry_root: str | Path) -> tuple[SuiteMatrix, int | None]:
+    """Load the campaign definition a coordinator enqueued."""
+    path = Path(registry_root) / MANIFEST
+    if not path.is_file():
+        raise ConfigError(
+            f"no campaign manifest at {path}; pass the matrix flags "
+            "explicitly or start the coordinator first"
+        )
+    payload = json.loads(path.read_text())
+    budget = payload.get("budget")
+    return matrix_from_dict(payload["matrix"]), (
+        int(budget) if budget is not None else None
+    )
+
+
+@dataclass
+class CoordinatorConfig:
+    """Knobs of one coordinator run."""
+
+    #: Local worker processes to spawn (0: external workers only).
+    spawn_workers: int = 0
+    #: Lease TTL handed to spawned workers, and the expiry threshold the
+    #: coordinator's own reclaim sweep applies.
+    lease_ttl: float = 30.0
+    poll_interval: float = 1.0
+    #: Evaluation fan-out inside each spawned worker's leased cells.
+    eval_workers: int | None = None
+    #: Seconds between status-view renders (None: no live status).
+    status_interval: float | None = None
+    #: Abort (terminating spawned workers) if the campaign has not
+    #: finished after this many seconds. None: wait forever.
+    timeout: float | None = None
+    on_status: Callable[[str], None] | None = None
+    extra: dict = field(default_factory=dict)
+
+
+def run_distributed(
+    matrix: SuiteMatrix,
+    registry_root: str | Path,
+    budget: int | None = None,
+    config: CoordinatorConfig | None = None,
+) -> SuiteOutcome:
+    """Coordinate a distributed campaign; blocks until it finishes.
+
+    Returns the same :class:`SuiteOutcome` shape the local runner
+    produces, with the merged report built by the shared
+    :func:`merged_report` — a distributed campaign (including worker
+    deaths and lease reclaims along the way) merges to exactly the
+    report of a clean single-process run.
+    """
+    config = config or CoordinatorConfig()
+    registry = RunRegistry(registry_root)
+    cells = matrix.cells()
+    if len({cell.key for cell in cells}) != len(cells):
+        raise ConfigError("suite matrix expands to duplicate cells")
+    skipped = sum(
+        1
+        for cell in cells
+        if registry.is_complete(cell.config_dict(), cell.seed(matrix.seed))
+    )
+    write_manifest(matrix, registry_root, budget=budget)
+
+    ctx = multiprocessing.get_context("spawn")
+    workers = []
+    for index in range(config.spawn_workers):
+        process = ctx.Process(
+            target=worker_entry,
+            kwargs={
+                "matrix_args": matrix_to_dict(matrix),
+                "registry_root": str(registry_root),
+                "worker_id": f"coord-w{index}",
+                "lease_ttl": config.lease_ttl,
+                "poll_interval": config.poll_interval,
+                "eval_workers": config.eval_workers,
+                "budget": budget,
+            },
+            daemon=False,
+        )
+        process.start()
+        workers.append(process)
+
+    reclaimed = 0
+    started = time.time()
+    last_status = started
+    aborted = False
+    try:
+        while True:
+            progress = campaign_progress(registry, cells, matrix.seed)
+            if campaign_finished(cells, budget, progress):
+                break
+            # Sweep expired leases so dead workers' cells free up even
+            # while every survivor is busy on other cells.
+            for cell in cells:
+                cfg = cell.config_dict()
+                seed = cell.seed(matrix.seed)
+                if progress[cell.key].complete or progress[cell.key].failed:
+                    continue
+                if break_expired_lease(registry.run_path(cfg, seed)):
+                    reclaimed += 1
+            now = time.time()
+            if (
+                config.on_status is not None
+                and config.status_interval is not None
+                and now - last_status >= config.status_interval
+            ):
+                from ..viz.campaign import campaign_snapshot, render_campaign
+
+                config.on_status(
+                    render_campaign(
+                        campaign_snapshot(matrix, registry, budget=budget)
+                    )
+                )
+                last_status = now
+            if config.spawn_workers and not any(p.is_alive() for p in workers):
+                # Every spawned worker exited but the campaign is not
+                # finished (external workers may still be coming in a
+                # mixed fleet, but with a purely-spawned fleet this
+                # means cells died past max retries). Re-probe once so
+                # the race "workers finished while we slept" reads as
+                # success, then stop.
+                progress = campaign_progress(registry, cells, matrix.seed)
+                if campaign_finished(cells, budget, progress):
+                    break
+                aborted = True
+                raise ReproError(
+                    "all spawned workers exited before the campaign "
+                    "finished; inspect the registry for stuck cells"
+                )
+            if config.timeout is not None and now - started > config.timeout:
+                aborted = True
+                raise ReproError(
+                    f"campaign did not finish within {config.timeout:.0f}s"
+                )
+            time.sleep(config.poll_interval)
+    finally:
+        if not aborted:
+            # Normal completion: workers exit on their own once they
+            # observe the finished campaign.
+            for process in workers:
+                if process.is_alive():
+                    process.join(timeout=config.lease_ttl + 10.0)
+        for process in workers:
+            # Abort path (or a worker that refuses to exit): terminate
+            # immediately — waiting a lease TTL per worker would turn a
+            # --timeout abort into a multi-minute hang.
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+
+    tally = classify_campaign(registry, cells, matrix.seed, budget)
+    report = merged_report(matrix, registry)
+    if reclaimed:
+        report.notes.append(
+            f"coordinator reclaimed {reclaimed} expired lease(s)"
+        )
+    return SuiteOutcome(
+        report=report,
+        total=len(cells),
+        completed=len(tally.completed) - skipped,
+        skipped=skipped,
+        failed=len(tally.failed) + len(tally.incomplete),
+        rounds=1,
+        errors=tally.errors(),
+        exhausted=len(tally.exhausted),
+    )

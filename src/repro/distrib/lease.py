@@ -1,0 +1,296 @@
+"""Filesystem lease protocol for run-registry cells.
+
+One lease file per run directory (``lease.json``, name shared with
+:mod:`repro.runs.registry`), holding the owner's id, a random nonce, the
+acquisition and last-heartbeat timestamps, and the lease TTL. The
+primitives:
+
+* **acquire** — write the lease body to a private temp file, then
+  ``os.link`` it into place: the link is atomic *and* content-complete
+  (no reader ever sees an empty claimed lease), and it fails for all
+  but exactly one claimant of a free cell.
+* **renew** — rewrite via temp-file + rename with a fresh heartbeat,
+  after verifying the file still carries our nonce.
+* **release** — unlink, after the same nonce check.
+* **steal** — reclaim an *expired* lease (heartbeat older than its TTL):
+  rename it to a unique tombstone (only one renamer wins; the loser gets
+  ``FileNotFoundError``), verify the tombstone still holds the expired
+  nonce we observed, then create a fresh lease. If the verification
+  fails — we renamed a lease someone re-acquired in the window — the
+  tombstone is restored and the steal is abandoned.
+
+Clocks: heartbeat ages compare a reader's clock against a writer's, so
+workers sharing a registry should have roughly synchronized clocks (NTP
+is plenty — TTLs are tens of seconds). The protocol's correctness story
+does not rest on this: cells are deterministic and their results are
+written atomically, so the worst a bad clock causes is duplicate
+execution of identical work (see :mod:`repro.distrib`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..runs.registry import LEASE_FILENAME
+
+
+def lease_path(run_dir: str | Path) -> Path:
+    """Where the lease for one run directory lives."""
+    return Path(run_dir) / LEASE_FILENAME
+
+
+@dataclass(frozen=True)
+class LeaseInfo:
+    """A lease file's contents, as read from disk."""
+
+    owner: str
+    nonce: str
+    acquired_at: float
+    heartbeat: float
+    ttl: float
+
+    def age(self, now: float | None = None) -> float:
+        """Seconds since the last heartbeat."""
+        return (time.time() if now is None else now) - self.heartbeat
+
+    def is_expired(self, now: float | None = None) -> bool:
+        """Whether the owner has missed its heartbeat by more than TTL."""
+        return self.age(now) > self.ttl
+
+
+@dataclass
+class Lease:
+    """A lease *we* hold: the handle renew/release operate on."""
+
+    path: Path
+    owner: str
+    nonce: str
+    ttl: float
+    acquired_at: float
+    #: How this lease was obtained: ``"fresh"`` (free cell) or
+    #: ``"stolen"`` (reclaimed from an expired owner).
+    via: str = "fresh"
+
+
+def _encode(lease: Lease, heartbeat: float) -> str:
+    return json.dumps(
+        {
+            "owner": lease.owner,
+            "nonce": lease.nonce,
+            "acquired_at": lease.acquired_at,
+            "heartbeat": heartbeat,
+            "ttl": lease.ttl,
+        }
+    )
+
+
+def read_lease(run_dir: str | Path) -> LeaseInfo | None:
+    """The current lease on ``run_dir``, or ``None`` when free.
+
+    A half-disappeared or unparsable file (lost a race with a release,
+    or a writer died mid-crash long ago) reads as free — claimants will
+    then race through ``O_EXCL`` creation, which stays atomic.
+    """
+    path = lease_path(run_dir)
+    try:
+        data = json.loads(path.read_text())
+    except (FileNotFoundError, json.JSONDecodeError):
+        return None
+    try:
+        return LeaseInfo(
+            owner=data["owner"],
+            nonce=data["nonce"],
+            acquired_at=data["acquired_at"],
+            heartbeat=data["heartbeat"],
+            ttl=data["ttl"],
+        )
+    except (KeyError, TypeError):
+        return None
+
+
+def _create_exclusive(path: Path, lease: Lease) -> bool:
+    """Atomically create the lease file; False if someone else holds it.
+
+    The content is written to a private temp file first and the claim
+    is the ``os.link`` — creation is therefore *content*-atomic: no
+    reader can ever observe a claimed-but-empty lease (a bare
+    ``O_CREAT|O_EXCL`` + write would expose an empty file between the
+    two syscalls, which a racing claimant would classify as torn
+    garbage and steal with no TTL wait). ``link`` fails with
+    ``FileExistsError`` when the cell is already held, giving exactly
+    the single-winner semantics of ``O_EXCL``.
+    """
+    tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}-{lease.nonce[:8]}")
+    tmp.write_text(_encode(lease, heartbeat=lease.acquired_at))
+    try:
+        os.link(tmp, path)
+    except FileExistsError:
+        return False
+    finally:
+        tmp.unlink(missing_ok=True)
+    return True
+
+
+def _steal_expired(path: Path, expected_nonce: str | None) -> bool:
+    """Tear down an expired (or unparsable) lease for reclaim.
+
+    Rename-to-tombstone makes the reclaim single-winner: concurrent
+    stealers race on ``os.rename`` and only the first succeeds. The
+    post-rename nonce check guards the window where the expired lease
+    was released-and-reacquired between our read and our rename; on
+    mismatch the tombstone is restored (best effort — if restoration
+    itself races, the protocol degrades to benign duplicate execution,
+    never to lost results). ``expected_nonce`` is ``None`` when the
+    observed lease was unparsable garbage — which must still match
+    garbage after the rename.
+    """
+    tomb = path.with_name(f"{path.name}.expired-{uuid.uuid4().hex}")
+    try:
+        os.rename(path, tomb)
+    except FileNotFoundError:
+        return False
+    try:
+        data = json.loads(tomb.read_text())
+        stolen_nonce = data.get("nonce")
+    except (OSError, json.JSONDecodeError):
+        stolen_nonce = None
+    if stolen_nonce != expected_nonce:
+        # We tore down a *fresh* lease; put it back and walk away.
+        try:
+            os.rename(tomb, path)
+        except OSError:
+            pass
+        return False
+    tomb.unlink(missing_ok=True)
+    return True
+
+
+def try_acquire_lease(
+    run_dir: str | Path,
+    owner: str,
+    ttl: float,
+    now: float | None = None,
+) -> Lease | None:
+    """Claim the cell at ``run_dir``; ``None`` if it is validly held.
+
+    Creates the run directory if needed (claiming often precedes the
+    first write to a cell). A free cell is claimed atomically; an
+    expired lease is stolen first (see :func:`_steal_expired`).
+    """
+    run_dir = Path(run_dir)
+    run_dir.mkdir(parents=True, exist_ok=True)
+    path = lease_path(run_dir)
+    now = time.time() if now is None else now
+    lease = Lease(
+        path=path,
+        owner=owner,
+        nonce=uuid.uuid4().hex,
+        ttl=float(ttl),
+        acquired_at=now,
+    )
+    if _create_exclusive(path, lease):
+        return lease
+    current = read_lease(run_dir)
+    if current is None:
+        if not path.exists():
+            # Released between our create and read: retry the atomic
+            # create once; give up to the other racers otherwise.
+            return lease if _create_exclusive(path, lease) else None
+        # An unparsable lease file (a writer torn apart long ago) would
+        # block its cell forever; reclaim it like an expired lease.
+        if not _steal_expired(path, expected_nonce=None):
+            return None
+    elif not current.is_expired(now):
+        return None
+    elif not _steal_expired(path, current.nonce):
+        return None
+    if _create_exclusive(path, lease):
+        lease.via = "stolen"
+        return lease
+    return None
+
+
+def renew_lease(lease: Lease, now: float | None = None) -> bool:
+    """Refresh the heartbeat; False when the lease is no longer ours.
+
+    Losing a lease (someone stole it after we stalled past the TTL) is
+    *not* an abort signal — the cell's execution stays valid, it has
+    merely become a duplicate of the thief's. Callers just stop renewing
+    and skip the release.
+    """
+    current = read_lease(lease.path.parent)
+    if current is None or current.nonce != lease.nonce:
+        return False
+    now = time.time() if now is None else now
+    # The ".tmp-" naming matches registry.gc()'s litter sweep, so a
+    # heartbeat killed between write and rename leaves nothing behind
+    # that --gc cannot reclaim.
+    tmp = lease.path.with_name(
+        f"{lease.path.name}.tmp-{os.getpid()}-{lease.nonce[:8]}"
+    )
+    tmp.write_text(_encode(lease, heartbeat=now))
+    os.replace(tmp, lease.path)
+    return True
+
+
+def release_lease(lease: Lease) -> bool:
+    """Drop the lease; False when it was no longer ours to drop."""
+    current = read_lease(lease.path.parent)
+    if current is None or current.nonce != lease.nonce:
+        return False
+    lease.path.unlink(missing_ok=True)
+    return True
+
+
+def break_expired_lease(run_dir: str | Path, now: float | None = None) -> bool:
+    """Coordinator-side reclaim: remove an expired lease outright.
+
+    Workers steal expired leases on their own; a coordinator sweeping
+    the registry calls this so cells of dead workers free up even when
+    every surviving worker is busy elsewhere. True when a lease was
+    broken.
+    """
+    current = read_lease(run_dir)
+    if current is None or not current.is_expired(now):
+        return False
+    return _steal_expired(lease_path(run_dir), current.nonce)
+
+
+class Heartbeat:
+    """Daemon thread renewing a lease every ``interval`` seconds.
+
+    Runs alongside the cell's search (which may not surface a hook for
+    tens of seconds in evaluation-heavy generations) so the lease stays
+    fresh however long a generation takes. A SIGKILL takes the thread
+    down with the worker — exactly what lets the lease expire and the
+    cell be reclaimed.
+    """
+
+    def __init__(self, lease: Lease, interval: float | None = None):
+        self.lease = lease
+        self.interval = (
+            interval if interval is not None else max(0.05, lease.ttl / 4.0)
+        )
+        self.lost = False
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            if not renew_lease(self.lease):
+                self.lost = True
+                return
+
+    def __enter__(self) -> "Heartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)

@@ -1,0 +1,185 @@
+"""The ``repro worker`` daemon: lease-claim cells and execute them.
+
+A worker points at a shared registry directory, expands the campaign
+matrix (from CLI flags or the coordinator's ``campaign.json`` manifest),
+and loops:
+
+1. probe durable progress; exit when the campaign is finished (every
+   cell complete/failed, or the sample budget is spent);
+2. claim the first claimable cell in matrix order — free cells via
+   atomic lease creation, dead workers' cells by stealing their expired
+   leases;
+3. execute the cell through :func:`repro.runs.suite.run_cell` under a
+   heartbeat thread: checkpoints stream per generation/step exactly as
+   in local mode, so a cell inherited half-finished resumes
+   bit-identically mid-search, and a budget-capped cell stops exactly
+   at its cap;
+4. release the lease (completion already wrote ``result.json``
+   atomically; deterministic failures wrote ``error.json``).
+
+When nothing is claimable but the campaign is unfinished (peers hold
+all remaining cells), the worker idles at ``poll_interval`` until a
+cell frees up, a lease expires, or the campaign completes.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..runs.registry import CHECKPOINT_FILENAME, RunRegistry
+from ..runs.suite import SuiteCellTask, SuiteMatrix
+from .budget import campaign_finished, campaign_progress, claimable_cells
+from .lease import Heartbeat, release_lease, try_acquire_lease
+
+
+def default_worker_id() -> str:
+    """A human-traceable id: host + pid."""
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+@dataclass
+class WorkerConfig:
+    """Knobs of one worker daemon."""
+
+    worker_id: str = field(default_factory=default_worker_id)
+    #: Seconds without a heartbeat before peers may reclaim our cells.
+    lease_ttl: float = 30.0
+    #: Idle sleep between probes when nothing is claimable.
+    poll_interval: float = 1.0
+    #: Heartbeat renewal period (default: ``lease_ttl / 4``).
+    heartbeat_interval: float | None = None
+    #: Local evaluation fan-out *inside* a leased cell (the cell's
+    #: population evaluations shard across this many processes; results
+    #: are bit-identical for any value).
+    eval_workers: int | None = None
+    #: Give up after this many consecutive idle seconds (None: wait
+    #: forever for peers — the normal daemon mode).
+    max_idle: float | None = None
+
+
+@dataclass
+class WorkerSummary:
+    """What one worker did over its lifetime."""
+
+    worker_id: str
+    cells_run: int = 0
+    cells_completed: int = 0
+    cells_failed: int = 0
+    cells_exhausted: int = 0
+    #: Cells claimed with a checkpoint already on disk — work inherited
+    #: from an earlier attempt (ours or a dead peer's).
+    cells_resumed: int = 0
+    #: Leases reclaimed from expired (dead) owners.
+    leases_reclaimed: int = 0
+    idle_seconds: float = 0.0
+
+    def render(self) -> str:
+        return (
+            f"worker {self.worker_id}: ran {self.cells_run} cell(s) "
+            f"({self.cells_completed} completed, {self.cells_failed} failed, "
+            f"{self.cells_exhausted} paused at budget), "
+            f"resumed {self.cells_resumed} inherited checkpoint(s), "
+            f"reclaimed {self.leases_reclaimed} expired lease(s), "
+            f"idled {self.idle_seconds:.1f}s"
+        )
+
+
+def run_worker(
+    matrix: SuiteMatrix,
+    registry_root: str | Path,
+    config: WorkerConfig | None = None,
+    budget: int | None = None,
+) -> WorkerSummary:
+    """Work the campaign until it is finished; returns the summary.
+
+    Safe to run any number of workers against the same registry: cells
+    are claimed under leases, every durable write is atomic, and cell
+    execution is deterministic — so the merged report is identical to a
+    single-process run no matter how many workers participate or die.
+    """
+    config = config or WorkerConfig()
+    registry = RunRegistry(registry_root)
+    cells = matrix.cells()
+    task = SuiteCellTask(matrix, registry_root, eval_workers=config.eval_workers)
+    summary = WorkerSummary(worker_id=config.worker_id)
+    idle_since: float | None = None
+
+    while True:
+        progress = campaign_progress(registry, cells, matrix.seed)
+        if campaign_finished(cells, budget, progress):
+            return summary
+        claimed = None
+        for cell, cap in claimable_cells(cells, budget, progress):
+            run_dir = registry.run_path(cell.config_dict(), cell.seed(matrix.seed))
+            lease = try_acquire_lease(
+                run_dir, config.worker_id, config.lease_ttl
+            )
+            if lease is not None:
+                claimed = (cell, cap, lease, run_dir)
+                break
+        if claimed is None:
+            now = time.time()
+            if idle_since is None:
+                idle_since = now
+            elif (
+                config.max_idle is not None
+                and now - idle_since > config.max_idle
+            ):
+                return summary
+            time.sleep(config.poll_interval)
+            summary.idle_seconds += config.poll_interval
+            continue
+
+        idle_since = None
+        cell, cap, lease, run_dir = claimed
+        if lease.via == "stolen":
+            summary.leases_reclaimed += 1
+        if (run_dir / CHECKPOINT_FILENAME).exists():
+            summary.cells_resumed += 1
+        summary.cells_run += 1
+        try:
+            with Heartbeat(lease, config.heartbeat_interval):
+                row = task((cell, cap))
+        finally:
+            # Release even on unexpected errors; a durable result/error
+            # marker (when one was written) is what peers actually
+            # trust. An unreleased lease would merely cost one TTL.
+            release_lease(lease)
+        status = row.get("status")
+        if status == "complete":
+            summary.cells_completed += 1
+        elif status == "failed":
+            summary.cells_failed += 1
+        elif status == "exhausted":
+            summary.cells_exhausted += 1
+
+
+def worker_entry(
+    matrix_args: dict,
+    registry_root: str,
+    worker_id: str,
+    lease_ttl: float = 30.0,
+    poll_interval: float = 1.0,
+    eval_workers: int | None = None,
+    budget: int | None = None,
+    max_idle: float | None = None,
+) -> None:
+    """Spawn-friendly module-level entry point.
+
+    The coordinator (and the multi-process tests) launch workers with
+    ``multiprocessing.get_context("spawn").Process(target=worker_entry,
+    ...)``; everything crossing the boundary is plain picklable data.
+    """
+    matrix = SuiteMatrix(**matrix_args)
+    config = WorkerConfig(
+        worker_id=worker_id,
+        lease_ttl=lease_ttl,
+        poll_interval=poll_interval,
+        eval_workers=eval_workers,
+        max_idle=max_idle,
+    )
+    run_worker(matrix, registry_root, config, budget=budget)

@@ -13,7 +13,7 @@ from .selection import tournament_select
 from .population import initialize_population
 from .problem import OptimizationProblem
 from .engine import GAConfig, GAResult, GeneticEngine, SampleRecord
-from .annealing import SAConfig, simulated_annealing
+from .annealing import SACheckpoint, SAConfig, simulated_annealing
 from .islands import IslandConfig, island_search
 
 __all__ = [
@@ -31,6 +31,7 @@ __all__ = [
     "GAResult",
     "GeneticEngine",
     "SampleRecord",
+    "SACheckpoint",
     "SAConfig",
     "simulated_annealing",
     "IslandConfig",

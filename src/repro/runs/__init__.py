@@ -26,6 +26,8 @@ from .checkpoint import (
     memory_to_dict,
     nsga_checkpoint_from_dict,
     nsga_checkpoint_to_dict,
+    sa_checkpoint_from_dict,
+    sa_checkpoint_to_dict,
 )
 from .registry import RunHandle, RunRegistry, config_hash
 from .seeds import derive_seed, stable_digest
@@ -40,6 +42,8 @@ __all__ = [
     "ga_checkpoint_from_dict",
     "nsga_checkpoint_to_dict",
     "nsga_checkpoint_from_dict",
+    "sa_checkpoint_to_dict",
+    "sa_checkpoint_from_dict",
     "genome_to_dict",
     "genome_from_dict",
     "memory_to_dict",

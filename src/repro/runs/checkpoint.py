@@ -20,6 +20,7 @@ from typing import Any
 from ..config import BufferMode, MemoryConfig
 from ..dse.nsga import MultiObjectivePoint, NSGACheckpoint
 from ..errors import ConfigError
+from ..ga.annealing import SACheckpoint
 from ..ga.engine import EngineCheckpoint, SampleRecord
 from ..ga.genome import Genome
 from ..graphs.graph import ComputationGraph
@@ -144,6 +145,54 @@ def ga_checkpoint_from_dict(
         samples=[_sample_from_dict(s) for s in data["samples"]],
         population=[genome_from_dict(g, graph) for g in data["population"]],
         costs=list(data["costs"]),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Simulated-annealing checkpoints
+# ---------------------------------------------------------------------------
+def sa_checkpoint_to_dict(checkpoint: SACheckpoint) -> dict[str, Any]:
+    """Serialize an :class:`SACheckpoint` to a JSON-able dict.
+
+    The temperature and cooling factor are stored verbatim (JSON floats
+    round-trip exactly): the cooling schedule derives from the *initial*
+    cost, which a resuming process never re-evaluates, and recomputing
+    ``t_start * cooling**step`` would drift in the last bits.
+    """
+    return {
+        "format": _FORMAT_VERSION,
+        "kind": "sa",
+        "step": checkpoint.step,
+        "temperature": checkpoint.temperature,
+        "cooling": checkpoint.cooling,
+        "rng_state": _rng_state_to_json(checkpoint.rng_state),
+        "evaluations": checkpoint.evaluations,
+        "current": genome_to_dict(checkpoint.current_genome),
+        "current_cost": checkpoint.current_cost,
+        "best": genome_to_dict(checkpoint.best_genome),
+        "best_cost": checkpoint.best_cost,
+        "history": [list(entry) for entry in checkpoint.history],
+        "samples": [_sample_to_dict(s) for s in checkpoint.samples],
+    }
+
+
+def sa_checkpoint_from_dict(
+    data: dict[str, Any], graph: ComputationGraph
+) -> SACheckpoint:
+    """Rebuild an :class:`SACheckpoint` against ``graph``."""
+    _check_format(data, "sa")
+    return SACheckpoint(
+        step=data["step"],
+        temperature=data["temperature"],
+        cooling=data["cooling"],
+        rng_state=_rng_state_from_json(data["rng_state"]),
+        evaluations=data["evaluations"],
+        current_genome=genome_from_dict(data["current"], graph),
+        current_cost=data["current_cost"],
+        best_genome=genome_from_dict(data["best"], graph),
+        best_cost=data["best_cost"],
+        history=[(entry[0], entry[1]) for entry in data["history"]],
+        samples=[_sample_from_dict(s) for s in data["samples"]],
     )
 
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import json
 import os
+import uuid
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterator
@@ -34,6 +35,14 @@ _CONFIG = "config.json"
 _HISTORY = "history.jsonl"
 _CHECKPOINT = "checkpoint.json"
 _RESULT = "result.json"
+_ERROR = "error.json"
+_LEASE = "lease.json"
+
+#: Public names of the per-run lease and checkpoint files —
+#: :mod:`repro.distrib` builds its paths from these so the registry and
+#: the distributed layer can never disagree about where they live.
+LEASE_FILENAME = _LEASE
+CHECKPOINT_FILENAME = _CHECKPOINT
 
 #: Hex digits of the config hash used in directory names — enough to
 #: make collisions vanishingly unlikely within one registry.
@@ -47,8 +56,15 @@ def config_hash(config: dict[str, Any]) -> str:
 
 
 def _write_atomic(path: Path, text: str) -> None:
-    """Write via a same-directory temp file + rename (atomic on POSIX)."""
-    tmp = path.with_name(path.name + ".tmp")
+    """Write via a same-directory temp file + rename (atomic on POSIX).
+
+    The temp name is unique per writer: concurrent writers to the same
+    target (two workers legitimately dual-executing one cell after a
+    lease-expiry race) must each complete their own rename instead of
+    colliding on a shared ``.tmp`` — last atomic rename wins, and both
+    contents are identical because cell execution is deterministic.
+    """
+    tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}-{uuid.uuid4().hex[:8]}")
     tmp.write_text(text)
     os.replace(tmp, path)
 
@@ -70,6 +86,16 @@ class RunHandle:
     def has_checkpoint(self) -> bool:
         return (self.path / _CHECKPOINT).exists()
 
+    @property
+    def has_error(self) -> bool:
+        """Whether a deterministic failure has been durably recorded."""
+        return (self.path / _ERROR).exists()
+
+    @property
+    def lease_path(self) -> Path:
+        """Where this run's distributed-execution lease lives (if any)."""
+        return self.path / _LEASE
+
     # -- streaming ------------------------------------------------------
     def log_history(self, entry: dict[str, Any]) -> None:
         """Append one JSON line to the streamed history log."""
@@ -89,17 +115,18 @@ class RunHandle:
                 entries.append(json.loads(line))
         return entries
 
-    def truncate_history(self, max_generation: int) -> None:
-        """Drop history entries past ``max_generation``.
+    def truncate_history(self, max_generation: int, key: str = "generation") -> None:
+        """Drop history entries whose ``key`` exceeds ``max_generation``.
 
         A kill can land between a generation's history line and its
         checkpoint write; resuming from the checkpoint replays that
         generation, so the orphaned line must go or it would appear
-        twice.
+        twice. GA/NSGA cells key their lines by ``generation``; SA cells
+        by ``step``.
         """
         entries = [
             e for e in self.read_history()
-            if e.get("generation", -1) <= max_generation
+            if e.get(key, -1) <= max_generation
         ]
         _write_atomic(
             self.path / _HISTORY,
@@ -119,13 +146,39 @@ class RunHandle:
 
     # -- completion -----------------------------------------------------
     def finish(self, result: dict[str, Any]) -> None:
-        """Write the final result atomically, marking the run complete."""
+        """Write the final result atomically, marking the run complete.
+
+        A stale failure marker from an earlier attempt is dropped — the
+        durable result supersedes it.
+        """
         _write_atomic(self.path / _RESULT, json.dumps(result, indent=2))
+        (self.path / _ERROR).unlink(missing_ok=True)
 
     def load_result(self) -> dict[str, Any]:
         path = self.path / _RESULT
         if not path.exists():
             raise ConfigError(f"run {self.path.name} has no result yet")
+        return json.loads(path.read_text())
+
+    # -- failure --------------------------------------------------------
+    def record_error(self, message: str) -> None:
+        """Durably record a deterministic in-run failure.
+
+        Unlike ``result.json`` this does *not* mark the run complete —
+        a later invocation may retry it (and will simply overwrite the
+        marker if it fails again). Budgeted and distributed campaigns
+        need the marker so every participant agrees, from registry state
+        alone, that the cell terminated rather than stalled.
+        """
+        _write_atomic(
+            self.path / _ERROR,
+            json.dumps({"status": "failed", "error": message}, indent=2),
+        )
+
+    def load_error(self) -> dict[str, Any] | None:
+        path = self.path / _ERROR
+        if not path.exists():
+            return None
         return json.loads(path.read_text())
 
 
@@ -144,6 +197,11 @@ class RunRegistry:
 
     def is_complete(self, config: dict[str, Any], seed: int) -> bool:
         return (self.run_path(config, seed) / _RESULT).exists()
+
+    def has_error(self, config: dict[str, Any], seed: int) -> bool:
+        """Whether the run has a durable failure marker (and no result)."""
+        path = self.run_path(config, seed)
+        return (path / _ERROR).exists() and not (path / _RESULT).exists()
 
     def open_run(self, config: dict[str, Any], seed: int) -> RunHandle:
         """Create (or re-open) the run directory and persist its config.
@@ -187,3 +245,36 @@ class RunRegistry:
     def completed(self) -> list[RunHandle]:
         """Every run whose final result has been written."""
         return [run for run in self.runs() if run.is_complete]
+
+    def gc(self) -> tuple[int, int]:
+        """Drop stale per-run scratch files of *completed* runs.
+
+        A completed run's ``checkpoint.json`` (which can dwarf the
+        result for GA/NSGA cells), any leftover ``lease.json``, and the
+        write-temp / lease-tombstone litter of killed writers
+        (``*.tmp-*``, ``lease.json.expired-*`` — SIGKILL mid-write is
+        this subsystem's designed failure mode) are dead weight: the
+        atomically-written ``result.json`` is the only file future
+        invocations read. Incomplete runs keep everything — their
+        checkpoint is exactly what a resume needs, and their temp files
+        may belong to a live writer.
+
+        Returns ``(files_removed, bytes_reclaimed)``.
+        """
+        removed = 0
+        reclaimed = 0
+        for run in self.completed():
+            stale = [run.path / _CHECKPOINT, run.path / _LEASE]
+            stale.extend(run.path.glob("*.tmp-*"))
+            stale.extend(run.path.glob(_LEASE + ".expired-*"))
+            for path in stale:
+                if not path.is_file():
+                    continue
+                size = path.stat().st_size
+                try:
+                    path.unlink()
+                except FileNotFoundError:  # lost a race with another gc
+                    continue
+                removed += 1
+                reclaimed += size
+        return removed, reclaimed

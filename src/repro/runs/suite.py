@@ -42,11 +42,11 @@ from ..config import AcceleratorConfig
 from ..cost.evaluator import Evaluator
 from ..cost.objective import Metric
 from ..dse.nsga import NSGAConfig, nsga2_co_optimize
-from ..dse.sa import sa_co_optimize
 from ..dse.two_step import grid_search_ga, random_search_ga
 from ..errors import ConfigError, ReproError
 from ..experiments.common import SCALES, Scale, paper_accelerator
 from ..experiments.reporting import ExperimentResult
+from ..ga.annealing import simulated_annealing
 from ..ga.engine import GeneticEngine
 from ..ga.problem import OptimizationProblem
 from ..graphs.zoo import get_model
@@ -58,6 +58,8 @@ from .checkpoint import (
     ga_checkpoint_to_dict,
     nsga_checkpoint_from_dict,
     nsga_checkpoint_to_dict,
+    sa_checkpoint_from_dict,
+    sa_checkpoint_to_dict,
 )
 from .registry import RunRegistry
 from .seeds import derive_seed
@@ -207,21 +209,38 @@ def _run_cocco_cell(
     evaluator: Evaluator,
     scale: Scale,
     run,
-) -> dict[str, Any]:
+    sample_cap: int | None = None,
+    eval_workers: int | None = None,
+) -> tuple[dict[str, Any], bool]:
     """Co-opt GA with streamed history + generation-level resume.
 
     Equivalent to ``cocco_co_optimize(..., refine=False)`` but drives
     the engine directly so an interrupted cell continues from its
     ``checkpoint.json`` bit-identically instead of starting over.
+
+    ``sample_cap`` (when set) bounds the cell's cumulative evaluation
+    count through ``GAConfig.max_samples`` — the engine stops exactly at
+    the cap. A cell that hits the cap before finishing its generations
+    returns ``finished=False`` with its checkpoint left in place; a
+    later call with a higher cap resumes the same trajectory.
     """
     metric = _metric(cell.metric)
     problem = OptimizationProblem(
         evaluator=evaluator, metric=metric, alpha=cell.alpha,
         space=_space(cell.mode),
     )
-    engine = GeneticEngine(problem, scale.co_opt_ga_config(seed=seed))
+    overrides: dict[str, Any] = {}
+    if sample_cap is not None:
+        overrides["max_samples"] = sample_cap
+    if eval_workers is not None:
+        overrides["workers"] = eval_workers
+    config = scale.co_opt_ga_config(seed=seed, **overrides)
+    engine = GeneticEngine(problem, config)
+    last_generation = -1
 
     def hook(checkpoint) -> None:
+        nonlocal last_generation
+        last_generation = checkpoint.generation
         run.log_history(
             {
                 "generation": checkpoint.generation,
@@ -234,18 +253,99 @@ def _run_cocco_cell(
     state = run.load_checkpoint()
     if state is not None:
         checkpoint = ga_checkpoint_from_dict(state, evaluator.graph)
+        last_generation = checkpoint.generation
+        if (
+            sample_cap is not None
+            and checkpoint.evaluations >= sample_cap
+            and checkpoint.generation < config.generations
+        ):
+            # Already at (or past) this cap: nothing to do until the
+            # budget scheduler grants more.
+            return {"num_evaluations": checkpoint.evaluations}, False
         run.truncate_history(checkpoint.generation)
         result = engine.resume(checkpoint, on_generation=hook)
     else:
         result = engine.run(on_generation=hook)
 
+    finished = sample_cap is None or last_generation >= config.generations
+    if not finished:
+        return {"num_evaluations": result.num_evaluations}, False
     _, partition_cost = problem.evaluate(result.best_genome)
     return {
         "best_cost": result.best_cost,
         "memory": result.best_genome.memory,
         "partition_cost": partition_cost,
         "num_evaluations": result.num_evaluations,
-    }
+    }, True
+
+
+def _run_sa_cell(
+    cell: SuiteCell,
+    seed: int,
+    evaluator: Evaluator,
+    scale: Scale,
+    run,
+    sample_cap: int | None = None,
+) -> tuple[dict[str, Any], bool]:
+    """SA cell with streamed history + step-level checkpoint resume.
+
+    The chain state is tiny — (current genome, temperature, step, RNG
+    state) — so every ``checkpoint_interval`` steps the whole search is
+    snapshotted; an interrupted cell replays at most the steps since the
+    last snapshot, bit-identically. ``sample_cap`` bounds cumulative
+    evaluations exactly (the chain stops mid-schedule and resumes when
+    the budget scheduler grants more).
+    """
+    metric = _metric(cell.metric)
+    problem = OptimizationProblem(
+        evaluator=evaluator, metric=metric, alpha=cell.alpha,
+        space=_space(cell.mode),
+    )
+    config = scale.co_opt_sa_config(seed=seed)
+    last_step = -1
+
+    def hook(checkpoint) -> None:
+        nonlocal last_step
+        last_step = checkpoint.step
+        run.log_history(
+            {
+                "step": checkpoint.step,
+                "evaluations": checkpoint.evaluations,
+                "best_cost": checkpoint.best_cost,
+            }
+        )
+        run.save_checkpoint(sa_checkpoint_to_dict(checkpoint))
+
+    state = run.load_checkpoint()
+    resume_from = None
+    if state is not None:
+        resume_from = sa_checkpoint_from_dict(state, evaluator.graph)
+        last_step = resume_from.step
+        if (
+            sample_cap is not None
+            and resume_from.evaluations >= sample_cap
+            and resume_from.step < config.steps
+        ):
+            return {"num_evaluations": resume_from.evaluations}, False
+        run.truncate_history(resume_from.step, key="step")
+    result = simulated_annealing(
+        problem,
+        config,
+        on_step=hook,
+        resume_from=resume_from,
+        max_evaluations=sample_cap,
+    )
+
+    finished = sample_cap is None or last_step >= config.steps
+    if not finished:
+        return {"num_evaluations": result.num_evaluations}, False
+    _, partition_cost = problem.evaluate(result.best_genome)
+    return {
+        "best_cost": result.best_cost,
+        "memory": result.best_genome.memory,
+        "partition_cost": partition_cost,
+        "num_evaluations": result.num_evaluations,
+    }, True
 
 
 #: NSGA-II checkpoints carry the whole evaluation archive (it grows with
@@ -261,12 +361,14 @@ def _run_nsga_cell(
     evaluator: Evaluator,
     scale: Scale,
     run,
+    eval_workers: int | None = None,
 ) -> dict[str, Any]:
     """NSGA-II frontier run, reported at the cell's alpha."""
     config = NSGAConfig(
         population_size=max(4, scale.ga_population),
         generations=scale.ga_generations,
         seed=seed,
+        workers=eval_workers if eval_workers is not None else 1,
     )
 
     def hook(checkpoint) -> None:
@@ -310,26 +412,25 @@ def _run_baseline_cell(
     evaluator: Evaluator,
     scale: Scale,
     run,
+    eval_workers: int | None = None,
 ) -> dict[str, Any]:
-    """RS+GA / GS+GA / SA cells (no mid-run checkpoint; cell-atomic)."""
+    """RS+GA / GS+GA cells (no mid-run checkpoint; cell-atomic)."""
     metric = _metric(cell.metric)
     space = _space(cell.mode)
+    overrides: dict[str, Any] = {}
+    if eval_workers is not None:
+        overrides["workers"] = eval_workers
     if cell.scheme == "rs":
         dse = random_search_ga(
             evaluator, space, metric=metric, alpha=cell.alpha,
             num_candidates=scale.rs_candidates,
-            ga_config=scale.ga_config(seed=seed), seed=seed,
+            ga_config=scale.ga_config(seed=seed, **overrides), seed=seed,
         )
-    elif cell.scheme == "gs":
+    else:
         dse = grid_search_ga(
             evaluator, space, metric=metric, alpha=cell.alpha,
             stride=scale.gs_stride, max_candidates=scale.gs_max_candidates,
-            ga_config=scale.ga_config(seed=seed),
-        )
-    else:
-        dse = sa_co_optimize(
-            evaluator, space, metric=metric, alpha=cell.alpha,
-            sa_config=scale.co_opt_sa_config(seed=seed),
+            ga_config=scale.ga_config(seed=seed, **overrides),
         )
     for evaluations, cost in dse.history:
         run.log_history({"evaluations": evaluations, "best_cost": cost})
@@ -341,11 +442,34 @@ def _run_baseline_cell(
     }
 
 
+def _maybe_fault(
+    cell: SuiteCell, campaign_seed: int, registry: RunRegistry
+) -> None:
+    """Test instrumentation: die like an OOM-killed worker, once.
+
+    Lives in :func:`run_cell` (not the sharded task) so both the local
+    pool path and the distributed ``repro worker`` path can be killed
+    mid-cell by the fault-injection tests and smoke scripts.
+    """
+    target = os.environ.get(FAULT_ENV)
+    if not target or target not in cell.cell_id:
+        return
+    run_path = registry.run_path(cell.config_dict(), cell.seed(campaign_seed))
+    marker = run_path / "fault-attempted"
+    if marker.exists():
+        return
+    run_path.mkdir(parents=True, exist_ok=True)
+    marker.write_text("injected worker kill\n")
+    os._exit(23)
+
+
 def run_cell(
     cell: SuiteCell,
     campaign_seed: int,
     registry: RunRegistry,
     evaluator: Evaluator | None = None,
+    sample_cap: int | None = None,
+    eval_workers: int | None = None,
 ) -> dict[str, Any]:
     """Execute one cell durably; returns its result row.
 
@@ -353,21 +477,54 @@ def run_cell(
     recomputation. The result row is written to ``result.json``
     atomically *after* all search work, so a kill at any point leaves
     the cell incomplete (and resumable), never half-recorded.
+
+    ``sample_cap`` (from the campaign budget scheduler) bounds the
+    cell's cumulative evaluation count for the checkpoint-resumable
+    schemes (``cocco``, ``sa``); a cell stopped at its cap returns a
+    ``status="exhausted"`` row *without* writing ``result.json`` — it
+    stays resumable and continues when a later call raises the cap. The
+    cell-atomic schemes (``rs``, ``gs``, ``nsga``) always run to
+    completion; their exact evaluation counts are still charged against
+    the budget by the scheduler. ``eval_workers`` fans the cell's
+    *evaluations* out across local worker processes (results are
+    bit-identical for any value — only wall-clock changes).
     """
     config = cell.config_dict()
     seed = cell.seed(campaign_seed)
     if registry.is_complete(config, seed):
         return registry.load(config, seed).load_result()
+    if sample_cap is not None and sample_cap < 1:
+        raise ConfigError("sample_cap must be positive when set")
+    _maybe_fault(cell, campaign_seed, registry)
     run = registry.open_run(config, seed)
     if evaluator is None:
         evaluator = Evaluator(get_model(cell.network), cell_accelerator(cell))
     scale = SCALES[cell.scale]
+    finished = True
     if cell.scheme == "cocco":
-        outcome = _run_cocco_cell(cell, seed, evaluator, scale, run)
+        outcome, finished = _run_cocco_cell(
+            cell, seed, evaluator, scale, run,
+            sample_cap=sample_cap, eval_workers=eval_workers,
+        )
+    elif cell.scheme == "sa":
+        outcome, finished = _run_sa_cell(
+            cell, seed, evaluator, scale, run, sample_cap=sample_cap
+        )
     elif cell.scheme == "nsga":
-        outcome = _run_nsga_cell(cell, seed, evaluator, scale, run)
+        outcome = _run_nsga_cell(
+            cell, seed, evaluator, scale, run, eval_workers=eval_workers
+        )
     else:
-        outcome = _run_baseline_cell(cell, seed, evaluator, scale, run)
+        outcome = _run_baseline_cell(
+            cell, seed, evaluator, scale, run, eval_workers=eval_workers
+        )
+    if not finished:
+        return {
+            **config,
+            "seed": seed,
+            "status": "exhausted",
+            "num_evaluations": outcome["num_evaluations"],
+        }
     cost = outcome["partition_cost"]
     result = {
         **config,
@@ -401,9 +558,15 @@ class SuiteCellTask:
     values — cell results are bit-identical with or without it.
     """
 
-    def __init__(self, matrix: SuiteMatrix, registry_root: str | Path):
+    def __init__(
+        self,
+        matrix: SuiteMatrix,
+        registry_root: str | Path,
+        eval_workers: int | None = None,
+    ):
         self.matrix = matrix
         self.registry_root = str(registry_root)
+        self.eval_workers = eval_workers
         self._stores: dict[tuple, dict] = {}
         self._outbox: list[tuple] = []
         self._warm_enabled = False
@@ -424,26 +587,26 @@ class SuiteCellTask:
             )
 
     # ------------------------------------------------------------------
-    def _maybe_fault(self, cell: SuiteCell, registry: RunRegistry) -> None:
-        """Test instrumentation: die like an OOM-killed worker, once."""
-        target = os.environ.get(FAULT_ENV)
-        if not target or target not in cell.cell_id:
-            return
-        run_path = registry.run_path(cell.config_dict(), cell.seed(self.matrix.seed))
-        marker = run_path / "fault-attempted"
-        if marker.exists():
-            return
-        run_path.mkdir(parents=True, exist_ok=True)
-        marker.write_text("injected worker kill\n")
-        os._exit(23)
+    def __call__(
+        self, item: "SuiteCell | tuple[SuiteCell, int | None]"
+    ) -> dict[str, Any]:
+        """Run one cell; ``item`` is a cell or a ``(cell, sample_cap)``.
 
-    def __call__(self, cell: SuiteCell) -> dict[str, Any]:
+        Budgeted campaigns ship the cell together with its current
+        cumulative sample cap; unbudgeted ones ship bare cells.
+        Deterministic in-cell failures are recorded durably
+        (``error.json``) so budget accounting and distributed workers
+        can distinguish a terminated cell from a stalled one.
+        """
+        if isinstance(item, tuple):
+            cell, sample_cap = item
+        else:
+            cell, sample_cap = item, None
         registry = RunRegistry(self.registry_root)
         config = cell.config_dict()
         seed = cell.seed(self.matrix.seed)
         if registry.is_complete(config, seed):
             return registry.load(config, seed).load_result()
-        self._maybe_fault(cell, registry)
 
         graph_key = (cell.network, cell.bytes_per_element)
         store = self._stores.setdefault(graph_key, {})
@@ -455,8 +618,12 @@ class SuiteCellTask:
             if store:
                 evaluator.absorb_summaries(store.items())
             evaluator.enable_summary_log()
-            row = run_cell(cell, self.matrix.seed, registry, evaluator=evaluator)
+            row = run_cell(
+                cell, self.matrix.seed, registry, evaluator=evaluator,
+                sample_cap=sample_cap, eval_workers=self.eval_workers,
+            )
         except ReproError as exc:
+            registry.open_run(config, seed).record_error(str(exc))
             row = {
                 **config,
                 "seed": seed,
@@ -507,13 +674,20 @@ class SuiteOutcome:
     failed: int
     rounds: int
     errors: dict[str, str] = field(default_factory=dict)
+    #: Cells stopped at the campaign sample budget: resumable (their
+    #: checkpoints are durable) but out of samples. Always 0 for
+    #: unbudgeted campaigns.
+    exhausted: int = 0
 
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.total} cells: {self.skipped} already complete, "
             f"{self.completed} run, {self.failed} failed/incomplete "
             f"({self.rounds} round(s))"
         )
+        if self.exhausted:
+            text += f", {self.exhausted} out of sample budget"
+        return text
 
 
 def _result_row(result: dict[str, Any]) -> tuple:
@@ -570,6 +744,8 @@ def merged_report(
         seed = cell.seed(matrix.seed)
         if registry.is_complete(config, seed):
             result = registry.load(config, seed).load_result()
+        elif registry.has_error(config, seed):
+            result = {**config, "seed": seed, "status": "failed"}
         else:
             result = {**config, "seed": seed, "status": "incomplete"}
         report.add_row(*_result_row(result))
@@ -581,16 +757,27 @@ def run_suite(
     registry_root: str | Path,
     workers: int = 1,
     max_rounds: int = 3,
+    budget: int | None = None,
+    eval_workers: int | None = None,
 ) -> SuiteOutcome:
     """Run (or resume) a campaign, sharding cells across ``workers``.
 
-    Completed cells are skipped; incomplete ones run (GA/NSGA cells
-    continue from their generation checkpoints). If a worker process
-    dies mid-cell the backend's pool breaks: the runner rebuilds it and
-    retries every cell that still has no durable result, up to
-    ``max_rounds`` times — so a killed cell is retried, never recorded
-    as complete. Deterministic in-cell errors are recorded as failed
-    rows and not retried within this invocation.
+    Completed cells are skipped; incomplete ones run (GA/NSGA/SA cells
+    continue from their checkpoints). If a worker process dies mid-cell
+    the backend's pool breaks: the runner rebuilds it and retries every
+    cell that still has no durable result, up to ``max_rounds`` times —
+    so a killed cell is retried, never recorded as complete.
+    Deterministic in-cell errors are recorded as failed rows (durably,
+    via ``error.json``) and not retried within this invocation.
+
+    ``budget`` caps the campaign's *total* evaluation count: cells get
+    deterministic per-cell sample allocations (see
+    :mod:`repro.distrib.budget`), run until their cap, and unspent
+    samples from converged cells are re-granted to unconverged ones in
+    deterministic rounds. The budgeted schedule is a pure function of
+    (matrix, budget, durable registry state), so a budgeted campaign —
+    local, sharded, or distributed across machines — always produces
+    the same merged report for the same inputs.
     """
     registry = RunRegistry(registry_root)
     cells = matrix.cells()
@@ -606,8 +793,13 @@ def run_suite(
     pending = incomplete(cells)
     skipped = len(cells) - len(pending)
     errors: dict[str, str] = {}
-    task = SuiteCellTask(matrix, registry_root)
+    task = SuiteCellTask(matrix, registry_root, eval_workers=eval_workers)
     backend: EvaluationBackend = resolve_backend(workers)
+    if budget is not None:
+        return _run_suite_budgeted(
+            matrix, registry, cells, task, backend, budget,
+            max_rounds=max_rounds, skipped=skipped,
+        )
     rounds = 0
     try:
         while pending and rounds < max_rounds:
@@ -647,4 +839,129 @@ def run_suite(
         failed=len(still_pending),
         rounds=rounds,
         errors=errors,
+    )
+
+
+@dataclass
+class CampaignTally:
+    """Durable-state classification of a campaign's cells.
+
+    Shared by the budgeted local runner and the distributed
+    coordinator so both derive identical outcome counts (and identical
+    operator guidance) from identical registry bytes.
+    """
+
+    completed: list[SuiteCell]
+    #: Deterministic in-cell failures (durable ``error.json``).
+    failed: dict[str, str]
+    #: Unfinished cells sitting exactly at their sample cap.
+    exhausted: list[SuiteCell]
+    #: Unfinished cells *below* their cap: killed mid-run or never run.
+    incomplete: list[SuiteCell]
+
+    def errors(self) -> dict[str, str]:
+        messages = dict(self.failed)
+        for cell in self.exhausted:
+            messages.setdefault(
+                cell.cell_id,
+                "sample budget exhausted; checkpoint retained — re-run "
+                "with a larger --budget to continue",
+            )
+        for cell in self.incomplete:
+            messages.setdefault(
+                cell.cell_id,
+                "no durable result (worker died or rounds exhausted); "
+                "re-run to resume",
+            )
+        return messages
+
+
+def classify_campaign(
+    registry: RunRegistry,
+    cells: list[SuiteCell],
+    campaign_seed: int,
+    budget: int | None,
+) -> CampaignTally:
+    """Classify every cell from durable registry state alone."""
+    from ..distrib.budget import campaign_progress, compute_allocations
+
+    progress = campaign_progress(registry, cells, campaign_seed)
+    at_cap: frozenset = frozenset()
+    if budget is not None:
+        at_cap = compute_allocations(cells, budget, progress).exhausted
+    tally = CampaignTally(completed=[], failed={}, exhausted=[], incomplete=[])
+    for cell in cells:
+        state = progress[cell.key]
+        if state.complete:
+            tally.completed.append(cell)
+        elif state.failed:
+            stored = (
+                registry.load(cell.config_dict(), cell.seed(campaign_seed))
+                .load_error()
+                or {}
+            )
+            tally.failed[cell.cell_id] = stored.get("error", "failed")
+        elif cell.key in at_cap:
+            tally.exhausted.append(cell)
+        else:
+            tally.incomplete.append(cell)
+    return tally
+
+
+def _run_suite_budgeted(
+    matrix: SuiteMatrix,
+    registry: RunRegistry,
+    cells: list[SuiteCell],
+    task: SuiteCellTask,
+    backend: EvaluationBackend,
+    budget: int,
+    max_rounds: int,
+    skipped: int,
+) -> SuiteOutcome:
+    """Deterministic budgeted campaign: grant, run, re-grant refunds.
+
+    Each iteration recomputes the budget view from durable registry
+    state (a pure function — see :func:`repro.distrib.budget.
+    compute_allocations`), runs every cell that has samples left under
+    its current cap, and loops: once a grant round fully resolves, the
+    unspent samples of converged cells are re-granted to unconverged
+    ones. Terminates when no cell is claimable — everything is complete,
+    failed, or out of budget. Worker-process deaths break the pool like
+    the unbudgeted path; the loop rebuilds and re-probes (killed cells
+    resume from their checkpoints), giving up after ``max_rounds``
+    consecutive broken rounds.
+    """
+    from ..distrib.budget import claimable_cells, campaign_progress
+
+    rounds = 0
+    broken = 0
+    try:
+        while True:
+            progress = campaign_progress(registry, cells, matrix.seed)
+            runnable = claimable_cells(cells, budget, progress)
+            if not runnable:
+                break
+            rounds += 1
+            try:
+                backend.map(task, runnable)
+            except BrokenProcessPool:
+                broken += 1
+                if broken >= max_rounds:
+                    break
+                continue
+            broken = 0  # only *consecutive* broken rounds give up
+    finally:
+        backend.close()
+
+    tally = classify_campaign(registry, cells, matrix.seed, budget)
+    report = merged_report(matrix, registry)
+    return SuiteOutcome(
+        report=report,
+        total=len(cells),
+        completed=len(tally.completed) - skipped,
+        skipped=skipped,
+        failed=len(tally.failed) + len(tally.incomplete),
+        rounds=rounds,
+        errors=tally.errors(),
+        exhausted=len(tally.exhausted),
     )

@@ -1,0 +1,177 @@
+"""Live campaign status: what every cell is doing right now.
+
+Built entirely from the registry's durable artifacts — ``result.json``
+(complete), ``error.json`` (failed), ``lease.json`` (who is working the
+cell, how fresh their heartbeat is), ``checkpoint.json`` presence, and
+the tail of the streamed ``history.jsonl`` (current generation/step,
+evaluations, best cost) — so a coordinator, a watching terminal, or a
+CI job can render the same view any worker would derive, with no side
+channel. Reading is cheap: only the last line of each history stream is
+decoded (seek-from-end), so the view stays live even over big
+registries.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..experiments.reporting import format_table
+from ..runs.registry import RunRegistry
+
+#: How far from the end of a history stream to look for its last line.
+_TAIL_BYTES = 4096
+
+
+def tail_jsonl(path: str | Path) -> dict | None:
+    """The last complete JSON object of a ``.jsonl`` file, or ``None``.
+
+    Reads only the final block of the file. A torn final line (a writer
+    died mid-append) falls back to the previous complete line.
+    """
+    path = Path(path)
+    try:
+        size = path.stat().st_size
+    except FileNotFoundError:
+        return None
+    if size == 0:
+        return None
+    with path.open("rb") as fh:
+        fh.seek(max(0, size - _TAIL_BYTES))
+        chunk = fh.read().decode("utf-8", errors="replace")
+    for line in reversed(chunk.splitlines()):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            return json.loads(line)
+        except json.JSONDecodeError:
+            continue
+    return None
+
+
+@dataclass(frozen=True)
+class CellStatus:
+    """One cell's live state."""
+
+    cell_id: str
+    #: ``complete`` | ``failed`` | ``running`` | ``stalled`` (lease
+    #: expired — a reclaim candidate) | ``exhausted`` (out of sample
+    #: budget) | ``pending``
+    state: str
+    owner: str | None = None
+    heartbeat_age: float | None = None
+    #: Last streamed progress marker (generation for GA/NSGA, step for
+    #: SA), when the cell has streamed any.
+    progress: int | None = None
+    evaluations: int | None = None
+    best_cost: float | None = None
+    #: Current cumulative sample cap (budgeted campaigns only).
+    sample_cap: int | None = None
+
+
+def campaign_snapshot(
+    matrix, registry: RunRegistry, budget: int | None = None
+) -> list[CellStatus]:
+    """Probe every cell of ``matrix`` in matrix order."""
+    from ..distrib.budget import campaign_progress, compute_allocations
+    from ..distrib.lease import read_lease
+
+    cells = matrix.cells()
+    allocations = None
+    if budget is not None:
+        progress = campaign_progress(registry, cells, matrix.seed)
+        allocations = compute_allocations(cells, budget, progress).allocations
+    statuses = []
+    for cell in cells:
+        config = cell.config_dict()
+        seed = cell.seed(matrix.seed)
+        run_dir = registry.run_path(config, seed)
+        cap = allocations[cell.key] if allocations is not None else None
+        tail = tail_jsonl(run_dir / "history.jsonl") or {}
+        progress_mark = tail.get("generation", tail.get("step"))
+        evaluations = tail.get("evaluations")
+        best_cost = tail.get("best_cost")
+        if registry.is_complete(config, seed):
+            result = registry.load(config, seed).load_result()
+            statuses.append(
+                CellStatus(
+                    cell_id=cell.cell_id,
+                    state="complete",
+                    evaluations=result.get("num_evaluations"),
+                    best_cost=result.get("best_cost"),
+                    sample_cap=cap,
+                )
+            )
+            continue
+        if registry.has_error(config, seed):
+            statuses.append(
+                CellStatus(cell_id=cell.cell_id, state="failed", sample_cap=cap)
+            )
+            continue
+        lease = read_lease(run_dir)
+        if lease is not None:
+            statuses.append(
+                CellStatus(
+                    cell_id=cell.cell_id,
+                    state="stalled" if lease.is_expired() else "running",
+                    owner=lease.owner,
+                    heartbeat_age=lease.age(),
+                    progress=progress_mark,
+                    evaluations=evaluations,
+                    best_cost=best_cost,
+                    sample_cap=cap,
+                )
+            )
+            continue
+        exhausted = (
+            cap is not None
+            and evaluations is not None
+            and evaluations >= cap
+        )
+        statuses.append(
+            CellStatus(
+                cell_id=cell.cell_id,
+                state="exhausted" if exhausted else "pending",
+                progress=progress_mark,
+                evaluations=evaluations,
+                best_cost=best_cost,
+                sample_cap=cap,
+            )
+        )
+    return statuses
+
+
+def render_campaign(statuses: list[CellStatus]) -> str:
+    """ASCII status table, one row per cell, plus a tally line."""
+    headers = ("cell", "state", "owner", "beat", "prog", "evals", "cap",
+               "best_cost")
+    rows = []
+    for status in statuses:
+        rows.append(
+            (
+                status.cell_id,
+                status.state,
+                status.owner or "-",
+                (
+                    f"{status.heartbeat_age:.0f}s"
+                    if status.heartbeat_age is not None
+                    else "-"
+                ),
+                status.progress if status.progress is not None else "-",
+                status.evaluations if status.evaluations is not None else "-",
+                status.sample_cap if status.sample_cap is not None else "-",
+                (
+                    f"{status.best_cost:.6g}"
+                    if isinstance(status.best_cost, (int, float))
+                    else "-"
+                ),
+            )
+        )
+    tally: dict[str, int] = {}
+    for status in statuses:
+        tally[status.state] = tally.get(status.state, 0) + 1
+    summary = ", ".join(f"{count} {state}" for state, count in sorted(tally.items()))
+    title = f"campaign status ({summary})"
+    return format_table(headers, rows, title=title)

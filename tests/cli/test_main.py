@@ -224,3 +224,109 @@ class TestSuite:
         )
         assert code == 0
         assert json.loads(target.read_text())["rows"]
+
+
+class TestSuiteBudgetAndGc:
+    def test_budgeted_campaign_exits_nonzero_when_exhausted(
+        self, capsys, tmp_path
+    ):
+        registry = tmp_path / "registry"
+        code, out = run_cli(
+            capsys, "suite", "--networks", "vgg16", "--schemes", "sa",
+            "--scale", "tiny", "--registry", str(registry), "--budget", "10",
+        )
+        assert code == 1
+        assert "out of sample budget" in out
+
+    def test_gc_reports_reclaimed_bytes(self, capsys, tmp_path):
+        registry = tmp_path / "registry"
+        code, _ = run_cli(
+            capsys, "suite", "--networks", "vgg16", "--schemes", "cocco",
+            "--scale", "tiny", "--registry", str(registry),
+        )
+        assert code == 0
+        assert list(registry.glob("*/checkpoint.json"))
+        code, out = run_cli(capsys, "suite", "--gc", "--registry", str(registry))
+        assert code == 0
+        assert "reclaimed" in out
+        assert not list(registry.glob("*/checkpoint.json"))
+
+    def test_gc_needs_no_networks(self, capsys, tmp_path):
+        code, out = run_cli(
+            capsys, "suite", "--gc", "--registry", str(tmp_path / "none")
+        )
+        assert code == 0
+
+    def test_missing_networks_is_clean_error(self, capsys, tmp_path):
+        code, out = run_cli(
+            capsys, "suite", "--registry", str(tmp_path / "reg")
+        )
+        assert code == 1
+        assert "--networks" in out
+
+    def test_status_reads_manifest_when_flags_omitted(self, capsys, tmp_path):
+        from repro.distrib.coordinator import write_manifest
+        from repro.runs.suite import SuiteMatrix
+
+        registry = tmp_path / "registry"
+        write_manifest(
+            SuiteMatrix(networks=("vgg16",), schemes=("sa",), scale="tiny"),
+            registry,
+            budget=40,
+        )
+        code, out = run_cli(
+            capsys, "suite", "--status", "--registry", str(registry)
+        )
+        assert code == 0
+        assert "vgg16/separate/energy/b1/sa" in out
+        assert "pending" in out
+
+    def test_status_renders_table_without_running(self, capsys, tmp_path):
+        registry = tmp_path / "registry"
+        code, out = run_cli(
+            capsys, "suite", "--networks", "vgg16", "--schemes", "sa",
+            "--scale", "tiny", "--registry", str(registry), "--status",
+        )
+        assert code == 0
+        assert "campaign status" in out
+        assert "pending" in out
+        assert not list(registry.glob("*/result.json"))
+
+
+class TestWorkerCommand:
+    def test_worker_finishes_campaign_and_reports(self, capsys, tmp_path):
+        registry = tmp_path / "registry"
+        code, out = run_cli(
+            capsys, "worker", "--registry", str(registry),
+            "--networks", "vgg16", "--schemes", "sa", "--scale", "tiny",
+            "--ttl", "5", "--poll", "0.05",
+        )
+        assert code == 0
+        assert "ran 1 cell(s)" in out
+        assert "1 completed" in out
+        assert list(registry.glob("*/result.json"))
+
+    def test_worker_reads_manifest(self, capsys, tmp_path):
+        from repro.distrib.coordinator import write_manifest
+        from repro.runs.suite import SuiteMatrix
+
+        registry = tmp_path / "registry"
+        write_manifest(
+            SuiteMatrix(networks=("vgg16",), schemes=("sa",), scale="tiny"),
+            registry,
+        )
+        code, out = run_cli(
+            capsys, "worker", "--registry", str(registry),
+            "--ttl", "5", "--poll", "0.05",
+        )
+        assert code == 0
+        assert "1 completed" in out
+
+    def test_worker_without_matrix_or_manifest_fails_cleanly(
+        self, capsys, tmp_path
+    ):
+        code, out = run_cli(
+            capsys, "worker", "--registry", str(tmp_path / "nowhere")
+        )
+        assert code == 1
+        assert "manifest" in out

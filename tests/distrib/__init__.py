@@ -1,0 +1,1 @@
+"""Distributed campaign execution: leases, budgets, workers, coordinator."""

@@ -1,0 +1,202 @@
+"""The deterministic budget scheduler: grants, refunds, path-independence."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.distrib.budget import (
+    CellProgress,
+    claimable_cells,
+    campaign_finished,
+    compute_allocations,
+)
+
+
+@dataclass(frozen=True)
+class FakeCell:
+    """Just enough of a SuiteCell for the scheduler: key + scheme."""
+
+    name: str
+    scheme: str = "cocco"
+
+    @property
+    def key(self) -> tuple:
+        return (self.name, self.scheme)
+
+
+def running(evals: int = 0) -> CellProgress:
+    return CellProgress(complete=False, failed=False, evaluations=evals)
+
+
+def complete(evals: int) -> CellProgress:
+    return CellProgress(complete=True, failed=False, evaluations=evals)
+
+
+def failed() -> CellProgress:
+    return CellProgress(complete=False, failed=True, evaluations=0)
+
+
+class TestInitialGrants:
+    def test_even_split_with_remainder_to_earliest(self):
+        cells = [FakeCell(n) for n in "abc"]
+        view = compute_allocations(
+            cells, 10, {c.key: running() for c in cells}
+        )
+        assert [view.allocations[c.key] for c in cells] == [4, 3, 3]
+
+    def test_unstarted_round_is_open(self):
+        cells = [FakeCell(n) for n in "ab"]
+        view = compute_allocations(cells, 10, {c.key: running() for c in cells})
+        assert not view.out_of_budget
+        assert view.exhausted == frozenset()
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            compute_allocations([FakeCell("a")], -1, {})
+
+
+class TestRefundRounds:
+    def test_unspent_budget_flows_to_unconverged_cells(self):
+        cells = [FakeCell(n) for n in "abc"]
+        progress = {
+            cells[0].key: complete(10),  # converged: refunds 20
+            cells[1].key: running(30),   # exhausted at cap 30
+            cells[2].key: running(30),   # exhausted at cap 30
+        }
+        view = compute_allocations(cells, 90, progress)
+        assert view.allocations[cells[0].key] == 30
+        assert view.allocations[cells[1].key] == 40
+        assert view.allocations[cells[2].key] == 40
+        assert not view.out_of_budget
+
+    def test_failed_cell_refunds_whole_allocation(self):
+        cells = [FakeCell(n) for n in "ab"]
+        progress = {cells[0].key: failed(), cells[1].key: running(30)}
+        view = compute_allocations(cells, 60, progress)
+        assert view.allocations[cells[1].key] == 60
+
+    def test_failed_cell_refunds_only_unspent_samples(self):
+        # the cell checkpointed 12 evaluations before erroring: those
+        # samples were really drawn from the budget and must not flow
+        # back out (or the campaign total would exceed the cap)
+        cells = [FakeCell(n) for n in "ab"]
+        progress = {
+            cells[0].key: CellProgress(
+                complete=False, failed=True, evaluations=12
+            ),
+            cells[1].key: running(30),
+        }
+        view = compute_allocations(cells, 60, progress)
+        assert view.allocations[cells[1].key] == 30 + (30 - 12)
+
+    def test_round_blocked_by_midrun_cell_withholds_refunds(self):
+        cells = [FakeCell(n) for n in "abc"]
+        progress = {
+            cells[0].key: complete(10),
+            cells[1].key: running(15),   # mid-run below its cap of 30
+            cells[2].key: running(30),
+        }
+        view = compute_allocations(cells, 90, progress)
+        # refunds wait until the round resolves
+        assert view.allocations[cells[1].key] == 30
+        assert view.allocations[cells[2].key] == 30
+        assert view.exhausted == frozenset({cells[2].key})
+
+    def test_out_of_budget_when_pool_empty(self):
+        cells = [FakeCell(n) for n in "ab"]
+        progress = {c.key: running(30) for c in cells}
+        view = compute_allocations(cells, 60, progress)
+        assert view.out_of_budget
+        assert view.exhausted == frozenset(c.key for c in cells)
+
+
+class TestPathIndependence:
+    """The replay must reconstruct history, not shortcut it."""
+
+    def test_late_completion_replays_through_its_exhaustion_rounds(self):
+        # History: d completes only after a regrant (used 11 > round-1
+        # cap 10). The replay must keep d active through round 1 and
+        # refund in round 2, exactly as history did.
+        cells = [FakeCell(n) for n in "abcd"] + [FakeCell("e", scheme="rs")]
+        progress = {
+            cells[0].key: running(12),
+            cells[1].key: running(12),
+            cells[2].key: running(12),
+            cells[3].key: complete(11),   # checkpointable, finished late
+            cells[4].key: complete(2),    # atomic, finished round 1
+        }
+        view = compute_allocations(cells, 50, progress)
+        # round 1: 10 each; e refunds 8 -> round 2: [2,2,2,2] over a-d;
+        # d (cap 12 >= used 11) refunds 1 -> round 3: [1,0,0] over a-c.
+        assert view.allocations[cells[0].key] == 13
+        assert view.allocations[cells[1].key] == 12
+        assert view.allocations[cells[2].key] == 12
+        assert view.allocations[cells[3].key] == 12
+
+    def test_atomic_overdraft_shrinks_pool(self):
+        cells = [FakeCell("a"), FakeCell("b", scheme="nsga")]
+        progress = {
+            cells[0].key: running(30),
+            cells[1].key: complete(45),  # atomic: overdrew its 30 by 15
+        }
+        view = compute_allocations(cells, 60, progress)
+        # refund = 30 - 45 = -15 -> pool floored at 0: no regrant for a
+        assert view.allocations[cells[0].key] == 30
+        assert view.out_of_budget
+
+    def test_allocations_are_pure_functions_of_state(self):
+        cells = [FakeCell(n) for n in "abc"]
+        progress = {
+            cells[0].key: complete(5),
+            cells[1].key: running(28),
+            cells[2].key: running(28),
+        }
+        first = compute_allocations(cells, 84, progress)
+        second = compute_allocations(cells, 84, progress)
+        assert first.allocations == second.allocations
+        assert first.exhausted == second.exhausted
+
+
+class TestClaimable:
+    def test_unbudgeted_claims_all_unfinished(self):
+        cells = [FakeCell(n) for n in "abc"]
+        progress = {
+            cells[0].key: complete(9),
+            cells[1].key: failed(),
+            cells[2].key: running(5),
+        }
+        assert claimable_cells(cells, None, progress) == [(cells[2], None)]
+
+    def test_budgeted_claims_under_cap_only(self):
+        cells = [FakeCell(n) for n in "ab"]
+        progress = {cells[0].key: running(30), cells[1].key: running(7)}
+        pairs = claimable_cells(cells, 60, progress)
+        assert pairs == [(cells[1], 30)]
+
+    def test_zero_allocation_cells_not_claimable(self):
+        cells = [FakeCell(n) for n in "abc"]
+        progress = {c.key: running() for c in cells}
+        pairs = claimable_cells(cells, 2, progress)
+        assert [c.name for c, _ in pairs] == ["a", "b"]
+
+
+class TestFinished:
+    def test_all_complete(self):
+        cells = [FakeCell("a")]
+        assert campaign_finished(cells, None, {cells[0].key: complete(3)})
+
+    def test_failed_counts_as_finished(self):
+        cells = [FakeCell("a")]
+        assert campaign_finished(cells, None, {cells[0].key: failed()})
+
+    def test_unbudgeted_incomplete_not_finished(self):
+        cells = [FakeCell("a")]
+        assert not campaign_finished(cells, None, {cells[0].key: running(5)})
+
+    def test_out_of_budget_is_finished(self):
+        cells = [FakeCell("a"), FakeCell("b")]
+        progress = {c.key: running(30) for c in cells}
+        assert campaign_finished(cells, 60, progress)
+        assert not campaign_finished(cells, 100, progress)

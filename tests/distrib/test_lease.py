@@ -1,0 +1,129 @@
+"""The filesystem lease protocol: atomic claim, heartbeat, expiry steal."""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.distrib.lease import (
+    Heartbeat,
+    break_expired_lease,
+    lease_path,
+    read_lease,
+    release_lease,
+    renew_lease,
+    try_acquire_lease,
+)
+
+
+@pytest.fixture
+def run_dir(tmp_path):
+    return tmp_path / "cell-dir"
+
+
+class TestAcquire:
+    def test_free_cell_is_claimed(self, run_dir):
+        lease = try_acquire_lease(run_dir, "w1", ttl=30)
+        assert lease is not None
+        assert lease.via == "fresh"
+        info = read_lease(run_dir)
+        assert info.owner == "w1"
+        assert info.nonce == lease.nonce
+        assert not info.is_expired()
+
+    def test_creates_run_dir(self, run_dir):
+        assert not run_dir.exists()
+        try_acquire_lease(run_dir, "w1", ttl=30)
+        assert run_dir.is_dir()
+
+    def test_held_cell_is_refused(self, run_dir):
+        assert try_acquire_lease(run_dir, "w1", ttl=30) is not None
+        assert try_acquire_lease(run_dir, "w2", ttl=30) is None
+
+    def test_expired_cell_is_stolen(self, run_dir):
+        stale = try_acquire_lease(run_dir, "w1", ttl=0.01)
+        assert stale is not None
+        time.sleep(0.05)
+        lease = try_acquire_lease(run_dir, "w2", ttl=30)
+        assert lease is not None
+        assert lease.via == "stolen"
+        assert read_lease(run_dir).owner == "w2"
+        # no tombstones left behind
+        assert list(run_dir.glob("lease.json.expired-*")) == []
+
+    def test_garbage_lease_file_is_reclaimed(self, run_dir):
+        """A torn lease file must not block its cell forever."""
+        run_dir.mkdir()
+        lease_path(run_dir).write_text("not json{{{")
+        assert read_lease(run_dir) is None
+        lease = try_acquire_lease(run_dir, "w1", ttl=30)
+        assert lease is not None
+        assert read_lease(run_dir).owner == "w1"
+
+
+class TestRenewRelease:
+    def test_renew_updates_heartbeat(self, run_dir):
+        lease = try_acquire_lease(run_dir, "w1", ttl=30)
+        before = read_lease(run_dir).heartbeat
+        assert renew_lease(lease, now=before + 5)
+        assert read_lease(run_dir).heartbeat == before + 5
+
+    def test_renew_fails_after_steal(self, run_dir):
+        stale = try_acquire_lease(run_dir, "w1", ttl=0.01)
+        time.sleep(0.05)
+        thief = try_acquire_lease(run_dir, "w2", ttl=30)
+        assert thief is not None
+        assert not renew_lease(stale)
+        # and the thief's lease is untouched by the failed renewal
+        assert read_lease(run_dir).nonce == thief.nonce
+
+    def test_release_frees_the_cell(self, run_dir):
+        lease = try_acquire_lease(run_dir, "w1", ttl=30)
+        assert release_lease(lease)
+        assert read_lease(run_dir) is None
+        assert try_acquire_lease(run_dir, "w2", ttl=30) is not None
+
+    def test_release_of_stolen_lease_is_noop(self, run_dir):
+        stale = try_acquire_lease(run_dir, "w1", ttl=0.01)
+        time.sleep(0.05)
+        thief = try_acquire_lease(run_dir, "w2", ttl=30)
+        assert not release_lease(stale)
+        assert read_lease(run_dir).nonce == thief.nonce
+
+
+class TestBreakExpired:
+    def test_breaks_only_expired(self, run_dir):
+        lease = try_acquire_lease(run_dir, "w1", ttl=30)
+        assert not break_expired_lease(run_dir)
+        assert read_lease(run_dir).nonce == lease.nonce
+
+    def test_break_frees_cell(self, run_dir):
+        try_acquire_lease(run_dir, "w1", ttl=0.01)
+        time.sleep(0.05)
+        assert break_expired_lease(run_dir)
+        assert read_lease(run_dir) is None
+
+    def test_break_without_lease_is_noop(self, run_dir):
+        run_dir.mkdir()
+        assert not break_expired_lease(run_dir)
+
+
+class TestHeartbeat:
+    def test_thread_keeps_lease_fresh(self, run_dir):
+        lease = try_acquire_lease(run_dir, "w1", ttl=0.4)
+        with Heartbeat(lease, interval=0.05):
+            time.sleep(0.6)  # > ttl: would expire without the thread
+            assert not read_lease(run_dir).is_expired()
+        assert not read_lease(run_dir).is_expired()
+
+    def test_thread_detects_lost_lease(self, run_dir):
+        lease = try_acquire_lease(run_dir, "w1", ttl=30)
+        with Heartbeat(lease, interval=0.05) as beat:
+            # simulate a steal: replace the lease under the thread
+            payload = json.loads(lease_path(run_dir).read_text())
+            payload["nonce"] = "someone-else"
+            lease_path(run_dir).write_text(json.dumps(payload))
+            time.sleep(0.2)
+        assert beat.lost

@@ -1,0 +1,217 @@
+"""The worker daemon: claim, execute, resume, reclaim — and identity.
+
+The acceptance contract of the distributed layer: a campaign executed
+by any number of ``repro worker`` processes on one shared registry —
+including workers killed mid-cell whose leases expire and are reclaimed
+— yields a merged report identical to the same campaign run
+single-process.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.distrib.budget import campaign_progress
+from repro.distrib.coordinator import matrix_to_dict
+from repro.distrib.lease import read_lease, try_acquire_lease
+from repro.distrib.worker import WorkerConfig, run_worker, worker_entry
+from repro.ga.engine import GeneticEngine
+from repro.ga.problem import OptimizationProblem
+from repro.cost.evaluator import Evaluator
+from repro.cost.objective import Metric
+from repro.experiments.common import SCALES
+from repro.graphs.zoo import get_model
+from repro.runs.checkpoint import ga_checkpoint_to_dict
+from repro.runs.registry import RunRegistry
+from repro.runs.suite import (
+    FAULT_ENV,
+    SuiteCell,
+    SuiteMatrix,
+    cell_accelerator,
+    merged_report,
+    run_suite,
+)
+from repro.search_space import CapacitySpace
+
+
+MATRIX = SuiteMatrix(
+    networks=("vgg16", "googlenet"),
+    schemes=("cocco", "sa"),
+    scale="tiny",
+    seed=0,
+)
+
+FAST = dict(lease_ttl=1.0, poll_interval=0.02)
+
+
+def spawn_worker(ctx, matrix, registry, worker_id, budget=None, **overrides):
+    kwargs = dict(
+        matrix_args=matrix_to_dict(matrix),
+        registry_root=str(registry),
+        worker_id=worker_id,
+        lease_ttl=overrides.get("lease_ttl", 1.0),
+        poll_interval=overrides.get("poll_interval", 0.02),
+        budget=budget,
+    )
+    process = ctx.Process(target=worker_entry, kwargs=kwargs)
+    process.start()
+    return process
+
+
+@pytest.fixture(scope="module")
+def clean_rows(tmp_path_factory):
+    """The single-process reference report for MATRIX."""
+    registry = tmp_path_factory.mktemp("clean") / "reg"
+    return run_suite(MATRIX, registry).report.rows
+
+
+class TestSingleWorker:
+    def test_completes_campaign_identical_to_serial(self, tmp_path, clean_rows):
+        summary = run_worker(
+            MATRIX, tmp_path / "reg", WorkerConfig(worker_id="w0", **FAST)
+        )
+        assert summary.cells_completed == 4
+        rows = merged_report(MATRIX, RunRegistry(tmp_path / "reg")).rows
+        assert rows == clean_rows
+
+    def test_exits_immediately_on_finished_campaign(self, tmp_path):
+        run_worker(MATRIX, tmp_path / "reg", WorkerConfig(worker_id="w0", **FAST))
+        summary = run_worker(
+            MATRIX, tmp_path / "reg", WorkerConfig(worker_id="w1", **FAST)
+        )
+        assert summary.cells_run == 0
+        assert summary.idle_seconds == 0.0
+
+    def test_inherits_half_finished_cell_bit_identically(
+        self, tmp_path, clean_rows
+    ):
+        """A cell with a dead peer's checkpoint + expired lease resumes
+        mid-search and finishes exactly as an uninterrupted run."""
+        cell = SuiteCell(
+            network="vgg16", mode="separate", metric="energy",
+            bytes_per_element=1, scheme="cocco", alpha=0.002, scale="tiny",
+        )
+        seed = cell.seed(0)
+        scale = SCALES["tiny"]
+        evaluator = Evaluator(get_model(cell.network), cell_accelerator(cell))
+        problem = OptimizationProblem(
+            evaluator=evaluator, metric=Metric.ENERGY, alpha=cell.alpha,
+            space=CapacitySpace.paper_separate(),
+        )
+        checkpoints = {}
+        GeneticEngine(problem, scale.co_opt_ga_config(seed=seed)).run(
+            on_generation=lambda ck: checkpoints.__setitem__(ck.generation, ck)
+        )
+        registry = RunRegistry(tmp_path / "reg")
+        run = registry.open_run(cell.config_dict(), seed)
+        run.save_checkpoint(ga_checkpoint_to_dict(checkpoints[2]))
+        # the dead peer's lease, long expired
+        stale = try_acquire_lease(run.path, "dead-peer", ttl=0.01)
+        assert stale is not None
+        time.sleep(0.05)
+
+        summary = run_worker(
+            MATRIX, tmp_path / "reg", WorkerConfig(worker_id="heir", **FAST)
+        )
+        assert summary.leases_reclaimed >= 1
+        assert summary.cells_resumed >= 1
+        rows = merged_report(MATRIX, registry).rows
+        assert rows == clean_rows
+
+
+class TestConcurrentWorkers:
+    """Satellite: multiple processes against one registry, disjoint cells."""
+
+    def test_stress_three_processes_match_serial(self, tmp_path, clean_rows):
+        registry = tmp_path / "reg"
+        ctx = multiprocessing.get_context("spawn")
+        workers = [
+            spawn_worker(ctx, MATRIX, registry, f"stress-{i}")
+            for i in range(3)
+        ]
+        for process in workers:
+            process.join(timeout=180)
+            assert process.exitcode == 0
+        rows = merged_report(MATRIX, RunRegistry(registry)).rows
+        assert rows == clean_rows
+        # every cell was completed exactly once: each run dir holds one
+        # durable result and no lingering lease
+        run_dirs = [p for p in registry.iterdir() if p.is_dir()]
+        assert len(run_dirs) == 4
+        for run_dir in run_dirs:
+            assert (run_dir / "result.json").exists()
+            assert read_lease(run_dir) is None
+
+    def test_budgeted_two_processes_match_budgeted_serial(self, tmp_path):
+        budget = 220  # SA cells refund into the hungrier cocco cells
+        serial = run_suite(MATRIX, tmp_path / "serial", budget=budget)
+        registry = tmp_path / "reg"
+        ctx = multiprocessing.get_context("spawn")
+        workers = [
+            spawn_worker(ctx, MATRIX, registry, f"bw-{i}", budget=budget)
+            for i in range(2)
+        ]
+        for process in workers:
+            process.join(timeout=180)
+            assert process.exitcode == 0
+        rows = merged_report(MATRIX, RunRegistry(registry)).rows
+        assert rows == serial.report.rows
+        # the budget was respected exactly
+        progress = campaign_progress(
+            RunRegistry(registry), MATRIX.cells(), MATRIX.seed
+        )
+        assert sum(p.evaluations for p in progress.values()) <= budget
+
+
+class TestKilledWorker:
+    """A worker SIGKILLed mid-cell: lease expires, peer reclaims, resumes."""
+
+    def test_survivor_reclaims_and_report_matches_clean(
+        self, tmp_path, clean_rows, monkeypatch
+    ):
+        registry = tmp_path / "reg"
+        ctx = multiprocessing.get_context("spawn")
+        # victim: dies (os._exit) on the first cell it claims
+        monkeypatch.setenv(FAULT_ENV, "vgg16/separate/energy/b1/cocco")
+        victim = spawn_worker(ctx, MATRIX, registry, "victim")
+        victim.join(timeout=120)
+        assert victim.exitcode == 23  # the injected hard kill
+        monkeypatch.delenv(FAULT_ENV)
+        # it died holding its lease
+        leases = list(registry.glob("*/lease.json"))
+        assert len(leases) == 1
+
+        summary = run_worker(
+            MATRIX, registry, WorkerConfig(worker_id="survivor", **FAST)
+        )
+        assert summary.leases_reclaimed >= 1
+        assert summary.cells_completed == 4
+        rows = merged_report(MATRIX, RunRegistry(registry)).rows
+        assert rows == clean_rows
+
+    def test_fault_marker_prevents_refire(self, tmp_path, monkeypatch):
+        """The injected fault fires once; the retry runs the cell."""
+        registry = tmp_path / "reg"
+        ctx = multiprocessing.get_context("spawn")
+        # target exactly one cell: a broader pattern would fire again
+        # (in-process!) when the survivor reaches the sibling cell
+        monkeypatch.setenv(FAULT_ENV, "googlenet/separate/energy/b1/cocco")
+        victim = spawn_worker(ctx, MATRIX, registry, "victim")
+        victim.join(timeout=120)
+        assert victim.exitcode == 23
+        markers = list(registry.glob("*/fault-attempted"))
+        assert len(markers) == 1
+        # survivor runs with the env still set: the marker holds it off
+        summary = run_worker(
+            MATRIX, registry, WorkerConfig(worker_id="survivor", **FAST)
+        )
+        assert summary.leases_reclaimed == 1
+        reg = RunRegistry(registry)
+        assert all(
+            reg.is_complete(c.config_dict(), c.seed(MATRIX.seed))
+            for c in MATRIX.cells()
+        )

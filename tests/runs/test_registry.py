@@ -125,3 +125,69 @@ class TestEnumeration:
         registry = RunRegistry(tmp_path / "missing")
         assert list(registry.runs()) == []
         assert registry.completed() == []
+
+
+class TestErrorMarkers:
+    def test_record_and_load(self, registry):
+        run = registry.open_run(CONFIG, seed=0)
+        assert not run.has_error
+        assert run.load_error() is None
+        run.record_error("bad model")
+        assert run.has_error
+        assert run.load_error()["error"] == "bad model"
+        assert registry.has_error(CONFIG, 0)
+
+    def test_result_supersedes_error(self, registry):
+        run = registry.open_run(CONFIG, seed=0)
+        run.record_error("transient")
+        run.finish({"v": 1})
+        assert not run.has_error
+        assert not registry.has_error(CONFIG, 0)
+        assert run.is_complete
+
+    def test_error_does_not_mark_complete(self, registry):
+        run = registry.open_run(CONFIG, seed=0)
+        run.record_error("boom")
+        assert not run.is_complete
+        assert not registry.is_complete(CONFIG, 0)
+
+
+class TestGc:
+    def test_reclaims_completed_checkpoints_and_leases(self, registry):
+        done = registry.open_run(CONFIG, seed=0)
+        done.save_checkpoint({"generation": 5, "big": "x" * 1000})
+        done.lease_path.write_text("{}")
+        done.finish({"v": 1})
+        pending = registry.open_run(CONFIG, seed=1)
+        pending.save_checkpoint({"generation": 2})
+
+        removed, reclaimed = registry.gc()
+        assert removed == 2
+        assert reclaimed > 1000
+        # completed run: scratch gone, result intact
+        assert not done.has_checkpoint
+        assert not done.lease_path.exists()
+        assert done.load_result() == {"v": 1}
+        # incomplete run keeps its checkpoint (that's its resume state)
+        assert pending.has_checkpoint
+
+    def test_gc_sweeps_killed_writer_litter(self, registry):
+        run = registry.open_run(CONFIG, seed=0)
+        run.finish({"v": 1})
+        # a writer SIGKILLed mid-write and a crashed lease steal leave:
+        (run.path / "checkpoint.json.tmp-123-abcd1234").write_text("{}")
+        (run.path / "lease.json.expired-deadbeef").write_text("{}")
+        removed, _ = registry.gc()
+        assert removed == 2
+        assert list(run.path.glob("*.tmp-*")) == []
+        assert list(run.path.glob("lease.json.expired-*")) == []
+
+    def test_gc_idempotent(self, registry):
+        run = registry.open_run(CONFIG, seed=0)
+        run.save_checkpoint({"generation": 1})
+        run.finish({"v": 1})
+        assert registry.gc()[0] == 1
+        assert registry.gc() == (0, 0)
+
+    def test_gc_on_empty_registry(self, tmp_path):
+        assert RunRegistry(tmp_path / "none").gc() == (0, 0)

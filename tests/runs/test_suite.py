@@ -268,3 +268,126 @@ class TestShardedIdentity:
         assert stored is None
         again = merged_report(MATRIX, RunRegistry(tmp_path / "reg"))
         assert report.rows == again.rows
+
+
+# ---------------------------------------------------------------------------
+class TestSACellResume:
+    def test_sa_cell_resumes_from_checkpoint_bit_identically(self, tmp_path):
+        """An interrupted SA cell continues from checkpoint.json and
+        produces exactly the result of an uninterrupted cell."""
+        from repro.dse.sa import sa_co_optimize
+        from repro.runs.checkpoint import sa_checkpoint_to_dict
+
+        cell = SuiteCell(
+            network="vgg16", mode="separate", metric="energy",
+            bytes_per_element=1, scheme="sa", alpha=0.002, scale="tiny",
+        )
+        seed = cell.seed(0)
+        scale = SCALES["tiny"]
+
+        # capture the cell's exact chain and a mid-run checkpoint, as if
+        # the process died at step 25
+        evaluator = Evaluator(get_model(cell.network), cell_accelerator(cell))
+        checkpoints = {}
+        sa_co_optimize(
+            evaluator, CapacitySpace.paper_separate(), metric=Metric.ENERGY,
+            alpha=cell.alpha, sa_config=scale.co_opt_sa_config(seed=seed),
+            on_step=lambda ck: checkpoints.__setitem__(ck.step, ck),
+        )
+        mid = checkpoints[25]
+        assert 0 < mid.step < scale.co_opt_sa_config().steps
+
+        interrupted = RunRegistry(tmp_path / "interrupted")
+        run = interrupted.open_run(cell.config_dict(), seed)
+        for step in (0, 25, 30):  # 30: an orphaned post-checkpoint line
+            run.log_history({"step": step, "evaluations": 0, "best_cost": 0.0})
+        run.save_checkpoint(sa_checkpoint_to_dict(mid))
+
+        resumed_row = run_cell(cell, 0, interrupted)
+        clean_row = run_cell(cell, 0, RunRegistry(tmp_path / "clean"))
+        assert resumed_row == clean_row
+
+        # history was stitched by step: no duplicates, no orphans
+        steps = [
+            e["step"]
+            for e in interrupted.load(cell.config_dict(), seed).read_history()
+        ]
+        assert steps == sorted(set(steps))
+
+    def test_sa_cell_history_streams_steps(self, tmp_path):
+        cell = SuiteCell(
+            network="vgg16", mode="separate", metric="energy",
+            bytes_per_element=1, scheme="sa", alpha=0.002, scale="tiny",
+        )
+        registry = RunRegistry(tmp_path / "reg")
+        run_cell(cell, 0, registry)
+        entries = registry.load(
+            cell.config_dict(), cell.seed(0)
+        ).read_history()
+        steps = [e["step"] for e in entries]
+        assert steps[0] == 0
+        assert steps[-1] == SCALES["tiny"].co_opt_sa_config().steps
+
+
+# ---------------------------------------------------------------------------
+class TestBudgetedCampaign:
+    def test_budget_caps_total_evaluations_exactly(self, tmp_path):
+        from repro.distrib.budget import campaign_progress
+
+        budget = 150  # well below the ~210 the matrix needs
+        outcome = run_suite(MATRIX, tmp_path / "reg", budget=budget)
+        assert outcome.exhausted == 4
+        assert outcome.completed == 0
+        registry = RunRegistry(tmp_path / "reg")
+        progress = campaign_progress(registry, MATRIX.cells(), MATRIX.seed)
+        assert sum(p.evaluations for p in progress.values()) == budget
+        # every cell kept its resume state
+        for cell in MATRIX.cells():
+            assert registry.load(
+                cell.config_dict(), cell.seed(MATRIX.seed)
+            ).has_checkpoint
+
+    def test_refunds_flow_from_converged_to_unconverged(self, tmp_path):
+        # 220 > need of the sa cells (49 each at tiny scale): their
+        # refunds must top up the hungrier cocco cells (56 each)
+        outcome = run_suite(MATRIX, tmp_path / "reg", budget=220)
+        assert outcome.exhausted == 0
+        assert outcome.completed == 4
+
+    def test_budgeted_identical_for_any_worker_count(self, tmp_path):
+        budget = 170
+        serial = run_suite(MATRIX, tmp_path / "serial", budget=budget)
+        sharded = run_suite(MATRIX, tmp_path / "sharded", budget=budget, workers=2)
+        assert report_rows(serial) == report_rows(sharded)
+
+    def test_exhausted_campaign_resumes_under_larger_budget(self, tmp_path):
+        small = run_suite(MATRIX, tmp_path / "reg", budget=150)
+        assert small.exhausted == 4
+        grown = run_suite(MATRIX, tmp_path / "reg", budget=100_000)
+        assert grown.exhausted == 0
+        assert grown.failed == 0
+        # the grown campaign is deterministic: a second registry walking
+        # the same 150 -> 100k budget schedule merges identically
+        first = run_suite(MATRIX, tmp_path / "other", budget=150)
+        second = run_suite(MATRIX, tmp_path / "other", budget=100_000)
+        assert report_rows(second) == report_rows(grown)
+
+    def test_unbudgeted_path_unchanged(self, tmp_path):
+        plain = run_suite(MATRIX, tmp_path / "plain")
+        budgeted = run_suite(MATRIX, tmp_path / "budgeted", budget=10_000_000)
+        assert report_rows(plain) == report_rows(budgeted)
+
+    def test_failed_cells_terminate_budget_rounds(self, tmp_path):
+        bad = SuiteMatrix(
+            networks=("vgg16", "no_such_model"), schemes=("sa",), scale="tiny"
+        )
+        outcome = run_suite(bad, tmp_path / "reg", budget=400)
+        assert outcome.failed == 1
+        assert outcome.completed == 1
+        registry = RunRegistry(tmp_path / "reg")
+        victim = bad.cells()[1]
+        assert registry.has_error(
+            victim.config_dict(), victim.seed(bad.seed)
+        )
+        row = report_rows(outcome)[1]
+        assert row[-1] == "failed"
