@@ -1,7 +1,10 @@
 #!/usr/bin/env python
-"""Distrib smoke: two workers, one SIGKILLed mid-cell, identical report.
+"""Distrib smoke: workers SIGKILLed mid-cell, identical merged reports.
 
-The CI acceptance check for the distributed campaign layer:
+The CI acceptance check for the distributed campaign layer, in two
+phases.
+
+Phase 1 (unbudgeted, cocco+sa matrix):
 
 1. run a small matrix to completion single-process in a *clean*
    registry (`repro suite`);
@@ -16,9 +19,19 @@ The CI acceptance check for the distributed campaign layer:
 4. merge the registry (`repro suite --report-only`) and assert the
    merged rows are bit-identical to the clean single-process run's.
 
+Phase 2 (budgeted, islands+two-step matrix): the matrix holds an
+island-model cell and a two-step (rs) cell under a sample budget sized
+so the budget binds. A lone worker is SIGKILLed *mid-islands-cell*
+(after its composite checkpoint is durably streaming, before the cell
+can finish), two survivors reclaim its lease, resume the checkpoint
+mid-search, and run the campaign to its budget. Asserts the registry
+charged exactly the budget, and that the merged report is bit-identical
+to a clean budgeted single-process run — locking the new islands and
+two-step resume paths end-to-end.
+
 Exit code 0 on success; non-zero with a diagnostic otherwise. The
-killed-and-reclaimed registry is left in place so CI can upload it as
-an artifact.
+killed-and-reclaimed registries are left in place so CI can upload them
+as artifacts.
 
 Usage::
 
@@ -32,8 +45,10 @@ import json
 import os
 import re
 import shutil
+import signal
 import subprocess
 import sys
+import time
 from pathlib import Path
 
 MATRIX_ARGS = [
@@ -46,19 +61,36 @@ MATRIX_ARGS = [
 #: The first cell in matrix order — the one the victim worker claims.
 FAULT_CELL = "vgg16/separate/energy/b1/cocco"
 
+#: Phase 2: an island-model cell plus a two-step (rs) cell.
+BUDGET_MATRIX_ARGS = [
+    "--networks", "vgg16",
+    "--schemes", "islands,rs",
+    "--scale", "tiny",
+    "--seed", "0",
+]
 
-def suite_command(registry: Path, *extra: str) -> list[str]:
+#: Phase 2 sample budget. At tiny scale the islands cell needs ~96
+#: evaluations and the rs cell 64 (160 total), so 130 forces the
+#: initial 65/65 split to bind: rs finishes under its cap and refunds,
+#: islands exhausts at the grown cap — exercising stop-at-cap, resume,
+#: and refund re-granting across worker processes.
+BUDGET = 130
+
+
+def suite_command(registry: Path, *extra: str, matrix=None) -> list[str]:
     return [
         sys.executable, "-m", "repro.cli.main", "suite",
-        *MATRIX_ARGS, "--registry", str(registry), *extra,
+        *(matrix or MATRIX_ARGS), "--registry", str(registry), *extra,
     ]
 
 
-def worker_command(registry: Path, worker_id: str) -> list[str]:
+def worker_command(
+    registry: Path, worker_id: str, *extra: str, matrix=None
+) -> list[str]:
     return [
         sys.executable, "-m", "repro.cli.main", "worker",
-        *MATRIX_ARGS, "--registry", str(registry),
-        "--worker-id", worker_id, "--ttl", "3", "--poll", "0.1",
+        *(matrix or MATRIX_ARGS), "--registry", str(registry),
+        "--worker-id", worker_id, "--ttl", "3", "--poll", "0.1", *extra,
     ]
 
 
@@ -66,6 +98,31 @@ def read_rows(path: Path) -> list:
     if not path.exists():
         raise SystemExit(f"FAIL: no merged report at {path}")
     return json.loads(path.read_text())["rows"]
+
+
+def charged_evaluations(registry: Path) -> int:
+    """Total durably-charged samples: results first, else checkpoints."""
+    total = 0
+    for run_dir in registry.iterdir():
+        if not (run_dir / "config.json").is_file():
+            continue
+        result = run_dir / "result.json"
+        checkpoint = run_dir / "checkpoint.json"
+        if result.exists():
+            total += json.loads(result.read_text()).get("num_evaluations", 0)
+        elif checkpoint.exists():
+            total += json.loads(checkpoint.read_text()).get("evaluations", 0)
+    return total
+
+
+def find_run_dir(registry: Path, scheme: str) -> Path | None:
+    for run_dir in registry.glob("*"):
+        config = run_dir / "config.json"
+        if not config.is_file():
+            continue
+        if json.loads(config.read_text())["config"].get("scheme") == scheme:
+            return run_dir
+    return None
 
 
 def main() -> int:
@@ -145,6 +202,109 @@ def main() -> int:
         return 1
     print(f"OK: kill/reclaim report bit-identical to clean run "
           f"({len(clean_rows)} rows)")
+
+    return budgeted_phase(workdir, env)
+
+
+def budgeted_phase(workdir: Path, env: dict) -> int:
+    """Phase 2: budgeted islands+two-step campaign, SIGKILL mid-cell."""
+    clean = workdir / "budget-clean-registry"
+    shared = workdir / "budget-shared-registry"
+    budget = ["--budget", str(BUDGET)]
+
+    # 1. clean budgeted single-process reference. Exhausted (out of
+    # budget, checkpoint retained) cells exit non-zero by design.
+    reference = subprocess.run(
+        suite_command(clean, "--workers", "1", *budget,
+                      matrix=BUDGET_MATRIX_ARGS),
+        env=env, stdout=subprocess.DEVNULL,
+    )
+    if reference.returncode not in (0, 1):
+        print(f"FAIL: clean budgeted suite exited {reference.returncode}")
+        return 1
+    clean_rows = read_rows(clean / "report.json")
+    clean_charge = charged_evaluations(clean)
+    print(f"clean budgeted run: {len(clean_rows)} rows, "
+          f"{clean_charge} samples charged")
+    if clean_charge != BUDGET:
+        print(f"FAIL: clean run charged {clean_charge}, budget is {BUDGET}")
+        return 1
+
+    # 2. victim worker, SIGKILLed mid-islands-cell: wait until the
+    # cell's composite checkpoint is durably streaming (search is in
+    # progress), then kill -9. The lease stays orphaned.
+    victim = subprocess.Popen(
+        worker_command(shared, "victim", *budget, matrix=BUDGET_MATRIX_ARGS),
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    deadline = time.time() + 120
+    islands_dir = None
+    while time.time() < deadline:
+        islands_dir = find_run_dir(shared, "islands")
+        if islands_dir is not None and (islands_dir / "checkpoint.json").exists():
+            break
+        time.sleep(0.01)
+    else:
+        victim.kill()
+        print("FAIL: islands cell never started streaming checkpoints")
+        return 1
+    os.kill(victim.pid, signal.SIGKILL)
+    victim.wait(timeout=60)
+    if (islands_dir / "result.json").exists():
+        print("FAIL: kill landed after the islands cell completed — "
+              "the mid-cell window was missed")
+        return 1
+    checkpointed = json.loads(
+        (islands_dir / "checkpoint.json").read_text()
+    )["evaluations"]
+    print(f"victim SIGKILLed mid-islands-cell at {checkpointed} evaluations; "
+          f"orphaned lease: {(islands_dir / 'lease.json').exists()}")
+
+    # 3. two concurrent budgeted survivors: reclaim, resume the
+    # composite checkpoint mid-search, finish the campaign at budget.
+    survivors = [
+        subprocess.Popen(
+            worker_command(shared, f"budget-survivor-{i}", *budget,
+                           "--max-idle", "60", matrix=BUDGET_MATRIX_ARGS),
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True,
+        )
+        for i in range(2)
+    ]
+    resumed = 0
+    for process in survivors:
+        stdout, _ = process.communicate(timeout=600)
+        if process.returncode != 0:
+            print(f"FAIL: a budget survivor exited {process.returncode}:\n"
+                  f"{stdout}")
+            return 1
+        summary = stdout.strip().splitlines()[-1]
+        print(summary)
+        match = re.search(r"resumed (\d+) inherited checkpoint", summary)
+        resumed += int(match.group(1)) if match else 0
+    if resumed < 1:
+        print("FAIL: no survivor resumed the victim's islands checkpoint")
+        return 1
+
+    # 4. exact charge + bit-identical merged report
+    shared_charge = charged_evaluations(shared)
+    if shared_charge != BUDGET:
+        print(f"FAIL: fleet charged {shared_charge}, budget is {BUDGET}")
+        return 1
+    subprocess.run(
+        suite_command(shared, "--report-only", "--export",
+                      str(shared / "report.json"), matrix=BUDGET_MATRIX_ARGS),
+        env=env, check=True, stdout=subprocess.DEVNULL,
+    )
+    shared_rows = read_rows(shared / "report.json")
+    if shared_rows != clean_rows:
+        print("FAIL: budgeted kill/resume campaign differs from clean run")
+        for a, b in zip(clean_rows, shared_rows):
+            marker = "  " if a == b else "!="
+            print(f"{marker} clean={a}\n{marker} workers={b}")
+        return 1
+    print(f"OK: budgeted islands+two-step kill/resume report bit-identical "
+          f"to clean run ({len(clean_rows)} rows, exactly {BUDGET} samples)")
     return 0
 
 

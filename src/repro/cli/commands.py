@@ -8,7 +8,7 @@ from __future__ import annotations
 
 import argparse
 
-from ..config import AcceleratorConfig, BufferMode
+from ..config import AcceleratorConfig
 from ..cost.evaluator import Evaluator
 from ..cost.objective import Metric
 from ..errors import ConfigError, SearchError
@@ -22,7 +22,6 @@ from ..memory.trace import render_trace, trace_subgraph
 from ..partition.dp import dp_partition
 from ..partition.enumeration import enumerate_partition
 from ..partition.greedy import greedy_partition
-from ..partition.partition import Partition
 from ..partition.random_init import random_partition
 from ..search_space import CapacitySpace
 from ..dse.cocco import cocco_co_optimize, cocco_partition_only

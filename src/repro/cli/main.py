@@ -126,7 +126,8 @@ def build_parser() -> argparse.ArgumentParser:
     suite.add_argument("--metrics", default="energy",
                        help="comma list of metrics: ema,energy")
     suite.add_argument("--schemes", default="cocco",
-                       help="comma list of schemes: cocco,rs,gs,sa,nsga")
+                       help="comma list of schemes: "
+                            "cocco,rs,gs,sa,nsga,islands")
     suite.add_argument("--bytes-per-element", default="1",
                        help="comma list of element widths in bytes")
     suite.add_argument("--alphas", default="0.002",

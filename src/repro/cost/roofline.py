@@ -14,7 +14,6 @@ onto the compute roof.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
 
 from ..config import AcceleratorConfig
 from .evaluator import PartitionCost, SubgraphCost

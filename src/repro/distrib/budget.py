@@ -92,12 +92,14 @@ def _split(pool: int, count: int) -> list[int]:
 
 
 #: Schemes that stop exactly at a sample cap and resume from their
-#: checkpoint (GA generation snapshots, SA step snapshots). The other
-#: schemes (``rs``, ``gs``, ``nsga``) are cell-atomic: they run to
-#: completion whenever run, possibly overdrawing their allocation —
-#: which is why they always resolve in the first grant round, while a
-#: checkpointable cell may span several.
-CHECKPOINTABLE_SCHEMES = frozenset({"cocco", "sa"})
+#: checkpoint (GA generation snapshots, SA step snapshots, island-model
+#: composite snapshots, two-step candidate-cursor snapshots). The one
+#: remaining cell-atomic scheme is ``nsga`` (its archive-deduplicated
+#: evaluation counting cannot stop exactly mid-generation): it runs to
+#: completion whenever run, possibly overdrawing its allocation — which
+#: is why it always resolves in its first grant round, while a
+#: checkpointable cell may span several (replayed exhaustion rounds).
+CHECKPOINTABLE_SCHEMES = frozenset({"cocco", "sa", "islands", "rs", "gs"})
 
 
 @dataclass(frozen=True)

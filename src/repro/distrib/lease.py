@@ -25,6 +25,16 @@ is plenty — TTLs are tens of seconds). The protocol's correctness story
 does not rest on this: cells are deterministic and their results are
 written atomically, so the worst a bad clock causes is duplicate
 execution of identical work (see :mod:`repro.distrib`).
+
+Every time-dependent primitive takes an injectable ``clock`` (a
+zero-argument callable returning seconds, default ``time.time``), so
+expiry behavior is testable with a logical clock instead of real
+sleeps — the lease tests advance a fake clock past the TTL rather than
+waiting it out. The one-shot primitives also keep their older ``now``
+parameter for point-in-time queries; an explicit ``now`` always wins
+and the ``clock`` is consulted only when ``now`` is ``None`` (the
+:class:`Heartbeat` thread is the one consumer that genuinely needs the
+callable — it re-reads the time on every renewal).
 """
 
 from __future__ import annotations
@@ -36,8 +46,13 @@ import time
 import uuid
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Callable
 
 from ..runs.registry import LEASE_FILENAME
+
+#: The injectable time source: a zero-argument callable returning the
+#: current time in seconds (``time.time`` semantics).
+Clock = Callable[[], float]
 
 
 def lease_path(run_dir: str | Path) -> Path:
@@ -55,13 +70,17 @@ class LeaseInfo:
     heartbeat: float
     ttl: float
 
-    def age(self, now: float | None = None) -> float:
+    def age(
+        self, now: float | None = None, clock: Clock = time.time
+    ) -> float:
         """Seconds since the last heartbeat."""
-        return (time.time() if now is None else now) - self.heartbeat
+        return (clock() if now is None else now) - self.heartbeat
 
-    def is_expired(self, now: float | None = None) -> bool:
+    def is_expired(
+        self, now: float | None = None, clock: Clock = time.time
+    ) -> bool:
         """Whether the owner has missed its heartbeat by more than TTL."""
-        return self.age(now) > self.ttl
+        return self.age(now, clock) > self.ttl
 
 
 @dataclass
@@ -176,17 +195,20 @@ def try_acquire_lease(
     owner: str,
     ttl: float,
     now: float | None = None,
+    clock: Clock = time.time,
 ) -> Lease | None:
     """Claim the cell at ``run_dir``; ``None`` if it is validly held.
 
     Creates the run directory if needed (claiming often precedes the
     first write to a cell). A free cell is claimed atomically; an
     expired lease is stolen first (see :func:`_steal_expired`).
+    ``clock`` supplies the acquisition/expiry timestamps (tests inject
+    a logical clock so TTL expiry needs no real sleeping).
     """
     run_dir = Path(run_dir)
     run_dir.mkdir(parents=True, exist_ok=True)
     path = lease_path(run_dir)
-    now = time.time() if now is None else now
+    now = clock() if now is None else now
     lease = Lease(
         path=path,
         owner=owner,
@@ -216,7 +238,9 @@ def try_acquire_lease(
     return None
 
 
-def renew_lease(lease: Lease, now: float | None = None) -> bool:
+def renew_lease(
+    lease: Lease, now: float | None = None, clock: Clock = time.time
+) -> bool:
     """Refresh the heartbeat; False when the lease is no longer ours.
 
     Losing a lease (someone stole it after we stalled past the TTL) is
@@ -227,7 +251,7 @@ def renew_lease(lease: Lease, now: float | None = None) -> bool:
     current = read_lease(lease.path.parent)
     if current is None or current.nonce != lease.nonce:
         return False
-    now = time.time() if now is None else now
+    now = clock() if now is None else now
     # The ".tmp-" naming matches registry.gc()'s litter sweep, so a
     # heartbeat killed between write and rename leaves nothing behind
     # that --gc cannot reclaim.
@@ -248,7 +272,11 @@ def release_lease(lease: Lease) -> bool:
     return True
 
 
-def break_expired_lease(run_dir: str | Path, now: float | None = None) -> bool:
+def break_expired_lease(
+    run_dir: str | Path,
+    now: float | None = None,
+    clock: Clock = time.time,
+) -> bool:
     """Coordinator-side reclaim: remove an expired lease outright.
 
     Workers steal expired leases on their own; a coordinator sweeping
@@ -257,7 +285,7 @@ def break_expired_lease(run_dir: str | Path, now: float | None = None) -> bool:
     broken.
     """
     current = read_lease(run_dir)
-    if current is None or not current.is_expired(now):
+    if current is None or not current.is_expired(now, clock):
         return False
     return _steal_expired(lease_path(run_dir), current.nonce)
 
@@ -272,18 +300,24 @@ class Heartbeat:
     cell be reclaimed.
     """
 
-    def __init__(self, lease: Lease, interval: float | None = None):
+    def __init__(
+        self,
+        lease: Lease,
+        interval: float | None = None,
+        clock: Clock = time.time,
+    ):
         self.lease = lease
         self.interval = (
             interval if interval is not None else max(0.05, lease.ttl / 4.0)
         )
+        self.clock = clock
         self.lost = False
         self._stop = threading.Event()
         self._thread = threading.Thread(target=self._loop, daemon=True)
 
     def _loop(self) -> None:
         while not self._stop.wait(self.interval):
-            if not renew_lease(self.lease):
+            if not renew_lease(self.lease, clock=self.clock):
                 self.lost = True
                 return
 

@@ -10,10 +10,11 @@ and loops:
    atomic lease creation, dead workers' cells by stealing their expired
    leases;
 3. execute the cell through :func:`repro.runs.suite.run_cell` under a
-   heartbeat thread: checkpoints stream per generation/step exactly as
-   in local mode, so a cell inherited half-finished resumes
-   bit-identically mid-search, and a budget-capped cell stops exactly
-   at its cap;
+   heartbeat thread: checkpoints stream per generation/step/island/
+   candidate exactly as in local mode, so a cell of *any* scheme
+   inherited half-finished resumes bit-identically mid-search, and a
+   budget-capped cell stops exactly at its cap (``nsga`` alone stays
+   cell-atomic and charges its exact count);
 4. release the lease (completion already wrote ``result.json``
    atomically; deterministic failures wrote ``error.json``).
 

@@ -3,7 +3,7 @@ plus a multi-objective NSGA-II extension producing full Pareto fronts."""
 
 from .results import DSEResult
 from .fixed import optimize_fixed
-from .two_step import grid_search_ga, random_search_ga
+from .two_step import TwoStepCheckpoint, grid_search_ga, random_search_ga
 from .cocco import cocco_co_optimize, cocco_partition_only
 from .sa import sa_co_optimize
 from .pareto import ParetoPoint, knee_point, pareto_front, select_by_alpha
@@ -19,6 +19,7 @@ from .nsga import (
 
 __all__ = [
     "DSEResult",
+    "TwoStepCheckpoint",
     "optimize_fixed",
     "random_search_ga",
     "grid_search_ga",

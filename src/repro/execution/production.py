@@ -111,7 +111,6 @@ def production_tiling(
                 )
         resident: dict[str, int] = {}
         for name in local:
-            spec = graph.layer(name)
             kids = consumers[name]
             if not kids:
                 # Subgraph outputs stream out; only the newest rows linger.

@@ -14,6 +14,7 @@ from dataclasses import dataclass, replace
 from ..config import AcceleratorConfig, MemoryConfig
 from ..ga.annealing import SAConfig
 from ..ga.engine import GAConfig
+from ..ga.islands import IslandConfig
 from ..runs.seeds import derive_seed
 from ..units import kb
 
@@ -70,6 +71,13 @@ class Scale:
     #: changes. Override per run with ``replace(scale, workers=N)`` or
     #: the ``--workers`` CLI flag.
     workers: int = 1
+    #: Island-model shape: sub-population count, migration epochs, and
+    #: generations per island per epoch. The total sample budget
+    #: (``islands * epochs * epoch_generations * ga_population``) stays
+    #: comparable to the co-opt GA's so suite cells are comparable.
+    island_count: int = 2
+    island_epochs: int = 2
+    island_epoch_generations: int = 2
 
     def ga_config(self, seed: int = 0, **overrides) -> GAConfig:
         """A :class:`GAConfig` at this scale."""
@@ -100,6 +108,28 @@ class Scale:
             workers=self.workers,
         )
         return replace(config, **overrides) if overrides else config
+
+    def islands_config(self, seed: int = 0, **base_overrides) -> IslandConfig:
+        """An :class:`IslandConfig` at this scale.
+
+        ``base_overrides`` land on the per-island :class:`GAConfig`
+        (e.g. ``workers=N``); the island shape comes from the scale.
+        """
+        base = GAConfig(
+            population_size=self.ga_population,
+            generations=self.island_epoch_generations,
+            seed=seed,
+            workers=self.workers,
+        )
+        if base_overrides:
+            base = replace(base, **base_overrides)
+        return IslandConfig(
+            base=base,
+            num_islands=self.island_count,
+            epochs=self.island_epochs,
+            epoch_generations=self.island_epoch_generations,
+            seed=seed,
+        )
 
     def co_opt_sa_config(self, seed: int = 0, **overrides) -> SAConfig:
         """SA budget matched to the co-opt GA's total samples."""
@@ -134,6 +164,9 @@ QUICK_SCALE = Scale(
     gs_max_candidates=3,
     enum_max_states=20_000,
     enum_max_subgraph=16,
+    island_count=2,
+    island_epochs=2,
+    island_epoch_generations=4,
 )
 
 DEFAULT_SCALE = Scale(
@@ -146,6 +179,9 @@ DEFAULT_SCALE = Scale(
     gs_max_candidates=6,
     enum_max_states=60_000,
     enum_max_subgraph=32,
+    island_count=4,
+    island_epochs=5,
+    island_epoch_generations=5,
 )
 
 FULL_SCALE = Scale(
@@ -158,6 +194,9 @@ FULL_SCALE = Scale(
     gs_max_candidates=10,
     enum_max_states=200_000,
     enum_max_subgraph=64,
+    island_count=4,
+    island_epochs=8,
+    island_epoch_generations=10,
 )
 
 SCALES = {s.name: s for s in (TINY_SCALE, QUICK_SCALE, DEFAULT_SCALE, FULL_SCALE)}

@@ -12,9 +12,15 @@ from .mutation import (
 from .selection import tournament_select
 from .population import initialize_population
 from .problem import OptimizationProblem
-from .engine import GAConfig, GAResult, GeneticEngine, SampleRecord
+from .engine import (
+    EngineCheckpoint,
+    GAConfig,
+    GAResult,
+    GeneticEngine,
+    SampleRecord,
+)
 from .annealing import SACheckpoint, SAConfig, simulated_annealing
-from .islands import IslandConfig, island_search
+from .islands import IslandConfig, IslandsCheckpoint, island_search
 
 __all__ = [
     "Genome",
@@ -27,6 +33,7 @@ __all__ = [
     "tournament_select",
     "initialize_population",
     "OptimizationProblem",
+    "EngineCheckpoint",
     "GAConfig",
     "GAResult",
     "GeneticEngine",
@@ -35,5 +42,6 @@ __all__ = [
     "SAConfig",
     "simulated_annealing",
     "IslandConfig",
+    "IslandsCheckpoint",
     "island_search",
 ]

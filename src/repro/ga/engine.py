@@ -241,6 +241,23 @@ class GeneticEngine:
             if owns_backend:
                 backend.close()
 
+    def restore(self, checkpoint: EngineCheckpoint) -> None:
+        """Reinstall a snapshotted engine state without running anything.
+
+        The island conductor uses this to rebuild a fleet of engines
+        from a composite checkpoint: idle islands get their state back
+        via ``restore`` and continue through ordinary :meth:`run` calls
+        (their RNG stream and telemetry pick up mid-sequence), while the
+        island that was mid-run goes through :meth:`resume`.
+        """
+        self._rng.setstate(checkpoint.rng_state)
+        self._evaluations = checkpoint.evaluations
+        self._best = checkpoint.best_genome
+        self._best_cost = checkpoint.best_cost
+        self._history = list(checkpoint.history)
+        self._samples = list(checkpoint.samples)
+        self._generation = checkpoint.generation
+
     def resume(
         self,
         checkpoint: EngineCheckpoint,
@@ -260,13 +277,7 @@ class GeneticEngine:
                 f"checkpoint is at generation {checkpoint.generation}, config "
                 f"only runs {self.config.generations}"
             )
-        self._rng.setstate(checkpoint.rng_state)
-        self._evaluations = checkpoint.evaluations
-        self._best = checkpoint.best_genome
-        self._best_cost = checkpoint.best_cost
-        self._history = list(checkpoint.history)
-        self._samples = list(checkpoint.samples)
-        self._generation = checkpoint.generation
+        self.restore(checkpoint)
         backend = self._external_backend
         owns_backend = backend is None
         if backend is None:
@@ -292,6 +303,11 @@ class GeneticEngine:
         on_generation: GenerationHook | None = None,
     ) -> GAResult:
         cfg = self.config
+        # A reused engine (the island model runs one engine per epoch)
+        # starts each run at generation 0 again; without the reset its
+        # initial snapshot would claim the previous run's final
+        # generation and a resume would skip the whole new run.
+        self._generation = 0
         population = initialize_population(
             self.problem, cfg.population_size, self._rng, seeds
         )

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Iterable, Iterator
 
 from ..errors import GraphError
-from .ops import LayerSpec, OpKind
+from .ops import LayerSpec
 
 
 class ComputationGraph:

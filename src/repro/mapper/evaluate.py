@@ -25,7 +25,6 @@ from .space import (
     Dim,
     LoopDims,
     Mapping,
-    spatial_factor,
     temporal_trips,
 )
 

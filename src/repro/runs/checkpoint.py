@@ -19,10 +19,12 @@ from typing import Any
 
 from ..config import BufferMode, MemoryConfig
 from ..dse.nsga import MultiObjectivePoint, NSGACheckpoint
+from ..dse.two_step import TwoStepCheckpoint
 from ..errors import ConfigError
 from ..ga.annealing import SACheckpoint
 from ..ga.engine import EngineCheckpoint, SampleRecord
 from ..ga.genome import Genome
+from ..ga.islands import IslandsCheckpoint
 from ..graphs.graph import ComputationGraph
 from ..partition.partition import Partition
 
@@ -145,6 +147,150 @@ def ga_checkpoint_from_dict(
         samples=[_sample_from_dict(s) for s in data["samples"]],
         population=[genome_from_dict(g, graph) for g in data["population"]],
         costs=list(data["costs"]),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Island-model checkpoints
+# ---------------------------------------------------------------------------
+def islands_checkpoint_to_dict(checkpoint: IslandsCheckpoint) -> dict[str, Any]:
+    """Serialize an :class:`IslandsCheckpoint` to a JSON-able dict.
+
+    The per-island engine states nest as ordinary ``kind="ga"``
+    sub-documents, so one serializer round-trips both levels. The
+    top-level ``evaluations`` field is the global count — the budget
+    scheduler probes it without understanding the composite.
+    """
+    return {
+        "format": _FORMAT_VERSION,
+        "kind": "islands",
+        "epoch": checkpoint.epoch,
+        "island": checkpoint.island,
+        "evaluations": checkpoint.evaluations,
+        "islands": [
+            ga_checkpoint_to_dict(state) for state in checkpoint.islands
+        ],
+        "populations": [
+            [genome_to_dict(g) for g in population]
+            for population in checkpoint.populations
+        ],
+        "migration_rng_state": _rng_state_to_json(
+            checkpoint.migration_rng_state
+        ),
+        "history": [list(entry) for entry in checkpoint.history],
+        "best": (
+            genome_to_dict(checkpoint.best_genome)
+            if checkpoint.best_genome is not None
+            else None
+        ),
+        "best_cost": checkpoint.best_cost,
+    }
+
+
+def islands_checkpoint_from_dict(
+    data: dict[str, Any], graph: ComputationGraph
+) -> IslandsCheckpoint:
+    """Rebuild an :class:`IslandsCheckpoint` against ``graph``."""
+    _check_format(data, "islands")
+    return IslandsCheckpoint(
+        epoch=data["epoch"],
+        island=data["island"],
+        islands=[
+            ga_checkpoint_from_dict(state, graph) for state in data["islands"]
+        ],
+        populations=[
+            [genome_from_dict(g, graph) for g in population]
+            for population in data["populations"]
+        ],
+        migration_rng_state=_rng_state_from_json(data["migration_rng_state"]),
+        history=[(entry[0], entry[1]) for entry in data["history"]],
+        best_genome=(
+            genome_from_dict(data["best"], graph)
+            if data["best"] is not None
+            else None
+        ),
+        best_cost=data["best_cost"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Two-step checkpoints
+# ---------------------------------------------------------------------------
+#: The kinds a two-step snapshot may carry: the generic tag plus the
+#: suite scheme names (the suite stamps ``rs``/``gs`` so a registry
+#: directory is self-describing about which scheme wrote it).
+TWO_STEP_KINDS = ("two_step", "rs", "gs")
+
+
+def two_step_checkpoint_to_dict(
+    checkpoint: TwoStepCheckpoint, kind: str = "two_step"
+) -> dict[str, Any]:
+    """Serialize a :class:`TwoStepCheckpoint` to a JSON-able dict.
+
+    The cursor candidate's engine state nests as a ``kind="ga"``
+    sub-document; the capacity-candidate list is pinned so a resume
+    against a drifted space fails loudly. ``evaluations`` at top level
+    is the cumulative count the budget scheduler probes.
+    """
+    if kind not in TWO_STEP_KINDS:
+        raise ConfigError(f"unknown two-step checkpoint kind {kind!r}")
+    return {
+        "format": _FORMAT_VERSION,
+        "kind": kind,
+        "method": checkpoint.method,
+        "candidate": checkpoint.candidate,
+        "evaluations": checkpoint.evaluations,
+        "cumulative": checkpoint.cumulative,
+        "engine": ga_checkpoint_to_dict(checkpoint.engine),
+        "candidates": [memory_to_dict(m) for m in checkpoint.candidates],
+        "running_best": checkpoint.running_best,
+        "history": [list(entry) for entry in checkpoint.history],
+        "samples": [_sample_to_dict(s) for s in checkpoint.samples],
+        "best_index": checkpoint.best_index,
+        "best": (
+            genome_to_dict(checkpoint.best_genome)
+            if checkpoint.best_genome is not None
+            else None
+        ),
+        "best_cost": checkpoint.best_cost,
+    }
+
+
+def two_step_checkpoint_from_dict(
+    data: dict[str, Any], graph: ComputationGraph, kind: str | None = None
+) -> TwoStepCheckpoint:
+    """Rebuild a :class:`TwoStepCheckpoint` against ``graph``.
+
+    ``kind`` (when given) must match the stored kind exactly; otherwise
+    any of :data:`TWO_STEP_KINDS` is accepted.
+    """
+    if kind is not None:
+        _check_format(data, kind)
+    elif data.get("kind") not in TWO_STEP_KINDS:
+        raise ConfigError(
+            f"checkpoint is a {data.get('kind')!r} snapshot, expected one "
+            f"of {TWO_STEP_KINDS}"
+        )
+    elif data.get("format") != _FORMAT_VERSION:
+        raise ConfigError(
+            f"unsupported checkpoint format {data.get('format')!r}"
+        )
+    return TwoStepCheckpoint(
+        method=data["method"],
+        candidate=data["candidate"],
+        engine=ga_checkpoint_from_dict(data["engine"], graph),
+        cumulative=data["cumulative"],
+        candidates=[memory_from_dict(m) for m in data["candidates"]],
+        running_best=data["running_best"],
+        history=[(entry[0], entry[1]) for entry in data["history"]],
+        samples=[_sample_from_dict(s) for s in data["samples"]],
+        best_index=data["best_index"],
+        best_genome=(
+            genome_from_dict(data["best"], graph)
+            if data["best"] is not None
+            else None
+        ),
+        best_cost=data["best_cost"],
     )
 
 

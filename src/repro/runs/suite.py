@@ -17,8 +17,11 @@ RunRegistry`:
 * a completed cell writes ``result.json`` atomically, so a restarted
   campaign re-runs only incomplete cells, and the merged report of a
   killed-and-resumed campaign is bit-identical to an uninterrupted one;
-* GA and NSGA-II cells stream per-generation history into the registry
-  and persist generation-level checkpoints, so an interrupted cell
+* every search scheme streams step-keyed history into the registry and
+  persists mid-run checkpoints — GA/NSGA per generation, SA per step
+  chunk, the island model per island generation (a composite of every
+  island's engine state), the two-step schemes per inner-GA generation
+  (with a candidate cursor) — so an interrupted cell of *any* kind
   resumes mid-search instead of restarting;
 * a worker killed mid-cell (OOM, segfault) breaks its pool: the runner
   rebuilds the backend and retries the cells that have no durable
@@ -31,6 +34,7 @@ The merged campaign report is an ordinary
 
 from __future__ import annotations
 
+import math
 import os
 from dataclasses import dataclass, field, replace
 from pathlib import Path
@@ -41,13 +45,16 @@ from concurrent.futures.process import BrokenProcessPool
 from ..config import AcceleratorConfig
 from ..cost.evaluator import Evaluator
 from ..cost.objective import Metric
+from ..dse import two_step as two_step_mod
 from ..dse.nsga import NSGAConfig, nsga2_co_optimize
 from ..dse.two_step import grid_search_ga, random_search_ga
 from ..errors import ConfigError, ReproError
 from ..experiments.common import SCALES, Scale, paper_accelerator
 from ..experiments.reporting import ExperimentResult
+from ..ga import islands as islands_mod
 from ..ga.annealing import simulated_annealing
 from ..ga.engine import GeneticEngine
+from ..ga.islands import island_search
 from ..ga.problem import OptimizationProblem
 from ..graphs.zoo import get_model
 from ..parallel.backend import EvaluationBackend, resolve_backend
@@ -56,15 +63,19 @@ from ..units import to_kb, to_mb
 from .checkpoint import (
     ga_checkpoint_from_dict,
     ga_checkpoint_to_dict,
+    islands_checkpoint_from_dict,
+    islands_checkpoint_to_dict,
     nsga_checkpoint_from_dict,
     nsga_checkpoint_to_dict,
     sa_checkpoint_from_dict,
     sa_checkpoint_to_dict,
+    two_step_checkpoint_from_dict,
+    two_step_checkpoint_to_dict,
 )
 from .registry import RunRegistry
 from .seeds import derive_seed
 
-SCHEMES = ("cocco", "rs", "gs", "sa", "nsga")
+SCHEMES = ("cocco", "rs", "gs", "sa", "nsga", "islands")
 MODES = ("separate", "shared")
 METRICS = ("ema", "energy")
 
@@ -186,6 +197,20 @@ class SuiteMatrix:
 # ---------------------------------------------------------------------------
 # Cell execution
 # ---------------------------------------------------------------------------
+def _stream_cost(value: float) -> float | None:
+    """History-stream-safe cost value.
+
+    Before the first feasible genome lands, best costs are
+    ``float("inf")``, which ``json.dumps`` renders as the bare token
+    ``Infinity`` — not RFC-8259 JSON, so strict consumers (jq,
+    ``JSON.parse``) would choke on ``history.jsonl``. The stream (the
+    operator/CI-facing artifact) carries ``null`` instead; checkpoints
+    keep the exact floats (they are a Python-internal round-trip
+    format where bit fidelity matters).
+    """
+    return value if math.isfinite(value) else None
+
+
 def _metric(name: str) -> Metric:
     return Metric.EMA if name == "ema" else Metric.ENERGY
 
@@ -245,7 +270,7 @@ def _run_cocco_cell(
             {
                 "generation": checkpoint.generation,
                 "evaluations": checkpoint.evaluations,
-                "best_cost": checkpoint.best_cost,
+                "best_cost": _stream_cost(checkpoint.best_cost),
             }
         )
         run.save_checkpoint(ga_checkpoint_to_dict(checkpoint))
@@ -311,7 +336,7 @@ def _run_sa_cell(
             {
                 "step": checkpoint.step,
                 "evaluations": checkpoint.evaluations,
-                "best_cost": checkpoint.best_cost,
+                "best_cost": _stream_cost(checkpoint.best_cost),
             }
         )
         run.save_checkpoint(sa_checkpoint_to_dict(checkpoint))
@@ -337,6 +362,82 @@ def _run_sa_cell(
     )
 
     finished = sample_cap is None or last_step >= config.steps
+    if not finished:
+        return {"num_evaluations": result.num_evaluations}, False
+    _, partition_cost = problem.evaluate(result.best_genome)
+    return {
+        "best_cost": result.best_cost,
+        "memory": result.best_genome.memory,
+        "partition_cost": partition_cost,
+        "num_evaluations": result.num_evaluations,
+    }, True
+
+
+def _run_islands_cell(
+    cell: SuiteCell,
+    seed: int,
+    evaluator: Evaluator,
+    scale: Scale,
+    run,
+    sample_cap: int | None = None,
+    eval_workers: int | None = None,
+) -> tuple[dict[str, Any], bool]:
+    """Island-model cell with composite checkpoint resume.
+
+    Every island generation yields an ``IslandsCheckpoint`` (all island
+    engines + migration RNG + epoch/island cursor); an interrupted cell
+    resumes mid-island bit-identically. ``sample_cap`` bounds the
+    *global* evaluation count across islands exactly, so budgeted
+    campaigns stop island cells at their allocation and grow them later.
+    """
+    metric = _metric(cell.metric)
+    problem = OptimizationProblem(
+        evaluator=evaluator, metric=metric, alpha=cell.alpha,
+        space=_space(cell.mode),
+    )
+    overrides: dict[str, Any] = {}
+    if eval_workers is not None:
+        overrides["workers"] = eval_workers
+    config = scale.islands_config(seed=seed, **overrides)
+    last = None
+
+    def hook(checkpoint) -> None:
+        nonlocal last
+        last = checkpoint
+        run.log_history(
+            {
+                "tick": islands_mod.checkpoint_tick(checkpoint, config),
+                "epoch": checkpoint.epoch,
+                "island": checkpoint.island,
+                "generation": checkpoint.generation,
+                "evaluations": checkpoint.evaluations,
+                "best_cost": _stream_cost(checkpoint.best_cost),
+            }
+        )
+        run.save_checkpoint(islands_checkpoint_to_dict(checkpoint))
+
+    state = run.load_checkpoint()
+    resume_from = None
+    if state is not None:
+        resume_from = islands_checkpoint_from_dict(state, evaluator.graph)
+        last = resume_from
+        if (
+            sample_cap is not None
+            and resume_from.evaluations >= sample_cap
+            and not islands_mod.checkpoint_finished(resume_from, config)
+        ):
+            return {"num_evaluations": resume_from.evaluations}, False
+        run.truncate_history(
+            islands_mod.checkpoint_tick(resume_from, config), key="tick"
+        )
+    result = island_search(
+        problem, config,
+        on_generation=hook, resume_from=resume_from, max_samples=sample_cap,
+    )
+
+    finished = sample_cap is None or (
+        last is not None and islands_mod.checkpoint_finished(last, config)
+    )
     if not finished:
         return {"num_evaluations": result.num_evaluations}, False
     _, partition_cost = problem.evaluate(result.best_genome)
@@ -406,40 +507,93 @@ def _run_nsga_cell(
     }
 
 
-def _run_baseline_cell(
+def _run_two_step_cell(
     cell: SuiteCell,
     seed: int,
     evaluator: Evaluator,
     scale: Scale,
     run,
+    sample_cap: int | None = None,
     eval_workers: int | None = None,
-) -> dict[str, Any]:
-    """RS+GA / GS+GA cells (no mid-run checkpoint; cell-atomic)."""
+) -> tuple[dict[str, Any], bool]:
+    """RS+GA / GS+GA cells with candidate-cursor checkpoint resume.
+
+    Every inner GA generation yields a ``TwoStepCheckpoint`` (candidate
+    cursor + that candidate's engine state + folded telemetry), so an
+    interrupted cell resumes *mid-candidate* instead of from candidate
+    zero. ``sample_cap`` bounds the cumulative evaluation count across
+    candidates exactly — these cells no longer run cell-atomically
+    under ``repro suite --budget``.
+    """
     metric = _metric(cell.metric)
     space = _space(cell.mode)
     overrides: dict[str, Any] = {}
     if eval_workers is not None:
         overrides["workers"] = eval_workers
+    ga_config = scale.ga_config(seed=seed, **overrides)
+    last = None
+
+    def hook(checkpoint) -> None:
+        nonlocal last
+        last = checkpoint
+        run.log_history(
+            {
+                "tick": two_step_mod.checkpoint_tick(checkpoint, ga_config),
+                "candidate": checkpoint.candidate,
+                "generation": checkpoint.generation,
+                "evaluations": checkpoint.evaluations,
+                "best_cost": _stream_cost(checkpoint.best_cost),
+            }
+        )
+        run.save_checkpoint(
+            two_step_checkpoint_to_dict(checkpoint, kind=cell.scheme)
+        )
+
+    state = run.load_checkpoint()
+    resume_from = None
+    if state is not None:
+        resume_from = two_step_checkpoint_from_dict(
+            state, evaluator.graph, kind=cell.scheme
+        )
+        last = resume_from
+        if (
+            sample_cap is not None
+            and resume_from.evaluations >= sample_cap
+            and not two_step_mod.checkpoint_finished(resume_from, ga_config)
+        ):
+            return {"num_evaluations": resume_from.evaluations}, False
+        run.truncate_history(
+            two_step_mod.checkpoint_tick(resume_from, ga_config), key="tick"
+        )
     if cell.scheme == "rs":
         dse = random_search_ga(
             evaluator, space, metric=metric, alpha=cell.alpha,
             num_candidates=scale.rs_candidates,
-            ga_config=scale.ga_config(seed=seed, **overrides), seed=seed,
+            ga_config=ga_config, seed=seed,
+            on_checkpoint=hook, resume_from=resume_from,
+            max_evaluations=sample_cap,
         )
     else:
         dse = grid_search_ga(
             evaluator, space, metric=metric, alpha=cell.alpha,
             stride=scale.gs_stride, max_candidates=scale.gs_max_candidates,
-            ga_config=scale.ga_config(seed=seed, **overrides),
+            ga_config=ga_config,
+            on_checkpoint=hook, resume_from=resume_from,
+            max_evaluations=sample_cap,
         )
-    for evaluations, cost in dse.history:
-        run.log_history({"evaluations": evaluations, "best_cost": cost})
+
+    finished = sample_cap is None or (
+        last is not None
+        and two_step_mod.checkpoint_finished(last, ga_config)
+    )
+    if not finished:
+        return {"num_evaluations": dse.num_evaluations}, False
     return {
         "best_cost": dse.best_cost,
         "memory": dse.memory,
         "partition_cost": dse.partition_cost,
         "num_evaluations": dse.num_evaluations,
-    }
+    }, True
 
 
 def _maybe_fault(
@@ -480,14 +634,16 @@ def run_cell(
 
     ``sample_cap`` (from the campaign budget scheduler) bounds the
     cell's cumulative evaluation count for the checkpoint-resumable
-    schemes (``cocco``, ``sa``); a cell stopped at its cap returns a
-    ``status="exhausted"`` row *without* writing ``result.json`` — it
-    stays resumable and continues when a later call raises the cap. The
-    cell-atomic schemes (``rs``, ``gs``, ``nsga``) always run to
-    completion; their exact evaluation counts are still charged against
-    the budget by the scheduler. ``eval_workers`` fans the cell's
-    *evaluations* out across local worker processes (results are
-    bit-identical for any value — only wall-clock changes).
+    schemes (``cocco``, ``sa``, ``islands``, ``rs``, ``gs``); a cell
+    stopped at its cap returns a ``status="exhausted"`` row *without*
+    writing ``result.json`` — it stays resumable and continues when a
+    later call raises the cap. ``nsga`` is the one remaining cell-atomic
+    scheme (its archive-dedup evaluation counting cannot stop exactly
+    mid-generation): it always runs to completion and its exact
+    evaluation count is charged against the budget by the scheduler.
+    ``eval_workers`` fans the cell's *evaluations* out across local
+    worker processes (results are bit-identical for any value — only
+    wall-clock changes).
     """
     config = cell.config_dict()
     seed = cell.seed(campaign_seed)
@@ -510,13 +666,19 @@ def run_cell(
         outcome, finished = _run_sa_cell(
             cell, seed, evaluator, scale, run, sample_cap=sample_cap
         )
+    elif cell.scheme == "islands":
+        outcome, finished = _run_islands_cell(
+            cell, seed, evaluator, scale, run,
+            sample_cap=sample_cap, eval_workers=eval_workers,
+        )
     elif cell.scheme == "nsga":
         outcome = _run_nsga_cell(
             cell, seed, evaluator, scale, run, eval_workers=eval_workers
         )
     else:
-        outcome = _run_baseline_cell(
-            cell, seed, evaluator, scale, run, eval_workers=eval_workers
+        outcome, finished = _run_two_step_cell(
+            cell, seed, evaluator, scale, run,
+            sample_cap=sample_cap, eval_workers=eval_workers,
         )
     if not finished:
         return {

@@ -63,7 +63,8 @@ class CellStatus:
     owner: str | None = None
     heartbeat_age: float | None = None
     #: Last streamed progress marker (generation for GA/NSGA, step for
-    #: SA), when the cell has streamed any.
+    #: SA, monotonic tick for islands/two-step), when the cell has
+    #: streamed any.
     progress: int | None = None
     evaluations: int | None = None
     best_cost: float | None = None
@@ -90,7 +91,9 @@ def campaign_snapshot(
         run_dir = registry.run_path(config, seed)
         cap = allocations[cell.key] if allocations is not None else None
         tail = tail_jsonl(run_dir / "history.jsonl") or {}
-        progress_mark = tail.get("generation", tail.get("step"))
+        progress_mark = tail.get(
+            "tick", tail.get("generation", tail.get("step"))
+        )
         evaluations = tail.get("evaluations")
         best_cost = tail.get("best_cost")
         if registry.is_complete(config, seed):

@@ -118,8 +118,9 @@ class TestPathIndependence:
     def test_late_completion_replays_through_its_exhaustion_rounds(self):
         # History: d completes only after a regrant (used 11 > round-1
         # cap 10). The replay must keep d active through round 1 and
-        # refund in round 2, exactly as history did.
-        cells = [FakeCell(n) for n in "abcd"] + [FakeCell("e", scheme="rs")]
+        # refund in round 2, exactly as history did. (nsga is the one
+        # remaining cell-atomic scheme now that rs/gs checkpoint.)
+        cells = [FakeCell(n) for n in "abcd"] + [FakeCell("e", scheme="nsga")]
         progress = {
             cells[0].key: running(12),
             cells[1].key: running(12),

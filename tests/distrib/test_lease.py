@@ -1,4 +1,11 @@
-"""The filesystem lease protocol: atomic claim, heartbeat, expiry steal."""
+"""The filesystem lease protocol: atomic claim, heartbeat, expiry steal.
+
+Expiry is tested against an injected logical clock (advanced past the
+TTL) rather than real ``time.sleep`` waits, so the tests are
+deterministic and immune to scheduler hiccups on loaded CI runners.
+Only the heartbeat-thread tests still touch the wall clock — the thread
+itself is the subject there.
+"""
 
 from __future__ import annotations
 
@@ -18,40 +25,72 @@ from repro.distrib.lease import (
 )
 
 
+class FakeClock:
+    """A logical clock: advances only when told to."""
+
+    def __init__(self, now: float = 1_000.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
 @pytest.fixture
 def run_dir(tmp_path):
     return tmp_path / "cell-dir"
 
 
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
 class TestAcquire:
-    def test_free_cell_is_claimed(self, run_dir):
-        lease = try_acquire_lease(run_dir, "w1", ttl=30)
+    def test_free_cell_is_claimed(self, run_dir, clock):
+        lease = try_acquire_lease(run_dir, "w1", ttl=30, clock=clock)
         assert lease is not None
         assert lease.via == "fresh"
         info = read_lease(run_dir)
         assert info.owner == "w1"
         assert info.nonce == lease.nonce
-        assert not info.is_expired()
+        assert not info.is_expired(clock=clock)
 
     def test_creates_run_dir(self, run_dir):
         assert not run_dir.exists()
         try_acquire_lease(run_dir, "w1", ttl=30)
         assert run_dir.is_dir()
 
-    def test_held_cell_is_refused(self, run_dir):
-        assert try_acquire_lease(run_dir, "w1", ttl=30) is not None
-        assert try_acquire_lease(run_dir, "w2", ttl=30) is None
+    def test_held_cell_is_refused(self, run_dir, clock):
+        assert try_acquire_lease(run_dir, "w1", ttl=30, clock=clock) is not None
+        assert try_acquire_lease(run_dir, "w2", ttl=30, clock=clock) is None
 
-    def test_expired_cell_is_stolen(self, run_dir):
-        stale = try_acquire_lease(run_dir, "w1", ttl=0.01)
+    def test_expired_cell_is_stolen(self, run_dir, clock):
+        stale = try_acquire_lease(run_dir, "w1", ttl=5, clock=clock)
         assert stale is not None
-        time.sleep(0.05)
-        lease = try_acquire_lease(run_dir, "w2", ttl=30)
+        clock.advance(6)  # > ttl: no heartbeat arrived in time
+        lease = try_acquire_lease(run_dir, "w2", ttl=30, clock=clock)
         assert lease is not None
         assert lease.via == "stolen"
         assert read_lease(run_dir).owner == "w2"
         # no tombstones left behind
         assert list(run_dir.glob("lease.json.expired-*")) == []
+
+    def test_unexpired_cell_is_not_stolen(self, run_dir, clock):
+        try_acquire_lease(run_dir, "w1", ttl=5, clock=clock)
+        clock.advance(4.9)  # just inside the TTL
+        assert try_acquire_lease(run_dir, "w2", ttl=30, clock=clock) is None
+        assert read_lease(run_dir).owner == "w1"
+
+    def test_heartbeat_defers_expiry(self, run_dir, clock):
+        lease = try_acquire_lease(run_dir, "w1", ttl=5, clock=clock)
+        clock.advance(4)
+        assert renew_lease(lease, clock=clock)
+        clock.advance(4)  # 8s after acquire, 4s after the renewal
+        assert try_acquire_lease(run_dir, "w2", ttl=30, clock=clock) is None
+        assert read_lease(run_dir).owner == "w1"
 
     def test_garbage_lease_file_is_reclaimed(self, run_dir):
         """A torn lease file must not block its cell forever."""
@@ -70,12 +109,12 @@ class TestRenewRelease:
         assert renew_lease(lease, now=before + 5)
         assert read_lease(run_dir).heartbeat == before + 5
 
-    def test_renew_fails_after_steal(self, run_dir):
-        stale = try_acquire_lease(run_dir, "w1", ttl=0.01)
-        time.sleep(0.05)
-        thief = try_acquire_lease(run_dir, "w2", ttl=30)
+    def test_renew_fails_after_steal(self, run_dir, clock):
+        stale = try_acquire_lease(run_dir, "w1", ttl=5, clock=clock)
+        clock.advance(6)
+        thief = try_acquire_lease(run_dir, "w2", ttl=30, clock=clock)
         assert thief is not None
-        assert not renew_lease(stale)
+        assert not renew_lease(stale, clock=clock)
         # and the thief's lease is untouched by the failed renewal
         assert read_lease(run_dir).nonce == thief.nonce
 
@@ -85,24 +124,24 @@ class TestRenewRelease:
         assert read_lease(run_dir) is None
         assert try_acquire_lease(run_dir, "w2", ttl=30) is not None
 
-    def test_release_of_stolen_lease_is_noop(self, run_dir):
-        stale = try_acquire_lease(run_dir, "w1", ttl=0.01)
-        time.sleep(0.05)
-        thief = try_acquire_lease(run_dir, "w2", ttl=30)
+    def test_release_of_stolen_lease_is_noop(self, run_dir, clock):
+        stale = try_acquire_lease(run_dir, "w1", ttl=5, clock=clock)
+        clock.advance(6)
+        thief = try_acquire_lease(run_dir, "w2", ttl=30, clock=clock)
         assert not release_lease(stale)
         assert read_lease(run_dir).nonce == thief.nonce
 
 
 class TestBreakExpired:
-    def test_breaks_only_expired(self, run_dir):
-        lease = try_acquire_lease(run_dir, "w1", ttl=30)
-        assert not break_expired_lease(run_dir)
+    def test_breaks_only_expired(self, run_dir, clock):
+        lease = try_acquire_lease(run_dir, "w1", ttl=30, clock=clock)
+        assert not break_expired_lease(run_dir, clock=clock)
         assert read_lease(run_dir).nonce == lease.nonce
 
-    def test_break_frees_cell(self, run_dir):
-        try_acquire_lease(run_dir, "w1", ttl=0.01)
-        time.sleep(0.05)
-        assert break_expired_lease(run_dir)
+    def test_break_frees_cell(self, run_dir, clock):
+        try_acquire_lease(run_dir, "w1", ttl=5, clock=clock)
+        clock.advance(6)
+        assert break_expired_lease(run_dir, clock=clock)
         assert read_lease(run_dir) is None
 
     def test_break_without_lease_is_noop(self, run_dir):
@@ -117,6 +156,20 @@ class TestHeartbeat:
             time.sleep(0.6)  # > ttl: would expire without the thread
             assert not read_lease(run_dir).is_expired()
         assert not read_lease(run_dir).is_expired()
+
+    def test_thread_stamps_with_injected_clock(self, run_dir):
+        clock = FakeClock(now=5_000.0)
+        lease = try_acquire_lease(run_dir, "w1", ttl=30, clock=clock)
+        assert read_lease(run_dir).heartbeat == 5_000.0
+        clock.advance(7)  # the next renewal must stamp the new value
+        with Heartbeat(lease, interval=0.02, clock=clock):
+            deadline = time.time() + 5.0
+            while (
+                read_lease(run_dir).heartbeat != 5_007.0
+                and time.time() < deadline
+            ):
+                time.sleep(0.01)
+        assert read_lease(run_dir).heartbeat == 5_007.0
 
     def test_thread_detects_lost_lease(self, run_dir):
         lease = try_acquire_lease(run_dir, "w1", ttl=30)

@@ -215,3 +215,44 @@ class TestKilledWorker:
             reg.is_complete(c.config_dict(), c.seed(MATRIX.seed))
             for c in MATRIX.cells()
         )
+
+
+class TestKilledWorkerNewSchemes:
+    """The new checkpointable schemes (islands, two-step) inherit the
+    kill/reclaim/resume contract, including under a sample budget."""
+
+    ISLAND_MATRIX = SuiteMatrix(
+        networks=("vgg16",), schemes=("islands", "rs"), scale="tiny", seed=0
+    )
+
+    def test_budgeted_kill_resume_matches_budgeted_serial(
+        self, tmp_path, monkeypatch
+    ):
+        budget = 120
+        serial = run_suite(
+            self.ISLAND_MATRIX, tmp_path / "serial", budget=budget
+        )
+        registry = tmp_path / "reg"
+        ctx = multiprocessing.get_context("spawn")
+        # victim dies mid-islands-cell, holding its lease
+        monkeypatch.setenv(FAULT_ENV, "/islands/")
+        victim = spawn_worker(
+            ctx, self.ISLAND_MATRIX, registry, "victim", budget=budget
+        )
+        victim.join(timeout=120)
+        assert victim.exitcode == 23
+        monkeypatch.delenv(FAULT_ENV)
+
+        summary = run_worker(
+            self.ISLAND_MATRIX, registry,
+            WorkerConfig(worker_id="survivor", **FAST), budget=budget,
+        )
+        assert summary.leases_reclaimed >= 1
+        rows = merged_report(self.ISLAND_MATRIX, RunRegistry(registry)).rows
+        assert rows == serial.report.rows
+        progress = campaign_progress(
+            RunRegistry(registry),
+            self.ISLAND_MATRIX.cells(),
+            self.ISLAND_MATRIX.seed,
+        )
+        assert sum(p.evaluations for p in progress.values()) == budget

@@ -243,3 +243,134 @@ class TestNSGAResume:
                 config=short,
                 resume_from=checkpoint,
             )
+
+
+# ---------------------------------------------------------------------------
+class TestNewKindRoundTrips:
+    """JSON round trips of the composite checkpoint kinds added for the
+    island-model and two-step searchers: ``islands``, ``two_step``, and
+    the suite scheme stamps ``rs``/``gs``. Each rebuilds against a
+    *fresh* graph object (cold caches, as after a process boundary)."""
+
+    def islands_checkpoint(self, graph):
+        from repro.ga.islands import IslandConfig, island_search
+
+        config = IslandConfig(
+            base=GAConfig(population_size=6, generations=1, seed=0),
+            num_islands=2, epochs=2, epoch_generations=2, seed=3,
+        )
+        checkpoints = []
+        island_search(
+            co_problem(graph), config, on_generation=checkpoints.append
+        )
+        return config, checkpoints[len(checkpoints) // 2]
+
+    def two_step_checkpoint(self, graph):
+        from repro.dse.two_step import random_search_ga
+
+        checkpoints = []
+        random_search_ga(
+            Evaluator(graph), CapacitySpace.paper_separate(),
+            num_candidates=2,
+            ga_config=GAConfig(population_size=6, generations=2, seed=0),
+            seed=7, on_checkpoint=checkpoints.append,
+        )
+        return checkpoints[len(checkpoints) // 2]
+
+    def test_islands_round_trip(self, graph):
+        from repro.runs.checkpoint import (
+            islands_checkpoint_from_dict,
+            islands_checkpoint_to_dict,
+        )
+
+        _, checkpoint = self.islands_checkpoint(graph)
+        payload = json.loads(json.dumps(islands_checkpoint_to_dict(checkpoint)))
+        assert payload["kind"] == "islands"
+        assert payload["evaluations"] == checkpoint.evaluations
+        rebuilt = islands_checkpoint_from_dict(payload, build_chain(depth=6))
+        assert rebuilt.epoch == checkpoint.epoch
+        assert rebuilt.island == checkpoint.island
+        assert rebuilt.evaluations == checkpoint.evaluations
+        assert rebuilt.history == checkpoint.history
+        assert rebuilt.migration_rng_state == checkpoint.migration_rng_state
+        assert rebuilt.best_cost == checkpoint.best_cost
+        assert rebuilt.best_genome.key() == checkpoint.best_genome.key()
+        assert len(rebuilt.islands) == len(checkpoint.islands)
+        for mine, theirs in zip(rebuilt.islands, checkpoint.islands):
+            assert mine.generation == theirs.generation
+            assert mine.rng_state == theirs.rng_state
+            assert mine.evaluations == theirs.evaluations
+            assert mine.costs == theirs.costs
+            assert [g.key() for g in mine.population] == [
+                g.key() for g in theirs.population
+            ]
+        assert [
+            [g.key() for g in population] for population in rebuilt.populations
+        ] == [
+            [g.key() for g in population]
+            for population in checkpoint.populations
+        ]
+
+    @pytest.mark.parametrize("kind", ["two_step", "rs", "gs"])
+    def test_two_step_round_trip(self, graph, kind):
+        from repro.runs.checkpoint import (
+            two_step_checkpoint_from_dict,
+            two_step_checkpoint_to_dict,
+        )
+
+        checkpoint = self.two_step_checkpoint(graph)
+        payload = json.loads(
+            json.dumps(two_step_checkpoint_to_dict(checkpoint, kind=kind))
+        )
+        assert payload["kind"] == kind
+        assert payload["evaluations"] == checkpoint.evaluations
+        rebuilt = two_step_checkpoint_from_dict(
+            payload, build_chain(depth=6), kind=kind
+        )
+        assert rebuilt.method == checkpoint.method
+        assert rebuilt.candidate == checkpoint.candidate
+        assert rebuilt.cumulative == checkpoint.cumulative
+        assert rebuilt.evaluations == checkpoint.evaluations
+        assert rebuilt.history == checkpoint.history
+        assert rebuilt.running_best == checkpoint.running_best
+        assert rebuilt.best_index == checkpoint.best_index
+        assert rebuilt.best_cost == checkpoint.best_cost
+        assert rebuilt.candidates == checkpoint.candidates
+        assert rebuilt.engine.generation == checkpoint.engine.generation
+        assert rebuilt.engine.rng_state == checkpoint.engine.rng_state
+
+    def test_two_step_kind_must_match(self, graph):
+        from repro.errors import ConfigError
+        from repro.runs.checkpoint import (
+            two_step_checkpoint_from_dict,
+            two_step_checkpoint_to_dict,
+        )
+
+        checkpoint = self.two_step_checkpoint(graph)
+        payload = two_step_checkpoint_to_dict(checkpoint, kind="rs")
+        with pytest.raises(ConfigError):
+            two_step_checkpoint_from_dict(payload, graph, kind="gs")
+        # without an expected kind, any two-step stamp is accepted
+        assert two_step_checkpoint_from_dict(payload, graph) is not None
+
+    def test_unknown_kind_rejected(self, graph):
+        from repro.errors import ConfigError
+        from repro.runs.checkpoint import (
+            islands_checkpoint_from_dict,
+            two_step_checkpoint_from_dict,
+            two_step_checkpoint_to_dict,
+        )
+
+        checkpoint = self.two_step_checkpoint(graph)
+        with pytest.raises(ConfigError):
+            two_step_checkpoint_to_dict(checkpoint, kind="sa")
+        payload = two_step_checkpoint_to_dict(checkpoint)
+        with pytest.raises(ConfigError):
+            islands_checkpoint_from_dict(payload, graph)
+        payload["kind"] = "bogus"
+        with pytest.raises(ConfigError):
+            two_step_checkpoint_from_dict(payload, graph)
+        payload["kind"] = "two_step"
+        payload["format"] = 99
+        with pytest.raises(ConfigError):
+            two_step_checkpoint_from_dict(payload, graph)

@@ -391,3 +391,205 @@ class TestBudgetedCampaign:
         )
         row = report_rows(outcome)[1]
         assert row[-1] == "failed"
+
+
+# ---------------------------------------------------------------------------
+class TestIslandsCellResume:
+    def cell(self):
+        return SuiteCell(
+            network="vgg16", mode="separate", metric="energy",
+            bytes_per_element=1, scheme="islands", alpha=0.002, scale="tiny",
+        )
+
+    def test_islands_cell_resumes_from_checkpoint_bit_identically(
+        self, tmp_path
+    ):
+        """An interrupted islands cell continues from its composite
+        checkpoint.json and produces exactly the result of an
+        uninterrupted cell."""
+        from repro.ga.islands import checkpoint_tick, island_search
+        from repro.runs.checkpoint import islands_checkpoint_to_dict
+        from repro.ga.problem import OptimizationProblem
+        from repro.cost.objective import Metric as _Metric
+
+        cell = self.cell()
+        seed = cell.seed(0)
+        scale = SCALES["tiny"]
+        config = scale.islands_config(seed=seed)
+
+        evaluator = Evaluator(get_model(cell.network), cell_accelerator(cell))
+        problem = OptimizationProblem(
+            evaluator=evaluator, metric=_Metric.ENERGY, alpha=cell.alpha,
+            space=CapacitySpace.paper_separate(),
+        )
+        checkpoints = {}
+        island_search(
+            problem, config,
+            on_generation=lambda ck: checkpoints.__setitem__(
+                checkpoint_tick(ck, config), ck
+            ),
+        )
+        mid_tick = sorted(checkpoints)[len(checkpoints) // 2]
+        assert 0 < mid_tick < max(checkpoints)
+
+        interrupted = RunRegistry(tmp_path / "interrupted")
+        run = interrupted.open_run(cell.config_dict(), seed)
+        for tick in (0, mid_tick, mid_tick + 1):  # +1: orphaned line
+            run.log_history({"tick": tick, "evaluations": 0, "best_cost": 0.0})
+        run.save_checkpoint(
+            islands_checkpoint_to_dict(checkpoints[mid_tick])
+        )
+
+        resumed_row = run_cell(cell, 0, interrupted)
+        clean_row = run_cell(cell, 0, RunRegistry(tmp_path / "clean"))
+        assert resumed_row == clean_row
+
+        # history was stitched by tick: no duplicates, no orphans
+        ticks = [
+            e["tick"]
+            for e in interrupted.load(cell.config_dict(), seed).read_history()
+        ]
+        assert ticks == sorted(set(ticks))
+
+    def test_islands_cell_killed_mid_run_retried_identically(
+        self, tmp_path, monkeypatch
+    ):
+        matrix = SuiteMatrix(
+            networks=("vgg16",), schemes=("islands",), scale="tiny", seed=0
+        )
+        assert FAULT_ENV not in os.environ
+        clean = report_rows(run_suite(matrix, tmp_path / "clean"))
+        monkeypatch.setenv(FAULT_ENV, "islands")
+        outcome = run_suite(matrix, tmp_path / "reg", workers=2)
+        assert outcome.failed == 0
+        assert report_rows(outcome) == clean
+
+
+class TestTwoStepCellResume:
+    @pytest.mark.parametrize("scheme", ["rs", "gs"])
+    def test_cell_resumes_from_checkpoint_bit_identically(
+        self, tmp_path, scheme
+    ):
+        """An interrupted rs/gs cell continues mid-candidate from its
+        candidate-cursor checkpoint, bit-identically."""
+        from repro.dse.two_step import (
+            checkpoint_tick,
+            grid_search_ga,
+            random_search_ga,
+        )
+        from repro.runs.checkpoint import two_step_checkpoint_to_dict
+        from repro.cost.objective import Metric as _Metric
+
+        cell = SuiteCell(
+            network="vgg16", mode="separate", metric="energy",
+            bytes_per_element=1, scheme=scheme, alpha=0.002, scale="tiny",
+        )
+        seed = cell.seed(0)
+        scale = SCALES["tiny"]
+        ga_config = scale.ga_config(seed=seed)
+
+        evaluator = Evaluator(get_model(cell.network), cell_accelerator(cell))
+        checkpoints = {}
+        hook = lambda ck: checkpoints.__setitem__(
+            checkpoint_tick(ck, ga_config), ck
+        )
+        if scheme == "rs":
+            random_search_ga(
+                evaluator, CapacitySpace.paper_separate(),
+                metric=_Metric.ENERGY, alpha=cell.alpha,
+                num_candidates=scale.rs_candidates, ga_config=ga_config,
+                seed=seed, on_checkpoint=hook,
+            )
+        else:
+            grid_search_ga(
+                evaluator, CapacitySpace.paper_separate(),
+                metric=_Metric.ENERGY, alpha=cell.alpha,
+                stride=scale.gs_stride,
+                max_candidates=scale.gs_max_candidates,
+                ga_config=ga_config, on_checkpoint=hook,
+            )
+        mid_tick = sorted(checkpoints)[len(checkpoints) // 2]
+        mid = checkpoints[mid_tick]
+        assert mid.candidate >= 1  # genuinely mid-candidate-list
+
+        interrupted = RunRegistry(tmp_path / "interrupted")
+        run = interrupted.open_run(cell.config_dict(), seed)
+        for tick in (0, mid_tick, mid_tick + 1):
+            run.log_history({"tick": tick, "evaluations": 0, "best_cost": 0.0})
+        run.save_checkpoint(two_step_checkpoint_to_dict(mid, kind=scheme))
+
+        resumed_row = run_cell(cell, 0, interrupted)
+        clean_row = run_cell(cell, 0, RunRegistry(tmp_path / "clean"))
+        assert resumed_row == clean_row
+
+        ticks = [
+            e["tick"]
+            for e in interrupted.load(cell.config_dict(), seed).read_history()
+        ]
+        assert ticks == sorted(set(ticks))
+
+    def test_two_step_cell_killed_mid_run_retried_identically(
+        self, tmp_path, monkeypatch
+    ):
+        matrix = SuiteMatrix(
+            networks=("vgg16",), schemes=("rs", "gs"), scale="tiny", seed=0
+        )
+        assert FAULT_ENV not in os.environ
+        clean = report_rows(run_suite(matrix, tmp_path / "clean"))
+        monkeypatch.setenv(FAULT_ENV, "/rs/")
+        outcome = run_suite(matrix, tmp_path / "reg", workers=2)
+        assert outcome.failed == 0
+        assert report_rows(outcome) == clean
+
+
+# ---------------------------------------------------------------------------
+class TestBudgetedNewSchemes:
+    """`--budget` now caps *every* scheme except nsga exactly."""
+
+    MATRIX = SuiteMatrix(
+        networks=("vgg16",), schemes=("islands", "rs", "gs"),
+        scale="tiny", seed=0,
+    )
+
+    def total_evaluations(self, registry_root):
+        from repro.distrib.budget import campaign_progress
+
+        registry = RunRegistry(registry_root)
+        progress = campaign_progress(
+            registry, self.MATRIX.cells(), self.MATRIX.seed
+        )
+        return sum(p.evaluations for p in progress.values())
+
+    def test_budget_caps_every_scheme_exactly(self, tmp_path):
+        budget = 60  # well below the ~220 the matrix needs
+        outcome = run_suite(self.MATRIX, tmp_path / "reg", budget=budget)
+        assert outcome.exhausted == 3
+        assert outcome.completed == 0
+        assert self.total_evaluations(tmp_path / "reg") == budget
+        registry = RunRegistry(tmp_path / "reg")
+        for cell in self.MATRIX.cells():
+            assert registry.load(
+                cell.config_dict(), cell.seed(self.MATRIX.seed)
+            ).has_checkpoint
+
+    def test_exhausted_cells_resume_under_larger_budget(self, tmp_path):
+        small = run_suite(self.MATRIX, tmp_path / "reg", budget=60)
+        assert small.exhausted == 3
+        grown = run_suite(self.MATRIX, tmp_path / "reg", budget=100_000)
+        assert grown.exhausted == 0
+        assert grown.failed == 0
+        # deterministic: a second registry walking the same 60 -> 100k
+        # schedule merges identically
+        run_suite(self.MATRIX, tmp_path / "other", budget=60)
+        second = run_suite(self.MATRIX, tmp_path / "other", budget=100_000)
+        assert report_rows(second) == report_rows(grown)
+
+    def test_budgeted_identical_for_any_worker_count(self, tmp_path):
+        budget = 80
+        serial = run_suite(self.MATRIX, tmp_path / "serial", budget=budget)
+        sharded = run_suite(
+            self.MATRIX, tmp_path / "sharded", budget=budget, workers=2
+        )
+        assert report_rows(serial) == report_rows(sharded)
+        assert self.total_evaluations(tmp_path / "serial") == budget
+        assert self.total_evaluations(tmp_path / "sharded") == budget
