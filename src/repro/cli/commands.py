@@ -556,3 +556,45 @@ def cmd_worker(args: argparse.Namespace) -> str:
     )
     summary = run_worker(matrix, args.registry, config, budget=budget)
     return summary.render()
+
+
+def cmd_lint(args: argparse.Namespace) -> tuple[str, int]:
+    """``repro lint`` — machine-check the reproduction's invariants.
+
+    Runs the AST rule set of :mod:`repro.lint` (seeded-RNG-only,
+    injectable clocks, sorted scans, atomic durable writes, checkpoint
+    round-trip completeness) over the given paths and exits 0 only when
+    the tree is clean — CI gates on it exactly like ruff. ``--format
+    json`` emits the findings machine-readably; ``--list-rules`` prints
+    the rule table and zone policy.
+    """
+    import json as _json
+    from pathlib import Path as _Path
+
+    from ..lint import DEFAULT_POLICY, Linter
+    from ..lint.rules import ALL_RULES
+
+    if args.list_rules:
+        lines = ["rule   name                           zones"]
+        for rule in ALL_RULES:
+            zones = [
+                zone.name
+                for zone in DEFAULT_POLICY.zones
+                if rule.rule_id in zone.rules
+            ] or ["project-wide"]
+            lines.append(
+                f"{rule.rule_id}  {rule.name:<30} {', '.join(zones)}"
+            )
+            lines.append(f"       {rule.summary}")
+        return "\n".join(lines), 0
+
+    paths = [_Path(p) for p in (args.paths or ["src/repro"])]
+    for path in paths:
+        if not path.exists():
+            raise ConfigError(f"no such file or directory: {path}")
+    report = Linter().lint(paths)
+    if args.format == "json":
+        text = _json.dumps(report.to_dict(), indent=2)
+    else:
+        text = report.render()
+    return text, 0 if report.clean else 1

@@ -214,6 +214,18 @@ def build_parser() -> argparse.ArgumentParser:
                         help="exit after this many consecutive idle "
                              "seconds (default: wait for peers forever)")
 
+    lint = sub.add_parser(
+        "lint",
+        help="AST invariant checker: seeded RNG, injectable clocks, "
+             "sorted scans, atomic writes, checkpoint completeness",
+    )
+    lint.add_argument("paths", nargs="*",
+                      help="files/directories to lint (default: src/repro)")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      help="diagnostic output format")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule table and zone policy, then exit")
+
     return parser
 
 
@@ -229,6 +241,7 @@ _HANDLERS = {
     "experiment": commands.cmd_experiment,
     "suite": commands.cmd_suite,
     "worker": commands.cmd_worker,
+    "lint": commands.cmd_lint,
 }
 
 

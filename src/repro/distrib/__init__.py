@@ -39,6 +39,7 @@ from .budget import (
     claimable_cells,
     compute_allocations,
 )
+from .clock import Clock, FakeClock
 from .lease import (
     Heartbeat,
     Lease,
@@ -71,6 +72,8 @@ __all__ = [
     "campaign_progress",
     "claimable_cells",
     "compute_allocations",
+    "Clock",
+    "FakeClock",
     "Heartbeat",
     "Lease",
     "LeaseInfo",

@@ -35,6 +35,7 @@ from ..runs.suite import (
     merged_report,
 )
 from .budget import campaign_finished, campaign_progress
+from .clock import Clock
 from .lease import break_expired_lease
 from .worker import worker_entry
 
@@ -115,6 +116,11 @@ class CoordinatorConfig:
     #: finished after this many seconds. None: wait forever.
     timeout: float | None = None
     on_status: Callable[[str], None] | None = None
+    #: Injectable time source for timeout/status pacing and the expired-
+    #: lease sweep; tests drive it with a FakeClock instead of waiting.
+    clock: Clock = time.time
+    #: Injectable poll wait, paired with ``clock``.
+    sleep: Callable[[float], None] = time.sleep
     extra: dict = field(default_factory=dict)
 
 
@@ -164,7 +170,7 @@ def run_distributed(
         workers.append(process)
 
     reclaimed = 0
-    started = time.time()
+    started = config.clock()
     last_status = started
     aborted = False
     try:
@@ -179,9 +185,11 @@ def run_distributed(
                 seed = cell.seed(matrix.seed)
                 if progress[cell.key].complete or progress[cell.key].failed:
                     continue
-                if break_expired_lease(registry.run_path(cfg, seed)):
+                if break_expired_lease(
+                    registry.run_path(cfg, seed), clock=config.clock
+                ):
                     reclaimed += 1
-            now = time.time()
+            now = config.clock()
             if (
                 config.on_status is not None
                 and config.status_interval is not None
@@ -215,7 +223,7 @@ def run_distributed(
                 raise ReproError(
                     f"campaign did not finish within {config.timeout:.0f}s"
                 )
-            time.sleep(config.poll_interval)
+            config.sleep(config.poll_interval)
     finally:
         if not aborted:
             # Normal completion: workers exit on their own once they

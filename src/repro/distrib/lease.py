@@ -46,13 +46,9 @@ import time
 import uuid
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable
 
 from ..runs.registry import LEASE_FILENAME
-
-#: The injectable time source: a zero-argument callable returning the
-#: current time in seconds (``time.time`` semantics).
-Clock = Callable[[], float]
+from .clock import Clock
 
 
 def lease_path(run_dir: str | Path) -> Path:
@@ -146,6 +142,8 @@ def _create_exclusive(path: Path, lease: Lease) -> bool:
     the single-winner semantics of ``O_EXCL``.
     """
     tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}-{lease.nonce[:8]}")
+    # repro-lint: allow[RL004] -- the private-temp half of the atomic
+    # os.link claim; no reader ever sees this path
     tmp.write_text(_encode(lease, heartbeat=lease.acquired_at))
     try:
         os.link(tmp, path)
@@ -258,6 +256,8 @@ def renew_lease(
     tmp = lease.path.with_name(
         f"{lease.path.name}.tmp-{os.getpid()}-{lease.nonce[:8]}"
     )
+    # repro-lint: allow[RL004] -- the private-temp half of the atomic
+    # os.replace below; no reader ever sees this path
     tmp.write_text(_encode(lease, heartbeat=now))
     os.replace(tmp, lease.path)
     return True

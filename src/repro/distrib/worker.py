@@ -30,10 +30,12 @@ import socket
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Callable
 
 from ..runs.registry import CHECKPOINT_FILENAME, RunRegistry
 from ..runs.suite import SuiteCellTask, SuiteMatrix
 from .budget import campaign_finished, campaign_progress, claimable_cells
+from .clock import Clock
 from .lease import Heartbeat, release_lease, try_acquire_lease
 
 
@@ -60,6 +62,12 @@ class WorkerConfig:
     #: Give up after this many consecutive idle seconds (None: wait
     #: forever for peers — the normal daemon mode).
     max_idle: float | None = None
+    #: Injectable time source; tests drive idle/expiry behavior with a
+    #: :class:`~repro.distrib.clock.FakeClock` instead of real waits.
+    clock: Clock = time.time
+    #: Injectable idle wait, paired with ``clock`` (a FakeClock's
+    #: ``sleep`` advances logical time and returns immediately).
+    sleep: Callable[[float], None] = time.sleep
 
 
 @dataclass
@@ -117,13 +125,14 @@ def run_worker(
         for cell, cap in claimable_cells(cells, budget, progress):
             run_dir = registry.run_path(cell.config_dict(), cell.seed(matrix.seed))
             lease = try_acquire_lease(
-                run_dir, config.worker_id, config.lease_ttl
+                run_dir, config.worker_id, config.lease_ttl,
+                clock=config.clock,
             )
             if lease is not None:
                 claimed = (cell, cap, lease, run_dir)
                 break
         if claimed is None:
-            now = time.time()
+            now = config.clock()
             if idle_since is None:
                 idle_since = now
             elif (
@@ -131,7 +140,7 @@ def run_worker(
                 and now - idle_since > config.max_idle
             ):
                 return summary
-            time.sleep(config.poll_interval)
+            config.sleep(config.poll_interval)
             summary.idle_seconds += config.poll_interval
             continue
 
@@ -143,7 +152,9 @@ def run_worker(
             summary.cells_resumed += 1
         summary.cells_run += 1
         try:
-            with Heartbeat(lease, config.heartbeat_interval):
+            with Heartbeat(
+                lease, config.heartbeat_interval, clock=config.clock
+            ):
                 row = task((cell, cap))
         finally:
             # Release even on unexpected errors; a durable result/error

@@ -1,0 +1,57 @@
+"""``repro.lint`` — AST static analysis for the reproduction's invariants.
+
+Everything the registry/distrib/budget stack promises (bit-identical
+parallel and resumed runs, crash-safe durable artifacts, path-independent
+budget allocation) rests on code-level invariants: seeded RNG only, no
+wall-clock reads on deterministic paths, sorted directory scans, atomic
+durable writes, and checkpoint dataclasses that fully round-trip through
+the serializer. This package machine-checks them:
+
+=======  ============================  =======================================
+rule id  name                          invariant
+=======  ============================  =======================================
+RL001    unseeded-rng                  all randomness from seeded generators
+RL002    wall-clock                    injectable clocks, never time.time()
+RL003    unsorted-fs-scan              directory scans wrapped in sorted()
+RL004    non-atomic-durable-write      _write_atomic or append-only streams
+RL005    checkpoint-field-completeness checkpoint fields survive round trips
+=======  ============================  =======================================
+
+Scoping is by *zone* (:mod:`repro.lint.zones`); per-line escapes use
+``# repro-lint: allow[RLxxx] -- justification`` pragmas
+(:mod:`repro.lint.pragmas`). The ``repro lint`` CLI subcommand exposes
+text/JSON output with CI-friendly exit codes (0 clean, 1 findings).
+"""
+
+from .engine import (
+    Linter,
+    LintReport,
+    ModuleSource,
+    ProjectRule,
+    Rule,
+    module_name_for,
+)
+from .findings import Finding, finding_at
+from .pragmas import Pragma, collect_pragmas
+from .rules import ALL_RULES, DEFAULT_PROJECT_RULES, DEFAULT_RULES
+from .zones import DEFAULT_POLICY, DEFAULT_ZONES, Zone, ZonePolicy
+
+__all__ = [
+    "ALL_RULES",
+    "DEFAULT_POLICY",
+    "DEFAULT_PROJECT_RULES",
+    "DEFAULT_RULES",
+    "DEFAULT_ZONES",
+    "Finding",
+    "LintReport",
+    "Linter",
+    "ModuleSource",
+    "Pragma",
+    "ProjectRule",
+    "Rule",
+    "Zone",
+    "ZonePolicy",
+    "collect_pragmas",
+    "finding_at",
+    "module_name_for",
+]

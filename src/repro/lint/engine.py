@@ -1,0 +1,267 @@
+"""The lint engine: load modules, run rules, apply pragma suppression.
+
+The engine is deliberately small: rules do the understanding, zones do
+the scoping, pragmas do the escaping, and the engine only walks files
+(in sorted order — the linter holds itself to the invariants it
+checks), dispatches, and folds the results into a :class:`LintReport`.
+
+Two rule shapes exist:
+
+* a **file rule** (:class:`Rule`) sees one :class:`ModuleSource` at a
+  time and runs only where the zone policy activates its id;
+* a **project rule** (:class:`ProjectRule`) sees the whole scanned
+  module set once — cross-file invariants like checkpoint-field
+  completeness live here.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Protocol, runtime_checkable
+
+from .findings import META_RULE_ID, Finding
+from .pragmas import Pragma, collect_pragmas
+from .zones import DEFAULT_POLICY, ZonePolicy
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name of a file, by walking up the package tree.
+
+    The package root is the nearest ancestor directory *without* an
+    ``__init__.py`` — the standard src-layout convention, which maps
+    ``src/repro/ga/engine.py`` to ``repro.ga.engine`` and works equally
+    for fixture trees tests assemble under a temp directory.
+    """
+    path = path.resolve()
+    parts = [path.stem] if path.name != "__init__.py" else []
+    parent = path.parent
+    while (parent / "__init__.py").is_file():
+        parts.append(parent.name)
+        if parent.parent == parent:
+            break
+        parent = parent.parent
+    return ".".join(reversed(parts)) if parts else path.stem
+
+
+@dataclass
+class ModuleSource:
+    """One parsed module: everything a rule needs to inspect it."""
+
+    path: Path
+    module: str
+    source: str
+    tree: ast.Module
+    pragmas: list[Pragma] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: Path, module: str | None = None) -> "ModuleSource":
+        source = path.read_text()
+        return cls.from_source(
+            source, module=module or module_name_for(path), path=path
+        )
+
+    @classmethod
+    def from_source(
+        cls, source: str, module: str, path: str | Path = "<fixture>"
+    ) -> "ModuleSource":
+        return cls(
+            path=Path(path),
+            module=module,
+            source=source,
+            tree=ast.parse(source),
+            pragmas=collect_pragmas(source),
+        )
+
+
+@runtime_checkable
+class Rule(Protocol):
+    """A per-file AST rule."""
+
+    rule_id: str
+    name: str
+    summary: str
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]: ...
+
+
+@runtime_checkable
+class ProjectRule(Protocol):
+    """A whole-project rule, run once over every scanned module."""
+
+    rule_id: str
+    name: str
+    summary: str
+
+    def check_project(
+        self, modules: list[ModuleSource]
+    ) -> Iterator[Finding]: ...
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: list[Finding]
+    files: int
+    pragmas: int
+    suppressed: int
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def render(self) -> str:
+        if self.clean:
+            return (
+                f"repro lint: clean — {self.files} file(s) scanned, "
+                f"{self.suppressed} finding(s) suppressed by "
+                f"{self.pragmas} documented pragma(s)"
+            )
+        lines = [f.render() for f in self.findings]
+        lines.append(
+            f"repro lint: {len(self.findings)} finding(s) in "
+            f"{self.files} file(s)"
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "clean": self.clean,
+            "files": self.files,
+            "pragmas": self.pragmas,
+            "suppressed": self.suppressed,
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+
+def _expand(paths: Iterable[Path]) -> list[Path]:
+    """Python files under the given paths, sorted and de-duplicated."""
+    seen: dict[Path, None] = {}
+    for path in paths:
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            if "__pycache__" in candidate.parts:
+                continue
+            seen.setdefault(candidate.resolve(), None)
+    return sorted(seen)
+
+
+class Linter:
+    """Run a rule set over a file tree under a zone policy."""
+
+    def __init__(
+        self,
+        rules: Iterable[Rule] | None = None,
+        project_rules: Iterable[ProjectRule] | None = None,
+        policy: ZonePolicy = DEFAULT_POLICY,
+    ):
+        if rules is None or project_rules is None:
+            from .rules import DEFAULT_PROJECT_RULES, DEFAULT_RULES
+
+            rules = DEFAULT_RULES if rules is None else rules
+            if project_rules is None:
+                project_rules = DEFAULT_PROJECT_RULES
+        self.rules = list(rules)
+        self.project_rules = list(project_rules)
+        self.policy = policy
+
+    def lint(self, paths: Iterable[Path | str]) -> LintReport:
+        modules: list[ModuleSource] = []
+        findings: list[Finding] = []
+        files = 0
+        for path in _expand(Path(p) for p in paths):
+            files += 1
+            try:
+                modules.append(ModuleSource.load(path))
+            except SyntaxError as exc:
+                findings.append(
+                    Finding(
+                        path=str(path),
+                        line=exc.lineno or 1,
+                        col=(exc.offset or 0) + 1,
+                        rule_id=META_RULE_ID,
+                        message=f"file does not parse: {exc.msg}",
+                    )
+                )
+        for module in modules:
+            active = self.policy.rules_for(module.module)
+            for rule in self.rules:
+                if rule.rule_id in active:
+                    findings.extend(rule.check(module))
+        for project_rule in self.project_rules:
+            findings.extend(project_rule.check_project(modules))
+
+        pragma_index = {str(m.path.resolve()): m.pragmas for m in modules}
+        kept, suppressed = [], 0
+        for finding in findings:
+            if self._suppressed(finding, pragma_index):
+                suppressed += 1
+            else:
+                kept.append(finding)
+        total_pragmas = 0
+        for module in modules:
+            for pragma in module.pragmas:
+                total_pragmas += 1
+                kept.extend(self._pragma_hygiene(module, pragma))
+        kept.sort(key=lambda f: f.sort_key)
+        return LintReport(
+            findings=kept,
+            files=files,
+            pragmas=total_pragmas,
+            suppressed=suppressed,
+        )
+
+    def _suppressed(
+        self, finding: Finding, pragma_index: dict[str, list[Pragma]]
+    ) -> bool:
+        if finding.rule_id == META_RULE_ID:
+            return False
+        try:
+            key = str(Path(finding.path).resolve())
+        except OSError:
+            key = finding.path
+        for pragma in pragma_index.get(key, []):
+            if (
+                finding.line <= pragma.target <= finding.end_line
+                and finding.rule_id in pragma.rules
+            ):
+                pragma.used.add(finding.rule_id)
+                return True
+        return False
+
+    def _pragma_hygiene(
+        self, module: ModuleSource, pragma: Pragma
+    ) -> list[Finding]:
+        rules = ",".join(sorted(pragma.rules))
+        if not pragma.documented:
+            return [
+                Finding(
+                    path=str(module.path),
+                    line=pragma.line,
+                    col=1,
+                    rule_id=META_RULE_ID,
+                    message=(
+                        f"undocumented pragma allow[{rules}]: append "
+                        "'-- <why this violation is safe>'"
+                    ),
+                )
+            ]
+        if not pragma.used:
+            return [
+                Finding(
+                    path=str(module.path),
+                    line=pragma.line,
+                    col=1,
+                    rule_id=META_RULE_ID,
+                    message=(
+                        f"unused pragma allow[{rules}]: it suppresses "
+                        "nothing — remove it or fix the rule id"
+                    ),
+                )
+            ]
+        return []

@@ -1,0 +1,73 @@
+"""The finding record every lint rule emits.
+
+A :class:`Finding` pins one invariant violation to a ``file:line:col``
+location with the rule id that produced it, so the CLI can render it as
+a compiler-style diagnostic, the JSON emitter can feed automation, and
+the pragma layer can match it against ``# repro-lint: allow[...]``
+suppressions on the same source line.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+#: Rule id of the linter's own housekeeping findings (parse failures,
+#: undocumented or unused pragmas) — never suppressible by pragma.
+META_RULE_ID = "RL000"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One invariant violation at a specific source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+    severity: str = "error"
+    #: Last physical line of the offending node — pragma suppression
+    #: accepts a pragma anywhere in ``[line, end_line]`` so a trailing
+    #: comment on a multi-line call still covers it.
+    end_line: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if self.end_line < self.line:
+            object.__setattr__(self, "end_line", self.line)
+
+    @property
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule_id)
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id} [{self.severity}] {self.message}"
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule_id": self.rule_id,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+
+def finding_at(
+    path: str | Path, node: ast.AST, rule_id: str, message: str
+) -> Finding:
+    """Build a :class:`Finding` anchored at an AST node's location."""
+    return Finding(
+        path=str(path),
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0) + 1,
+        rule_id=rule_id,
+        message=message,
+        end_line=getattr(node, "end_lineno", None) or getattr(node, "lineno", 1),
+    )

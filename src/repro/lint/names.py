@@ -1,0 +1,80 @@
+"""Qualified-name resolution for AST call sites.
+
+The rules match calls against fully-qualified names (``time.time``,
+``numpy.random.randint``) regardless of how the module was imported —
+``import time``, ``from time import time``, ``import numpy as np`` all
+resolve to the same canonical chain. Resolution is import-anchored: a
+dotted chain whose first segment is not an import binding resolves to
+``None``, so a local variable that happens to be called ``random``
+never false-positives a module-level-RNG rule (method-name heuristics,
+where a rule wants them, are the rule's own choice).
+"""
+
+from __future__ import annotations
+
+import ast
+
+
+def attr_chain(node: ast.AST) -> str | None:
+    """Dotted source chain of a Name/Attribute expression, or None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class ImportMap:
+    """Local import bindings of one module: alias -> qualified path."""
+
+    def __init__(self) -> None:
+        self.aliases: dict[str, str] = {}
+
+    @classmethod
+    def from_tree(cls, tree: ast.AST) -> "ImportMap":
+        imports = cls()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        imports.aliases[alias.asname] = alias.name
+                    else:
+                        # ``import numpy.random`` binds only ``numpy``.
+                        root = alias.name.split(".", 1)[0]
+                        imports.aliases[root] = root
+            elif isinstance(node, ast.ImportFrom):
+                base = "." * node.level + (node.module or "")
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    qualified = f"{base}.{alias.name}" if base else alias.name
+                    imports.aliases[bound] = qualified
+        return imports
+
+    def resolve(self, chain: str | None) -> str | None:
+        """Canonical form of a dotted chain, or None when unanchored."""
+        if chain is None:
+            return None
+        head, _, rest = chain.partition(".")
+        target = self.aliases.get(head)
+        if target is None:
+            return None
+        return f"{target}.{rest}" if rest else target
+
+
+def call_qualname(call: ast.Call, imports: ImportMap) -> str | None:
+    """Canonical qualified name of a call's target, or None."""
+    return imports.resolve(attr_chain(call.func))
+
+
+def parent_map(tree: ast.AST) -> dict[ast.AST, ast.AST]:
+    """Child -> parent mapping for one module tree."""
+    parents: dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents

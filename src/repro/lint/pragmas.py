@@ -1,0 +1,112 @@
+"""``# repro-lint: allow[...]`` pragma parsing and bookkeeping.
+
+A pragma suppresses specific rules on specific lines::
+
+    marker.write_text(text)  # repro-lint: allow[RL004] -- crash marker
+
+* the bracket list names one or more rule ids (comma-separated);
+* everything after ``--`` is the mandatory justification — a pragma
+  without one is itself reported (``RL000 undocumented pragma``), so
+  the suppression baseline stays reviewable;
+* an inline pragma governs its own physical line (and, via
+  ``Finding.end_line``, any multi-line statement that *starts* earlier
+  but ends on it); a pragma on a comment-only line governs the next
+  line that holds code.
+
+Pragmas that suppress nothing are reported too (``RL000 unused
+pragma``): a stale allow is a hole in the checker.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+_PRAGMA_RE = re.compile(
+    r"#\s*repro-lint:\s*allow\[(?P<rules>[^\]]+)\]\s*(?:--\s*(?P<reason>\S.*))?"
+)
+
+#: Token types that mean "this line holds actual code".
+_NON_CODE_TOKENS = frozenset(
+    {
+        tokenize.COMMENT,
+        tokenize.NL,
+        tokenize.NEWLINE,
+        tokenize.INDENT,
+        tokenize.DEDENT,
+        tokenize.ENCODING,
+        tokenize.ENDMARKER,
+    }
+)
+
+
+@dataclass
+class Pragma:
+    """One parsed ``allow`` pragma."""
+
+    #: Physical line the comment sits on.
+    line: int
+    #: Line the suppression applies to (== ``line`` for inline pragmas,
+    #: the next code line for standalone comment lines).
+    target: int
+    rules: frozenset[str]
+    reason: str
+    #: Rule ids that actually matched a finding — filled by the engine.
+    used: set[str] = field(default_factory=set)
+
+    @property
+    def documented(self) -> bool:
+        return bool(self.reason)
+
+
+def _parse_comment(text: str, line: int) -> Pragma | None:
+    match = _PRAGMA_RE.search(text)
+    if match is None:
+        return None
+    rules = frozenset(
+        part.strip() for part in match.group("rules").split(",") if part.strip()
+    )
+    if not rules:
+        return None
+    reason = (match.group("reason") or "").strip()
+    return Pragma(line=line, target=line, rules=rules, reason=reason)
+
+
+def collect_pragmas(source: str) -> list[Pragma]:
+    """Extract every pragma from a module's source text.
+
+    Tokenize-based, so pragma-shaped text inside string literals is not
+    mistaken for a pragma. Falls back to a line scan when the module
+    does not tokenize (the engine reports the parse failure separately).
+    """
+    pragmas: list[Pragma] = []
+    code_lines: set[int] = set()
+    try:
+        tokens = list(
+            tokenize.generate_tokens(io.StringIO(source).readline)
+        )
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        for number, text in enumerate(source.splitlines(), start=1):
+            if "#" in text:
+                pragma = _parse_comment(text[text.index("#"):], number)
+                if pragma is not None:
+                    pragmas.append(pragma)
+            if text.split("#", 1)[0].strip():
+                code_lines.add(number)
+    else:
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                pragma = _parse_comment(token.string, token.start[0])
+                if pragma is not None:
+                    pragmas.append(pragma)
+            elif token.type not in _NON_CODE_TOKENS:
+                for number in range(token.start[0], token.end[0] + 1):
+                    code_lines.add(number)
+    for pragma in pragmas:
+        if pragma.line not in code_lines:
+            later = [n for n in code_lines if n > pragma.line]
+            if later:
+                pragma.target = min(later)
+    return pragmas

@@ -1,0 +1,283 @@
+"""RL005 — checkpoint-field completeness across the serializer boundary.
+
+Resume is bit-identical only while every field of every ``*Checkpoint``
+dataclass survives the JSON round trip through
+:mod:`repro.runs.checkpoint`. Adding a field to a checkpoint without
+touching its ``*_to_dict``/``*_from_dict`` pair does not fail any type
+check and usually no test either — the resumed run silently restarts
+that piece of state from its default and diverges generations later.
+This rule makes the omission a lint failure.
+
+It is an import-and-inspect pass:
+
+1. every dataclass named ``*Checkpoint`` in the scanned tree is
+   collected; its field list comes from importing the real class and
+   calling :func:`dataclasses.fields` (inheritance, ``ClassVar``/
+   ``InitVar`` exclusion, and field ordering come for free), with an
+   AST fallback for modules that do not import (fixture trees);
+2. serializer pairs are discovered in ``repro.runs.checkpoint`` by
+   annotation, not by name: a ``*_to_dict`` function whose first
+   parameter is annotated ``FooCheckpoint`` serializes it, a
+   ``*_from_dict`` whose return annotation is ``FooCheckpoint``
+   restores it;
+3. each class must have both halves, its ``to_dict`` must read every
+   field off the checkpoint parameter, and its ``from_dict`` must pass
+   every field as a keyword to the constructor.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import importlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+from ..engine import ModuleSource
+from ..findings import Finding, finding_at
+
+#: The module all checkpoint serializer/loader pairs live in.
+SERIALIZER_MODULE = "repro.runs.checkpoint"
+
+RULE_ID = "RL005"
+
+
+@dataclass(frozen=True)
+class CheckpointClass:
+    """One ``*Checkpoint`` dataclass found in the scanned tree."""
+
+    name: str
+    module: str
+    path: str
+    line: int
+    fields: tuple[str, ...]
+
+
+def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return True
+    return False
+
+
+def _ast_fields(node: ast.ClassDef) -> tuple[str, ...]:
+    names = []
+    for stmt in node.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            annotation = ast.unparse(stmt.annotation)
+            if "ClassVar" in annotation or "InitVar" in annotation:
+                continue
+            names.append(stmt.target.id)
+    return tuple(names)
+
+
+def _imported_fields(
+    module: str, class_name: str, source_path: Path
+) -> tuple[str, ...] | None:
+    """Field names via a real import, or None when that is impossible.
+
+    The imported module must be the same file we scanned — a fixture
+    tree that mirrors real module names must not pick up the installed
+    package's classes.
+    """
+    try:
+        imported = importlib.import_module(module)
+        imported_path = Path(getattr(imported, "__file__", "")).resolve()
+        if imported_path != source_path.resolve():
+            return None
+        cls = getattr(imported, class_name)
+        return tuple(f.name for f in dataclasses.fields(cls))
+    except Exception:
+        return None
+
+
+def collect_checkpoint_classes(
+    modules: list[ModuleSource],
+) -> list[CheckpointClass]:
+    """Every ``*Checkpoint`` dataclass in the scanned module set."""
+    classes = []
+    for module in modules:
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.ClassDef)
+                and node.name.endswith("Checkpoint")
+                and _is_dataclass_decorated(node)
+            ):
+                continue
+            fields = _imported_fields(
+                module.module, node.name, module.path
+            ) or _ast_fields(node)
+            classes.append(
+                CheckpointClass(
+                    name=node.name,
+                    module=module.module,
+                    path=str(module.path),
+                    line=node.lineno,
+                    fields=fields,
+                )
+            )
+    return classes
+
+
+def _annotation_class(node: ast.expr | None) -> str | None:
+    """Last segment of an annotation expression (handles string forms)."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value.split(".")[-1].strip()
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def serializer_pairs(
+    tree: ast.Module,
+) -> tuple[dict[str, ast.FunctionDef], dict[str, ast.FunctionDef]]:
+    """(to_dict, from_dict) functions of the serializer module, by class."""
+    to_dict: dict[str, ast.FunctionDef] = {}
+    from_dict: dict[str, ast.FunctionDef] = {}
+    for node in tree.body:
+        if not isinstance(node, ast.FunctionDef):
+            continue
+        if node.name.endswith("_to_dict") and node.args.args:
+            target = _annotation_class(node.args.args[0].annotation)
+            if target and target.endswith("Checkpoint"):
+                to_dict[target] = node
+        elif node.name.endswith("_from_dict"):
+            target = _annotation_class(node.returns)
+            if target and target.endswith("Checkpoint"):
+                from_dict[target] = node
+    return to_dict, from_dict
+
+
+def _attributes_read(func: ast.FunctionDef, param: str) -> set[str]:
+    return {
+        node.attr
+        for node in ast.walk(func)
+        if isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == param
+    }
+
+
+def _constructor_kwargs(
+    func: ast.FunctionDef, class_name: str
+) -> set[str] | None:
+    """Keywords passed to ``ClassName(...)`` calls; None when un-analyzable
+    (a ``**kwargs`` splat hides the field names)."""
+    kwargs: set[str] = set()
+    found = False
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Call):
+            continue
+        callee = node.func
+        name = (
+            callee.id
+            if isinstance(callee, ast.Name)
+            else callee.attr if isinstance(callee, ast.Attribute) else None
+        )
+        if name != class_name:
+            continue
+        found = True
+        for keyword in node.keywords:
+            if keyword.arg is None:
+                return None
+            kwargs.add(keyword.arg)
+    return kwargs if found else set()
+
+
+def check_checkpoint_coverage(
+    classes: list[CheckpointClass], serializer: ModuleSource
+) -> list[Finding]:
+    """Cross-check checkpoint fields against the serializer pairs.
+
+    Separated from the rule class so the mutation tests can feed it a
+    synthetic field list (a real field addition, minus the git commit).
+    """
+    to_dict, from_dict = serializer_pairs(serializer.tree)
+    findings: list[Finding] = []
+    for cls in classes:
+        writer = to_dict.get(cls.name)
+        loader = from_dict.get(cls.name)
+        if writer is None or loader is None:
+            missing = " and ".join(
+                label
+                for label, fn in (("*_to_dict", writer), ("*_from_dict", loader))
+                if fn is None
+            )
+            findings.append(
+                Finding(
+                    path=cls.path,
+                    line=cls.line,
+                    col=1,
+                    rule_id=RULE_ID,
+                    message=(
+                        f"checkpoint dataclass {cls.name} has no {missing} "
+                        f"serializer in {SERIALIZER_MODULE}; it cannot "
+                        "round-trip through the run registry"
+                    ),
+                )
+            )
+            continue
+        param = writer.args.args[0].arg
+        read = _attributes_read(writer, param)
+        for field in cls.fields:
+            if field not in read:
+                findings.append(
+                    finding_at(
+                        serializer.path,
+                        writer,
+                        RULE_ID,
+                        f"{cls.name}.{field} is never read by "
+                        f"{writer.name}(); the field would be silently "
+                        "dropped from checkpoints",
+                    )
+                )
+        passed = _constructor_kwargs(loader, cls.name)
+        if passed is None:
+            continue  # **splat: assume the loader forwards everything
+        for field in cls.fields:
+            if field not in passed:
+                findings.append(
+                    finding_at(
+                        serializer.path,
+                        loader,
+                        RULE_ID,
+                        f"{cls.name}.{field} is never passed by "
+                        f"{loader.name}(); a resumed run would restart "
+                        "the field from its default and diverge",
+                    )
+                )
+    return findings
+
+
+class CheckpointCompletenessRule:
+    """RL005: every checkpoint field round-trips through the serializer."""
+
+    rule_id = RULE_ID
+    name = "checkpoint-field-completeness"
+    summary = (
+        "every *Checkpoint dataclass field must be serialized by its "
+        "*_to_dict and restored by its *_from_dict in repro.runs.checkpoint"
+    )
+
+    def check_project(
+        self, modules: list[ModuleSource]
+    ) -> Iterator[Finding]:
+        serializer = next(
+            (m for m in modules if m.module == SERIALIZER_MODULE), None
+        )
+        if serializer is None:
+            return
+        classes = collect_checkpoint_classes(
+            [m for m in modules if m.module != SERIALIZER_MODULE]
+        )
+        yield from check_checkpoint_coverage(classes, serializer)

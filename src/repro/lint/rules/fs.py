@@ -1,0 +1,96 @@
+"""RL003 — unsorted filesystem scans in deterministic zones.
+
+``os.listdir`` / ``Path.iterdir`` / ``glob`` return entries in
+filesystem-dependent order (ext4, tmpfs, and NFS all disagree), so any
+search or merge that iterates a directory unsorted produces
+machine-dependent results — the registry's merged reports are
+bit-identical across machines only because every scan goes through
+``sorted(...)``.
+
+The rule flags a scan call unless it is *directly* wrapped in
+``sorted()`` (one intervening ``list()``/``tuple()`` is tolerated).
+Scans whose order provably cannot matter (e.g. deleting every match)
+still must sort or carry a pragma — cheap, and it keeps the rule free
+of flow analysis.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import ModuleSource
+from ..findings import Finding, finding_at
+from ..names import ImportMap, attr_chain, call_qualname, parent_map
+
+#: Fully-qualified scan functions.
+SCAN_FUNCS = frozenset(
+    {"os.listdir", "os.scandir", "glob.glob", "glob.iglob"}
+)
+
+#: Method names treated as scans on any receiver (Path-like heuristic).
+SCAN_METHODS = frozenset({"iterdir", "glob", "rglob"})
+
+_WRAPPERS = frozenset({"list", "tuple"})
+
+
+def _called_name(node: ast.AST) -> str | None:
+    if isinstance(node, ast.Call):
+        chain = attr_chain(node.func)
+        return chain
+    return None
+
+
+class UnsortedScanRule:
+    """RL003: every directory scan is wrapped in sorted()."""
+
+    rule_id = "RL003"
+    name = "unsorted-fs-scan"
+    summary = (
+        "os.listdir/Path.iterdir/glob results are filesystem-ordered; "
+        "wrap every scan in sorted()"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        imports = ImportMap.from_tree(module.tree)
+        parents = parent_map(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            label = self._scan_label(node, imports)
+            if label is None:
+                continue
+            if self._is_sorted(node, parents):
+                continue
+            yield finding_at(
+                module.path,
+                node,
+                self.rule_id,
+                f"unsorted filesystem scan {label}; wrap it in sorted() — "
+                "directory order is filesystem-dependent and breaks "
+                "bit-identical replay",
+            )
+
+    def _scan_label(
+        self, node: ast.Call, imports: ImportMap
+    ) -> str | None:
+        qual = call_qualname(node, imports)
+        if qual in SCAN_FUNCS:
+            return f"{qual}()"
+        if (
+            qual is None
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in SCAN_METHODS
+        ):
+            return f".{node.func.attr}()"
+        return None
+
+    def _is_sorted(
+        self, node: ast.Call, parents: dict[ast.AST, ast.AST]
+    ) -> bool:
+        parent = parents.get(node)
+        name = _called_name(parent)
+        if name in _WRAPPERS and node in parent.args:
+            node, parent = parent, parents.get(parent)
+            name = _called_name(parent)
+        return name == "sorted" and node in parent.args

@@ -1,0 +1,125 @@
+"""RL001 — unseeded RNG in deterministic zones.
+
+Every random draw in the search stack must come from an explicitly
+seeded generator (``random.Random(derived_seed)``, threaded through as
+an ``rng`` parameter — see :mod:`repro.runs.seeds` for how cell seeds
+are derived). Two things break that:
+
+* **module-level draws** — ``random.random()``, ``random.shuffle()``,
+  ``np.random.randint()`` — which pull from a hidden, process-global
+  generator whose state depends on import order, other callers, and
+  (unseeded) OS entropy;
+* **entropy-seeded constructors** — argless ``random.Random()``,
+  ``np.random.default_rng()``, ``np.random.RandomState()`` — which are
+  different on every run by design.
+
+Either one silently destroys bit-identical resume/replay.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import ModuleSource
+from ..findings import Finding, finding_at
+from ..names import ImportMap, call_qualname
+
+#: ``random`` module functions that act on the hidden global generator.
+GLOBAL_RANDOM_FNS = frozenset(
+    {
+        "random",
+        "uniform",
+        "triangular",
+        "randint",
+        "randrange",
+        "randbytes",
+        "getrandbits",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "betavariate",
+        "expovariate",
+        "gammavariate",
+        "gauss",
+        "lognormvariate",
+        "normalvariate",
+        "vonmisesvariate",
+        "paretovariate",
+        "weibullvariate",
+        "binomialvariate",
+        "seed",
+        "getstate",
+        "setstate",
+    }
+)
+
+#: ``numpy.random`` module functions that act on the legacy global
+#: ``RandomState`` (the list is representative, not exhaustive — any
+#: draw through ``numpy.random.<fn>()`` is a violation, so unknown
+#: names are flagged too; only the sanctioned constructors pass).
+_NUMPY_SANCTIONED = frozenset({"default_rng", "Generator", "RandomState",
+                               "SeedSequence", "PCG64", "Philox", "MT19937",
+                               "SFC64", "BitGenerator"})
+
+
+class UnseededRngRule:
+    """RL001: all randomness must flow from a seeded generator."""
+
+    rule_id = "RL001"
+    name = "unseeded-rng"
+    summary = (
+        "module-level random.*/np.random.* draws and entropy-seeded "
+        "generator constructors are forbidden in deterministic zones"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        imports = ImportMap.from_tree(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qual = call_qualname(node, imports)
+            if qual is None:
+                continue
+            message = self._classify(qual, node)
+            if message is not None:
+                yield finding_at(module.path, node, self.rule_id, message)
+
+    def _classify(self, qual: str, node: ast.Call) -> str | None:
+        argless = not node.args and not node.keywords
+        if qual == "random.Random":
+            if argless:
+                return (
+                    "argless random.Random() seeds from OS entropy; pass "
+                    "a derived seed (see repro.runs.seeds.derive_seed)"
+                )
+            return None
+        if qual == "random.SystemRandom":
+            return (
+                "random.SystemRandom draws OS entropy and cannot be "
+                "seeded; use random.Random(derived_seed)"
+            )
+        if qual.startswith("random."):
+            tail = qual[len("random."):]
+            if tail in GLOBAL_RANDOM_FNS:
+                return (
+                    f"{qual}() draws from the hidden process-global RNG; "
+                    "use a seeded random.Random instance threaded in as "
+                    "an rng parameter"
+                )
+            return None
+        if qual.startswith("numpy.random."):
+            tail = qual[len("numpy.random."):]
+            if tail in _NUMPY_SANCTIONED:
+                if argless:
+                    return (
+                        f"argless {qual}() seeds from OS entropy; pass a "
+                        "derived seed"
+                    )
+                return None
+            return (
+                f"{qual}() draws from numpy's global RandomState; use a "
+                "seeded numpy.random.Generator instance"
+            )
+        return None

@@ -1,0 +1,103 @@
+"""RL004 — non-atomic durable writes in the registry/distrib zone.
+
+The crash-safety story of the run registry rests on exactly two write
+idioms:
+
+* **atomic replace** — write a unique same-directory temp file, then
+  ``os.replace``/``os.link`` it into place
+  (:func:`repro.runs.registry._write_atomic`); readers see the old
+  content or the new, never a torn file, and the presence of
+  ``result.json`` can safely *mean* completion;
+* **append-only streaming** — the ``history.jsonl`` log, opened with
+  mode ``"a"``, where a torn tail line is detected and dropped.
+
+A bare ``open(path, "w")``, ``Path.write_text``, or streaming
+``json.dump`` to a registry artifact re-introduces the
+half-written-file window every peer (worker, coordinator, ``--status``,
+resume) would then have to defend against. The rule flags write-mode
+opens, ``write_text``/``write_bytes`` method calls, and ``json.dump``
+in the durable zone; the temp-file halves of the atomic idiom itself
+carry documented pragmas.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import ModuleSource
+from ..findings import Finding, finding_at
+from ..names import ImportMap, call_qualname
+
+_WRITE_METHOD_NAMES = frozenset({"write_text", "write_bytes"})
+
+_REMEDY = (
+    "; write via repro.runs.registry._write_atomic (unique temp + atomic "
+    "rename) or append to the history.jsonl stream"
+)
+
+
+def _literal_mode(node: ast.Call, position: int) -> str | None:
+    """The call's file-mode argument when it is a string literal."""
+    mode: ast.AST | None = None
+    if len(node.args) > position:
+        mode = node.args[position]
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    if mode is None:
+        return "r"
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return mode.value
+    return None
+
+
+def _is_write_mode(mode: str | None) -> bool:
+    # Unreadable (non-literal) modes pass: the rule proves violations,
+    # it does not guess. "r+" still rewrites in place, hence "+".
+    return mode is not None and any(c in mode for c in "wx+a") and "a" not in mode
+
+
+class NonAtomicWriteRule:
+    """RL004: durable artifacts are written atomically or append-only."""
+
+    rule_id = "RL004"
+    name = "non-atomic-durable-write"
+    summary = (
+        "bare open(.., 'w')/write_text/json.dump in the durable zone; "
+        "use _write_atomic or the append-only history stream"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        imports = ImportMap.from_tree(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            message = self._classify(node, imports)
+            if message is not None:
+                yield finding_at(
+                    module.path, node, self.rule_id, message + _REMEDY
+                )
+
+    def _classify(
+        self, node: ast.Call, imports: ImportMap
+    ) -> str | None:
+        qual = call_qualname(node, imports)
+        if qual == "json.dump":
+            return (
+                "streaming json.dump() writes the document "
+                "incrementally — a crash leaves a torn file"
+            )
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "open":
+            if _is_write_mode(_literal_mode(node, position=1)):
+                return "non-atomic open() in write mode"
+            return None
+        if isinstance(func, ast.Attribute):
+            if func.attr in _WRITE_METHOD_NAMES:
+                return f"non-atomic .{func.attr}()"
+            if func.attr == "open" and _is_write_mode(
+                _literal_mode(node, position=0)
+            ):
+                return "non-atomic .open() in write mode"
+        return None

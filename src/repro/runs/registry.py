@@ -65,6 +65,8 @@ def _write_atomic(path: Path, text: str) -> None:
     contents are identical because cell execution is deterministic.
     """
     tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}-{uuid.uuid4().hex[:8]}")
+    # repro-lint: allow[RL004] -- this IS the atomic-write idiom: the
+    # unique private temp that os.replace promotes on the next line
     tmp.write_text(text)
     os.replace(tmp, path)
 
@@ -265,8 +267,8 @@ class RunRegistry:
         reclaimed = 0
         for run in self.completed():
             stale = [run.path / _CHECKPOINT, run.path / _LEASE]
-            stale.extend(run.path.glob("*.tmp-*"))
-            stale.extend(run.path.glob(_LEASE + ".expired-*"))
+            stale.extend(sorted(run.path.glob("*.tmp-*")))
+            stale.extend(sorted(run.path.glob(_LEASE + ".expired-*")))
             for path in stale:
                 if not path.is_file():
                     continue

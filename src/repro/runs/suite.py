@@ -613,6 +613,8 @@ def _maybe_fault(
     if marker.exists():
         return
     run_path.mkdir(parents=True, exist_ok=True)
+    # repro-lint: allow[RL004] -- crash-simulation marker: the writer
+    # os._exit()s on the next line by design, and nothing durable reads it
     marker.write_text("injected worker kill\n")
     os._exit(23)
 

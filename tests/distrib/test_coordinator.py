@@ -6,6 +6,7 @@ import time
 
 import pytest
 
+from repro.distrib.clock import FakeClock
 from repro.distrib.coordinator import (
     CoordinatorConfig,
     matrix_from_dict,
@@ -80,15 +81,23 @@ class TestRunDistributed:
         assert outcome.report.rows == clean.report.rows
 
     def test_timeout_aborts(self, tmp_path):
-        # no workers at all: the campaign can never finish
+        # no workers at all: the campaign can never finish. A FakeClock
+        # drives the timeout — its sleep() advances logical time, so the
+        # abort is instant and deterministic.
+        fake = FakeClock()
         with pytest.raises(ReproError):
             run_distributed(
                 MATRIX,
                 tmp_path / "reg",
                 config=CoordinatorConfig(
-                    spawn_workers=0, poll_interval=0.05, timeout=0.3
+                    spawn_workers=0,
+                    poll_interval=1.0,
+                    timeout=10.0,
+                    clock=fake,
+                    sleep=fake.sleep,
                 ),
             )
+        assert fake.now - 1_000.0 > 10.0  # the loop advanced past the timeout
 
     def test_status_callback_renders(self, tmp_path):
         seen = []

@@ -14,6 +14,7 @@ import time
 
 import pytest
 
+from repro.distrib.clock import FakeClock
 from repro.distrib.lease import (
     Heartbeat,
     break_expired_lease,
@@ -23,19 +24,6 @@ from repro.distrib.lease import (
     renew_lease,
     try_acquire_lease,
 )
-
-
-class FakeClock:
-    """A logical clock: advances only when told to."""
-
-    def __init__(self, now: float = 1_000.0):
-        self.now = now
-
-    def __call__(self) -> float:
-        return self.now
-
-    def advance(self, seconds: float) -> None:
-        self.now += seconds
 
 
 @pytest.fixture

@@ -16,6 +16,7 @@ import time
 import pytest
 
 from repro.distrib.budget import campaign_progress
+from repro.distrib.clock import FakeClock
 from repro.distrib.coordinator import matrix_to_dict
 from repro.distrib.lease import read_lease, try_acquire_lease
 from repro.distrib.worker import WorkerConfig, run_worker, worker_entry
@@ -121,6 +122,35 @@ class TestSingleWorker:
         assert summary.cells_resumed >= 1
         rows = merged_report(MATRIX, registry).rows
         assert rows == clean_rows
+
+
+class TestIdleGiveUp:
+    """``max_idle`` against a logical clock: no real waiting at all."""
+
+    def test_max_idle_returns_without_wall_waits(self, tmp_path):
+        registry = RunRegistry(tmp_path / "reg")
+        # peers hold every cell under long-lived leases: nothing is
+        # claimable, but the campaign is unfinished
+        fake = FakeClock()
+        for cell in MATRIX.cells():
+            run_dir = registry.run_path(cell.config_dict(), cell.seed(0))
+            assert try_acquire_lease(
+                run_dir, "peer", ttl=10_000.0, clock=fake
+            ) is not None
+        summary = run_worker(
+            MATRIX,
+            tmp_path / "reg",
+            WorkerConfig(
+                worker_id="idler",
+                max_idle=5.0,
+                poll_interval=1.0,
+                clock=fake,
+                sleep=fake.sleep,
+            ),
+        )
+        assert summary.cells_run == 0
+        assert summary.idle_seconds > 5.0
+        assert fake.now - 1_000.0 > 5.0  # time passed only logically
 
 
 class TestConcurrentWorkers:

@@ -1,0 +1,45 @@
+"""Shared fixtures for the lint-framework tests."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint.engine import ModuleSource
+
+
+@pytest.fixture
+def module_from():
+    """Build an in-memory ModuleSource from a dedented snippet."""
+
+    def build(source: str, module: str = "repro.ga.fixture") -> ModuleSource:
+        return ModuleSource.from_source(textwrap.dedent(source), module=module)
+
+    return build
+
+
+@pytest.fixture
+def fixture_tree(tmp_path):
+    """Materialize a package tree from {relative_path: source} on disk.
+
+    Every ancestor directory below the tree root gets an ``__init__.py``,
+    so ``module_name_for`` resolves e.g. ``repro/ga/mod.py`` to
+    ``repro.ga.mod`` and the zone policy engages exactly as it does on
+    the real source tree.
+    """
+
+    def build(files: dict[str, str]) -> Path:
+        root = tmp_path / "tree"
+        for relative, source in files.items():
+            path = root / relative
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source))
+            parent = path.parent
+            while parent != root:
+                (parent / "__init__.py").touch()
+                parent = parent.parent
+        return root
+
+    return build

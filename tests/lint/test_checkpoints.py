@@ -1,0 +1,157 @@
+"""RL005 — checkpoint completeness, including the mutation test.
+
+The mutation test is the rule's reason to exist: add a field to a real
+checkpoint dataclass without touching its serializer pair and the rule
+must fail with findings on both halves.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+
+import repro.runs.checkpoint as checkpoint_module
+from repro.lint.engine import Linter, ModuleSource
+from repro.lint.rules.checkpoints import (
+    CheckpointClass,
+    CheckpointCompletenessRule,
+    check_checkpoint_coverage,
+    collect_checkpoint_classes,
+    serializer_pairs,
+)
+from repro.runs.checkpoint import SACheckpoint
+
+
+def real_serializer() -> ModuleSource:
+    return ModuleSource.load(Path(checkpoint_module.__file__))
+
+
+class TestCollection:
+    def test_real_class_fields_via_import(self):
+        import repro.ga.annealing as annealing
+
+        source = ModuleSource.load(Path(annealing.__file__))
+        classes = collect_checkpoint_classes([source])
+        by_name = {c.name: c for c in classes}
+        assert "SACheckpoint" in by_name
+        expected = tuple(f.name for f in dataclasses.fields(SACheckpoint))
+        assert by_name["SACheckpoint"].fields == expected
+
+    def test_fixture_class_fields_via_ast_fallback(self, module_from):
+        source = module_from(
+            """
+            from dataclasses import dataclass
+            from typing import ClassVar
+
+            @dataclass
+            class FooCheckpoint:
+                VERSION: ClassVar[int] = 1
+                step: int
+                best_cost: float
+            """,
+            module="repro.nowhere.fixture",
+        )
+        (cls,) = collect_checkpoint_classes([source])
+        assert cls.fields == ("step", "best_cost")
+
+    def test_serializer_pairs_found_by_annotation(self):
+        to_dict, from_dict = serializer_pairs(real_serializer().tree)
+        for name in (
+            "EngineCheckpoint",
+            "IslandsCheckpoint",
+            "SACheckpoint",
+            "NSGACheckpoint",
+            "TwoStepCheckpoint",
+        ):
+            assert name in to_dict, name
+            assert name in from_dict, name
+
+
+class TestCoverage:
+    def sa_class(self, fields: tuple[str, ...]) -> CheckpointClass:
+        return CheckpointClass(
+            name="SACheckpoint",
+            module="repro.ga.annealing",
+            path="annealing.py",
+            line=1,
+            fields=fields,
+        )
+
+    def test_real_fields_are_fully_covered(self):
+        fields = tuple(f.name for f in dataclasses.fields(SACheckpoint))
+        findings = check_checkpoint_coverage(
+            [self.sa_class(fields)], real_serializer()
+        )
+        assert findings == []
+
+    def test_mutation_added_field_fails_both_halves(self):
+        fields = tuple(f.name for f in dataclasses.fields(SACheckpoint))
+        mutated = fields + ("reheat_count",)
+        findings = check_checkpoint_coverage(
+            [self.sa_class(mutated)], real_serializer()
+        )
+        assert len(findings) == 2
+        assert all(f.rule_id == "RL005" for f in findings)
+        messages = sorted(f.message for f in findings)
+        assert "never passed by sa_checkpoint_from_dict" in messages[0]
+        assert "never read by sa_checkpoint_to_dict" in messages[1]
+        # findings anchor on the serializer functions, not the dataclass
+        assert all(f.path.endswith("checkpoint.py") for f in findings)
+        assert all(f.line > 1 for f in findings)
+
+    def test_missing_serializer_pair_reported_at_class(self):
+        orphan = CheckpointClass(
+            name="OrphanCheckpoint",
+            module="repro.ga.orphan",
+            path="orphan.py",
+            line=17,
+            fields=("step",),
+        )
+        (finding,) = check_checkpoint_coverage([orphan], real_serializer())
+        assert finding.rule_id == "RL005"
+        assert (finding.path, finding.line) == ("orphan.py", 17)
+        assert "*_to_dict and *_from_dict" in finding.message
+
+
+class TestProjectRule:
+    RULE = CheckpointCompletenessRule()
+
+    def test_skips_when_serializer_not_scanned(self, module_from):
+        source = module_from(
+            """
+            from dataclasses import dataclass
+
+            @dataclass
+            class FooCheckpoint:
+                step: int
+            """,
+            module="repro.nowhere.fixture",
+        )
+        assert list(self.RULE.check_project([source])) == []
+
+    def test_fixture_tree_end_to_end(self, fixture_tree):
+        # a serializer that drops a field on restore: the loader never
+        # passes ``best_cost``, so a resumed run would diverge
+        root = fixture_tree(
+            {
+                "repro/ga/state.py": """
+                    from dataclasses import dataclass
+
+                    @dataclass
+                    class FooCheckpoint:
+                        step: int
+                        best_cost: float
+                """,
+                "repro/runs/checkpoint.py": """
+                    def foo_checkpoint_to_dict(ck: "FooCheckpoint") -> dict:
+                        return {"step": ck.step, "best_cost": ck.best_cost}
+
+                    def foo_checkpoint_from_dict(data: dict) -> "FooCheckpoint":
+                        return FooCheckpoint(step=data["step"])
+                """,
+            }
+        )
+        report = Linter().lint([root])
+        (finding,) = [f for f in report.findings if f.rule_id == "RL005"]
+        assert "FooCheckpoint.best_cost is never passed" in finding.message
+        assert finding.path.endswith("checkpoint.py")

@@ -1,0 +1,123 @@
+"""``repro lint`` end-to-end: exit codes, JSON output, the clean baseline.
+
+The seeded-violation test is the acceptance check for the whole
+subcommand: one deliberate violation of each rule, each of which must
+fail the run with the right rule id at the right file:line.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import repro
+from repro.cli.main import main
+
+
+def run_cli(capsys, *argv: str) -> tuple[int, str]:
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out + captured.err
+
+
+def seed_tree(root: Path, files: dict[str, str]) -> None:
+    for relative, source in files.items():
+        path = root / relative
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+        parent = path.parent
+        while parent != root:
+            (parent / "__init__.py").touch()
+            parent = parent.parent
+
+
+VIOLATIONS = {
+    "repro/ga/bad_rng.py": ("RL001", 2, "import random\nx = random.random()\n"),
+    "repro/ga/bad_clock.py": ("RL002", 2, "import time\nt = time.time()\n"),
+    "repro/ga/bad_scan.py": ("RL003", 2, "import os\nn = os.listdir(root)\n"),
+    "repro/runs/bad_write.py": (
+        "RL004",
+        1,
+        "open('x.json', 'w').write(payload)\n",
+    ),
+}
+
+BROKEN_SERIALIZER = {
+    "repro/ga/state.py": """
+        from dataclasses import dataclass
+
+        @dataclass
+        class FooCheckpoint:
+            step: int
+            best_cost: float
+    """,
+    # the loader silently drops best_cost: the RL005 violation
+    "repro/runs/checkpoint.py": """
+        def foo_checkpoint_to_dict(ck: "FooCheckpoint") -> dict:
+            return {"step": ck.step, "best_cost": ck.best_cost}
+
+        def foo_checkpoint_from_dict(data: dict) -> "FooCheckpoint":
+            return FooCheckpoint(step=data["step"])
+    """,
+}
+
+
+class TestRealTree:
+    def test_shipped_source_is_clean(self, capsys):
+        package_root = Path(repro.__file__).parent
+        code, out = run_cli(capsys, "lint", str(package_root))
+        assert code == 0, out
+        assert "clean" in out
+
+    def test_json_output_on_clean_tree(self, capsys):
+        package_root = Path(repro.__file__).parent
+        code, out = run_cli(capsys, "lint", "--format", "json", str(package_root))
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["clean"] is True
+        assert payload["findings"] == []
+        assert payload["files"] > 100
+
+    def test_list_rules(self, capsys):
+        code, out = run_cli(capsys, "lint", "--list-rules")
+        assert code == 0
+        for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005"):
+            assert rule_id in out
+        assert "deterministic" in out and "durable" in out
+
+    def test_missing_path_is_clean_error(self, capsys):
+        code, out = run_cli(capsys, "lint", "no/such/tree")
+        assert code == 1
+        assert "error:" in out
+
+
+class TestSeededViolations:
+    def test_each_rule_fires_with_position(self, capsys, tmp_path):
+        root = tmp_path / "tree"
+        seed_tree(
+            root,
+            {
+                **{rel: src for rel, (_, _, src) in VIOLATIONS.items()},
+                **BROKEN_SERIALIZER,
+            },
+        )
+        code, out = run_cli(capsys, "lint", "--format", "json", str(root))
+        assert code == 1
+        payload = json.loads(out)
+        by_rule = {f["rule_id"]: f for f in payload["findings"]}
+        for relative, (rule_id, line, _) in VIOLATIONS.items():
+            finding = by_rule[rule_id]
+            assert finding["path"].endswith(relative.rsplit("/", 1)[-1])
+            assert finding["line"] == line
+        assert "RL005" in by_rule
+        assert "best_cost" in by_rule["RL005"]["message"]
+        assert len(payload["findings"]) == 5
+
+    def test_text_output_names_rule_and_position(self, capsys, tmp_path):
+        root = tmp_path / "tree"
+        seed_tree(root, {"repro/ga/bad_clock.py": "import time\nt = time.time()\n"})
+        code, out = run_cli(capsys, "lint", str(root))
+        assert code == 1
+        assert "bad_clock.py:2:" in out
+        assert "RL002" in out

@@ -1,0 +1,171 @@
+"""The engine end-to-end: zones, suppression, hygiene, parse failures."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint.engine import Linter, module_name_for
+from repro.lint.findings import META_RULE_ID
+from repro.lint.zones import DEFAULT_POLICY
+
+CLOCK_READ = """
+import time
+
+def probe():
+    return time.time()
+"""
+
+
+class TestModuleNames:
+    def test_src_layout_resolution(self):
+        import repro.ga.engine as mod
+
+        assert module_name_for(Path(mod.__file__)) == "repro.ga.engine"
+
+    def test_package_init_resolution(self):
+        import repro.ga as pkg
+
+        assert module_name_for(Path(pkg.__file__)) == "repro.ga"
+
+    def test_fixture_tree_resolution(self, fixture_tree):
+        root = fixture_tree({"repro/ga/mod.py": "x = 1\n"})
+        assert module_name_for(root / "repro/ga/mod.py") == "repro.ga.mod"
+
+
+class TestZoneScoping:
+    def test_deterministic_zone_rules(self):
+        assert DEFAULT_POLICY.rules_for("repro.ga.engine") == frozenset(
+            {"RL001", "RL002", "RL003"}
+        )
+
+    def test_durable_zone_adds_rl004(self):
+        assert DEFAULT_POLICY.rules_for("repro.runs.registry") == frozenset(
+            {"RL001", "RL002", "RL003", "RL004"}
+        )
+
+    def test_presentation_code_is_outside_all_zones(self):
+        assert DEFAULT_POLICY.rules_for("repro.viz.tables") == frozenset()
+        assert DEFAULT_POLICY.rules_for("repro.cli.main") == frozenset()
+
+    def test_same_source_only_flagged_inside_zone(self, fixture_tree):
+        root = fixture_tree(
+            {
+                "repro/ga/hot.py": CLOCK_READ,
+                "repro/viz/cold.py": CLOCK_READ,
+            }
+        )
+        report = Linter().lint([root])
+        assert [f.rule_id for f in report.findings] == ["RL002"]
+        assert report.findings[0].path.endswith("hot.py")
+
+
+class TestSuppression:
+    def test_documented_pragma_suppresses(self, fixture_tree):
+        root = fixture_tree(
+            {
+                "repro/ga/mod.py": (
+                    "import time\n"
+                    "t = time.time()  # repro-lint: allow[RL002] -- fixture\n"
+                )
+            }
+        )
+        report = Linter().lint([root])
+        assert report.clean
+        assert report.suppressed == 1
+        assert report.pragmas == 1
+
+    def test_pragma_covers_multiline_statement(self, fixture_tree):
+        root = fixture_tree(
+            {
+                "repro/ga/mod.py": (
+                    "import os\n"
+                    "names = os.listdir(\n"
+                    "    root,\n"
+                    ")  # repro-lint: allow[RL003] -- fixture\n"
+                )
+            }
+        )
+        assert Linter().lint([root]).clean
+
+    def test_wrong_rule_id_does_not_suppress(self, fixture_tree):
+        root = fixture_tree(
+            {
+                "repro/ga/mod.py": (
+                    "import time\n"
+                    "t = time.time()  # repro-lint: allow[RL001] -- wrong id\n"
+                )
+            }
+        )
+        report = Linter().lint([root])
+        ids = sorted(f.rule_id for f in report.findings)
+        # the read still fires, and the pragma is reported as unused
+        assert ids == [META_RULE_ID, "RL002"]
+
+
+class TestPragmaHygiene:
+    def test_undocumented_pragma_is_a_finding(self, fixture_tree):
+        root = fixture_tree(
+            {
+                "repro/ga/mod.py": (
+                    "import time\n"
+                    "t = time.time()  # repro-lint: allow[RL002]\n"
+                )
+            }
+        )
+        report = Linter().lint([root])
+        # the violation is suppressed, but the bare pragma is reported
+        assert [f.rule_id for f in report.findings] == [META_RULE_ID]
+        assert "undocumented" in report.findings[0].message
+
+    def test_unused_pragma_is_a_finding(self, fixture_tree):
+        root = fixture_tree(
+            {"repro/ga/mod.py": "x = 1  # repro-lint: allow[RL002] -- stale\n"}
+        )
+        report = Linter().lint([root])
+        assert [f.rule_id for f in report.findings] == [META_RULE_ID]
+        assert "unused" in report.findings[0].message
+
+    def test_meta_findings_cannot_be_suppressed(self, fixture_tree):
+        root = fixture_tree(
+            {
+                "repro/ga/mod.py": (
+                    "x = 1  # repro-lint: allow[RL000,RL002] -- nice try\n"
+                )
+            }
+        )
+        report = Linter().lint([root])
+        assert [f.rule_id for f in report.findings] == [META_RULE_ID]
+
+
+class TestParseFailures:
+    def test_syntax_error_is_a_finding_not_a_crash(self, fixture_tree):
+        root = fixture_tree({"repro/ga/broken.py": "def f(:\n    pass\n"})
+        report = Linter().lint([root])
+        assert not report.clean
+        (finding,) = report.findings
+        assert finding.rule_id == META_RULE_ID
+        assert "does not parse" in finding.message
+
+
+class TestReport:
+    def test_render_and_to_dict(self, fixture_tree):
+        root = fixture_tree({"repro/ga/mod.py": CLOCK_READ})
+        report = Linter().lint([root])
+        assert "RL002" in report.render()
+        payload = report.to_dict()
+        assert payload["clean"] is False
+        assert payload["findings"][0]["rule_id"] == "RL002"
+        assert payload["findings"][0]["line"] == 5
+
+    def test_scan_order_is_sorted_and_deduplicated(self, fixture_tree):
+        root = fixture_tree(
+            {
+                "repro/ga/b.py": "import time\nt = time.time()\n",
+                "repro/ga/a.py": "import time\nt = time.time()\n",
+            }
+        )
+        # passing the dir twice plus a file inside it must not double-count
+        report = Linter().lint([root, root / "repro/ga/a.py"])
+        paths = [f.path for f in report.findings]
+        assert paths == sorted(paths)
+        assert len(report.findings) == 2

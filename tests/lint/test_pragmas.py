@@ -1,0 +1,50 @@
+"""Pragma parsing: syntax, documentation, comment-line retargeting."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint.pragmas import collect_pragmas
+
+
+def parse(source: str):
+    return collect_pragmas(textwrap.dedent(source))
+
+
+class TestParsing:
+    def test_inline_pragma(self):
+        (pragma,) = parse(
+            "x = open(p, 'w')  # repro-lint: allow[RL004] -- crash marker\n"
+        )
+        assert pragma.line == pragma.target == 1
+        assert pragma.rules == frozenset({"RL004"})
+        assert pragma.reason == "crash marker"
+        assert pragma.documented
+
+    def test_multiple_rule_ids(self):
+        (pragma,) = parse(
+            "x = 1  # repro-lint: allow[RL001, RL003] -- fixture\n"
+        )
+        assert pragma.rules == frozenset({"RL001", "RL003"})
+
+    def test_missing_reason_is_undocumented(self):
+        (pragma,) = parse("x = 1  # repro-lint: allow[RL001]\n")
+        assert not pragma.documented
+
+    def test_comment_line_targets_next_code_line(self):
+        pragmas = parse(
+            """
+            # repro-lint: allow[RL004] -- the private-temp half of the
+            # atomic idiom; no reader ever sees this path
+            tmp.write_text(text)
+            """
+        )
+        (pragma,) = pragmas
+        assert pragma.line == 2
+        assert pragma.target == 4
+
+    def test_pragma_inside_string_literal_ignored(self):
+        assert parse('doc = "# repro-lint: allow[RL001] -- nope"\n') == []
+
+    def test_plain_comments_ignored(self):
+        assert parse("x = 1  # a normal comment\n") == []
