@@ -53,16 +53,33 @@ def _timing_breakdown(evaluator: Evaluator, wall_seconds: float) -> list[str]:
     for label, key in (
         ("profile", "profile_s"),
         ("price", "price_s"),
+        ("batch", "batch_s"),
         ("aggregate", "aggregate_s"),
     ):
-        lines.append(f"    {label:<10}: {timings[key]:8.3f}s")
+        lines.append(f"    {label:<10}: {timings.get(key, 0.0):8.3f}s")
     lines.append(f"    {'other':<10}: {other:8.3f}s (search + backend overhead)")
     lines.append(f"    {'total':<10}: {wall_seconds:8.3f}s wall")
     lines.append(
         f"    profiles   : {evaluator.num_profile_calls} derived, "
         f"{evaluator.num_cost_calls} subgraphs priced"
     )
+    calls = evaluator.num_batch_calls
+    priced = evaluator.num_batch_priced
+    if calls:
+        seen = priced + evaluator.num_batch_hits
+        lines.append(
+            f"    batch      : {priced} keys in {calls} batches "
+            f"(avg {priced / calls:.1f}/batch), "
+            f"direct-solve {_rate(evaluator.num_batch_direct, priced)}, "
+            f"cache hits {_rate(evaluator.num_batch_hits, seen)}, "
+            f"{evaluator.num_direct_probes} analytic feasibility probes"
+        )
     return lines
+
+
+def _rate(part: int, whole: int) -> str:
+    """``part``/``whole`` as a percentage string (``-`` for empty)."""
+    return f"{100.0 * part / whole:.1f}%" if whole else "-"
 
 
 def _accelerator(args: argparse.Namespace) -> AcceleratorConfig:

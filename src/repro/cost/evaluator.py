@@ -119,6 +119,15 @@ def _lru_put(cache: OrderedDict, key, value, maxsize: int) -> None:
         cache.popitem(last=False)
 
 
+#: Process-wide direct-solve models keyed by (shape signature, tile
+#: candidates). The signature fully determines the model, so the cache
+#: is shared by every evaluator in the process; entries are 1-tuples so
+#: a ``None`` model (failed preconditions) is distinguishable from a
+#: miss. A few thousand shape classes cover even the deepest zoo nets.
+_LINEAR_MODELS: OrderedDict[tuple, tuple] = OrderedDict()
+_CLASS_CACHE_SIZE = 8192
+
+
 def _memory_key(memory: MemoryConfig) -> tuple:
     if memory.mode is BufferMode.SHARED:
         return ("shared", memory.shared_buffer_bytes)
@@ -148,11 +157,21 @@ class Evaluator:
         self._cost_cache_size = cost_cache_size
         self.num_profile_calls = 0
         self.num_cost_calls = 0
+        # Batch-pricing telemetry (mergeable via stats/absorb_stats).
+        self.num_batch_calls = 0
+        self.num_batch_priced = 0
+        self.num_batch_direct = 0
+        self.num_batch_hits = 0
+        self.num_direct_probes = 0
         # Per-(memory, accel) pricing constants, hoisted out of _price.
         self._rates: dict[tuple, EnergyRates] = {}
+        # Direct-solve minimum footprints for profile-less feasibility
+        # probes (same semantics as SubgraphProfile.min_activation_bytes).
+        self._min_acts: OrderedDict[frozenset[str], int] = OrderedDict()
         # Per-subgraph scalar aggregates for the incremental summarize
-        # path, plus the log that ships warm entries to parallel workers.
-        self._summaries: dict[tuple, tuple] = {}
+        # path (a true LRU: hits refresh recency), plus the log that
+        # ships warm entries to parallel workers.
+        self._summaries: OrderedDict[tuple, tuple] = OrderedDict()
         self._summary_log: list[tuple[tuple, tuple]] = []
         self._record_summaries = False
         self.collect_timings = collect_timings
@@ -160,6 +179,7 @@ class Evaluator:
             "profile_s": 0.0,
             "price_s": 0.0,
             "aggregate_s": 0.0,
+            "batch_s": 0.0,
         }
 
     # ------------------------------------------------------------------
@@ -223,6 +243,26 @@ class Evaluator:
         _lru_put(self._min_footprints, key, value, self._profile_cache_size)
         return value
 
+    def _linear_model(self, structure):
+        """Cached closed-form direct-solve model of a shape class.
+
+        ``None`` marks a class that failed the
+        :class:`~repro.execution.tiling_batch.LinearTileModel`
+        preconditions (the scan path handles it). The cache is
+        process-wide: a shape signature fully determines the model, so
+        every evaluator of the same network (suite cells, pool workers,
+        islands) shares one build per class.
+        """
+        key = (structure.signature, self.tile_candidates)
+        hit = _lru_get(_LINEAR_MODELS, key)
+        if hit is not None:
+            return hit[0]
+        from ..execution.tiling_batch import LinearTileModel
+
+        model = LinearTileModel.build(structure, self.tile_candidates)
+        _lru_put(_LINEAR_MODELS, key, (model,), _CLASS_CACHE_SIZE)
+        return model
+
     def feasible(
         self, members: Iterable[str], memory: MemoryConfig | None = None
     ) -> bool:
@@ -231,13 +271,35 @@ class Evaluator:
         Equivalent to ``subgraph_cost(members, memory).feasible`` — a
         subgraph is feasible exactly when its smallest tile option's
         activation footprint fits the activation capacity — but answered
-        from the profile's materialized minimum footprint, with no
-        pricing. In-situ capacity repair probes far more candidate sets
-        than ever get priced, so this is its dedicated fast path.
+        without pricing. In-situ capacity repair probes far more
+        candidate sets than ever get priced, so this is its dedicated
+        fast path: a cached profile answers directly; otherwise, for
+        shape classes with a closed-form direct solve, the minimum
+        footprint is one dot product (no option table at all — the
+        population batch pricer later prices such subgraphs without one
+        either); everything else profiles as before.
         """
         memory = memory or self.accel.memory
-        profile = self.profile(members)
-        return profile.min_activation_bytes <= memory.activation_capacity
+        key = frozenset(members)
+        profile = _lru_get(self._profiles, key)
+        if profile is not None:
+            return profile.min_activation_bytes <= memory.activation_capacity
+        hit = _lru_get(self._min_acts, key)
+        if hit is None:
+            structure = self._structure(key)
+            model = self._linear_model(structure)
+            if model is None:
+                return (
+                    self.profile(key).min_activation_bytes
+                    <= memory.activation_capacity
+                )
+            arrays = self.graph.arrays(self.accel.bytes_per_element)
+            index = arrays.index
+            row_bytes = [int(arrays.row_bytes[index[n]]) for n in structure.names]
+            hit = model.min_activation_bytes(row_bytes)
+            _lru_put(self._min_acts, key, hit, self._profile_cache_size)
+            self.num_direct_probes += 1
+        return hit <= memory.activation_capacity
 
     # ------------------------------------------------------------------
     def subgraph_cost(
@@ -433,11 +495,17 @@ class Evaluator:
     # ------------------------------------------------------------------
     # Incremental (delta) evaluation: per-subgraph scalar aggregates.
     # ------------------------------------------------------------------
+    def _store_summary(self, key: tuple, summary: tuple) -> None:
+        """Install one summary under LRU discipline (and log it)."""
+        _lru_put(self._summaries, key, summary, self._cost_cache_size)
+        if self._record_summaries:
+            self._summary_log.append((key, summary))
+
     def _subgraph_summary(
         self, members: frozenset[str], memory: MemoryConfig, mem_key: tuple
     ) -> tuple:
         key = (members, mem_key)
-        hit = self._summaries.get(key)
+        hit = _lru_get(self._summaries, key)
         if hit is not None:
             return hit
         cost = self.subgraph_cost(members, memory)
@@ -447,11 +515,7 @@ class Evaluator:
             cost.energy_pj,
             cost.latency_cycles,
         )
-        if len(self._summaries) >= self._cost_cache_size:
-            self._summaries.pop(next(iter(self._summaries)))
-        self._summaries[key] = summary
-        if self._record_summaries:
-            self._summary_log.append((key, summary))
+        self._store_summary(key, summary)
         return summary
 
     def summarize(
@@ -505,6 +569,105 @@ class Evaluator:
         return result
 
     # ------------------------------------------------------------------
+    # Population-level batch pricing (tensorized; bit-identical).
+    # ------------------------------------------------------------------
+    def _population_memories(
+        self,
+        populations: Sequence[Sequence[frozenset[str]]],
+        memories: "MemoryConfig | Sequence[MemoryConfig] | None",
+    ) -> list[MemoryConfig]:
+        """One memory per partition (broadcast a single/default config)."""
+        if memories is None:
+            memories = self.accel.memory
+        if isinstance(memories, MemoryConfig):
+            return [memories] * len(populations)
+        return list(memories)
+
+    def prime_summaries(
+        self,
+        populations: Sequence[Sequence[frozenset[str]]],
+        memories: "MemoryConfig | Sequence[MemoryConfig] | None" = None,
+    ) -> int:
+        """Batch-price every unseen subgraph key across a population.
+
+        Collects the distinct ``(subgraph, memory)`` keys of all
+        partitions that are not in the summary cache yet, prices the
+        profile-cold ones through :func:`repro.cost.batch.
+        price_population` (shape-class tensor ops plus closed-form
+        direct solves), and the profile-warm rest serially — then
+        installs everything into the summary cache *in first-seen
+        order*, exactly as a serial sweep would have. Subsequent
+        :meth:`summarize` calls for these partitions are pure cache
+        reads; semantics, drain/absorb warm-state, and LRU behaviour
+        are unchanged, and every value is bit-identical to the serial
+        path. Returns the number of keys priced.
+        """
+        mems = self._population_memories(populations, memories)
+        order: list[tuple] = []
+        seen: set[tuple] = set()
+        mem_of: dict[tuple, MemoryConfig] = {}
+        summaries = self._summaries
+        for subgraph_sets, memory in zip(populations, mems):
+            mem_key = _memory_key(memory)
+            mem_of.setdefault(mem_key, memory)
+            for members in subgraph_sets:
+                key = (members, mem_key)
+                if key in seen:
+                    continue
+                seen.add(key)
+                if key in summaries:
+                    self.num_batch_hits += 1
+                    continue
+                order.append(key)
+        if not order:
+            return 0
+        self.num_batch_calls += 1
+        timed = self.collect_timings
+        if timed:
+            # Serially-repriced keys bill their own profile/price
+            # buckets inside this window; count only the batch work.
+            started = time.perf_counter()
+            nested_before = self.timings["profile_s"] + self.timings["price_s"]
+        from .batch import price_population
+
+        cold = [key for key in order if key[0] not in self._profiles]
+        priced = price_population(self, cold, mem_of)
+        self.num_batch_priced += len(priced)
+        for key in order:
+            summary = priced.get(key)
+            if summary is not None:
+                self._store_summary(key, summary)
+            else:
+                self._subgraph_summary(key[0], mem_of[key[1]], key[1])
+        if timed:
+            elapsed = time.perf_counter() - started
+            nested = (
+                self.timings["profile_s"] + self.timings["price_s"]
+            ) - nested_before
+            self.timings["batch_s"] += elapsed - nested
+        return len(order)
+
+    def summarize_population(
+        self,
+        populations: Sequence[Sequence[frozenset[str]]],
+        memories: "MemoryConfig | Sequence[MemoryConfig] | None" = None,
+    ) -> list[PartitionSummary]:
+        """Summaries for a whole population of partitions (batch-priced).
+
+        Equivalent to ``[summarize(sets, memory) ...]`` — and
+        bit-identical to it — but all unseen subgraph keys are priced
+        first as one deduplicated, shape-class-batched unit via
+        :meth:`prime_summaries`, so the per-partition aggregation runs
+        entirely over cached scalars.
+        """
+        mems = self._population_memories(populations, memories)
+        self.prime_summaries(populations, mems)
+        return [
+            self.summarize(subgraph_sets, memory)
+            for subgraph_sets, memory in zip(populations, mems)
+        ]
+
+    # ------------------------------------------------------------------
     # Warm-state plumbing for parallel population evaluation.
     # ------------------------------------------------------------------
     def enable_summary_log(self) -> None:
@@ -527,15 +690,22 @@ class Evaluator:
         summaries = self._summaries
         for key, summary in entries:
             if key not in summaries:
-                if len(summaries) >= self._cost_cache_size:
-                    summaries.pop(next(iter(summaries)))
-                summaries[key] = summary
+                _lru_put(summaries, key, summary, self._cost_cache_size)
+
+    def export_summaries(self) -> list[tuple[tuple, tuple]]:
+        """Every cached subgraph summary, oldest first (for persistence)."""
+        return list(self._summaries.items())
 
     def stats(self) -> dict[str, float]:
         """Cache/timing counters (mergeable across worker processes)."""
         out: dict[str, float] = {
             "profile_calls": self.num_profile_calls,
             "cost_calls": self.num_cost_calls,
+            "direct_probes": self.num_direct_probes,
+            "batch_calls": self.num_batch_calls,
+            "batch_priced": self.num_batch_priced,
+            "batch_direct": self.num_batch_direct,
+            "batch_hits": self.num_batch_hits,
         }
         out.update(self.timings)
         return out
@@ -544,5 +714,10 @@ class Evaluator:
         """Fold worker counter deltas back into this evaluator."""
         self.num_profile_calls += int(delta.get("profile_calls", 0))
         self.num_cost_calls += int(delta.get("cost_calls", 0))
+        self.num_direct_probes += int(delta.get("direct_probes", 0))
+        self.num_batch_calls += int(delta.get("batch_calls", 0))
+        self.num_batch_priced += int(delta.get("batch_priced", 0))
+        self.num_batch_direct += int(delta.get("batch_direct", 0))
+        self.num_batch_hits += int(delta.get("batch_hits", 0))
         for key in self.timings:
             self.timings[key] += delta.get(key, 0.0)

@@ -74,6 +74,10 @@ class NSGAConfig:
     #: :class:`~repro.ga.engine.GAConfig.incremental`); metric costs are
     #: bit-identical with the flag on or off.
     incremental: bool = True
+    #: Population batch pricing (see
+    #: :class:`~repro.ga.engine.GAConfig.batch_pricing`); metric costs
+    #: stay bit-identical.
+    batch_pricing: bool = True
 
     def __post_init__(self) -> None:
         if self.population_size < 4:
@@ -342,6 +346,7 @@ def _nsga2(
         alpha=1.0,
         space=space,
         incremental=config.incremental,
+        batch_pricing=config.batch_pricing,
     )
     archive = _Archive(problem, metric)
 

@@ -341,10 +341,14 @@ class TilingStructure:
         "_saturation",
         "_saturated",
         "_base",
+        "_signature",
     )
 
     def __init__(
-        self, graph: ComputationGraph, members: frozenset[str] | set[str]
+        self,
+        graph: ComputationGraph,
+        members: frozenset[str] | set[str],
+        solve_base: bool = True,
     ) -> None:
         members = frozenset(members)
         if not members:
@@ -414,9 +418,55 @@ class TilingStructure:
         # solution is constant in the tile size; solved lazily, once.
         self._saturation: int = max(self.heights[i] for i in self.leaves)
         self._saturated: tuple[list, list, list[int]] | None = None
-        base_delta, base_tile = self._solve_deltas(1)
-        base_upd = self._solve_rates(base_delta)
-        self._base = (base_delta, base_tile, base_upd)
+        self._signature: tuple | None = None
+        # The base solve also validates the production/consumption
+        # balance; ``solve_base=False`` (population batch pricing) defers
+        # it so one representative per shape class can solve for all.
+        self._base: tuple[list, list, list[int]] | None = None
+        if solve_base:
+            _ = self.base
+
+    # ------------------------------------------------------------------
+    @property
+    def base(self) -> tuple[list, list, list[int]]:
+        """The tile-size-1 ``(delta, tile, upd)`` solution (solved once)."""
+        if self._base is None:
+            base_delta, base_tile = self._solve_deltas(1)
+            self._base = (base_delta, base_tile, self._solve_rates(base_delta))
+        return self._base
+
+    def adopt_base(self, other: "TilingStructure") -> None:
+        """Share another structure's base solution.
+
+        Only valid between structures with equal :attr:`signature`: the
+        stage 1-3 solves read nothing but signature data, so the vectors
+        are identical and the batch pricer solves one representative per
+        shape class instead of every member. The vectors are never
+        mutated after the solve, so sharing the lists is safe.
+        """
+        self._base = other.base
+
+    @property
+    def signature(self) -> tuple:
+        """Shape-class key: everything the tile-size solves depend on.
+
+        Two structures with equal signatures have identical base
+        solutions, option tables (up to the per-row byte widths, which
+        only enter the final footprint dot product), saturation points,
+        and failure behaviour; node names and heights of non-local
+        layers do not participate.
+        """
+        sig = self._signature
+        if sig is None:
+            sig = (
+                tuple(self.heights),
+                tuple(self.is_member),
+                tuple(self.kids_info),
+                tuple(self.aff_max),
+                tuple(self.full_req),
+            )
+            self._signature = sig
+        return sig
 
     # ------------------------------------------------------------------
     def _solve_deltas(self, t: int) -> tuple[list, list]:
@@ -515,7 +565,7 @@ class TilingStructure:
             )
         t = output_tile_rows
         if t == 1:
-            return self._base
+            return self.base
         if t > self.scale_limit:
             if t >= self._saturation:
                 if self._saturated is None:
@@ -526,7 +576,7 @@ class TilingStructure:
             return delta, tile, self._solve_rates(delta)
         # Exact rescaling: no leaf cap binds, so every stage-2 value is t
         # times the base solution and the stage-3 rates are unchanged.
-        base_delta, _, base_upd = self._base
+        base_delta, _, base_upd = self.base
         delta = [d * t for d in base_delta]
         tile: list = [None] * len(delta)
         for i, info in enumerate(self.kids_info):

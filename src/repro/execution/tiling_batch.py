@@ -1,0 +1,201 @@
+"""Shape-class batching and analytical direct solves for tiling options.
+
+Population pricing (:mod:`repro.cost.batch`) dedupes the unseen
+subgraphs of a whole population and groups them by
+:attr:`~repro.execution.tiling.TilingStructure.signature`. Every input
+of the stage 1-3 solves lives in that signature, so a shape class pays
+for one base solve, one option-table walk, and one saturation analysis
+no matter how many subgraphs (differing only in node names and per-row
+byte widths) share it — :func:`scan_table` produces the class-wide
+candidate table whose footprints each subgraph finishes with a single
+dot product against its own row-byte vector.
+
+:class:`LinearTileModel` goes one step further, in the spirit of GOMA's
+analytical mapping (PAPERS.md): when the cost-vs-``output_tile_rows``
+surface is provably linear over the scanned candidate range (integer
+base solution, no ``full_input`` requirement, no output-height cap
+binding), the activation footprint of candidate ``c`` is exactly
+``A*c + B`` with per-subgraph constants, strictly increasing in ``c``,
+while the elementary-operation count is non-increasing. The pricing
+scan then collapses to a closed form — "largest kept candidate whose
+footprint fits the activation buffer" — and feasibility probes to
+"footprint of the first kept candidate". The preconditions are checked
+exactly; any class failing them keeps the ordinary scan, so results
+stay bit-identical to :mod:`repro.cost.reference` either way (locked by
+``tests/execution/test_tiling_batch.py`` over the whole model zoo).
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from typing import Sequence
+
+from .tiling import TilingStructure
+
+
+def member_max_height(structure: TilingStructure) -> int:
+    """Largest member output height — the profiling candidate cutoff."""
+    return max(
+        height
+        for height, is_member in zip(structure.heights, structure.is_member)
+        if is_member
+    )
+
+
+def _materialize_rows(delta: list, tile: list, heights: list[int]) -> list[int]:
+    """Per-node resident rows ``x`` for one solved candidate (exact)."""
+    rows = []
+    for i, height in enumerate(heights):
+        d = min(max(1, math.ceil(delta[i])), height)
+        rows.append(min(max(d, math.ceil(tile[i])), height))
+    return rows
+
+
+def scan_table(
+    structure: TilingStructure, tile_candidates: tuple[int, ...]
+) -> list[tuple[int, list[int], int]]:
+    """Per-candidate ``(tile_rows, x_rows, num_ops)`` rows for one class.
+
+    Visits exactly the candidates
+    :func:`repro.cost.ema._select_options` asks a subgraph of this shape
+    class to price — its stop conditions (member height cutoff, first
+    single-operation schedule, saturation) read only class-level data —
+    so one table serves every member of the class. A subgraph's
+    activation footprint for a candidate is the dot product of that
+    candidate's ``x_rows`` with the subgraph's row-byte vector.
+    """
+    max_height = member_max_height(structure)
+    stable_after = structure.saturation
+    table: list[tuple[int, list[int], int]] = []
+    for tile_rows in tile_candidates:
+        if table and tile_rows > max_height:
+            break
+        delta, tile, upd = structure.solve(tile_rows)
+        num_ops = structure._num_ops(delta, upd)
+        table.append(
+            (tile_rows, _materialize_rows(delta, tile, structure.heights), num_ops)
+        )
+        if num_ops == 1:
+            break
+        if tile_rows >= stable_after:
+            break
+    return table
+
+
+class LinearTileModel:
+    """Closed-form option table of one provably-linear shape class.
+
+    Valid when (checked exactly by :meth:`build`):
+
+    * the tile candidates are strictly ascending,
+    * the base (tile-size-1) solution is all-integer and no
+      ``full_input`` requirement participates,
+    * every candidate the scan keeps lies at or below the first
+      output-height cap (``limit``), so the stage-2 scale fast path is
+      exact for all of them.
+
+    Inside that range node ``i``'s resident rows are exactly
+    ``slope[i] * c + intercept[i]`` (``slope`` = base delta,
+    ``intercept`` = the non-negative window overlap), hence a subgraph's
+    activation footprint is ``A*c + B`` with ``A = rows . slope >= 1``
+    and ``B = rows . intercept`` — strictly increasing in ``c`` — while
+    the elementary-operation count ``ceil(h / (upd * slope * c))`` never
+    increases. Under a separate activation buffer the serial pricing
+    scan (which skips worse-EMA options and breaks ties toward larger
+    tiles) therefore always settles on the *largest kept candidate whose
+    footprint fits*, and the profile's minimum activation footprint is
+    the *first* kept candidate's — both answered here without building
+    any per-subgraph option table.
+    """
+
+    __slots__ = ("kept", "kept_ops", "slope", "intercept")
+
+    def __init__(
+        self,
+        kept: tuple[int, ...],
+        kept_ops: tuple[int, ...],
+        slope: tuple[int, ...],
+        intercept: tuple[int, ...],
+    ) -> None:
+        self.kept = kept
+        self.kept_ops = kept_ops
+        self.slope = slope
+        self.intercept = intercept
+
+    @classmethod
+    def build(
+        cls, structure: TilingStructure, tile_candidates: tuple[int, ...]
+    ) -> "LinearTileModel | None":
+        """The model for one shape class, or ``None`` on any failed check."""
+        if not tile_candidates:
+            return None
+        if any(b <= a for a, b in zip(tile_candidates, tile_candidates[1:])):
+            return None  # the monotonicity argument needs ascending candidates
+        if any(full is not None for full in structure.full_req):
+            return None
+        base_delta, _, base_upd = structure.base
+        if any(type(d) is not int for d in base_delta):
+            return None
+        heights = structure.heights
+        slope = tuple(base_delta)
+        intercept: list[int] = []
+        limit: int | None = None  # largest c with no height cap binding
+        for i, info in enumerate(structure.kids_info):
+            height = heights[i]
+            if not info:
+                offset = 0
+                cap = height
+            else:
+                affine = structure.aff_max[i]
+                if affine is None:  # defensive: full-only nodes were rejected
+                    return None
+                offset = affine if affine > 0 else 0
+                cap = (height - offset) // slope[i]
+            intercept.append(offset)
+            if limit is None or cap < limit:
+                limit = cap
+        if limit is None or limit < tile_candidates[0]:
+            return None
+        max_height = member_max_height(structure)
+        stable_after = structure.saturation
+        leaves = structure.leaves
+        kept: list[int] = []
+        kept_ops: list[int] = []
+        for c in tile_candidates:
+            if kept and c > max_height:
+                break
+            if c > limit:
+                return None  # a cap binds inside the scanned range
+            num_ops = 1
+            for i in leaves:
+                ops = math.ceil(heights[i] / (base_upd[i] * slope[i] * c))
+                if ops > num_ops:
+                    num_ops = ops
+            kept.append(c)
+            kept_ops.append(num_ops)
+            if num_ops == 1:
+                break
+            if c >= stable_after:
+                break
+        return cls(tuple(kept), tuple(kept_ops), slope, tuple(intercept))
+
+    # ------------------------------------------------------------------
+    def min_activation_bytes(self, row_bytes: Sequence[int]) -> int:
+        """Footprint of the smallest kept candidate (= the profile's min)."""
+        c = self.kept[0]
+        total = 0
+        for s, o, r in zip(self.slope, self.intercept, row_bytes):
+            total += (c * s + o) * r
+        return total
+
+    def choose(
+        self, footprint_slope: int, footprint_intercept: int, capacity: int
+    ) -> int:
+        """Index of the best feasible kept candidate, or ``-1``.
+
+        ``footprint_slope``/``footprint_intercept`` are the subgraph's
+        ``A``/``B`` constants; feasibility is ``A*c + B <= capacity``.
+        """
+        c_max = (capacity - footprint_intercept) // footprint_slope
+        return bisect_right(self.kept, c_max) - 1

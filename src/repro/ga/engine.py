@@ -57,6 +57,12 @@ class GAConfig:
     #: skip pricing entirely. Objective values are bit-identical with the
     #: flag on or off, and identical for any ``workers`` setting.
     incremental: bool = True
+    #: Population batch pricing: score each batch by first pricing all
+    #: its unseen subgraphs at once (deduped, shape-class tensor ops,
+    #: GOMA-style closed-form direct solves — see
+    #: :mod:`repro.cost.batch`). Bit-identical to per-genome pricing;
+    #: effective only together with :attr:`incremental`.
+    batch_pricing: bool = True
 
     def __post_init__(self) -> None:
         if self.population_size < 2:
@@ -133,6 +139,7 @@ class GeneticEngine:
         self.problem = problem
         self.config = config or GAConfig()
         self.problem.incremental = self.config.incremental
+        self.problem.batch_pricing = self.config.batch_pricing
         self._external_backend = backend
         self._rng = random.Random(self.config.seed)
         self._evaluations = 0

@@ -340,6 +340,9 @@ def _migrate_ring(
     rng: random.Random,
 ) -> None:
     """Send each island's best genomes to its ring neighbor (in place)."""
+    # Batch-price all islands' genomes at once (cold fitness caches after
+    # a resume otherwise reprice genome-by-genome); values are identical.
+    problem.prime([g for population in populations for g in population])
     bests: list[list[Genome]] = []
     for population in populations:
         ranked = sorted(population, key=problem.cost)

@@ -47,6 +47,14 @@ class OptimizationProblem:
     #: Disabling falls back to building a full PartitionCost per genome;
     #: objective values are bit-identical either way.
     incremental: bool = True
+    #: Population batch pricing: before a batch of genomes is scored,
+    #: :meth:`prime` hands all their unseen subgraphs to
+    #: :meth:`~repro.cost.evaluator.Evaluator.prime_summaries` — deduped,
+    #: shape-class batched tensor pricing with closed-form direct solves
+    #: (see :mod:`repro.cost.batch`) — so the per-genome scoring runs
+    #: over cached scalars. Bit-identical to serial scoring; only takes
+    #: effect together with :attr:`incremental`.
+    batch_pricing: bool = True
     _fitness_cache: dict = field(default_factory=dict, repr=False)
     _cost_task: CostTask | None = field(default=None, repr=False)
 
@@ -91,6 +99,21 @@ class OptimizationProblem:
         if repaired is genome.partition:
             return genome
         return genome.with_partition(repaired)
+
+    def prime(self, genomes: Sequence[Genome]) -> None:
+        """Batch-price all unseen subgraphs of a genome batch at once.
+
+        A no-op unless both :attr:`incremental` and :attr:`batch_pricing`
+        are on. Priming only fills the evaluator's summary cache, so the
+        subsequent per-genome :meth:`cost` calls return bit-identical
+        values — just without per-genome pricing work.
+        """
+        if not (self.incremental and self.batch_pricing) or not genomes:
+            return
+        self.evaluator.prime_summaries(
+            [g.partition.subgraph_sets for g in genomes],
+            [self.memory_of(g) for g in genomes],
+        )
 
     def evaluate(self, genome: Genome) -> tuple[float, PartitionCost]:
         """Objective value and the underlying partition cost."""

@@ -59,6 +59,10 @@ class SerialBackend:
     """Reference backend: evaluates every item in the calling process."""
 
     def map(self, task: Callable[[Any], Any], items: Sequence[Any]) -> list[Any]:
+        if hasattr(task, "prime"):
+            # Batch-price the whole batch's unseen subgraphs first (pure
+            # cache fill — per-item results are bit-identical).
+            task.prime(items)
         return [task(item) for item in items]
 
     def close(self) -> None:  # nothing to release
@@ -102,6 +106,10 @@ def _run_chunk(
     if warm and hasattr(task, "absorb_warm"):
         task.absorb_warm(warm)
     before = task.stats() if hasattr(task, "stats") else None
+    if hasattr(task, "prime"):
+        # Batch-price the chunk's unseen subgraphs (after absorbing warm
+        # state, so already-shipped summaries are not re-priced).
+        task.prime(chunk)
     results = [task(item) for item in chunk]
     fresh = task.drain_warm() if _WORKER_WARM else None
     if before is None:

@@ -10,8 +10,13 @@ state rides along in that pickle, workers start with whatever profile
 and summary caches the parent had already warmed (e.g. from in-situ
 repair of the first population).
 
-Tasks optionally expose two duck-typed protocols the backend layer uses:
+Tasks optionally expose duck-typed protocols the backend layer uses:
 
+* ``prime(items)`` — population batch pricing: before evaluating a
+  batch/chunk item-by-item, all its unseen subgraphs are priced at once
+  through :meth:`~repro.cost.evaluator.Evaluator.prime_summaries`
+  (shape-class tensor batching + closed-form direct solves). A pure
+  cache fill — per-item results are bit-identical with or without it.
 * ``stats()`` / ``absorb_stats()`` — cache counters and stage timings,
   merged back into the parent after every map so
   ``num_profile_calls`` / ``num_cost_calls`` / ``timings`` reflect the
@@ -60,6 +65,10 @@ class CostTask(_EvaluatorStatsMixin):
     def __init__(self, problem: Any) -> None:
         self.problem = problem
 
+    def prime(self, genomes: Iterable[Any]) -> None:
+        """Batch-price a chunk's unseen subgraphs before per-genome calls."""
+        self.problem.prime(list(genomes))
+
     def __call__(self, genome: Any) -> float:
         return self.problem.cost(genome)
 
@@ -76,6 +85,21 @@ class ParetoCostTask(_EvaluatorStatsMixin):
     def __init__(self, problem: Any, metric: Any) -> None:
         self.problem = problem
         self.metric = metric
+
+    def prime(self, genomes: Iterable[Any]) -> None:
+        """Batch-price a chunk's unseen subgraphs before per-genome calls."""
+        problem = self.problem
+        if not (
+            getattr(problem, "incremental", False)
+            and getattr(problem, "batch_pricing", False)
+        ):
+            return
+        genomes = list(genomes)
+        if genomes:
+            problem.evaluator.prime_summaries(
+                [g.partition.subgraph_sets for g in genomes],
+                [g.memory for g in genomes],
+            )
 
     def __call__(self, genome: Any) -> float:
         from ..cost.objective import partition_objective

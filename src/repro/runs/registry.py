@@ -248,6 +248,82 @@ class RunRegistry:
         """Every run whose final result has been written."""
         return [run for run in self.runs() if run.is_complete]
 
+    # -- warm-summary persistence ---------------------------------------
+    #: Entries kept per (network, bytes-per-element) warm file; matches
+    #: the evaluator's summary-cache order of magnitude.
+    WARM_SUMMARY_CAP = 50_000
+
+    def warm_summary_path(self, network: str, bytes_per_element: int) -> Path:
+        """Where one network's shared warm-summary scalars live."""
+        return self.root / "warm" / f"{network}-bpe{bytes_per_element}.json"
+
+    def load_warm_summaries(
+        self, network: str, bytes_per_element: int
+    ) -> list[tuple[tuple, tuple]]:
+        """Persisted subgraph summaries, ready for ``absorb_summaries``.
+
+        Summaries are pure values keyed by ``(subgraph members, memory
+        key)``, so any evaluator over the same network and element width
+        can absorb them verbatim — a restarted or freshly sharded worker
+        warm-starts instead of re-pricing the population's subgraphs.
+        Returns ``[]`` when nothing was persisted yet or the file is
+        unreadable (corruption just costs a cold start, never an error).
+        """
+        path = self.warm_summary_path(network, bytes_per_element)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return []
+        entries: list[tuple[tuple, tuple]] = []
+        for members, mem_key, summary in payload.get("entries", []):
+            entries.append(
+                (
+                    (frozenset(members), tuple(mem_key)),
+                    (bool(summary[0]), int(summary[1]), summary[2], summary[3]),
+                )
+            )
+        return entries
+
+    def save_warm_summaries(
+        self,
+        network: str,
+        bytes_per_element: int,
+        entries: list[tuple[tuple, tuple]],
+        cap: int | None = None,
+    ) -> Path:
+        """Merge summary entries into the network's warm file (atomic).
+
+        Existing entries come first and new keys append after, so under
+        the ``cap`` the *newest* entries survive (mirroring the
+        evaluator's LRU). Concurrent writers last-write-wins — safe
+        because every writer's values for a shared key are bit-identical
+        (evaluation is pure).
+        """
+        if cap is None:
+            cap = self.WARM_SUMMARY_CAP
+        merged: dict[tuple, tuple] = {
+            key: summary
+            for key, summary in self.load_warm_summaries(
+                network, bytes_per_element
+            )
+        }
+        for key, summary in entries:
+            merged[key] = summary
+        kept = list(merged.items())[-cap:]
+        path = self.warm_summary_path(network, bytes_per_element)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": 1,
+            "network": network,
+            "bytes_per_element": bytes_per_element,
+            "entries": [
+                [sorted(key[0]), list(key[1]), list(summary)]
+                for key, summary in kept
+            ],
+        }
+        _write_atomic(path, json.dumps(payload))
+        return path
+
     def gc(self) -> tuple[int, int]:
         """Drop stale per-run scratch files of *completed* runs.
 

@@ -657,6 +657,14 @@ def run_cell(
     run = registry.open_run(config, seed)
     if evaluator is None:
         evaluator = Evaluator(get_model(cell.network), cell_accelerator(cell))
+    # Warm-start from the registry's persisted per-(network, element
+    # width) summary scalars: restarted and freshly sharded workers skip
+    # re-pricing every subgraph an earlier cell already priced. Absorbing
+    # is pure (summaries are deterministic values), so results are
+    # bit-identical with or without the preload.
+    warm = registry.load_warm_summaries(cell.network, cell.bytes_per_element)
+    if warm:
+        evaluator.absorb_summaries(warm)
     scale = SCALES[cell.scale]
     finished = True
     if cell.scheme == "cocco":
@@ -682,6 +690,9 @@ def run_cell(
             cell, seed, evaluator, scale, run,
             sample_cap=sample_cap, eval_workers=eval_workers,
         )
+    registry.save_warm_summaries(
+        cell.network, cell.bytes_per_element, evaluator.export_summaries()
+    )
     if not finished:
         return {
             **config,

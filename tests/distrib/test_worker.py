@@ -169,8 +169,11 @@ class TestConcurrentWorkers:
         rows = merged_report(MATRIX, RunRegistry(registry)).rows
         assert rows == clean_rows
         # every cell was completed exactly once: each run dir holds one
-        # durable result and no lingering lease
-        run_dirs = [p for p in registry.iterdir() if p.is_dir()]
+        # durable result and no lingering lease ("warm" is the registry's
+        # shared warm-summary store, not a run)
+        run_dirs = [
+            p for p in registry.iterdir() if p.is_dir() and p.name != "warm"
+        ]
         assert len(run_dirs) == 4
         for run_dir in run_dirs:
             assert (run_dir / "result.json").exists()
