@@ -581,24 +581,35 @@ def cmd_lint(args: argparse.Namespace) -> tuple[str, int]:
     Runs the AST rule set of :mod:`repro.lint` (seeded-RNG-only,
     injectable clocks, sorted scans, atomic durable writes, checkpoint
     round-trip completeness) over the given paths and exits 0 only when
-    the tree is clean — CI gates on it exactly like ruff. ``--format
-    json`` emits the findings machine-readably; ``--list-rules`` prints
-    the rule table and zone policy.
+    the tree is clean — CI gates on it exactly like ruff. ``--deep``
+    adds the whole-program pass (:mod:`repro.lint.flows`): call-graph
+    taint flows from nondeterminism sources to durable sinks,
+    all-paths atomic-write verification, pool-shared-state and
+    lease-region checks. ``--trace`` prints each flow finding's full
+    source→sink call chain; ``--format json``/``sarif`` emit findings
+    machine-readably; ``--list-rules`` prints the rule table and zone
+    policy.
     """
     import json as _json
     from pathlib import Path as _Path
 
     from ..lint import DEFAULT_POLICY, Linter
+    from ..lint.flows import DEEP_PROJECT_RULES, DEEP_RULES
     from ..lint.rules import ALL_RULES
 
     if args.list_rules:
         lines = ["rule   name                           zones"]
-        for rule in ALL_RULES:
+        deep_ids = {
+            rule.rule_id for rule in (*DEEP_RULES, *DEEP_PROJECT_RULES)
+        }
+        for rule in (*ALL_RULES, *DEEP_RULES, *DEEP_PROJECT_RULES):
             zones = [
                 zone.name
                 for zone in DEFAULT_POLICY.zones
                 if rule.rule_id in zone.rules
             ] or ["project-wide"]
+            if rule.rule_id in deep_ids:
+                zones.append("deep")
             lines.append(
                 f"{rule.rule_id}  {rule.name:<30} {', '.join(zones)}"
             )
@@ -609,9 +620,13 @@ def cmd_lint(args: argparse.Namespace) -> tuple[str, int]:
     for path in paths:
         if not path.exists():
             raise ConfigError(f"no such file or directory: {path}")
-    report = Linter().lint(paths)
+    report = Linter(deep=args.deep).lint(paths)
     if args.format == "json":
         text = _json.dumps(report.to_dict(), indent=2)
+    elif args.format == "sarif":
+        from ..lint.sarif import render_sarif
+
+        text = render_sarif(report)
     else:
-        text = report.render()
+        text = report.render(with_trace=args.trace)
     return text, 0 if report.clean else 1

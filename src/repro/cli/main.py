@@ -221,10 +221,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument("paths", nargs="*",
                       help="files/directories to lint (default: src/repro)")
-    lint.add_argument("--format", choices=("text", "json"), default="text",
-                      help="diagnostic output format")
+    lint.add_argument("--format", choices=("text", "json", "sarif"),
+                      default="text", help="diagnostic output format")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule table and zone policy, then exit")
+    lint.add_argument("--deep", action="store_true",
+                      help="whole-program pass: call-graph taint flows, "
+                           "all-paths atomic writes, pool/lease rules "
+                           "(RL101-RL105)")
+    lint.add_argument("--trace", action="store_true",
+                      help="print the full source->sink call chain under "
+                           "each flow finding (text format)")
 
     return parser
 

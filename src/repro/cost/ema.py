@@ -82,7 +82,7 @@ class SubgraphProfile:
 def _interface_inputs(graph: ComputationGraph, members: frozenset[str]) -> tuple[str, ...]:
     """External producers whose tensors the subgraph loads from DRAM."""
     seen: list[str] = []
-    for name in members:
+    for name in sorted(members):
         for parent in graph.predecessors(name):
             if parent not in members and parent not in seen:
                 seen.append(parent)
@@ -183,7 +183,7 @@ def profile_subgraph(
     member_activation_bytes = arrays.total(arrays.output_bytes, member_indices)
     layer_weights = tuple(
         sorted(
-            ((n, int(arrays.weight_bytes[index[n]])) for n in members),
+            ((n, int(arrays.weight_bytes[index[n]])) for n in sorted(members)),
             key=lambda item: (-item[1], item[0]),
         )
     )
@@ -226,6 +226,10 @@ def profile_subgraph_reference(
     speedups against.
     """
     members = frozenset(members)
+    # Iterate members in sorted order everywhere: set order is
+    # hash-seed dependent, and these reductions must be bit-identical
+    # across processes (the docstring's equivalence-oracle contract).
+    ordered = sorted(members)
     inputs = _interface_inputs(graph, members)
     outputs = _writeback_nodes(graph, members)
     input_bytes = sum(
@@ -234,19 +238,19 @@ def profile_subgraph_reference(
     output_bytes = sum(
         graph.layer(n).output_bytes(bytes_per_element) for n in outputs
     )
-    weight_bytes = sum(graph.layer(n).weight_bytes for n in members)
-    macs = sum(graph.layer(n).macs for n in members)
+    weight_bytes = sum(graph.layer(n).weight_bytes for n in ordered)
+    macs = sum(graph.layer(n).macs for n in ordered)
     member_activation_bytes = sum(
-        graph.layer(n).output_bytes(bytes_per_element) for n in members
+        graph.layer(n).output_bytes(bytes_per_element) for n in ordered
     )
     layer_weights = tuple(
         sorted(
-            ((n, graph.layer(n).weight_bytes) for n in members),
+            ((n, graph.layer(n).weight_bytes) for n in ordered),
             key=lambda item: (-item[1], item[0]),
         )
     )
 
-    max_height = max(graph.layer(n).shape.height for n in members)
+    max_height = max(graph.layer(n).shape.height for n in ordered)
 
     def naive_option(tile_rows: int) -> tuple[int, int]:
         tiling = derive_tiling(graph, members, output_tile_rows=tile_rows)

@@ -142,8 +142,6 @@ def _create_exclusive(path: Path, lease: Lease) -> bool:
     the single-winner semantics of ``O_EXCL``.
     """
     tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}-{lease.nonce[:8]}")
-    # repro-lint: allow[RL004] -- the private-temp half of the atomic
-    # os.link claim; no reader ever sees this path
     tmp.write_text(_encode(lease, heartbeat=lease.acquired_at))
     try:
         os.link(tmp, path)
@@ -256,8 +254,6 @@ def renew_lease(
     tmp = lease.path.with_name(
         f"{lease.path.name}.tmp-{os.getpid()}-{lease.nonce[:8]}"
     )
-    # repro-lint: allow[RL004] -- the private-temp half of the atomic
-    # os.replace below; no reader ever sees this path
     tmp.write_text(_encode(lease, heartbeat=now))
     os.replace(tmp, lease.path)
     return True

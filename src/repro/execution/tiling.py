@@ -140,7 +140,7 @@ def _local_children(
 ) -> dict[str, tuple[str, ...]]:
     """Map every relevant node to its consumers *inside* the subgraph."""
     children: dict[str, tuple[str, ...]] = {}
-    for name in members:
+    for name in sorted(members):
         children[name] = tuple(s for s in graph.successors(name) if s in members)
         for parent in graph.predecessors(name):
             if parent not in members and parent not in children:
@@ -173,7 +173,7 @@ def derive_tiling(
         raise TilingError("cannot derive tiling for an empty subgraph")
     if output_tile_rows <= 0:
         raise TilingError(f"output tile rows must be positive, got {output_tile_rows}")
-    for name in members:
+    for name in sorted(members):
         if graph.layer(name).is_input:
             raise TilingError(f"model input {name!r} cannot be a subgraph member")
 
@@ -353,7 +353,7 @@ class TilingStructure:
         members = frozenset(members)
         if not members:
             raise TilingError("cannot derive tiling for an empty subgraph")
-        for name in members:
+        for name in sorted(members):
             if graph.layer(name).is_input:
                 raise TilingError(
                     f"model input {name!r} cannot be a subgraph member"
@@ -362,7 +362,7 @@ class TilingStructure:
         succ_map = graph.successor_map()
         pred_map = graph.predecessor_map()
         children: dict[str, tuple[str, ...]] = {}
-        for name in members:
+        for name in sorted(members):
             children[name] = tuple(s for s in succ_map[name] if s in members)
             for parent in pred_map[name]:
                 if parent not in members and parent not in children:

@@ -43,7 +43,7 @@ def crossover(
             target = len(groups)
             groups.append(set())
         groups[target] |= undecided
-        for member in undecided:
+        for member in sorted(undecided):
             decided[member] = target
 
     partition = normalize_groups(graph, groups)

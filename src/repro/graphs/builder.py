@@ -88,6 +88,8 @@ class GraphBuilder:
                 f"{sorted(str(s) for s in shapes)}"
             )
         name = name or self._unique("add")
+        # repro-lint: allow[RL105] -- singleton set: the len check above
+        # guarantees exactly one element, so "order" cannot exist
         spec = ops.eltwise(name, next(iter(shapes)))
         return self.graph.add_layer(spec, sources)
 

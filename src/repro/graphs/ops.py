@@ -214,6 +214,8 @@ def concat(name: str, shapes: list[TensorShape]) -> LayerSpec:
         raise ShapeError(
             f"concat {name!r}: inputs must share spatial dims, got {sorted(spatial)}"
         )
+    # repro-lint: allow[RL105] -- singleton set: the len check above
+    # guarantees exactly one element, so "order" cannot exist
     height, width = next(iter(spatial))
     channels = sum(s.channels for s in shapes)
     shape = TensorShape(height, width, channels)

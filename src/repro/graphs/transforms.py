@@ -106,7 +106,7 @@ def extract_subgraph(
     members = frozenset(members)
     if not members:
         raise GraphError("cannot extract an empty subgraph")
-    for member in members:
+    for member in sorted(members):
         if member not in graph:
             raise GraphError(f"unknown layer {member!r}")
         if graph.layer(member).is_input:

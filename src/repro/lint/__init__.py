@@ -17,12 +17,22 @@ RL004    non-atomic-durable-write      _write_atomic or append-only streams
 RL005    checkpoint-field-completeness checkpoint fields survive round trips
 =======  ============================  =======================================
 
+Deep mode (``repro lint --deep``) layers whole-program analysis on
+top: a project call graph (:mod:`repro.lint.callgraph`), an
+interprocedural taint engine (:mod:`repro.lint.taint`), and the flow
+rules RL101–RL105 (:mod:`repro.lint.flows`) — nondeterminism
+source→durable sink tracking with full call-chain traces, all-paths
+atomic-write verification, pool-shared-state and lease-region checks,
+and sorted-set-iteration enforcement.
+
 Scoping is by *zone* (:mod:`repro.lint.zones`); per-line escapes use
 ``# repro-lint: allow[RLxxx] -- justification`` pragmas
 (:mod:`repro.lint.pragmas`). The ``repro lint`` CLI subcommand exposes
-text/JSON output with CI-friendly exit codes (0 clean, 1 findings).
+text/JSON/SARIF output with CI-friendly exit codes (0 clean, 1
+findings).
 """
 
+from .callgraph import CallResolver, FunctionInfo, ProjectIndex
 from .engine import (
     Linter,
     LintReport,
@@ -32,12 +42,20 @@ from .engine import (
     module_name_for,
 )
 from .findings import Finding, finding_at
+from .flows import DEEP_PROJECT_RULES, DEEP_RULES
 from .pragmas import Pragma, collect_pragmas
 from .rules import ALL_RULES, DEFAULT_PROJECT_RULES, DEFAULT_RULES
+from .taint import TaintEngine
 from .zones import DEFAULT_POLICY, DEFAULT_ZONES, Zone, ZonePolicy
 
 __all__ = [
     "ALL_RULES",
+    "CallResolver",
+    "DEEP_PROJECT_RULES",
+    "DEEP_RULES",
+    "FunctionInfo",
+    "ProjectIndex",
+    "TaintEngine",
     "DEFAULT_POLICY",
     "DEFAULT_PROJECT_RULES",
     "DEFAULT_RULES",

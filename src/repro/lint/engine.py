@@ -112,14 +112,14 @@ class LintReport:
     def clean(self) -> bool:
         return not self.findings
 
-    def render(self) -> str:
+    def render(self, with_trace: bool = False) -> str:
         if self.clean:
             return (
                 f"repro lint: clean — {self.files} file(s) scanned, "
                 f"{self.suppressed} finding(s) suppressed by "
                 f"{self.pragmas} documented pragma(s)"
             )
-        lines = [f.render() for f in self.findings]
+        lines = [f.render(with_trace=with_trace) for f in self.findings]
         lines.append(
             f"repro lint: {len(self.findings)} finding(s) in "
             f"{self.files} file(s)"
@@ -134,6 +134,30 @@ class LintReport:
             "suppressed": self.suppressed,
             "findings": [f.to_dict() for f in self.findings],
         }
+
+
+def _known_rule_ids() -> frozenset[str]:
+    """Every rule id the linter ships, shallow and deep."""
+    from .flows import DEEP_PROJECT_RULES, DEEP_RULES
+    from .rules import ALL_RULES
+
+    return frozenset(
+        rule.rule_id
+        for rule in (*ALL_RULES, *DEEP_RULES, *DEEP_PROJECT_RULES)
+    )
+
+
+def _decorator_spans(tree: ast.Module) -> dict[int, int]:
+    """``def``-line → first-decorator-line for decorated definitions."""
+    spans: dict[int, int] = {}
+    for node in ast.walk(tree):
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ) and node.decorator_list:
+            spans[node.lineno] = min(
+                d.lineno for d in node.decorator_list
+            )
+    return spans
 
 
 def _expand(paths: Iterable[Path]) -> list[Path]:
@@ -159,6 +183,7 @@ class Linter:
         rules: Iterable[Rule] | None = None,
         project_rules: Iterable[ProjectRule] | None = None,
         policy: ZonePolicy = DEFAULT_POLICY,
+        deep: bool = False,
     ):
         if rules is None or project_rules is None:
             from .rules import DEFAULT_PROJECT_RULES, DEFAULT_RULES
@@ -169,6 +194,12 @@ class Linter:
         self.rules = list(rules)
         self.project_rules = list(project_rules)
         self.policy = policy
+        self.deep = deep
+        if deep:
+            from .flows import DEEP_PROJECT_RULES, DEEP_RULES
+
+            self.rules.extend(DEEP_RULES)
+            self.project_rules.extend(DEEP_PROJECT_RULES)
 
     def lint(self, paths: Iterable[Path | str]) -> LintReport:
         modules: list[ModuleSource] = []
@@ -197,17 +228,25 @@ class Linter:
             findings.extend(project_rule.check_project(modules))
 
         pragma_index = {str(m.path.resolve()): m.pragmas for m in modules}
+        spans_index = {
+            str(m.path.resolve()): _decorator_spans(m.tree) for m in modules
+        }
         kept, suppressed = [], 0
         for finding in findings:
-            if self._suppressed(finding, pragma_index):
+            if self._suppressed(finding, pragma_index, spans_index):
                 suppressed += 1
             else:
                 kept.append(finding)
+        registered = frozenset(
+            rule.rule_id for rule in (*self.rules, *self.project_rules)
+        )
         total_pragmas = 0
         for module in modules:
             for pragma in module.pragmas:
                 total_pragmas += 1
-                kept.extend(self._pragma_hygiene(module, pragma))
+                kept.extend(
+                    self._pragma_hygiene(module, pragma, registered)
+                )
         kept.sort(key=lambda f: f.sort_key)
         return LintReport(
             findings=kept,
@@ -217,7 +256,10 @@ class Linter:
         )
 
     def _suppressed(
-        self, finding: Finding, pragma_index: dict[str, list[Pragma]]
+        self,
+        finding: Finding,
+        pragma_index: dict[str, list[Pragma]],
+        spans_index: dict[str, dict[int, int]],
     ) -> bool:
         if finding.rule_id == META_RULE_ID:
             return False
@@ -225,17 +267,28 @@ class Linter:
             key = str(Path(finding.path).resolve())
         except OSError:
             key = finding.path
+        spans = spans_index.get(key, {})
         for pragma in pragma_index.get(key, []):
+            if finding.rule_id not in pragma.rules:
+                continue
+            if finding.line <= pragma.target <= finding.end_line:
+                pragma.used.add(finding.rule_id)
+                return True
+            # A pragma on a decorated definition's `def` line also
+            # covers findings the rules attribute to its decorator
+            # lines (a decorator call is part of the definition it
+            # decorates, and the `def` line is where reviewers look).
+            first_decorator = spans.get(pragma.target)
             if (
-                finding.line <= pragma.target <= finding.end_line
-                and finding.rule_id in pragma.rules
+                first_decorator is not None
+                and first_decorator <= finding.line <= pragma.target
             ):
                 pragma.used.add(finding.rule_id)
                 return True
         return False
 
     def _pragma_hygiene(
-        self, module: ModuleSource, pragma: Pragma
+        self, module: ModuleSource, pragma: Pragma, registered: frozenset[str]
     ) -> list[Finding]:
         rules = ",".join(sorted(pragma.rules))
         if not pragma.documented:
@@ -251,6 +304,27 @@ class Linter:
                     ),
                 )
             ]
+        if not pragma.rules & registered:
+            # Every id the pragma names belongs to a rule this run did
+            # not register — e.g. a deep-only RL1xx pragma under the
+            # shallow pass. Only the deep pass can judge it unused; an
+            # id outside the full catalog is still a reportable typo.
+            unknown = pragma.rules - _known_rule_ids()
+            if unknown:
+                return [
+                    Finding(
+                        path=str(module.path),
+                        line=pragma.line,
+                        col=1,
+                        rule_id=META_RULE_ID,
+                        message=(
+                            "pragma names unknown rule id(s) "
+                            f"{','.join(sorted(unknown))}: fix the id "
+                            "or remove the pragma"
+                        ),
+                    )
+                ]
+            return []
         if not pragma.used:
             return [
                 Finding(

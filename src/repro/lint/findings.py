@@ -33,6 +33,9 @@ class Finding:
     #: accepts a pragma anywhere in ``[line, end_line]`` so a trailing
     #: comment on a multi-line call still covers it.
     end_line: int = field(default=0)
+    #: Source→sink call-chain steps for flow findings (deep mode): each
+    #: entry is one hop, ``"qualname (file:line): what happened"``.
+    trace: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.end_line < self.line:
@@ -42,14 +45,20 @@ class Finding:
     def sort_key(self) -> tuple:
         return (self.path, self.line, self.col, self.rule_id)
 
-    def render(self) -> str:
-        return (
+    def render(self, with_trace: bool = False) -> str:
+        head = (
             f"{self.path}:{self.line}:{self.col}: "
             f"{self.rule_id} [{self.severity}] {self.message}"
         )
+        if not (with_trace and self.trace):
+            return head
+        steps = "\n".join(
+            f"    {i}. {step}" for i, step in enumerate(self.trace, start=1)
+        )
+        return f"{head}\n{steps}"
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        data: dict[str, Any] = {
             "path": self.path,
             "line": self.line,
             "col": self.col,
@@ -57,6 +66,9 @@ class Finding:
             "severity": self.severity,
             "message": self.message,
         }
+        if self.trace:
+            data["trace"] = list(self.trace)
+        return data
 
 
 def finding_at(

@@ -1,0 +1,60 @@
+"""Deep (whole-program) flow rules — ``repro lint --deep``.
+
+The per-file rules in :mod:`repro.lint.rules` prove syntactic
+invariants; the rules here prove the *flow* invariants behind them, on
+top of the project call graph (:mod:`repro.lint.callgraph`) and the
+interprocedural taint engine (:mod:`repro.lint.taint`):
+
+=======  ==========================  ====================================
+rule id  name                        invariant
+=======  ==========================  ====================================
+RL101    nondet-reaches-durable      no nondeterministic value reaches a
+                                     checkpoint serializer, registry
+                                     write, or seed derivation — across
+                                     any number of calls
+RL102    atomic-write-all-paths      a temp file written for the atomic
+                                     idiom reaches os.replace/os.link on
+                                     every path, not just some branch
+RL103    pool-shared-mutable-state   pool task functions never mutate
+                                     module-level state (lost on fork,
+                                     divergent across workers)
+RL104    write-outside-lease         per-cell durable writes in the
+                                     distributed layer happen only under
+                                     a claimed lease
+RL105    unordered-set-iteration     sets are iterated via sorted(...)
+                                     in order-sensitive zones
+=======  ==========================  ====================================
+
+``RL102``/``RL104``/``RL105`` are file rules scoped by the zone policy;
+``RL101``/``RL103`` are project rules over the whole scanned set. All
+five register only when the engine runs in deep mode.
+"""
+
+from __future__ import annotations
+
+from .atomic import AtomicAllPathsRule
+from .concurrency import PoolSharedStateRule
+from .leases import LeaseRegionRule
+from .ordering import SetIterationRule
+from .taintflow import TaintFlowRule
+
+DEEP_RULES = (
+    AtomicAllPathsRule(),
+    LeaseRegionRule(),
+    SetIterationRule(),
+)
+
+DEEP_PROJECT_RULES = (
+    TaintFlowRule(),
+    PoolSharedStateRule(),
+)
+
+__all__ = [
+    "DEEP_PROJECT_RULES",
+    "DEEP_RULES",
+    "AtomicAllPathsRule",
+    "LeaseRegionRule",
+    "PoolSharedStateRule",
+    "SetIterationRule",
+    "TaintFlowRule",
+]

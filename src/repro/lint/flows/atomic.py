@@ -1,0 +1,148 @@
+"""RL102 — the atomic-write temp file must be promoted on *all* paths.
+
+The flow-aware RL004 accepts a temp-file write whenever the temp name
+reaches an ``os.replace``/``os.rename``/``os.link`` promotion later in
+the same function — anywhere. That is the right bar for a per-file
+rule, but it accepts this::
+
+    tmp.write_text(payload)
+    if validate(payload):
+        os.replace(tmp, path)      # promoted only when validation passes
+
+A crash-free run through the ``else`` path leaves the temp file
+stranded and the durable artifact stale — readers then trust content
+the writer never promoted. The deep rule checks *path coverage*: every
+write to a temp name must be dominated by some promotion of that name,
+meaning a promotion exists whose conditional context is a prefix of the
+write's own.
+
+Context is the chain of conditional branches around a statement:
+``if``/``elif``/``else`` arms, loop bodies, and ``except`` handlers
+each add a frame; ``try`` bodies, ``finally`` blocks, and ``with``
+bodies are transparent (they execute whenever control reaches them).
+A promotion dominates a write iff its context is a prefix of the
+write's context — same branch path, equal or lower conditional depth.
+
+When a function contains *no* promotion of the name at all, RL004
+already reports it; this rule stays silent to avoid double findings.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import ModuleSource
+from ..findings import Finding, finding_at
+from ..names import ModuleResolver, parent_map
+from ..rules.writes import NonAtomicWriteRule, promoted_name
+
+#: One conditional frame: (id of the branching statement, arm label).
+_Context = tuple[tuple[int, str], ...]
+
+
+def _branch_context(
+    node: ast.AST,
+    parents: dict[ast.AST, ast.AST],
+    scope: ast.AST,
+) -> _Context:
+    """Conditional frames between ``scope``'s body and ``node``."""
+    frames: list[tuple[int, str]] = []
+    child = node
+    current = parents.get(node)
+    while current is not None and current is not scope:
+        if isinstance(current, ast.If):
+            arm = "body" if child in current.body else "orelse"
+            if child in current.body or child in current.orelse:
+                frames.append((id(current), arm))
+        elif isinstance(current, (ast.For, ast.AsyncFor, ast.While)):
+            if child in current.body:
+                frames.append((id(current), "loop"))
+            elif child in current.orelse:
+                frames.append((id(current), "orelse"))
+        elif isinstance(current, ast.ExceptHandler):
+            frames.append((id(current), "except"))
+        # ast.Try bodies/finalbody and ast.With bodies are transparent.
+        child = current
+        current = parents.get(current)
+    return tuple(reversed(frames))
+
+
+def _dominates(promo: _Context, write: _Context) -> bool:
+    return len(promo) <= len(write) and write[: len(promo)] == promo
+
+
+class AtomicAllPathsRule:
+    """RL102: every temp write is dominated by its atomic promotion."""
+
+    rule_id = "RL102"
+    name = "atomic-write-all-paths"
+    summary = (
+        "a temp file of the atomic-write idiom must reach "
+        "os.replace/os.link on every path, not only a conditional one"
+    )
+
+    def __init__(self) -> None:
+        # Reuse RL004's write classifier so both rules agree on what a
+        # durable write looks like.
+        self._writes = NonAtomicWriteRule()
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        resolver = ModuleResolver(module.tree, module=module.module)
+        parents = parent_map(module.tree)
+        for scope in ast.walk(module.tree):
+            if not isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            yield from self._check_function(scope, module, resolver, parents)
+
+    def _check_function(
+        self,
+        scope: ast.FunctionDef | ast.AsyncFunctionDef,
+        module: ModuleSource,
+        resolver: ModuleResolver,
+        parents: dict[ast.AST, ast.AST],
+    ) -> Iterator[Finding]:
+        writes: list[tuple[ast.Call, str]] = []
+        promotions: dict[str, list[_Context]] = {}
+        for node in ast.walk(scope):
+            if not isinstance(node, ast.Call):
+                continue
+            if _enclosing_function(node, parents) is not scope:
+                continue
+            name = promoted_name(node, resolver)
+            if name is not None:
+                promotions.setdefault(name, []).append(
+                    _branch_context(node, parents, scope)
+                )
+                continue
+            message, target = self._writes._classify(node, resolver)
+            if message is not None and target is not None:
+                writes.append((node, target))
+        for node, target in writes:
+            contexts = promotions.get(target)
+            if not contexts:
+                continue  # no promotion at all: RL004's finding, not ours
+            write_ctx = _branch_context(node, parents, scope)
+            if any(_dominates(promo, write_ctx) for promo in contexts):
+                continue
+            yield finding_at(
+                module.path,
+                node,
+                self.rule_id,
+                f"temp file '{target}' is promoted by "
+                "os.replace/os.rename/os.link only on a conditional "
+                "path; a run through the unpromoted branch strands the "
+                "temp file and leaves the durable artifact stale — "
+                "promote on all paths (or clean up and fail loudly)",
+            )
+
+
+def _enclosing_function(
+    node: ast.AST, parents: dict[ast.AST, ast.AST]
+) -> ast.AST | None:
+    current = parents.get(node)
+    while current is not None:
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return current
+        current = parents.get(current)
+    return None

@@ -1,0 +1,122 @@
+"""RL104 — per-cell durable writes happen only under a claimed lease.
+
+The distributed protocol's exclusion story: a worker may write into a
+cell's run directory only between a successful
+``try_acquire_lease(...)`` and the matching ``release_lease(...)``
+(in practice: inside the ``with Heartbeat(lease, ...)`` block, or in a
+helper that receives the claimed lease). A cell write outside that
+region races whichever worker currently holds the cell — exactly the
+corruption the lease file exists to prevent.
+
+The rule applies to ``repro.distrib`` (the lease *implementation*,
+``repro.distrib.lease``, is exempt — it writes the lease files
+themselves). A call to a per-cell durable write method
+(``log_history``/``save_checkpoint``/``finish``/``record_error``/
+``truncate_history``) is compliant when either
+
+* an enclosing ``with`` manages a ``Heartbeat(...)`` / ``*lease*``
+  context, or
+* the enclosing function receives the claim as a parameter named
+  ``lease`` (the convention the worker helpers follow).
+
+Campaign-scope artifacts (the coordinator's manifest) are not per-cell
+and are deliberately out of scope — they are written before any worker
+holds anything.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import ModuleSource
+from ..findings import Finding, finding_at
+from ..names import attr_chain, parent_map
+
+#: Durable write methods that target one cell's run directory.
+CELL_WRITE_METHODS = frozenset(
+    {
+        "log_history",
+        "save_checkpoint",
+        "finish",
+        "record_error",
+        "truncate_history",
+        "save_warm_summaries",
+    }
+)
+
+#: The lease implementation itself is exempt.
+_EXEMPT_MODULES = frozenset({"repro.distrib.lease"})
+
+
+def _lease_context(with_node: ast.With | ast.AsyncWith) -> bool:
+    for item in with_node.items:
+        chain = attr_chain(
+            item.context_expr.func
+            if isinstance(item.context_expr, ast.Call)
+            else item.context_expr
+        )
+        if chain is None:
+            continue
+        tail = chain.split(".")[-1].lower()
+        if "heartbeat" in tail or "lease" in tail:
+            return True
+    return False
+
+
+def _has_lease_param(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> bool:
+    args = func.args
+    names = [a.arg for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)]
+    return any("lease" in name.lower() for name in names)
+
+
+class LeaseRegionRule:
+    """RL104: cell writes in the distributed layer hold the lease."""
+
+    rule_id = "RL104"
+    name = "write-outside-lease"
+    summary = (
+        "per-cell durable writes in repro.distrib must run under a "
+        "claimed lease (with Heartbeat(...) or a lease parameter)"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        if module.module in _EXEMPT_MODULES:
+            return
+        parents = parent_map(module.tree)
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in CELL_WRITE_METHODS
+            ):
+                continue
+            if self._protected(node, parents):
+                continue
+            yield finding_at(
+                module.path,
+                node,
+                self.rule_id,
+                f"per-cell durable write .{node.func.attr}() outside a "
+                "claimed-lease region; another worker may hold this "
+                "cell — perform cell writes inside `with "
+                "Heartbeat(lease, ...)` or in a helper that receives "
+                "the claimed lease",
+            )
+
+    def _protected(
+        self, node: ast.AST, parents: dict[ast.AST, ast.AST]
+    ) -> bool:
+        current = parents.get(node)
+        while current is not None:
+            if isinstance(current, (ast.With, ast.AsyncWith)):
+                if _lease_context(current):
+                    return True
+            elif isinstance(
+                current, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                return _has_lease_param(current)
+            current = parents.get(current)
+        return False

@@ -1,0 +1,230 @@
+"""RL105 — sets are iterated sorted in order-sensitive zones.
+
+``set``/``frozenset`` iteration order depends on the hash seed and the
+full insertion/deletion history — two processes that built "the same"
+set can disagree about it. Any loop whose body's *effect* depends on
+element order (appending, pricing in sequence, feeding an RNG, writing
+output) then silently diverges across runs and machines.
+
+Membership tests, ``len()``, and aggregations are order-insensitive and
+pass; this rule flags only the operations that *observe* the order:
+
+* ``for x in s`` / comprehension generators over a set-typed value,
+* materializations — ``list(s)``, ``tuple(s)``, ``enumerate(s)``,
+  ``"".join(s)``,
+* ``s.pop()`` (removes an arbitrary, order-dependent element).
+
+Set-typedness is inferred locally and conservatively: literals,
+comprehensions, ``set(...)``/``frozenset(...)`` calls, names assigned
+from those in the same scope, set-operator expressions (``|&-^``) over
+them, and parameters/variables annotated ``set[...]``. When the rule
+cannot prove a value is a set, it stays silent — it proves violations,
+it does not guess.
+
+Fix with ``sorted(s)``; when order provably cannot matter, keep the raw
+iteration under a ``# repro-lint: allow[RL105] -- <proof>`` pragma so
+the reasoning survives review.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import ModuleSource
+from ..findings import Finding, finding_at
+from ..names import attr_chain, parent_map
+
+
+def _feeds_sorted(node: ast.AST, parents: dict[ast.AST, ast.AST]) -> bool:
+    parent = parents.get(node)
+    return (
+        isinstance(parent, ast.Call)
+        and isinstance(parent.func, ast.Name)
+        and parent.func.id == "sorted"
+        and bool(parent.args)
+        and parent.args[0] is node
+    )
+
+_SET_CONSTRUCTORS = frozenset({"set", "frozenset"})
+_MATERIALIZERS = frozenset({"list", "tuple", "enumerate", "iter", "reversed"})
+_SET_OPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+
+
+def _is_set_annotation(annotation: ast.expr | None) -> bool:
+    if annotation is None:
+        return False
+    base = (
+        annotation.value
+        if isinstance(annotation, ast.Subscript)
+        else annotation
+    )
+    chain = attr_chain(base)
+    return chain is not None and chain.split(".")[-1] in {
+        "set",
+        "frozenset",
+        "Set",
+        "FrozenSet",
+        "AbstractSet",
+        "MutableSet",
+    }
+
+
+class _ScopeSets:
+    """Set-typed names of one function (or module) scope."""
+
+    def __init__(self, scope: ast.AST) -> None:
+        self.names: set[str] = set()
+        if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = scope.args
+            for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+                if _is_set_annotation(arg.annotation):
+                    self.names.add(arg.arg)
+        # Two passes so chained assignments (b = a; for x in b) resolve.
+        for _ in range(2):
+            for node in _scope_walk(scope):
+                self._visit(node)
+
+    def _visit(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Assign):
+            if self.is_set_expr(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        self.names.add(target.id)
+            else:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        self.names.discard(target.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            if _is_set_annotation(node.annotation) or (
+                node.value is not None and self.is_set_expr(node.value)
+            ):
+                self.names.add(node.target.id)
+        elif isinstance(node, ast.AugAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            # s |= other keeps s a set; s += other never applies to sets.
+            if not isinstance(node.op, _SET_OPS):
+                self.names.discard(node.target.id)
+
+    def is_set_expr(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self.names
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in _SET_CONSTRUCTORS
+        if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_OPS):
+            return self.is_set_expr(node.left) or self.is_set_expr(
+                node.right
+            )
+        if isinstance(node, ast.Attribute):
+            # s.copy(), s.union(...) — only when the receiver is known.
+            return False
+        return False
+
+
+def _scope_walk(scope: ast.AST) -> Iterator[ast.AST]:
+    """Walk a scope without descending into nested function scopes."""
+    # Breadth-first in source order, so assignment effects in _ScopeSets
+    # are applied statement-before-statement at each nesting level.
+    queue = list(ast.iter_child_nodes(scope))
+    while queue:
+        node = queue.pop(0)
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        yield node
+        queue.extend(ast.iter_child_nodes(node))
+
+
+class SetIterationRule:
+    """RL105: iterate sets via sorted() where order can leak out."""
+
+    rule_id = "RL105"
+    name = "unordered-set-iteration"
+    summary = (
+        "set iteration order is hash-seed dependent; iterate "
+        "sorted(s), or pragma with a proof of order-insensitivity"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        parents = parent_map(module.tree)
+        scopes: list[ast.AST] = [module.tree]
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scopes.append(node)
+        for scope in scopes:
+            sets = _ScopeSets(scope)
+            for node in _scope_walk(scope):
+                yield from self._check_node(node, sets, module, parents)
+
+    def _check_node(
+        self,
+        node: ast.AST,
+        sets: _ScopeSets,
+        module: ModuleSource,
+        parents: dict[ast.AST, ast.AST],
+    ) -> Iterator[Finding]:
+        if isinstance(node, (ast.For, ast.AsyncFor)) and sets.is_set_expr(
+            node.iter
+        ):
+            yield self._finding(module, node.iter, "for-loop over")
+        elif isinstance(
+            node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)
+        ):
+            # SetComp over a set is exempt: the result is unordered
+            # again, so no visit order escapes. List/dict/generator
+            # comprehensions materialize it — unless sorted() consumes
+            # the comprehension directly, which pins the order anyway.
+            if _feeds_sorted(node, parents):
+                return
+            for generator in node.generators:
+                if sets.is_set_expr(generator.iter):
+                    yield self._finding(
+                        module, generator.iter, "comprehension over"
+                    )
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Name)
+                and func.id in _MATERIALIZERS
+                and node.args
+                and sets.is_set_expr(node.args[0])
+            ):
+                yield self._finding(
+                    module, node, f"{func.id}() materialization of"
+                )
+            elif (
+                isinstance(func, ast.Attribute)
+                and func.attr == "join"
+                and node.args
+                and sets.is_set_expr(node.args[0])
+            ):
+                yield self._finding(module, node, ".join() over")
+            elif (
+                isinstance(func, ast.Attribute)
+                and func.attr == "pop"
+                and not node.args
+                and isinstance(func.value, ast.Name)
+                and func.value.id in sets.names
+            ):
+                yield self._finding(
+                    module, node, "arbitrary-element .pop() from"
+                )
+
+    def _finding(
+        self, module: ModuleSource, node: ast.AST, what: str
+    ) -> Finding:
+        return finding_at(
+            module.path,
+            node,
+            self.rule_id,
+            f"{what} a set: element order depends on the hash seed and "
+            "insertion history and differs across processes — iterate "
+            "sorted(...) instead, or pragma with a proof that order "
+            "cannot matter",
+        )

@@ -24,7 +24,7 @@ from typing import Iterator
 
 from ..engine import ModuleSource
 from ..findings import Finding, finding_at
-from ..names import ImportMap, call_qualname
+from ..names import ModuleResolver
 
 WALL_CLOCK_CALLS = frozenset(
     {
@@ -55,11 +55,11 @@ class WallClockRule:
     )
 
     def check(self, module: ModuleSource) -> Iterator[Finding]:
-        imports = ImportMap.from_tree(module.tree)
+        resolver = ModuleResolver(module.tree, module=module.module)
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.Call):
                 continue
-            qual = call_qualname(node, imports)
+            qual = resolver.qualname(node)
             if qual in WALL_CLOCK_CALLS:
                 yield finding_at(
                     module.path,

@@ -21,7 +21,7 @@ from typing import Iterator
 
 from ..engine import ModuleSource
 from ..findings import Finding, finding_at
-from ..names import ImportMap, attr_chain, call_qualname, parent_map
+from ..names import ModuleResolver, attr_chain, parent_map
 
 #: Fully-qualified scan functions.
 SCAN_FUNCS = frozenset(
@@ -52,12 +52,12 @@ class UnsortedScanRule:
     )
 
     def check(self, module: ModuleSource) -> Iterator[Finding]:
-        imports = ImportMap.from_tree(module.tree)
+        resolver = ModuleResolver(module.tree, module=module.module)
         parents = parent_map(module.tree)
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.Call):
                 continue
-            label = self._scan_label(node, imports)
+            label = self._scan_label(node, resolver)
             if label is None:
                 continue
             if self._is_sorted(node, parents):
@@ -72,9 +72,9 @@ class UnsortedScanRule:
             )
 
     def _scan_label(
-        self, node: ast.Call, imports: ImportMap
+        self, node: ast.Call, resolver: ModuleResolver
     ) -> str | None:
-        qual = call_qualname(node, imports)
+        qual = resolver.qualname(node)
         if qual in SCAN_FUNCS:
             return f"{qual}()"
         if (

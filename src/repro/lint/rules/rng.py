@@ -23,7 +23,7 @@ from typing import Iterator
 
 from ..engine import ModuleSource
 from ..findings import Finding, finding_at
-from ..names import ImportMap, call_qualname
+from ..names import ModuleResolver
 
 #: ``random`` module functions that act on the hidden global generator.
 GLOBAL_RANDOM_FNS = frozenset(
@@ -75,51 +75,57 @@ class UnseededRngRule:
     )
 
     def check(self, module: ModuleSource) -> Iterator[Finding]:
-        imports = ImportMap.from_tree(module.tree)
+        resolver = ModuleResolver(module.tree, module=module.module)
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.Call):
                 continue
-            qual = call_qualname(node, imports)
+            qual = resolver.qualname(node)
             if qual is None:
                 continue
-            message = self._classify(qual, node)
+            message = classify_unseeded(qual, node)
             if message is not None:
                 yield finding_at(module.path, node, self.rule_id, message)
 
-    def _classify(self, qual: str, node: ast.Call) -> str | None:
-        argless = not node.args and not node.keywords
-        if qual == "random.Random":
-            if argless:
-                return (
-                    "argless random.Random() seeds from OS entropy; pass "
-                    "a derived seed (see repro.runs.seeds.derive_seed)"
-                )
-            return None
-        if qual == "random.SystemRandom":
+
+def classify_unseeded(qual: str, node: ast.Call) -> str | None:
+    """Why a resolved call is an unseeded-entropy draw, or None.
+
+    Shared with the taint engine, whose ``rng`` source detection is
+    exactly this classification applied outside the deterministic zone.
+    """
+    argless = not node.args and not node.keywords
+    if qual == "random.Random":
+        if argless:
             return (
-                "random.SystemRandom draws OS entropy and cannot be "
-                "seeded; use random.Random(derived_seed)"
-            )
-        if qual.startswith("random."):
-            tail = qual[len("random."):]
-            if tail in GLOBAL_RANDOM_FNS:
-                return (
-                    f"{qual}() draws from the hidden process-global RNG; "
-                    "use a seeded random.Random instance threaded in as "
-                    "an rng parameter"
-                )
-            return None
-        if qual.startswith("numpy.random."):
-            tail = qual[len("numpy.random."):]
-            if tail in _NUMPY_SANCTIONED:
-                if argless:
-                    return (
-                        f"argless {qual}() seeds from OS entropy; pass a "
-                        "derived seed"
-                    )
-                return None
-            return (
-                f"{qual}() draws from numpy's global RandomState; use a "
-                "seeded numpy.random.Generator instance"
+                "argless random.Random() seeds from OS entropy; pass "
+                "a derived seed (see repro.runs.seeds.derive_seed)"
             )
         return None
+    if qual == "random.SystemRandom":
+        return (
+            "random.SystemRandom draws OS entropy and cannot be "
+            "seeded; use random.Random(derived_seed)"
+        )
+    if qual.startswith("random."):
+        tail = qual[len("random."):]
+        if tail in GLOBAL_RANDOM_FNS:
+            return (
+                f"{qual}() draws from the hidden process-global RNG; "
+                "use a seeded random.Random instance threaded in as "
+                "an rng parameter"
+            )
+        return None
+    if qual.startswith("numpy.random."):
+        tail = qual[len("numpy.random."):]
+        if tail in _NUMPY_SANCTIONED:
+            if argless:
+                return (
+                    f"argless {qual}() seeds from OS entropy; pass a "
+                    "derived seed"
+                )
+            return None
+        return (
+            f"{qual}() draws from numpy's global RandomState; use a "
+            "seeded numpy.random.Generator instance"
+        )
+    return None

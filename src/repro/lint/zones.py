@@ -56,6 +56,18 @@ DURABLE_PACKAGES = (
     "repro.distrib",
 )
 
+#: Module trees where *iteration order* leaks into results: everything
+#: deterministic, plus the graph/partition models feeding it and the
+#: parallel backend that fans evaluation out.
+ORDER_SENSITIVE_PACKAGES = DETERMINISTIC_PACKAGES + (
+    "repro.graphs",
+    "repro.partition",
+    "repro.parallel",
+)
+
+#: Deep-only rule ids live in the same zone table as the per-file ones;
+#: they simply match no registered rule unless the engine runs with
+#: ``deep=True``, so the policy stays a single source of truth.
 DEFAULT_ZONES = (
     Zone(
         name="deterministic",
@@ -65,7 +77,17 @@ DEFAULT_ZONES = (
     Zone(
         name="durable",
         prefixes=DURABLE_PACKAGES,
-        rules=("RL004",),
+        rules=("RL004", "RL102"),
+    ),
+    Zone(
+        name="lease-protocol",
+        prefixes=("repro.distrib",),
+        rules=("RL104",),
+    ),
+    Zone(
+        name="order-sensitive",
+        prefixes=ORDER_SENSITIVE_PACKAGES,
+        rules=("RL105",),
     ),
 )
 

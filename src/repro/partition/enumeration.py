@@ -88,6 +88,8 @@ def _candidate_subgraphs(
                 queue.append(grown)
     connected = [
         s
+        # repro-lint: allow[RL105] -- the filter is per-element and the
+        # result is re-sorted by a total key (size, members) on return
         for s in explored
         if len(s) == 1 or len(weakly_connected_components(graph, s)) == 1
     ]

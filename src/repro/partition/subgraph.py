@@ -18,7 +18,11 @@ def weakly_connected_components(
     Union-find keeps this near-linear; it runs on every operator output.
     """
     members = set(members)
-    parent = {n: n for n in members}
+    # Union in sorted order so the union-find's internal roots (and the
+    # resulting bucket layout) are identical across processes — set
+    # iteration order is hash-seed dependent.
+    ordered = sorted(members)
+    parent = {n: n for n in ordered}
 
     def find(node: str) -> str:
         root = node
@@ -28,14 +32,14 @@ def weakly_connected_components(
             parent[node], node = root, parent[node]
         return root
 
-    for node in members:
+    for node in ordered:
         for other in graph.predecessors(node):
             if other in members:
                 ra, rb = find(node), find(other)
                 if ra != rb:
                     parent[ra] = rb
     buckets: dict[str, set[str]] = {}
-    for node in members:
+    for node in ordered:
         buckets.setdefault(find(node), set()).add(node)
     topo_index = graph.topo_index()
     components = [frozenset(c) for c in buckets.values()]
@@ -65,7 +69,7 @@ def quotient_reachable(
     used to decide whether merging two subgraphs would create a cycle.
     """
     adjacency: dict[int, list[int]] = {}
-    for a, b in edges:
+    for a, b in sorted(edges):
         if skip_direct and (a, b) == (start, target):
             continue
         adjacency.setdefault(a, []).append(b)

@@ -65,8 +65,6 @@ def _write_atomic(path: Path, text: str) -> None:
     contents are identical because cell execution is deterministic.
     """
     tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}-{uuid.uuid4().hex[:8]}")
-    # repro-lint: allow[RL004] -- this IS the atomic-write idiom: the
-    # unique private temp that os.replace promotes on the next line
     tmp.write_text(text)
     os.replace(tmp, path)
 

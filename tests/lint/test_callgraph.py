@@ -1,0 +1,305 @@
+"""Call-graph construction and call-site resolution (deep mode)."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.lint.callgraph import CallResolver, ProjectIndex
+from repro.lint.engine import ModuleSource
+
+
+def build_index(files: dict[str, str]) -> ProjectIndex:
+    modules = [
+        ModuleSource.from_source(
+            textwrap.dedent(source), module=name, path=f"{name}.py"
+        )
+        for name, source in files.items()
+    ]
+    return ProjectIndex.build(modules)
+
+
+def calls_in(index: ProjectIndex, qualname: str) -> list[ast.Call]:
+    func = index.functions[qualname]
+    return [
+        node
+        for node in ast.walk(func.node)
+        if isinstance(node, ast.Call)
+    ]
+
+
+def resolve_single_call(index: ProjectIndex, qualname: str) -> str | None:
+    resolver = CallResolver(index, index.functions[qualname])
+    (call,) = calls_in(index, qualname)
+    target = resolver.resolve(call)
+    return target.qualname if target is not None else None
+
+
+class TestIndexing:
+    def test_functions_methods_and_classes_are_indexed(self):
+        index = build_index(
+            {
+                "repro.mod": """
+                    def helper():
+                        return 1
+
+                    class Engine:
+                        def run(self):
+                            return helper()
+                """
+            }
+        )
+        assert "repro.mod.helper" in index.functions
+        assert "repro.mod.Engine" in index.classes
+        assert "repro.mod.Engine.run" in index.functions
+        assert index.functions["repro.mod.Engine.run"].owner == "repro.mod.Engine"
+
+    def test_attr_types_from_dataclass_annotation_and_init(self):
+        index = build_index(
+            {
+                "repro.mod": """
+                    from dataclasses import dataclass
+
+                    class Clock:
+                        def now(self):
+                            return 0.0
+
+                    @dataclass
+                    class Config:
+                        clock: Clock
+
+                    class Engine:
+                        def __init__(self):
+                            self.clock = Clock()
+                """
+            }
+        )
+        assert index.classes["repro.mod.Config"].attr_types == {
+            "clock": "repro.mod.Clock"
+        }
+        assert index.classes["repro.mod.Engine"].attr_types == {
+            "clock": "repro.mod.Clock"
+        }
+
+    def test_optional_and_union_annotations_unwrap(self):
+        index = build_index(
+            {
+                "repro.mod": """
+                    from typing import Optional
+
+                    class Clock:
+                        pass
+
+                    class A:
+                        c: Optional[Clock]
+
+                    class B:
+                        c: Clock | None
+
+                    class C:
+                        c: "Clock"
+                """
+            }
+        )
+        for name in ("A", "B", "C"):
+            assert index.classes[f"repro.mod.{name}"].attr_types == {
+                "c": "repro.mod.Clock"
+            }, name
+
+
+class TestResolution:
+    def test_module_level_function(self):
+        index = build_index(
+            {
+                "repro.mod": """
+                    def helper():
+                        return 1
+
+                    def caller():
+                        return helper()
+                """
+            }
+        )
+        assert resolve_single_call(index, "repro.mod.caller") == (
+            "repro.mod.helper"
+        )
+
+    def test_nested_def_resolves_innermost_first(self):
+        index = build_index(
+            {
+                "repro.mod": """
+                    def helper():
+                        return "outer"
+
+                    def caller():
+                        def helper():
+                            return "inner"
+                        return helper()
+                """
+            }
+        )
+        # the call inside caller() binds the nested def, not the
+        # module-level one
+        resolver = CallResolver(index, index.functions["repro.mod.caller"])
+        calls = calls_in(index, "repro.mod.caller")
+        (call,) = [c for c in calls]
+        assert resolver.resolve(call).qualname == "repro.mod.caller.helper"
+
+    def test_cross_module_from_import(self):
+        index = build_index(
+            {
+                "repro.util": """
+                    def token():
+                        return 1
+                """,
+                "repro.mod": """
+                    from repro.util import token
+
+                    def caller():
+                        return token()
+                """,
+            }
+        )
+        assert resolve_single_call(index, "repro.mod.caller") == (
+            "repro.util.token"
+        )
+
+    def test_cross_module_relative_import(self):
+        index = build_index(
+            {
+                "repro.util.ids": """
+                    def token():
+                        return 1
+                """,
+                "repro.util.caller": """
+                    from .ids import token
+
+                    def go():
+                        return token()
+                """,
+            }
+        )
+        assert resolve_single_call(index, "repro.util.caller.go") == (
+            "repro.util.ids.token"
+        )
+
+    def test_self_method_and_inherited_method(self):
+        index = build_index(
+            {
+                "repro.mod": """
+                    class Base:
+                        def shared(self):
+                            return 1
+
+                    class Child(Base):
+                        def caller(self):
+                            return self.shared()
+                """
+            }
+        )
+        assert resolve_single_call(index, "repro.mod.Child.caller") == (
+            "repro.mod.Base.shared"
+        )
+
+    def test_annotated_parameter_method(self):
+        index = build_index(
+            {
+                "repro.mod": """
+                    class Registry:
+                        def finish(self):
+                            return 1
+
+                    def run(registry: Registry):
+                        return registry.finish()
+                """
+            }
+        )
+        assert resolve_single_call(index, "repro.mod.run") == (
+            "repro.mod.Registry.finish"
+        )
+
+    def test_constructor_assignment_local(self):
+        index = build_index(
+            {
+                "repro.mod": """
+                    class Registry:
+                        def finish(self):
+                            return 1
+
+                    def run():
+                        registry = Registry()
+                        return registry.finish()
+                """
+            }
+        )
+        resolver = CallResolver(index, index.functions["repro.mod.run"])
+        calls = calls_in(index, "repro.mod.run")
+        finish = [
+            c for c in calls if isinstance(c.func, ast.Attribute)
+        ]
+        (call,) = finish
+        assert resolver.resolve(call).qualname == "repro.mod.Registry.finish"
+
+    def test_self_attribute_method_chain(self):
+        index = build_index(
+            {
+                "repro.mod": """
+                    class Clock:
+                        def now(self):
+                            return 0.0
+
+                    class Engine:
+                        clock: Clock
+
+                        def tick(self):
+                            return self.clock.now()
+                """
+            }
+        )
+        assert resolve_single_call(index, "repro.mod.Engine.tick") == (
+            "repro.mod.Clock.now"
+        )
+
+    def test_unknown_receiver_resolves_to_none(self):
+        index = build_index(
+            {
+                "repro.mod": """
+                    def run(thing):
+                        return thing.finish()
+                """
+            }
+        )
+        assert resolve_single_call(index, "repro.mod.run") is None
+
+    def test_parameter_shadowing_unanchors(self):
+        index = build_index(
+            {
+                "repro.mod": """
+                    def helper():
+                        return 1
+
+                    def run(helper):
+                        return helper()
+                """
+            }
+        )
+        # the parameter shadows the module-level def: no edge, no guess
+        assert resolve_single_call(index, "repro.mod.run") is None
+
+    def test_resolve_reference_for_bare_function_argument(self):
+        index = build_index(
+            {
+                "repro.mod": """
+                    def task(x):
+                        return x
+
+                    def run(pool, items):
+                        return pool.map(task, items)
+                """
+            }
+        )
+        resolver = CallResolver(index, index.functions["repro.mod.run"])
+        calls = calls_in(index, "repro.mod.run")
+        (call,) = calls
+        target = resolver.resolve_reference(call.args[0], at=call)
+        assert target is not None and target.qualname == "repro.mod.task"

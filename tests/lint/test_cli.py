@@ -92,6 +92,87 @@ class TestRealTree:
         assert "error:" in out
 
 
+class TestDeepMode:
+    def test_shipped_source_is_deep_clean(self, capsys):
+        # The acceptance gate for the whole PR: the interprocedural
+        # pass (call-graph taint, all-paths atomic writes, pool/lease
+        # rules) reports nothing on the tree we ship.
+        package_root = Path(repro.__file__).parent
+        code, out = run_cli(capsys, "lint", "--deep", str(package_root))
+        assert code == 0, out
+        assert "clean" in out
+
+    def test_deep_finding_with_trace_prints_the_chain(self, capsys, tmp_path):
+        root = tmp_path / "tree"
+        seed_tree(
+            root,
+            {
+                "repro/util/ids.py": """
+                    import random
+
+                    def token():
+                        return random.random()
+                """,
+                "repro/runs/checkpoint.py": """
+                    def ga_checkpoint_to_dict(state):
+                        return {"state": state}
+                """,
+                "repro/runs/save.py": """
+                    from repro.runs.checkpoint import ga_checkpoint_to_dict
+                    from repro.util.ids import token
+
+                    def persist():
+                        return ga_checkpoint_to_dict({"id": token()})
+                """,
+            },
+        )
+        code, out = run_cli(capsys, "lint", "--deep", "--trace", str(root))
+        assert code == 1
+        assert "RL101" in out
+        # numbered hop list under the finding, source first
+        assert "1." in out and "random.random" in out
+        assert "ga_checkpoint_to_dict" in out
+
+    def test_shallow_pass_misses_what_deep_catches(self, capsys, tmp_path):
+        root = tmp_path / "tree"
+        seed_tree(
+            root,
+            {
+                "repro/runs/store.py": """
+                    import os
+
+                    def save(path, payload):
+                        tmp = path.with_name(path.name + ".tmp")
+                        tmp.write_text(payload)
+                        if payload:
+                            os.replace(tmp, path)
+                """,
+            },
+        )
+        shallow_code, _ = run_cli(capsys, "lint", str(root))
+        deep_code, out = run_cli(capsys, "lint", "--deep", str(root))
+        assert shallow_code == 0
+        assert deep_code == 1
+        assert "RL102" in out
+
+    def test_sarif_output_is_valid(self, capsys):
+        package_root = Path(repro.__file__).parent
+        code, out = run_cli(
+            capsys, "lint", "--format", "sarif", str(package_root)
+        )
+        assert code == 0
+        doc = json.loads(out)
+        assert doc["version"] == "2.1.0"
+        assert doc["runs"][0]["tool"]["driver"]["name"] == "repro-lint"
+
+    def test_list_rules_includes_deep_rules(self, capsys):
+        code, out = run_cli(capsys, "lint", "--list-rules")
+        assert code == 0
+        for rule_id in ("RL101", "RL102", "RL103", "RL104", "RL105"):
+            assert rule_id in out
+        assert "deep" in out
+
+
 class TestSeededViolations:
     def test_each_rule_fires_with_position(self, capsys, tmp_path):
         root = tmp_path / "tree"

@@ -34,14 +34,20 @@ class TestModuleNames:
 
 class TestZoneScoping:
     def test_deterministic_zone_rules(self):
+        # RL105 is deep-only: present in the policy (single source of
+        # truth) but inert until the engine registers the flow rules.
         assert DEFAULT_POLICY.rules_for("repro.ga.engine") == frozenset(
-            {"RL001", "RL002", "RL003"}
+            {"RL001", "RL002", "RL003", "RL105"}
         )
 
     def test_durable_zone_adds_rl004(self):
         assert DEFAULT_POLICY.rules_for("repro.runs.registry") == frozenset(
-            {"RL001", "RL002", "RL003", "RL004"}
+            {"RL001", "RL002", "RL003", "RL004", "RL102", "RL105"}
         )
+
+    def test_lease_zone_adds_rl104(self):
+        assert "RL104" in DEFAULT_POLICY.rules_for("repro.distrib.worker")
+        assert "RL104" not in DEFAULT_POLICY.rules_for("repro.runs.registry")
 
     def test_presentation_code_is_outside_all_zones(self):
         assert DEFAULT_POLICY.rules_for("repro.viz.tables") == frozenset()
@@ -86,6 +92,45 @@ class TestSuppression:
             }
         )
         assert Linter().lint([root]).clean
+
+    def test_def_line_pragma_covers_decorator_line_findings(
+        self, fixture_tree
+    ):
+        # the violation sits on the decorator line (line 4), the pragma
+        # on the `def` line (line 5) where reviewers look; retargeting
+        # must reach *backward* across the decorator span
+        root = fixture_tree(
+            {
+                "repro/ga/mod.py": (
+                    "import time\n"
+                    "def register(tag):\n"
+                    "    return lambda f: f\n"
+                    "@register(time.time())\n"
+                    "def f():  # repro-lint: allow[RL002] -- fixture tag\n"
+                    "    pass\n"
+                )
+            }
+        )
+        report = Linter().lint([root])
+        assert report.clean
+        assert report.suppressed == 1
+
+    def test_def_line_pragma_does_not_cover_body_findings(
+        self, fixture_tree
+    ):
+        root = fixture_tree(
+            {
+                "repro/ga/mod.py": (
+                    "import time\n"
+                    "def f():  # repro-lint: allow[RL002] -- wrong place\n"
+                    "    return time.time()\n"
+                )
+            }
+        )
+        report = Linter().lint([root])
+        ids = sorted(f.rule_id for f in report.findings)
+        # the read still fires and the pragma is reported unused
+        assert ids == [META_RULE_ID, "RL002"]
 
     def test_wrong_rule_id_does_not_suppress(self, fixture_tree):
         root = fixture_tree(

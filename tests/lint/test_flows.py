@@ -1,0 +1,406 @@
+"""The deep flow rules: RL102 atomic-all-paths, RL103 pool state,
+RL104 lease regions, RL105 set iteration.
+
+The RL102 conditional-promotion tests are the second acceptance check
+for deep mode: the shallow RL004 accepts any write whose temp name is
+promoted *somewhere* in the function, so a promotion hidden behind a
+branch is invisible to it — and exactly what RL102 reports.
+"""
+
+from __future__ import annotations
+
+from repro.lint.engine import Linter
+from repro.lint.flows import DEEP_PROJECT_RULES, DEEP_RULES
+
+
+def deep_findings(fixture_tree, files: dict[str, str]):
+    report = Linter(deep=True).lint([fixture_tree(files)])
+    return report
+
+
+#: The seeded RL102 mutation: the temp file reaches os.replace only
+#: when validation passes; the else path strands it. RL004 (shallow)
+#: accepts this — the promotion exists — so only the deep pass can
+#: object.
+CONDITIONAL_PROMOTION = {
+    "repro/runs/store.py": """
+        import os
+
+        def save(path, payload):
+            tmp = path.with_name(path.name + ".tmp")
+            tmp.write_text(payload)
+            if payload:
+                os.replace(tmp, path)
+    """
+}
+
+
+class TestAtomicAllPaths:
+    def test_conditional_promotion_is_invisible_to_shallow_rules(
+        self, fixture_tree
+    ):
+        root = fixture_tree(CONDITIONAL_PROMOTION)
+        assert Linter().lint([root]).clean
+
+    def test_deep_pass_reports_the_unpromoted_branch(self, fixture_tree):
+        report = deep_findings(fixture_tree, CONDITIONAL_PROMOTION)
+        (finding,) = report.findings
+        assert finding.rule_id == "RL102"
+        assert "tmp" in finding.message
+        assert "conditional" in finding.message
+
+    def test_unconditional_promotion_passes(self, fixture_tree):
+        report = deep_findings(
+            fixture_tree,
+            {
+                "repro/runs/store.py": """
+                    import os
+
+                    def save(path, payload):
+                        tmp = path.with_name(path.name + ".tmp")
+                        tmp.write_text(payload)
+                        os.replace(tmp, path)
+                """
+            },
+        )
+        assert report.clean
+
+    def test_promotion_in_same_branch_passes(self, fixture_tree):
+        # write and promotion share the conditional context: every path
+        # that writes also promotes
+        report = deep_findings(
+            fixture_tree,
+            {
+                "repro/runs/store.py": """
+                    import os
+
+                    def save(path, payload):
+                        tmp = path.with_name(path.name + ".tmp")
+                        if payload:
+                            tmp.write_text(payload)
+                            os.replace(tmp, path)
+                """
+            },
+        )
+        assert report.clean
+
+    def test_promotion_in_other_arm_is_reported(self, fixture_tree):
+        report = deep_findings(
+            fixture_tree,
+            {
+                "repro/runs/store.py": """
+                    import os
+
+                    def save(path, payload, fallback):
+                        tmp = path.with_name(path.name + ".tmp")
+                        tmp.write_text(payload)
+                        if fallback:
+                            tmp.unlink()
+                        else:
+                            os.replace(tmp, path)
+                """
+            },
+        )
+        (finding,) = report.findings
+        assert finding.rule_id == "RL102"
+
+    def test_try_body_is_transparent(self, fixture_tree):
+        # try bodies execute whenever control reaches them — a
+        # promotion inside `try` dominates a write before it
+        report = deep_findings(
+            fixture_tree,
+            {
+                "repro/runs/store.py": """
+                    import os
+
+                    def save(path, payload):
+                        tmp = path.with_name(path.name + ".tmp")
+                        tmp.write_text(payload)
+                        try:
+                            os.replace(tmp, path)
+                        except OSError:
+                            tmp.unlink()
+                            raise
+                """
+            },
+        )
+        assert report.clean
+
+    def test_unpromoted_write_is_rl004_not_rl102(self, fixture_tree):
+        # no promotion anywhere: the shallow rule owns the finding and
+        # the deep rule stays silent (no double report)
+        report = deep_findings(
+            fixture_tree,
+            {
+                "repro/runs/store.py": """
+                    def save(path, payload):
+                        tmp = path.with_name(path.name + ".tmp")
+                        tmp.write_text(payload)
+                """
+            },
+        )
+        assert [f.rule_id for f in report.findings] == ["RL004"]
+
+
+class TestPoolSharedState:
+    def test_task_function_mutating_module_state_is_reported(
+        self, fixture_tree
+    ):
+        report = deep_findings(
+            fixture_tree,
+            {
+                "repro/parallel/tasks.py": """
+                    CACHE = {}
+
+                    def task(x):
+                        CACHE[x] = x
+                        return x
+
+                    def run(pool, items):
+                        return list(pool.map(task, items))
+                """
+            },
+        )
+        ids = [f.rule_id for f in report.findings]
+        assert "RL103" in ids
+        (finding,) = [f for f in report.findings if f.rule_id == "RL103"]
+        assert "CACHE" in finding.message
+        assert "task" in finding.message
+
+    def test_mutation_in_transitive_callee_is_reported(self, fixture_tree):
+        report = deep_findings(
+            fixture_tree,
+            {
+                "repro/parallel/tasks.py": """
+                    SEEN = []
+
+                    def record(x):
+                        SEEN.append(x)
+
+                    def task(x):
+                        record(x)
+                        return x
+
+                    def run(pool, items):
+                        return list(pool.map(task, items))
+                """
+            },
+        )
+        (finding,) = [f for f in report.findings if f.rule_id == "RL103"]
+        assert "record" in finding.message
+        assert "reached from pool task" in finding.message
+
+    def test_initializer_functions_are_exempt(self, fixture_tree):
+        report = deep_findings(
+            fixture_tree,
+            {
+                "repro/parallel/tasks.py": """
+                    from concurrent.futures import ProcessPoolExecutor
+
+                    STATE = {}
+
+                    def warm():
+                        STATE["ready"] = True
+
+                    def task(x):
+                        return STATE.get("ready"), x
+
+                    def run(items):
+                        with ProcessPoolExecutor(initializer=warm) as pool:
+                            return list(pool.map(task, items))
+                """
+            },
+        )
+        assert report.clean
+
+    def test_local_shadowing_is_not_a_mutation(self, fixture_tree):
+        report = deep_findings(
+            fixture_tree,
+            {
+                "repro/parallel/tasks.py": """
+                    CACHE = {}
+
+                    def task(x):
+                        CACHE = {}
+                        CACHE[x] = x
+                        return x
+
+                    def run(pool, items):
+                        return list(pool.map(task, items))
+                """
+            },
+        )
+        assert report.clean
+
+
+class TestLeaseRegions:
+    def test_cell_write_outside_lease_is_reported(self, fixture_tree):
+        report = deep_findings(
+            fixture_tree,
+            {
+                "repro/distrib/rogue.py": """
+                    def record(registry, row):
+                        registry.log_history(row)
+                """
+            },
+        )
+        (finding,) = report.findings
+        assert finding.rule_id == "RL104"
+        assert ".log_history()" in finding.message
+
+    def test_lease_parameter_protects(self, fixture_tree):
+        report = deep_findings(
+            fixture_tree,
+            {
+                "repro/distrib/worker_helper.py": """
+                    def record(lease, registry, row):
+                        registry.log_history(row)
+                """
+            },
+        )
+        assert report.clean
+
+    def test_heartbeat_with_block_protects(self, fixture_tree):
+        report = deep_findings(
+            fixture_tree,
+            {
+                "repro/distrib/runner.py": """
+                    from repro.distrib.heartbeat import Heartbeat
+
+                    def run(claim, registry, row):
+                        with Heartbeat(claim):
+                            registry.log_history(row)
+                """
+            },
+        )
+        assert report.clean
+
+    def test_same_write_outside_distrib_is_not_rl104(self, fixture_tree):
+        # the rule is scoped to repro.distrib by the zone policy
+        report = deep_findings(
+            fixture_tree,
+            {
+                "repro/runs/local.py": """
+                    def record(registry, row):
+                        registry.log_history(row)
+                """
+            },
+        )
+        assert "RL104" not in [f.rule_id for f in report.findings]
+
+
+class TestSetIteration:
+    def test_for_loop_over_set_is_reported(self, fixture_tree):
+        report = deep_findings(
+            fixture_tree,
+            {
+                "repro/ga/walk.py": """
+                    def walk(names):
+                        pending = set(names)
+                        out = []
+                        for name in pending:
+                            out.append(name)
+                        return out
+                """
+            },
+        )
+        (finding,) = report.findings
+        assert finding.rule_id == "RL105"
+        assert "hash seed" in finding.message
+
+    def test_sorted_iteration_passes(self, fixture_tree):
+        report = deep_findings(
+            fixture_tree,
+            {
+                "repro/ga/walk.py": """
+                    def walk(names):
+                        pending = set(names)
+                        return [name for name in sorted(pending)]
+                """
+            },
+        )
+        assert report.clean
+
+    def test_membership_and_aggregation_pass(self, fixture_tree):
+        report = deep_findings(
+            fixture_tree,
+            {
+                "repro/ga/walk.py": """
+                    def walk(names, probe):
+                        pending = set(names)
+                        return probe in pending, len(pending)
+                """
+            },
+        )
+        assert report.clean
+
+    def test_materializers_and_pop_are_reported(self, fixture_tree):
+        report = deep_findings(
+            fixture_tree,
+            {
+                "repro/ga/walk.py": """
+                    def walk(names):
+                        pending = {n for n in names}
+                        first = pending.pop()
+                        rest = list(pending)
+                        return first, rest
+                """
+            },
+        )
+        assert [f.rule_id for f in report.findings] == ["RL105", "RL105"]
+
+    def test_set_annotation_on_parameter_is_tracked(self, fixture_tree):
+        report = deep_findings(
+            fixture_tree,
+            {
+                "repro/ga/walk.py": """
+                    def walk(names: set[str]):
+                        return [n for n in names]
+                """
+            },
+        )
+        (finding,) = report.findings
+        assert finding.rule_id == "RL105"
+
+    def test_outside_order_sensitive_zone_is_silent(self, fixture_tree):
+        report = deep_findings(
+            fixture_tree,
+            {
+                "repro/viz/render.py": """
+                    def walk(names):
+                        return list(set(names))
+                """
+            },
+        )
+        assert report.clean
+
+    def test_pragma_with_proof_suppresses(self, fixture_tree):
+        report = deep_findings(
+            fixture_tree,
+            {
+                "repro/ga/walk.py": """
+                    def walk(names):
+                        total = set(names)
+                        for name in total:  # repro-lint: allow[RL105] -- summed, order-free
+                            yield name
+                """
+            },
+        )
+        assert report.clean
+        assert report.suppressed == 1
+
+
+class TestRegistration:
+    def test_deep_rules_register_only_in_deep_mode(self):
+        shallow = Linter()
+        deep = Linter(deep=True)
+        deep_ids = {
+            rule.rule_id for rule in (*DEEP_RULES, *DEEP_PROJECT_RULES)
+        }
+        assert deep_ids == {"RL101", "RL102", "RL103", "RL104", "RL105"}
+        shallow_ids = {
+            r.rule_id for r in (*shallow.rules, *shallow.project_rules)
+        }
+        registered = {r.rule_id for r in (*deep.rules, *deep.project_rules)}
+        assert not (deep_ids & shallow_ids)
+        assert deep_ids <= registered

@@ -1,0 +1,170 @@
+"""Name-resolution corner cases: relative imports, alias chains,
+parameter shadowing."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.lint.names import ImportMap, ModuleResolver, absolutize
+
+
+def resolver_for(source: str, module: str, is_package: bool = False):
+    tree = ast.parse(textwrap.dedent(source))
+    return tree, ModuleResolver(tree, module=module, is_package=is_package)
+
+
+def first_call(tree: ast.AST) -> ast.Call:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            return node
+    raise AssertionError("no call in fixture")
+
+
+class TestAbsolutize:
+    def test_absolute_names_pass_through(self):
+        assert absolutize("time.time", "repro.ga.engine") == "time.time"
+        assert absolutize(None, "repro.ga.engine") is None
+
+    def test_single_dot_is_the_containing_package(self):
+        assert absolutize(".seeds.derive_seed", "repro.runs.suite") == (
+            "repro.runs.seeds.derive_seed"
+        )
+
+    def test_double_dot_climbs_one_package(self):
+        assert absolutize("..runs.seeds.derive_seed", "repro.distrib.worker") == (
+            "repro.runs.seeds.derive_seed"
+        )
+
+    def test_package_init_counts_as_its_own_package(self):
+        # in repro/runs/__init__.py, `.seeds` means repro.runs.seeds
+        assert absolutize(".seeds", "repro.runs", is_package=True) == (
+            "repro.runs.seeds"
+        )
+        # in repro/runs/suite.py (a module), `.seeds` means the same
+        assert absolutize(".seeds", "repro.runs.suite") == "repro.runs.seeds"
+
+    def test_climbing_past_the_root_is_none(self):
+        assert absolutize("....x", "repro.runs.suite") is None
+
+
+class TestRelativeImports:
+    def test_from_dot_import_resolves_through_module_name(self):
+        tree, resolver = resolver_for(
+            """
+            from .seeds import derive_seed
+
+            def go(key):
+                return derive_seed(0, key)
+            """,
+            module="repro.runs.suite",
+        )
+        call = first_call(tree)
+        assert resolver.qualname(call) == "repro.runs.seeds.derive_seed"
+
+    def test_from_dotdot_import_resolves(self):
+        tree, resolver = resolver_for(
+            """
+            from ..runs import seeds
+
+            def go(key):
+                return seeds.derive_seed(0, key)
+            """,
+            module="repro.distrib.worker",
+        )
+        call = first_call(tree)
+        assert resolver.qualname(call) == "repro.runs.seeds.derive_seed"
+
+
+class TestAliasChains:
+    def test_import_x_y_as_z_attribute_chain(self):
+        tree, resolver = resolver_for(
+            """
+            import numpy.random as npr
+
+            def go():
+                return npr.randint(3)
+            """,
+            module="repro.ga.engine",
+        )
+        call = first_call(tree)
+        assert resolver.qualname(call) == "numpy.random.randint"
+
+    def test_plain_import_x_y_binds_only_the_root(self):
+        imports = ImportMap.from_tree(ast.parse("import numpy.random\n"))
+        assert imports.resolve("numpy.random.randint") == (
+            "numpy.random.randint"
+        )
+        assert imports.resolve("random.randint") is None
+
+    def test_deep_alias_chain_keeps_the_tail(self):
+        tree, resolver = resolver_for(
+            """
+            import os.path as osp
+
+            def go(p):
+                return osp.exists(p)
+            """,
+            module="repro.ga.engine",
+        )
+        call = first_call(tree)
+        assert resolver.qualname(call) == "os.path.exists"
+
+
+class TestParameterShadowing:
+    def test_parameter_shadows_import_binding(self):
+        tree, resolver = resolver_for(
+            """
+            import random
+
+            def sample(random):
+                return random.shuffle([1, 2])
+            """,
+            module="repro.ga.engine",
+        )
+        call = first_call(tree)
+        # the parameter un-anchors the chain: this is NOT the stdlib
+        assert resolver.qualname(call) is None
+
+    def test_unshadowed_sibling_still_resolves(self):
+        tree, resolver = resolver_for(
+            """
+            import random
+
+            def sample(rng):
+                return random.shuffle([1, 2])
+            """,
+            module="repro.ga.engine",
+        )
+        call = first_call(tree)
+        assert resolver.qualname(call) == "random.shuffle"
+
+    def test_lambda_parameters_shadow_too(self):
+        tree, resolver = resolver_for(
+            """
+            import random
+
+            f = lambda random: random.random()
+            """,
+            module="repro.ga.engine",
+        )
+        call = first_call(tree)
+        assert resolver.qualname(call) is None
+
+    def test_shadowing_is_scoped_to_the_function(self):
+        tree, resolver = resolver_for(
+            """
+            import random
+
+            def inner(random):
+                return random.random()
+
+            x = random.random()
+            """,
+            module="repro.ga.engine",
+        )
+        calls = [n for n in ast.walk(tree) if isinstance(n, ast.Call)]
+        resolved = sorted(
+            str(resolver.qualname(call)) for call in calls
+        )
+        assert resolved == ["None", "random.random"]
