@@ -64,6 +64,9 @@ TARGET_SPEEDUP = 3.0
 TARGET_BATCH_SPEEDUP = 2.0
 #: A committed-baseline speedup may degrade by at most this factor.
 REGRESSION_TOLERANCE = 2.0
+#: Telemetry (sink active, events streaming to disk) may slow the
+#: generation loop by at most this fraction.
+TELEMETRY_OVERHEAD_CEILING = 0.05
 
 _PRICE_MEMORIES = (
     MemoryConfig.separate(mb(1), kb(1152)),
@@ -337,6 +340,82 @@ def stage_generations(
     }
 
 
+def stage_telemetry(
+    graph, accel, population: int, generations: int, seed: int, reps: int
+) -> dict:
+    """Telemetry overhead: the generation loop with the sink on vs off.
+
+    Runs the same short GA twice — once with an active
+    :class:`repro.obs.TelemetrySink` streaming events to a real file,
+    once with telemetry disabled (no sink, the production default for
+    library use) — asserting bit-identical search results and measuring
+    the enabled path's wall-clock overhead. ``overhead`` is the
+    fractional slowdown (0.02 = 2%); the observability acceptance bar
+    is < 5%.
+    """
+    import os
+    import tempfile
+
+    from repro.obs import TelemetrySink, activate
+
+    def run(sink):
+        problem = OptimizationProblem(
+            evaluator=Evaluator(graph, accel),
+            metric=Metric.EMA,
+            alpha=None,
+            fixed_memory=paper_memory(),
+        )
+        config = GAConfig(
+            population_size=population, generations=generations, seed=seed
+        )
+        t0 = time.perf_counter()
+        with activate(sink):
+            result = GeneticEngine(problem, config).run()
+        return result, time.perf_counter() - t0
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "telemetry.jsonl")
+
+        def timed(enabled: bool) -> float:
+            sink = TelemetrySink(path) if enabled else None
+            try:
+                return run(sink)[1]
+            finally:
+                if sink is not None:
+                    sink.close()
+
+        check_sink = TelemetrySink(path)
+        on_result, _ = run(check_sink)
+        check_sink.close()
+        off_result, _ = run(None)
+        if (
+            on_result.best_cost != off_result.best_cost
+            or on_result.history != off_result.history
+            or on_result.num_evaluations != off_result.num_evaluations
+            or on_result.best_genome.key() != off_result.best_genome.key()
+        ):
+            raise AssertionError("telemetry bent the search trajectory")
+        if check_sink.events_written == 0:
+            raise AssertionError("telemetry stage emitted no events")
+
+        t_on = _best_of(reps, lambda: timed(True))
+        t_off = _best_of(reps, lambda: timed(False))
+
+    evaluations = on_result.num_evaluations
+    return {
+        "ops": evaluations,
+        "fast_ops_per_sec": evaluations / t_off,
+        "enabled_ops_per_sec": evaluations / t_on,
+        "events_per_run": check_sink.events_written,
+        "overhead": t_on / t_off - 1.0,
+        # Uniform shape with the other stages (and harmless if this
+        # stage ever lands in a committed baseline): disabled vs
+        # enabled, ~1.0 when telemetry is free.
+        "speedup": t_on / t_off,
+        "reference_ops_per_sec": evaluations / t_on,
+    }
+
+
 # ---------------------------------------------------------------------------
 def measure(
     model: str = "resnet50",
@@ -358,6 +437,9 @@ def measure(
             graph, accel, population, seed, reps
         ),
         "generations": stage_generations(
+            graph, accel, population, generations, seed, reps
+        ),
+        "telemetry": stage_telemetry(
             graph, accel, population, generations, seed, reps
         ),
     }
@@ -428,6 +510,15 @@ def test_population_eval_speedup(once):
         f"expected >= {TARGET_BATCH_SPEEDUP}x batched population pricing "
         f"over the incremental path, measured {batch['speedup']:.2f}x"
     )
+    telemetry = report["stages"]["telemetry"]
+    sys.stderr.write(
+        f"[bench_evaluator] telemetry: {telemetry['overhead']:+.1%} "
+        f"overhead, {telemetry['events_per_run']} events/run\n"
+    )
+    assert telemetry["overhead"] < TELEMETRY_OVERHEAD_CEILING, (
+        f"telemetry overhead {telemetry['overhead']:.1%} exceeds the "
+        f"{TELEMETRY_OVERHEAD_CEILING:.0%} ceiling"
+    )
 
 
 def test_quick_identity(once):
@@ -436,6 +527,7 @@ def test_quick_identity(once):
                   num_subgraphs=30, reps=1)
     assert set(report["stages"]) == {
         "profile", "price", "population", "population_batch", "generations",
+        "telemetry",
     }
     for stage in report["stages"].values():
         assert stage["speedup"] > 0

@@ -260,6 +260,13 @@ def budgeted_phase(workdir: Path, env: dict) -> int:
     print(f"victim SIGKILLed mid-islands-cell at {checkpointed} evaluations; "
           f"orphaned lease: {(islands_dir / 'lease.json').exists()}")
 
+    # 2b. observability post-mortem: the dead worker's telemetry stream
+    # must have survived the SIGKILL (modulo a torn final line), and the
+    # dashboard + metrics exporter must render from the corpse registry.
+    code = observability_postmortem(shared, islands_dir, env)
+    if code != 0:
+        return code
+
     # 3. two concurrent budgeted survivors: reclaim, resume the
     # composite checkpoint mid-search, finish the campaign at budget.
     survivors = [
@@ -305,6 +312,85 @@ def budgeted_phase(workdir: Path, env: dict) -> int:
         return 1
     print(f"OK: budgeted islands+two-step kill/resume report bit-identical "
           f"to clean run ({len(clean_rows)} rows, exactly {BUDGET} samples)")
+    return 0
+
+
+def observability_postmortem(
+    shared: Path, victim_dir: Path, env: dict
+) -> int:
+    """Telemetry survives a SIGKILL; dash/metrics render post-mortem."""
+    telemetry = victim_dir / "telemetry.jsonl"
+    if not telemetry.exists():
+        print("FAIL: SIGKILLed worker left no telemetry stream")
+        return 1
+    text = telemetry.read_text()
+    lines = text.splitlines()
+    if lines and not text.endswith("\n"):
+        lines = lines[:-1]  # a torn final line is the designed loss
+    records = []
+    for line in lines:
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            print(f"FAIL: corrupt complete telemetry line: {line!r}")
+            return 1
+        if not isinstance(record, dict):
+            print(f"FAIL: non-object telemetry record: {line!r}")
+            return 1
+        records.append(record)
+    if not records:
+        print("FAIL: telemetry stream has no complete records")
+        return 1
+    kinds = [r.get("kind") for r in records]
+    if "lease.claim" not in kinds:
+        print(f"FAIL: no lease.claim event in telemetry: {kinds}")
+        return 1
+    print(f"telemetry survived the SIGKILL: {len(records)} complete "
+          f"record(s), kinds {sorted(set(kinds))}")
+
+    # The worker registry has no coordinator manifest, so dash and
+    # export-metrics take the matrix by explicit flags — the same way
+    # the workers themselves were launched.
+    dash = subprocess.run(
+        [sys.executable, "-m", "repro.cli.main", "dash", "--once",
+         *BUDGET_MATRIX_ARGS, "--budget", str(BUDGET),
+         "--registry", str(shared)],
+        env=env, capture_output=True, text=True,
+    )
+    if dash.returncode != 0:
+        print(f"FAIL: dash --once exited {dash.returncode}:\n{dash.stderr}")
+        return 1
+    if "campaign:" not in dash.stdout or "vgg16/" not in dash.stdout:
+        print(f"FAIL: dash --once frame looks wrong:\n{dash.stdout}")
+        return 1
+    print("dash --once rendered the post-mortem registry")
+
+    export = subprocess.run(
+        [sys.executable, "-m", "repro.cli.main", "export-metrics",
+         *BUDGET_MATRIX_ARGS, "--budget", str(BUDGET),
+         "--registry", str(shared),
+         "--out", str(shared / "postmortem")],
+        env=env, capture_output=True, text=True,
+    )
+    if export.returncode != 0:
+        print(f"FAIL: export-metrics exited {export.returncode}:\n"
+              f"{export.stderr}")
+        return 1
+    prom = shared / "postmortem.prom"
+    snapshot = shared / "postmortem.json"
+    if not prom.exists() or not snapshot.exists():
+        print("FAIL: export-metrics wrote no snapshot files")
+        return 1
+    if "repro_campaign_cells" not in prom.read_text():
+        print("FAIL: Prometheus snapshot is missing campaign metrics")
+        return 1
+    if json.loads(snapshot.read_text()).get("telemetry", {}).get(
+        "events", 0
+    ) < len(records):
+        print("FAIL: metrics snapshot undercounts telemetry events")
+        return 1
+    print("export-metrics rendered the post-mortem registry "
+          f"({prom.name}, {snapshot.name})")
     return 0
 
 

@@ -443,6 +443,34 @@ def _suite_matrix(args: argparse.Namespace):
     )
 
 
+def _campaign_target(args: argparse.Namespace):
+    """Resolve (matrix, budget) from flags or the registry manifest.
+
+    Shared by every command that *observes* someone else's campaign
+    (``worker``, ``suite --status``, ``dash``, ``export-metrics``):
+    explicit ``--networks`` flags win, otherwise the coordinator's
+    ``campaign.json`` manifest is read; either way an omitted
+    ``--budget`` falls back to the manifest's (running uncapped against
+    a budgeted fleet, or rendering a budgeted campaign as unbudgeted,
+    would disagree with every other participant's schedule).
+    """
+    from ..distrib.coordinator import read_manifest
+
+    budget = args.budget
+    if args.networks:
+        matrix = _suite_matrix(args)
+        if budget is None:
+            try:
+                _, budget = read_manifest(args.registry)
+            except ConfigError:
+                pass  # no coordinator manifest: genuinely unbudgeted
+    else:
+        matrix, manifest_budget = read_manifest(args.registry)
+        if budget is None:
+            budget = manifest_budget
+    return matrix, budget
+
+
 def cmd_suite(args: argparse.Namespace) -> tuple[str, int]:
     """``repro suite`` — run (or resume) a sharded experiment campaign.
 
@@ -476,20 +504,28 @@ def cmd_suite(args: argparse.Namespace) -> tuple[str, int]:
     if args.status:
         # Status is a pure read of someone else's campaign: prefer the
         # coordinator's manifest over retyped (and easily mistyped)
-        # matrix flags, exactly as `repro worker` does.
-        from ..distrib.coordinator import read_manifest
-        from ..viz.campaign import campaign_snapshot, render_campaign
+        # matrix flags, exactly as `repro worker` does. Both formats
+        # fold the registry through the same aggregation path
+        # (obs.aggregate.build_view wraps the table's snapshot), so the
+        # JSON view and the human table can never disagree.
+        import json as _json
 
-        budget = args.budget
-        if args.networks:
-            matrix = _suite_matrix(args)
+        from ..obs.aggregate import build_view
+        from ..obs.metrics import campaign_metrics, write_metrics
+        from ..viz.campaign import render_campaign
+
+        matrix, budget = _campaign_target(args)
+        view = build_view(matrix, registry, budget=budget)
+        if args.format == "json":
+            text = _json.dumps(
+                campaign_metrics(view), indent=2, sort_keys=True
+            )
         else:
-            matrix, manifest_budget = read_manifest(args.registry)
-            if budget is None:
-                budget = manifest_budget
-        return render_campaign(
-            campaign_snapshot(matrix, registry, budget=budget)
-        ), 0
+            text = render_campaign(list(view.statuses))
+        if args.metrics_out:
+            prom, snapshot = write_metrics(view, args.metrics_out)
+            text += f"\nmetrics: {prom}, {snapshot}"
+        return text, 0
 
     matrix = _suite_matrix(args)
     if args.report_only:
@@ -530,6 +566,13 @@ def cmd_suite(args: argparse.Namespace) -> tuple[str, int]:
     if args.export:
         path = write_result(outcome.report, args.export)
         lines.append(f"exported to {path}")
+    if args.metrics_out:
+        from ..obs.metrics import export_metrics
+
+        prom, snapshot = export_metrics(
+            matrix, registry, args.metrics_out, budget=args.budget
+        )
+        lines.append(f"metrics: {prom}, {snapshot}")
     return "\n".join(lines), 1 if outcome.failed or outcome.exhausted else 0
 
 
@@ -542,28 +585,13 @@ def cmd_worker(args: argparse.Namespace) -> str:
     (or ``--max-idle`` elapses with nothing claimable), then prints a
     summary of the cells it ran, resumed, and reclaimed.
     """
-    from ..distrib.coordinator import read_manifest
     from ..distrib.worker import (
         WorkerConfig,
         default_worker_id,
         run_worker,
     )
 
-    budget = args.budget
-    if args.networks:
-        matrix = _suite_matrix(args)
-        if budget is None:
-            # Explicit matrix flags must not silently shed the fleet's
-            # budget: a worker running uncapped would blow through the
-            # deterministic schedule every other participant computes.
-            try:
-                _, budget = read_manifest(args.registry)
-            except ConfigError:
-                pass  # no coordinator manifest: genuinely unbudgeted
-    else:
-        matrix, manifest_budget = read_manifest(args.registry)
-        if budget is None:
-            budget = manifest_budget
+    matrix, budget = _campaign_target(args)
     config = WorkerConfig(
         worker_id=args.worker_id or default_worker_id(),
         lease_ttl=args.ttl,
@@ -573,6 +601,56 @@ def cmd_worker(args: argparse.Namespace) -> str:
     )
     summary = run_worker(matrix, args.registry, config, budget=budget)
     return summary.render()
+
+
+def cmd_dash(args: argparse.Namespace) -> str:
+    """``repro dash`` — live terminal dashboard over a campaign.
+
+    A pure observer: reads the same registry bytes every worker trusts
+    (histories, leases, telemetry streams, results) and renders
+    convergence sparklines, the cell status table, fleet health, and
+    budget totals. ``--once`` prints a single frame — the post-mortem
+    mode for finished or killed campaigns and for CI logs; without it
+    the screen refreshes every ``--interval`` seconds until
+    interrupted.
+    """
+    from ..obs.aggregate import build_view
+    from ..obs.dash import render_dashboard, run_dash
+    from ..runs.registry import RunRegistry
+
+    matrix, budget = _campaign_target(args)
+    if args.once:
+        view = build_view(matrix, RunRegistry(args.registry), budget=budget)
+        return render_dashboard(view, width=args.width)
+    try:
+        frames = run_dash(
+            matrix, args.registry, budget=budget, interval=args.interval,
+            frames=args.frames, width=args.width,
+        )
+    except KeyboardInterrupt:
+        return "dashboard stopped"
+    return f"dashboard stopped after {frames} frame(s)"
+
+
+def cmd_export_metrics(args: argparse.Namespace) -> str:
+    """``repro export-metrics`` — snapshot campaign metrics to disk.
+
+    Writes ``PREFIX.prom`` (Prometheus textfile exposition, ready for
+    the node-exporter textfile collector) and ``PREFIX.json`` (the same
+    numbers as one JSON object). Works while the campaign runs and
+    after it is dead — the snapshot is a pure function of whatever
+    registry bytes survived.
+    """
+    from pathlib import Path as _Path
+
+    from ..obs.metrics import export_metrics
+
+    matrix, budget = _campaign_target(args)
+    prefix = args.out or str(_Path(args.registry) / "metrics")
+    prom, snapshot = export_metrics(
+        matrix, args.registry, prefix, budget=budget
+    )
+    return f"wrote {prom}\nwrote {snapshot}"
 
 
 def cmd_lint(args: argparse.Namespace) -> tuple[str, int]:

@@ -10,6 +10,27 @@ from ..experiments.common import SCALES
 from . import commands
 
 
+def _add_matrix_flags(parser: argparse.ArgumentParser) -> None:
+    """Campaign-matrix flags shared by worker/dash/export-metrics.
+
+    ``--networks`` stays optional on all three: omitting it reads the
+    coordinator's ``campaign.json`` manifest from the registry instead.
+    """
+    parser.add_argument("--networks", default=None,
+                        help="comma list of zoo models; omit to read "
+                             "the coordinator's campaign.json manifest")
+    parser.add_argument("--modes", default="separate")
+    parser.add_argument("--metrics", default="energy")
+    parser.add_argument("--schemes", default="cocco")
+    parser.add_argument("--bytes-per-element", default="1")
+    parser.add_argument("--alphas", default="0.002")
+    parser.add_argument("--scale", choices=sorted(SCALES), default="quick")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--budget", type=int, default=None,
+                        help="campaign sample budget (omit to read the "
+                             "manifest)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the full CLI parser."""
     parser = argparse.ArgumentParser(
@@ -176,6 +197,16 @@ def build_parser() -> argparse.ArgumentParser:
     suite.add_argument("--status", action="store_true",
                        help="print the live campaign status table and "
                             "exit (no work is run)")
+    suite.add_argument("--format", choices=("text", "json"),
+                       default="text",
+                       help="--status output format: the human table, "
+                            "or the full aggregated campaign view as "
+                            "JSON (same numbers the dashboard and "
+                            "metrics exporter read)")
+    suite.add_argument("--metrics-out",
+                       help="after the run (or with --status), export "
+                            "the campaign metrics snapshot to "
+                            "PREFIX.prom + PREFIX.json")
     suite.add_argument("--gc", action="store_true",
                        help="drop stale checkpoint/lease files of "
                             "completed runs in --registry, report "
@@ -189,19 +220,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     worker.add_argument("--registry", required=True,
                         help="shared run-registry directory")
-    worker.add_argument("--networks", default=None,
-                        help="comma list of zoo models; omit to read "
-                             "the coordinator's campaign.json manifest")
-    worker.add_argument("--modes", default="separate")
-    worker.add_argument("--metrics", default="energy")
-    worker.add_argument("--schemes", default="cocco")
-    worker.add_argument("--bytes-per-element", default="1")
-    worker.add_argument("--alphas", default="0.002")
-    worker.add_argument("--scale", choices=sorted(SCALES), default="quick")
-    worker.add_argument("--seed", type=int, default=0)
-    worker.add_argument("--budget", type=int, default=None,
-                        help="campaign sample budget (must match the "
-                             "other workers'; omit to read the manifest)")
+    _add_matrix_flags(worker)
     worker.add_argument("--worker-id", default=None,
                         help="stable worker identity (default: host-pid)")
     worker.add_argument("--ttl", type=float, default=30.0,
@@ -213,6 +232,39 @@ def build_parser() -> argparse.ArgumentParser:
     worker.add_argument("--max-idle", type=float, default=None,
                         help="exit after this many consecutive idle "
                              "seconds (default: wait for peers forever)")
+
+    dash = sub.add_parser(
+        "dash",
+        help="live terminal dashboard over a campaign registry: "
+             "per-cell convergence sparklines, lease/status table, "
+             "fleet health, budget spend — works on running and "
+             "dead/finished campaigns alike",
+    )
+    dash.add_argument("--registry", required=True,
+                      help="run-registry directory to watch")
+    _add_matrix_flags(dash)
+    dash.add_argument("--interval", type=float, default=2.0,
+                      help="seconds between refreshes")
+    dash.add_argument("--once", action="store_true",
+                      help="render a single frame and exit (CI and "
+                           "post-mortem use; no screen clearing)")
+    dash.add_argument("--frames", type=int, default=None,
+                      help="stop after N refreshes (default: run until "
+                           "interrupted)")
+    dash.add_argument("--width", type=int, default=32,
+                      help="sparkline width in columns")
+
+    export_metrics = sub.add_parser(
+        "export-metrics",
+        help="export a campaign metrics snapshot: Prometheus textfile "
+             "(PREFIX.prom) + JSON (PREFIX.json)",
+    )
+    export_metrics.add_argument("--registry", required=True,
+                                help="run-registry directory to probe")
+    _add_matrix_flags(export_metrics)
+    export_metrics.add_argument("--out", default=None,
+                                help="output path prefix (default: "
+                                     "<registry>/metrics)")
 
     lint = sub.add_parser(
         "lint",
@@ -248,6 +300,8 @@ _HANDLERS = {
     "experiment": commands.cmd_experiment,
     "suite": commands.cmd_suite,
     "worker": commands.cmd_worker,
+    "dash": commands.cmd_dash,
+    "export-metrics": commands.cmd_export_metrics,
     "lint": commands.cmd_lint,
 }
 

@@ -41,6 +41,7 @@ from typing import Iterable, Sequence
 
 from ..config import AcceleratorConfig, BufferMode, MemoryConfig
 from ..graphs.graph import ComputationGraph
+from ..obs import span
 from .bandwidth import BandwidthReport, bandwidth_report
 from .ema import (
     DEFAULT_TILE_CANDIDATES,
@@ -631,14 +632,15 @@ class Evaluator:
         from .batch import price_population
 
         cold = [key for key in order if key[0] not in self._profiles]
-        priced = price_population(self, cold, mem_of)
-        self.num_batch_priced += len(priced)
-        for key in order:
-            summary = priced.get(key)
-            if summary is not None:
-                self._store_summary(key, summary)
-            else:
-                self._subgraph_summary(key[0], mem_of[key[1]], key[1])
+        with span("evaluator.batch", keys=len(order), cold=len(cold)):
+            priced = price_population(self, cold, mem_of)
+            self.num_batch_priced += len(priced)
+            for key in order:
+                summary = priced.get(key)
+                if summary is not None:
+                    self._store_summary(key, summary)
+                else:
+                    self._subgraph_summary(key[0], mem_of[key[1]], key[1])
         if timed:
             elapsed = time.perf_counter() - started
             nested = (

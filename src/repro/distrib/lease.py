@@ -46,6 +46,7 @@ import time
 import uuid
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Callable
 
 from ..runs.registry import LEASE_FILENAME
 from .clock import Clock
@@ -65,6 +66,14 @@ class LeaseInfo:
     acquired_at: float
     heartbeat: float
     ttl: float
+    #: Optional heartbeat enrichment: the owner's cumulative evaluation
+    #: counter at its last renewal — status views and the dashboard
+    #: derive per-worker throughput from it, not just liveness. Absent
+    #: (``None``) on freshly acquired leases and on files written by
+    #: older workers.
+    evals_done: int | None = None
+    #: When the owning worker started (its clock), for throughput rates.
+    started_at: float | None = None
 
     def age(
         self, now: float | None = None, clock: Clock = time.time
@@ -93,16 +102,21 @@ class Lease:
     via: str = "fresh"
 
 
-def _encode(lease: Lease, heartbeat: float) -> str:
-    return json.dumps(
-        {
-            "owner": lease.owner,
-            "nonce": lease.nonce,
-            "acquired_at": lease.acquired_at,
-            "heartbeat": heartbeat,
-            "ttl": lease.ttl,
-        }
-    )
+def _encode(
+    lease: Lease, heartbeat: float, extra: dict | None = None
+) -> str:
+    body = {
+        "owner": lease.owner,
+        "nonce": lease.nonce,
+        "acquired_at": lease.acquired_at,
+        "heartbeat": heartbeat,
+        "ttl": lease.ttl,
+    }
+    if extra:
+        # Enrichment keys (progress counters) must never mask the
+        # protocol fields a peer's expiry/steal logic reads.
+        body.update({k: v for k, v in extra.items() if k not in body})
+    return json.dumps(body)
 
 
 def read_lease(run_dir: str | Path) -> LeaseInfo | None:
@@ -124,6 +138,16 @@ def read_lease(run_dir: str | Path) -> LeaseInfo | None:
             acquired_at=data["acquired_at"],
             heartbeat=data["heartbeat"],
             ttl=data["ttl"],
+            evals_done=(
+                int(data["evals_done"])
+                if isinstance(data.get("evals_done"), (int, float))
+                else None
+            ),
+            started_at=(
+                float(data["started_at"])
+                if isinstance(data.get("started_at"), (int, float))
+                else None
+            ),
         )
     except (KeyError, TypeError):
         return None
@@ -235,7 +259,10 @@ def try_acquire_lease(
 
 
 def renew_lease(
-    lease: Lease, now: float | None = None, clock: Clock = time.time
+    lease: Lease,
+    now: float | None = None,
+    clock: Clock = time.time,
+    extra: dict | None = None,
 ) -> bool:
     """Refresh the heartbeat; False when the lease is no longer ours.
 
@@ -243,6 +270,10 @@ def renew_lease(
     *not* an abort signal — the cell's execution stays valid, it has
     merely become a duplicate of the thief's. Callers just stop renewing
     and skip the release.
+
+    ``extra`` enriches the lease body with observational progress keys
+    (``evals_done``, ``started_at``) that status views and the
+    dashboard read; the protocol itself never consults them.
     """
     current = read_lease(lease.path.parent)
     if current is None or current.nonce != lease.nonce:
@@ -254,7 +285,7 @@ def renew_lease(
     tmp = lease.path.with_name(
         f"{lease.path.name}.tmp-{os.getpid()}-{lease.nonce[:8]}"
     )
-    tmp.write_text(_encode(lease, heartbeat=now))
+    tmp.write_text(_encode(lease, heartbeat=now, extra=extra))
     os.replace(tmp, lease.path)
     return True
 
@@ -301,19 +332,35 @@ class Heartbeat:
         lease: Lease,
         interval: float | None = None,
         clock: Clock = time.time,
+        progress: "Callable[[], dict] | None" = None,
     ):
         self.lease = lease
         self.interval = (
             interval if interval is not None else max(0.05, lease.ttl / 4.0)
         )
         self.clock = clock
+        #: Optional zero-argument callable sampled at every renewal; its
+        #: dict enriches the lease body (``evals_done`` and friends).
+        #: Purely observational — a raising callable degrades to a plain
+        #: heartbeat, never to a lost lease.
+        self.progress = progress
         self.lost = False
         self._stop = threading.Event()
         self._thread = threading.Thread(target=self._loop, daemon=True)
 
+    def _extra(self) -> dict | None:
+        if self.progress is None:
+            return None
+        try:
+            return self.progress()
+        except Exception:
+            return None
+
     def _loop(self) -> None:
         while not self._stop.wait(self.interval):
-            if not renew_lease(self.lease, clock=self.clock):
+            if not renew_lease(
+                self.lease, clock=self.clock, extra=self._extra()
+            ):
                 self.lost = True
                 return
 

@@ -32,8 +32,10 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
 
+from ..obs import TELEMETRY_FILENAME, TelemetrySink
 from ..runs.registry import CHECKPOINT_FILENAME, RunRegistry
 from ..runs.suite import SuiteCellTask, SuiteMatrix
+from ..viz.campaign import tail_jsonl
 from .budget import campaign_finished, campaign_progress, claimable_cells
 from .clock import Clock
 from .lease import Heartbeat, release_lease, try_acquire_lease
@@ -116,6 +118,8 @@ def run_worker(
     task = SuiteCellTask(matrix, registry_root, eval_workers=config.eval_workers)
     summary = WorkerSummary(worker_id=config.worker_id)
     idle_since: float | None = None
+    started_at = config.clock()
+    evals_total = 0
 
     while True:
         progress = campaign_progress(registry, cells, matrix.seed)
@@ -148,20 +152,63 @@ def run_worker(
         cell, cap, lease, run_dir = claimed
         if lease.via == "stolen":
             summary.leases_reclaimed += 1
-        if (run_dir / CHECKPOINT_FILENAME).exists():
+        resumed = (run_dir / CHECKPOINT_FILENAME).exists()
+        if resumed:
             summary.cells_resumed += 1
         summary.cells_run += 1
+
+        def progress_snapshot() -> dict:
+            # Heartbeat enrichment: cumulative evaluations = finished
+            # cells' totals plus the live cell's streamed count. Read
+            # from the durable history tail, so the number a peer sees
+            # is exactly what a resume would trust.
+            tail = tail_jsonl(run_dir / "history.jsonl") or {}
+            current = tail.get("evaluations")
+            return {
+                "evals_done": evals_total + (
+                    current if isinstance(current, int) else 0
+                ),
+                "started_at": started_at,
+            }
+
+        sink = TelemetrySink(run_dir / TELEMETRY_FILENAME, clock=config.clock)
+        sink.emit(
+            "lease.claim",
+            cell=cell.cell_id,
+            owner=config.worker_id,
+            via=lease.via,
+            resumed=resumed,
+        )
+        if cap is not None:
+            sink.emit(
+                "budget.grant",
+                cell=cell.cell_id,
+                cap=cap,
+                budget=budget,
+            )
+        beat = Heartbeat(
+            lease, config.heartbeat_interval, clock=config.clock,
+            progress=progress_snapshot,
+        )
         try:
-            with Heartbeat(
-                lease, config.heartbeat_interval, clock=config.clock
-            ):
+            with beat:
                 row = task((cell, cap))
         finally:
             # Release even on unexpected errors; a durable result/error
             # marker (when one was written) is what peers actually
             # trust. An unreleased lease would merely cost one TTL.
-            release_lease(lease)
+            released = release_lease(lease)
+            sink.emit(
+                "lease.release",
+                cell=cell.cell_id,
+                owner=config.worker_id,
+                released=released,
+                lost=beat.lost,
+            )
+            sink.close()
         status = row.get("status")
+        if isinstance(row.get("num_evaluations"), int):
+            evals_total += row["num_evaluations"]
         if status == "complete":
             summary.cells_completed += 1
         elif status == "failed":

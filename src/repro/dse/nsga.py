@@ -27,6 +27,7 @@ from ..ga.genome import Genome
 from ..ga.mutation import merge_subgraph, modify_node, mutate_dse, split_subgraph
 from ..ga.population import initialize_population
 from ..ga.problem import OptimizationProblem
+from ..obs import emit
 from ..parallel.backend import EvaluationBackend, cached_map, resolve_backend
 from ..parallel.tasks import ParetoCostTask
 from ..search_space import CapacitySpace
@@ -434,6 +435,11 @@ def _nsga2(
         if reference[0] != float("inf"):
             first = [combined[i] for i in fronts[0]]
             history.append((generation, hypervolume(first, reference)))
+        emit(
+            "nsga.generation",
+            generation=generation,
+            evaluations=archive.evaluations,
+        )
         if on_generation is not None:
             on_generation(snapshot(generation))
 

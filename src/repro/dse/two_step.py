@@ -33,6 +33,7 @@ from ..errors import SearchError
 from ..ga.engine import EngineCheckpoint, GAConfig, GeneticEngine, SampleRecord
 from ..ga.genome import Genome
 from ..ga.problem import OptimizationProblem
+from ..obs import emit
 from ..parallel.backend import EvaluationBackend, resolve_backend
 from ..search_space import CapacitySpace
 from .results import DSEResult
@@ -234,6 +235,14 @@ def _two_step_inner(
         def hook(state: EngineCheckpoint, index: int = index) -> None:
             nonlocal last_generation
             last_generation = state.generation
+            emit(
+                "two_step.candidate",
+                method=method_name,
+                candidate=index,
+                generation=state.generation,
+                evaluations=cumulative + state.evaluations,
+                best_cost=state.best_cost,
+            )
             if on_checkpoint is not None:
                 on_checkpoint(
                     TwoStepCheckpoint(

@@ -24,6 +24,7 @@ import random
 from dataclasses import dataclass, field
 
 from ..errors import SearchError
+from ..obs import emit
 from ..parallel.backend import EvaluationBackend
 from .engine import GAResult, SampleRecord
 from .genome import Genome
@@ -192,9 +193,17 @@ def simulated_annealing(
                 history.append((evaluations, best_cost))
         temperature *= cooling
         step = step_index + 1
-        if on_step is not None and step % config.checkpoint_interval == 0:
-            on_step(snapshot(step))
-            emitted_at = step
+        if step % config.checkpoint_interval == 0:
+            emit(
+                "sa.step",
+                step=step,
+                evaluations=evaluations,
+                best_cost=best_cost,
+                temperature=temperature,
+            )
+            if on_step is not None:
+                on_step(snapshot(step))
+                emitted_at = step
 
     if on_step is not None and emitted_at != step:
         # The run stopped between interval marks (final step, or the

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from ..errors import SearchError
+from ..obs import emit
 from ..parallel.backend import EvaluationBackend, resolve_backend
 from .crossover import crossover
 from .genome import Genome
@@ -208,6 +209,20 @@ class GeneticEngine:
             child = mutate_dse(child, rng, self.problem.space)
         return self.problem.repair(child)
 
+    def _emit_generation(self) -> None:
+        """Stream one generation marker to the active telemetry sink.
+
+        A no-op outside campaigns; never touches the RNG or the
+        checkpointed state (the sink clamps an unpriced ``inf`` best
+        cost to ``null`` on serialization).
+        """
+        emit(
+            "ga.generation",
+            generation=self._generation,
+            evaluations=self._evaluations,
+            best_cost=self._best_cost,
+        )
+
     def _snapshot(
         self, population: list[Genome], costs: list[float]
     ) -> EngineCheckpoint:
@@ -320,6 +335,7 @@ class GeneticEngine:
         )
         population = self._fit_to_budget(population)
         costs = self._score_batch(population, backend)
+        self._emit_generation()
         if on_generation is not None:
             on_generation(self._snapshot(population, costs))
         return self._loop(backend, population, costs, 1, on_generation)
@@ -365,6 +381,7 @@ class GeneticEngine:
             )
             population = survivors + selected
             costs = survivor_costs + [self.problem.cost(g) for g in selected]
+            self._emit_generation()
             if on_generation is not None:
                 on_generation(self._snapshot(population, costs))
 

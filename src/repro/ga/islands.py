@@ -34,6 +34,7 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Sequence
 
 from ..errors import SearchError
+from ..obs import emit
 from ..parallel.backend import EvaluationBackend, resolve_backend
 from .engine import EngineCheckpoint, GAConfig, GAResult, GeneticEngine
 from .genome import Genome
@@ -312,6 +313,13 @@ def _island_search(
                 best = engine._best
                 best_cost = engine._best_cost
                 history.append((total_evaluations(), best_cost))
+            emit(
+                "islands.island",
+                epoch=epoch,
+                island=index,
+                evaluations=total_evaluations(),
+                best_cost=best_cost,
+            )
         if max_samples is not None and total_evaluations() >= max_samples:
             break
 

@@ -89,6 +89,18 @@ DEFAULT_ZONES = (
         prefixes=ORDER_SENSITIVE_PACKAGES,
         rules=("RL105",),
     ),
+    # Telemetry emission and aggregation: a write-only side channel of
+    # the deterministic zone. Events may *carry* wall-clock timestamps,
+    # but only through the injectable clock idiom (``clock: Clock =
+    # time.time`` parameters) — a resolved ``time.time()`` call inside
+    # the tree would smuggle nondeterminism past the sink's contract,
+    # so the clock and RNG rules apply here exactly as in the search
+    # stack.
+    Zone(
+        name="observability",
+        prefixes=("repro.obs",),
+        rules=("RL001", "RL002", "RL003"),
+    ),
 )
 
 

@@ -1,0 +1,38 @@
+"""Structured campaign telemetry: events, spans, and their readers.
+
+The observability subsystem is a *write-only side channel* over the run
+registry. Search code emits schema-versioned events and timing spans
+through a context-local :class:`~repro.obs.events.TelemetrySink`; each
+cell's stream appends crash-safely to ``telemetry.jsonl`` beside its
+``history.jsonl``. Nothing in here may influence a search: telemetry
+never touches RNG state, never feeds back into checkpoints or results,
+and is a strict no-op when no sink is active — the trajectory-identity
+tests lock search output bit-identical with telemetry on or off.
+
+This package root exports only the emission layer (events + spans),
+which is what the search/distrib code imports; the reader side
+(:mod:`~repro.obs.aggregate`, :mod:`~repro.obs.dash`,
+:mod:`~repro.obs.metrics`) is imported explicitly by the CLI so the hot
+paths never pay for it.
+"""
+
+from .events import (
+    TELEMETRY_FILENAME,
+    TELEMETRY_VERSION,
+    TelemetrySink,
+    activate,
+    current_sink,
+    emit,
+)
+from .spans import span, span_stack
+
+__all__ = [
+    "TELEMETRY_FILENAME",
+    "TELEMETRY_VERSION",
+    "TelemetrySink",
+    "activate",
+    "current_sink",
+    "emit",
+    "span",
+    "span_stack",
+]

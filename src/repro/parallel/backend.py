@@ -36,6 +36,7 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Protocol, Sequence, runtime_checkable
 
 from ..errors import ConfigError
+from ..obs import span
 
 #: Chunks per worker when no explicit chunk size is given: small enough to
 #: load-balance uneven genomes, large enough to amortize pickling.
@@ -59,11 +60,12 @@ class SerialBackend:
     """Reference backend: evaluates every item in the calling process."""
 
     def map(self, task: Callable[[Any], Any], items: Sequence[Any]) -> list[Any]:
-        if hasattr(task, "prime"):
-            # Batch-price the whole batch's unseen subgraphs first (pure
-            # cache fill — per-item results are bit-identical).
-            task.prime(items)
-        return [task(item) for item in items]
+        with span("parallel.map", backend="serial", items=len(items)):
+            if hasattr(task, "prime"):
+                # Batch-price the whole batch's unseen subgraphs first (pure
+                # cache fill — per-item results are bit-identical).
+                task.prime(items)
+            return [task(item) for item in items]
 
     def close(self) -> None:  # nothing to release
         return None
@@ -202,6 +204,15 @@ class ProcessPoolBackend:
         items = list(items)
         if not items:
             return []
+        with span(
+            "parallel.map", backend="process", items=len(items),
+            workers=self.workers,
+        ):
+            return self._map_pooled(task, items)
+
+    def _map_pooled(
+        self, task: Callable[[Any], Any], items: list[Any]
+    ) -> list[Any]:
         pool = self._executor_for(task)
         warm_capable = self.share_warm_state and hasattr(task, "absorb_warm")
         shipment = self._warm_outbox if warm_capable else None

@@ -57,6 +57,7 @@ from ..ga.engine import GeneticEngine
 from ..ga.islands import island_search
 from ..ga.problem import OptimizationProblem
 from ..graphs.zoo import get_model
+from ..obs import TELEMETRY_FILENAME, TelemetrySink, activate, emit
 from ..parallel.backend import EvaluationBackend, resolve_backend
 from ..search_space import CapacitySpace
 from ..units import to_kb, to_mb
@@ -266,13 +267,13 @@ def _run_cocco_cell(
     def hook(checkpoint) -> None:
         nonlocal last_generation
         last_generation = checkpoint.generation
-        run.log_history(
-            {
-                "generation": checkpoint.generation,
-                "evaluations": checkpoint.evaluations,
-                "best_cost": _stream_cost(checkpoint.best_cost),
-            }
-        )
+        entry = {
+            "generation": checkpoint.generation,
+            "evaluations": checkpoint.evaluations,
+            "best_cost": _stream_cost(checkpoint.best_cost),
+        }
+        run.log_history(entry)
+        emit("progress", scheme="cocco", **entry)
         run.save_checkpoint(ga_checkpoint_to_dict(checkpoint))
 
     state = run.load_checkpoint()
@@ -332,13 +333,13 @@ def _run_sa_cell(
     def hook(checkpoint) -> None:
         nonlocal last_step
         last_step = checkpoint.step
-        run.log_history(
-            {
-                "step": checkpoint.step,
-                "evaluations": checkpoint.evaluations,
-                "best_cost": _stream_cost(checkpoint.best_cost),
-            }
-        )
+        entry = {
+            "step": checkpoint.step,
+            "evaluations": checkpoint.evaluations,
+            "best_cost": _stream_cost(checkpoint.best_cost),
+        }
+        run.log_history(entry)
+        emit("progress", scheme="sa", **entry)
         run.save_checkpoint(sa_checkpoint_to_dict(checkpoint))
 
     state = run.load_checkpoint()
@@ -404,16 +405,16 @@ def _run_islands_cell(
     def hook(checkpoint) -> None:
         nonlocal last
         last = checkpoint
-        run.log_history(
-            {
-                "tick": islands_mod.checkpoint_tick(checkpoint, config),
-                "epoch": checkpoint.epoch,
-                "island": checkpoint.island,
-                "generation": checkpoint.generation,
-                "evaluations": checkpoint.evaluations,
-                "best_cost": _stream_cost(checkpoint.best_cost),
-            }
-        )
+        entry = {
+            "tick": islands_mod.checkpoint_tick(checkpoint, config),
+            "epoch": checkpoint.epoch,
+            "island": checkpoint.island,
+            "generation": checkpoint.generation,
+            "evaluations": checkpoint.evaluations,
+            "best_cost": _stream_cost(checkpoint.best_cost),
+        }
+        run.log_history(entry)
+        emit("progress", scheme="islands", **entry)
         run.save_checkpoint(islands_checkpoint_to_dict(checkpoint))
 
     state = run.load_checkpoint()
@@ -473,12 +474,12 @@ def _run_nsga_cell(
     )
 
     def hook(checkpoint) -> None:
-        run.log_history(
-            {
-                "generation": checkpoint.generation,
-                "evaluations": checkpoint.evaluations,
-            }
-        )
+        entry = {
+            "generation": checkpoint.generation,
+            "evaluations": checkpoint.evaluations,
+        }
+        run.log_history(entry)
+        emit("progress", scheme="nsga", **entry)
         if checkpoint.generation % _NSGA_CHECKPOINT_EVERY == 0:
             run.save_checkpoint(nsga_checkpoint_to_dict(checkpoint))
 
@@ -536,15 +537,15 @@ def _run_two_step_cell(
     def hook(checkpoint) -> None:
         nonlocal last
         last = checkpoint
-        run.log_history(
-            {
-                "tick": two_step_mod.checkpoint_tick(checkpoint, ga_config),
-                "candidate": checkpoint.candidate,
-                "generation": checkpoint.generation,
-                "evaluations": checkpoint.evaluations,
-                "best_cost": _stream_cost(checkpoint.best_cost),
-            }
-        )
+        entry = {
+            "tick": two_step_mod.checkpoint_tick(checkpoint, ga_config),
+            "candidate": checkpoint.candidate,
+            "generation": checkpoint.generation,
+            "evaluations": checkpoint.evaluations,
+            "best_cost": _stream_cost(checkpoint.best_cost),
+        }
+        run.log_history(entry)
+        emit("progress", scheme=cell.scheme, **entry)
         run.save_checkpoint(
             two_step_checkpoint_to_dict(checkpoint, kind=cell.scheme)
         )
@@ -626,6 +627,7 @@ def run_cell(
     evaluator: Evaluator | None = None,
     sample_cap: int | None = None,
     eval_workers: int | None = None,
+    telemetry: bool = True,
 ) -> dict[str, Any]:
     """Execute one cell durably; returns its result row.
 
@@ -646,6 +648,13 @@ def run_cell(
     ``eval_workers`` fans the cell's *evaluations* out across local
     worker processes (results are bit-identical for any value — only
     wall-clock changes).
+
+    ``telemetry`` (default on) streams structured events — cell
+    lifecycle, per-generation progress, evaluator pricing spans — to
+    ``telemetry.jsonl`` beside the cell's history. Purely a write-only
+    side channel: results, checkpoints, and RNG trajectories are
+    bit-identical with it on or off (locked by the trajectory-identity
+    tests).
     """
     config = cell.config_dict()
     seed = cell.seed(campaign_seed)
@@ -655,6 +664,54 @@ def run_cell(
         raise ConfigError("sample_cap must be positive when set")
     _maybe_fault(cell, campaign_seed, registry)
     run = registry.open_run(config, seed)
+    sink = (
+        TelemetrySink(run.path / TELEMETRY_FILENAME) if telemetry else None
+    )
+    try:
+        with activate(sink):
+            emit(
+                "cell.start",
+                cell=cell.cell_id,
+                scheme=cell.scheme,
+                seed=seed,
+                sample_cap=sample_cap,
+                resumed=run.has_checkpoint,
+            )
+            try:
+                row = _execute_cell(
+                    cell, config, seed, registry, run,
+                    evaluator=evaluator, sample_cap=sample_cap,
+                    eval_workers=eval_workers,
+                )
+            except ReproError as exc:
+                emit("cell.error", cell=cell.cell_id, error=str(exc))
+                raise
+            emit(
+                "cell.finish",
+                cell=cell.cell_id,
+                status=row.get("status", "complete"),
+                evaluations=row.get("num_evaluations"),
+                best_cost=_stream_cost(row["best_cost"])
+                if isinstance(row.get("best_cost"), (int, float))
+                else None,
+            )
+            return row
+    finally:
+        if sink is not None:
+            sink.close()
+
+
+def _execute_cell(
+    cell: SuiteCell,
+    config: dict[str, Any],
+    seed: int,
+    registry: RunRegistry,
+    run,
+    evaluator: Evaluator | None = None,
+    sample_cap: int | None = None,
+    eval_workers: int | None = None,
+) -> dict[str, Any]:
+    """The scheme dispatch and result persistence of :func:`run_cell`."""
     if evaluator is None:
         evaluator = Evaluator(get_model(cell.network), cell_accelerator(cell))
     # Warm-start from the registry's persisted per-(network, element
@@ -693,6 +750,9 @@ def run_cell(
     registry.save_warm_summaries(
         cell.network, cell.bytes_per_element, evaluator.export_summaries()
     )
+    # Cache/batch-pricing counters for the aggregation layer's hit-rate
+    # series (write-only; the search never reads telemetry back).
+    emit("evaluator.stats", cell=cell.cell_id, stats=evaluator.stats())
     if not finished:
         return {
             **config,

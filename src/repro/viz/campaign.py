@@ -27,8 +27,16 @@ _TAIL_BYTES = 4096
 def tail_jsonl(path: str | Path) -> dict | None:
     """The last complete JSON object of a ``.jsonl`` file, or ``None``.
 
-    Reads only the final block of the file. A torn final line (a writer
-    died mid-append) falls back to the previous complete line.
+    Reads only the final block of the file, and is hardened against the
+    stream writers' designed failure mode — a writer killed mid-append:
+
+    * every complete record ends with a newline (writers emit line +
+      ``"\\n"`` in one write), so a final line *without* one is torn and
+      is skipped outright — even when its visible text happens to parse
+      (a record truncated inside a number parses as a bare scalar);
+    * only JSON *objects* are returned: the seek can land mid-line, and
+      a line suffix that parses as a scalar is chunk-boundary garbage,
+      not a record.
     """
     path = Path(path)
     try:
@@ -40,14 +48,19 @@ def tail_jsonl(path: str | Path) -> dict | None:
     with path.open("rb") as fh:
         fh.seek(max(0, size - _TAIL_BYTES))
         chunk = fh.read().decode("utf-8", errors="replace")
-    for line in reversed(chunk.splitlines()):
+    lines = chunk.splitlines()
+    if lines and not chunk.endswith("\n"):
+        lines = lines[:-1]
+    for line in reversed(lines):
         line = line.strip()
         if not line:
             continue
         try:
-            return json.loads(line)
+            record = json.loads(line)
         except json.JSONDecodeError:
             continue
+        if isinstance(record, dict):
+            return record
     return None
 
 
@@ -70,6 +83,12 @@ class CellStatus:
     best_cost: float | None = None
     #: Current cumulative sample cap (budgeted campaigns only).
     sample_cap: int | None = None
+    #: Owner's cumulative evaluation counter from its heartbeat (leased
+    #: cells whose worker enriches its renewals; see repro.distrib.lease).
+    worker_evals: int | None = None
+    #: Owner's start timestamp from its heartbeat — with
+    #: ``worker_evals`` this yields per-worker eval throughput.
+    worker_started_at: float | None = None
 
 
 def campaign_snapshot(
@@ -125,6 +144,8 @@ def campaign_snapshot(
                     evaluations=evaluations,
                     best_cost=best_cost,
                     sample_cap=cap,
+                    worker_evals=lease.evals_done,
+                    worker_started_at=lease.started_at,
                 )
             )
             continue
@@ -148,8 +169,8 @@ def campaign_snapshot(
 
 def render_campaign(statuses: list[CellStatus]) -> str:
     """ASCII status table, one row per cell, plus a tally line."""
-    headers = ("cell", "state", "owner", "beat", "prog", "evals", "cap",
-               "best_cost")
+    headers = ("cell", "state", "owner", "beat", "w_evals", "prog", "evals",
+               "cap", "best_cost")
     rows = []
     for status in statuses:
         rows.append(
@@ -160,6 +181,11 @@ def render_campaign(statuses: list[CellStatus]) -> str:
                 (
                     f"{status.heartbeat_age:.0f}s"
                     if status.heartbeat_age is not None
+                    else "-"
+                ),
+                (
+                    status.worker_evals
+                    if status.worker_evals is not None
                     else "-"
                 ),
                 status.progress if status.progress is not None else "-",

@@ -330,3 +330,107 @@ class TestWorkerCommand:
         )
         assert code == 1
         assert "manifest" in out
+
+
+class TestObservabilityCommands:
+    """`repro dash`, `repro export-metrics`, and the JSON status view."""
+
+    def finished_registry(self, capsys, tmp_path):
+        registry = tmp_path / "registry"
+        code, _ = run_cli(
+            capsys, "suite", "--networks", "vgg16", "--schemes", "sa",
+            "--scale", "tiny", "--registry", str(registry),
+        )
+        assert code == 0
+        return registry
+
+    def test_status_format_json(self, capsys, tmp_path):
+        registry = self.finished_registry(capsys, tmp_path)
+        code, out = run_cli(
+            capsys, "suite", "--status", "--format", "json",
+            "--networks", "vgg16", "--schemes", "sa", "--scale", "tiny",
+            "--registry", str(registry),
+        )
+        assert code == 0
+        data = json.loads(out)
+        assert data["cells_total"] == 1
+        assert data["states"] == {"complete": 1}
+        assert data["cells"][0]["cell"].startswith("vgg16/")
+        assert data["telemetry"]["events"] > 0
+
+    def test_status_json_matches_table_states(self, capsys, tmp_path):
+        registry = self.finished_registry(capsys, tmp_path)
+        args = (
+            "--networks", "vgg16", "--schemes", "sa", "--scale", "tiny",
+            "--registry", str(registry),
+        )
+        _, table = run_cli(capsys, "suite", "--status", *args)
+        _, raw = run_cli(
+            capsys, "suite", "--status", "--format", "json", *args
+        )
+        data = json.loads(raw)
+        for cell in data["cells"]:
+            assert cell["state"] in table
+
+    def test_dash_once_renders_postmortem(self, capsys, tmp_path):
+        registry = self.finished_registry(capsys, tmp_path)
+        code, out = run_cli(
+            capsys, "dash", "--once", "--registry", str(registry),
+            "--networks", "vgg16", "--schemes", "sa", "--scale", "tiny",
+        )
+        assert code == 0
+        assert "1 complete" in out
+        assert "convergence" in out
+        assert "\x1b" not in out  # --once never emits escape codes
+
+    def test_dash_reads_manifest(self, capsys, tmp_path):
+        from repro.distrib.coordinator import write_manifest
+        from repro.runs.suite import SuiteMatrix
+
+        registry = tmp_path / "registry"
+        write_manifest(
+            SuiteMatrix(networks=("vgg16",), schemes=("sa",), scale="tiny"),
+            registry,
+        )
+        code, out = run_cli(
+            capsys, "dash", "--once", "--registry", str(registry)
+        )
+        assert code == 0
+        assert "1 pending" in out
+
+    def test_export_metrics_writes_snapshot(self, capsys, tmp_path):
+        registry = self.finished_registry(capsys, tmp_path)
+        out_prefix = tmp_path / "metrics" / "campaign"
+        code, out = run_cli(
+            capsys, "export-metrics", "--registry", str(registry),
+            "--networks", "vgg16", "--schemes", "sa", "--scale", "tiny",
+            "--out", str(out_prefix),
+        )
+        assert code == 0
+        prom = out_prefix.with_suffix(".prom")
+        snapshot = out_prefix.with_suffix(".json")
+        assert prom.exists() and snapshot.exists()
+        assert "repro_campaign_cells" in prom.read_text()
+        assert json.loads(snapshot.read_text())["cells_total"] == 1
+
+    def test_export_metrics_defaults_into_registry(self, capsys, tmp_path):
+        registry = self.finished_registry(capsys, tmp_path)
+        code, out = run_cli(
+            capsys, "export-metrics", "--registry", str(registry),
+            "--networks", "vgg16", "--schemes", "sa", "--scale", "tiny",
+        )
+        assert code == 0
+        assert (registry / "metrics.prom").exists()
+        assert (registry / "metrics.json").exists()
+
+    def test_suite_metrics_out_flag(self, capsys, tmp_path):
+        registry = tmp_path / "registry"
+        code, out = run_cli(
+            capsys, "suite", "--networks", "vgg16", "--schemes", "sa",
+            "--scale", "tiny", "--registry", str(registry),
+            "--metrics-out", str(tmp_path / "m"),
+        )
+        assert code == 0
+        assert "metrics:" in out
+        assert (tmp_path / "m.prom").exists()
+        assert (tmp_path / "m.json").exists()

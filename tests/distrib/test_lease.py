@@ -168,3 +168,87 @@ class TestHeartbeat:
             lease_path(run_dir).write_text(json.dumps(payload))
             time.sleep(0.2)
         assert beat.lost
+
+
+class TestEnrichment:
+    """Heartbeat progress enrichment: observational, never protocol."""
+
+    def test_renew_extra_surfaces_in_read(self, run_dir):
+        lease = try_acquire_lease(run_dir, "w1", ttl=30)
+        assert renew_lease(
+            lease, extra={"evals_done": 42, "started_at": 100.0}
+        )
+        info = read_lease(run_dir)
+        assert info.evals_done == 42
+        assert info.started_at == 100.0
+
+    def test_fresh_lease_has_no_enrichment(self, run_dir):
+        try_acquire_lease(run_dir, "w1", ttl=30)
+        info = read_lease(run_dir)
+        assert info.evals_done is None
+        assert info.started_at is None
+
+    def test_plain_renew_drops_stale_enrichment(self, run_dir):
+        # Enrichment reflects the *latest* renewal only: a renewal
+        # without extras must not resurrect older counters.
+        lease = try_acquire_lease(run_dir, "w1", ttl=30)
+        assert renew_lease(lease, extra={"evals_done": 42})
+        assert renew_lease(lease)
+        assert read_lease(run_dir).evals_done is None
+
+    def test_extra_cannot_mask_protocol_fields(self, run_dir):
+        lease = try_acquire_lease(run_dir, "w1", ttl=30)
+        assert renew_lease(
+            lease, extra={"owner": "forged", "ttl": 0.0, "evals_done": 7}
+        )
+        info = read_lease(run_dir)
+        assert info.owner == "w1"
+        assert info.ttl == 30.0
+        assert info.evals_done == 7
+
+    def test_malformed_enrichment_reads_as_absent(self, run_dir):
+        lease = try_acquire_lease(run_dir, "w1", ttl=30)
+        assert renew_lease(
+            lease, extra={"evals_done": "lots", "started_at": None}
+        )
+        info = read_lease(run_dir)
+        assert info.owner == "w1"
+        assert info.evals_done is None
+        assert info.started_at is None
+
+    def test_heartbeat_thread_carries_progress(self, run_dir):
+        lease = try_acquire_lease(run_dir, "w1", ttl=30)
+        with Heartbeat(
+            lease,
+            interval=0.02,
+            progress=lambda: {"evals_done": 9, "started_at": 1.5},
+        ):
+            deadline = time.time() + 5.0
+            while (
+                read_lease(run_dir).evals_done != 9
+                and time.time() < deadline
+            ):
+                time.sleep(0.01)
+        info = read_lease(run_dir)
+        assert info.evals_done == 9
+        assert info.started_at == 1.5
+
+    def test_raising_progress_degrades_to_plain_heartbeat(self, run_dir):
+        clock = FakeClock(now=1_000.0)
+        lease = try_acquire_lease(run_dir, "w1", ttl=30, clock=clock)
+
+        def bad_progress() -> dict:
+            raise RuntimeError("telemetry must never kill the beat")
+
+        clock.advance(3)
+        with Heartbeat(
+            lease, interval=0.02, clock=clock, progress=bad_progress
+        ) as beat:
+            deadline = time.time() + 5.0
+            while (
+                read_lease(run_dir).heartbeat != 1_003.0
+                and time.time() < deadline
+            ):
+                time.sleep(0.01)
+        assert not beat.lost
+        assert read_lease(run_dir).heartbeat == 1_003.0

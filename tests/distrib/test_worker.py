@@ -289,3 +289,53 @@ class TestKilledWorkerNewSchemes:
             self.ISLAND_MATRIX.seed,
         )
         assert sum(p.evaluations for p in progress.values()) == budget
+
+
+class TestWorkerTelemetry:
+    """Workers stream lease/budget telemetry beside each cell they run."""
+
+    SMALL = SuiteMatrix(
+        networks=("vgg16",), schemes=("sa",), scale="tiny", seed=0
+    )
+
+    def events(self, registry_root, cell):
+        import json
+
+        from repro.obs import TELEMETRY_FILENAME
+
+        registry = RunRegistry(registry_root)
+        path = (
+            registry.run_path(cell.config_dict(), cell.seed(self.SMALL.seed))
+            / TELEMETRY_FILENAME
+        )
+        return [json.loads(line) for line in path.read_text().splitlines()]
+
+    def test_claim_and_release_events(self, tmp_path):
+        run_worker(
+            self.SMALL, tmp_path / "reg",
+            WorkerConfig(worker_id="w-obs", **FAST),
+        )
+        events = self.events(tmp_path / "reg", self.SMALL.cells()[0])
+        kinds = [e["kind"] for e in events]
+        assert kinds[0] == "lease.claim"
+        assert kinds[-1] == "lease.release"
+        claim = events[0]
+        assert claim["owner"] == "w-obs"
+        assert claim["via"] == "fresh"
+        assert claim["resumed"] is False
+        release = events[-1]
+        assert release["released"] is True
+        assert release["lost"] is False
+        # The cell's own lifecycle events sit between claim and release.
+        assert "cell.start" in kinds
+        assert "cell.finish" in kinds
+
+    def test_budget_grant_event_carries_cap(self, tmp_path):
+        run_worker(
+            self.SMALL, tmp_path / "reg",
+            WorkerConfig(worker_id="w-obs", **FAST), budget=40,
+        )
+        events = self.events(tmp_path / "reg", self.SMALL.cells()[0])
+        grants = [e for e in events if e["kind"] == "budget.grant"]
+        assert grants and grants[0]["cap"] == 40
+        assert grants[0]["budget"] == 40

@@ -1,0 +1,99 @@
+"""The terminal dashboard: sparklines, frames, and the refresh loop."""
+
+from __future__ import annotations
+
+from repro.obs.aggregate import build_view
+from repro.obs.dash import render_dashboard, run_dash, sparkline
+from repro.runs.registry import RunRegistry
+from repro.runs.suite import SuiteMatrix, run_suite
+
+MATRIX = SuiteMatrix(
+    networks=("vgg16",), schemes=("cocco", "sa"), scale="tiny", seed=0
+)
+
+
+class TestSparkline:
+    def test_fixed_width(self):
+        assert len(sparkline([1.0, 2.0, 3.0], width=10)) == 10
+        assert len(sparkline(list(map(float, range(100))), width=10)) == 10
+
+    def test_empty_renders_flat(self):
+        assert sparkline([], width=8) == "-" * 8
+
+    def test_nonfinite_only_renders_flat(self):
+        assert sparkline([float("inf"), float("nan")], width=8) == "-" * 8
+
+    def test_descending_costs_slope_down(self):
+        line = sparkline([10.0, 8.0, 6.0, 4.0, 2.0], width=5)
+        ramp = " .:-=+*#%@"
+        levels = [ramp.index(ch) for ch in line]
+        assert levels == sorted(levels, reverse=True)
+        assert levels[0] > levels[-1]
+
+    def test_constant_series_is_uniform(self):
+        line = sparkline([5.0, 5.0, 5.0], width=3)
+        assert len(set(line)) == 1
+
+    def test_mixed_nonfinite_marked(self):
+        line = sparkline([1.0, float("inf"), 2.0], width=3)
+        assert "?" in line
+
+
+class TestRenderDashboard:
+    def test_finished_campaign_renders_everything(self, tmp_path):
+        run_suite(MATRIX, tmp_path / "reg")
+        view = build_view(
+            MATRIX, RunRegistry(tmp_path / "reg"), clock=lambda: 0.0
+        )
+        text = render_dashboard(view)
+        assert "2 complete" in text
+        assert "best cost:" in text
+        assert "convergence" in text
+        assert "vgg16/separate/energy/b1/cocco" in text
+        assert "telemetry:" in text
+        assert "\x1b" not in text  # frames are plain text; the loop
+        # owns the escape codes
+
+    def test_empty_campaign_renders(self, tmp_path):
+        view = build_view(
+            MATRIX, RunRegistry(tmp_path / "reg"), clock=lambda: 0.0
+        )
+        text = render_dashboard(view)
+        assert "2 pending" in text
+        assert "no cell has streamed history yet" in text
+
+    def test_budget_line(self, tmp_path):
+        run_suite(MATRIX, tmp_path / "reg", budget=40)
+        view = build_view(
+            MATRIX, RunRegistry(tmp_path / "reg"), budget=40,
+            clock=lambda: 0.0,
+        )
+        text = render_dashboard(view)
+        assert "budget: 40 samples" in text
+
+
+class TestRunDash:
+    def test_once_renders_single_plain_frame(self, tmp_path):
+        run_suite(MATRIX, tmp_path / "reg")
+        frames: list[str] = []
+        rendered = run_dash(
+            MATRIX, tmp_path / "reg", once=True, emit=frames.append,
+            clock=lambda: 0.0, sleep=lambda _s: None,
+        )
+        assert rendered == 1
+        assert len(frames) == 1
+        assert "\x1b" not in frames[0]
+        assert "2 complete" in frames[0]
+
+    def test_loop_clears_screen_and_counts_frames(self, tmp_path):
+        run_suite(MATRIX, tmp_path / "reg")
+        frames: list[str] = []
+        sleeps: list[float] = []
+        rendered = run_dash(
+            MATRIX, tmp_path / "reg", interval=7.0, frames=3,
+            emit=frames.append, clock=lambda: 0.0, sleep=sleeps.append,
+        )
+        assert rendered == 3
+        assert len(frames) == 3
+        assert all(frame.startswith("\x1b[2J\x1b[H") for frame in frames)
+        assert sleeps == [7.0, 7.0]  # no sleep after the final frame

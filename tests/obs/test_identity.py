@@ -1,0 +1,91 @@
+"""Telemetry must never bend the search: on vs off is bit-identical.
+
+The acceptance contract of the whole observability layer: every
+durable artifact a cell produces — its result row, its streamed
+history, its final checkpoint bytes — is byte-for-byte identical with
+telemetry enabled and disabled. Telemetry is a write-only side channel;
+the only permitted difference is the presence of ``telemetry.jsonl``
+itself.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import TELEMETRY_FILENAME
+from repro.runs.registry import RunRegistry
+from repro.runs.suite import SuiteMatrix, run_cell
+
+MATRIX = SuiteMatrix(
+    networks=("vgg16",),
+    schemes=("cocco", "sa", "islands", "nsga", "rs"),
+    scale="tiny",
+    seed=0,
+)
+
+
+def run_matrix(root, telemetry: bool):
+    registry = RunRegistry(root)
+    rows = [
+        run_cell(cell, MATRIX.seed, registry, telemetry=telemetry)
+        for cell in MATRIX.cells()
+    ]
+    return registry, rows
+
+
+def durable_bytes(registry, cell, campaign_seed):
+    """Every durable artifact of a cell, minus the telemetry stream."""
+    run_dir = registry.run_path(cell.config_dict(), cell.seed(campaign_seed))
+    return {
+        p.name: p.read_bytes()
+        for p in sorted(run_dir.iterdir())
+        if p.is_file() and p.name != TELEMETRY_FILENAME
+    }
+
+
+class TestTrajectoryIdentity:
+    @pytest.fixture(scope="class")
+    def both(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("identity")
+        on = run_matrix(root / "on", telemetry=True)
+        off = run_matrix(root / "off", telemetry=False)
+        return on, off
+
+    def test_result_rows_identical(self, both):
+        (_, rows_on), (_, rows_off) = both
+        assert rows_on == rows_off
+
+    def test_durable_artifacts_bit_identical(self, both):
+        (reg_on, _), (reg_off, _) = both
+        for cell in MATRIX.cells():
+            on = durable_bytes(reg_on, cell, MATRIX.seed)
+            off = durable_bytes(reg_off, cell, MATRIX.seed)
+            assert on == off, f"divergent artifacts in {cell.cell_id}"
+
+    def test_telemetry_only_exists_when_enabled(self, both):
+        (reg_on, _), (reg_off, _) = both
+        for cell in MATRIX.cells():
+            config, seed = cell.config_dict(), cell.seed(MATRIX.seed)
+            assert (
+                reg_on.run_path(config, seed) / TELEMETRY_FILENAME
+            ).exists()
+            assert not (
+                reg_off.run_path(config, seed) / TELEMETRY_FILENAME
+            ).exists()
+
+    def test_telemetry_stream_is_well_formed(self, both):
+        (reg_on, _), _ = both
+        for cell in MATRIX.cells():
+            path = (
+                reg_on.run_path(cell.config_dict(), cell.seed(MATRIX.seed))
+                / TELEMETRY_FILENAME
+            )
+            kinds = [
+                json.loads(line)["kind"]
+                for line in path.read_text().splitlines()
+            ]
+            assert kinds[0] == "cell.start"
+            assert kinds[-1] == "cell.finish"
+            assert "progress" in kinds

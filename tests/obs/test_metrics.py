@@ -1,0 +1,105 @@
+"""Metrics export: the JSON snapshot and Prometheus exposition text."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.aggregate import build_view
+from repro.obs.metrics import (
+    campaign_metrics,
+    export_metrics,
+    render_prometheus,
+    write_metrics,
+)
+from repro.runs.registry import RunRegistry
+from repro.runs.suite import SuiteMatrix, run_suite
+
+MATRIX = SuiteMatrix(
+    networks=("vgg16",), schemes=("cocco", "sa"), scale="tiny", seed=0
+)
+
+
+def finished_view(tmp_path, budget=None):
+    run_suite(MATRIX, tmp_path / "reg", budget=budget)
+    return build_view(
+        MATRIX, RunRegistry(tmp_path / "reg"), budget=budget,
+        clock=lambda: 0.0,
+    )
+
+
+class TestCampaignMetrics:
+    def test_snapshot_shape(self, tmp_path):
+        metrics = campaign_metrics(finished_view(tmp_path))
+        assert metrics["cells_total"] == 2
+        assert metrics["states"] == {"complete": 2}
+        assert metrics["best_cost"] is not None
+        assert metrics["spent_evaluations"] > 0
+        assert len(metrics["cells"]) == 2
+        assert metrics["telemetry"]["events"] > 0
+        assert metrics["telemetry"]["cells_finished"] == 2
+        assert metrics["telemetry"]["genomes_batched"] > 0
+
+    def test_json_serializable(self, tmp_path):
+        metrics = campaign_metrics(finished_view(tmp_path))
+        rebuilt = json.loads(json.dumps(metrics))
+        assert rebuilt["cells_total"] == 2
+
+
+class TestPrometheus:
+    def test_exposition_format(self, tmp_path):
+        text = render_prometheus(finished_view(tmp_path))
+        assert '# HELP repro_campaign_cells ' in text
+        assert "# TYPE repro_campaign_cells gauge" in text
+        assert 'repro_campaign_cells{state="complete"} 2' in text
+        assert "repro_campaign_best_cost " in text
+        assert "repro_campaign_spent_evaluations " in text
+        assert text.endswith("\n")
+        # Every non-comment line is `name{labels} value`.
+        for line in text.strip().splitlines():
+            if line.startswith("#"):
+                continue
+            name, value = line.rsplit(" ", 1)
+            assert name.startswith("repro_campaign_")
+            float(value)
+
+    def test_cell_labels_present(self, tmp_path):
+        text = render_prometheus(finished_view(tmp_path))
+        assert 'cell="vgg16/separate/energy/b1/cocco/a0.002"' in text
+
+    def test_budget_metrics_when_capped(self, tmp_path):
+        text = render_prometheus(finished_view(tmp_path, budget=40))
+        assert "repro_campaign_budget_samples 40" in text
+        assert "repro_campaign_out_of_budget" in text
+
+    def test_label_escaping(self):
+        from repro.obs.metrics import _escape_label
+
+        assert _escape_label('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+
+
+class TestWriteMetrics:
+    def test_writes_prom_and_json_siblings(self, tmp_path):
+        view = finished_view(tmp_path)
+        prom, snapshot = write_metrics(view, tmp_path / "out" / "metrics")
+        assert prom.name == "metrics.prom"
+        assert snapshot.name == "metrics.json"
+        assert "repro_campaign_cells" in prom.read_text()
+        data = json.loads(snapshot.read_text())
+        assert data["cells_total"] == 2
+
+    def test_rewrite_replaces(self, tmp_path):
+        view = finished_view(tmp_path)
+        prom, _ = write_metrics(view, tmp_path / "m")
+        first = prom.read_text()
+        prom2, _ = write_metrics(view, tmp_path / "m")
+        assert prom2 == prom
+        assert prom.read_text() == first
+
+    def test_export_metrics_end_to_end(self, tmp_path):
+        run_suite(MATRIX, tmp_path / "reg")
+        prom, snapshot = export_metrics(
+            MATRIX, tmp_path / "reg", tmp_path / "reg" / "metrics"
+        )
+        assert prom.exists() and snapshot.exists()
+        data = json.loads(snapshot.read_text())
+        assert data["states"] == {"complete": 2}

@@ -37,6 +37,31 @@ class TestTailJsonl:
                 fh.write(json.dumps({"generation": i}) + "\n")
         assert tail_jsonl(path) == {"generation": 4999}
 
+    def test_torn_line_parsing_as_scalar_is_skipped(self, tmp_path):
+        # A record truncated inside a numeric field still parses — as a
+        # bare scalar. It must be skipped, not returned (regression: a
+        # non-dict return crashed the snapshot's .get() calls).
+        path = tmp_path / "h.jsonl"
+        path.write_text('{"generation": 3}\n{"best_cost": 17')
+        assert tail_jsonl(path) == {"generation": 3}
+
+    def test_unterminated_final_line_never_wins(self, tmp_path):
+        # Writers emit line+"\n" in one write, so a final line without
+        # the newline is torn even when its text parses as an object.
+        path = tmp_path / "h.jsonl"
+        path.write_text('{"generation": 3}\n{"generation": 4}')
+        assert tail_jsonl(path) == {"generation": 3}
+
+    def test_complete_scalar_line_is_skipped(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        path.write_text('{"generation": 3}\n42\n')
+        assert tail_jsonl(path) == {"generation": 3}
+
+    def test_all_torn_returns_none(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        path.write_text('{"generation": 0')
+        assert tail_jsonl(path) is None
+
 
 class TestSnapshot:
     def test_pending_then_complete(self, tmp_path):
