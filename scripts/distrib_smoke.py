@@ -2,16 +2,22 @@
 """Distrib smoke: workers SIGKILLed mid-cell, identical merged reports.
 
 The CI acceptance check for the distributed campaign layer, in two
-phases.
+phases, runnable against either registry transport (``--transport``):
+
+* ``fs`` — the classic shared-directory registry;
+* ``objectstore`` — an S3-compatible conditional-PUT object store: the
+  smoke process hosts the deterministic in-process fake server
+  (:mod:`repro.distrib.objectstore`) and every worker/coordinator
+  subprocess reaches it over a real ``s3://host:port/bucket`` URI.
 
 Phase 1 (unbudgeted, cocco+sa matrix):
 
-1. run a small matrix to completion single-process in a *clean*
-   registry (`repro suite`);
-2. start a `repro worker` against a second registry with fault
-   injection targeting the first cell: the worker claims the cell's
-   lease, then hard-exits mid-cell exactly like an OOM kill — leaving
-   an unreleased lease and no durable result;
+1. run a small matrix to completion single-process in a *clean* local
+   registry (`repro suite`) — the reference is always FsTransport;
+2. start a `repro worker` against a second (selected-transport)
+   registry with fault injection targeting the first cell: the worker
+   claims the cell's lease, then hard-exits mid-cell exactly like an
+   OOM kill — leaving an unreleased lease and no durable result;
 3. start two concurrent survivor `repro worker` processes on the same
    registry: between them they must steal the dead worker's expired
    lease (exactly once), re-run/resume its cell, and finish the whole
@@ -23,19 +29,25 @@ Phase 2 (budgeted, islands+two-step matrix): the matrix holds an
 island-model cell and a two-step (rs) cell under a sample budget sized
 so the budget binds. A lone worker is SIGKILLed *mid-islands-cell*
 (after its composite checkpoint is durably streaming, before the cell
-can finish), two survivors reclaim its lease, resume the checkpoint
-mid-search, and run the campaign to its budget. Asserts the registry
-charged exactly the budget, and that the merged report is bit-identical
-to a clean budgeted single-process run — locking the new islands and
-two-step resume paths end-to-end.
+can finish). The resume is then driven by the **elastic coordinator**
+(`repro suite --distributed --autoscale`): it reclaims the orphaned
+lease, spawns workers against the unclaimed-cell queue depth, and an
+elastically-spawned worker resumes the checkpoint mid-search and runs
+the campaign to its budget. Asserts the elastic resume happened (a
+``resumed`` ``lease.claim`` by an ``elastic-w*`` worker plus
+``fleet.scale`` spawn events), that the registry charged exactly the
+budget, and that the merged report is bit-identical to a clean budgeted
+single-process FsTransport run.
 
 Exit code 0 on success; non-zero with a diagnostic otherwise. The
-killed-and-reclaimed registries are left in place so CI can upload them
-as artifacts.
+killed-and-reclaimed registries are left in place (object-store
+contents are dumped to ``<workdir>/objectstore-dump`` on exit) so CI
+can upload them as artifacts.
 
 Usage::
 
     PYTHONPATH=src python scripts/distrib_smoke.py --workdir distrib-smoke
+    PYTHONPATH=src python scripts/distrib_smoke.py --transport objectstore
 """
 
 from __future__ import annotations
@@ -50,6 +62,10 @@ import subprocess
 import sys
 import time
 from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.runs.transport import RunNode, resolve_transport  # noqa: E402
 
 MATRIX_ARGS = [
     "--networks", "vgg16,googlenet",
@@ -77,19 +93,96 @@ BUDGET_MATRIX_ARGS = [
 BUDGET = 130
 
 
-def suite_command(registry: Path, *extra: str, matrix=None) -> list[str]:
+class RegistryProbe:
+    """Transport-aware read access to a registry (path or s3 URI)."""
+
+    def __init__(self, root: str):
+        self.root = str(root)
+        self.transport = resolve_transport(self.root)
+
+    def node(self, name: str = "") -> RunNode:
+        return RunNode(self.transport, name)
+
+    def read_json(self, name: str, filename: str) -> dict | None:
+        text = self.node(name).read_text(filename)
+        return None if text is None else json.loads(text)
+
+    def lease_keys(self) -> list[str]:
+        return [
+            key
+            for key in self.transport.list_keys("")
+            if key.endswith("/lease.json")
+        ]
+
+    def charged_evaluations(self) -> int:
+        """Total durably-charged samples: results first, else checkpoints."""
+        total = 0
+        for name in self.transport.list_runs():
+            if self.read_json(name, "config.json") is None:
+                continue
+            result = self.read_json(name, "result.json")
+            if result is not None:
+                total += result.get("num_evaluations", 0)
+                continue
+            checkpoint = self.read_json(name, "checkpoint.json")
+            if checkpoint is not None:
+                total += checkpoint.get("evaluations", 0)
+        return total
+
+    def find_run(self, scheme: str) -> str | None:
+        for name in self.transport.list_runs():
+            config = self.read_json(name, "config.json")
+            if config and config.get("config", {}).get("scheme") == scheme:
+                return name
+        return None
+
+    def telemetry_records(self, name: str = "") -> list[dict]:
+        text = self.node(name).read_text("telemetry.jsonl")
+        if text is None:
+            return []
+        lines = text.splitlines()
+        if lines and not text.endswith("\n"):
+            lines = lines[:-1]  # a torn final line is the designed loss
+        records = []
+        for line in lines:
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict):
+                records.append(record)
+        return records
+
+
+#: Local directory anchoring subprocess outputs (report.json) when the
+#: registry itself is a remote URI; set by main().
+_ANCHOR = Path("distrib-smoke") / "local-anchor"
+
+
+def transport_flags(root: str) -> list[str]:
+    """CLI flags addressing a registry root (path or URI).
+
+    ``--registry`` is required by every subcommand; with a URI registry
+    it only anchors local outputs, so it points into the workdir.
+    """
+    if "://" in root:
+        return ["--registry", str(_ANCHOR), "--transport", root]
+    return ["--registry", root]
+
+
+def suite_command(root: str, *extra: str, matrix=None) -> list[str]:
     return [
         sys.executable, "-m", "repro.cli.main", "suite",
-        *(matrix or MATRIX_ARGS), "--registry", str(registry), *extra,
+        *(matrix or MATRIX_ARGS), *transport_flags(root), *extra,
     ]
 
 
 def worker_command(
-    registry: Path, worker_id: str, *extra: str, matrix=None
+    root: str, worker_id: str, *extra: str, matrix=None
 ) -> list[str]:
     return [
         sys.executable, "-m", "repro.cli.main", "worker",
-        *(matrix or MATRIX_ARGS), "--registry", str(registry),
+        *(matrix or MATRIX_ARGS), *transport_flags(root),
         "--worker-id", worker_id, "--ttl", "3", "--poll", "0.1", *extra,
     ]
 
@@ -100,47 +193,61 @@ def read_rows(path: Path) -> list:
     return json.loads(path.read_text())["rows"]
 
 
-def charged_evaluations(registry: Path) -> int:
-    """Total durably-charged samples: results first, else checkpoints."""
-    total = 0
-    for run_dir in registry.iterdir():
-        if not (run_dir / "config.json").is_file():
-            continue
-        result = run_dir / "result.json"
-        checkpoint = run_dir / "checkpoint.json"
-        if result.exists():
-            total += json.loads(result.read_text()).get("num_evaluations", 0)
-        elif checkpoint.exists():
-            total += json.loads(checkpoint.read_text()).get("evaluations", 0)
-    return total
+#: Live fake servers, so failures can dump their contents as artifacts.
+_SERVERS: list = []
 
 
-def find_run_dir(registry: Path, scheme: str) -> Path | None:
-    for run_dir in registry.glob("*"):
-        config = run_dir / "config.json"
-        if not config.is_file():
-            continue
-        if json.loads(config.read_text())["config"].get("scheme") == scheme:
-            return run_dir
-    return None
+def make_registry_root(workdir: Path, transport: str, name: str) -> str:
+    """A fresh registry root on the selected transport."""
+    if transport == "fs":
+        return str(workdir / name)
+    from repro.distrib.objectstore import ObjectStore, serve_in_thread
+
+    server, _thread = serve_in_thread(("127.0.0.1", 0), ObjectStore())
+    _SERVERS.append((name, server))
+    return server.url(name)
+
+
+def dump_servers(workdir: Path) -> None:
+    """Persist every fake server's objects for CI artifact upload."""
+    for name, server in _SERVERS:
+        dest = workdir / "objectstore-dump" / name
+        for key, _size, _etag in server.store.list(""):
+            blob = server.store.get(key)
+            if blob is None:
+                continue
+            target = dest / key
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_bytes(blob[0])
 
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--workdir", default="distrib-smoke",
-                        help="directory holding both registries")
+                        help="directory holding registries and reports")
+    parser.add_argument("--transport", choices=("fs", "objectstore"),
+                        default="fs",
+                        help="registry transport for the kill/reclaim/"
+                             "resume registries (the clean reference "
+                             "is always a local fs registry)")
     args = parser.parse_args()
 
+    global _ANCHOR
     workdir = Path(args.workdir)
     if workdir.exists():
         shutil.rmtree(workdir)
+    workdir.mkdir(parents=True)
+    _ANCHOR = workdir / "local-anchor"
     clean = workdir / "clean-registry"
-    shared = workdir / "shared-registry"
+    shared_root = make_registry_root(workdir, args.transport, "shared")
+    shared = RegistryProbe(shared_root)
     env = dict(os.environ)
+    print(f"transport axis: {args.transport} (shared registry at "
+          f"{shared_root})")
 
-    # 1. clean single-process reference run
+    # 1. clean single-process reference run (always fs)
     subprocess.run(
-        suite_command(clean, "--workers", "1"), env=env, check=True,
+        suite_command(str(clean), "--workers", "1"), env=env, check=True,
         stdout=subprocess.DEVNULL,
     )
     clean_rows = read_rows(clean / "report.json")
@@ -150,14 +257,14 @@ def main() -> int:
     # leaving an unreleased lease behind
     victim_env = dict(env, REPRO_SUITE_FAULT_CELL=FAULT_CELL)
     victim = subprocess.run(
-        worker_command(shared, "victim"), env=victim_env,
+        worker_command(shared_root, "victim"), env=victim_env,
         stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
     )
     if victim.returncode != 23:
         print(f"FAIL: victim exited {victim.returncode}, expected the "
               "injected hard-kill code 23")
         return 1
-    leases = list(shared.glob("*/lease.json"))
+    leases = shared.lease_keys()
     if len(leases) != 1:
         print(f"FAIL: expected exactly one orphaned lease, found {leases}")
         return 1
@@ -167,7 +274,7 @@ def main() -> int:
     # them must reclaim the victim's expired lease; both must exit clean.
     survivors = [
         subprocess.Popen(
-            worker_command(shared, f"survivor-{i}"), env=env,
+            worker_command(shared_root, f"survivor-{i}"), env=env,
             stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
         )
         for i in range(2)
@@ -188,12 +295,13 @@ def main() -> int:
         return 1
 
     # 4. merged report must be bit-identical to the clean run
+    shared_report = workdir / "shared-report.json"
     subprocess.run(
-        suite_command(shared, "--report-only", "--export",
-                      str(shared / "report.json")),
+        suite_command(shared_root, "--report-only", "--export",
+                      str(shared_report)),
         env=env, check=True, stdout=subprocess.DEVNULL,
     )
-    shared_rows = read_rows(shared / "report.json")
+    shared_rows = read_rows(shared_report)
     if shared_rows != clean_rows:
         print("FAIL: two-worker kill/reclaim campaign differs from clean run")
         for a, b in zip(clean_rows, shared_rows):
@@ -203,19 +311,20 @@ def main() -> int:
     print(f"OK: kill/reclaim report bit-identical to clean run "
           f"({len(clean_rows)} rows)")
 
-    return budgeted_phase(workdir, env)
+    return budgeted_phase(workdir, env, args.transport)
 
 
-def budgeted_phase(workdir: Path, env: dict) -> int:
-    """Phase 2: budgeted islands+two-step campaign, SIGKILL mid-cell."""
+def budgeted_phase(workdir: Path, env: dict, transport: str) -> int:
+    """Phase 2: budgeted islands+rs campaign, SIGKILL + elastic resume."""
     clean = workdir / "budget-clean-registry"
-    shared = workdir / "budget-shared-registry"
+    shared_root = make_registry_root(workdir, transport, "budget-shared")
+    shared = RegistryProbe(shared_root)
     budget = ["--budget", str(BUDGET)]
 
-    # 1. clean budgeted single-process reference. Exhausted (out of
-    # budget, checkpoint retained) cells exit non-zero by design.
+    # 1. clean budgeted single-process reference (always fs). Exhausted
+    # (out of budget, checkpoint retained) cells exit non-zero by design.
     reference = subprocess.run(
-        suite_command(clean, "--workers", "1", *budget,
+        suite_command(str(clean), "--workers", "1", *budget,
                       matrix=BUDGET_MATRIX_ARGS),
         env=env, stdout=subprocess.DEVNULL,
     )
@@ -223,7 +332,7 @@ def budgeted_phase(workdir: Path, env: dict) -> int:
         print(f"FAIL: clean budgeted suite exited {reference.returncode}")
         return 1
     clean_rows = read_rows(clean / "report.json")
-    clean_charge = charged_evaluations(clean)
+    clean_charge = RegistryProbe(str(clean)).charged_evaluations()
     print(f"clean budgeted run: {len(clean_rows)} rows, "
           f"{clean_charge} samples charged")
     if clean_charge != BUDGET:
@@ -234,14 +343,17 @@ def budgeted_phase(workdir: Path, env: dict) -> int:
     # cell's composite checkpoint is durably streaming (search is in
     # progress), then kill -9. The lease stays orphaned.
     victim = subprocess.Popen(
-        worker_command(shared, "victim", *budget, matrix=BUDGET_MATRIX_ARGS),
+        worker_command(shared_root, "victim", *budget,
+                       matrix=BUDGET_MATRIX_ARGS),
         env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
     )
     deadline = time.time() + 120
-    islands_dir = None
+    islands_run = None
     while time.time() < deadline:
-        islands_dir = find_run_dir(shared, "islands")
-        if islands_dir is not None and (islands_dir / "checkpoint.json").exists():
+        islands_run = shared.find_run("islands")
+        if islands_run is not None and shared.node(islands_run).exists(
+            "checkpoint.json"
+        ):
             break
         time.sleep(0.01)
     else:
@@ -250,60 +362,88 @@ def budgeted_phase(workdir: Path, env: dict) -> int:
         return 1
     os.kill(victim.pid, signal.SIGKILL)
     victim.wait(timeout=60)
-    if (islands_dir / "result.json").exists():
+    if shared.node(islands_run).exists("result.json"):
         print("FAIL: kill landed after the islands cell completed — "
               "the mid-cell window was missed")
         return 1
-    checkpointed = json.loads(
-        (islands_dir / "checkpoint.json").read_text()
-    )["evaluations"]
+    checkpointed = shared.read_json(islands_run, "checkpoint.json")[
+        "evaluations"
+    ]
+    orphaned = shared.node(islands_run).exists("lease.json")
     print(f"victim SIGKILLed mid-islands-cell at {checkpointed} evaluations; "
-          f"orphaned lease: {(islands_dir / 'lease.json').exists()}")
+          f"orphaned lease: {orphaned}")
 
     # 2b. observability post-mortem: the dead worker's telemetry stream
     # must have survived the SIGKILL (modulo a torn final line), and the
     # dashboard + metrics exporter must render from the corpse registry.
-    code = observability_postmortem(shared, islands_dir, env)
+    code = observability_postmortem(workdir, shared, islands_run, env)
     if code != 0:
         return code
 
-    # 3. two concurrent budgeted survivors: reclaim, resume the
-    # composite checkpoint mid-search, finish the campaign at budget.
-    survivors = [
-        subprocess.Popen(
-            worker_command(shared, f"budget-survivor-{i}", *budget,
-                           "--max-idle", "60", matrix=BUDGET_MATRIX_ARGS),
-            env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
-            text=True,
-        )
-        for i in range(2)
-    ]
-    resumed = 0
-    for process in survivors:
-        stdout, _ = process.communicate(timeout=600)
-        if process.returncode != 0:
-            print(f"FAIL: a budget survivor exited {process.returncode}:\n"
-                  f"{stdout}")
-            return 1
-        summary = stdout.strip().splitlines()[-1]
-        print(summary)
-        match = re.search(r"resumed (\d+) inherited checkpoint", summary)
-        resumed += int(match.group(1)) if match else 0
-    if resumed < 1:
-        print("FAIL: no survivor resumed the victim's islands checkpoint")
+    # 3. elastic resume: the autoscale coordinator reclaims the orphaned
+    # lease, spawns workers against the unclaimed-cell queue depth, and
+    # an elastically-spawned worker resumes the composite checkpoint
+    # mid-search and finishes the campaign at budget.
+    coordinator = subprocess.run(
+        suite_command(
+            shared_root, "--distributed", "--autoscale",
+            "--max-workers", "2", "--ttl", "3", "--poll", "0.2",
+            "--timeout", "300", "--status-interval", "9999",
+            *budget, matrix=BUDGET_MATRIX_ARGS,
+        ),
+        env=env, capture_output=True, text=True,
+    )
+    # Exhausted-at-budget campaigns exit 1 by design.
+    if coordinator.returncode not in (0, 1):
+        print(f"FAIL: elastic coordinator exited {coordinator.returncode}:\n"
+              f"{coordinator.stdout}\n{coordinator.stderr}")
         return 1
+    print(coordinator.stdout.strip().splitlines()[-1]
+          if coordinator.stdout.strip() else "(coordinator: no output)")
+
+    claims = [
+        record
+        for record in shared.telemetry_records(islands_run)
+        if record.get("kind") == "lease.claim"
+    ]
+    elastic_resumes = [
+        record for record in claims
+        if record.get("resumed")
+        and str(record.get("owner", "")).startswith("elastic-w")
+    ]
+    if not elastic_resumes:
+        print(f"FAIL: no elastically-spawned worker resumed the victim's "
+              f"islands checkpoint; claims seen: {claims}")
+        return 1
+    scale_events = [
+        record
+        for record in shared.telemetry_records("")
+        if record.get("kind") == "fleet.scale"
+    ]
+    spawned = sum(
+        record.get("count", 0)
+        for record in scale_events
+        if record.get("action") == "spawn"
+    )
+    if spawned < 1:
+        print(f"FAIL: coordinator emitted no fleet.scale spawn events: "
+              f"{scale_events}")
+        return 1
+    print(f"elastic resume confirmed: {elastic_resumes[0]['owner']} resumed "
+          f"the islands checkpoint; fleet.scale spawned {spawned} worker(s)")
 
     # 4. exact charge + bit-identical merged report
-    shared_charge = charged_evaluations(shared)
+    shared_charge = shared.charged_evaluations()
     if shared_charge != BUDGET:
         print(f"FAIL: fleet charged {shared_charge}, budget is {BUDGET}")
         return 1
+    shared_report = workdir / "budget-shared-report.json"
     subprocess.run(
-        suite_command(shared, "--report-only", "--export",
-                      str(shared / "report.json"), matrix=BUDGET_MATRIX_ARGS),
+        suite_command(shared_root, "--report-only", "--export",
+                      str(shared_report), matrix=BUDGET_MATRIX_ARGS),
         env=env, check=True, stdout=subprocess.DEVNULL,
     )
-    shared_rows = read_rows(shared / "report.json")
+    shared_rows = read_rows(shared_report)
     if shared_rows != clean_rows:
         print("FAIL: budgeted kill/resume campaign differs from clean run")
         for a, b in zip(clean_rows, shared_rows):
@@ -312,32 +452,26 @@ def budgeted_phase(workdir: Path, env: dict) -> int:
         return 1
     print(f"OK: budgeted islands+two-step kill/resume report bit-identical "
           f"to clean run ({len(clean_rows)} rows, exactly {BUDGET} samples)")
+
+    # 5. transport-aware gc: sweep stale checkpoint/lease files and any
+    # transport-specific litter of completed runs; must report bytes.
+    gc = subprocess.run(
+        suite_command(shared_root, "--gc"),
+        env=env, capture_output=True, text=True,
+    )
+    if gc.returncode != 0 or "reclaimed" not in gc.stdout:
+        print(f"FAIL: suite --gc failed on {transport}:\n"
+              f"{gc.stdout}\n{gc.stderr}")
+        return 1
+    print(gc.stdout.strip())
     return 0
 
 
 def observability_postmortem(
-    shared: Path, victim_dir: Path, env: dict
+    workdir: Path, shared: RegistryProbe, victim_run: str, env: dict
 ) -> int:
     """Telemetry survives a SIGKILL; dash/metrics render post-mortem."""
-    telemetry = victim_dir / "telemetry.jsonl"
-    if not telemetry.exists():
-        print("FAIL: SIGKILLed worker left no telemetry stream")
-        return 1
-    text = telemetry.read_text()
-    lines = text.splitlines()
-    if lines and not text.endswith("\n"):
-        lines = lines[:-1]  # a torn final line is the designed loss
-    records = []
-    for line in lines:
-        try:
-            record = json.loads(line)
-        except json.JSONDecodeError:
-            print(f"FAIL: corrupt complete telemetry line: {line!r}")
-            return 1
-        if not isinstance(record, dict):
-            print(f"FAIL: non-object telemetry record: {line!r}")
-            return 1
-        records.append(record)
+    records = shared.telemetry_records(victim_run)
     if not records:
         print("FAIL: telemetry stream has no complete records")
         return 1
@@ -354,7 +488,7 @@ def observability_postmortem(
     dash = subprocess.run(
         [sys.executable, "-m", "repro.cli.main", "dash", "--once",
          *BUDGET_MATRIX_ARGS, "--budget", str(BUDGET),
-         "--registry", str(shared)],
+         *transport_flags(shared.root)],
         env=env, capture_output=True, text=True,
     )
     if dash.returncode != 0:
@@ -365,19 +499,19 @@ def observability_postmortem(
         return 1
     print("dash --once rendered the post-mortem registry")
 
+    prefix = workdir / "postmortem"
     export = subprocess.run(
         [sys.executable, "-m", "repro.cli.main", "export-metrics",
          *BUDGET_MATRIX_ARGS, "--budget", str(BUDGET),
-         "--registry", str(shared),
-         "--out", str(shared / "postmortem")],
+         *transport_flags(shared.root), "--out", str(prefix)],
         env=env, capture_output=True, text=True,
     )
     if export.returncode != 0:
         print(f"FAIL: export-metrics exited {export.returncode}:\n"
               f"{export.stderr}")
         return 1
-    prom = shared / "postmortem.prom"
-    snapshot = shared / "postmortem.json"
+    prom = prefix.with_suffix(".prom")
+    snapshot = prefix.with_suffix(".json")
     if not prom.exists() or not snapshot.exists():
         print("FAIL: export-metrics wrote no snapshot files")
         return 1
@@ -395,4 +529,10 @@ def observability_postmortem(
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        _code = main()
+    finally:
+        dump_servers(_ANCHOR.parent)
+        for _name, _server in _SERVERS:
+            _server.shutdown()
+    sys.exit(_code)

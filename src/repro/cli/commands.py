@@ -443,6 +443,26 @@ def _suite_matrix(args: argparse.Namespace):
     )
 
 
+def _registry_root(args: argparse.Namespace) -> str:
+    """Resolve the registry root from ``--transport`` / ``--registry``.
+
+    ``--transport fs`` (the default) keeps the classic behavior: the
+    registry *is* the ``--registry`` directory. Any other value must be
+    a transport URI (``s3://host:port/bucket``) and becomes the
+    registry root itself — ``--registry`` then only anchors local
+    outputs such as the merged ``report.json``.
+    """
+    transport = getattr(args, "transport", None) or "fs"
+    if transport == "fs":
+        return args.registry
+    if "://" not in transport:
+        raise ConfigError(
+            f"unknown transport {transport!r}: expected 'fs' or an "
+            "object-store URI like s3://host:port/bucket"
+        )
+    return transport
+
+
 def _campaign_target(args: argparse.Namespace):
     """Resolve (matrix, budget) from flags or the registry manifest.
 
@@ -461,11 +481,11 @@ def _campaign_target(args: argparse.Namespace):
         matrix = _suite_matrix(args)
         if budget is None:
             try:
-                _, budget = read_manifest(args.registry)
+                _, budget = read_manifest(_registry_root(args))
             except ConfigError:
                 pass  # no coordinator manifest: genuinely unbudgeted
     else:
-        matrix, manifest_budget = read_manifest(args.registry)
+        matrix, manifest_budget = read_manifest(_registry_root(args))
         if budget is None:
             budget = manifest_budget
     return matrix, budget
@@ -493,12 +513,13 @@ def cmd_suite(args: argparse.Namespace) -> tuple[str, int]:
     from ..runs.registry import RunRegistry
     from ..runs.suite import merged_report, run_suite
 
-    registry = RunRegistry(args.registry)
+    registry_root = _registry_root(args)
+    registry = RunRegistry(registry_root)
     if args.gc:
         removed, reclaimed = registry.gc()
         return (
-            f"gc: removed {removed} stale file(s), "
-            f"reclaimed {to_kb(reclaimed):.1f} KB"
+            f"gc [{registry.location}]: removed {removed} stale "
+            f"file(s), reclaimed {to_kb(reclaimed):.1f} KB"
         ), 0
 
     if args.status:
@@ -539,26 +560,41 @@ def cmd_suite(args: argparse.Namespace) -> tuple[str, int]:
         from ..distrib.coordinator import CoordinatorConfig, run_distributed
 
         config = CoordinatorConfig(
-            spawn_workers=args.workers,
+            spawn_workers=args.workers if not args.autoscale else 0,
             lease_ttl=args.ttl,
             poll_interval=args.poll,
             eval_workers=args.eval_workers,
             status_interval=args.status_interval,
             timeout=args.timeout,
             on_status=lambda text: print(text, flush=True),
+            autoscale=args.autoscale,
+            min_workers=args.min_workers,
+            max_workers=args.max_workers,
+            worker_max_idle=args.worker_max_idle,
         )
         outcome = run_distributed(
-            matrix, args.registry, budget=args.budget, config=config
+            matrix, registry_root, budget=args.budget, config=config
         )
     else:
         outcome = run_suite(
-            matrix, args.registry, workers=args.workers,
+            matrix, registry_root, workers=args.workers,
             max_rounds=args.max_rounds, budget=args.budget,
             eval_workers=args.eval_workers,
         )
-    report_path = write_result(
-        outcome.report, _Path(args.registry) / "report.json"
-    )
+    if "://" in str(args.registry):
+        # The registry itself is remote: publish the merged report into
+        # the store instead of fabricating a local directory named
+        # after the URI.
+        from ..viz.export import result_to_json
+
+        registry.root_node().write_atomic(
+            "report.json", result_to_json(outcome.report)
+        )
+        report_path = f"{registry.location}/report.json"
+    else:
+        report_path = write_result(
+            outcome.report, _Path(args.registry) / "report.json"
+        )
     lines = [outcome.report.to_text(), "", outcome.summary(),
              f"merged report: {report_path}"]
     for cell_id, error in outcome.errors.items():
@@ -599,7 +635,7 @@ def cmd_worker(args: argparse.Namespace) -> str:
         eval_workers=args.eval_workers,
         max_idle=args.max_idle,
     )
-    summary = run_worker(matrix, args.registry, config, budget=budget)
+    summary = run_worker(matrix, _registry_root(args), config, budget=budget)
     return summary.render()
 
 
@@ -619,12 +655,13 @@ def cmd_dash(args: argparse.Namespace) -> str:
     from ..runs.registry import RunRegistry
 
     matrix, budget = _campaign_target(args)
+    registry_root = _registry_root(args)
     if args.once:
-        view = build_view(matrix, RunRegistry(args.registry), budget=budget)
+        view = build_view(matrix, RunRegistry(registry_root), budget=budget)
         return render_dashboard(view, width=args.width)
     try:
         frames = run_dash(
-            matrix, args.registry, budget=budget, interval=args.interval,
+            matrix, registry_root, budget=budget, interval=args.interval,
             frames=args.frames, width=args.width,
         )
     except KeyboardInterrupt:
@@ -646,9 +683,18 @@ def cmd_export_metrics(args: argparse.Namespace) -> str:
     from ..obs.metrics import export_metrics
 
     matrix, budget = _campaign_target(args)
-    prefix = args.out or str(_Path(args.registry) / "metrics")
+    registry_root = _registry_root(args)
+    if args.out:
+        prefix = args.out
+    elif "://" in str(args.registry):
+        raise ConfigError(
+            "--out is required when the registry is a transport URI "
+            "(there is no local registry directory to default into)"
+        )
+    else:
+        prefix = str(_Path(args.registry) / "metrics")
     prom, snapshot = export_metrics(
-        matrix, args.registry, prefix, budget=budget
+        matrix, registry_root, prefix, budget=budget
     )
     return f"wrote {prom}\nwrote {snapshot}"
 

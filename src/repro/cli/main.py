@@ -161,6 +161,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes cells are sharded across")
     suite.add_argument("--registry", default="runs-registry",
                        help="run-registry directory (created if missing)")
+    suite.add_argument("--transport", default="fs",
+                       help="registry transport: 'fs' (the --registry "
+                            "directory) or an object-store URI like "
+                            "s3://host:port/bucket (the URI becomes the "
+                            "registry; --registry then only anchors "
+                            "local outputs)")
     suite.add_argument("--max-rounds", type=int, default=3,
                        help="retry rounds after worker-process deaths")
     suite.add_argument("--report-only", action="store_true",
@@ -191,6 +197,18 @@ def build_parser() -> argparse.ArgumentParser:
     suite.add_argument("--timeout", type=float, default=None,
                        help="abort the distributed campaign after this "
                             "many seconds (default: wait forever)")
+    suite.add_argument("--autoscale", action="store_true",
+                       help="elastic fleet (distributed mode): spawn "
+                            "workers toward the live unclaimed-cell "
+                            "queue depth instead of a fixed --workers "
+                            "count; idle workers retire on their own")
+    suite.add_argument("--min-workers", type=int, default=0,
+                       help="elastic fleet floor (with --autoscale)")
+    suite.add_argument("--max-workers", type=int, default=4,
+                       help="elastic fleet ceiling (with --autoscale)")
+    suite.add_argument("--worker-max-idle", type=float, default=None,
+                       help="idle seconds before an elastic worker "
+                            "retires (default: derived from --poll)")
     suite.add_argument("--eval-workers", type=int, default=None,
                        help="evaluation fan-out *inside* each cell "
                             "(bit-identical for any value)")
@@ -220,6 +238,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     worker.add_argument("--registry", required=True,
                         help="shared run-registry directory")
+    worker.add_argument("--transport", default="fs",
+                        help="registry transport: 'fs' or an object-"
+                             "store URI (s3://host:port/bucket)")
     _add_matrix_flags(worker)
     worker.add_argument("--worker-id", default=None,
                         help="stable worker identity (default: host-pid)")
@@ -242,6 +263,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     dash.add_argument("--registry", required=True,
                       help="run-registry directory to watch")
+    dash.add_argument("--transport", default="fs",
+                      help="registry transport: 'fs' or an object-"
+                           "store URI (s3://host:port/bucket)")
     _add_matrix_flags(dash)
     dash.add_argument("--interval", type=float, default=2.0,
                       help="seconds between refreshes")
@@ -261,6 +285,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     export_metrics.add_argument("--registry", required=True,
                                 help="run-registry directory to probe")
+    export_metrics.add_argument("--transport", default="fs",
+                                help="registry transport: 'fs' or an "
+                                     "object-store URI "
+                                     "(s3://host:port/bucket)")
     _add_matrix_flags(export_metrics)
     export_metrics.add_argument("--out", default=None,
                                 help="output path prefix (default: "

@@ -57,8 +57,8 @@ def cell_progress(
             evaluations=int(result.get("num_evaluations", 0)),
         )
     evaluations = 0
-    path = registry.run_path(config, seed)
-    if (path / CHECKPOINT_FILENAME).exists():
+    node = registry.run_node(config, seed)
+    if node.exists(CHECKPOINT_FILENAME):
         try:
             state = registry.load(config, seed).load_checkpoint()
         except Exception:  # half-written by a dying writer: treat as none

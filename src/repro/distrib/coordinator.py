@@ -4,10 +4,15 @@ The coordinator owns the campaign's lifecycle but none of its work:
 
 * it writes the ``campaign.json`` manifest into the registry root, so
   bare ``repro worker --registry DIR`` processes (on this machine or
-  any machine sharing the directory) know the matrix, scale, seed, and
-  budget without re-typing them;
+  any machine sharing the registry — a directory or an object-store
+  URI) know the matrix, scale, seed, and budget without re-typing them;
 * it optionally spawns local worker processes (real OS processes via
-  the ``spawn`` context — each one is exactly a ``repro worker``);
+  the ``spawn`` context — each one is exactly a ``repro worker``),
+  either as a fixed fleet (``spawn_workers``) or an *elastic* one
+  (``autoscale``): the fleet grows toward the number of cells that are
+  actually claimable right now and shrinks as workers retire idle, with
+  every scaling decision emitted as a ``fleet.scale`` telemetry event
+  at the registry root;
 * it watches lease/checkpoint state live, re-rendering the campaign
   status view, and sweeps expired leases so dead workers' cells free up
   even when every survivor is busy;
@@ -27,16 +32,17 @@ from pathlib import Path
 from typing import Callable
 
 from ..errors import ConfigError, ReproError
-from ..runs.registry import RunRegistry, _write_atomic
+from ..obs import TelemetrySink
+from ..runs.registry import RunRegistry
 from ..runs.suite import (
     SuiteMatrix,
     SuiteOutcome,
     classify_campaign,
     merged_report,
 )
-from .budget import campaign_finished, campaign_progress
+from .budget import campaign_finished, campaign_progress, claimable_cells
 from .clock import Clock
-from .lease import break_expired_lease
+from .lease import break_expired_lease, read_lease
 from .worker import worker_entry
 
 MANIFEST = "campaign.json"
@@ -71,27 +77,33 @@ def matrix_from_dict(data: dict) -> SuiteMatrix:
 
 def write_manifest(
     matrix: SuiteMatrix, registry_root: str | Path, budget: int | None = None
-) -> Path:
-    """Persist the campaign definition at the registry root."""
-    root = Path(registry_root)
-    root.mkdir(parents=True, exist_ok=True)
-    path = root / MANIFEST
-    _write_atomic(
-        path,
+) -> str:
+    """Persist the campaign definition at the registry root.
+
+    ``registry_root`` may be a directory or a transport URI; the
+    manifest is written atomically either way. Returns the manifest
+    key.
+    """
+    registry = RunRegistry(registry_root)
+    node = registry.root_node()
+    node.ensure()
+    node.write_atomic(
+        MANIFEST,
         json.dumps({"matrix": matrix_to_dict(matrix), "budget": budget}, indent=2),
     )
-    return path
+    return MANIFEST
 
 
 def read_manifest(registry_root: str | Path) -> tuple[SuiteMatrix, int | None]:
     """Load the campaign definition a coordinator enqueued."""
-    path = Path(registry_root) / MANIFEST
-    if not path.is_file():
+    registry = RunRegistry(registry_root)
+    text = registry.root_node().read_text(MANIFEST)
+    if text is None:
         raise ConfigError(
-            f"no campaign manifest at {path}; pass the matrix flags "
-            "explicitly or start the coordinator first"
+            f"no campaign manifest at {registry.location}/{MANIFEST}; pass "
+            "the matrix flags explicitly or start the coordinator first"
         )
-    payload = json.loads(path.read_text())
+    payload = json.loads(text)
     budget = payload.get("budget")
     return matrix_from_dict(payload["matrix"]), (
         int(budget) if budget is not None else None
@@ -116,6 +128,19 @@ class CoordinatorConfig:
     #: finished after this many seconds. None: wait forever.
     timeout: float | None = None
     on_status: Callable[[str], None] | None = None
+    #: Elastic fleet mode: instead of (or on top of) the fixed
+    #: ``spawn_workers`` fleet, spawn workers toward the live
+    #: unclaimed-cell queue depth, bounded by ``min_workers`` /
+    #: ``max_workers``. Elastic workers carry a ``max_idle`` so they
+    #: retire on their own once the queue drains; the coordinator then
+    #: respawns on the next depth spike. Every decision is a
+    #: ``fleet.scale`` telemetry event.
+    autoscale: bool = False
+    min_workers: int = 0
+    max_workers: int = 4
+    #: Idle self-retirement handed to elastic workers (None: derived
+    #: from the poll interval).
+    worker_max_idle: float | None = None
     #: Injectable time source for timeout/status pacing and the expired-
     #: lease sweep; tests drive it with a FakeClock instead of waiting.
     clock: Clock = time.time
@@ -135,8 +160,8 @@ def run_distributed(
     Returns the same :class:`SuiteOutcome` shape the local runner
     produces, with the merged report built by the shared
     :func:`merged_report` — a distributed campaign (including worker
-    deaths and lease reclaims along the way) merges to exactly the
-    report of a clean single-process run.
+    deaths, elastic scale-ups, and lease reclaims along the way) merges
+    to exactly the report of a clean single-process run.
     """
     config = config or CoordinatorConfig()
     registry = RunRegistry(registry_root)
@@ -151,23 +176,38 @@ def run_distributed(
     write_manifest(matrix, registry_root, budget=budget)
 
     ctx = multiprocessing.get_context("spawn")
-    workers = []
-    for index in range(config.spawn_workers):
+    fleet_sink = TelemetrySink.for_node(registry.root_node(), clock=config.clock)
+
+    def spawn(worker_id: str, max_idle: float | None) -> object:
         process = ctx.Process(
             target=worker_entry,
             kwargs={
                 "matrix_args": matrix_to_dict(matrix),
                 "registry_root": str(registry_root),
-                "worker_id": f"coord-w{index}",
+                "worker_id": worker_id,
                 "lease_ttl": config.lease_ttl,
                 "poll_interval": config.poll_interval,
                 "eval_workers": config.eval_workers,
                 "budget": budget,
+                "max_idle": max_idle,
             },
             daemon=False,
         )
         process.start()
-        workers.append(process)
+        return process
+
+    workers = [
+        spawn(f"coord-w{index}", None)
+        for index in range(config.spawn_workers)
+    ]
+    elastic: list = []
+    elastic_spawned = 0
+    elastic_retired = 0
+    elastic_max_idle = (
+        config.worker_max_idle
+        if config.worker_max_idle is not None
+        else max(5.0, 10.0 * config.poll_interval)
+    )
 
     reclaimed = 0
     started = config.clock()
@@ -186,9 +226,45 @@ def run_distributed(
                 if progress[cell.key].complete or progress[cell.key].failed:
                     continue
                 if break_expired_lease(
-                    registry.run_path(cfg, seed), clock=config.clock
+                    registry.run_node(cfg, seed), clock=config.clock
                 ):
                     reclaimed += 1
+            if config.autoscale:
+                # Reap retired elastic workers first, then grow toward
+                # the live queue depth.
+                gone = [p for p in elastic if not p.is_alive()]
+                if gone:
+                    elastic = [p for p in elastic if p.is_alive()]
+                    elastic_retired += len(gone)
+                    fleet_sink.emit(
+                        "fleet.scale",
+                        action="retire",
+                        count=len(gone),
+                        fleet=len(elastic),
+                    )
+                depth = 0
+                for cell, _cap in claimable_cells(cells, budget, progress):
+                    node = registry.run_node(
+                        cell.config_dict(), cell.seed(matrix.seed)
+                    )
+                    info = read_lease(node)
+                    if info is None or info.is_expired(clock=config.clock):
+                        depth += 1
+                target = max(config.min_workers, min(config.max_workers, depth))
+                if len(elastic) < target:
+                    grow = target - len(elastic)
+                    for _ in range(grow):
+                        worker_id = f"elastic-w{elastic_spawned}"
+                        elastic.append(spawn(worker_id, elastic_max_idle))
+                        elastic_spawned += 1
+                    fleet_sink.emit(
+                        "fleet.scale",
+                        action="spawn",
+                        count=grow,
+                        depth=depth,
+                        fleet=len(elastic),
+                        target=target,
+                    )
             now = config.clock()
             if (
                 config.on_status is not None
@@ -203,13 +279,19 @@ def run_distributed(
                     )
                 )
                 last_status = now
-            if config.spawn_workers and not any(p.is_alive() for p in workers):
+            if (
+                config.spawn_workers
+                and not config.autoscale
+                and not any(p.is_alive() for p in workers)
+            ):
                 # Every spawned worker exited but the campaign is not
                 # finished (external workers may still be coming in a
                 # mixed fleet, but with a purely-spawned fleet this
                 # means cells died past max retries). Re-probe once so
                 # the race "workers finished while we slept" reads as
-                # success, then stop.
+                # success, then stop. With autoscale on, an empty fleet
+                # just means the queue drained — the next depth spike
+                # respawns.
                 progress = campaign_progress(registry, cells, matrix.seed)
                 if campaign_finished(cells, budget, progress):
                     break
@@ -227,23 +309,36 @@ def run_distributed(
     finally:
         if not aborted:
             # Normal completion: workers exit on their own once they
-            # observe the finished campaign.
-            for process in workers:
+            # observe the finished campaign (elastic ones possibly
+            # earlier, via their idle timeout).
+            for process in workers + elastic:
                 if process.is_alive():
                     process.join(timeout=config.lease_ttl + 10.0)
-        for process in workers:
+        for process in workers + elastic:
             # Abort path (or a worker that refuses to exit): terminate
             # immediately — waiting a lease TTL per worker would turn a
             # --timeout abort into a multi-minute hang.
             if process.is_alive():
                 process.terminate()
                 process.join(timeout=5.0)
+        if elastic_spawned:
+            fleet_sink.emit(
+                "fleet.scale",
+                action="final",
+                spawned=elastic_spawned,
+                retired=elastic_retired,
+            )
+        fleet_sink.close()
 
     tally = classify_campaign(registry, cells, matrix.seed, budget)
     report = merged_report(matrix, registry)
     if reclaimed:
         report.notes.append(
             f"coordinator reclaimed {reclaimed} expired lease(s)"
+        )
+    if elastic_spawned:
+        report.notes.append(
+            f"elastic fleet spawned {elastic_spawned} worker(s)"
         )
     return SuiteOutcome(
         report=report,

@@ -1,23 +1,26 @@
-"""Filesystem lease protocol for run-registry cells.
+"""Lease protocol for run-registry cells, over conditional writes.
 
-One lease file per run directory (``lease.json``, name shared with
-:mod:`repro.runs.registry`), holding the owner's id, a random nonce, the
-acquisition and last-heartbeat timestamps, and the lease TTL. The
-primitives:
+One lease object per run (``lease.json``, name shared with
+:mod:`repro.runs.registry`), holding the owner's id, a random nonce,
+the acquisition and last-heartbeat timestamps, and the lease TTL. The
+protocol is built entirely on the transport's conditional primitives
+(:mod:`repro.runs.transport`), so the same code claims cells on a
+shared POSIX directory and on an S3-compatible object store:
 
-* **acquire** — write the lease body to a private temp file, then
-  ``os.link`` it into place: the link is atomic *and* content-complete
-  (no reader ever sees an empty claimed lease), and it fails for all
-  but exactly one claimant of a free cell.
-* **renew** — rewrite via temp-file + rename with a fresh heartbeat,
-  after verifying the file still carries our nonce.
-* **release** — unlink, after the same nonce check.
-* **steal** — reclaim an *expired* lease (heartbeat older than its TTL):
-  rename it to a unique tombstone (only one renamer wins; the loser gets
-  ``FileNotFoundError``), verify the tombstone still holds the expired
-  nonce we observed, then create a fresh lease. If the verification
-  fails — we renamed a lease someone re-acquired in the window — the
-  tombstone is restored and the steal is abandoned.
+* **acquire** — ``create_if_absent``: single-winner and
+  *content*-atomic (on the filesystem this is the private-temp +
+  ``os.link`` idiom — no reader ever sees an empty claimed lease; on
+  object stores it is ``PUT`` with ``If-None-Match: *``).
+* **renew** — ``put_if_match`` against the version token of *our own
+  last write* (a content digest locally, an ETag remotely). A renewal
+  after a steal fails the compare-and-swap and reports the lease lost.
+* **release** — ``delete_if_match`` with the same token; never touches
+  a lease someone else re-acquired.
+* **steal** — reclaim an *expired* lease (heartbeat older than its
+  TTL): ``delete_if_match`` the observed version (on the filesystem a
+  rename-to-tombstone with restore-on-mismatch; remotely a conditional
+  ``DELETE``), then ``create_if_absent`` a fresh lease. Only one
+  stealer's delete can win.
 
 Clocks: heartbeat ages compare a reader's clock against a writer's, so
 workers sharing a registry should have roughly synchronized clocks (NTP
@@ -35,12 +38,16 @@ parameter for point-in-time queries; an explicit ``now`` always wins
 and the ``clock`` is consulted only when ``now`` is ``None`` (the
 :class:`Heartbeat` thread is the one consumer that genuinely needs the
 callable — it re-reads the time on every renewal).
+
+Cell addresses: every primitive accepts either a run-directory path
+(the historical filesystem API) or a :class:`repro.runs.transport.RunNode`
+— the distributed layer passes nodes so one worker binary serves both
+transports.
 """
 
 from __future__ import annotations
 
 import json
-import os
 import threading
 import time
 import uuid
@@ -49,17 +56,27 @@ from pathlib import Path
 from typing import Callable
 
 from ..runs.registry import LEASE_FILENAME
+from ..runs.transport import FsTransport, RunNode
 from .clock import Clock
+
+#: A cell address: a run directory (filesystem) or a transport node.
+CellRef = "str | Path | RunNode"
+
+
+def _as_node(run_dir: "str | Path | RunNode") -> RunNode:
+    if isinstance(run_dir, RunNode):
+        return run_dir
+    return RunNode(FsTransport(Path(run_dir)), "")
 
 
 def lease_path(run_dir: str | Path) -> Path:
-    """Where the lease for one run directory lives."""
+    """Where the lease for one run directory lives (filesystem form)."""
     return Path(run_dir) / LEASE_FILENAME
 
 
 @dataclass(frozen=True)
 class LeaseInfo:
-    """A lease file's contents, as read from disk."""
+    """A lease's contents, as read from the registry."""
 
     owner: str
     nonce: str
@@ -92,7 +109,7 @@ class LeaseInfo:
 class Lease:
     """A lease *we* hold: the handle renew/release operate on."""
 
-    path: Path
+    node: RunNode
     owner: str
     nonce: str
     ttl: float
@@ -100,6 +117,16 @@ class Lease:
     #: How this lease was obtained: ``"fresh"`` (free cell) or
     #: ``"stolen"`` (reclaimed from an expired owner).
     via: str = "fresh"
+    #: Version token of our latest write (content digest / ETag);
+    #: renewals compare-and-swap against it, so a steal between two of
+    #: our writes surfaces as a failed renewal, never a silent clobber.
+    version: str | None = None
+
+    @property
+    def path(self) -> Path | None:
+        """Filesystem location of the lease, when the transport has one."""
+        local = self.node.local_path
+        return None if local is None else local / LEASE_FILENAME
 
 
 def _encode(
@@ -119,17 +146,10 @@ def _encode(
     return json.dumps(body)
 
 
-def read_lease(run_dir: str | Path) -> LeaseInfo | None:
-    """The current lease on ``run_dir``, or ``None`` when free.
-
-    A half-disappeared or unparsable file (lost a race with a release,
-    or a writer died mid-crash long ago) reads as free — claimants will
-    then race through ``O_EXCL`` creation, which stays atomic.
-    """
-    path = lease_path(run_dir)
+def _decode(text: str) -> LeaseInfo | None:
     try:
-        data = json.loads(path.read_text())
-    except (FileNotFoundError, json.JSONDecodeError):
+        data = json.loads(text)
+    except json.JSONDecodeError:
         return None
     try:
         return LeaseInfo(
@@ -153,106 +173,70 @@ def read_lease(run_dir: str | Path) -> LeaseInfo | None:
         return None
 
 
-def _create_exclusive(path: Path, lease: Lease) -> bool:
-    """Atomically create the lease file; False if someone else holds it.
+def read_lease(run_dir: "str | Path | RunNode") -> LeaseInfo | None:
+    """The current lease on a cell, or ``None`` when free.
 
-    The content is written to a private temp file first and the claim
-    is the ``os.link`` — creation is therefore *content*-atomic: no
-    reader can ever observe a claimed-but-empty lease (a bare
-    ``O_CREAT|O_EXCL`` + write would expose an empty file between the
-    two syscalls, which a racing claimant would classify as torn
-    garbage and steal with no TTL wait). ``link`` fails with
-    ``FileExistsError`` when the cell is already held, giving exactly
-    the single-winner semantics of ``O_EXCL``.
+    A half-disappeared or unparsable lease (lost a race with a release,
+    or a writer died mid-crash long ago) reads as free — claimants will
+    then race through single-winner creation, which stays atomic.
     """
-    tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}-{lease.nonce[:8]}")
-    tmp.write_text(_encode(lease, heartbeat=lease.acquired_at))
-    try:
-        os.link(tmp, path)
-    except FileExistsError:
-        return False
-    finally:
-        tmp.unlink(missing_ok=True)
-    return True
-
-
-def _steal_expired(path: Path, expected_nonce: str | None) -> bool:
-    """Tear down an expired (or unparsable) lease for reclaim.
-
-    Rename-to-tombstone makes the reclaim single-winner: concurrent
-    stealers race on ``os.rename`` and only the first succeeds. The
-    post-rename nonce check guards the window where the expired lease
-    was released-and-reacquired between our read and our rename; on
-    mismatch the tombstone is restored (best effort — if restoration
-    itself races, the protocol degrades to benign duplicate execution,
-    never to lost results). ``expected_nonce`` is ``None`` when the
-    observed lease was unparsable garbage — which must still match
-    garbage after the rename.
-    """
-    tomb = path.with_name(f"{path.name}.expired-{uuid.uuid4().hex}")
-    try:
-        os.rename(path, tomb)
-    except FileNotFoundError:
-        return False
-    try:
-        data = json.loads(tomb.read_text())
-        stolen_nonce = data.get("nonce")
-    except (OSError, json.JSONDecodeError):
-        stolen_nonce = None
-    if stolen_nonce != expected_nonce:
-        # We tore down a *fresh* lease; put it back and walk away.
-        try:
-            os.rename(tomb, path)
-        except OSError:
-            pass
-        return False
-    tomb.unlink(missing_ok=True)
-    return True
+    text = _as_node(run_dir).read_text(LEASE_FILENAME)
+    if text is None:
+        return None
+    return _decode(text)
 
 
 def try_acquire_lease(
-    run_dir: str | Path,
+    run_dir: "str | Path | RunNode",
     owner: str,
     ttl: float,
     now: float | None = None,
     clock: Clock = time.time,
 ) -> Lease | None:
-    """Claim the cell at ``run_dir``; ``None`` if it is validly held.
+    """Claim a cell; ``None`` if it is validly held.
 
-    Creates the run directory if needed (claiming often precedes the
+    Ensures the cell's container exists (claiming often precedes the
     first write to a cell). A free cell is claimed atomically; an
-    expired lease is stolen first (see :func:`_steal_expired`).
-    ``clock`` supplies the acquisition/expiry timestamps (tests inject
-    a logical clock so TTL expiry needs no real sleeping).
+    expired (or unparsably torn) lease is first torn down with a
+    conditional delete of the exact version we observed, so a lease
+    re-acquired in the window survives untouched. ``clock`` supplies
+    the acquisition/expiry timestamps (tests inject a logical clock so
+    TTL expiry needs no real sleeping).
     """
-    run_dir = Path(run_dir)
-    run_dir.mkdir(parents=True, exist_ok=True)
-    path = lease_path(run_dir)
+    node = _as_node(run_dir)
+    node.ensure()
     now = clock() if now is None else now
     lease = Lease(
-        path=path,
+        node=node,
         owner=owner,
         nonce=uuid.uuid4().hex,
         ttl=float(ttl),
         acquired_at=now,
     )
-    if _create_exclusive(path, lease):
+    body = _encode(lease, heartbeat=lease.acquired_at)
+    version = node.create_if_absent(LEASE_FILENAME, body)
+    if version is not None:
+        lease.version = version
         return lease
-    current = read_lease(run_dir)
+    current = node.read_with_version(LEASE_FILENAME)
     if current is None:
-        if not path.exists():
-            # Released between our create and read: retry the atomic
-            # create once; give up to the other racers otherwise.
-            return lease if _create_exclusive(path, lease) else None
-        # An unparsable lease file (a writer torn apart long ago) would
-        # block its cell forever; reclaim it like an expired lease.
-        if not _steal_expired(path, expected_nonce=None):
+        # Released between our create and read: retry the atomic
+        # create once; give up to the other racers otherwise.
+        version = node.create_if_absent(LEASE_FILENAME, body)
+        if version is None:
             return None
-    elif not current.is_expired(now):
+        lease.version = version
+        return lease
+    text, observed = current
+    info = _decode(text)
+    if info is not None and not info.is_expired(now):
         return None
-    elif not _steal_expired(path, current.nonce):
+    # Expired — or unparsable garbage that would block the cell forever.
+    if not node.delete_if_match(LEASE_FILENAME, observed):
         return None
-    if _create_exclusive(path, lease):
+    version = node.create_if_absent(LEASE_FILENAME, body)
+    if version is not None:
+        lease.version = version
         lease.via = "stolen"
         return lease
     return None
@@ -271,36 +255,34 @@ def renew_lease(
     merely become a duplicate of the thief's. Callers just stop renewing
     and skip the release.
 
+    The renewal is a compare-and-swap against our previous write's
+    version token, so it can never overwrite a thief's lease — the
+    conditional put *is* the nonce check.
+
     ``extra`` enriches the lease body with observational progress keys
     (``evals_done``, ``started_at``) that status views and the
     dashboard read; the protocol itself never consults them.
     """
-    current = read_lease(lease.path.parent)
-    if current is None or current.nonce != lease.nonce:
+    if lease.version is None:
         return False
     now = clock() if now is None else now
-    # The ".tmp-" naming matches registry.gc()'s litter sweep, so a
-    # heartbeat killed between write and rename leaves nothing behind
-    # that --gc cannot reclaim.
-    tmp = lease.path.with_name(
-        f"{lease.path.name}.tmp-{os.getpid()}-{lease.nonce[:8]}"
-    )
-    tmp.write_text(_encode(lease, heartbeat=now, extra=extra))
-    os.replace(tmp, lease.path)
+    body = _encode(lease, heartbeat=now, extra=extra)
+    version = lease.node.put_if_match(LEASE_FILENAME, body, lease.version)
+    if version is None:
+        return False
+    lease.version = version
     return True
 
 
 def release_lease(lease: Lease) -> bool:
     """Drop the lease; False when it was no longer ours to drop."""
-    current = read_lease(lease.path.parent)
-    if current is None or current.nonce != lease.nonce:
+    if lease.version is None:
         return False
-    lease.path.unlink(missing_ok=True)
-    return True
+    return lease.node.delete_if_match(LEASE_FILENAME, lease.version)
 
 
 def break_expired_lease(
-    run_dir: str | Path,
+    run_dir: "str | Path | RunNode",
     now: float | None = None,
     clock: Clock = time.time,
 ) -> bool:
@@ -311,10 +293,15 @@ def break_expired_lease(
     every surviving worker is busy elsewhere. True when a lease was
     broken.
     """
-    current = read_lease(run_dir)
-    if current is None or not current.is_expired(now, clock):
+    node = _as_node(run_dir)
+    current = node.read_with_version(LEASE_FILENAME)
+    if current is None:
         return False
-    return _steal_expired(lease_path(run_dir), current.nonce)
+    text, observed = current
+    info = _decode(text)
+    if info is None or not info.is_expired(now, clock):
+        return False
+    return node.delete_if_match(LEASE_FILENAME, observed)
 
 
 class Heartbeat:

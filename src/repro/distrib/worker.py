@@ -32,10 +32,10 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
 
-from ..obs import TELEMETRY_FILENAME, TelemetrySink
+from ..obs import TelemetrySink
 from ..runs.registry import CHECKPOINT_FILENAME, RunRegistry
 from ..runs.suite import SuiteCellTask, SuiteMatrix
-from ..viz.campaign import tail_jsonl
+from ..viz.campaign import tail_jsonl_node
 from .budget import campaign_finished, campaign_progress, claimable_cells
 from .clock import Clock
 from .lease import Heartbeat, release_lease, try_acquire_lease
@@ -127,13 +127,13 @@ def run_worker(
             return summary
         claimed = None
         for cell, cap in claimable_cells(cells, budget, progress):
-            run_dir = registry.run_path(cell.config_dict(), cell.seed(matrix.seed))
+            node = registry.run_node(cell.config_dict(), cell.seed(matrix.seed))
             lease = try_acquire_lease(
-                run_dir, config.worker_id, config.lease_ttl,
+                node, config.worker_id, config.lease_ttl,
                 clock=config.clock,
             )
             if lease is not None:
-                claimed = (cell, cap, lease, run_dir)
+                claimed = (cell, cap, lease, node)
                 break
         if claimed is None:
             now = config.clock()
@@ -149,10 +149,10 @@ def run_worker(
             continue
 
         idle_since = None
-        cell, cap, lease, run_dir = claimed
+        cell, cap, lease, node = claimed
         if lease.via == "stolen":
             summary.leases_reclaimed += 1
-        resumed = (run_dir / CHECKPOINT_FILENAME).exists()
+        resumed = node.exists(CHECKPOINT_FILENAME)
         if resumed:
             summary.cells_resumed += 1
         summary.cells_run += 1
@@ -162,7 +162,7 @@ def run_worker(
             # cells' totals plus the live cell's streamed count. Read
             # from the durable history tail, so the number a peer sees
             # is exactly what a resume would trust.
-            tail = tail_jsonl(run_dir / "history.jsonl") or {}
+            tail = tail_jsonl_node(node, "history.jsonl") or {}
             current = tail.get("evaluations")
             return {
                 "evals_done": evals_total + (
@@ -171,7 +171,7 @@ def run_worker(
                 "started_at": started_at,
             }
 
-        sink = TelemetrySink(run_dir / TELEMETRY_FILENAME, clock=config.clock)
+        sink = TelemetrySink.for_node(node, clock=config.clock)
         sink.emit(
             "lease.claim",
             cell=cell.cell_id,

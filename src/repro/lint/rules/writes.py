@@ -11,6 +11,14 @@ idioms:
 * **append-only streaming** — the ``history.jsonl`` log, opened with
   mode ``"a"``, where a torn tail line is detected and dropped.
 
+With the pluggable registry transport a third idiom joins them: the
+**conditional put** (:mod:`repro.runs.transport`). ``write_atomic``
+stages and promotes server-side (temp + ``os.replace`` on fs),
+``create_if_absent``/``put_if_match`` commit a whole body iff a version
+precondition holds, and ``append_line`` is the stream append — all
+atomic by the transport contract, so calls through them are sanctioned
+writes, never findings (:data:`ATOMIC_TRANSPORT_METHODS`).
+
 A bare ``open(path, "w")``, ``Path.write_text``, or streaming
 ``json.dump`` to a registry artifact re-introduces the
 half-written-file window every peer (worker, coordinator, ``--status``,
@@ -42,6 +50,14 @@ PROMOTE_FUNCS = frozenset({"os.replace", "os.rename", "os.link"})
 
 #: Path-object promotion methods: the receiver is the temp path.
 PROMOTE_METHODS = frozenset({"replace", "rename"})
+
+#: Registry-transport write methods that are atomic by construction:
+#: there is no torn intermediate state for this rule to guard against,
+#: exactly as with an ``os.replace``-promoted temp file. Calls through
+#: these names are sanctioned durable writes in any zone.
+ATOMIC_TRANSPORT_METHODS = frozenset(
+    {"write_atomic", "create_if_absent", "put_if_match", "append_line"}
+)
 
 _REMEDY = (
     "; write via repro.runs.registry._write_atomic (unique temp + atomic "
@@ -158,6 +174,8 @@ class NonAtomicWriteRule:
                 return "non-atomic open() in write mode", target
             return None, None
         if isinstance(func, ast.Attribute):
+            if func.attr in ATOMIC_TRANSPORT_METHODS:
+                return None, None  # conditional-put idiom: atomic by contract
             receiver = (
                 func.value.id if isinstance(func.value, ast.Name) else None
             )

@@ -95,6 +95,16 @@ _SEED_SINKS = frozenset(
 #: determinism out.
 _ATOMIC_WRITE_SINKS = frozenset({"repro.runs.registry._write_atomic"})
 
+#: Transport artifact writes (sink family 5) — matched by method name
+#: like the registry writes, so ``node.write_atomic(...)`` on an
+#: unannotated :class:`~repro.runs.transport.RunNode` still hits the
+#: sink. Only the unconditional artifact write is a determinism sink:
+#: the conditional-put coordination writes (``create_if_absent``/
+#: ``put_if_match`` of lease state) intentionally carry owner nonces
+#: and wall-clock deadlines, and ``append_line`` carries timestamped
+#: telemetry — nondeterministic by design, never replayed into results.
+TRANSPORT_WRITE_METHODS = frozenset({"write_atomic"})
+
 #: Cap on witness chains — beyond this the story is long enough.
 _MAX_CHAIN = 16
 
@@ -656,6 +666,13 @@ class _FunctionPass:
                 and callee.node.name in DURABLE_WRITE_METHODS
             ):
                 return f"durable registry write .{callee.node.name}()"
+            if (
+                owner.startswith(
+                    ("repro.runs.transport.", "repro.distrib.objectstore.")
+                )
+                and callee.node.name in TRANSPORT_WRITE_METHODS
+            ):
+                return f"durable transport write .{callee.node.name}()"
         if qual is not None:
             if qual.startswith(SERIALIZER_MODULE + ".") and (
                 qual.endswith("_to_dict") or qual.endswith("_from_dict")
@@ -671,6 +688,12 @@ class _FunctionPass:
             and callee is None
         ):
             return f"durable registry write .{call.func.attr}()"
+        if (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr in TRANSPORT_WRITE_METHODS
+            and callee is None
+        ):
+            return f"durable transport write .{call.func.attr}()"
         return None
 
     def _bind_positions(

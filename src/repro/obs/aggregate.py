@@ -46,7 +46,18 @@ def iter_jsonl(path: str | Path) -> Iterator[dict]:
         data = path.read_bytes()
     except OSError:
         return
-    text = data.decode("utf-8", errors="replace")
+    yield from iter_jsonl_text(data.decode("utf-8", errors="replace"))
+
+
+def iter_jsonl_text(text: str | None) -> Iterator[dict]:
+    """:func:`iter_jsonl` over already-loaded stream text.
+
+    Registry transports return stream bodies as text (``None`` when the
+    key is missing); the same torn-tail and non-object hardening
+    applies.
+    """
+    if not text:
+        return
     lines = text.splitlines()
     if lines and not text.endswith("\n"):
         lines = lines[:-1]
@@ -98,8 +109,15 @@ class CellSeries:
 
 def cell_series(cell_id: str, history_path: str | Path) -> CellSeries:
     """Decode one cell's full history stream into a series."""
+    return cell_series_text(
+        cell_id, Path(history_path).read_text() if Path(history_path).is_file() else None
+    )
+
+
+def cell_series_text(cell_id: str, history_text: str | None) -> CellSeries:
+    """Decode a history stream body (from any transport) into a series."""
     points = []
-    for record in iter_jsonl(history_path):
+    for record in iter_jsonl_text(history_text):
         mark = record.get(
             "tick", record.get("generation", record.get("step"))
         )
@@ -159,6 +177,11 @@ class TelemetryTotals:
     cells_started: int = 0
     cells_finished: int = 0
     cells_errored: int = 0
+    #: Elastic-fleet scaling decisions (coordinator ``fleet.scale``
+    #: events at the registry root): workers spawned against queue
+    #: depth, and spawned workers observed retiring.
+    fleet_spawned: int = 0
+    fleet_retired: int = 0
     #: Summed ``Evaluator.stats()`` counters from finished cells.
     evaluator_stats: dict[str, float] = field(default_factory=dict)
 
@@ -197,6 +220,14 @@ class TelemetryTotals:
             self.cells_finished += 1
         elif kind == "cell.error":
             self.cells_errored += 1
+        elif kind == "fleet.scale":
+            action = record.get("action")
+            count = record.get("count")
+            count = count if isinstance(count, int) else 1
+            if action == "spawn":
+                self.fleet_spawned += count
+            elif action == "retire":
+                self.fleet_retired += count
         elif kind == "evaluator.stats":
             stats = record.get("stats")
             if isinstance(stats, dict):
@@ -317,12 +348,17 @@ def build_view(
     series: dict[str, CellSeries] = {}
     totals = TelemetryTotals()
     for cell in cells:
-        run_dir = registry.run_path(cell.config_dict(), cell.seed(matrix.seed))
-        series[cell.cell_id] = cell_series(
-            cell.cell_id, run_dir / "history.jsonl"
+        node = registry.run_node(cell.config_dict(), cell.seed(matrix.seed))
+        series[cell.cell_id] = cell_series_text(
+            cell.cell_id, node.read_text("history.jsonl")
         )
-        for record in iter_jsonl(run_dir / TELEMETRY_FILENAME):
+        for record in iter_jsonl_text(node.read_text(TELEMETRY_FILENAME)):
             totals.fold(record)
+    # Campaign-level stream at the registry root: the coordinator's
+    # elastic-fleet scaling decisions live here, not under any one cell.
+    root_node = registry.root_node()
+    for record in iter_jsonl_text(root_node.read_text(TELEMETRY_FILENAME)):
+        totals.fold(record)
 
     return CampaignView(
         statuses=tuple(statuses),

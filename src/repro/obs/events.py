@@ -67,13 +67,47 @@ class TelemetrySink:
     not-yet-created run directory costs nothing until the cell actually
     starts) and appends — re-running an interrupted cell extends its
     stream, with each attempt delimited by its own ``cell.start`` event.
+
+    A sink can also write through a registry transport node
+    (:meth:`for_node`) instead of a local file — that is how cells and
+    the coordinator stream telemetry into an object-store registry. For
+    filesystem transports :meth:`for_node` degrades to the plain file
+    path, keeping the persistent-handle fast path.
     """
 
-    def __init__(self, path: str | Path, clock: Clock = time.time):
-        self.path = Path(path)
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        clock: Clock = time.time,
+        node: Any | None = None,
+        filename: str = TELEMETRY_FILENAME,
+    ):
+        if path is None and node is None:
+            raise ValueError("TelemetrySink needs a path or a node")
+        self.path = Path(path) if path is not None else None
         self.clock = clock
         self.events_written = 0
         self._fh: IO[str] | None = None
+        self._node = node
+        self._filename = filename
+
+    @classmethod
+    def for_node(
+        cls,
+        node: Any,
+        clock: Clock = time.time,
+        filename: str = TELEMETRY_FILENAME,
+    ) -> "TelemetrySink":
+        """Sink over a :class:`repro.runs.transport.RunNode` stream.
+
+        Filesystem-backed nodes get the ordinary file sink (one open
+        handle, one write+flush per event); remote nodes append through
+        the transport per event.
+        """
+        local = node.local_path
+        if local is not None:
+            return cls(local / filename, clock=clock)
+        return cls(clock=clock, node=node, filename=filename)
 
     def emit(self, kind: str, **fields: Any) -> None:
         """Append one event line; never raises into the search.
@@ -92,11 +126,14 @@ class TelemetrySink:
         except (TypeError, ValueError):
             line = json.dumps(_jsonable(record))
         try:
-            if self._fh is None:
-                self.path.parent.mkdir(parents=True, exist_ok=True)
-                self._fh = self.path.open("a")
-            self._fh.write(line + "\n")
-            self._fh.flush()
+            if self._node is not None:
+                self._node.append_line(self._filename, line)
+            else:
+                if self._fh is None:
+                    self.path.parent.mkdir(parents=True, exist_ok=True)
+                    self._fh = self.path.open("a")
+                self._fh.write(line + "\n")
+                self._fh.flush()
             self.events_written += 1
         except OSError:
             pass

@@ -1,9 +1,9 @@
-"""Durable run registry: one directory per exploration run.
+"""Durable run registry: one keyspace slice per exploration run.
 
 The paper's result matrices come from hundreds of independent search
 runs; this registry makes each of them a durable, restartable unit. A
 run is keyed by the SHA-256 of its canonical configuration plus its
-seed, and owns a directory holding
+seed, and owns a key prefix holding
 
 * ``config.json`` — the serialized cell/run configuration (written at
   open, before any work),
@@ -17,6 +17,13 @@ seed, and owns a directory holding
 A killed process therefore leaves either a completed run (result.json
 present) or a resumable one (config + history + maybe a checkpoint);
 it can never leave a half-written result that masquerades as complete.
+
+All I/O goes through a :class:`repro.runs.transport.RegistryTransport`
+— a local directory by default (`FsTransport`, byte-identical to the
+historical layout), or an S3-compatible object store when the registry
+root is an ``s3://`` URI. Path-valued accessors (``run_path``,
+``registry.root``, ``handle.path``) keep working for filesystem
+registries and raise/return ``None`` for remote ones.
 """
 
 from __future__ import annotations
@@ -24,12 +31,13 @@ from __future__ import annotations
 import json
 import os
 import uuid
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterator
 
 from ..errors import ConfigError
 from .seeds import stable_digest
+from .transport import FsTransport, RegistryTransport, RunNode, resolve_transport
 
 _CONFIG = "config.json"
 _HISTORY = "history.jsonl"
@@ -39,7 +47,7 @@ _ERROR = "error.json"
 _LEASE = "lease.json"
 
 #: Public names of the per-run lease and checkpoint files —
-#: :mod:`repro.distrib` builds its paths from these so the registry and
+#: :mod:`repro.distrib` builds its keys from these so the registry and
 #: the distributed layer can never disagree about where they live.
 LEASE_FILENAME = _LEASE
 CHECKPOINT_FILENAME = _CHECKPOINT
@@ -63,6 +71,10 @@ def _write_atomic(path: Path, text: str) -> None:
     lease-expiry race) must each complete their own rename instead of
     colliding on a shared ``.tmp`` — last atomic rename wins, and both
     contents are identical because cell execution is deterministic.
+
+    Kept for *local* artifacts (campaign reports, metrics snapshots);
+    registry-internal writes go through the transport, whose
+    ``FsTransport.write_atomic`` is this exact idiom.
     """
     tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}-{uuid.uuid4().hex[:8]}")
     tmp.write_text(text)
@@ -71,45 +83,68 @@ def _write_atomic(path: Path, text: str) -> None:
 
 @dataclass
 class RunHandle:
-    """One run's directory, with streaming and completion primitives."""
+    """One run's keyspace slice, with streaming and completion primitives.
 
-    path: Path
+    ``path`` is the run directory for filesystem registries and ``None``
+    for remote transports; all methods operate through :attr:`node`.
+    Constructing a handle from a bare directory path (the historical
+    signature) still works — it wraps the directory in a filesystem
+    node.
+    """
+
+    path: Path | None
     config: dict[str, Any]
+    node: RunNode | None = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.node is None:
+            if self.path is None:
+                raise ConfigError("RunHandle needs a path or a node")
+            self.node = RunNode(FsTransport(Path(self.path)), "")
+        elif self.path is None:
+            self.path = self.node.local_path
+
+    @property
+    def name(self) -> str:
+        """The run's registry key (config hash + seed)."""
+        if self.node is not None and self.node.name:
+            return self.node.name
+        return self.path.name if self.path is not None else ""
 
     # -- lifecycle ------------------------------------------------------
     @property
     def is_complete(self) -> bool:
         """Whether the final result has been durably written."""
-        return (self.path / _RESULT).exists()
+        return self.node.exists(_RESULT)
 
     @property
     def has_checkpoint(self) -> bool:
-        return (self.path / _CHECKPOINT).exists()
+        return self.node.exists(_CHECKPOINT)
 
     @property
     def has_error(self) -> bool:
         """Whether a deterministic failure has been durably recorded."""
-        return (self.path / _ERROR).exists()
+        return self.node.exists(_ERROR)
 
     @property
     def lease_path(self) -> Path:
-        """Where this run's distributed-execution lease lives (if any)."""
+        """Where this run's distributed-execution lease lives (fs only)."""
+        if self.path is None:
+            raise ConfigError(f"run {self.name} has no local lease path")
         return self.path / _LEASE
 
     # -- streaming ------------------------------------------------------
     def log_history(self, entry: dict[str, Any]) -> None:
         """Append one JSON line to the streamed history log."""
-        with (self.path / _HISTORY).open("a") as fh:
-            fh.write(json.dumps(entry) + "\n")
-            fh.flush()
+        self.node.append_line(_HISTORY, json.dumps(entry))
 
     def read_history(self) -> list[dict[str, Any]]:
         """All streamed history entries, in append order."""
-        path = self.path / _HISTORY
-        if not path.exists():
+        text = self.node.read_text(_HISTORY)
+        if text is None:
             return []
         entries = []
-        for line in path.read_text().splitlines():
+        for line in text.splitlines():
             line = line.strip()
             if line:
                 entries.append(json.loads(line))
@@ -128,21 +163,21 @@ class RunHandle:
             e for e in self.read_history()
             if e.get(key, -1) <= max_generation
         ]
-        _write_atomic(
-            self.path / _HISTORY,
+        self.node.write_atomic(
+            _HISTORY,
             "".join(json.dumps(e) + "\n" for e in entries),
         )
 
     # -- checkpointing --------------------------------------------------
     def save_checkpoint(self, state: dict[str, Any]) -> None:
         """Atomically persist a generation-level checkpoint."""
-        _write_atomic(self.path / _CHECKPOINT, json.dumps(state))
+        self.node.write_atomic(_CHECKPOINT, json.dumps(state))
 
     def load_checkpoint(self) -> dict[str, Any] | None:
-        path = self.path / _CHECKPOINT
-        if not path.exists():
+        text = self.node.read_text(_CHECKPOINT)
+        if text is None:
             return None
-        return json.loads(path.read_text())
+        return json.loads(text)
 
     # -- completion -----------------------------------------------------
     def finish(self, result: dict[str, Any]) -> None:
@@ -151,14 +186,14 @@ class RunHandle:
         A stale failure marker from an earlier attempt is dropped — the
         durable result supersedes it.
         """
-        _write_atomic(self.path / _RESULT, json.dumps(result, indent=2))
-        (self.path / _ERROR).unlink(missing_ok=True)
+        self.node.write_atomic(_RESULT, json.dumps(result, indent=2))
+        self.node.delete(_ERROR)
 
     def load_result(self) -> dict[str, Any]:
-        path = self.path / _RESULT
-        if not path.exists():
-            raise ConfigError(f"run {self.path.name} has no result yet")
-        return json.loads(path.read_text())
+        text = self.node.read_text(_RESULT)
+        if text is None:
+            raise ConfigError(f"run {self.name} has no result yet")
+        return json.loads(text)
 
     # -- failure --------------------------------------------------------
     def record_error(self, message: str) -> None:
@@ -170,77 +205,109 @@ class RunHandle:
         need the marker so every participant agrees, from registry state
         alone, that the cell terminated rather than stalled.
         """
-        _write_atomic(
-            self.path / _ERROR,
+        self.node.write_atomic(
+            _ERROR,
             json.dumps({"status": "failed", "error": message}, indent=2),
         )
 
     def load_error(self) -> dict[str, Any] | None:
-        path = self.path / _ERROR
-        if not path.exists():
+        text = self.node.read_text(_ERROR)
+        if text is None:
             return None
-        return json.loads(path.read_text())
+        return json.loads(text)
 
 
 class RunRegistry:
-    """Directory of runs, keyed by config hash + seed."""
+    """Registry of runs, keyed by config hash + seed.
 
-    def __init__(self, root: str | Path):
-        self.root = Path(root)
+    ``root`` may be a local directory (the default transport) or an
+    ``s3://host:port/bucket`` URI; an explicit ``transport`` overrides
+    resolution (in-process object stores in tests). :attr:`root` stays
+    a ``Path`` for filesystem registries — and is ``None`` otherwise,
+    so path-assuming callers fail loudly instead of writing nonsense.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        transport: RegistryTransport | None = None,
+    ):
+        self.transport = transport if transport is not None else resolve_transport(root)
+        self.root = self.transport.local_root
+        #: Human-readable registry location (path or URI) for messages.
+        self.location = self.transport.describe()
 
     def run_name(self, config: dict[str, Any], seed: int) -> str:
-        """Directory name for one (config, seed) run."""
+        """Registry key prefix for one (config, seed) run."""
         return f"{config_hash(config)}-s{seed}"
 
+    def run_node(self, config: dict[str, Any], seed: int) -> RunNode:
+        """Transport node addressing one run's keyspace slice."""
+        return RunNode(self.transport, self.run_name(config, seed))
+
+    def root_node(self) -> RunNode:
+        """Node addressing registry-root keys (manifest, fleet telemetry)."""
+        return RunNode(self.transport, "")
+
     def run_path(self, config: dict[str, Any], seed: int) -> Path:
+        if self.root is None:
+            raise ConfigError(
+                f"registry {self.location} has no local run paths; "
+                "use run_node()"
+            )
         return self.root / self.run_name(config, seed)
 
     def is_complete(self, config: dict[str, Any], seed: int) -> bool:
-        return (self.run_path(config, seed) / _RESULT).exists()
+        return self.run_node(config, seed).exists(_RESULT)
 
     def has_error(self, config: dict[str, Any], seed: int) -> bool:
         """Whether the run has a durable failure marker (and no result)."""
-        path = self.run_path(config, seed)
-        return (path / _ERROR).exists() and not (path / _RESULT).exists()
+        node = self.run_node(config, seed)
+        return node.exists(_ERROR) and not node.exists(_RESULT)
+
+    def _handle(self, node: RunNode, config: dict[str, Any]) -> RunHandle:
+        return RunHandle(path=node.local_path, config=dict(config), node=node)
 
     def open_run(self, config: dict[str, Any], seed: int) -> RunHandle:
-        """Create (or re-open) the run directory and persist its config.
+        """Create (or re-open) the run slice and persist its config.
 
         Re-opening an *incomplete* run truncates its history stream —
         the run restarts (or resumes from its checkpoint), and stale
         partial history from the killed attempt must not double-count.
         Re-opening a complete run leaves everything untouched.
         """
-        path = self.run_path(config, seed)
-        path.mkdir(parents=True, exist_ok=True)
-        handle = RunHandle(path=path, config=dict(config))
+        node = self.run_node(config, seed)
+        node.ensure()
+        handle = self._handle(node, config)
         if not handle.is_complete:
-            _write_atomic(
-                path / _CONFIG,
+            node.write_atomic(
+                _CONFIG,
                 json.dumps({"config": config, "seed": seed}, indent=2),
             )
-            history = path / _HISTORY
-            if history.exists() and not handle.has_checkpoint:
-                history.unlink()
+            if node.exists(_HISTORY) and not handle.has_checkpoint:
+                node.delete(_HISTORY)
         return handle
 
     def load(self, config: dict[str, Any], seed: int) -> RunHandle:
-        """Handle for an existing run directory (no writes)."""
-        path = self.run_path(config, seed)
-        if not path.is_dir():
-            raise ConfigError(f"no run directory {path}")
-        return RunHandle(path=path, config=dict(config))
+        """Handle for an existing run (no writes)."""
+        node = self.run_node(config, seed)
+        path = node.local_path
+        if path is not None:
+            if not path.is_dir():
+                raise ConfigError(f"no run directory {path}")
+        elif not node.exists(_CONFIG):
+            raise ConfigError(f"no run {node.describe()}")
+        return self._handle(node, config)
 
     def runs(self) -> Iterator[RunHandle]:
         """Iterate every registered run (complete or not), sorted by name."""
-        if not self.root.is_dir():
-            return
-        for entry in sorted(self.root.iterdir()):
-            config_path = entry / _CONFIG
-            if not config_path.is_file():
+        for name in self.transport.list_runs():
+            text = self.transport.read_text(f"{name}/{_CONFIG}")
+            if text is None:
                 continue
-            payload = json.loads(config_path.read_text())
-            yield RunHandle(path=entry, config=payload.get("config", {}))
+            payload = json.loads(text)
+            node = RunNode(self.transport, name)
+            yield self._handle(node, payload.get("config", {}))
 
     def completed(self) -> list[RunHandle]:
         """Every run whose final result has been written."""
@@ -251,8 +318,15 @@ class RunRegistry:
     #: the evaluator's summary-cache order of magnitude.
     WARM_SUMMARY_CAP = 50_000
 
+    def _warm_key(self, network: str, bytes_per_element: int) -> str:
+        return f"warm/{network}-bpe{bytes_per_element}.json"
+
     def warm_summary_path(self, network: str, bytes_per_element: int) -> Path:
-        """Where one network's shared warm-summary scalars live."""
+        """Where one network's shared warm-summary scalars live (fs only)."""
+        if self.root is None:
+            raise ConfigError(
+                f"registry {self.location} has no local warm paths"
+            )
         return self.root / "warm" / f"{network}-bpe{bytes_per_element}.json"
 
     def load_warm_summaries(
@@ -267,10 +341,14 @@ class RunRegistry:
         Returns ``[]`` when nothing was persisted yet or the file is
         unreadable (corruption just costs a cold start, never an error).
         """
-        path = self.warm_summary_path(network, bytes_per_element)
+        text = self.transport.read_text(
+            self._warm_key(network, bytes_per_element)
+        )
+        if text is None:
+            return []
         try:
-            payload = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
+            payload = json.loads(text)
+        except json.JSONDecodeError:
             return []
         entries: list[tuple[tuple, tuple]] = []
         for members, mem_key, summary in payload.get("entries", []):
@@ -288,7 +366,7 @@ class RunRegistry:
         bytes_per_element: int,
         entries: list[tuple[tuple, tuple]],
         cap: int | None = None,
-    ) -> Path:
+    ) -> str:
         """Merge summary entries into the network's warm file (atomic).
 
         Existing entries come first and new keys append after, so under
@@ -308,8 +386,7 @@ class RunRegistry:
         for key, summary in entries:
             merged[key] = summary
         kept = list(merged.items())[-cap:]
-        path = self.warm_summary_path(network, bytes_per_element)
-        path.parent.mkdir(parents=True, exist_ok=True)
+        key_name = self._warm_key(network, bytes_per_element)
         payload = {
             "version": 1,
             "network": network,
@@ -319,38 +396,40 @@ class RunRegistry:
                 for key, summary in kept
             ],
         }
-        _write_atomic(path, json.dumps(payload))
-        return path
+        self.transport.write_atomic(key_name, json.dumps(payload))
+        return key_name
 
     def gc(self) -> tuple[int, int]:
-        """Drop stale per-run scratch files of *completed* runs.
+        """Drop stale per-run scratch of *completed* runs.
 
         A completed run's ``checkpoint.json`` (which can dwarf the
         result for GA/NSGA cells), any leftover ``lease.json``, and the
-        write-temp / lease-tombstone litter of killed writers
-        (``*.tmp-*``, ``lease.json.expired-*`` — SIGKILL mid-write is
+        transport's write-litter from killed writers (filesystem
+        ``*.tmp-*`` temps and ``lease.json.expired-*`` tombstones;
+        object-store ``.tmp-`` staging objects — SIGKILL mid-write is
         this subsystem's designed failure mode) are dead weight: the
-        atomically-written ``result.json`` is the only file future
+        atomically-written ``result.json`` is the only key future
         invocations read. Incomplete runs keep everything — their
-        checkpoint is exactly what a resume needs, and their temp files
-        may belong to a live writer.
+        checkpoint is exactly what a resume needs, and their temp
+        objects may belong to a live writer.
 
         Returns ``(files_removed, bytes_reclaimed)``.
         """
         removed = 0
         reclaimed = 0
         for run in self.completed():
-            stale = [run.path / _CHECKPOINT, run.path / _LEASE]
-            stale.extend(sorted(run.path.glob("*.tmp-*")))
-            stale.extend(sorted(run.path.glob(_LEASE + ".expired-*")))
-            for path in stale:
-                if not path.is_file():
+            name = run.node.name or (
+                run.path.name if run.path is not None else ""
+            )
+            prefix = f"{name}/" if name else ""
+            stale = [f"{prefix}{_CHECKPOINT}", f"{prefix}{_LEASE}"]
+            stale.extend(self.transport.litter(name))
+            for key in stale:
+                size = self.transport.size(key)
+                if size is None:
                     continue
-                size = path.stat().st_size
-                try:
-                    path.unlink()
-                except FileNotFoundError:  # lost a race with another gc
-                    continue
+                if not self.transport.delete(key):
+                    continue  # lost a race with another gc
                 removed += 1
                 reclaimed += size
         return removed, reclaimed

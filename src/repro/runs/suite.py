@@ -609,14 +609,12 @@ def _maybe_fault(
     target = os.environ.get(FAULT_ENV)
     if not target or target not in cell.cell_id:
         return
-    run_path = registry.run_path(cell.config_dict(), cell.seed(campaign_seed))
-    marker = run_path / "fault-attempted"
-    if marker.exists():
+    node = registry.run_node(cell.config_dict(), cell.seed(campaign_seed))
+    # Crash-simulation marker: single-winner create makes "once" hold
+    # across transports, and the writer os._exit()s right after.
+    node.ensure()
+    if node.create_if_absent("fault-attempted", "injected worker kill\n") is None:
         return
-    run_path.mkdir(parents=True, exist_ok=True)
-    # repro-lint: allow[RL004] -- crash-simulation marker: the writer
-    # os._exit()s on the next line by design, and nothing durable reads it
-    marker.write_text("injected worker kill\n")
     os._exit(23)
 
 
@@ -664,9 +662,7 @@ def run_cell(
         raise ConfigError("sample_cap must be positive when set")
     _maybe_fault(cell, campaign_seed, registry)
     run = registry.open_run(config, seed)
-    sink = (
-        TelemetrySink(run.path / TELEMETRY_FILENAME) if telemetry else None
-    )
+    sink = TelemetrySink.for_node(run.node) if telemetry else None
     try:
         with activate(sink):
             emit(

@@ -48,6 +48,22 @@ def tail_jsonl(path: str | Path) -> dict | None:
     with path.open("rb") as fh:
         fh.seek(max(0, size - _TAIL_BYTES))
         chunk = fh.read().decode("utf-8", errors="replace")
+    return _last_object(chunk)
+
+
+def tail_jsonl_node(node, filename: str) -> dict | None:
+    """:func:`tail_jsonl` over a registry transport node's stream.
+
+    Same torn-tail hardening, same only-the-final-block read (the
+    transport's ``read_tail`` maps to a ranged/suffix read).
+    """
+    chunk = node.read_tail(filename, _TAIL_BYTES)
+    if not chunk:
+        return None
+    return _last_object(chunk)
+
+
+def _last_object(chunk: str) -> dict | None:
     lines = chunk.splitlines()
     if lines and not chunk.endswith("\n"):
         lines = lines[:-1]
@@ -107,9 +123,9 @@ def campaign_snapshot(
     for cell in cells:
         config = cell.config_dict()
         seed = cell.seed(matrix.seed)
-        run_dir = registry.run_path(config, seed)
+        node = registry.run_node(config, seed)
         cap = allocations[cell.key] if allocations is not None else None
-        tail = tail_jsonl(run_dir / "history.jsonl") or {}
+        tail = tail_jsonl_node(node, "history.jsonl") or {}
         progress_mark = tail.get(
             "tick", tail.get("generation", tail.get("step"))
         )
@@ -132,7 +148,7 @@ def campaign_snapshot(
                 CellStatus(cell_id=cell.cell_id, state="failed", sample_cap=cap)
             )
             continue
-        lease = read_lease(run_dir)
+        lease = read_lease(node)
         if lease is not None:
             statuses.append(
                 CellStatus(

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 import time
 
 import pytest
@@ -77,6 +78,40 @@ class TestRunDistributed:
         )
         assert outcome.failed == 0
         assert read_lease(run_dir) is None
+        clean = run_suite(MATRIX, tmp_path / "clean")
+        assert outcome.report.rows == clean.report.rows
+
+    def test_autoscale_spawns_elastic_fleet(self, tmp_path):
+        # No fixed fleet at all: every worker that runs a cell must have
+        # been spawned by the autoscaler against live queue depth, and
+        # every scaling decision must land in the root telemetry stream.
+        outcome = run_distributed(
+            MATRIX,
+            tmp_path / "reg",
+            config=CoordinatorConfig(
+                spawn_workers=0,
+                autoscale=True,
+                max_workers=2,
+                lease_ttl=5,
+                poll_interval=0.05,
+                timeout=180,
+            ),
+        )
+        assert outcome.failed == 0
+        assert outcome.completed == 2
+        assert any("elastic fleet spawned" in note for note in outcome.report.notes)
+        registry = RunRegistry(tmp_path / "reg")
+        text = registry.root_node().read_text("telemetry.jsonl")
+        scale = [
+            record
+            for record in map(json.loads, text.splitlines())
+            if record["kind"] == "fleet.scale"
+        ]
+        spawned = sum(
+            record["count"] for record in scale if record["action"] == "spawn"
+        )
+        assert spawned >= 1
+        assert any(record["action"] == "final" for record in scale)
         clean = run_suite(MATRIX, tmp_path / "clean")
         assert outcome.report.rows == clean.report.rows
 
